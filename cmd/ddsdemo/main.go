@@ -1,0 +1,108 @@
+// Command ddsdemo runs a small end-to-end demonstration of the distributed
+// distinct sampler and prints the protocol's observable behaviour: how the
+// sample and the threshold evolve, how many messages are exchanged, and how
+// the final sample compares to the centralized oracle.
+//
+// Usage:
+//
+//	ddsdemo                      # infinite window demo
+//	ddsdemo -mode sliding -window 200
+//	ddsdemo -sites 20 -sample 10 -elements 50000 -distinct 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/sliding"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "infinite", "infinite or sliding")
+		sites    = flag.Int("sites", 5, "number of sites k")
+		sample   = flag.Int("sample", 10, "sample size s (infinite window)")
+		window   = flag.Int64("window", 100, "window size in slots (sliding mode)")
+		elements = flag.Int("elements", 20000, "stream length")
+		distinct = flag.Int("distinct", 4000, "target distinct elements")
+		seed     = flag.Uint64("seed", 7, "seed")
+	)
+	flag.Parse()
+
+	data := dataset.Uniform(*elements, *distinct, *seed).Generate()
+	hasher := hashing.NewMurmur2(*seed * 1000003)
+	policy := distribute.NewRandom(*sites, *seed)
+
+	switch *mode {
+	case "infinite":
+		runInfinite(data, hasher, policy, *sites, *sample)
+	case "sliding":
+		runSliding(data, hasher, policy, *sites, *window)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runInfinite(data []stream.Element, hasher *hashing.Hasher, policy distribute.Policy, k, s int) {
+	st := stream.Summarize(data)
+	fmt.Printf("infinite window: k=%d sites, sample size s=%d, %d elements (%d distinct)\n",
+		k, s, st.Elements, st.Distinct)
+
+	sys := core.NewSystem(k, s, hasher)
+	arrivals := distribute.Apply(data, policy)
+	metrics, err := sys.Runner(len(arrivals)/10, 0).RunSequential(arrivals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\ncumulative messages while the stream is observed:")
+	for _, p := range metrics.Timeline {
+		fmt.Printf("  after %7d arrivals: %6d messages\n", p.Arrivals, p.Messages)
+	}
+
+	coord := sys.Coordinator.(*core.InfiniteCoordinator)
+	fmt.Printf("\nfinal threshold u = %.6f\n", coord.Threshold())
+	fmt.Printf("final sample (%d elements):\n", len(metrics.FinalSample))
+	for _, e := range metrics.FinalSample {
+		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
+	}
+
+	ref := core.NewReference(s, hasher)
+	ref.ObserveAll(stream.Keys(data))
+	fmt.Printf("\nmatches centralized oracle: %v\n", ref.SameSample(metrics.FinalSample))
+	fmt.Printf("total messages: %d (up %d, down %d)\n",
+		metrics.TotalMessages(), metrics.UpMessages, metrics.DownMessages)
+}
+
+func runSliding(data []stream.Element, hasher *hashing.Hasher, policy distribute.Policy, k int, window int64) {
+	reslotted := stream.Reslot(data, 5)
+	st := stream.Summarize(reslotted)
+	fmt.Printf("sliding window: k=%d sites, window w=%d slots, %d elements over %d slots\n",
+		k, window, st.Elements, st.MaxSlot)
+
+	sys := sliding.NewSystem(k, window, hasher, 11)
+	arrivals := distribute.Apply(reslotted, policy)
+	metrics, err := sys.Runner(0, st.MaxSlot/10).RunSequential(arrivals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nper-site memory over time:")
+	for _, p := range metrics.Memory {
+		fmt.Printf("  slot %7d: mean %.2f tuples, max %d tuples\n", p.Slot, p.MeanPerSite, p.MaxPerSite)
+	}
+	if len(metrics.FinalSample) == 1 {
+		e := metrics.FinalSample[0]
+		fmt.Printf("\nfinal window sample: %s (h=%.6f, expires at slot %d)\n", e.Key, e.Hash, e.Expiry)
+	}
+	fmt.Printf("total messages: %d\n", metrics.TotalMessages())
+}

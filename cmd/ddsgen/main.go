@@ -1,0 +1,70 @@
+// Command ddsgen generates the synthetic datasets used throughout the
+// repository and writes them in the "slot<TAB>key" stream format, so they
+// can be inspected, versioned, or replayed by external tooling.
+//
+// Usage:
+//
+//	ddsgen -dataset oc48  -scale 0.01 -out oc48.tsv
+//	ddsgen -dataset enron -scale 0.1  -out enron.tsv
+//	ddsgen -dataset uniform -elements 100000 -distinct 20000 -out u.tsv
+//	ddsgen -dataset oc48 -stats-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		name      = flag.String("dataset", "oc48", "dataset to generate: oc48, enron, uniform, alldistinct")
+		scale     = flag.Float64("scale", 0.01, "scale relative to the paper's dataset sizes (oc48/enron)")
+		elements  = flag.Int("elements", 100000, "element count (uniform/alldistinct)")
+		distinct  = flag.Int("distinct", 20000, "distinct count (uniform)")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "output path (default stdout)")
+		statsOnly = flag.Bool("stats-only", false, "print element/distinct counts instead of the stream")
+	)
+	flag.Parse()
+
+	var spec dataset.Spec
+	switch *name {
+	case "oc48":
+		spec = dataset.OC48(*scale, *seed)
+	case "enron":
+		spec = dataset.Enron(*scale, *seed)
+	case "uniform":
+		spec = dataset.Uniform(*elements, *distinct, *seed)
+	case "alldistinct":
+		spec = dataset.AllDistinct(*elements, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *name)
+		os.Exit(2)
+	}
+
+	data := spec.Generate()
+	if *statsOnly {
+		st := stream.Summarize(data)
+		fmt.Printf("dataset=%s elements=%d distinct=%d\n", spec.Name, st.Elements, st.Distinct)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := stream.Write(w, data); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

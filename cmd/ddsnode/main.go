@@ -1,0 +1,160 @@
+// Command ddsnode runs one node of a real (non-simulated) deployment of the
+// distinct sampler over TCP: a coordinator, a site replaying a stream file,
+// or a one-shot query client. Stream files use the "slot<TAB>key" format
+// produced by cmd/ddsgen.
+//
+// A complete local deployment in three terminals:
+//
+//	ddsnode -role coordinator -listen 127.0.0.1:7070 -sample 20
+//	ddsgen  -dataset enron -scale 0.01 -out enron.tsv
+//	ddsnode -role site -id 0 -coordinator 127.0.0.1:7070 -stream enron.tsv
+//	ddsnode -role query -coordinator 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/sliding"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		role        = flag.String("role", "coordinator", "coordinator, site, or query")
+		listen      = flag.String("listen", "127.0.0.1:7070", "coordinator listen address")
+		coordinator = flag.String("coordinator", "127.0.0.1:7070", "coordinator address (site/query roles)")
+		id          = flag.Int("id", 0, "site id (site role)")
+		sample      = flag.Int("sample", 20, "sample size s (infinite-window coordinator)")
+		window      = flag.Int64("window", 0, "window size in slots; > 0 switches to the sliding-window protocol")
+		streamPath  = flag.String("stream", "", "stream file to replay (site role); '-' reads stdin")
+		hashSeed    = flag.Uint64("hash-seed", 20130501, "shared hash-function seed (must match on all nodes)")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "coordinator":
+		runCoordinator(*listen, *sample, *window)
+	case "site":
+		runSite(*coordinator, *id, *window, *streamPath, *hashSeed)
+	case "query":
+		runQuery(*coordinator)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
+		os.Exit(2)
+	}
+}
+
+func runCoordinator(listen string, sampleSize int, window int64) {
+	var srv *wire.CoordinatorServer
+	if window > 0 {
+		srv = wire.NewCoordinatorServer(sliding.NewCoordinator())
+		fmt.Printf("sliding-window coordinator (w=%d slots)\n", window)
+	} else {
+		srv = wire.NewCoordinatorServer(core.NewInfiniteCoordinator(sampleSize))
+		fmt.Printf("infinite-window coordinator (s=%d)\n", sampleSize)
+	}
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on %s — press Ctrl-C to stop\n", addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	offers, replies, queries := srv.Stats()
+	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served\n", offers, replies, queries)
+	fmt.Println("final sample:")
+	for _, e := range srv.Sample() {
+		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
+	}
+	_ = srv.Close()
+}
+
+func runSite(coordinator string, id int, window int64, streamPath string, hashSeed uint64) {
+	if streamPath == "" {
+		fmt.Fprintln(os.Stderr, "site role requires -stream")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if streamPath != "-" {
+		f, err := os.Open(streamPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	elements, err := stream.Read(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	hasher := hashing.NewMurmur2(hashSeed)
+	var node interface {
+		ID() int
+	}
+	var client *wire.SiteClient
+	if window > 0 {
+		site := sliding.NewSite(id, hasher, window, uint64(id)+1)
+		node = site
+		client, err = wire.DialSite(site, coordinator)
+	} else {
+		site := core.NewInfiniteSite(id, hasher)
+		node = site
+		client, err = wire.DialSite(site, coordinator)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	lastSlot := int64(-1)
+	for _, e := range elements {
+		if window > 0 && lastSlot >= 0 && e.Slot > lastSlot {
+			// Close out every slot between arrivals so expiries fire.
+			for slot := lastSlot; slot < e.Slot; slot++ {
+				if err := client.EndSlot(slot); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		if err := client.Observe(e.Key, e.Slot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lastSlot = e.Slot
+	}
+	if window > 0 && lastSlot >= 0 {
+		if err := client.EndSlot(lastSlot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("site %d replayed %d elements: %d offers sent, %d replies received\n",
+		node.ID(), len(elements), client.MessagesSent(), client.MessagesReceived())
+}
+
+func runQuery(coordinator string) {
+	entries, err := wire.Query(coordinator)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("distinct sample (%d entries):\n", len(entries))
+	for _, e := range entries {
+		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
+	}
+}

@@ -1,0 +1,105 @@
+// Netflow: the paper's motivating OC48 scenario. Several collectors each see
+// part of the traffic of a peering link; a central coordinator continuously
+// holds a random sample of the *distinct* source→destination flows, which it
+// uses to answer ad-hoc questions such as "how many distinct flows originate
+// from this /8 prefix?" — the predicate is only known at query time, which is
+// exactly what a distinct sample is for.
+//
+//	go run ./examples/netflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/estimate"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		collectors = 8
+		sampleSize = 400
+		seed       = 7
+	)
+
+	// A scaled-down OC48-like trace: IP-pair keys with heavy-tailed repeats
+	// (popular flows send many packets, the distinct sample must not be
+	// biased toward them).
+	spec := dataset.OC48(0.002, seed) // ~85k packets, ~8.7k distinct flows
+	packets := spec.Generate()
+	stats := stream.Summarize(packets)
+
+	hasher := hashing.NewMurmur2(seed)
+	system := core.NewSystem(collectors, sampleSize, hasher)
+
+	// Each packet is routed to one collector, as a load balancer would.
+	arrivals := distribute.Apply(packets, distribute.NewRandom(collectors, seed))
+	metrics, err := system.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("observed %d packets over %d distinct flows at %d collectors\n",
+		stats.Elements, stats.Distinct, collectors)
+	fmt.Printf("coordinator holds a distinct sample of %d flows after %d messages\n\n",
+		len(metrics.FinalSample), metrics.TotalMessages())
+
+	// --- query 1: estimate the total number of distinct flows -------------
+	// The bottom-s sketch (sample plus its threshold u, the s-th smallest
+	// hash) gives the classic KMV estimate d ≈ (s-1)/u with a confidence
+	// band of about 1/sqrt(s).
+	coordinator := system.Coordinator.(*core.InfiniteCoordinator)
+	total, err := estimate.DistinctCount(metrics.FinalSample, sampleSize, coordinator.Threshold())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distinct flow estimate: %.0f  [%.0f, %.0f]  (true %d, error %+.1f%%)\n",
+		total.Estimate, total.Low, total.High, stats.Distinct,
+		100*(total.Estimate-float64(stats.Distinct))/float64(stats.Distinct))
+
+	// --- query 2: a predicate supplied only at query time -----------------
+	// "How many distinct flows have a source address in 0-63.x.x.x?"
+	// Answer from the sample, then compare with the exact answer.
+	predicate := func(flow string) bool {
+		src, _, found := strings.Cut(flow, "->")
+		if !found {
+			return false
+		}
+		firstOctet, _, _ := strings.Cut(src, ".")
+		return len(firstOctet) > 0 && firstOctet[0] >= '0' && firstOctet[0] <= '9' && atoiSafe(firstOctet) < 64
+	}
+
+	subset, err := estimate.SubsetCount(metrics.FinalSample, sampleSize, coordinator.Threshold(), predicate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fraction, _ := estimate.Fraction(metrics.FinalSample, predicate)
+
+	trueMatches := 0
+	for _, flow := range stream.DistinctKeys(packets) {
+		if predicate(flow) {
+			trueMatches++
+		}
+	}
+	fmt.Printf("flows from low /8 prefixes: sample estimate %.1f%%, exact %.1f%%\n",
+		100*fraction.Estimate, 100*float64(trueMatches)/float64(stats.Distinct))
+	fmt.Printf("estimated count: %.0f distinct flows [%.0f, %.0f] (exact %d)\n",
+		subset.Estimate, subset.Low, subset.High, trueMatches)
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 256
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+// Quickstart: maintain a distinct random sample over a stream observed by
+// several distributed sites, then query it at the coordinator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		sites      = 4  // k: number of monitoring sites
+		sampleSize = 8  // s: distinct sample size at the coordinator
+		seed       = 42 // reproducibility
+	)
+
+	// 1. A synthetic stream: 50,000 observations over ~5,000 distinct keys.
+	elements := dataset.Uniform(50000, 5000, seed).Generate()
+
+	// 2. Every node shares one hash function (the coordinator would normally
+	//    distribute it during initialization).
+	hasher := hashing.NewMurmur2(seed)
+
+	// 3. Build the distributed system: k sites plus a coordinator.
+	system := core.NewSystem(sites, sampleSize, hasher)
+
+	// 4. Decide which site observes each element. Here each element goes to
+	//    one uniformly random site.
+	arrivals := distribute.Apply(elements, distribute.NewRandom(sites, seed))
+
+	// 5. Play the stream through the simulation engine, which counts every
+	//    message exchanged between the sites and the coordinator.
+	metrics, err := system.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Query the coordinator: a uniform random sample of the distinct
+	//    elements seen so far, regardless of how often each one appeared.
+	fmt.Printf("distinct sample of size %d:\n", len(metrics.FinalSample))
+	for _, entry := range metrics.FinalSample {
+		fmt.Printf("  %-12s  hash=%.6f\n", entry.Key, entry.Hash)
+	}
+
+	// 7. The whole point of the algorithm: very little communication.
+	stats := stream.Summarize(elements)
+	fmt.Printf("\nstream: %d elements, %d distinct\n", stats.Elements, stats.Distinct)
+	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length)\n",
+		metrics.TotalMessages(), 100*float64(metrics.TotalMessages())/float64(stats.Elements))
+
+	// Sanity: the distributed sample matches what a centralized sampler that
+	// saw every element would hold.
+	oracle := core.NewReference(sampleSize, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	fmt.Printf("matches centralized oracle: %v\n", oracle.SameSample(metrics.FinalSample))
+}

@@ -1,0 +1,212 @@
+package repro_test
+
+// End-to-end integration tests: drive the full pipeline the way a user (or
+// one of the examples) would — dataset generation, distribution across
+// sites, protocol simulation, and query answering — and cross-check the
+// pieces against each other.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/estimate"
+	"repro/internal/hashing"
+	"repro/internal/sliding"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func TestIntegrationInfinitePipeline(t *testing.T) {
+	const (
+		k    = 12
+		s    = 250
+		seed = 99
+	)
+	spec := dataset.OC48(0.003, seed) // ~127k packets, ~13k distinct flows
+	elements := spec.Generate()
+	truth := stream.Summarize(elements)
+
+	hasher := hashing.NewMurmur2(seed)
+	system := core.NewSystem(k, s, hasher)
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, seed))
+	metrics, err := system.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Sample correctness against the centralized oracle.
+	oracle := core.NewReference(s, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	if !oracle.SameSample(metrics.FinalSample) {
+		t.Fatal("distributed sample does not match the centralized oracle")
+	}
+
+	// 2. Message cost within the analytic envelope.
+	perSite := stream.PerSiteDistinct(arrivals, k)
+	bound := stats.PerSiteExpectedUpperBound(s, perSite)
+	if float64(metrics.TotalMessages()) > 1.5*bound {
+		t.Fatalf("message cost %d exceeds 1.5x the Observation 1 bound %.0f", metrics.TotalMessages(), bound)
+	}
+
+	// 3. Query answering: the distinct-count estimate from the sketch lands
+	// within 15% of the truth at s=250, and a query-time predicate estimate
+	// is consistent with the exact answer.
+	coord := system.Coordinator.(*core.InfiniteCoordinator)
+	count, err := estimate.DistinctCount(metrics.FinalSample, s, coord.Threshold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(count.Estimate-float64(truth.Distinct)) / float64(truth.Distinct)
+	if relErr > 0.15 {
+		t.Fatalf("distinct estimate %.0f off by %.1f%% from %d", count.Estimate, 100*relErr, truth.Distinct)
+	}
+
+	pred := func(flow string) bool { return strings.Contains(flow, "->1") }
+	frac, err := estimate.Fraction(metrics.FinalSample, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	for _, key := range stream.DistinctKeys(elements) {
+		if pred(key) {
+			exact++
+		}
+	}
+	exactFrac := float64(exact) / float64(truth.Distinct)
+	if math.Abs(frac.Estimate-exactFrac) > 0.10 {
+		t.Fatalf("predicate fraction estimate %.3f vs exact %.3f", frac.Estimate, exactFrac)
+	}
+}
+
+func TestIntegrationProposedVsBroadcastVsNaive(t *testing.T) {
+	// The three infinite-window variants must agree on the sample while
+	// ordering as expected on cost: proposed <= naive <= broadcast is not
+	// guaranteed in general, but proposed must beat broadcast at large k and
+	// beat the naive site on repeat-heavy data.
+	const (
+		k    = 60
+		s    = 15
+		seed = 7
+	)
+	elements := dataset.Enron(0.02, seed).Generate()
+	hasher := hashing.NewMurmur2(seed)
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, seed))
+
+	oracle := core.NewReference(s, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+
+	run := func(sys *core.System) int {
+		m, err := sys.Runner(0, 0).RunSequential(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !oracle.SameSample(m.FinalSample) {
+			t.Fatal("sample mismatch")
+		}
+		return m.TotalMessages()
+	}
+	proposed := run(core.NewSystem(k, s, hasher))
+	naive := run(core.NewNaiveSystem(k, s, hasher))
+	broadcast := run(core.NewBroadcastSystem(k, s, hasher))
+
+	if proposed >= broadcast {
+		t.Fatalf("proposed (%d) should beat broadcast (%d) at k=%d", proposed, broadcast, k)
+	}
+	if proposed > naive {
+		t.Fatalf("proposed (%d) should not exceed the naive variant (%d)", proposed, naive)
+	}
+}
+
+func TestIntegrationSlidingPipeline(t *testing.T) {
+	const (
+		k      = 8
+		window = 300
+		seed   = 31
+	)
+	elements := stream.Reslot(dataset.Enron(0.01, seed).Generate(), 5)
+	truth := stream.Summarize(elements)
+	hasher := hashing.NewMurmur2(seed)
+
+	system := sliding.NewSystem(k, window, hasher, seed)
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, seed))
+	metrics, err := system.Runner(0, 25).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The final sample is the minimum-hash element of the last window.
+	if len(metrics.FinalSample) != 1 {
+		t.Fatalf("final sample size %d", len(metrics.FinalSample))
+	}
+	live := stream.WindowDistinct(arrivals, truth.MaxSlot, window)
+	bestHash := math.Inf(1)
+	for key := range live {
+		if u := hasher.Unit(key); u < bestHash {
+			bestHash = u
+		}
+	}
+	if metrics.FinalSample[0].Hash != bestHash {
+		t.Fatalf("final sample hash %.6f, want window minimum %.6f", metrics.FinalSample[0].Hash, bestHash)
+	}
+
+	// Per-site memory stays in the H_M ballpark (Lemma 10).
+	perSiteWindowLoad := window * 5 / int64(k)
+	bound := stats.Harmonic(int(perSiteWindowLoad))
+	if metrics.MeanMemory() > 4*bound+2 {
+		t.Fatalf("mean per-site memory %.1f far above H_M %.1f", metrics.MeanMemory(), bound)
+	}
+	if metrics.TotalMessages() == 0 {
+		t.Fatal("no messages exchanged")
+	}
+}
+
+func TestIntegrationEnginesAgreeAcrossProtocols(t *testing.T) {
+	// Both engines must yield oracle-consistent results for the proposed
+	// infinite-window protocol and identical per-copy candidates for the
+	// multi-copy sliding sampler.
+	const seed = 5
+	elements := stream.Reslot(dataset.Uniform(30000, 6000, seed).Generate(), 20)
+	hasher := hashing.NewMurmur2(seed)
+
+	// Infinite window.
+	oracle := core.NewReference(12, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	arrivals := distribute.Apply(elements, distribute.NewRandom(6, seed))
+	seqSys := core.NewSystem(6, 12, hasher)
+	seqM, err := seqSys.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concSys := core.NewSystem(6, 12, hasher)
+	concM, err := concSys.Runner(0, 0).RunConcurrent(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.SameSample(seqM.FinalSample) || !oracle.SameSample(concM.FinalSample) {
+		t.Fatal("engines disagree with the oracle")
+	}
+
+	// Sliding window, size-4 sample.
+	slidingArrivals := distribute.Apply(elements, distribute.NewRandom(4, seed))
+	a := sliding.NewMultiSystem(4, 4, 150, hashing.KindMurmur2, seed)
+	if _, err := a.Runner(0, 0).RunSequential(slidingArrivals); err != nil {
+		t.Fatal(err)
+	}
+	b := sliding.NewMultiSystem(4, 4, 150, hashing.KindMurmur2, seed)
+	if _, err := b.Runner(0, 0).RunConcurrent(slidingArrivals); err != nil {
+		t.Fatal(err)
+	}
+	ca := a.Coordinator.(*sliding.MultiCoordinator)
+	cb := b.Coordinator.(*sliding.MultiCoordinator)
+	for i := 0; i < 4; i++ {
+		ea, oka := ca.CopySample(i)
+		eb, okb := cb.CopySample(i)
+		if oka != okb || ea.Key != eb.Key {
+			t.Fatalf("copy %d: engines disagree (%q vs %q)", i, ea.Key, eb.Key)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBottomSetEmpty(t *testing.T) {
+	b := newBottomSet(3)
+	if b.Threshold() != 1 {
+		t.Fatalf("empty threshold = %v, want 1", b.Threshold())
+	}
+	if b.Len() != 0 || b.Contains("x") || len(b.Entries()) != 0 || len(b.Keys()) != 0 {
+		t.Fatal("empty set not empty")
+	}
+}
+
+func TestBottomSetCapacityClamp(t *testing.T) {
+	b := newBottomSet(0)
+	if !b.Offer("a", 0.5) || b.Len() != 1 {
+		t.Fatal("capacity should clamp to 1")
+	}
+}
+
+func TestBottomSetFillAndEvict(t *testing.T) {
+	b := newBottomSet(2)
+	if !b.Offer("a", 0.6) {
+		t.Fatal("offer a rejected")
+	}
+	if b.Threshold() != 1 {
+		t.Fatalf("threshold with 1/2 entries = %v, want 1", b.Threshold())
+	}
+	if !b.Offer("b", 0.4) {
+		t.Fatal("offer b rejected")
+	}
+	if b.Threshold() != 0.6 {
+		t.Fatalf("threshold when full = %v, want 0.6", b.Threshold())
+	}
+	// A worse hash is rejected.
+	if b.Offer("c", 0.9) {
+		t.Fatal("offer c (hash above threshold) accepted")
+	}
+	// A better hash evicts the current maximum.
+	if !b.Offer("d", 0.1) {
+		t.Fatal("offer d rejected")
+	}
+	if b.Contains("a") || !b.Contains("b") || !b.Contains("d") {
+		t.Fatalf("membership after eviction: %v", b.Keys())
+	}
+	if b.Threshold() != 0.4 {
+		t.Fatalf("threshold after eviction = %v", b.Threshold())
+	}
+	// Entries are ordered by hash.
+	entries := b.Entries()
+	if entries[0].Key != "d" || entries[1].Key != "b" {
+		t.Fatalf("entries order: %v", entries)
+	}
+}
+
+func TestBottomSetDuplicateKey(t *testing.T) {
+	b := newBottomSet(3)
+	b.Offer("a", 0.3)
+	if b.Offer("a", 0.3) {
+		t.Fatal("re-offer of a sampled key reported a change")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("duplicate offer changed Len to %d", b.Len())
+	}
+}
+
+func TestBottomSetMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		s := 1 + rng.Intn(20)
+		b := newBottomSet(s)
+		type kv struct {
+			key  string
+			hash float64
+		}
+		var all []kv
+		seen := map[string]bool{}
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(200))
+			if seen[key] {
+				// Re-offering with the same hash must be a no-op.
+				for _, p := range all {
+					if p.key == key {
+						b.Offer(key, p.hash)
+						break
+					}
+				}
+				continue
+			}
+			seen[key] = true
+			hash := rng.Float64()
+			all = append(all, kv{key, hash})
+			b.Offer(key, hash)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].hash < all[j].hash })
+		want := all
+		if len(want) > s {
+			want = want[:s]
+		}
+		got := b.Entries()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: size %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].key {
+				t.Fatalf("trial %d: entry %d = %q, want %q", trial, i, got[i].Key, want[i].key)
+			}
+		}
+	}
+}
+
+func TestBottomSetQuickThresholdIsMaxOfSample(t *testing.T) {
+	f := func(raw []float64) bool {
+		b := newBottomSet(5)
+		for i, v := range raw {
+			h := v - float64(int(v)) // fractional part, may be negative
+			if h < 0 {
+				h = -h
+			}
+			b.Offer(fmt.Sprintf("key-%d", i), h)
+		}
+		entries := b.Entries()
+		if len(entries) < 5 {
+			return b.Threshold() == 1
+		}
+		return b.Threshold() == entries[len(entries)-1].Hash
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+func TestBroadcastSiteAndCoordinatorUnits(t *testing.T) {
+	h := testHasher()
+	site := NewBroadcastSite(2, h)
+	if site.ID() != 2 || site.Threshold() != 1 || site.Memory() != 1 {
+		t.Fatal("fresh broadcast site state wrong")
+	}
+	out := &netsim.Outbox{}
+	site.OnArrival("x", 0, out)
+	if len(out.Drain()) != 1 {
+		t.Fatal("first arrival not offered")
+	}
+	// Duplicate suppression: the same key is not offered twice.
+	site.OnArrival("x", 0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("duplicate offered twice")
+	}
+	site.OnMessage(netsim.Message{Kind: netsim.KindThreshold, U: 0.0001}, 0, out)
+	if site.Threshold() != 0.0001 {
+		t.Fatal("broadcast threshold not applied")
+	}
+	// The memo is pruned once entries can no longer beat the threshold.
+	if site.Memory() != 1 {
+		t.Fatalf("memo not pruned, memory = %d", site.Memory())
+	}
+	site.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("broadcast site sent on slot end")
+	}
+
+	c := NewBroadcastCoordinator(1)
+	// First offer fills the sample: threshold goes from 1 to the offered
+	// hash, so a broadcast is emitted.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "a", Hash: 0.5, From: 0}, 0, out)
+	envs := out.Drain()
+	if len(envs) != 1 || !envs[0].Broadcast || envs[0].Msg.U != 0.5 {
+		t.Fatalf("expected one broadcast with U=0.5, got %+v", envs)
+	}
+	// An offer that does not change u produces no traffic.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "b", Hash: 0.9, From: 1}, 0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("no-op offer still broadcast")
+	}
+	// A better offer changes u and broadcasts again.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "c", Hash: 0.2, From: 1}, 0, out)
+	envs = out.Drain()
+	if len(envs) != 1 || envs[0].Msg.U != 0.2 {
+		t.Fatalf("expected broadcast with U=0.2, got %+v", envs)
+	}
+	if keys := c.SampleKeys(); len(keys) != 1 || keys[0] != "c" {
+		t.Fatalf("broadcast sample = %v", keys)
+	}
+	if c.Threshold() != 0.2 {
+		t.Fatalf("Threshold = %v", c.Threshold())
+	}
+	// Ignored kinds.
+	c.OnMessage(netsim.Message{Kind: netsim.KindWindowOffer}, 0, out)
+	c.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("unexpected traffic")
+	}
+}
+
+func TestBroadcastCorrectnessAndCost(t *testing.T) {
+	// Algorithm Broadcast must maintain exactly the same sample as the
+	// proposed algorithm (both equal the oracle), but with many sites it
+	// must send considerably more messages (Figure 5.4).
+	elements := dataset.Enron(0.005, 77).Generate()
+	h := testHasher()
+	const k, s = 100, 20
+
+	ref := NewReference(s, h)
+	ref.ObserveAll(stream.Keys(elements))
+
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, 5))
+
+	proposed := NewSystem(k, s, h)
+	mProposed, err := proposed.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broadcast := NewBroadcastSystem(k, s, h)
+	mBroadcast, err := broadcast.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !ref.SameSample(mProposed.FinalSample) {
+		t.Fatal("proposed sample does not match oracle")
+	}
+	if !ref.SameSample(mBroadcast.FinalSample) {
+		t.Fatal("broadcast sample does not match oracle")
+	}
+	if mBroadcast.TotalMessages() <= 2*mProposed.TotalMessages() {
+		t.Fatalf("broadcast (%d msgs) should cost far more than proposed (%d msgs) at k=%d",
+			mBroadcast.TotalMessages(), mProposed.TotalMessages(), k)
+	}
+	// Broadcast sends fewer up messages (sites are perfectly synchronized)
+	// but pays k messages per sample change.
+	if mBroadcast.UpMessages > mProposed.UpMessages {
+		t.Fatalf("broadcast up messages (%d) should not exceed proposed (%d)",
+			mBroadcast.UpMessages, mProposed.UpMessages)
+	}
+	if mBroadcast.DownMessages%k != 0 {
+		t.Fatalf("broadcast down messages (%d) must be a multiple of k=%d", mBroadcast.DownMessages, k)
+	}
+}
+
+func TestBroadcastRejectedByConcurrentEngine(t *testing.T) {
+	elements := dataset.Uniform(200, 100, 1).Generate()
+	sys := NewBroadcastSystem(3, 2, testHasher())
+	arrivals := distribute.Apply(elements, distribute.NewRoundRobin(3))
+	if _, err := sys.Runner(0, 0).RunConcurrent(arrivals); err == nil {
+		t.Fatal("the concurrent engine should reject Algorithm Broadcast")
+	}
+}
+
+func TestNaiveSiteAblation(t *testing.T) {
+	// The literal-pseudocode site re-offers repeats of sampled elements; on
+	// a repeat-heavy stream it must cost strictly more than the
+	// memo-equipped site, while maintaining the same (correct) sample.
+	elements := dataset.Uniform(20000, 500, 9).Generate() // 40 occurrences per key on average
+	h := testHasher()
+	const k, s = 4, 10
+	arrivals := distribute.Apply(elements, distribute.NewRoundRobin(k))
+
+	ref := NewReference(s, h)
+	ref.ObserveAll(stream.Keys(elements))
+
+	def := NewSystem(k, s, h)
+	mDef, err := def.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := NewNaiveSystem(k, s, h)
+	mNaive, err := naive.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.SameSample(mDef.FinalSample) || !ref.SameSample(mNaive.FinalSample) {
+		t.Fatal("samples do not match oracle")
+	}
+	if mNaive.TotalMessages() <= mDef.TotalMessages() {
+		t.Fatalf("naive site (%d msgs) should cost more than the memo site (%d msgs) on a repeat-heavy stream",
+			mNaive.TotalMessages(), mDef.TotalMessages())
+	}
+	// The naive site really is O(1) state.
+	for _, sn := range naive.Sites {
+		if sn.Memory() != 1 {
+			t.Fatalf("naive site memory = %d, want 1", sn.Memory())
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package core implements the paper's primary contribution: continuous
+// maintenance of a distinct random sample over a distributed stream with an
+// infinite window (Chapter 3 of the paper).
+//
+// The sampling strategy hashes every element into [0, 1) with a shared hash
+// function; the distinct sample of size s at time t is the set of elements
+// achieving the s smallest hash values among the distinct elements observed
+// so far. The distributed protocol keeps, at each site i, a single float
+// u_i — the site's view of the global s-th smallest hash value u. A site
+// forwards an element to the coordinator only when its hash beats u_i
+// (Algorithm 1); the coordinator updates the sample and replies with the
+// current u (Algorithm 2). The expected total number of messages is
+// O(ks·ln(de/s)), optimal to within a factor of four (Lemma 4 and Lemma 9).
+//
+// The package also provides:
+//
+//   - Algorithm Broadcast, the natural baseline compared against in
+//     Section 5.2, which keeps every site's threshold exactly synchronized
+//     by broadcasting every change of u;
+//   - a sampling-with-replacement variant built from s parallel
+//     single-element samplers with independent hash functions;
+//   - a centralized reference sampler (the bottom-s sketch computed with
+//     full knowledge of the stream) used by tests and experiments to verify
+//     that the distributed protocols maintain exactly the right sample.
+//
+// Protocol nodes implement the netsim.SiteNode and netsim.CoordinatorNode
+// interfaces and are driven by the engines in internal/netsim.
+package core

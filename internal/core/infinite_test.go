@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func testHasher() *hashing.Hasher { return hashing.NewMurmur2(0xfeedbeef) }
+
+// stepSystem is a miniature synchronous driver used by prefix-correctness
+// tests: it delivers every message instantly and lets the test inspect state
+// after each arrival. It intentionally duplicates a sliver of the netsim
+// sequential engine so that protocol bugs cannot hide behind engine bugs.
+type stepSystem struct {
+	sys   *System
+	t     *testing.T
+	up    int
+	down  int
+	slots int64
+}
+
+func newStepSystem(t *testing.T, sys *System) *stepSystem {
+	return &stepSystem{sys: sys, t: t}
+}
+
+func (ss *stepSystem) arrive(site int, key string) {
+	out := &netsim.Outbox{}
+	ss.sys.Sites[site].OnArrival(key, ss.slots, out)
+	ss.route(site, out)
+}
+
+func (ss *stepSystem) route(from int, out *netsim.Outbox) {
+	type pend struct {
+		to        int
+		broadcast bool
+		msg       netsim.Message
+		from      int
+	}
+	var queue []pend
+	drain := func(from int, out *netsim.Outbox) {
+		for _, env := range out.Drain() {
+			queue = append(queue, pend{to: env.To, broadcast: env.Broadcast, msg: env.Msg, from: from})
+		}
+	}
+	drain(from, out)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		p.msg.From = p.from
+		next := &netsim.Outbox{}
+		switch {
+		case p.broadcast:
+			for siteID, site := range ss.sys.Sites {
+				ss.down++
+				m := p.msg
+				site.OnMessage(m, ss.slots, next)
+				drain(siteID, next)
+			}
+		case p.to == netsim.CoordinatorID:
+			ss.up++
+			ss.sys.Coordinator.OnMessage(p.msg, ss.slots, next)
+			drain(netsim.CoordinatorID, next)
+		default:
+			ss.down++
+			ss.sys.Sites[p.to].OnMessage(p.msg, ss.slots, next)
+			drain(p.to, next)
+		}
+	}
+}
+
+func TestInfiniteSiteForwardsOnlyBelowThreshold(t *testing.T) {
+	h := testHasher()
+	site := NewInfiniteSite(0, h)
+	if site.ID() != 0 || site.Threshold() != 1 || site.Memory() != 1 {
+		t.Fatal("fresh site state wrong")
+	}
+	out := &netsim.Outbox{}
+	site.OnArrival("first", 0, out)
+	envs := out.Drain()
+	if len(envs) != 1 || envs[0].To != netsim.CoordinatorID {
+		t.Fatalf("first arrival should always be offered (u=1): %v", envs)
+	}
+	if envs[0].Msg.Hash != h.Unit("first") || envs[0].Msg.Key != "first" {
+		t.Fatalf("offer payload wrong: %+v", envs[0].Msg)
+	}
+	// Lower the threshold below the hash of "first": no more offers for it.
+	site.OnMessage(netsim.Message{Kind: netsim.KindThreshold, U: h.Unit("first") / 2}, 0, out)
+	site.OnArrival("first", 0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("arrival above threshold still offered")
+	}
+	// Unknown message kinds are ignored.
+	site.OnMessage(netsim.Message{Kind: netsim.KindWindowSample, U: 0.9}, 0, out)
+	if site.Threshold() == 0.9 {
+		t.Fatal("site applied a threshold from a non-threshold message")
+	}
+	site.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("infinite site should not send on slot end")
+	}
+}
+
+func TestInfiniteCoordinatorRepliesAndSamples(t *testing.T) {
+	c := NewInfiniteCoordinator(2)
+	out := &netsim.Outbox{}
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "a", Hash: 0.7, From: 3}, 0, out)
+	envs := out.Drain()
+	if len(envs) != 1 || envs[0].To != 3 || envs[0].Msg.Kind != netsim.KindThreshold {
+		t.Fatalf("coordinator reply wrong: %+v", envs)
+	}
+	if envs[0].Msg.U != 1 {
+		t.Fatalf("threshold with partial sample = %v, want 1", envs[0].Msg.U)
+	}
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "b", Hash: 0.2, From: 1}, 0, out)
+	envs = out.Drain()
+	if envs[0].Msg.U != 0.7 {
+		t.Fatalf("threshold after filling sample = %v, want 0.7", envs[0].Msg.U)
+	}
+	if keys := c.SampleKeys(); len(keys) != 2 || keys[0] != "b" || keys[1] != "a" {
+		t.Fatalf("sample keys = %v", keys)
+	}
+	// Non-offer messages are ignored (no reply, no panic).
+	c.OnMessage(netsim.Message{Kind: netsim.KindThreshold, From: 0}, 0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("coordinator replied to a non-offer message")
+	}
+	c.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("coordinator sent messages on slot end")
+	}
+}
+
+func TestInfinitePrefixCorrectness(t *testing.T) {
+	// After every single arrival, the coordinator's sample must equal the
+	// centralized bottom-s oracle over the distinct elements observed so
+	// far, and every site's threshold must be at least the coordinator's
+	// (the u_i >= u invariant from the proof of Lemma 1).
+	h := testHasher()
+	const k, s = 4, 5
+	sys := NewSystem(k, s, h)
+	ref := NewReference(s, h)
+	ss := newStepSystem(t, sys)
+
+	elements := dataset.Uniform(3000, 400, 21).Generate()
+	policy := distribute.NewRoundRobin(k)
+	for i, e := range elements {
+		sites := policy.Sites(i, e.Key)
+		for _, site := range sites {
+			ss.arrive(site, e.Key)
+		}
+		ref.Observe(e.Key)
+
+		coord := sys.Coordinator.(*InfiniteCoordinator)
+		if !ref.SameSample(coord.Sample()) {
+			t.Fatalf("after element %d (%q): sample %v != oracle %v",
+				i, e.Key, coord.SampleKeys(), ref.SampleKeys())
+		}
+		for siteID, sn := range sys.Sites {
+			site := sn.(*InfiniteSite)
+			if site.Threshold() < coord.Threshold() {
+				t.Fatalf("after element %d: site %d threshold %v below coordinator %v",
+					i, siteID, site.Threshold(), coord.Threshold())
+			}
+		}
+	}
+	// Each up message is matched by exactly one down message.
+	if ss.up != ss.down {
+		t.Fatalf("up %d != down %d", ss.up, ss.down)
+	}
+}
+
+func TestInfiniteEndToEndAllPolicies(t *testing.T) {
+	elements := dataset.Enron(0.01, 5).Generate()
+	expected := stream.Summarize(elements)
+	h := testHasher()
+	const k, s = 5, 10
+
+	ref := NewReference(s, h)
+	ref.ObserveAll(stream.Keys(elements))
+
+	policies := []distribute.Policy{
+		distribute.NewFlooding(k),
+		distribute.NewRandom(k, 3),
+		distribute.NewRoundRobin(k),
+		distribute.NewDominate(k, 100, 3),
+	}
+	totals := map[string]int{}
+	for _, p := range policies {
+		arrivals := distribute.Apply(elements, p)
+		sys := NewSystem(k, s, h)
+		m, err := sys.Runner(0, 0).RunSequential(arrivals)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if !ref.SameSample(m.FinalSample) {
+			t.Fatalf("%s: final sample %v does not match oracle %v", p.Name(), m.FinalSample, ref.SampleKeys())
+		}
+		if len(m.FinalSample) != s {
+			t.Fatalf("%s: sample size %d, want %d (d=%d >> s)", p.Name(), len(m.FinalSample), s, expected.Distinct)
+		}
+		if m.UpMessages != m.DownMessages {
+			t.Fatalf("%s: proposed algorithm must pair every offer with one reply (up %d, down %d)",
+				p.Name(), m.UpMessages, m.DownMessages)
+		}
+		totals[p.Name()] = m.TotalMessages()
+	}
+	// Flooding must cost far more than single-site assignment policies
+	// (Figure 5.1), and every policy must respect the Lemma 4 bound computed
+	// with the per-site distinct counts of its own arrival stream.
+	if totals["flooding"] < 2*totals["random"] {
+		t.Fatalf("flooding (%d) not clearly above random (%d)", totals["flooding"], totals["random"])
+	}
+	if totals["flooding"] < 2*totals["roundrobin"] {
+		t.Fatalf("flooding (%d) not clearly above round robin (%d)", totals["flooding"], totals["roundrobin"])
+	}
+}
+
+func TestInfiniteMessageCostWithinBounds(t *testing.T) {
+	// Measured total messages must stay below the Lemma 4 / Observation 1
+	// upper bound on expectation (with slack for variance) for both a
+	// flooding and a random distribution.
+	elements := dataset.Uniform(40000, 8000, 17).Generate()
+	h := testHasher()
+	const k, s = 5, 10
+	for _, p := range []distribute.Policy{distribute.NewFlooding(k), distribute.NewRandom(k, 9)} {
+		arrivals := distribute.Apply(elements, p)
+		perSite := stream.PerSiteDistinct(arrivals, k)
+		bound := stats.PerSiteExpectedUpperBound(s, perSite)
+		sys := NewSystem(k, s, h)
+		m, err := sys.Runner(0, 0).RunSequential(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(m.TotalMessages()) > bound*1.5 {
+			t.Fatalf("%s: %d messages exceed 1.5x the analytic bound %.0f", p.Name(), m.TotalMessages(), bound)
+		}
+		if m.TotalMessages() == 0 {
+			t.Fatalf("%s: no messages at all", p.Name())
+		}
+	}
+}
+
+func TestInfiniteAdversarialLowerBound(t *testing.T) {
+	// On the Lemma 9 adversarial input (a fresh element flooded to every
+	// site each round) the algorithm's cost must sit between the analytic
+	// lower bound and the upper bound.
+	const k, s, rounds = 6, 4, 2000
+	arrivals := dataset.GenerateAdversarial(rounds, k)
+	h := testHasher()
+	sys := NewSystem(k, s, h)
+	m, err := sys.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := stats.ExpectedMessagesLowerBound(k, s, rounds)
+	upper := stats.ExpectedMessagesUpperBound(k, s, rounds)
+	got := float64(m.TotalMessages())
+	if got < lower*0.7 {
+		t.Fatalf("measured %v below 0.7x lower bound %v", got, lower)
+	}
+	if got > upper*1.3 {
+		t.Fatalf("measured %v above 1.3x upper bound %v", got, upper)
+	}
+}
+
+func TestInfiniteSampleUniformity(t *testing.T) {
+	// Every distinct element must be included in the sample with probability
+	// s/d. Run many independent hash seeds over the same stream and
+	// chi-square the inclusion counts.
+	const (
+		k      = 3
+		s      = 5
+		d      = 60
+		trials = 400
+	)
+	keys := make([]string, 0, d*3)
+	for i := 0; i < d; i++ {
+		// Each key appears three times to exercise the distinctness.
+		keys = append(keys, fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < d; i++ {
+		keys = append(keys, fmt.Sprintf("u%d", i), fmt.Sprintf("u%d", d-1-i))
+	}
+	elements := stream.FromKeys(keys)
+
+	counts := make(map[string]int, d)
+	for trial := 0; trial < trials; trial++ {
+		h := hashing.NewMurmur2(uint64(trial) + 1000)
+		sys := NewSystem(k, s, h)
+		arrivals := distribute.Apply(elements, distribute.NewRoundRobin(k))
+		m, err := sys.Runner(0, 0).RunSequential(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.FinalSample) != s {
+			t.Fatalf("trial %d: sample size %d", trial, len(m.FinalSample))
+		}
+		for _, e := range m.FinalSample {
+			counts[e.Key]++
+		}
+	}
+	observed := make([]int, 0, d)
+	for i := 0; i < d; i++ {
+		observed = append(observed, counts[fmt.Sprintf("u%d", i)])
+	}
+	stat, ok, err := stats.ChiSquareUniform(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("inclusion counts fail the 99%% chi-square uniformity test: stat %.1f, counts %v", stat, observed)
+	}
+}
+
+func TestInfiniteFewerDistinctThanSampleSize(t *testing.T) {
+	// With d < s the sample must contain every distinct element.
+	h := testHasher()
+	sys := NewSystem(2, 50, h)
+	elements := stream.FromKeys([]string{"a", "b", "c", "a", "b", "c", "d"})
+	arrivals := distribute.Apply(elements, distribute.NewRoundRobin(2))
+	m, err := sys.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FinalSample) != 4 {
+		t.Fatalf("sample size %d, want 4 (= d)", len(m.FinalSample))
+	}
+}
+
+func TestInfiniteConcurrentEngineCorrectness(t *testing.T) {
+	// The concurrent engine must produce exactly the same final sample as
+	// the oracle (message counts may differ from the sequential engine, but
+	// correctness must not).
+	elements := stream.Reslot(dataset.Uniform(20000, 4000, 31).Generate(), 50)
+	h := testHasher()
+	const k, s = 8, 10
+	ref := NewReference(s, h)
+	ref.ObserveAll(stream.Keys(elements))
+
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, 12))
+	sys := NewSystem(k, s, h)
+	m, err := sys.Runner(0, 0).RunConcurrent(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.SameSample(m.FinalSample) {
+		t.Fatalf("concurrent final sample %v != oracle %v", m.FinalSample, ref.SampleKeys())
+	}
+	if m.UpMessages == 0 || m.UpMessages != m.DownMessages {
+		t.Fatalf("concurrent message pairing broken: up %d down %d", m.UpMessages, m.DownMessages)
+	}
+	// Cost should still respect the analytic bound (looser slack: scheduling
+	// races can add some extra exchanges).
+	perSite := stream.PerSiteDistinct(arrivals, k)
+	bound := stats.PerSiteExpectedUpperBound(s, perSite)
+	if float64(m.TotalMessages()) > bound*2 {
+		t.Fatalf("concurrent cost %d exceeds 2x bound %.0f", m.TotalMessages(), bound)
+	}
+}
+
+func TestSystemRunnerWiring(t *testing.T) {
+	sys := NewSystem(3, 2, testHasher())
+	r := sys.Runner(10, 5)
+	if len(r.Sites) != 3 || r.Coordinator == nil || r.TimelineEvery != 10 || r.MemoryEvery != 5 {
+		t.Fatalf("runner wiring wrong: %+v", r)
+	}
+}

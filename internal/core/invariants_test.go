@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// TestInterleavingInvariance checks a property the paper relies on
+// implicitly: the coordinator's final sample depends only on the set of
+// distinct elements observed, not on how occurrences are interleaved across
+// sites, duplicated, or reordered in time.
+func TestInterleavingInvariance(t *testing.T) {
+	h := hashing.NewMurmur2(777)
+	const (
+		k = 4
+		s = 6
+		d = 300
+	)
+	keys := make([]string, d)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("inv-%d", i)
+	}
+	ref := NewReference(s, h)
+	ref.ObserveAll(keys)
+
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		// Build a stream with random repetitions and order.
+		var elements []stream.Element
+		perm := rng.Perm(d)
+		for _, idx := range perm {
+			repeats := 1 + rng.Intn(4)
+			for r := 0; r < repeats; r++ {
+				elements = append(elements, stream.Element{Key: keys[idx], Slot: int64(len(elements))})
+			}
+		}
+		// Random policy with a per-trial seed: arbitrary interleaving.
+		arrivals := distribute.Apply(elements, distribute.NewRandom(k, uint64(trial)+50))
+		sys := NewSystem(k, s, h)
+		m, err := sys.Runner(0, 0).RunSequential(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.SameSample(m.FinalSample) {
+			t.Fatalf("trial %d: sample depends on interleaving", trial)
+		}
+	}
+}
+
+// TestQuickDistributedMatchesCentralized is a property-based check: for
+// arbitrary small key sequences and arbitrary site assignments, the
+// distributed sampler's final state equals the centralized bottom-s oracle.
+func TestQuickDistributedMatchesCentralized(t *testing.T) {
+	h := hashing.NewMurmur2(1234)
+	property := func(rawKeys []uint16, rawSites []uint8, sampleSize uint8) bool {
+		if len(rawKeys) == 0 {
+			return true
+		}
+		s := int(sampleSize%20) + 1
+		const k = 3
+		ref := NewReference(s, h)
+		sys := NewSystem(k, s, h)
+		arrivals := make([]stream.Arrival, 0, len(rawKeys))
+		for i, rk := range rawKeys {
+			key := fmt.Sprintf("q%d", rk%500)
+			site := 0
+			if len(rawSites) > 0 {
+				site = int(rawSites[i%len(rawSites)]) % k
+			}
+			arrivals = append(arrivals, stream.Arrival{Slot: int64(i), Site: site, Key: key})
+			ref.Observe(key)
+		}
+		m, err := sys.Runner(0, 0).RunSequential(arrivals)
+		if err != nil {
+			return false
+		}
+		return ref.SameSample(m.FinalSample)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThresholdNeverIncreases checks the monotonicity the correctness proof
+// (Lemma 1) uses: the coordinator's threshold u is non-increasing over the
+// whole execution.
+func TestThresholdNeverIncreases(t *testing.T) {
+	h := hashing.NewMurmur2(31)
+	const k, s = 3, 4
+	sys := NewSystem(k, s, h)
+	coord := sys.Coordinator.(*InfiniteCoordinator)
+	ss := newStepSystem(t, sys)
+
+	rng := rand.New(rand.NewSource(9))
+	prev := coord.Threshold()
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("mono-%d", rng.Intn(1500))
+		ss.arrive(rng.Intn(k), key)
+		cur := coord.Threshold()
+		if cur > prev {
+			t.Fatalf("threshold increased from %v to %v at step %d", prev, cur, i)
+		}
+		prev = cur
+	}
+	if prev >= 1 {
+		t.Fatal("threshold never moved below 1")
+	}
+}

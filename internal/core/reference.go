@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// Reference is the centralized oracle: a bottom-s sketch computed with full
+// knowledge of the stream, i.e. the exact sample the distributed protocol is
+// supposed to maintain at the coordinator. Tests and experiments feed every
+// observation to a Reference and compare it against the distributed
+// coordinator's sample after every prefix, which is the strongest
+// correctness check available (Lemma 1 says the two must be identical,
+// assuming distinct hash values).
+type Reference struct {
+	hasher hashing.UnitHasher
+	sample *bottomSet
+	seen   map[string]struct{}
+}
+
+// NewReference constructs a centralized bottom-s sampler over hasher.
+func NewReference(sampleSize int, hasher hashing.UnitHasher) *Reference {
+	return &Reference{
+		hasher: hasher,
+		sample: newBottomSet(sampleSize),
+		seen:   make(map[string]struct{}),
+	}
+}
+
+// Observe feeds one element occurrence to the oracle.
+func (r *Reference) Observe(key string) {
+	if _, ok := r.seen[key]; ok {
+		return
+	}
+	r.seen[key] = struct{}{}
+	r.sample.Offer(key, r.hasher.Unit(key))
+}
+
+// ObserveAll feeds a sequence of keys.
+func (r *Reference) ObserveAll(keys []string) {
+	for _, k := range keys {
+		r.Observe(k)
+	}
+}
+
+// Distinct returns the number of distinct keys observed so far.
+func (r *Reference) Distinct() int { return len(r.seen) }
+
+// Threshold returns the oracle's threshold u(t): the s-th smallest hash over
+// the distinct elements observed, or 1 if fewer than s have been observed.
+func (r *Reference) Threshold() float64 { return r.sample.Threshold() }
+
+// Sample returns the exact bottom-s sample ordered by ascending hash.
+func (r *Reference) Sample() []netsim.SampleEntry { return r.sample.Entries() }
+
+// SampleKeys returns the exact bottom-s keys ordered by ascending hash.
+func (r *Reference) SampleKeys() []string { return r.sample.Keys() }
+
+// SameSample reports whether the given sample entries (in any order) contain
+// exactly the oracle's current sample keys.
+func (r *Reference) SameSample(entries []netsim.SampleEntry) bool {
+	want := r.sample.Keys()
+	if len(entries) != len(want) {
+		return false
+	}
+	wantSet := make(map[string]struct{}, len(want))
+	for _, k := range want {
+		wantSet[k] = struct{}{}
+	}
+	for _, e := range entries {
+		if _, ok := wantSet[e.Key]; !ok {
+			return false
+		}
+		delete(wantSet, e.Key)
+	}
+	return len(wantSet) == 0
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestReferenceBasics(t *testing.T) {
+	h := testHasher()
+	r := NewReference(3, h)
+	if r.Distinct() != 0 || r.Threshold() != 1 || len(r.Sample()) != 0 {
+		t.Fatal("fresh reference state wrong")
+	}
+	r.Observe("a")
+	r.Observe("a") // repeats do not change the distinct count
+	r.Observe("b")
+	if r.Distinct() != 2 {
+		t.Fatalf("Distinct = %d, want 2", r.Distinct())
+	}
+	r.ObserveAll([]string{"c", "d", "e"})
+	if r.Distinct() != 5 {
+		t.Fatalf("Distinct = %d, want 5", r.Distinct())
+	}
+	if len(r.Sample()) != 3 {
+		t.Fatalf("sample size %d, want 3", len(r.Sample()))
+	}
+	// The sample is exactly the three keys with the smallest hashes.
+	type kv struct {
+		key  string
+		hash float64
+	}
+	var all []kv
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		all = append(all, kv{k, h.Unit(k)})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].hash < all[i].hash {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	got := r.SampleKeys()
+	for i := 0; i < 3; i++ {
+		if got[i] != all[i].key {
+			t.Fatalf("sample keys %v, want prefix of %v", got, all)
+		}
+	}
+	if r.Threshold() != all[2].hash {
+		t.Fatalf("Threshold = %v, want %v", r.Threshold(), all[2].hash)
+	}
+}
+
+func TestReferenceSameSample(t *testing.T) {
+	h := testHasher()
+	r := NewReference(2, h)
+	r.ObserveAll([]string{"x", "y", "z"})
+	want := r.Sample()
+	// Same entries in a different order still match.
+	reversed := []netsim.SampleEntry{want[1], want[0]}
+	if !r.SameSample(reversed) {
+		t.Fatal("SameSample rejected a reordering of the correct sample")
+	}
+	// Wrong size.
+	if r.SameSample(want[:1]) {
+		t.Fatal("SameSample accepted a truncated sample")
+	}
+	// Wrong member.
+	wrong := []netsim.SampleEntry{want[0], {Key: "not-in-sample"}}
+	if r.SameSample(wrong) {
+		t.Fatal("SameSample accepted a wrong member")
+	}
+	// Duplicate member should not satisfy a two-element sample.
+	dup := []netsim.SampleEntry{want[0], want[0]}
+	if r.SameSample(dup) {
+		t.Fatal("SameSample accepted a duplicated member")
+	}
+}
+
+func TestReferenceThresholdMonotone(t *testing.T) {
+	h := testHasher()
+	r := NewReference(5, h)
+	prev := r.Threshold()
+	for i := 0; i < 500; i++ {
+		r.Observe(fmt.Sprintf("key-%d", i))
+		cur := r.Threshold()
+		if cur > prev {
+			t.Fatalf("threshold increased from %v to %v at element %d", prev, cur, i)
+		}
+		prev = cur
+	}
+	if prev >= 1 {
+		t.Fatal("threshold never dropped below 1 despite 500 distinct elements")
+	}
+}

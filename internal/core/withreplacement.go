@@ -1,0 +1,124 @@
+package core
+
+import (
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// Sampling with replacement (end of Chapter 3): run s parallel copies of the
+// single-element (s = 1) sampling protocol, each with an independent hash
+// function. Copy i maintains the distinct element with the smallest hash
+// under hash function h_i; the s copies together form a distinct sample of
+// size s drawn with replacement. The message cost is s times the cost of a
+// single-element sampler, O(ks·ln(de)), which the paper notes is close to
+// the without-replacement cost O(ks·ln(de/s)).
+
+// WithReplacementSite runs the site half of all s copies. Its state is one
+// threshold per copy.
+type WithReplacementSite struct {
+	id     int
+	family *hashing.Family
+	u      []float64
+}
+
+// NewWithReplacementSite constructs the site with index id over a family of
+// s independent hashers (one per copy).
+func NewWithReplacementSite(id int, family *hashing.Family) *WithReplacementSite {
+	u := make([]float64, family.Size())
+	for i := range u {
+		u[i] = 1
+	}
+	return &WithReplacementSite{id: id, family: family, u: u}
+}
+
+// ID implements netsim.SiteNode.
+func (s *WithReplacementSite) ID() int { return s.id }
+
+// OnArrival implements netsim.SiteNode: each copy independently decides
+// whether the element beats its local threshold; each winning copy costs one
+// offer message (the paper's accounting of the s-fold protocol).
+func (s *WithReplacementSite) OnArrival(key string, _ int64, out *netsim.Outbox) {
+	for i := 0; i < s.family.Size(); i++ {
+		h := s.family.At(i).Unit(key)
+		if h < s.u[i] {
+			out.ToCoordinator(netsim.Message{Kind: netsim.KindOffer, Key: key, Hash: h, Copy: i})
+		}
+	}
+}
+
+// OnMessage implements netsim.SiteNode.
+func (s *WithReplacementSite) OnMessage(msg netsim.Message, _ int64, _ *netsim.Outbox) {
+	if msg.Kind == netsim.KindThreshold && msg.Copy >= 0 && msg.Copy < len(s.u) {
+		s.u[msg.Copy] = msg.U
+	}
+}
+
+// OnSlotEnd implements netsim.SiteNode.
+func (s *WithReplacementSite) OnSlotEnd(int64, *netsim.Outbox) {}
+
+// Memory implements netsim.SiteNode: one threshold per copy.
+func (s *WithReplacementSite) Memory() int { return len(s.u) }
+
+// WithReplacementCoordinator keeps, for each copy, the distinct element with
+// the smallest hash under that copy's hash function.
+type WithReplacementCoordinator struct {
+	entries []netsim.SampleEntry // minimum per copy
+	have    []bool
+}
+
+// NewWithReplacementCoordinator constructs the coordinator for sampleSize
+// parallel copies.
+func NewWithReplacementCoordinator(sampleSize int) *WithReplacementCoordinator {
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+	return &WithReplacementCoordinator{
+		entries: make([]netsim.SampleEntry, sampleSize),
+		have:    make([]bool, sampleSize),
+	}
+}
+
+// OnMessage implements netsim.CoordinatorNode.
+func (c *WithReplacementCoordinator) OnMessage(msg netsim.Message, _ int64, out *netsim.Outbox) {
+	if msg.Kind != netsim.KindOffer || msg.Copy < 0 || msg.Copy >= len(c.entries) {
+		return
+	}
+	i := msg.Copy
+	if !c.have[i] || msg.Hash < c.entries[i].Hash {
+		c.entries[i] = netsim.SampleEntry{Key: msg.Key, Hash: msg.Hash}
+		c.have[i] = true
+	}
+	u := 1.0
+	if c.have[i] {
+		u = c.entries[i].Hash
+	}
+	out.ToSite(msg.From, netsim.Message{Kind: netsim.KindThreshold, U: u, Copy: i})
+}
+
+// OnSlotEnd implements netsim.CoordinatorNode.
+func (c *WithReplacementCoordinator) OnSlotEnd(int64, *netsim.Outbox) {}
+
+// Sample implements netsim.CoordinatorNode: one entry per copy that has seen
+// at least one element. Because sampling is with replacement the same key
+// may legitimately appear multiple times.
+func (c *WithReplacementCoordinator) Sample() []netsim.SampleEntry {
+	var out []netsim.SampleEntry
+	for i, e := range c.entries {
+		if c.have[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NewWithReplacementSystem constructs a complete sampling-with-replacement
+// system: k sites and a coordinator maintaining sampleSize independent
+// single-element samples, with hash functions derived from masterSeed.
+func NewWithReplacementSystem(k, sampleSize int, kind hashing.Kind, masterSeed uint64) *System {
+	family := hashing.NewFamily(kind, masterSeed, sampleSize)
+	sites := make([]netsim.SiteNode, k)
+	for i := range sites {
+		sites[i] = NewWithReplacementSite(i, family)
+	}
+	return &System{Sites: sites, Coordinator: NewWithReplacementCoordinator(sampleSize)}
+}

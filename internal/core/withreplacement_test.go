@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+func TestWithReplacementUnits(t *testing.T) {
+	family := hashing.NewFamily(hashing.KindMurmur2, 55, 3)
+	site := NewWithReplacementSite(0, family)
+	if site.ID() != 0 || site.Memory() != 3 {
+		t.Fatal("fresh with-replacement site state wrong")
+	}
+	out := &netsim.Outbox{}
+	site.OnArrival("first", 0, out)
+	envs := out.Drain()
+	if len(envs) != 3 {
+		t.Fatalf("first arrival should be offered by all 3 copies, got %d", len(envs))
+	}
+	copies := map[int]bool{}
+	for _, e := range envs {
+		if e.To != netsim.CoordinatorID || e.Msg.Kind != netsim.KindOffer {
+			t.Fatalf("bad envelope %+v", e)
+		}
+		copies[e.Msg.Copy] = true
+		if e.Msg.Hash != family.At(e.Msg.Copy).Unit("first") {
+			t.Fatalf("copy %d hash mismatch", e.Msg.Copy)
+		}
+	}
+	if len(copies) != 3 {
+		t.Fatalf("offers cover copies %v", copies)
+	}
+	// Tighten copy 1's threshold to its own hash: the same element is never
+	// re-offered by copy 1 (strict inequality), and a worse element is not
+	// offered either.
+	site.OnMessage(netsim.Message{Kind: netsim.KindThreshold, Copy: 1, U: family.At(1).Unit("first")}, 0, out)
+	site.OnArrival("first", 0, out)
+	for _, e := range out.Drain() {
+		if e.Msg.Copy == 1 {
+			t.Fatal("copy 1 re-offered an element at its threshold")
+		}
+	}
+	// Out-of-range copy indices are ignored.
+	site.OnMessage(netsim.Message{Kind: netsim.KindThreshold, Copy: 99, U: 0}, 0, out)
+	site.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("unexpected slot-end traffic")
+	}
+
+	c := NewWithReplacementCoordinator(2)
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Copy: 0, Key: "a", Hash: 0.4, From: 7}, 0, out)
+	envs = out.Drain()
+	if len(envs) != 1 || envs[0].To != 7 || envs[0].Msg.U != 0.4 || envs[0].Msg.Copy != 0 {
+		t.Fatalf("reply wrong: %+v", envs)
+	}
+	// A worse offer does not displace the minimum but still gets a reply
+	// with the current threshold.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Copy: 0, Key: "b", Hash: 0.9, From: 2}, 0, out)
+	envs = out.Drain()
+	if len(envs) != 1 || envs[0].Msg.U != 0.4 {
+		t.Fatalf("reply to losing offer wrong: %+v", envs)
+	}
+	if sample := c.Sample(); len(sample) != 1 || sample[0].Key != "a" {
+		t.Fatalf("sample = %v", sample)
+	}
+	// Bad copy index and bad kind are ignored.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Copy: 5, Key: "x", Hash: 0.1, From: 0}, 0, out)
+	c.OnMessage(netsim.Message{Kind: netsim.KindThreshold}, 0, out)
+	c.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("unexpected traffic for ignored messages")
+	}
+	if NewWithReplacementCoordinator(0) == nil {
+		t.Fatal("zero sample size should clamp")
+	}
+}
+
+func TestWithReplacementEndToEnd(t *testing.T) {
+	// Each copy must end up holding exactly the distinct element with the
+	// minimum hash under that copy's hash function.
+	elements := dataset.Uniform(20000, 3000, 23).Generate()
+	const k, s = 6, 8
+	const masterSeed = 424242
+	sys := NewWithReplacementSystem(k, s, hashing.KindMurmur2, masterSeed)
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, 2))
+	m, err := sys.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FinalSample) != s {
+		t.Fatalf("with-replacement sample size %d, want %d", len(m.FinalSample), s)
+	}
+
+	family := hashing.NewFamily(hashing.KindMurmur2, masterSeed, s)
+	distinct := stream.DistinctKeys(elements)
+	coord := sys.Coordinator.(*WithReplacementCoordinator)
+	sample := coord.Sample()
+	for copyIdx := 0; copyIdx < s; copyIdx++ {
+		bestKey, bestHash := "", 2.0
+		for _, key := range distinct {
+			if u := family.At(copyIdx).Unit(key); u < bestHash {
+				bestHash, bestKey = u, key
+			}
+		}
+		if sample[copyIdx].Key != bestKey {
+			t.Fatalf("copy %d holds %q, want %q", copyIdx, sample[copyIdx].Key, bestKey)
+		}
+	}
+
+	// Cost sanity: roughly s independent single-element samplers; each costs
+	// O(k ln d) expected exchanges. Allow a wide margin.
+	perCopyBound := 2 * float64(k) * (1 + math.Log(float64(len(distinct))))
+	if float64(m.TotalMessages()) > float64(s)*perCopyBound*2 {
+		t.Fatalf("with-replacement cost %d far exceeds s*2k(1+ln d) = %.0f",
+			m.TotalMessages(), float64(s)*perCopyBound)
+	}
+
+	// The with-replacement system is compatible with the concurrent engine.
+	sys2 := NewWithReplacementSystem(k, s, hashing.KindMurmur2, masterSeed)
+	reslotted := distribute.Apply(stream.Reslot(elements, 100), distribute.NewRandom(k, 2))
+	m2, err := sys2.Runner(0, 0).RunConcurrent(reslotted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2 := sys2.Coordinator.(*WithReplacementCoordinator)
+	sample2 := coord2.Sample()
+	for copyIdx := range sample {
+		if sample2[copyIdx].Key != sample[copyIdx].Key {
+			t.Fatalf("concurrent engine copy %d differs: %q vs %q", copyIdx, sample2[copyIdx].Key, sample[copyIdx].Key)
+		}
+	}
+	if m2.TotalMessages() == 0 {
+		t.Fatal("concurrent run produced no messages")
+	}
+}

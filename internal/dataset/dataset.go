@@ -1,0 +1,231 @@
+// Package dataset provides seeded synthetic stand-ins for the two real-world
+// datasets of the paper's evaluation, plus generic generators used by tests
+// and extension experiments.
+//
+// The paper evaluates on the CAIDA OC48 IP trace (42,268,510 elements,
+// 4,337,768 distinct source-destination IP pairs) and the Enron e-mail corpus
+// (1,557,491 elements, 374,330 distinct sender-recipient pairs); see
+// Table 5.1. Both are unavailable here (the CAIDA trace requires a license),
+// so this package generates synthetic streams that preserve what the
+// algorithms are sensitive to: the ratio of distinct to total elements, the
+// heavy-tailed repetition of popular keys, and the interleaving of first
+// occurrences with repeats. Scale factors shrink the default sizes so the
+// full experiment grid runs in seconds; the unscaled sizes are available by
+// passing scale 1.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Spec describes a synthetic stream to generate.
+type Spec struct {
+	// Name labels the dataset in experiment output ("oc48", "enron", ...).
+	Name string
+	// Elements is the total number of observations to generate.
+	Elements int
+	// TargetDistinct is the expected number of distinct keys; the generator
+	// introduces new keys with probability TargetDistinct/Elements per
+	// observation, so the realized distinct count concentrates tightly
+	// around the target.
+	TargetDistinct int
+	// ZipfExponent shapes how repeats are distributed over already-seen keys
+	// (larger means more skew toward a few very popular keys).
+	ZipfExponent float64
+	// Seed makes generation reproducible.
+	Seed uint64
+	// KeyFormat renders the i-th distinct key as a string. When nil, keys
+	// are formatted as "key-<i>".
+	KeyFormat func(i int) string
+}
+
+// Paper-reported dataset sizes (Table 5.1).
+const (
+	OC48Elements  = 42268510
+	OC48Distinct  = 4337768
+	EnronElements = 1557491
+	EnronDistinct = 374330
+)
+
+// OC48 returns a Spec mimicking the OC48 IP-pair trace at the given scale
+// (1 reproduces the paper's element and distinct counts; the experiments
+// default to 0.01).
+func OC48(scale float64, seed uint64) Spec {
+	return Spec{
+		Name:           "oc48",
+		Elements:       scaled(OC48Elements, scale),
+		TargetDistinct: scaled(OC48Distinct, scale),
+		ZipfExponent:   1.2,
+		Seed:           seed,
+		KeyFormat:      IPPairKey,
+	}
+}
+
+// Enron returns a Spec mimicking the Enron e-mail sender-recipient stream at
+// the given scale (1 reproduces the paper's counts; experiments default to
+// 0.1).
+func Enron(scale float64, seed uint64) Spec {
+	return Spec{
+		Name:           "enron",
+		Elements:       scaled(EnronElements, scale),
+		TargetDistinct: scaled(EnronDistinct, scale),
+		ZipfExponent:   1.1,
+		Seed:           seed,
+		KeyFormat:      EmailPairKey,
+	}
+}
+
+// Uniform returns a Spec whose repeats are spread evenly over the already
+// seen keys (no Zipf skew). Used by tests and ablations.
+func Uniform(elements, distinct int, seed uint64) Spec {
+	return Spec{
+		Name:           "uniform",
+		Elements:       elements,
+		TargetDistinct: distinct,
+		ZipfExponent:   0,
+		Seed:           seed,
+	}
+}
+
+// AllDistinct returns a Spec in which every observation is a new key — the
+// worst case for message cost at fixed stream length.
+func AllDistinct(elements int, seed uint64) Spec {
+	return Spec{
+		Name:           "alldistinct",
+		Elements:       elements,
+		TargetDistinct: elements,
+		ZipfExponent:   0,
+		Seed:           seed,
+	}
+}
+
+func scaled(v int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(math.Round(float64(v) * scale))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// IPPairKey renders distinct key index i as a "srcIP->dstIP" string, the
+// element construction the paper uses for the OC48 trace.
+func IPPairKey(i int) string {
+	src := hashing.Mix64(uint64(i)*2 + 1)
+	dst := hashing.Mix64(uint64(i)*2 + 2)
+	return fmt.Sprintf("%d.%d.%d.%d->%d.%d.%d.%d",
+		byte(src>>24), byte(src>>16), byte(src>>8), byte(src),
+		byte(dst>>24), byte(dst>>16), byte(dst>>8), byte(dst))
+}
+
+// EmailPairKey renders distinct key index i as a "sender->recipient" e-mail
+// address pair, the element construction the paper uses for the Enron corpus.
+func EmailPairKey(i int) string {
+	sender := hashing.Mix64(uint64(i)*2+1) % 100000
+	recipient := hashing.Mix64(uint64(i)*2+2) % 100000
+	return fmt.Sprintf("user%05d@enron.com->user%05d@enron.com", sender, recipient)
+}
+
+// Generate produces the stream described by the Spec. Slots are assigned as
+// the element index (0, 1, 2, ...); use stream.Reslot for the sliding-window
+// experiments.
+//
+// The generator is a first-occurrence process: each observation is a brand
+// new key with probability TargetDistinct/Elements, otherwise it repeats an
+// already seen key chosen with a Zipf-like bias toward early (popular) keys.
+// This matches the two real traces in the properties the algorithms care
+// about: d/n ratio, heavy-tailed repeats, and repeats interleaved with first
+// occurrences throughout the stream.
+func (s Spec) Generate() []stream.Element {
+	if s.Elements <= 0 {
+		return nil
+	}
+	target := s.TargetDistinct
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Elements {
+		target = s.Elements
+	}
+	keyFormat := s.KeyFormat
+	if keyFormat == nil {
+		keyFormat = func(i int) string { return fmt.Sprintf("key-%d", i) }
+	}
+
+	rng := rand.New(rand.NewSource(int64(s.Seed)))
+	pNew := float64(target) / float64(s.Elements)
+
+	elements := make([]stream.Element, 0, s.Elements)
+	keys := make([]string, 0, target)
+
+	for i := 0; i < s.Elements; i++ {
+		var key string
+		if len(keys) == 0 || (len(keys) < target && rng.Float64() < pNew) {
+			key = keyFormat(len(keys))
+			keys = append(keys, key)
+		} else {
+			key = keys[s.pickRepeat(rng, len(keys))]
+		}
+		elements = append(elements, stream.Element{Key: key, Slot: int64(i)})
+	}
+	return elements
+}
+
+// pickRepeat selects the index of an already-seen key. With a positive
+// ZipfExponent the selection follows a bounded Zipf law over ranks 1..n
+// (rank r chosen with probability proportional to r^-exponent, sampled by
+// inverting the continuous approximation of the CDF), so early keys stay
+// very popular. With exponent 0 the selection is uniform.
+func (s Spec) pickRepeat(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if s.ZipfExponent <= 0 {
+		return rng.Intn(n)
+	}
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	a := s.ZipfExponent
+	fn := float64(n)
+	var rank float64
+	if math.Abs(a-1) < 1e-9 {
+		// CDF(r) = ln(r)/ln(n)  =>  r = n^u.
+		rank = math.Pow(fn, u)
+	} else {
+		// CDF(r) = (r^(1-a) − 1) / (n^(1-a) − 1)  =>  invert for r.
+		rank = math.Pow(1+u*(math.Pow(fn, 1-a)-1), 1/(1-a))
+	}
+	idx := int(rank) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// GenerateAdversarial builds a worst-case ("adversarial") distributed input
+// for the lower-bound experiment of Lemma 9: in every round a single brand
+// new element is delivered to every one of the k sites (flooding of a fresh
+// key). It returns the arrivals directly because the adversary controls
+// distribution, not just content.
+func GenerateAdversarial(rounds, k int) []stream.Arrival {
+	arrivals := make([]stream.Arrival, 0, rounds*k)
+	for r := 0; r < rounds; r++ {
+		key := fmt.Sprintf("adversary-%d", r)
+		for site := 0; site < k; site++ {
+			arrivals = append(arrivals, stream.Arrival{Slot: int64(r), Site: site, Key: key})
+		}
+	}
+	return arrivals
+}

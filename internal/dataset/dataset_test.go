@@ -1,0 +1,242 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestOC48SpecScaling(t *testing.T) {
+	s := OC48(0.001, 1)
+	if s.Name != "oc48" {
+		t.Fatalf("Name = %q", s.Name)
+	}
+	if s.Elements != 42269 {
+		t.Fatalf("Elements = %d, want 42269", s.Elements)
+	}
+	if s.TargetDistinct != 4338 {
+		t.Fatalf("TargetDistinct = %d, want 4338", s.TargetDistinct)
+	}
+	// Scale 1 reproduces the paper's Table 5.1 sizes.
+	full := OC48(1, 1)
+	if full.Elements != OC48Elements || full.TargetDistinct != OC48Distinct {
+		t.Fatalf("full-scale spec = %+v", full)
+	}
+	// A non-positive scale falls back to full size rather than zero.
+	if OC48(0, 1).Elements != OC48Elements {
+		t.Fatal("scale 0 should fall back to full size")
+	}
+}
+
+func TestEnronSpecScaling(t *testing.T) {
+	s := Enron(0.01, 2)
+	if s.Name != "enron" || s.Elements != 15575 || s.TargetDistinct != 3743 {
+		t.Fatalf("Enron spec = %+v", s)
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	spec := OC48(0.002, 7) // ~84.5k elements, ~8.7k distinct
+	elements := spec.Generate()
+	if len(elements) != spec.Elements {
+		t.Fatalf("generated %d elements, want %d", len(elements), spec.Elements)
+	}
+	st := stream.Summarize(elements)
+	// The realized distinct count concentrates around the target; allow 15%.
+	lo := int(float64(spec.TargetDistinct) * 0.85)
+	hi := int(float64(spec.TargetDistinct) * 1.15)
+	if st.Distinct < lo || st.Distinct > hi {
+		t.Fatalf("distinct = %d, want within [%d, %d]", st.Distinct, lo, hi)
+	}
+	// Slots are the element index.
+	if elements[0].Slot != 0 || elements[len(elements)-1].Slot != int64(len(elements)-1) {
+		t.Fatal("slots are not the element index")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Enron(0.01, 99).Generate()
+	b := Enron(0.01, 99).Generate()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Enron(0.01, 100).Generate()
+	same := 0
+	for i := range a {
+		if a[i].Key == c[i].Key {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateKeyFormats(t *testing.T) {
+	oc := OC48(0.0005, 3).Generate()
+	for _, e := range oc[:100] {
+		if !strings.Contains(e.Key, "->") || !strings.Contains(e.Key, ".") {
+			t.Fatalf("OC48 key %q does not look like an IP pair", e.Key)
+		}
+	}
+	en := Enron(0.005, 3).Generate()
+	for _, e := range en[:100] {
+		if !strings.Contains(e.Key, "@enron.com") {
+			t.Fatalf("Enron key %q does not look like an e-mail pair", e.Key)
+		}
+	}
+	// Default key format.
+	plain := Uniform(100, 50, 5).Generate()
+	if !strings.HasPrefix(plain[0].Key, "key-") {
+		t.Fatalf("default key format produced %q", plain[0].Key)
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	// With a positive Zipf exponent the most frequent key should account for
+	// a visibly larger share of repeats than under the uniform generator.
+	count := func(spec Spec) int {
+		counts := map[string]int{}
+		for _, e := range spec.Generate() {
+			counts[e.Key]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	skewed := Spec{Name: "skew", Elements: 50000, TargetDistinct: 1000, ZipfExponent: 1.2, Seed: 11}
+	flat := Uniform(50000, 1000, 11)
+	skewMax, flatMax := count(skewed), count(flat)
+	if skewMax <= 3*flatMax {
+		t.Fatalf("skewed max frequency %d not clearly above uniform max %d", skewMax, flatMax)
+	}
+	// Under the Zipf spec the single most popular key carries a large share
+	// of the whole stream; under the uniform spec it must not.
+	if float64(skewMax)/50000 < 0.10 {
+		t.Fatalf("skewed top-key share %.3f unexpectedly small", float64(skewMax)/50000)
+	}
+	if float64(flatMax)/50000 > 0.05 {
+		t.Fatalf("uniform top-key share %.3f unexpectedly large", float64(flatMax)/50000)
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	if got := (Spec{Elements: 0}).Generate(); got != nil {
+		t.Fatalf("zero elements should generate nil, got %d", len(got))
+	}
+	one := (Spec{Elements: 1, TargetDistinct: 0}).Generate()
+	if len(one) != 1 {
+		t.Fatalf("single element stream length %d", len(one))
+	}
+	// TargetDistinct greater than Elements clamps: every element distinct.
+	ad := AllDistinct(500, 4).Generate()
+	if stream.Summarize(ad).Distinct != 500 {
+		t.Fatalf("AllDistinct produced %d distinct, want 500", stream.Summarize(ad).Distinct)
+	}
+}
+
+func TestUniformRepeatSpread(t *testing.T) {
+	// Under the uniform spec, keys introduced in the second half of the
+	// stream (which all coexist for a comparable amount of time) should have
+	// comparable frequencies: none dramatically above their group mean.
+	// Early keys legitimately accumulate more repeats because they exist for
+	// longer — that is a property of the first-occurrence process, not skew.
+	spec := Uniform(20000, 200, 13)
+	elements := spec.Generate()
+	firstSeen := map[string]int{}
+	counts := map[string]int{}
+	for i, e := range elements {
+		if _, ok := firstSeen[e.Key]; !ok {
+			firstSeen[e.Key] = i
+		}
+		counts[e.Key]++
+	}
+	var late []int
+	for k, c := range counts {
+		if firstSeen[k] > len(elements)/2 {
+			late = append(late, c)
+		}
+	}
+	if len(late) < 10 {
+		t.Fatalf("too few late keys (%d) to evaluate spread", len(late))
+	}
+	sum, max := 0, 0
+	for _, c := range late {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(sum) / float64(len(late))
+	if float64(max) > mean*6 {
+		t.Fatalf("late-key max frequency %d far exceeds group mean %.1f under the uniform spec", max, mean)
+	}
+}
+
+func TestIPPairKeyStable(t *testing.T) {
+	if IPPairKey(7) != IPPairKey(7) {
+		t.Fatal("IPPairKey not deterministic")
+	}
+	if IPPairKey(7) == IPPairKey(8) {
+		t.Fatal("adjacent key indices rendered identically")
+	}
+}
+
+func TestEmailPairKeyStable(t *testing.T) {
+	if EmailPairKey(3) != EmailPairKey(3) {
+		t.Fatal("EmailPairKey not deterministic")
+	}
+	if !strings.Contains(EmailPairKey(3), "->") {
+		t.Fatal("EmailPairKey missing separator")
+	}
+}
+
+func TestGenerateAdversarial(t *testing.T) {
+	arrivals := GenerateAdversarial(10, 4)
+	if len(arrivals) != 40 {
+		t.Fatalf("len = %d, want 40", len(arrivals))
+	}
+	st := stream.SummarizeArrivals(arrivals)
+	if st.Distinct != 10 {
+		t.Fatalf("distinct = %d, want 10 (one new key per round)", st.Distinct)
+	}
+	// Every site sees every key (flooding).
+	perSite := stream.PerSiteDistinct(arrivals, 4)
+	for i, d := range perSite {
+		if d != 10 {
+			t.Fatalf("site %d distinct = %d, want 10", i, d)
+		}
+	}
+	// Slots are the round index and non-decreasing.
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i].Slot < arrivals[i-1].Slot {
+			t.Fatal("adversarial arrivals not slot-ordered")
+		}
+	}
+}
+
+func TestScaledRounding(t *testing.T) {
+	if scaled(10, 0.24) != 2 {
+		t.Fatalf("scaled(10, 0.24) = %d", scaled(10, 0.24))
+	}
+	if scaled(1, 0.0001) != 1 {
+		t.Fatal("scaled should never return less than 1")
+	}
+	if scaled(100, 1) != 100 {
+		t.Fatal("identity scale broken")
+	}
+	if got := scaled(OC48Elements, 0.01); math.Abs(float64(got)-0.01*OC48Elements) > 1 {
+		t.Fatalf("scaled 1%% of OC48 = %d", got)
+	}
+}

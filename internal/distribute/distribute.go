@@ -1,0 +1,178 @@
+// Package distribute implements the data distribution policies used by the
+// paper's experiments (Section 5.1): how each element of the logical stream
+// is assigned to the k monitoring sites.
+//
+//   - Flooding: every element is observed by every site.
+//   - Random: every element is observed by one uniformly random site.
+//   - Round-robin: element j is observed by site (j mod k).
+//   - Dominate(α): every element is observed by one site, but site 0 is α
+//     times more likely to be chosen than any other site (Section 5.2's
+//     "dominate rate" experiment).
+//
+// Policies transform a logical stream ([]stream.Element) into a distributed
+// stream ([]stream.Arrival) consumed by the simulation engines.
+package distribute
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Policy assigns each element of a logical stream to one or more sites.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Sites returns the site indices (in [0, k)) that observe the element
+	// with the given stream position and key. The returned slice is only
+	// valid until the next call.
+	Sites(index int, key string) []int
+	// NumSites returns k.
+	NumSites() int
+}
+
+// Apply routes every element through the policy and returns the resulting
+// arrival stream, preserving the original slot of each element.
+func Apply(elements []stream.Element, p Policy) []stream.Arrival {
+	arrivals := make([]stream.Arrival, 0, len(elements))
+	for i, e := range elements {
+		for _, site := range p.Sites(i, e.Key) {
+			arrivals = append(arrivals, stream.Arrival{Slot: e.Slot, Site: site, Key: e.Key})
+		}
+	}
+	return arrivals
+}
+
+// Flooding assigns every element to all k sites.
+type Flooding struct {
+	k   int
+	all []int
+}
+
+// NewFlooding constructs a flooding policy over k sites.
+func NewFlooding(k int) *Flooding {
+	all := make([]int, k)
+	for i := range all {
+		all[i] = i
+	}
+	return &Flooding{k: k, all: all}
+}
+
+// Name implements Policy.
+func (f *Flooding) Name() string { return "flooding" }
+
+// NumSites implements Policy.
+func (f *Flooding) NumSites() int { return f.k }
+
+// Sites implements Policy.
+func (f *Flooding) Sites(int, string) []int { return f.all }
+
+// RoundRobin assigns element j to site j mod k.
+type RoundRobin struct {
+	k   int
+	buf [1]int
+}
+
+// NewRoundRobin constructs a round-robin policy over k sites.
+func NewRoundRobin(k int) *RoundRobin { return &RoundRobin{k: k} }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+// NumSites implements Policy.
+func (r *RoundRobin) NumSites() int { return r.k }
+
+// Sites implements Policy.
+func (r *RoundRobin) Sites(index int, _ string) []int {
+	r.buf[0] = index % r.k
+	return r.buf[:]
+}
+
+// Random assigns each element to a single uniformly random site.
+type Random struct {
+	k   int
+	rng *rand.Rand
+	buf [1]int
+}
+
+// NewRandom constructs a random-assignment policy over k sites, seeded for
+// reproducibility.
+func NewRandom(k int, seed uint64) *Random {
+	return &Random{k: k, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// NumSites implements Policy.
+func (r *Random) NumSites() int { return r.k }
+
+// Sites implements Policy.
+func (r *Random) Sites(int, string) []int {
+	r.buf[0] = r.rng.Intn(r.k)
+	return r.buf[:]
+}
+
+// Dominate assigns each element to a single site, with site 0 being alpha
+// times more likely than each of the other sites. With alpha = 1 it
+// coincides with Random; as alpha grows the input approaches centralized
+// monitoring at site 0.
+type Dominate struct {
+	k     int
+	alpha float64
+	rng   *rand.Rand
+	buf   [1]int
+}
+
+// NewDominate constructs a dominate-rate policy. alpha values below 1 are
+// clamped to 1.
+func NewDominate(k int, alpha float64, seed uint64) *Dominate {
+	if alpha < 1 {
+		alpha = 1
+	}
+	return &Dominate{k: k, alpha: alpha, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Name implements Policy.
+func (d *Dominate) Name() string { return fmt.Sprintf("dominate(%.0f)", d.alpha) }
+
+// NumSites implements Policy.
+func (d *Dominate) NumSites() int { return d.k }
+
+// Alpha returns the dominate rate.
+func (d *Dominate) Alpha() float64 { return d.alpha }
+
+// Sites implements Policy.
+func (d *Dominate) Sites(int, string) []int {
+	// Site 0 has weight alpha, every other site weight 1.
+	total := d.alpha + float64(d.k-1)
+	u := d.rng.Float64() * total
+	if u < d.alpha || d.k == 1 {
+		d.buf[0] = 0
+	} else {
+		d.buf[0] = 1 + int((u-d.alpha)/1.0)
+		if d.buf[0] >= d.k {
+			d.buf[0] = d.k - 1
+		}
+	}
+	return d.buf[:]
+}
+
+// ByName constructs a policy from its experiment-flag name. Supported names
+// are "flooding", "random", "roundrobin", and "dominate" (which requires
+// alpha). Unknown names return an error.
+func ByName(name string, k int, alpha float64, seed uint64) (Policy, error) {
+	switch name {
+	case "flooding":
+		return NewFlooding(k), nil
+	case "random":
+		return NewRandom(k, seed), nil
+	case "roundrobin", "round-robin":
+		return NewRoundRobin(k), nil
+	case "dominate":
+		return NewDominate(k, alpha, seed), nil
+	default:
+		return nil, fmt.Errorf("distribute: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,169 @@
+package distribute
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func elementsForTest(n int) []stream.Element {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "k" + string(rune('a'+i%26))
+	}
+	return stream.FromKeys(keys)
+}
+
+func TestFlooding(t *testing.T) {
+	p := NewFlooding(4)
+	if p.Name() != "flooding" || p.NumSites() != 4 {
+		t.Fatalf("policy metadata wrong: %q %d", p.Name(), p.NumSites())
+	}
+	sites := p.Sites(0, "x")
+	if len(sites) != 4 {
+		t.Fatalf("flooding Sites = %v", sites)
+	}
+	arrivals := Apply(elementsForTest(10), p)
+	if len(arrivals) != 40 {
+		t.Fatalf("flooding produced %d arrivals, want 40", len(arrivals))
+	}
+	// Each element reaches every site once.
+	perSite := stream.PerSiteDistinct(arrivals, 4)
+	for i, d := range perSite {
+		if d != stream.Summarize(elementsForTest(10)).Distinct {
+			t.Fatalf("site %d distinct = %d", i, d)
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	p := NewRoundRobin(3)
+	if p.Name() != "roundrobin" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	for i := 0; i < 9; i++ {
+		sites := p.Sites(i, "x")
+		if len(sites) != 1 || sites[0] != i%3 {
+			t.Fatalf("round robin Sites(%d) = %v", i, sites)
+		}
+	}
+	arrivals := Apply(elementsForTest(9), p)
+	if len(arrivals) != 9 {
+		t.Fatalf("round robin arrivals = %d", len(arrivals))
+	}
+}
+
+func TestRandomBalance(t *testing.T) {
+	p := NewRandom(5, 42)
+	counts := make([]int, 5)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sites := p.Sites(i, "x")
+		if len(sites) != 1 {
+			t.Fatalf("random Sites returned %v", sites)
+		}
+		counts[sites[0]]++
+	}
+	expected := float64(n) / 5
+	for site, c := range counts {
+		if math.Abs(float64(c)-expected)/expected > 0.05 {
+			t.Fatalf("site %d got %d assignments, expected ~%.0f", site, c, expected)
+		}
+	}
+}
+
+func TestRandomReproducible(t *testing.T) {
+	a := NewRandom(7, 9)
+	b := NewRandom(7, 9)
+	for i := 0; i < 100; i++ {
+		if a.Sites(i, "x")[0] != b.Sites(i, "x")[0] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestDominateSkew(t *testing.T) {
+	const alpha = 200.0
+	p := NewDominate(10, alpha, 7)
+	if p.Alpha() != alpha {
+		t.Fatalf("Alpha = %v", p.Alpha())
+	}
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[p.Sites(i, "x")[0]]++
+	}
+	// Site 0 expected share: alpha / (alpha + k - 1) ≈ 0.957.
+	share0 := float64(counts[0]) / n
+	want := alpha / (alpha + 9)
+	if math.Abs(share0-want) > 0.02 {
+		t.Fatalf("site 0 share = %.3f, want ≈ %.3f", share0, want)
+	}
+	// The other sites each get roughly (1-share)/9.
+	for site := 1; site < 10; site++ {
+		share := float64(counts[site]) / n
+		if share > 0.02 {
+			t.Fatalf("site %d share = %.4f, too large under dominate(%v)", site, share, alpha)
+		}
+	}
+}
+
+func TestDominateAlphaOneIsUniform(t *testing.T) {
+	p := NewDominate(4, 1, 11)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[p.Sites(i, "x")[0]]++
+	}
+	for site, c := range counts {
+		if math.Abs(float64(c)-float64(n)/4)/(float64(n)/4) > 0.06 {
+			t.Fatalf("dominate(1) site %d got %d, want ~%d", site, c, n/4)
+		}
+	}
+	// Alpha below 1 clamps to 1.
+	if NewDominate(4, 0.2, 1).Alpha() != 1 {
+		t.Fatal("alpha < 1 not clamped")
+	}
+}
+
+func TestDominateSingleSite(t *testing.T) {
+	p := NewDominate(1, 50, 3)
+	for i := 0; i < 100; i++ {
+		if p.Sites(i, "x")[0] != 0 {
+			t.Fatal("single-site dominate must always choose site 0")
+		}
+	}
+}
+
+func TestDominateName(t *testing.T) {
+	if NewDominate(4, 200, 1).Name() != "dominate(200)" {
+		t.Fatalf("Name = %q", NewDominate(4, 200, 1).Name())
+	}
+}
+
+func TestApplyPreservesSlots(t *testing.T) {
+	elements := []stream.Element{{Key: "a", Slot: 10}, {Key: "b", Slot: 20}}
+	arrivals := Apply(elements, NewRoundRobin(2))
+	if arrivals[0].Slot != 10 || arrivals[1].Slot != 20 {
+		t.Fatalf("slots not preserved: %v", arrivals)
+	}
+	if arrivals[0].Site != 0 || arrivals[1].Site != 1 {
+		t.Fatalf("sites wrong: %v", arrivals)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"flooding", "random", "roundrobin", "round-robin", "dominate"} {
+		p, err := ByName(name, 3, 10, 1)
+		if err != nil {
+			t.Fatalf("ByName(%q) error: %v", name, err)
+		}
+		if p.NumSites() != 3 {
+			t.Fatalf("ByName(%q) NumSites = %d", name, p.NumSites())
+		}
+	}
+	if _, err := ByName("bogus", 3, 1, 1); err == nil {
+		t.Fatal("expected error for unknown policy name")
+	}
+}

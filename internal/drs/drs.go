@@ -1,0 +1,161 @@
+// Package drs implements distributed random sampling (DRS) over all stream
+// occurrences — the classical problem the paper contrasts with distributed
+// distinct sampling (DDS) in Chapter 1. It exists so that the extension
+// experiment E1 (see DESIGN.md) can reproduce the discussion that the
+// message cost of DDS grows like k·s·ln(d/s) whereas DRS grows roughly like
+// max(k, s)·log(n/s).
+//
+// The implementation is a simplified form of the level-based algorithms of
+// Cormode, Muthukrishnan, Yi and Zhang (PODS 2010 / J.ACM 2012) and
+// Tirthapura and Woodruff (DISC 2011): every occurrence draws an independent
+// random weight in [0, 1); the coordinator maintains the s smallest weights
+// seen; sites forward an occurrence only when its weight beats the current
+// level threshold, and the coordinator halves the threshold (broadcasting
+// the new level to all sites) whenever the s-th smallest weight drops below
+// half the current level. Upward traffic is O(s) per level in expectation
+// and there are O(log(n/s)) levels, giving O((k + s)·log(n/s)) messages —
+// the qualitative behaviour the comparison needs. Because it broadcasts, the
+// DRS system runs on the sequential engine.
+package drs
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// Site is the per-site half of the DRS protocol. Unlike distinct sampling,
+// every occurrence (not every distinct key) draws a fresh random weight.
+type Site struct {
+	id        int
+	rng       *rand.Rand
+	threshold float64
+}
+
+// NewSite constructs a DRS site with its own deterministic weight stream.
+func NewSite(id int, seed uint64) *Site {
+	return &Site{id: id, rng: rand.New(rand.NewSource(int64(seed))), threshold: 1}
+}
+
+// ID implements netsim.SiteNode.
+func (s *Site) ID() int { return s.id }
+
+// Threshold returns the site's current level threshold.
+func (s *Site) Threshold() float64 { return s.threshold }
+
+// OnArrival implements netsim.SiteNode: draw a weight for this occurrence
+// and forward it if it beats the current level.
+func (s *Site) OnArrival(key string, _ int64, out *netsim.Outbox) {
+	w := s.rng.Float64()
+	if w < s.threshold {
+		out.ToCoordinator(netsim.Message{Kind: netsim.KindOffer, Key: key, Hash: w})
+	}
+}
+
+// OnMessage implements netsim.SiteNode: level broadcasts tighten the
+// threshold.
+func (s *Site) OnMessage(msg netsim.Message, _ int64, _ *netsim.Outbox) {
+	if msg.Kind == netsim.KindThreshold && msg.U < s.threshold {
+		s.threshold = msg.U
+	}
+}
+
+// OnSlotEnd implements netsim.SiteNode.
+func (s *Site) OnSlotEnd(int64, *netsim.Outbox) {}
+
+// Memory implements netsim.SiteNode.
+func (s *Site) Memory() int { return 1 }
+
+// Coordinator is the coordinator half of the DRS protocol. It keeps the s
+// occurrences with the smallest weights and the current level threshold.
+type Coordinator struct {
+	sampleSize int
+	level      float64
+	weights    []float64 // ascending
+	keys       []string  // aligned with weights
+}
+
+// NewCoordinator constructs the DRS coordinator for sample size s.
+func NewCoordinator(sampleSize int) *Coordinator {
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+	return &Coordinator{sampleSize: sampleSize, level: 1}
+}
+
+// Level returns the current level threshold.
+func (c *Coordinator) Level() float64 { return c.level }
+
+// OnMessage implements netsim.CoordinatorNode.
+func (c *Coordinator) OnMessage(msg netsim.Message, _ int64, out *netsim.Outbox) {
+	if msg.Kind != netsim.KindOffer || msg.Hash >= c.level {
+		return
+	}
+	pos := sort.SearchFloat64s(c.weights, msg.Hash)
+	c.weights = append(c.weights, 0)
+	c.keys = append(c.keys, "")
+	copy(c.weights[pos+1:], c.weights[pos:])
+	copy(c.keys[pos+1:], c.keys[pos:])
+	c.weights[pos] = msg.Hash
+	c.keys[pos] = msg.Key
+	if len(c.weights) > c.sampleSize {
+		c.weights = c.weights[:c.sampleSize]
+		c.keys = c.keys[:c.sampleSize]
+	}
+	// Advance the level whenever the sample's maximum weight has dropped
+	// below half the current level: halving keeps the number of broadcasts
+	// logarithmic in the stream length.
+	if len(c.weights) == c.sampleSize {
+		max := c.weights[len(c.weights)-1]
+		changed := false
+		for max < c.level/2 {
+			c.level /= 2
+			changed = true
+		}
+		if changed {
+			out.Broadcast(netsim.Message{Kind: netsim.KindThreshold, U: c.level})
+		}
+	}
+}
+
+// OnSlotEnd implements netsim.CoordinatorNode.
+func (c *Coordinator) OnSlotEnd(int64, *netsim.Outbox) {}
+
+// Sample implements netsim.CoordinatorNode: the current random sample of
+// occurrences (keys may repeat — this is sampling from the multiset).
+func (c *Coordinator) Sample() []netsim.SampleEntry {
+	entries := make([]netsim.SampleEntry, len(c.weights))
+	for i := range c.weights {
+		entries[i] = netsim.SampleEntry{Key: c.keys[i], Hash: c.weights[i]}
+	}
+	return entries
+}
+
+// System bundles the DRS sites and coordinator.
+type System struct {
+	Sites       []netsim.SiteNode
+	Coordinator netsim.CoordinatorNode
+}
+
+// Runner returns a netsim.Runner over the system's nodes.
+func (sys *System) Runner(timelineEvery int, memoryEvery int64) *netsim.Runner {
+	return &netsim.Runner{
+		Sites:         sys.Sites,
+		Coordinator:   sys.Coordinator,
+		TimelineEvery: timelineEvery,
+		MemoryEvery:   memoryEvery,
+	}
+}
+
+// NewSystem constructs a complete DRS system with k sites and sample size
+// sampleSize; seed derives each site's weight stream.
+func NewSystem(k, sampleSize int, seed uint64) *System {
+	seeds := hashing.SeedSequence(seed, k)
+	sites := make([]netsim.SiteNode, k)
+	for i := range sites {
+		sites[i] = NewSite(i, seeds[i])
+	}
+	return &System{Sites: sites, Coordinator: NewCoordinator(sampleSize)}
+}

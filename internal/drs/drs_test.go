@@ -1,0 +1,178 @@
+package drs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+func TestSiteUnits(t *testing.T) {
+	site := NewSite(1, 42)
+	if site.ID() != 1 || site.Threshold() != 1 || site.Memory() != 1 {
+		t.Fatal("fresh DRS site state wrong")
+	}
+	out := &netsim.Outbox{}
+	// With threshold 1 every occurrence is forwarded.
+	site.OnArrival("x", 0, out)
+	if len(out.Drain()) != 1 {
+		t.Fatal("occurrence not forwarded at threshold 1")
+	}
+	// Tighten the threshold to (almost) zero: forwarding stops.
+	site.OnMessage(netsim.Message{Kind: netsim.KindThreshold, U: 1e-12}, 0, out)
+	if site.Threshold() != 1e-12 {
+		t.Fatal("threshold broadcast not applied")
+	}
+	for i := 0; i < 200; i++ {
+		site.OnArrival("x", 0, out)
+	}
+	if len(out.Drain()) != 0 {
+		t.Fatal("occurrences forwarded despite a tiny threshold")
+	}
+	// A looser broadcast never loosens the local threshold.
+	site.OnMessage(netsim.Message{Kind: netsim.KindThreshold, U: 0.5}, 0, out)
+	if site.Threshold() != 1e-12 {
+		t.Fatal("threshold was loosened")
+	}
+	site.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("unexpected slot-end traffic")
+	}
+}
+
+func TestCoordinatorUnits(t *testing.T) {
+	c := NewCoordinator(2)
+	if c.Level() != 1 || len(c.Sample()) != 0 {
+		t.Fatal("fresh DRS coordinator state wrong")
+	}
+	out := &netsim.Outbox{}
+	// Fill the sample with weights high enough not to trigger a level change.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "a", Hash: 0.8, From: 0}, 0, out)
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "b", Hash: 0.7, From: 1}, 0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("no broadcast expected while the max weight stays above level/2")
+	}
+	if len(c.Sample()) != 2 {
+		t.Fatalf("sample size %d", len(c.Sample()))
+	}
+	// Two very small weights evict the old sample; once the s-th smallest
+	// weight (the sample maximum) drops below level/2 the level halves as
+	// many times as needed, with a single broadcast.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "c", Hash: 0.01, From: 2}, 0, out)
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "d", Hash: 0.02, From: 3}, 0, out)
+	envs := out.Drain()
+	if len(envs) != 1 || !envs[0].Broadcast {
+		t.Fatalf("expected one broadcast, got %v", envs)
+	}
+	if c.Level() != 0.03125 {
+		t.Fatalf("level = %v, want 0.03125 after repeated halving", c.Level())
+	}
+	// Offers at or above the level are ignored entirely.
+	before := len(c.Sample())
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer, Key: "d", Hash: 0.99, From: 0}, 0, out)
+	if len(c.Sample()) != before || len(out.Drain()) != 0 {
+		t.Fatal("an above-level offer changed state")
+	}
+	c.OnSlotEnd(0, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("unexpected slot-end traffic")
+	}
+	if NewCoordinator(0) == nil {
+		t.Fatal("sample size clamp failed")
+	}
+}
+
+func TestDRSSampleIsBottomSOfWeights(t *testing.T) {
+	// The coordinator must end up holding s occurrences, all with weights
+	// below or equal to every weight it was ever offered beyond the sample.
+	const k, s = 4, 16
+	elements := dataset.Uniform(20000, 2000, 3).Generate()
+	sys := NewSystem(k, s, 99)
+	arrivals := distribute.Apply(elements, distribute.NewRoundRobin(k))
+	m, err := sys.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FinalSample) != s {
+		t.Fatalf("sample size %d, want %d", len(m.FinalSample), s)
+	}
+	maxWeight := 0.0
+	for _, e := range m.FinalSample {
+		if e.Hash > maxWeight {
+			maxWeight = e.Hash
+		}
+	}
+	// With 20000 occurrences the s-th smallest of 20000 uniform weights is
+	// around s/n = 8e-4; anything above 1e-2 would mean the threshold logic
+	// lost small weights.
+	if maxWeight > 0.01 {
+		t.Fatalf("largest sampled weight %.5f implausibly large", maxWeight)
+	}
+	coord := sys.Coordinator.(*Coordinator)
+	if coord.Level() >= 0.1 {
+		t.Fatalf("level %.4f did not advance", coord.Level())
+	}
+}
+
+func TestDRSCheaperThanDDSOnRepeatHeavyStreams(t *testing.T) {
+	// The Chapter 1 comparison: with many sites and a moderate sample size,
+	// distinct sampling (DDS) inherently costs more than ordinary random
+	// sampling (DRS) because every site must coordinate per distinct
+	// element. Reproduce the qualitative gap.
+	const k, s = 50, 20
+	elements := dataset.Uniform(60000, 30000, 7).Generate()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, 11))
+
+	drsSys := NewSystem(k, s, 5)
+	mDRS, err := drsSys.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddsSys := core.NewSystem(k, s, hashing.NewMurmur2(1))
+	mDDS, err := ddsSys.Runner(0, 0).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mDRS.TotalMessages() >= mDDS.TotalMessages() {
+		t.Fatalf("DRS (%d msgs) should be cheaper than DDS (%d msgs) at k=%d, s=%d",
+			mDRS.TotalMessages(), mDDS.TotalMessages(), k, s)
+	}
+	// And the DRS cost should be in the right ballpark: a small multiple of
+	// (k + s)·log2(n/s).
+	n := float64(len(arrivals))
+	bound := 4 * (float64(k) + float64(s)) * math.Log2(n/float64(s))
+	if float64(mDRS.TotalMessages()) > bound {
+		t.Fatalf("DRS cost %d exceeds %f", mDRS.TotalMessages(), bound)
+	}
+}
+
+func TestDRSSystemWiring(t *testing.T) {
+	sys := NewSystem(3, 4, 1)
+	if len(sys.Sites) != 3 || sys.Coordinator == nil {
+		t.Fatal("NewSystem wiring wrong")
+	}
+	r := sys.Runner(2, 3)
+	if r.TimelineEvery != 2 || r.MemoryEvery != 3 {
+		t.Fatal("runner wiring wrong")
+	}
+	// Deterministic: same seed, same message counts.
+	elements := dataset.Uniform(5000, 1000, 2).Generate()
+	run := func() int {
+		sys := NewSystem(4, 8, 77)
+		arrivals := distribute.Apply(elements, distribute.NewRoundRobin(4))
+		m, err := sys.Runner(0, 0).RunSequential(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.TotalMessages()
+	}
+	if run() != run() {
+		t.Fatal("DRS runs with identical seeds disagree")
+	}
+	_ = stream.Arrival{}
+}

@@ -1,0 +1,125 @@
+// Package estimate turns the coordinator's distinct sample into answers for
+// the queries the paper's introduction motivates: the number of distinct
+// elements in the stream, and aggregates over the subset of distinct
+// elements that satisfy a predicate supplied only at query time.
+//
+// The estimators are the standard ones for bottom-s (KMV) sketches: if u is
+// the s-th smallest of d independent Uniform(0,1) hash values, then
+// (s-1)/u is an unbiased estimator of d with relative standard error about
+// 1/sqrt(s-2); and conditioned on the sample, each sampled element is a
+// uniform draw from the distinct population, so the fraction of sampled
+// elements satisfying a predicate estimates the population fraction with
+// binomial error.
+package estimate
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/netsim"
+)
+
+// ErrSampleTooSmall is returned when a sample is too small for the requested
+// estimator.
+var ErrSampleTooSmall = errors.New("estimate: sample too small")
+
+// Interval is a point estimate with a symmetric ~95% confidence band.
+type Interval struct {
+	Estimate float64
+	Low      float64
+	High     float64
+}
+
+// DistinctCount estimates the number of distinct elements in the stream from
+// a full bottom-s sample (the coordinator's sample when d >= s). threshold
+// must be the s-th smallest hash value (core.InfiniteCoordinator.Threshold
+// or core.Reference.Threshold). When the sample holds fewer than s elements
+// the sample is the whole distinct population and the exact count is
+// returned with a zero-width interval.
+func DistinctCount(sample []netsim.SampleEntry, sampleSize int, threshold float64) (Interval, error) {
+	if len(sample) < sampleSize {
+		// The population is smaller than the sample size: exact answer.
+		n := float64(len(sample))
+		return Interval{Estimate: n, Low: n, High: n}, nil
+	}
+	if sampleSize < 3 {
+		return Interval{}, ErrSampleTooSmall
+	}
+	if threshold <= 0 || threshold > 1 {
+		return Interval{}, errors.New("estimate: threshold must lie in (0, 1]")
+	}
+	s := float64(sampleSize)
+	est := (s - 1) / threshold
+	// Relative standard error of the KMV estimator is ~1/sqrt(s-2).
+	rse := 1 / math.Sqrt(s-2)
+	return Interval{
+		Estimate: est,
+		Low:      math.Max(s, est*(1-1.96*rse)),
+		High:     est * (1 + 1.96*rse),
+	}, nil
+}
+
+// Fraction estimates the fraction of distinct elements that satisfy the
+// predicate, from the coordinator's sample. The error band is the normal
+// approximation to the binomial.
+func Fraction(sample []netsim.SampleEntry, predicate func(key string) bool) (Interval, error) {
+	if len(sample) == 0 {
+		return Interval{}, ErrSampleTooSmall
+	}
+	matches := 0
+	for _, e := range sample {
+		if predicate(e.Key) {
+			matches++
+		}
+	}
+	n := float64(len(sample))
+	p := float64(matches) / n
+	half := 1.96 * math.Sqrt(p*(1-p)/n)
+	return Interval{
+		Estimate: p,
+		Low:      math.Max(0, p-half),
+		High:     math.Min(1, p+half),
+	}, nil
+}
+
+// SubsetCount estimates the number of distinct elements satisfying the
+// predicate: the product of the distinct-count estimate and the sampled
+// fraction, with the error bands combined conservatively.
+func SubsetCount(sample []netsim.SampleEntry, sampleSize int, threshold float64, predicate func(key string) bool) (Interval, error) {
+	total, err := DistinctCount(sample, sampleSize, threshold)
+	if err != nil {
+		return Interval{}, err
+	}
+	frac, err := Fraction(sample, predicate)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{
+		Estimate: total.Estimate * frac.Estimate,
+		Low:      total.Low * frac.Low,
+		High:     total.High * frac.High,
+	}, nil
+}
+
+// Mean estimates the mean of a numeric attribute over the distinct elements
+// (for example "the average age of the distinct users of this website" from
+// the paper's introduction). value maps a sampled key to its attribute.
+func Mean(sample []netsim.SampleEntry, value func(key string) float64) (Interval, error) {
+	if len(sample) == 0 {
+		return Interval{}, ErrSampleTooSmall
+	}
+	n := float64(len(sample))
+	sum, sumSq := 0.0, 0.0
+	for _, e := range sample {
+		v := value(e.Key)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := 0.0
+	if len(sample) > 1 {
+		variance = (sumSq - n*mean*mean) / (n - 1)
+	}
+	half := 1.96 * math.Sqrt(variance/n)
+	return Interval{Estimate: mean, Low: mean - half, High: mean + half}, nil
+}

@@ -1,0 +1,167 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// buildSketch feeds d distinct keys into a centralized bottom-s reference
+// sampler and returns its sample and threshold.
+func buildSketch(t *testing.T, s, d int, seed uint64) ([]netsim.SampleEntry, float64) {
+	t.Helper()
+	ref := core.NewReference(s, hashing.NewMurmur2(seed))
+	for i := 0; i < d; i++ {
+		ref.Observe(fmt.Sprintf("key-%d", i))
+	}
+	return ref.Sample(), ref.Threshold()
+}
+
+func TestDistinctCountAccuracy(t *testing.T) {
+	const (
+		s = 200
+		d = 50000
+	)
+	// Average the estimator over several sketches: it should land within a
+	// few percent of the truth, and each individual interval should usually
+	// cover the truth.
+	covered, sum := 0, 0.0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		sample, threshold := buildSketch(t, s, d, uint64(trial)+1)
+		iv, err := DistinctCount(sample, s, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += iv.Estimate
+		if iv.Low <= float64(d) && float64(d) <= iv.High {
+			covered++
+		}
+		if iv.Low > iv.Estimate || iv.High < iv.Estimate {
+			t.Fatalf("interval %v does not contain its own estimate", iv)
+		}
+	}
+	mean := sum / trials
+	if math.Abs(mean-float64(d))/float64(d) > 0.05 {
+		t.Fatalf("mean distinct estimate %.0f deviates more than 5%% from %d", mean, d)
+	}
+	if covered < trials*3/4 {
+		t.Fatalf("95%% intervals covered the truth only %d/%d times", covered, trials)
+	}
+}
+
+func TestDistinctCountSmallPopulation(t *testing.T) {
+	sample, threshold := buildSketch(t, 50, 7, 3)
+	iv, err := DistinctCount(sample, 50, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Estimate != 7 || iv.Low != 7 || iv.High != 7 {
+		t.Fatalf("small population should be exact: %+v", iv)
+	}
+}
+
+func TestDistinctCountErrors(t *testing.T) {
+	sample, _ := buildSketch(t, 2, 100, 1)
+	if _, err := DistinctCount(sample, 2, 0.5); err == nil {
+		t.Fatal("sample size below 3 should be rejected")
+	}
+	sample, _ = buildSketch(t, 10, 100, 1)
+	if _, err := DistinctCount(sample, 10, 0); err == nil {
+		t.Fatal("zero threshold should be rejected")
+	}
+	if _, err := DistinctCount(sample, 10, 1.5); err == nil {
+		t.Fatal("threshold above 1 should be rejected")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	const (
+		s = 400
+		d = 20000
+	)
+	sample, _ := buildSketch(t, s, d, 9)
+	// Predicate: keys whose numeric suffix is even — true for half the
+	// population.
+	even := func(key string) bool {
+		n := 0
+		fmt.Sscanf(strings.TrimPrefix(key, "key-"), "%d", &n)
+		return n%2 == 0
+	}
+	iv, err := Fraction(sample, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Estimate-0.5) > 0.08 {
+		t.Fatalf("fraction estimate %.3f far from 0.5", iv.Estimate)
+	}
+	if iv.Low < 0 || iv.High > 1 || iv.Low > iv.High {
+		t.Fatalf("invalid interval %+v", iv)
+	}
+	if _, err := Fraction(nil, even); err == nil {
+		t.Fatal("empty sample should be rejected")
+	}
+}
+
+func TestSubsetCount(t *testing.T) {
+	const (
+		s = 300
+		d = 30000
+	)
+	sample, threshold := buildSketch(t, s, d, 21)
+	pred := func(key string) bool { return strings.HasSuffix(key, "0") } // ~10% of keys
+	iv, err := SubsetCount(sample, s, threshold, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(d) / 10
+	if math.Abs(iv.Estimate-truth)/truth > 0.30 {
+		t.Fatalf("subset count %.0f deviates more than 30%% from %.0f", iv.Estimate, truth)
+	}
+	if iv.Low > iv.Estimate || iv.High < iv.Estimate {
+		t.Fatalf("interval %+v does not bracket its estimate", iv)
+	}
+	if _, err := SubsetCount(nil, s, threshold, pred); err == nil {
+		t.Fatal("empty sample should be rejected")
+	}
+}
+
+func TestMean(t *testing.T) {
+	// Attribute: the numeric suffix of the key; over keys 0..d-1 the mean is
+	// (d-1)/2.
+	const (
+		s = 500
+		d = 40000
+	)
+	sample, _ := buildSketch(t, s, d, 17)
+	value := func(key string) float64 {
+		n := 0
+		fmt.Sscanf(strings.TrimPrefix(key, "key-"), "%d", &n)
+		return float64(n)
+	}
+	iv, err := Mean(sample, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(d-1) / 2
+	if math.Abs(iv.Estimate-truth)/truth > 0.10 {
+		t.Fatalf("mean estimate %.0f deviates more than 10%% from %.0f", iv.Estimate, truth)
+	}
+	if iv.Low >= iv.High {
+		t.Fatalf("degenerate interval %+v", iv)
+	}
+	if _, err := Mean(nil, value); err == nil {
+		t.Fatal("empty sample should be rejected")
+	}
+	// Single-element sample: zero-width variance, interval collapses.
+	one := []netsim.SampleEntry{{Key: "key-5"}}
+	iv, err = Mean(one, value)
+	if err != nil || iv.Estimate != 5 || iv.Low != 5 || iv.High != 5 {
+		t.Fatalf("single-element mean wrong: %+v, %v", iv, err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Chapter 5), plus the extension experiments listed in
+// DESIGN.md. Every driver returns a Table whose rows are the series the
+// corresponding plot shows; cmd/ddsbench prints them and the repository-root
+// benchmarks run them at reduced scale.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Config holds the knobs shared by all experiment drivers.
+type Config struct {
+	// OC48Scale and EnronScale shrink the synthetic datasets relative to the
+	// paper's sizes (1 = full size, see dataset.OC48Elements etc.).
+	OC48Scale  float64
+	EnronScale float64
+	// Runs is the number of independent runs averaged per data point
+	// (the paper uses 50 for infinite-window and 10 for sliding-window
+	// experiments).
+	Runs int
+	// SlidingRuns overrides Runs for the sliding-window figures when > 0.
+	SlidingRuns int
+	// Seed is the master seed; run r of any experiment derives its own
+	// seeds from it.
+	Seed uint64
+	// HashKind selects the hash function family (the paper uses Murmur).
+	HashKind hashing.Kind
+}
+
+// DefaultConfig returns a configuration sized so that every experiment runs
+// in a few seconds on a laptop: datasets at roughly 1% (OC48) and 10%
+// (Enron) of the paper's sizes and 3 runs per point.
+func DefaultConfig() Config {
+	return Config{
+		OC48Scale:   0.01,
+		EnronScale:  0.1,
+		Runs:        3,
+		SlidingRuns: 2,
+		Seed:        20130501,
+		HashKind:    hashing.KindMurmur2,
+	}
+}
+
+// QuickConfig returns a configuration small enough for unit tests and
+// benchmarks (sub-second per experiment).
+func QuickConfig() Config {
+	return Config{
+		OC48Scale:   0.001,
+		EnronScale:  0.01,
+		Runs:        2,
+		SlidingRuns: 1,
+		Seed:        42,
+		HashKind:    hashing.KindMurmur2,
+	}
+}
+
+// PaperConfig returns the paper's experiment sizes: full datasets, 50 runs
+// for infinite-window experiments and 10 for sliding windows. Running the
+// whole grid at this size takes a long time; it exists so the full-scale
+// numbers can be regenerated deliberately.
+func PaperConfig() Config {
+	return Config{
+		OC48Scale:   1,
+		EnronScale:  1,
+		Runs:        50,
+		SlidingRuns: 10,
+		Seed:        20130501,
+		HashKind:    hashing.KindMurmur2,
+	}
+}
+
+func (c Config) runs() int {
+	if c.Runs < 1 {
+		return 1
+	}
+	return c.Runs
+}
+
+func (c Config) slidingRuns() int {
+	if c.SlidingRuns < 1 {
+		return c.runs()
+	}
+	return c.SlidingRuns
+}
+
+// datasetSpec returns the generator spec for one of the two named datasets.
+func (c Config) datasetSpec(name string, run int) dataset.Spec {
+	seed := hashing.Mix64(c.Seed + uint64(run)*1000003)
+	switch name {
+	case "oc48":
+		return dataset.OC48(c.OC48Scale, seed)
+	case "enron":
+		return dataset.Enron(c.EnronScale, seed)
+	default:
+		// Fall back to a mid-sized uniform stream; used only by tests.
+		return dataset.Uniform(20000, 4000, seed)
+	}
+}
+
+// hasher derives the run's shared hash function.
+func (c Config) hasher(run int) *hashing.Hasher {
+	return hashing.New(c.HashKind, hashing.Mix64(c.Seed^0x9e37+uint64(run)*7919))
+}
+
+// policySeed derives the run's distribution-policy seed.
+func (c Config) policySeed(run int) uint64 {
+	return hashing.Mix64(c.Seed ^ 0xabcd ^ (uint64(run) * 104729))
+}
+
+// datasets returns the dataset names every figure sweeps over (the paper
+// always shows an (a) OC48 and a (b) Enron panel).
+func datasets() []string { return []string{"oc48", "enron"} }
+
+// PlotSpec describes how a table's rows map onto a chart: which columns name
+// a series, which hold the x and y coordinates, and whether an axis should be
+// logarithmic. Drivers for the paper's figures attach one so cmd/ddsbench can
+// render an ASCII version of the figure with -plot.
+type PlotSpec struct {
+	Group []int // columns whose joined values name a series
+	X     int   // x-coordinate column
+	Y     int   // y-coordinate column
+	LogX  bool
+	LogY  bool
+}
+
+// Table is a printable experiment result: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Plot is the optional chart mapping (nil for purely tabular results).
+	Plot *PlotSpec
+}
+
+// Append adds a row, formatting every cell with %v.
+func (t *Table) Append(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the table as aligned ASCII text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting is unnecessary:
+// no cell produced by the drivers contains a comma).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Runner is a named experiment driver.
+type Runner struct {
+	ID          string
+	Description string
+	Run         func(Config) *Table
+}
+
+// Registry lists every experiment in presentation order.
+func Registry() []Runner {
+	return []Runner{
+		{"table5.1", "Dataset sizes (elements and distinct elements)", Table51},
+		{"fig5.1", "Messages vs elements observed under flooding/random/round-robin (k=5, s=10)", Figure51},
+		{"fig5.2", "Messages vs sample size s (k=5)", Figure52},
+		{"fig5.3", "Messages vs number of sites k (s=10)", Figure53},
+		{"fig5.4", "Broadcast vs proposed: messages over the stream (k=100, s=20)", Figure54},
+		{"fig5.5", "Broadcast vs proposed vs sample size (k=100)", Figure55},
+		{"fig5.6", "Broadcast vs proposed vs dominate rate (k=100, s=20)", Figure56},
+		{"fig5.7", "Sliding windows: per-site memory vs window size (k=10)", Figure57},
+		{"fig5.8", "Sliding windows: messages vs window size (k=10)", Figure58},
+		{"fig5.9", "Sliding windows: per-site memory vs number of sites (w=100)", Figure59},
+		{"fig5.10", "Sliding windows: messages vs number of sites (w=100)", Figure510},
+		{"ext.drs", "Extension: DDS vs DRS message cost vs number of sites", ExtensionDDSvsDRS},
+		{"ext.bounds", "Extension: measured cost vs analytic upper/lower bounds", ExtensionBoundCheck},
+		{"ext.wr", "Extension: sampling with replacement vs without", ExtensionWithReplacement},
+		{"ext.engines", "Extension: sequential vs concurrent engine", ExtensionEngines},
+		{"ext.treap", "Extension: per-site store occupancy vs the H_M bound", ExtensionTreapBound},
+		{"ext.dupes", "Extension: duplicate-suppression ablation (memo vs literal pseudocode)", ExtensionDuplicateAblation},
+		{"ext.swindow", "Extension: size-s sliding-window sampler cost", ExtensionMultiWindow},
+	}
+}
+
+// ByID returns the registered runner with the given id.
+func ByID(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs returns all registered experiment ids in order.
+func IDs() []string {
+	var ids []string
+	for _, r := range Registry() {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// meanInt averages integer observations into a float.
+func meanInt(values []int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range values {
+		sum += v
+	}
+	return float64(sum) / float64(len(values))
+}
+
+func meanFloat(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// buildPolicy constructs a named distribution policy for a run.
+func buildPolicy(name string, k int, alpha float64, seed uint64) distribute.Policy {
+	p, err := distribute.ByName(name, k, alpha, seed)
+	if err != nil {
+		// Experiment drivers only pass known names; a typo is a programming
+		// error, so surface it loudly.
+		panic(err)
+	}
+	return p
+}
+
+// arrivalsFor routes a dataset's elements through a policy.
+func arrivalsFor(elements []stream.Element, policy distribute.Policy) []stream.Arrival {
+	return distribute.Apply(elements, policy)
+}
+
+// sortedKeys returns map keys in sorted order (deterministic table output).
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

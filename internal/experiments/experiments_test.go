@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cellFloat parses a table cell produced by Append.
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestConfigDefaults(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), QuickConfig(), PaperConfig()} {
+		if cfg.OC48Scale <= 0 || cfg.EnronScale <= 0 || cfg.Runs < 1 {
+			t.Fatalf("invalid config %+v", cfg)
+		}
+	}
+	if PaperConfig().OC48Scale != 1 || PaperConfig().Runs != 50 || PaperConfig().SlidingRuns != 10 {
+		t.Fatal("PaperConfig does not match the paper's experiment sizes")
+	}
+	zero := Config{}
+	if zero.runs() != 1 || zero.slidingRuns() != 1 {
+		t.Fatal("zero config run counts should clamp to 1")
+	}
+	cfgNoSliding := Config{Runs: 4}
+	if cfgNoSliding.slidingRuns() != 4 {
+		t.Fatal("slidingRuns should fall back to Runs")
+	}
+}
+
+func TestRegistryAndByID(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 16 {
+		t.Fatalf("registry has %d entries, expected at least 16 (11 paper + extensions)", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, r := range reg {
+		if r.ID == "" || r.Description == "" || r.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment id %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for _, id := range []string{"table5.1", "fig5.1", "fig5.10", "ext.bounds"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("ByID(%q) not found", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted an unknown id")
+	}
+	if len(IDs()) != len(reg) {
+		t.Fatal("IDs() length mismatch")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table := &Table{Title: "demo", Columns: []string{"a", "b"}}
+	table.Append("x", 1.5)
+	table.Append("longer-value", 3)
+	text := table.String()
+	if !strings.Contains(text, "# demo") || !strings.Contains(text, "longer-value") {
+		t.Fatalf("ASCII rendering missing content:\n%s", text)
+	}
+	if !strings.Contains(text, "1.50") || !strings.Contains(text, "3") {
+		t.Fatalf("float formatting wrong:\n%s", text)
+	}
+	csv := table.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") || !strings.Contains(csv, "x,1.50") {
+		t.Fatalf("CSV rendering wrong:\n%s", csv)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string]bool{"b": true, "a": true, "c": true})
+	if strings.Join(got, "") != "abc" {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+}
+
+// checkPlotSpec validates that a driver's PlotSpec references real columns.
+// It is called from the per-figure shape tests so the drivers are not run a
+// second time just for this.
+func checkPlotSpec(t *testing.T, tab *Table) {
+	t.Helper()
+	if tab.Plot == nil {
+		t.Fatalf("%s: figure driver without a PlotSpec", tab.Title)
+	}
+	cols := len(tab.Columns)
+	if tab.Plot.X < 0 || tab.Plot.X >= cols || tab.Plot.Y < 0 || tab.Plot.Y >= cols {
+		t.Fatalf("%s: PlotSpec references missing columns: %+v", tab.Title, tab.Plot)
+	}
+	for _, g := range tab.Plot.Group {
+		if g < 0 || g >= cols {
+			t.Fatalf("%s: PlotSpec group column %d out of range", tab.Title, g)
+		}
+	}
+}
+
+func TestTable51(t *testing.T) {
+	tab := Table51(QuickConfig())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("Table 5.1 should have one row per dataset, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		elements := cellFloat(t, row[2])
+		distinct := cellFloat(t, row[3])
+		if elements <= 0 || distinct <= 0 || distinct > elements {
+			t.Fatalf("implausible dataset stats: %v", row)
+		}
+	}
+	// OC48 has a lower distinct/total ratio than Enron, as in the paper.
+	ocRatio := cellFloat(t, tab.Rows[0][3]) / cellFloat(t, tab.Rows[0][2])
+	enRatio := cellFloat(t, tab.Rows[1][3]) / cellFloat(t, tab.Rows[1][2])
+	if ocRatio >= enRatio {
+		t.Fatalf("distinct ratios: oc48 %.3f should be below enron %.3f", ocRatio, enRatio)
+	}
+}
+
+func TestFigure51Shape(t *testing.T) {
+	tab := Figure51(QuickConfig())
+	if len(tab.Rows) == 0 {
+		t.Fatal("Figure 5.1 produced no rows")
+	}
+	checkPlotSpec(t, tab)
+	// Per dataset and distribution, messages must be non-decreasing over the
+	// stream, and flooding must end far above random and round-robin.
+	final := map[string]map[string]float64{}
+	prev := map[string]float64{}
+	for _, row := range tab.Rows {
+		ds, policy := row[0], row[1]
+		key := ds + "/" + policy
+		msgs := cellFloat(t, row[3])
+		if msgs < prev[key] {
+			t.Fatalf("cumulative messages decreased for %s: %v", key, row)
+		}
+		prev[key] = msgs
+		if final[ds] == nil {
+			final[ds] = map[string]float64{}
+		}
+		final[ds][policy] = msgs
+	}
+	for ds, byPolicy := range final {
+		if byPolicy["flooding"] < 2*byPolicy["random"] {
+			t.Fatalf("%s: flooding (%v) not clearly above random (%v)", ds, byPolicy["flooding"], byPolicy["random"])
+		}
+		// Random and round-robin are nearly identical in the paper; allow
+		// 25% relative difference.
+		r, rr := byPolicy["random"], byPolicy["roundrobin"]
+		if r == 0 || rr == 0 {
+			t.Fatalf("%s: missing random/round-robin series", ds)
+		}
+		diff := r - rr
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff/r > 0.25 {
+			t.Fatalf("%s: random (%v) and round-robin (%v) diverge too much", ds, r, rr)
+		}
+	}
+}
+
+func TestFigure52And53Monotonicity(t *testing.T) {
+	cfg := QuickConfig()
+	// Figure 5.2: messages grow (roughly linearly) with the sample size.
+	tab := Figure52(cfg)
+	checkPlotSpec(t, tab)
+	series := map[string][]float64{}
+	for _, row := range tab.Rows {
+		key := row[0] + "/" + row[1]
+		series[key] = append(series[key], cellFloat(t, row[3]))
+	}
+	for key, vals := range series {
+		if len(vals) < 3 {
+			t.Fatalf("series %s too short", key)
+		}
+		if vals[len(vals)-1] <= vals[0] {
+			t.Fatalf("series %s: messages did not grow with s: %v", key, vals)
+		}
+	}
+	// Figure 5.3: for flooding the cost grows roughly linearly with k; for
+	// random it stays nearly flat (grows far slower).
+	tab = Figure53(cfg)
+	checkPlotSpec(t, tab)
+	growth := map[string]float64{}
+	for _, policy := range []string{"flooding", "random"} {
+		var first, last float64
+		count := 0
+		for _, row := range tab.Rows {
+			if row[0] != "enron" || row[1] != policy {
+				continue
+			}
+			v := cellFloat(t, row[3])
+			if count == 0 {
+				first = v
+			}
+			last = v
+			count++
+		}
+		if count == 0 || first == 0 {
+			t.Fatalf("missing series for %s", policy)
+		}
+		growth[policy] = last / first
+	}
+	if growth["flooding"] < 5*growth["random"] {
+		t.Fatalf("flooding growth (%.1fx) should far exceed random growth (%.1fx) as k grows",
+			growth["flooding"], growth["random"])
+	}
+}
+
+func TestFigure54To56BroadcastCostsMore(t *testing.T) {
+	cfg := QuickConfig()
+	// Figure 5.4: at the end of the stream Broadcast has sent more messages.
+	tab := Figure54(cfg)
+	checkPlotSpec(t, tab)
+	last := map[string]float64{}
+	for _, row := range tab.Rows {
+		last[row[0]+"/"+row[1]] = cellFloat(t, row[3])
+	}
+	for _, ds := range datasets() {
+		if last[ds+"/broadcast"] <= last[ds+"/proposed"] {
+			t.Fatalf("%s: broadcast (%v) should cost more than proposed (%v)", ds, last[ds+"/broadcast"], last[ds+"/proposed"])
+		}
+	}
+	// Figure 5.5: broadcast costs more at every sample size.
+	tab = Figure55(cfg)
+	checkPlotSpec(t, tab)
+	bySize := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		key := row[0] + "/" + row[2]
+		if bySize[key] == nil {
+			bySize[key] = map[string]float64{}
+		}
+		bySize[key][row[1]] = cellFloat(t, row[3])
+	}
+	for key, algs := range bySize {
+		if algs["broadcast"] <= algs["proposed"] {
+			t.Fatalf("%s: broadcast (%v) should cost more than proposed (%v)", key, algs["broadcast"], algs["proposed"])
+		}
+	}
+	// Figure 5.6: for the proposed algorithm the cost decreases as the
+	// dominate rate grows (the input becomes nearly centralized).
+	tab = Figure56(cfg)
+	checkPlotSpec(t, tab)
+	var proposedEnron []float64
+	for _, row := range tab.Rows {
+		if row[0] == "enron" && row[1] == "proposed" {
+			proposedEnron = append(proposedEnron, cellFloat(t, row[3]))
+		}
+	}
+	if len(proposedEnron) < 3 {
+		t.Fatal("missing dominate-rate series")
+	}
+	if proposedEnron[len(proposedEnron)-1] >= proposedEnron[0] {
+		t.Fatalf("proposed cost should decrease as the dominate rate grows: %v", proposedEnron)
+	}
+}
+
+func TestSlidingFigures(t *testing.T) {
+	cfg := QuickConfig()
+	// Figure 5.7: memory grows with the window size, far slower than
+	// linearly. Figure 5.8: messages decrease with the window size.
+	mem := Figure57(cfg)
+	msg := Figure58(cfg)
+	checkPlotSpec(t, mem)
+	checkPlotSpec(t, msg)
+	memSeries := map[string][]float64{}
+	for _, row := range mem.Rows {
+		memSeries[row[0]] = append(memSeries[row[0]], cellFloat(t, row[2]))
+	}
+	msgSeries := map[string][]float64{}
+	for _, row := range msg.Rows {
+		msgSeries[row[0]] = append(msgSeries[row[0]], cellFloat(t, row[2]))
+	}
+	for _, ds := range datasets() {
+		memVals, msgVals := memSeries[ds], msgSeries[ds]
+		if len(memVals) != len(windowSizes()) || len(msgVals) != len(windowSizes()) {
+			t.Fatalf("%s: wrong series lengths", ds)
+		}
+		if memVals[len(memVals)-1] <= memVals[0] {
+			t.Fatalf("%s: memory did not grow with window size: %v", ds, memVals)
+		}
+		// Window grew 500x; logarithmic memory growth must stay well below that.
+		if memVals[len(memVals)-1] > memVals[0]*50 {
+			t.Fatalf("%s: memory growth looks linear in the window: %v", ds, memVals)
+		}
+		if msgVals[len(msgVals)-1] >= msgVals[0] {
+			t.Fatalf("%s: messages did not decrease with window size: %v", ds, msgVals)
+		}
+	}
+	// Figures 5.9 / 5.10: more sites mean less memory per site and more
+	// total messages.
+	mem9 := Figure59(cfg)
+	checkPlotSpec(t, mem9)
+	var enronMem []float64
+	for _, row := range mem9.Rows {
+		if row[0] == "enron" {
+			enronMem = append(enronMem, cellFloat(t, row[2]))
+		}
+	}
+	if len(enronMem) != len(slidingSiteCounts()) {
+		t.Fatal("Figure 5.9 series wrong length")
+	}
+	if enronMem[len(enronMem)-1] >= enronMem[0] {
+		t.Fatalf("per-site memory should shrink as sites are added: %v", enronMem)
+	}
+	msg10 := Figure510(cfg)
+	checkPlotSpec(t, msg10)
+	var enronMsgs []float64
+	for _, row := range msg10.Rows {
+		if row[0] == "enron" {
+			enronMsgs = append(enronMsgs, cellFloat(t, row[2]))
+		}
+	}
+	if enronMsgs[len(enronMsgs)-1] <= enronMsgs[0] {
+		t.Fatalf("total messages should grow as sites are added: %v", enronMsgs)
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	cfg := QuickConfig()
+
+	t.Run("dds-vs-drs", func(t *testing.T) {
+		tab := ExtensionDDSvsDRS(cfg)
+		for _, row := range tab.Rows {
+			if cellFloat(t, row[3]) <= 1 {
+				t.Fatalf("DDS should cost more than DRS at every k: %v", row)
+			}
+		}
+	})
+	t.Run("bounds", func(t *testing.T) {
+		tab := ExtensionBoundCheck(cfg)
+		for _, row := range tab.Rows {
+			measured := cellFloat(t, row[4])
+			upper := cellFloat(t, row[5])
+			lower := cellFloat(t, row[6])
+			if lower >= upper {
+				t.Fatalf("bounds inverted: %v", row)
+			}
+			if measured > upper*1.5 {
+				t.Fatalf("measured cost exceeds 1.5x the upper bound: %v", row)
+			}
+		}
+	})
+	t.Run("with-replacement", func(t *testing.T) {
+		tab := ExtensionWithReplacement(cfg)
+		for _, row := range tab.Rows {
+			if cellFloat(t, row[1]) <= 0 || cellFloat(t, row[2]) <= 0 {
+				t.Fatalf("zero-cost run: %v", row)
+			}
+		}
+	})
+	t.Run("engines", func(t *testing.T) {
+		tab := ExtensionEngines(cfg)
+		if len(tab.Rows) != 2 {
+			t.Fatalf("expected 2 rows, got %d", len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			if row[2] != "true" {
+				t.Fatalf("engine %s did not match the oracle: %v", row[0], row)
+			}
+		}
+	})
+	t.Run("treap-bound", func(t *testing.T) {
+		tab := ExtensionTreapBound(cfg)
+		for _, row := range tab.Rows {
+			measured := cellFloat(t, row[1])
+			bound := cellFloat(t, row[3])
+			// The store size should be of the same order as H_M: allow 4x.
+			if measured > bound*4+2 {
+				t.Fatalf("store occupancy %v far exceeds the harmonic bound %v", measured, bound)
+			}
+		}
+	})
+	t.Run("multi-window", func(t *testing.T) {
+		tab := ExtensionMultiWindow(cfg)
+		if len(tab.Rows) != 5 {
+			t.Fatalf("expected 5 sample sizes, got %d", len(tab.Rows))
+		}
+		// Messages grow with the number of copies, roughly proportionally.
+		first := cellFloat(t, tab.Rows[0][1])
+		last := cellFloat(t, tab.Rows[len(tab.Rows)-1][1])
+		if last <= first {
+			t.Fatalf("messages did not grow with s: %v", tab.Rows)
+		}
+		ratio := cellFloat(t, tab.Rows[len(tab.Rows)-1][3])
+		if ratio < 5 || ratio > 40 {
+			t.Fatalf("s=20 cost ratio %.1f implausible (expected near 20)", ratio)
+		}
+	})
+	t.Run("duplicate-ablation", func(t *testing.T) {
+		tab := ExtensionDuplicateAblation(cfg)
+		byDataset := map[string]map[string]float64{}
+		for _, row := range tab.Rows {
+			if byDataset[row[0]] == nil {
+				byDataset[row[0]] = map[string]float64{}
+			}
+			byDataset[row[0]][row[1]] = cellFloat(t, row[2])
+		}
+		for ds, variants := range byDataset {
+			if variants["naive"] < variants["memo"] {
+				t.Fatalf("%s: naive (%v) should not beat memo (%v)", ds, variants["naive"], variants["memo"])
+			}
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distribute"
+	"repro/internal/drs"
+	"repro/internal/netsim"
+	"repro/internal/sliding"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// ExtensionDDSvsDRS quantifies the Chapter 1 discussion: the message cost of
+// distributed distinct sampling (DDS) versus ordinary distributed random
+// sampling (DRS) as the number of sites grows, with random distribution and
+// sample size 20 on the Enron-like dataset.
+func ExtensionDDSvsDRS(cfg Config) *Table {
+	const s = 20
+	siteCounts := []int{5, 10, 20, 50, 100}
+	t := &Table{
+		Title:   "Extension E1: DDS vs DRS message cost vs number of sites (s=20, random, enron)",
+		Columns: []string{"k", "dds_messages", "drs_messages", "ratio_dds_over_drs"},
+		Plot:    &PlotSpec{Group: nil, X: 0, Y: 3},
+	}
+	for _, k := range siteCounts {
+		k := k
+		dds := averagedTotal(cfg, func(run int) *netsim.Metrics {
+			return infiniteRun(cfg, "enron", "random", k, s, 0, run, 0)
+		})
+		drsMean := averagedTotal(cfg, func(run int) *netsim.Metrics {
+			elements := cfg.datasetSpec("enron", run).Generate()
+			policy := distribute.NewRandom(k, cfg.policySeed(run))
+			sys := drs.NewSystem(k, s, cfg.Seed+uint64(run)*13)
+			m, err := sys.Runner(0, 0).RunSequential(distribute.Apply(elements, policy))
+			if err != nil {
+				panic(err)
+			}
+			return m
+		})
+		ratio := 0.0
+		if drsMean > 0 {
+			ratio = dds / drsMean
+		}
+		t.Append(k, dds, drsMean, ratio)
+	}
+	return t
+}
+
+// ExtensionBoundCheck compares measured message counts against the Lemma 4
+// upper bound 2ks(1+H_d−H_s) and the Lemma 9 lower bound (ks/2)(H_d−H_s+1)
+// for a grid of (k, s) values on both datasets with random distribution.
+func ExtensionBoundCheck(cfg Config) *Table {
+	t := &Table{
+		Title:   "Extension E2: measured messages vs analytic bounds (random distribution)",
+		Columns: []string{"dataset", "k", "s", "distinct", "measured", "upper_bound", "lower_bound", "measured_over_upper"},
+	}
+	grid := []struct{ k, s int }{{5, 10}, {10, 10}, {20, 50}, {50, 20}}
+	for _, ds := range datasets() {
+		for _, g := range grid {
+			ds, g := ds, g
+			var measured []int
+			var d int
+			for r := 0; r < cfg.runs(); r++ {
+				elements := cfg.datasetSpec(ds, r).Generate()
+				d = stream.Summarize(elements).Distinct
+				policy := distribute.NewRandom(g.k, cfg.policySeed(r))
+				sys := core.NewSystem(g.k, g.s, cfg.hasher(r))
+				m, err := sys.Runner(0, 0).RunSequential(distribute.Apply(elements, policy))
+				if err != nil {
+					panic(err)
+				}
+				measured = append(measured, m.TotalMessages())
+			}
+			mean := meanInt(measured)
+			upper := stats.ExpectedMessagesUpperBound(g.k, g.s, d)
+			lower := stats.ExpectedMessagesLowerBound(g.k, g.s, d)
+			ratio := 0.0
+			if upper > 0 {
+				ratio = mean / upper
+			}
+			t.Append(ds, g.k, g.s, d, mean, upper, lower, ratio)
+		}
+	}
+	return t
+}
+
+// ExtensionWithReplacement compares the message cost of the
+// sampling-with-replacement construction (s parallel single-element
+// samplers) against the without-replacement sampler, across sample sizes,
+// on the Enron-like dataset with random distribution and k=10.
+func ExtensionWithReplacement(cfg Config) *Table {
+	const k = 10
+	sampleSizes := []int{1, 5, 10, 20, 50}
+	t := &Table{
+		Title:   "Extension E3: with-replacement vs without-replacement message cost (k=10, random, enron)",
+		Columns: []string{"s", "without_replacement", "with_replacement", "ratio"},
+	}
+	for _, s := range sampleSizes {
+		s := s
+		wor := averagedTotal(cfg, func(run int) *netsim.Metrics {
+			return infiniteRun(cfg, "enron", "random", k, s, 0, run, 0)
+		})
+		wr := averagedTotal(cfg, func(run int) *netsim.Metrics {
+			elements := cfg.datasetSpec("enron", run).Generate()
+			policy := distribute.NewRandom(k, cfg.policySeed(run))
+			sys := core.NewWithReplacementSystem(k, s, cfg.HashKind, cfg.Seed+uint64(run)*31)
+			m, err := sys.Runner(0, 0).RunSequential(distribute.Apply(elements, policy))
+			if err != nil {
+				panic(err)
+			}
+			return m
+		})
+		ratio := 0.0
+		if wor > 0 {
+			ratio = wr / wor
+		}
+		t.Append(s, wor, wr, ratio)
+	}
+	return t
+}
+
+// ExtensionEngines compares the sequential and concurrent engines running
+// the same proposed-algorithm workload: message counts (which may differ
+// slightly because of scheduling) and wall-clock time.
+func ExtensionEngines(cfg Config) *Table {
+	const (
+		k = 8
+		s = 10
+	)
+	t := &Table{
+		Title:   "Extension E4: sequential vs concurrent engine (k=8, s=10, random, enron)",
+		Columns: []string{"engine", "messages", "sample_matches_oracle", "wall_clock_ms"},
+	}
+	elements := stream.Reslot(cfg.datasetSpec("enron", 0).Generate(), 50)
+	policy := distribute.NewRandom(k, cfg.policySeed(0))
+	arrivals := distribute.Apply(elements, policy)
+	hasher := cfg.hasher(0)
+	ref := core.NewReference(s, hasher)
+	ref.ObserveAll(stream.Keys(elements))
+
+	runEngine := func(concurrent bool) (int, bool, float64) {
+		sys := core.NewSystem(k, s, hasher)
+		start := time.Now()
+		var m *netsim.Metrics
+		var err error
+		if concurrent {
+			m, err = sys.Runner(0, 0).RunConcurrent(arrivals)
+		} else {
+			m, err = sys.Runner(0, 0).RunSequential(arrivals)
+		}
+		if err != nil {
+			panic(err)
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		return m.TotalMessages(), ref.SameSample(m.FinalSample), elapsed
+	}
+	msgs, ok, ms := runEngine(false)
+	t.Append("sequential", msgs, ok, ms)
+	msgs, ok, ms = runEngine(true)
+	t.Append("concurrent", msgs, ok, ms)
+	return t
+}
+
+// ExtensionTreapBound compares the measured per-site store occupancy of the
+// sliding-window sampler against the Lemma 10 expectation H_M, where M is
+// the number of distinct elements a site holds in a window.
+func ExtensionTreapBound(cfg Config) *Table {
+	const k = 10
+	t := &Table{
+		Title:   "Extension E5: per-site store occupancy vs the H_M bound (k=10, enron)",
+		Columns: []string{"window", "mean_store_size", "approx_M_per_site", "harmonic_bound_H_M"},
+	}
+	for _, w := range windowSizes() {
+		mean, _, _ := slidingAverages(cfg, "enron", k, w)
+		// Approximate per-site distinct elements in a window: w slots times
+		// elementsPerSlot arrivals spread over k sites (an upper bound that
+		// ignores repeats, which is exactly what Lemma 10 uses).
+		m := int(w) * elementsPerSlot / k
+		if m < 1 {
+			m = 1
+		}
+		t.Append(w, mean, m, stats.Harmonic(m))
+	}
+	return t
+}
+
+// ExtensionMultiWindow measures the size-s sliding-window sampler (s
+// parallel single-element copies): message and memory cost relative to the
+// single-element sampler, across sample sizes, with k=10 and w=100 on the
+// Enron-like dataset.
+func ExtensionMultiWindow(cfg Config) *Table {
+	const (
+		k      = 10
+		window = 100
+	)
+	t := &Table{
+		Title:   "Extension E7: size-s sliding-window sampler cost (k=10, w=100, enron)",
+		Columns: []string{"s", "messages", "mean_per_site_memory", "messages_over_s1"},
+	}
+	runOnce := func(s, run int) *netsim.Metrics {
+		elements := stream.Reslot(cfg.datasetSpec("enron", run).Generate(), elementsPerSlot)
+		policy := distribute.NewRandom(k, cfg.policySeed(run))
+		arrivals := distribute.Apply(elements, policy)
+		slots := int64(len(elements)/elementsPerSlot) + 1
+		memoryEvery := slots / 200
+		if memoryEvery < 1 {
+			memoryEvery = 1
+		}
+		sys := sliding.NewMultiSystem(k, s, window, cfg.HashKind, cfg.Seed+uint64(run)*17)
+		m, err := sys.Runner(0, memoryEvery).RunSequential(arrivals)
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	var baseline float64
+	for _, s := range []int{1, 2, 5, 10, 20} {
+		var msgs []int
+		var mems []float64
+		for r := 0; r < cfg.slidingRuns(); r++ {
+			m := runOnce(s, r)
+			msgs = append(msgs, m.TotalMessages())
+			mems = append(mems, m.MeanMemory())
+		}
+		mean := meanInt(msgs)
+		if s == 1 {
+			baseline = mean
+		}
+		ratio := 0.0
+		if baseline > 0 {
+			ratio = mean / baseline
+		}
+		t.Append(s, mean, meanFloat(mems), ratio)
+	}
+	return t
+}
+
+// ExtensionDuplicateAblation quantifies the duplicate-suppression memo
+// documented in internal/core: the literal Algorithm 1 site re-offers
+// repeats of currently-sampled elements, while the memo-equipped site does
+// not. Both maintain identical samples.
+func ExtensionDuplicateAblation(cfg Config) *Table {
+	const (
+		k = 5
+		s = 10
+	)
+	t := &Table{
+		Title:   "Extension E6: duplicate-suppression ablation (k=5, s=10, random)",
+		Columns: []string{"dataset", "site_variant", "messages", "mean_site_memory"},
+	}
+	for _, ds := range datasets() {
+		for _, variant := range []string{"memo", "naive"} {
+			ds, variant := ds, variant
+			var msgs []int
+			var mem []float64
+			for r := 0; r < cfg.runs(); r++ {
+				elements := cfg.datasetSpec(ds, r).Generate()
+				policy := distribute.NewRandom(k, cfg.policySeed(r))
+				var sys *core.System
+				if variant == "memo" {
+					sys = core.NewSystem(k, s, cfg.hasher(r))
+				} else {
+					sys = core.NewNaiveSystem(k, s, cfg.hasher(r))
+				}
+				m, err := sys.Runner(0, 0).RunSequential(distribute.Apply(elements, policy))
+				if err != nil {
+					panic(err)
+				}
+				msgs = append(msgs, m.TotalMessages())
+				total := 0
+				for _, sn := range sys.Sites {
+					total += sn.Memory()
+				}
+				mem = append(mem, float64(total)/float64(k))
+			}
+			t.Append(ds, variant, meanInt(msgs), meanFloat(mem))
+		}
+	}
+	return t
+}

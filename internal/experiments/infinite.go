@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+// Table51 reproduces Table 5.1: the number of elements and distinct elements
+// in the two datasets, at the configured scale, alongside the sizes the
+// paper reports for the real traces.
+func Table51(cfg Config) *Table {
+	t := &Table{
+		Title:   "Table 5.1: elements and distinct elements per dataset",
+		Columns: []string{"dataset", "scale", "elements", "distinct", "paper_elements", "paper_distinct"},
+	}
+	paper := map[string][2]int{
+		"oc48":  {dataset.OC48Elements, dataset.OC48Distinct},
+		"enron": {dataset.EnronElements, dataset.EnronDistinct},
+	}
+	scales := map[string]float64{"oc48": cfg.OC48Scale, "enron": cfg.EnronScale}
+	for _, name := range datasets() {
+		elements := cfg.datasetSpec(name, 0).Generate()
+		st := stream.Summarize(elements)
+		t.Append(name, scales[name], st.Elements, st.Distinct, paper[name][0], paper[name][1])
+	}
+	return t
+}
+
+// infiniteRun runs the proposed infinite-window algorithm once and returns
+// the metrics.
+func infiniteRun(cfg Config, datasetName, policyName string, k, s int, alpha float64, run, timelineEvery int) *netsim.Metrics {
+	elements := cfg.datasetSpec(datasetName, run).Generate()
+	policy := buildPolicy(policyName, k, alpha, cfg.policySeed(run))
+	arrivals := arrivalsFor(elements, policy)
+	sys := core.NewSystem(k, s, cfg.hasher(run))
+	m, err := sys.Runner(timelineEvery, 0).RunSequential(arrivals)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// broadcastRun runs Algorithm Broadcast once and returns the metrics.
+func broadcastRun(cfg Config, datasetName, policyName string, k, s int, alpha float64, run, timelineEvery int) *netsim.Metrics {
+	elements := cfg.datasetSpec(datasetName, run).Generate()
+	policy := buildPolicy(policyName, k, alpha, cfg.policySeed(run))
+	arrivals := arrivalsFor(elements, policy)
+	sys := core.NewBroadcastSystem(k, s, cfg.hasher(run))
+	m, err := sys.Runner(timelineEvery, 0).RunSequential(arrivals)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// averagedTotal averages TotalMessages over cfg.Runs runs of fn.
+func averagedTotal(cfg Config, fn func(run int) *netsim.Metrics) float64 {
+	totals := make([]int, 0, cfg.runs())
+	for r := 0; r < cfg.runs(); r++ {
+		totals = append(totals, fn(r).TotalMessages())
+	}
+	return meanInt(totals)
+}
+
+// averagedTimeline averages the cumulative-message timeline over cfg.Runs
+// runs of fn. All runs share the same arrival counts (the timeline interval
+// is fixed), so points are averaged index-wise.
+func averagedTimeline(cfg Config, fn func(run int) *netsim.Metrics) []netsim.TimelinePoint {
+	var acc []netsim.TimelinePoint
+	var counts []int
+	for r := 0; r < cfg.runs(); r++ {
+		tl := fn(r).Timeline
+		for i, p := range tl {
+			if i >= len(acc) {
+				acc = append(acc, netsim.TimelinePoint{Arrivals: p.Arrivals})
+				counts = append(counts, 0)
+			}
+			acc[i].Messages += p.Messages
+			counts[i]++
+		}
+	}
+	for i := range acc {
+		if counts[i] > 0 {
+			acc[i].Messages /= counts[i]
+		}
+	}
+	return acc
+}
+
+// Figure51 reproduces Figure 5.1: the cumulative number of messages as the
+// stream is observed, for the three data distribution methods (flooding,
+// random, round-robin), with k=5 sites and sample size s=10, on both
+// datasets.
+func Figure51(cfg Config) *Table {
+	const (
+		k = 5
+		s = 10
+	)
+	t := &Table{
+		Title:   "Figure 5.1: messages vs elements observed (k=5, s=10)",
+		Columns: []string{"dataset", "distribution", "elements_observed", "messages"},
+		Plot:    &PlotSpec{Group: []int{0, 1}, X: 2, Y: 3},
+	}
+	for _, ds := range datasets() {
+		// 20 timeline points per curve, based on the dataset's size.
+		n := cfg.datasetSpec(ds, 0).Elements
+		for _, policy := range []string{"flooding", "random", "roundrobin"} {
+			every := n / 20
+			if every < 1 {
+				every = 1
+			}
+			if policy == "flooding" {
+				every *= k // flooding sees k arrivals per element
+			}
+			policy := policy
+			timeline := averagedTimeline(cfg, func(run int) *netsim.Metrics {
+				return infiniteRun(cfg, ds, policy, k, s, 0, run, every)
+			})
+			for _, p := range timeline {
+				arrivals := p.Arrivals
+				if policy == "flooding" {
+					arrivals /= k // report logical elements, as the paper's x axis does
+				}
+				t.Append(ds, policy, arrivals, p.Messages)
+			}
+		}
+	}
+	return t
+}
+
+// Figure52 reproduces Figure 5.2: the total number of messages as a function
+// of the sample size s, for flooding and random distribution, k=5.
+func Figure52(cfg Config) *Table {
+	const k = 5
+	sampleSizes := []int{1, 2, 5, 10, 20, 50, 100}
+	t := &Table{
+		Title:   "Figure 5.2: messages vs sample size s (k=5)",
+		Columns: []string{"dataset", "distribution", "s", "messages"},
+		Plot:    &PlotSpec{Group: []int{0, 1}, X: 2, Y: 3, LogX: true},
+	}
+	for _, ds := range datasets() {
+		for _, policy := range []string{"flooding", "random"} {
+			for _, s := range sampleSizes {
+				ds, policy, s := ds, policy, s
+				mean := averagedTotal(cfg, func(run int) *netsim.Metrics {
+					return infiniteRun(cfg, ds, policy, k, s, 0, run, 0)
+				})
+				t.Append(ds, policy, s, mean)
+			}
+		}
+	}
+	return t
+}
+
+// Figure53 reproduces Figure 5.3: the total number of messages as a function
+// of the number of sites k, for flooding and random distribution, s=10.
+func Figure53(cfg Config) *Table {
+	const s = 10
+	siteCounts := []int{1, 2, 5, 10, 20, 50, 100}
+	t := &Table{
+		Title:   "Figure 5.3: messages vs number of sites k (s=10)",
+		Columns: []string{"dataset", "distribution", "k", "messages"},
+		Plot:    &PlotSpec{Group: []int{0, 1}, X: 2, Y: 3, LogX: true},
+	}
+	for _, ds := range datasets() {
+		for _, policy := range []string{"flooding", "random"} {
+			for _, k := range siteCounts {
+				ds, policy, k := ds, policy, k
+				mean := averagedTotal(cfg, func(run int) *netsim.Metrics {
+					return infiniteRun(cfg, ds, policy, k, s, 0, run, 0)
+				})
+				t.Append(ds, policy, k, mean)
+			}
+		}
+	}
+	return t
+}
+
+// Figure54 reproduces Figure 5.4: cumulative messages over the stream for
+// Algorithm Broadcast versus the proposed method, with k=100 sites, s=20,
+// random distribution.
+func Figure54(cfg Config) *Table {
+	const (
+		k = 100
+		s = 20
+	)
+	t := &Table{
+		Title:   "Figure 5.4: Broadcast vs proposed, messages over the stream (k=100, s=20, random)",
+		Columns: []string{"dataset", "algorithm", "elements_observed", "messages"},
+		Plot:    &PlotSpec{Group: []int{0, 1}, X: 2, Y: 3},
+	}
+	for _, ds := range datasets() {
+		n := cfg.datasetSpec(ds, 0).Elements
+		every := n / 20
+		if every < 1 {
+			every = 1
+		}
+		ds := ds
+		proposed := averagedTimeline(cfg, func(run int) *netsim.Metrics {
+			return infiniteRun(cfg, ds, "random", k, s, 0, run, every)
+		})
+		for _, p := range proposed {
+			t.Append(ds, "proposed", p.Arrivals, p.Messages)
+		}
+		broadcast := averagedTimeline(cfg, func(run int) *netsim.Metrics {
+			return broadcastRun(cfg, ds, "random", k, s, 0, run, every)
+		})
+		for _, p := range broadcast {
+			t.Append(ds, "broadcast", p.Arrivals, p.Messages)
+		}
+	}
+	return t
+}
+
+// Figure55 reproduces Figure 5.5: total messages of Broadcast versus the
+// proposed method for different sample sizes (k=100, random distribution).
+func Figure55(cfg Config) *Table {
+	const k = 100
+	sampleSizes := []int{1, 2, 5, 10, 20, 50, 100}
+	t := &Table{
+		Title:   "Figure 5.5: Broadcast vs proposed, messages vs sample size (k=100, random)",
+		Columns: []string{"dataset", "algorithm", "s", "messages"},
+		Plot:    &PlotSpec{Group: []int{0, 1}, X: 2, Y: 3, LogX: true, LogY: true},
+	}
+	for _, ds := range datasets() {
+		for _, s := range sampleSizes {
+			ds, s := ds, s
+			proposed := averagedTotal(cfg, func(run int) *netsim.Metrics {
+				return infiniteRun(cfg, ds, "random", k, s, 0, run, 0)
+			})
+			t.Append(ds, "proposed", s, proposed)
+			broadcast := averagedTotal(cfg, func(run int) *netsim.Metrics {
+				return broadcastRun(cfg, ds, "random", k, s, 0, run, 0)
+			})
+			t.Append(ds, "broadcast", s, broadcast)
+		}
+	}
+	return t
+}
+
+// Figure56 reproduces Figure 5.6: total messages of Broadcast versus the
+// proposed method as a function of the dominate rate (k=100, s=20).
+func Figure56(cfg Config) *Table {
+	const (
+		k = 100
+		s = 20
+	)
+	rates := []float64{1, 10, 50, 100, 200, 500, 1000}
+	t := &Table{
+		Title:   "Figure 5.6: Broadcast vs proposed, messages vs dominate rate (k=100, s=20)",
+		Columns: []string{"dataset", "algorithm", "dominate_rate", "messages"},
+		Plot:    &PlotSpec{Group: []int{0, 1}, X: 2, Y: 3, LogX: true, LogY: true},
+	}
+	for _, ds := range datasets() {
+		for _, rate := range rates {
+			ds, rate := ds, rate
+			proposed := averagedTotal(cfg, func(run int) *netsim.Metrics {
+				return infiniteRun(cfg, ds, "dominate", k, s, rate, run, 0)
+			})
+			t.Append(ds, "proposed", fmt.Sprintf("%.0f", rate), proposed)
+			broadcast := averagedTotal(cfg, func(run int) *netsim.Metrics {
+				return broadcastRun(cfg, ds, "dominate", k, s, rate, run, 0)
+			})
+			t.Append(ds, "broadcast", fmt.Sprintf("%.0f", rate), broadcast)
+		}
+	}
+	return t
+}

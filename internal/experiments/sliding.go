@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"repro/internal/distribute"
+	"repro/internal/netsim"
+	"repro/internal/sliding"
+	"repro/internal/stream"
+)
+
+// The sliding-window experiments follow Section 5.3's setup: timesteps are
+// numbered from 1; in each timestep five elements are assigned to randomly
+// chosen sites (so one site may receive several elements in one slot).
+// Memory consumption and communication are recorded over the run and
+// averaged across independent runs.
+
+const elementsPerSlot = 5
+
+// slidingRun executes one sliding-window run and returns the metrics.
+func slidingRun(cfg Config, datasetName string, k int, window int64, run int) *netsim.Metrics {
+	elements := stream.Reslot(cfg.datasetSpec(datasetName, run).Generate(), elementsPerSlot)
+	policy := distribute.NewRandom(k, cfg.policySeed(run))
+	arrivals := distribute.Apply(elements, policy)
+
+	// Sample memory roughly 200 times over the run.
+	slots := int64(len(elements)/elementsPerSlot) + 1
+	memoryEvery := slots / 200
+	if memoryEvery < 1 {
+		memoryEvery = 1
+	}
+
+	sys := sliding.NewSystem(k, window, cfg.hasher(run), cfg.Seed+uint64(run))
+	m, err := sys.Runner(0, memoryEvery).RunSequential(arrivals)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// slidingAverages runs the sliding-window system cfg.SlidingRuns times and
+// averages mean per-site memory, peak per-site memory, and total messages.
+func slidingAverages(cfg Config, datasetName string, k int, window int64) (meanMemory, maxMemory, messages float64) {
+	var mems, maxes []float64
+	var msgs []int
+	for r := 0; r < cfg.slidingRuns(); r++ {
+		m := slidingRun(cfg, datasetName, k, window, r)
+		mems = append(mems, m.MeanMemory())
+		maxes = append(maxes, float64(m.MaxMemory()))
+		msgs = append(msgs, m.TotalMessages())
+	}
+	return meanFloat(mems), meanFloat(maxes), meanInt(msgs)
+}
+
+// windowSizes is the sweep used by Figures 5.7 and 5.8.
+func windowSizes() []int64 { return []int64{10, 50, 100, 500, 1000, 5000} }
+
+// slidingSiteCounts is the sweep used by Figures 5.9 and 5.10.
+func slidingSiteCounts() []int { return []int{2, 5, 10, 20, 50} }
+
+// Figure57 reproduces Figure 5.7: per-site memory consumption versus window
+// size, with k=10 sites.
+func Figure57(cfg Config) *Table {
+	const k = 10
+	t := &Table{
+		Title:   "Figure 5.7: sliding windows, per-site memory vs window size (k=10)",
+		Columns: []string{"dataset", "window", "mean_per_site_memory", "max_per_site_memory"},
+		Plot:    &PlotSpec{Group: []int{0}, X: 1, Y: 2, LogX: true},
+	}
+	for _, ds := range datasets() {
+		for _, w := range windowSizes() {
+			mean, max, _ := slidingAverages(cfg, ds, k, w)
+			t.Append(ds, w, mean, max)
+		}
+	}
+	return t
+}
+
+// Figure58 reproduces Figure 5.8: the total number of messages versus window
+// size, with k=10 sites.
+func Figure58(cfg Config) *Table {
+	const k = 10
+	t := &Table{
+		Title:   "Figure 5.8: sliding windows, messages vs window size (k=10)",
+		Columns: []string{"dataset", "window", "messages"},
+		Plot:    &PlotSpec{Group: []int{0}, X: 1, Y: 2, LogX: true, LogY: true},
+	}
+	for _, ds := range datasets() {
+		for _, w := range windowSizes() {
+			_, _, msgs := slidingAverages(cfg, ds, k, w)
+			t.Append(ds, w, msgs)
+		}
+	}
+	return t
+}
+
+// Figure59 reproduces Figure 5.9: per-site memory consumption as a function
+// of the number of sites, with window size 100.
+func Figure59(cfg Config) *Table {
+	const window = 100
+	t := &Table{
+		Title:   "Figure 5.9: sliding windows, per-site memory vs number of sites (w=100)",
+		Columns: []string{"dataset", "k", "mean_per_site_memory", "max_per_site_memory"},
+		Plot:    &PlotSpec{Group: []int{0}, X: 1, Y: 2},
+	}
+	for _, ds := range datasets() {
+		for _, k := range slidingSiteCounts() {
+			mean, max, _ := slidingAverages(cfg, ds, k, window)
+			t.Append(ds, k, mean, max)
+		}
+	}
+	return t
+}
+
+// Figure510 reproduces Figure 5.10: communication complexity as a function
+// of the number of sites, with window size 100.
+func Figure510(cfg Config) *Table {
+	const window = 100
+	t := &Table{
+		Title:   "Figure 5.10: sliding windows, messages vs number of sites (w=100)",
+		Columns: []string{"dataset", "k", "messages"},
+		Plot:    &PlotSpec{Group: []int{0}, X: 1, Y: 2},
+	}
+	for _, ds := range datasets() {
+		for _, k := range slidingSiteCounts() {
+			_, _, msgs := slidingAverages(cfg, ds, k, window)
+			t.Append(ds, k, msgs)
+		}
+	}
+	return t
+}

@@ -1,0 +1,16 @@
+// Package hashing provides the hash-function substrate used by the distinct
+// sampling algorithms.
+//
+// The paper's algorithms treat a hash function h as an idealized uniform
+// random map from element identifiers into the unit interval [0, 1): the
+// distinct sample at any time is the set of elements achieving the s smallest
+// hash values. The reference implementation in the paper uses MurmurHash 2.0;
+// this package re-implements MurmurHash2-64A and MurmurHash3-x64-128 from
+// scratch (standard library only), plus SplitMix64 for seed derivation, and
+// wraps them behind the UnitHasher interface which yields float64 values in
+// [0, 1).
+//
+// Families of mutually independent hashers (one per parallel sampler copy,
+// as needed by sampling with replacement) are derived from a single master
+// seed via SplitMix64 so that every run of an experiment is reproducible.
+package hashing

@@ -1,0 +1,40 @@
+package hashing
+
+// SplitMix64 is a tiny, extremely well-mixed 64-bit generator used here for
+// two purposes: deriving independent seeds for families of hash functions,
+// and hashing integer keys directly (element identifiers that are already
+// uint64 values do not need the byte-oriented Murmur path).
+//
+// The constants are from Sebastiano Vigna's reference implementation.
+
+// SplitMix64 advances the state and returns the next 64-bit output. The
+// caller owns the state word; the function is pure given its input.
+func SplitMix64(state uint64) (next uint64, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return state, z
+}
+
+// Mix64 applies the SplitMix64 finalizer to a single word. It is a strong
+// integer hash: every input bit affects every output bit.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SeedSequence derives n mutually independent-looking seeds from master.
+// It is used to instantiate hash-function families (one hasher per parallel
+// sampler copy) and per-run RNG streams.
+func SeedSequence(master uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	state := master
+	for i := range seeds {
+		state, seeds[i] = SplitMix64(state)
+	}
+	return seeds
+}

@@ -1,0 +1,321 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// fakeSite is a minimal protocol site used to exercise the engines: it
+// forwards every arrival whose key starts with "send" to the coordinator and
+// remembers every threshold value it receives.
+type fakeSite struct {
+	id         int
+	received   []float64
+	arrivals   int
+	slotEnds   int
+	sendOnSlot bool // when set, emits one offer per slot end
+	memory     int
+}
+
+func (f *fakeSite) ID() int { return f.id }
+
+func (f *fakeSite) OnArrival(key string, _ int64, out *Outbox) {
+	f.arrivals++
+	if len(key) >= 4 && key[:4] == "send" {
+		out.ToCoordinator(Message{Kind: KindOffer, Key: key, Hash: 0.5})
+	}
+}
+
+func (f *fakeSite) OnMessage(msg Message, _ int64, _ *Outbox) {
+	if msg.Kind == KindThreshold {
+		f.received = append(f.received, msg.U)
+	}
+}
+
+func (f *fakeSite) OnSlotEnd(slot int64, out *Outbox) {
+	f.slotEnds++
+	if f.sendOnSlot {
+		out.ToCoordinator(Message{Kind: KindOffer, Key: "slot", Hash: 0.1})
+	}
+}
+
+func (f *fakeSite) Memory() int { return f.memory }
+
+// fakeCoordinator replies to every offer with a threshold and can optionally
+// broadcast instead.
+type fakeCoordinator struct {
+	offers    int
+	broadcast bool
+	sample    []SampleEntry
+}
+
+func (c *fakeCoordinator) OnMessage(msg Message, _ int64, out *Outbox) {
+	if msg.Kind != KindOffer {
+		return
+	}
+	c.offers++
+	c.sample = []SampleEntry{{Key: msg.Key, Hash: msg.Hash}}
+	if c.broadcast {
+		out.Broadcast(Message{Kind: KindThreshold, U: 0.25})
+	} else {
+		out.ToSite(msg.From, Message{Kind: KindThreshold, U: 0.25})
+	}
+}
+
+func (c *fakeCoordinator) OnSlotEnd(int64, *Outbox) {}
+
+func (c *fakeCoordinator) Sample() []SampleEntry { return c.sample }
+
+func newFakeRunner(k int, broadcast bool) (*Runner, []*fakeSite, *fakeCoordinator) {
+	sites := make([]*fakeSite, k)
+	nodes := make([]SiteNode, k)
+	for i := range sites {
+		sites[i] = &fakeSite{id: i, memory: i + 1}
+		nodes[i] = sites[i]
+	}
+	coord := &fakeCoordinator{broadcast: broadcast}
+	return &Runner{Sites: nodes, Coordinator: coord}, sites, coord
+}
+
+func TestRunnerValidation(t *testing.T) {
+	r := &Runner{}
+	if _, err := r.RunSequential(nil); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("expected ErrNoNodes, got %v", err)
+	}
+	if _, err := r.RunConcurrent(nil); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("expected ErrNoNodes, got %v", err)
+	}
+	// Site IDs must match their position.
+	bad := &Runner{Sites: []SiteNode{&fakeSite{id: 3}}, Coordinator: &fakeCoordinator{}}
+	if _, err := bad.RunSequential(nil); err == nil {
+		t.Fatal("expected an error for mismatched site IDs")
+	}
+}
+
+func TestRunnerEmptyStream(t *testing.T) {
+	r, _, _ := newFakeRunner(2, false)
+	m, err := r.RunSequential(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrivals != 0 || m.TotalMessages() != 0 {
+		t.Fatalf("empty stream metrics: %+v", m)
+	}
+	m, err = r.RunConcurrent(nil)
+	if err != nil || m.TotalMessages() != 0 {
+		t.Fatalf("empty concurrent run: %+v, %v", m, err)
+	}
+}
+
+func TestSequentialMessageCounting(t *testing.T) {
+	r, sites, coord := newFakeRunner(3, false)
+	arrivals := []stream.Arrival{
+		{Slot: 1, Site: 0, Key: "send-a"},
+		{Slot: 1, Site: 1, Key: "quiet"},
+		{Slot: 2, Site: 2, Key: "send-b"},
+		{Slot: 3, Site: 0, Key: "send-c"},
+	}
+	m, err := r.RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrivals != 4 {
+		t.Fatalf("Arrivals = %d", m.Arrivals)
+	}
+	// Three offers, three replies.
+	if m.UpMessages != 3 || m.DownMessages != 3 || m.TotalMessages() != 6 {
+		t.Fatalf("message counts: up %d down %d", m.UpMessages, m.DownMessages)
+	}
+	if coord.offers != 3 {
+		t.Fatalf("coordinator saw %d offers", coord.offers)
+	}
+	if m.PerSiteUp[0] != 2 || m.PerSiteUp[1] != 0 || m.PerSiteUp[2] != 1 {
+		t.Fatalf("PerSiteUp = %v", m.PerSiteUp)
+	}
+	if m.PerSiteDown[0] != 2 || m.PerSiteDown[2] != 1 {
+		t.Fatalf("PerSiteDown = %v", m.PerSiteDown)
+	}
+	// Replies reached the right sites.
+	if len(sites[0].received) != 2 || len(sites[1].received) != 0 || len(sites[2].received) != 1 {
+		t.Fatalf("replies: %d %d %d", len(sites[0].received), len(sites[1].received), len(sites[2].received))
+	}
+	// Every site sees OnSlotEnd once per slot between min and max (3 slots).
+	for i, s := range sites {
+		if s.slotEnds != 3 {
+			t.Fatalf("site %d slotEnds = %d, want 3", i, s.slotEnds)
+		}
+	}
+	if len(m.FinalSample) != 1 || m.FinalSample[0].Key != "send-c" {
+		t.Fatalf("FinalSample = %v", m.FinalSample)
+	}
+}
+
+func TestSequentialBroadcastCounting(t *testing.T) {
+	r, sites, _ := newFakeRunner(4, true)
+	arrivals := []stream.Arrival{{Slot: 0, Site: 1, Key: "send-x"}}
+	m, err := r.RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One offer up, broadcast counted as one message per site.
+	if m.UpMessages != 1 || m.DownMessages != 4 {
+		t.Fatalf("broadcast counts: up %d down %d", m.UpMessages, m.DownMessages)
+	}
+	for i, s := range sites {
+		if len(s.received) != 1 {
+			t.Fatalf("site %d received %d broadcasts", i, len(s.received))
+		}
+	}
+}
+
+func TestSequentialSlotEndMessages(t *testing.T) {
+	r, sites, _ := newFakeRunner(2, false)
+	sites[0].sendOnSlot = true
+	arrivals := []stream.Arrival{
+		{Slot: 1, Site: 1, Key: "quiet"},
+		{Slot: 3, Site: 1, Key: "quiet"},
+	}
+	m, err := r.RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site 0 sends one offer per slot end over slots 1..3.
+	if m.PerSiteUp[0] != 3 || m.PerSiteDown[0] != 3 {
+		t.Fatalf("slot-end sends: up %v down %v", m.PerSiteUp, m.PerSiteDown)
+	}
+}
+
+func TestSequentialTimeline(t *testing.T) {
+	r, _, _ := newFakeRunner(1, false)
+	r.TimelineEvery = 2
+	arrivals := make([]stream.Arrival, 7)
+	for i := range arrivals {
+		arrivals[i] = stream.Arrival{Slot: int64(i), Site: 0, Key: "send"}
+	}
+	m, err := r.RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points at 2, 4, 6 arrivals plus the final point at 7.
+	if len(m.Timeline) != 4 {
+		t.Fatalf("timeline has %d points: %v", len(m.Timeline), m.Timeline)
+	}
+	last := m.Timeline[len(m.Timeline)-1]
+	if last.Arrivals != 7 || last.Messages != m.TotalMessages() {
+		t.Fatalf("final timeline point %+v", last)
+	}
+	for i := 1; i < len(m.Timeline); i++ {
+		if m.Timeline[i].Messages < m.Timeline[i-1].Messages {
+			t.Fatal("timeline message counts not monotone")
+		}
+	}
+}
+
+func TestSequentialMemorySampling(t *testing.T) {
+	r, _, _ := newFakeRunner(3, false)
+	r.MemoryEvery = 2
+	arrivals := []stream.Arrival{
+		{Slot: 1, Site: 0, Key: "a"},
+		{Slot: 5, Site: 0, Key: "b"},
+	}
+	m, err := r.RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots 1..5 sampled every 2 slots: 1, 3, 5.
+	if len(m.Memory) != 3 {
+		t.Fatalf("memory points: %v", m.Memory)
+	}
+	// Fake sites report memory 1, 2, 3 -> mean 2, max 3.
+	for _, p := range m.Memory {
+		if p.MeanPerSite != 2 || p.MaxPerSite != 3 {
+			t.Fatalf("memory point %+v", p)
+		}
+	}
+	if m.MeanMemory() != 2 || m.MaxMemory() != 3 {
+		t.Fatalf("MeanMemory %v MaxMemory %v", m.MeanMemory(), m.MaxMemory())
+	}
+}
+
+func TestSequentialBadSite(t *testing.T) {
+	r, _, _ := newFakeRunner(2, false)
+	if _, err := r.RunSequential([]stream.Arrival{{Slot: 0, Site: 9, Key: "x"}}); err == nil {
+		t.Fatal("expected error for out-of-range site")
+	}
+	if _, err := r.RunConcurrent([]stream.Arrival{{Slot: 0, Site: 9, Key: "x"}}); err == nil {
+		t.Fatal("expected error for out-of-range site (concurrent)")
+	}
+}
+
+func TestConcurrentMatchesSequentialCounts(t *testing.T) {
+	// With the fake protocol the message pattern is deterministic, so both
+	// engines must agree exactly.
+	build := func() *Runner { r, _, _ := newFakeRunner(4, false); return r }
+	var arrivals []stream.Arrival
+	for slot := int64(0); slot < 20; slot++ {
+		for site := 0; site < 4; site++ {
+			key := "quiet"
+			if (int(slot)+site)%3 == 0 {
+				key = "send"
+			}
+			arrivals = append(arrivals, stream.Arrival{Slot: slot, Site: site, Key: key})
+		}
+	}
+	seq, err := build().RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := build().RunConcurrent(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.UpMessages != conc.UpMessages || seq.DownMessages != conc.DownMessages {
+		t.Fatalf("engines disagree: sequential %d/%d, concurrent %d/%d",
+			seq.UpMessages, seq.DownMessages, conc.UpMessages, conc.DownMessages)
+	}
+	if conc.Arrivals != len(arrivals) {
+		t.Fatalf("concurrent Arrivals = %d, want %d", conc.Arrivals, len(arrivals))
+	}
+}
+
+func TestConcurrentRejectsBroadcast(t *testing.T) {
+	r, _, _ := newFakeRunner(3, true)
+	arrivals := []stream.Arrival{{Slot: 0, Site: 0, Key: "send"}}
+	if _, err := r.RunConcurrent(arrivals); err == nil {
+		t.Fatal("expected the concurrent engine to reject a broadcasting coordinator")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindOffer:        "offer",
+		KindThreshold:    "threshold",
+		KindWindowOffer:  "window-offer",
+		KindWindowSample: "window-sample",
+		Kind(200):        "kind(200)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestOutboxDrain(t *testing.T) {
+	out := &Outbox{}
+	out.ToCoordinator(Message{Kind: KindOffer})
+	out.ToSite(2, Message{Kind: KindThreshold})
+	out.Broadcast(Message{Kind: KindThreshold})
+	envs := out.Drain()
+	if len(envs) != 3 {
+		t.Fatalf("drain returned %d envelopes", len(envs))
+	}
+	if envs[0].To != CoordinatorID || envs[1].To != 2 || !envs[2].Broadcast {
+		t.Fatalf("envelopes wrong: %+v", envs)
+	}
+	if len(out.Drain()) != 0 {
+		t.Fatal("second drain should be empty")
+	}
+}

@@ -1,0 +1,216 @@
+// Package plot renders experiment series as ASCII charts so that the shape
+// of every reproduced figure can be eyeballed directly in a terminal or a
+// text log, without any plotting dependency. It is deliberately small: a
+// scatter/line chart on a fixed character grid with optional logarithmic
+// axes, which is all the paper's figures need.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) pair.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Chart is a collection of series rendered onto one grid.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters; zero
+	// values select 72x20.
+	Width  int
+	Height int
+	// LogX / LogY switch the corresponding axis to log10 scale (points with
+	// non-positive coordinates are dropped on that axis).
+	LogX bool
+	LogY bool
+
+	series []Series
+}
+
+// Add appends a series to the chart.
+func (c *Chart) Add(name string, points []Point) {
+	c.series = append(c.series, Series{Name: name, Points: points})
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	return w, h
+}
+
+func (c *Chart) transform(p Point) (float64, float64, bool) {
+	x, y := p.X, p.Y
+	if c.LogX {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		x = math.Log10(x)
+	}
+	if c.LogY {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		y = math.Log10(y)
+	}
+	return x, y, true
+}
+
+// Render draws the chart. Series are overlaid on one grid; when two series
+// land on the same cell the later series' marker wins.
+func (c *Chart) Render() string {
+	width, height := c.dims()
+
+	// Collect transformed points and the data range.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type cellPoint struct {
+		x, y   float64
+		series int
+	}
+	var pts []cellPoint
+	for si, s := range c.series {
+		for _, p := range s.Points {
+			x, y, ok := c.transform(p)
+			if !ok {
+				continue
+			}
+			pts = append(pts, cellPoint{x, y, si})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	// Paint the grid.
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(width-1))
+		row := int((p.y - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-row][col] = markers[p.series%len(markers)]
+	}
+
+	// Y axis labels on the left, 10 characters wide.
+	yTop, yBottom := maxY, minY
+	if c.LogY {
+		yTop, yBottom = math.Pow(10, yTop), math.Pow(10, yBottom)
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = formatTick(yTop)
+		case height - 1:
+			label = formatTick(yBottom)
+		}
+		fmt.Fprintf(&b, "%10s |%s\n", label, string(row))
+	}
+	// X axis.
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	xLeft, xRight := minX, maxX
+	if c.LogX {
+		xLeft, xRight = math.Pow(10, xLeft), math.Pow(10, xRight)
+	}
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", width-len(formatTick(xRight)), formatTick(xLeft), formatTick(xRight))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s    y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	// Legend, in insertion order.
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.2g", v)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// FromRows builds a chart from tabular rows (as produced by the experiment
+// drivers): groupCols select the columns whose joined values name a series,
+// xCol and yCol select the numeric columns to plot. Rows whose numeric cells
+// do not parse are skipped.
+func FromRows(rows [][]string, groupCols []int, xCol, yCol int) []Series {
+	grouped := map[string][]Point{}
+	var order []string
+	for _, row := range rows {
+		if xCol >= len(row) || yCol >= len(row) {
+			continue
+		}
+		x, okX := parseFloat(row[xCol])
+		y, okY := parseFloat(row[yCol])
+		if !okX || !okY {
+			continue
+		}
+		var parts []string
+		for _, g := range groupCols {
+			if g < len(row) {
+				parts = append(parts, row[g])
+			}
+		}
+		name := strings.Join(parts, "/")
+		if _, ok := grouped[name]; !ok {
+			order = append(order, name)
+		}
+		grouped[name] = append(grouped[name], Point{X: x, Y: y})
+	}
+	var out []Series
+	for _, name := range order {
+		pts := grouped[name]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		out = append(out, Series{Name: name, Points: pts})
+	}
+	return out
+}
+
+func parseFloat(s string) (float64, bool) {
+	var v float64
+	_, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v)
+	return v, err == nil
+}

@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	c.Add("linear", []Point{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	c.Add("flat", []Point{{1, 2}, {2, 2}, {3, 2}, {4, 2}})
+	out := c.Render()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* linear") || !strings.Contains(out, "o flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if strings.Count(out, "*") < 4 { // 4 points plus the legend marker
+		t.Fatalf("points of the first series missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: x    y: y") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	// Rough geometry: the plot area is Height rows plus axis/legend lines.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 10+2 {
+		t.Fatalf("expected at least 12 lines, got %d", len(lines))
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	c := &Chart{}
+	if !strings.Contains(c.Render(), "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+	// A single point (degenerate range) must not divide by zero.
+	c = &Chart{}
+	c.Add("one", []Point{{5, 7}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	c := &Chart{LogX: true, LogY: true, Width: 30, Height: 8}
+	c.Add("pow", []Point{{1, 10}, {10, 100}, {100, 1000}, {1000, 10000}})
+	// Points with non-positive coordinates are dropped rather than breaking
+	// the log transform.
+	c.Add("bad", []Point{{0, 5}, {-3, 7}})
+	out := c.Render()
+	if !strings.Contains(out, "pow") {
+		t.Fatalf("series missing:\n%s", out)
+	}
+	// On log-log axes a power law is a straight diagonal: the marker for the
+	// smallest point must be in the bottom-left region and the largest in
+	// the top-right region.
+	lines := strings.Split(out, "\n")
+	var first, last int
+	for i, line := range lines {
+		if strings.Contains(line, "*") && strings.Contains(line, "|") {
+			if first == 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first == 0 || last <= first {
+		t.Fatalf("could not locate plotted rows:\n%s", out)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		2.5:     "2.5",
+		1e7:     "1e+07",
+		0.00005: "5e-05",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	rows := [][]string{
+		{"oc48", "flooding", "10", "100"},
+		{"oc48", "flooding", "20", "200"},
+		{"oc48", "random", "10", "50"},
+		{"enron", "flooding", "10", "90"},
+		{"bad", "row", "x", "y"}, // skipped: non-numeric
+		{"short"},                // skipped: missing columns
+	}
+	series := FromRows(rows, []int{0, 1}, 2, 3)
+	if len(series) != 3 {
+		t.Fatalf("expected 3 series, got %d (%v)", len(series), series)
+	}
+	if series[0].Name != "oc48/flooding" || len(series[0].Points) != 2 {
+		t.Fatalf("first series wrong: %+v", series[0])
+	}
+	if series[0].Points[0].X != 10 || series[0].Points[1].Y != 200 {
+		t.Fatalf("points wrong: %+v", series[0].Points)
+	}
+	if series[1].Name != "oc48/random" || series[2].Name != "enron/flooding" {
+		t.Fatalf("series order wrong: %v, %v", series[1].Name, series[2].Name)
+	}
+	// Points are sorted by x even if rows were not.
+	unsorted := [][]string{
+		{"a", "3", "30"},
+		{"a", "1", "10"},
+		{"a", "2", "20"},
+	}
+	s := FromRows(unsorted, []int{0}, 1, 2)
+	if s[0].Points[0].X != 1 || s[0].Points[2].X != 3 {
+		t.Fatalf("points not sorted: %+v", s[0].Points)
+	}
+}

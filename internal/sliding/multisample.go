@@ -1,0 +1,163 @@
+package sliding
+
+import (
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// The paper presents the sliding-window algorithm for sample size s = 1 and
+// notes that "the extension to larger sample sizes is straightforward". This
+// file provides that extension in the same way the infinite-window chapter
+// extends to sampling with replacement: s independent copies of the
+// single-element window sampler, each with its own hash function. Copy i
+// maintains the element with the smallest h_i-hash among the distinct
+// elements of the current window, so together the copies form a size-s
+// distinct sample (with replacement) of the window. Memory and message cost
+// are s times those of the single-element sampler.
+//
+// Messages carry the copy index in their Copy field; the engine treats each
+// copy's exchange as a separate message, matching the paper's accounting for
+// the analogous infinite-window construction.
+
+// MultiSite runs the site half of all s copies at one site.
+type MultiSite struct {
+	id     int
+	copies []*Site
+}
+
+// NewMultiSite constructs a site with one single-element window sampler per
+// member of the hash family.
+func NewMultiSite(id int, family *hashing.Family, window int64, seed uint64) *MultiSite {
+	seeds := hashing.SeedSequence(seed, family.Size())
+	copies := make([]*Site, family.Size())
+	for i := range copies {
+		copies[i] = NewSite(id, family.At(i), window, seeds[i])
+	}
+	return &MultiSite{id: id, copies: copies}
+}
+
+// ID implements netsim.SiteNode.
+func (m *MultiSite) ID() int { return m.id }
+
+// Copies returns the number of parallel samplers.
+func (m *MultiSite) Copies() int { return len(m.copies) }
+
+// forward runs fn against copy i and re-tags every message it produced with
+// the copy index.
+func (m *MultiSite) forward(i int, out *netsim.Outbox, fn func(copy *Site, scratch *netsim.Outbox)) {
+	scratch := &netsim.Outbox{}
+	fn(m.copies[i], scratch)
+	for _, env := range scratch.Drain() {
+		env.Msg.Copy = i
+		if env.To == netsim.CoordinatorID {
+			out.ToCoordinator(env.Msg)
+		} else {
+			out.ToSite(env.To, env.Msg)
+		}
+	}
+}
+
+// OnArrival implements netsim.SiteNode.
+func (m *MultiSite) OnArrival(key string, slot int64, out *netsim.Outbox) {
+	for i := range m.copies {
+		m.forward(i, out, func(c *Site, scratch *netsim.Outbox) { c.OnArrival(key, slot, scratch) })
+	}
+}
+
+// OnMessage implements netsim.SiteNode: the coordinator's reply is routed to
+// the copy it belongs to.
+func (m *MultiSite) OnMessage(msg netsim.Message, slot int64, out *netsim.Outbox) {
+	if msg.Copy < 0 || msg.Copy >= len(m.copies) {
+		return
+	}
+	m.forward(msg.Copy, out, func(c *Site, scratch *netsim.Outbox) { c.OnMessage(msg, slot, scratch) })
+}
+
+// OnSlotEnd implements netsim.SiteNode.
+func (m *MultiSite) OnSlotEnd(slot int64, out *netsim.Outbox) {
+	for i := range m.copies {
+		m.forward(i, out, func(c *Site, scratch *netsim.Outbox) { c.OnSlotEnd(slot, scratch) })
+	}
+}
+
+// Memory implements netsim.SiteNode: the total number of tuples across all
+// copies.
+func (m *MultiSite) Memory() int {
+	total := 0
+	for _, c := range m.copies {
+		total += c.Memory()
+	}
+	return total
+}
+
+// MultiCoordinator runs the coordinator half of all s copies.
+type MultiCoordinator struct {
+	copies []*Coordinator
+}
+
+// NewMultiCoordinator constructs a coordinator with sampleSize independent
+// single-element window coordinators.
+func NewMultiCoordinator(sampleSize int) *MultiCoordinator {
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+	copies := make([]*Coordinator, sampleSize)
+	for i := range copies {
+		copies[i] = NewCoordinator()
+	}
+	return &MultiCoordinator{copies: copies}
+}
+
+// OnMessage implements netsim.CoordinatorNode.
+func (m *MultiCoordinator) OnMessage(msg netsim.Message, slot int64, out *netsim.Outbox) {
+	if msg.Copy < 0 || msg.Copy >= len(m.copies) {
+		return
+	}
+	scratch := &netsim.Outbox{}
+	m.copies[msg.Copy].OnMessage(msg, slot, scratch)
+	for _, env := range scratch.Drain() {
+		env.Msg.Copy = msg.Copy
+		out.ToSite(env.To, env.Msg)
+	}
+}
+
+// OnSlotEnd implements netsim.CoordinatorNode.
+func (m *MultiCoordinator) OnSlotEnd(slot int64, out *netsim.Outbox) {
+	for _, c := range m.copies {
+		c.OnSlotEnd(slot, out)
+	}
+}
+
+// Sample implements netsim.CoordinatorNode: one entry per copy that
+// currently holds a live candidate. Because the copies are independent, the
+// same element may appear under several copies (sampling with replacement).
+func (m *MultiCoordinator) Sample() []netsim.SampleEntry {
+	var entries []netsim.SampleEntry
+	for _, c := range m.copies {
+		entries = append(entries, c.Sample()...)
+	}
+	return entries
+}
+
+// CopySample returns the candidate of one copy.
+func (m *MultiCoordinator) CopySample(i int) (netsim.SampleEntry, bool) {
+	if i < 0 || i >= len(m.copies) {
+		return netsim.SampleEntry{}, false
+	}
+	key, hash, expiry, ok := m.copies[i].Current()
+	return netsim.SampleEntry{Key: key, Hash: hash, Expiry: expiry}, ok
+}
+
+// NewMultiSystem constructs a sliding-window system that maintains a
+// distinct sample of sampleSize elements (with replacement) over the last
+// window slots, using a family of independent hash functions derived from
+// masterSeed.
+func NewMultiSystem(k, sampleSize int, window int64, kind hashing.Kind, masterSeed uint64) *System {
+	family := hashing.NewFamily(kind, masterSeed, sampleSize)
+	siteSeeds := hashing.SeedSequence(masterSeed^0xf00d, k)
+	sites := make([]netsim.SiteNode, k)
+	for i := range sites {
+		sites[i] = NewMultiSite(i, family, window, siteSeeds[i])
+	}
+	return &System{Sites: sites, Coordinator: NewMultiCoordinator(sampleSize)}
+}

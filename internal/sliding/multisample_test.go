@@ -1,0 +1,197 @@
+package sliding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+func TestMultiSiteUnits(t *testing.T) {
+	family := hashing.NewFamily(hashing.KindMurmur2, 9, 3)
+	site := NewMultiSite(4, family, 20, 1)
+	if site.ID() != 4 || site.Copies() != 3 || site.Memory() != 0 {
+		t.Fatal("fresh multi-site state wrong")
+	}
+	out := &netsim.Outbox{}
+	site.OnArrival("a", 100, out)
+	envs := out.Drain()
+	if len(envs) != 3 {
+		t.Fatalf("first arrival should be offered by all copies, got %d", len(envs))
+	}
+	seenCopies := map[int]bool{}
+	for _, e := range envs {
+		if e.To != netsim.CoordinatorID || e.Msg.Kind != netsim.KindWindowOffer {
+			t.Fatalf("bad envelope %+v", e)
+		}
+		if e.Msg.Hash != family.At(e.Msg.Copy).Unit("a") {
+			t.Fatalf("copy %d offered wrong hash", e.Msg.Copy)
+		}
+		seenCopies[e.Msg.Copy] = true
+	}
+	if len(seenCopies) != 3 {
+		t.Fatalf("offers cover copies %v", seenCopies)
+	}
+	if site.Memory() != 3 {
+		t.Fatalf("memory = %d after one arrival across 3 copies", site.Memory())
+	}
+	// Replies are routed to the right copy only.
+	site.OnMessage(netsim.Message{Kind: netsim.KindWindowSample, Key: "a", Hash: family.At(1).Unit("a"), Expiry: 119, Copy: 1}, 100, out)
+	if site.copies[1].Threshold() != family.At(1).Unit("a") {
+		t.Fatal("reply did not reach copy 1")
+	}
+	if site.copies[0].Threshold() != 1 {
+		t.Fatal("reply leaked into copy 0")
+	}
+	// Out-of-range copies are ignored.
+	site.OnMessage(netsim.Message{Kind: netsim.KindWindowSample, Copy: 9}, 100, out)
+	out.Drain()
+	// Slot-end expiry fires per copy.
+	site.OnSlotEnd(500, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("slot end over an empty window should not send")
+	}
+}
+
+func TestMultiCoordinatorUnits(t *testing.T) {
+	c := NewMultiCoordinator(2)
+	out := &netsim.Outbox{}
+	c.OnMessage(netsim.Message{Kind: netsim.KindWindowOffer, Key: "a", Hash: 0.3, Expiry: 50, Copy: 0, From: 1}, 10, out)
+	envs := out.Drain()
+	if len(envs) != 1 || envs[0].To != 1 || envs[0].Msg.Copy != 0 {
+		t.Fatalf("reply wrong: %+v", envs)
+	}
+	if entry, ok := c.CopySample(0); !ok || entry.Key != "a" {
+		t.Fatalf("copy 0 sample = %+v, %v", entry, ok)
+	}
+	if _, ok := c.CopySample(1); ok {
+		t.Fatal("copy 1 should be empty")
+	}
+	if _, ok := c.CopySample(9); ok {
+		t.Fatal("out-of-range copy should report not ok")
+	}
+	// Out-of-range copy offers are dropped.
+	c.OnMessage(netsim.Message{Kind: netsim.KindWindowOffer, Copy: 5, From: 0}, 10, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("unexpected reply to out-of-range copy")
+	}
+	if len(c.Sample()) != 1 {
+		t.Fatalf("Sample size %d, want 1", len(c.Sample()))
+	}
+	if NewMultiCoordinator(0) == nil {
+		t.Fatal("sample size clamp failed")
+	}
+	c.OnSlotEnd(100, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("slot end produced traffic")
+	}
+}
+
+func TestMultiSystemMatchesBruteForcePerCopy(t *testing.T) {
+	// At the end of every slot, each copy's candidate must be the
+	// minimum-hash live element under that copy's hash function.
+	const (
+		k      = 3
+		s      = 4
+		window = 20
+		slots  = 300
+		seed   = 555
+	)
+	family := hashing.NewFamily(hashing.KindMurmur2, seed, s)
+	rng := rand.New(rand.NewSource(3))
+	var arrivals []stream.Arrival
+	for slot := int64(1); slot <= slots; slot++ {
+		for j := 0; j < 3; j++ {
+			arrivals = append(arrivals, stream.Arrival{
+				Slot: slot, Site: rng.Intn(k), Key: fmt.Sprintf("k%d", rng.Intn(80)),
+			})
+		}
+	}
+
+	sys := NewMultiSystem(k, s, window, hashing.KindMurmur2, seed)
+	coord := sys.Coordinator.(*MultiCoordinator)
+	d := &driver{sys: sys}
+	for slot := int64(1); slot <= slots; slot++ {
+		d.playSlot(slot, arrivals)
+		live := stream.WindowDistinct(arrivals, slot, window)
+		if len(live) == 0 {
+			continue
+		}
+		for copyIdx := 0; copyIdx < s; copyIdx++ {
+			wantKey, wantHash := "", math.Inf(1)
+			for key := range live {
+				if u := family.At(copyIdx).Unit(key); u < wantHash {
+					wantKey, wantHash = key, u
+				}
+			}
+			got, ok := coord.CopySample(copyIdx)
+			if !ok {
+				t.Fatalf("slot %d copy %d: no sample but %d live elements", slot, copyIdx, len(live))
+			}
+			if got.Key != wantKey {
+				t.Fatalf("slot %d copy %d: sample %q, want %q", slot, copyIdx, got.Key, wantKey)
+			}
+		}
+	}
+}
+
+func TestMultiSystemEndToEndCost(t *testing.T) {
+	// The s-copy system costs roughly s times the single-copy system in both
+	// messages and memory, and stays compatible with both engines.
+	elements := stream.Reslot(dataset.Enron(0.003, 4).Generate(), 5)
+	const (
+		k      = 5
+		s      = 6
+		window = 200
+	)
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, 9))
+
+	single := NewSystem(k, window, hashing.NewMurmur2(77), 3)
+	mSingle, err := single.Runner(0, 20).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := NewMultiSystem(k, s, window, hashing.KindMurmur2, 77)
+	mMulti, err := multi.Runner(0, 20).RunSequential(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mMulti.FinalSample) != s {
+		t.Fatalf("final sample size %d, want %d", len(mMulti.FinalSample), s)
+	}
+	ratio := float64(mMulti.TotalMessages()) / float64(mSingle.TotalMessages())
+	if ratio < float64(s)/2 || ratio > float64(s)*2 {
+		t.Fatalf("multi/single message ratio %.2f far from s=%d", ratio, s)
+	}
+	memRatio := mMulti.MeanMemory() / mSingle.MeanMemory()
+	if memRatio < float64(s)/2 || memRatio > float64(s)*2 {
+		t.Fatalf("multi/single memory ratio %.2f far from s=%d", memRatio, s)
+	}
+
+	// Concurrent engine compatibility.
+	multi2 := NewMultiSystem(k, s, window, hashing.KindMurmur2, 77)
+	m2, err := multi2.Runner(0, 0).RunConcurrent(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.FinalSample) != s {
+		t.Fatalf("concurrent final sample size %d, want %d", len(m2.FinalSample), s)
+	}
+	// Each copy's final candidate must agree between engines (both equal the
+	// brute-force window minimum under that copy's hash).
+	c1 := multi.Coordinator.(*MultiCoordinator)
+	c2 := multi2.Coordinator.(*MultiCoordinator)
+	for i := 0; i < s; i++ {
+		a, okA := c1.CopySample(i)
+		b, okB := c2.CopySample(i)
+		if okA != okB || a.Key != b.Key {
+			t.Fatalf("copy %d differs between engines: %v/%v vs %v/%v", i, a.Key, okA, b.Key, okB)
+		}
+	}
+}

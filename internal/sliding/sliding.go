@@ -1,0 +1,246 @@
+// Package sliding implements the paper's sliding-window extension
+// (Chapter 4, Algorithms 3 and 4): continuous maintenance of a distinct
+// random sample over the elements whose most recent arrival lies within the
+// last w time slots, across k distributed sites and a coordinator.
+//
+// The sample size is s = 1, as in the paper ("for simplicity, we present the
+// algorithm for the case s = 1; the extension to larger sample sizes is
+// straightforward"). Each site keeps
+//
+//   - its local candidate sample (e_i, u_i, t_i): the element, its hash, and
+//     the slot at which it expires, learned from the coordinator's replies;
+//   - the set T_i of tuples that could still become the window minimum now
+//     or in the future, stored in a treap-backed dominance structure
+//     (internal/treap.WindowStore). Expected size is H_M = O(log M) where M
+//     is the number of distinct elements the site currently has in the
+//     window (Lemma 10).
+//
+// A site talks to the coordinator in two situations: a new arrival hashes
+// below u_i, or the site's candidate sample expires (then it promotes the
+// minimum of T_i and reports it). The coordinator keeps only the globally
+// best candidate (e*, u*, t*) and answers every report with it.
+//
+// Slot/expiry convention: an element arriving at slot a is part of the
+// window at every slot t with t-w+1 <= a <= t, i.e. it is live through slot
+// a+w-1; its expiry field is that last live slot.
+package sliding
+
+import (
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/treap"
+)
+
+// Site is the per-site half of the sliding-window protocol (Algorithm 3).
+type Site struct {
+	id     int
+	hasher hashing.UnitHasher
+	window int64
+	store  *treap.WindowStore
+
+	// Local candidate sample (e_i, u_i, t_i). hasSample is false before the
+	// first element and whenever the window empties.
+	sampleKey    string
+	sampleHash   float64
+	sampleExpiry int64
+	hasSample    bool
+}
+
+// NewSite constructs a sliding-window site with index id, the shared hash
+// function, the window size in slots, and a seed for the treap's internal
+// priorities.
+func NewSite(id int, hasher hashing.UnitHasher, window int64, seed uint64) *Site {
+	if window < 1 {
+		window = 1
+	}
+	return &Site{
+		id:     id,
+		hasher: hasher,
+		window: window,
+		store:  treap.NewWindowStore(seed),
+	}
+}
+
+// ID implements netsim.SiteNode.
+func (s *Site) ID() int { return s.id }
+
+// Window returns the window size in slots.
+func (s *Site) Window() int64 { return s.window }
+
+// Threshold returns the site's current view u_i of the sample hash
+// (1 when the site has no sample). Used by tests and invariant checks.
+func (s *Site) Threshold() float64 {
+	if !s.hasSample {
+		return 1
+	}
+	return s.sampleHash
+}
+
+// expiryFor returns the last slot at which an element arriving at slot is
+// still inside the window.
+func (s *Site) expiryFor(slot int64) int64 { return slot + s.window - 1 }
+
+// OnArrival implements netsim.SiteNode (Algorithm 3, lines 3-15).
+func (s *Site) OnArrival(key string, slot int64, out *netsim.Outbox) {
+	// Drop tuples that have fallen out of the window before doing anything
+	// else (Algorithm 3 line 10).
+	s.store.ExpireBefore(slot)
+
+	h := s.hasher.Unit(key)
+	expiry := s.expiryFor(slot)
+	// Insert or refresh the tuple; dominated tuples are pruned inside.
+	s.store.Observe(key, h, expiry)
+
+	if !s.hasSample || h < s.sampleHash {
+		// The element may change the global sample: report it.
+		out.ToCoordinator(netsim.Message{Kind: netsim.KindWindowOffer, Key: key, Hash: h, Expiry: expiry})
+	}
+}
+
+// OnMessage implements netsim.SiteNode (Algorithm 3, lines 16-20): the
+// coordinator's reply becomes the site's candidate sample and joins T_i so
+// that it can be promoted again later.
+func (s *Site) OnMessage(msg netsim.Message, slot int64, _ *netsim.Outbox) {
+	if msg.Kind != netsim.KindWindowSample {
+		return
+	}
+	s.sampleKey = msg.Key
+	s.sampleHash = msg.Hash
+	s.sampleExpiry = msg.Expiry
+	s.hasSample = true
+	s.store.Observe(msg.Key, msg.Hash, msg.Expiry)
+	s.store.ExpireBefore(slot)
+}
+
+// OnSlotEnd implements netsim.SiteNode (Algorithm 3, lines 21-25): when the
+// site's candidate sample has expired, promote the minimum of T_i and report
+// it to the coordinator.
+func (s *Site) OnSlotEnd(slot int64, out *netsim.Outbox) {
+	s.store.ExpireBefore(slot)
+	if s.hasSample && s.sampleExpiry >= slot {
+		return // still live
+	}
+	min, ok := s.store.Min()
+	if !ok {
+		// Nothing live at this site: fall back to the initial state so that
+		// the next arrival is reported unconditionally.
+		s.hasSample = false
+		s.sampleKey, s.sampleHash, s.sampleExpiry = "", 0, 0
+		return
+	}
+	s.sampleKey, s.sampleHash, s.sampleExpiry = min.Key, min.Hash, min.Expiry
+	s.hasSample = true
+	out.ToCoordinator(netsim.Message{Kind: netsim.KindWindowOffer, Key: min.Key, Hash: min.Hash, Expiry: min.Expiry})
+}
+
+// Memory implements netsim.SiteNode: the number of tuples in T_i, the
+// quantity plotted in Figures 5.7 and 5.9.
+func (s *Site) Memory() int { return s.store.Len() }
+
+// StoreHeight exposes the treap height (diagnostics and the treap-bound
+// extension experiment).
+func (s *Site) StoreHeight() int { return s.store.Height() }
+
+// Coordinator is the coordinator half of the sliding-window protocol
+// (Algorithm 4), with one strengthening over the paper's pseudocode.
+//
+// Algorithm 4 keeps only the single best candidate (e*, u*, t*); when that
+// candidate expires, the coordinator adopts whatever the next reporting site
+// offers — even though a strictly better, still-live element may have been
+// offered to it earlier and then discarded, and the site holding that
+// element stays silent because its own view has not expired. The sample at
+// the coordinator can then differ from the true window minimum for up to a
+// window length. To keep the sample exact at every slot boundary, this
+// coordinator retains the non-dominated set of all offers it has received
+// (the same structure each site keeps, per Babcock et al. priority
+// sampling): expected size O(log |D^w|), zero additional messages, and when
+// the current minimum expires the next-best previously offered element takes
+// over automatically. The current sample is always the minimum-hash live
+// tuple of this store.
+type Coordinator struct {
+	offers   *treap.WindowStore
+	lastSlot int64
+}
+
+// NewCoordinator constructs an empty sliding-window coordinator.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{offers: treap.NewWindowStore(0x5eed)}
+}
+
+// OnMessage implements netsim.CoordinatorNode (Algorithm 4, lines 2-7).
+func (c *Coordinator) OnMessage(msg netsim.Message, slot int64, out *netsim.Outbox) {
+	if msg.Kind != netsim.KindWindowOffer {
+		return
+	}
+	if slot > c.lastSlot {
+		c.lastSlot = slot
+	}
+	c.offers.ExpireBefore(slot)
+	c.offers.Observe(msg.Key, msg.Hash, msg.Expiry)
+	if min, ok := c.offers.Min(); ok {
+		out.ToSite(msg.From, netsim.Message{
+			Kind: netsim.KindWindowSample, Key: min.Key, Hash: min.Hash, Expiry: min.Expiry,
+		})
+	}
+}
+
+// OnSlotEnd implements netsim.CoordinatorNode: drop offers that fell out of
+// the window so that queries between slots see only live candidates.
+func (c *Coordinator) OnSlotEnd(slot int64, _ *netsim.Outbox) {
+	if slot > c.lastSlot {
+		c.lastSlot = slot
+	}
+	c.offers.ExpireBefore(slot)
+}
+
+// Sample implements netsim.CoordinatorNode: the current window sample (one
+// entry, or none when no live element has been offered).
+func (c *Coordinator) Sample() []netsim.SampleEntry {
+	min, ok := c.offers.Min()
+	if !ok {
+		return nil
+	}
+	return []netsim.SampleEntry{{Key: min.Key, Hash: min.Hash, Expiry: min.Expiry}}
+}
+
+// Current returns the coordinator's candidate and whether one exists,
+// without allocating. Used by tests that check the sample every slot.
+func (c *Coordinator) Current() (key string, hash float64, expiry int64, ok bool) {
+	min, ok := c.offers.Min()
+	if !ok {
+		return "", 0, 0, false
+	}
+	return min.Key, min.Hash, min.Expiry, true
+}
+
+// StoreLen exposes the size of the coordinator's offer store (diagnostics
+// and the memory extension experiment).
+func (c *Coordinator) StoreLen() int { return c.offers.Len() }
+
+// System bundles the sliding-window sites and coordinator.
+type System struct {
+	Sites       []netsim.SiteNode
+	Coordinator netsim.CoordinatorNode
+}
+
+// Runner returns a netsim.Runner over the system's nodes.
+func (sys *System) Runner(timelineEvery int, memoryEvery int64) *netsim.Runner {
+	return &netsim.Runner{
+		Sites:         sys.Sites,
+		Coordinator:   sys.Coordinator,
+		TimelineEvery: timelineEvery,
+		MemoryEvery:   memoryEvery,
+	}
+}
+
+// NewSystem constructs a complete sliding-window sampling system: k sites
+// over the given window size, sharing hasher. seed derives the per-site
+// treap seeds.
+func NewSystem(k int, window int64, hasher hashing.UnitHasher, seed uint64) *System {
+	seeds := hashing.SeedSequence(seed, k)
+	sites := make([]netsim.SiteNode, k)
+	for i := range sites {
+		sites[i] = NewSite(i, hasher, window, seeds[i])
+	}
+	return &System{Sites: sites, Coordinator: NewCoordinator()}
+}

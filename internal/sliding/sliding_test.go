@@ -1,0 +1,397 @@
+package sliding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+func testHasher() *hashing.Hasher { return hashing.NewMurmur2(0xabad1dea) }
+
+// driver plays arrivals slot by slot directly against the protocol nodes,
+// delivering messages instantly, so tests can check the coordinator after
+// every slot. It mirrors the sequential engine's order of operations.
+type driver struct {
+	sys  *System
+	up   int
+	down int
+}
+
+func (d *driver) route(from int, out *netsim.Outbox, slot int64) {
+	queue := out.Drain()
+	for len(queue) > 0 {
+		env := queue[0]
+		queue = queue[1:]
+		env.Msg.From = from
+		next := &netsim.Outbox{}
+		if env.To == netsim.CoordinatorID {
+			d.up++
+			d.sys.Coordinator.OnMessage(env.Msg, slot, next)
+			for _, e := range next.Drain() {
+				d.down++
+				e.Msg.From = netsim.CoordinatorID
+				d.sys.Sites[e.To].OnMessage(e.Msg, slot, &netsim.Outbox{})
+			}
+		}
+	}
+}
+
+// playSlot delivers the slot's arrivals and runs the end-of-slot phase.
+func (d *driver) playSlot(slot int64, arrivals []stream.Arrival) {
+	out := &netsim.Outbox{}
+	for _, a := range arrivals {
+		if a.Slot != slot {
+			continue
+		}
+		d.sys.Sites[a.Site].OnArrival(a.Key, slot, out)
+		d.route(a.Site, out, slot)
+	}
+	for id, site := range d.sys.Sites {
+		site.OnSlotEnd(slot, out)
+		d.route(id, out, slot)
+	}
+}
+
+func TestSiteUnitBehaviour(t *testing.T) {
+	h := testHasher()
+	site := NewSite(3, h, 10, 1)
+	if site.ID() != 3 || site.Window() != 10 || site.Memory() != 0 || site.Threshold() != 1 {
+		t.Fatal("fresh site state wrong")
+	}
+	out := &netsim.Outbox{}
+	// First arrival is always reported.
+	site.OnArrival("a", 100, out)
+	envs := out.Drain()
+	if len(envs) != 1 || envs[0].Msg.Kind != netsim.KindWindowOffer {
+		t.Fatalf("first arrival not offered: %v", envs)
+	}
+	if envs[0].Msg.Expiry != 109 {
+		t.Fatalf("expiry = %d, want arrival+window-1 = 109", envs[0].Msg.Expiry)
+	}
+	// Reply installs the sample.
+	site.OnMessage(netsim.Message{Kind: netsim.KindWindowSample, Key: "a", Hash: h.Unit("a"), Expiry: 109}, 100, out)
+	if site.Threshold() != h.Unit("a") {
+		t.Fatal("reply did not install the sample")
+	}
+	// An element with a larger hash is not reported...
+	big, small := findHashOrdered(h, "a")
+	site.OnArrival(big, 101, out)
+	if len(out.Drain()) != 0 {
+		t.Fatalf("element with larger hash than the sample was offered")
+	}
+	// ...but one with a smaller hash is.
+	site.OnArrival(small, 101, out)
+	if len(out.Drain()) != 1 {
+		t.Fatal("element with smaller hash than the sample was not offered")
+	}
+	// Non-sample messages are ignored.
+	site.OnMessage(netsim.Message{Kind: netsim.KindThreshold, U: 0.5}, 101, out)
+	if site.Threshold() == 0.5 {
+		t.Fatal("site applied a non-window message")
+	}
+	// While the sample is live, OnSlotEnd is silent.
+	site.OnSlotEnd(105, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("slot end with a live sample should not send")
+	}
+	if site.StoreHeight() < 1 {
+		t.Fatal("store height should be positive with live tuples")
+	}
+}
+
+// findHashOrdered returns two keys, the first hashing above the pivot key
+// and the second hashing below it.
+func findHashOrdered(h hashing.UnitHasher, pivot string) (bigger, smaller string) {
+	p := h.Unit(pivot)
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if h.Unit(k) > p && bigger == "" {
+			bigger = k
+		}
+		if h.Unit(k) < p && smaller == "" {
+			smaller = k
+		}
+		if bigger != "" && smaller != "" {
+			return bigger, smaller
+		}
+	}
+}
+
+func TestSiteExpiryPromotion(t *testing.T) {
+	h := testHasher()
+	site := NewSite(0, h, 5, 2)
+	out := &netsim.Outbox{}
+
+	// Observe two elements; adopt the smaller one as the sample.
+	site.OnArrival("first", 10, out)
+	out.Drain()
+	site.OnMessage(netsim.Message{Kind: netsim.KindWindowSample, Key: "first", Hash: h.Unit("first"), Expiry: 14}, 10, out)
+	site.OnArrival("second", 12, out)
+	out.Drain()
+
+	// At slot 15 the sample ("first", expiry 14) has expired: the site must
+	// promote its local minimum among live tuples and report it.
+	site.OnSlotEnd(15, out)
+	envs := out.Drain()
+	if len(envs) != 1 {
+		t.Fatalf("expiry promotion sent %d messages, want 1", len(envs))
+	}
+	if envs[0].Msg.Key != "second" || envs[0].Msg.Expiry != 16 {
+		t.Fatalf("promoted %+v, want second expiring at 16", envs[0].Msg)
+	}
+	// Once everything expires the site goes quiet and resets.
+	site.OnSlotEnd(40, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("empty-window slot end should not send")
+	}
+	if site.Memory() != 0 || site.Threshold() != 1 {
+		t.Fatalf("site not reset after window emptied: mem %d thr %v", site.Memory(), site.Threshold())
+	}
+	// The next arrival is reported unconditionally again.
+	site.OnArrival("later", 50, out)
+	if len(out.Drain()) != 1 {
+		t.Fatal("arrival after empty window not offered")
+	}
+}
+
+func TestCoordinatorUnitBehaviour(t *testing.T) {
+	c := NewCoordinator()
+	if len(c.Sample()) != 0 {
+		t.Fatal("fresh coordinator should have no sample")
+	}
+	out := &netsim.Outbox{}
+	// First offer is adopted and echoed back.
+	c.OnMessage(netsim.Message{Kind: netsim.KindWindowOffer, Key: "a", Hash: 0.6, Expiry: 20, From: 2}, 10, out)
+	envs := out.Drain()
+	if len(envs) != 1 || envs[0].To != 2 || envs[0].Msg.Key != "a" || envs[0].Msg.Kind != netsim.KindWindowSample {
+		t.Fatalf("reply wrong: %+v", envs)
+	}
+	// A worse offer while the sample is live: sample unchanged, but the
+	// reply still carries the current sample.
+	c.OnMessage(netsim.Message{Kind: netsim.KindWindowOffer, Key: "b", Hash: 0.9, Expiry: 30, From: 0}, 11, out)
+	envs = out.Drain()
+	if envs[0].Msg.Key != "a" {
+		t.Fatalf("reply after worse offer = %+v, want a", envs[0].Msg)
+	}
+	// A better offer replaces the sample.
+	c.OnMessage(netsim.Message{Kind: netsim.KindWindowOffer, Key: "c", Hash: 0.1, Expiry: 25, From: 1}, 12, out)
+	if key, _, _, _ := c.Current(); key != "c" {
+		t.Fatalf("better offer not adopted: %q", key)
+	}
+	out.Drain()
+	// After the sample expires, even a worse offer is adopted.
+	c.OnMessage(netsim.Message{Kind: netsim.KindWindowOffer, Key: "d", Hash: 0.7, Expiry: 40, From: 1}, 30, out)
+	if key, _, _, _ := c.Current(); key != "d" {
+		t.Fatalf("expired sample not replaced: %q", key)
+	}
+	out.Drain()
+	// Ignored message kinds.
+	c.OnMessage(netsim.Message{Kind: netsim.KindOffer}, 30, out)
+	c.OnSlotEnd(30, out)
+	if len(out.Drain()) != 0 {
+		t.Fatal("unexpected traffic")
+	}
+	if len(c.Sample()) != 1 {
+		t.Fatal("Sample should return one entry")
+	}
+}
+
+func TestSlidingMatchesBruteForceEverySlot(t *testing.T) {
+	// The coordinator's sample at the end of every slot must be the
+	// minimum-hash element among the distinct elements of the current
+	// window (the s=1 distinct sample), verified against a brute-force
+	// recomputation.
+	h := testHasher()
+	const (
+		k      = 4
+		window = 25
+		slots  = 600
+	)
+	rng := rand.New(rand.NewSource(7))
+	var arrivals []stream.Arrival
+	for slot := int64(1); slot <= slots; slot++ {
+		n := rng.Intn(4) // 0..3 arrivals per slot
+		for j := 0; j < n; j++ {
+			arrivals = append(arrivals, stream.Arrival{
+				Slot: slot,
+				Site: rng.Intn(k),
+				Key:  fmt.Sprintf("key-%d", rng.Intn(150)),
+			})
+		}
+	}
+
+	sys := NewSystem(k, window, h, 99)
+	coord := sys.Coordinator.(*Coordinator)
+	d := &driver{sys: sys}
+	for slot := int64(1); slot <= slots; slot++ {
+		d.playSlot(slot, arrivals)
+
+		live := stream.WindowDistinct(arrivals, slot, window)
+		wantKey, wantHash := "", math.Inf(1)
+		for key := range live {
+			if u := h.Unit(key); u < wantHash {
+				wantKey, wantHash = key, u
+			}
+		}
+		gotKey, gotHash, gotExpiry, gotOK := coord.Current()
+		if len(live) == 0 {
+			// An empty window leaves the last (now stale) sample in place;
+			// nothing to check.
+			continue
+		}
+		if !gotOK {
+			t.Fatalf("slot %d: coordinator has no sample but window holds %d elements", slot, len(live))
+		}
+		if gotKey != wantKey || gotHash != wantHash {
+			t.Fatalf("slot %d: sample %q (%.4f) want %q (%.4f)", slot, gotKey, gotHash, wantKey, wantHash)
+		}
+		if gotExpiry < slot {
+			t.Fatalf("slot %d: coordinator sample carries an already-expired expiry %d", slot, gotExpiry)
+		}
+	}
+	if d.up == 0 || d.down != d.up {
+		t.Fatalf("message pairing broken: up %d down %d", d.up, d.down)
+	}
+}
+
+func TestSlidingSiteInvariants(t *testing.T) {
+	// Throughout a run, every site's candidate hash must equal the minimum
+	// hash of its store whenever the store is non-empty and the candidate is
+	// live, and the store must stay logarithmically small.
+	h := testHasher()
+	const (
+		k      = 3
+		window = 40
+		slots  = 400
+	)
+	rng := rand.New(rand.NewSource(13))
+	var arrivals []stream.Arrival
+	for slot := int64(1); slot <= slots; slot++ {
+		for j := 0; j < 3; j++ {
+			arrivals = append(arrivals, stream.Arrival{
+				Slot: slot, Site: rng.Intn(k), Key: fmt.Sprintf("k%d", rng.Intn(500)),
+			})
+		}
+	}
+	sys := NewSystem(k, window, h, 5)
+	d := &driver{sys: sys}
+	maxMem := 0
+	for slot := int64(1); slot <= slots; slot++ {
+		d.playSlot(slot, arrivals)
+		for _, sn := range sys.Sites {
+			site := sn.(*Site)
+			if m := site.Memory(); m > maxMem {
+				maxMem = m
+			}
+			if site.hasSample && site.sampleExpiry >= slot && site.store.Len() > 0 {
+				min, _ := site.store.Min()
+				if site.sampleHash > min.Hash {
+					t.Fatalf("slot %d site %d: candidate hash %.4f above store minimum %.4f",
+						slot, site.ID(), site.sampleHash, min.Hash)
+				}
+			}
+		}
+	}
+	// With at most ~window*3/k distinct elements per site in a window, the
+	// expected store size is H_M ≈ ln(40) ≈ 3.7; anything above 25 signals
+	// the dominance pruning is broken.
+	if maxMem > 25 {
+		t.Fatalf("per-site store grew to %d tuples; dominance pruning appears broken", maxMem)
+	}
+}
+
+func TestSlidingEndToEndWithEngine(t *testing.T) {
+	// Full runs through the sequential engine: memory grows roughly
+	// logarithmically with the window size while messages decrease, the
+	// trends shown in Figures 5.7 and 5.8.
+	elements := stream.Reslot(dataset.Enron(0.003, 11).Generate(), 5)
+	const k = 10
+	h := testHasher()
+
+	type result struct {
+		window   int64
+		messages int
+		memory   float64
+	}
+	var results []result
+	for _, window := range []int64{10, 100, 1000} {
+		sys := NewSystem(k, window, h, 77)
+		arrivals := distribute.Apply(elements, distribute.NewRandom(k, 3))
+		m, err := sys.Runner(0, 10).RunSequential(arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.FinalSample) != 1 {
+			t.Fatalf("window %d: final sample size %d", window, len(m.FinalSample))
+		}
+		results = append(results, result{window, m.TotalMessages(), m.MeanMemory()})
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].memory <= results[i-1].memory {
+			t.Fatalf("memory did not grow with window size: %+v", results)
+		}
+		if results[i].messages >= results[i-1].messages {
+			t.Fatalf("messages did not shrink with window size: %+v", results)
+		}
+	}
+	// Logarithmic growth: going from w=10 to w=1000 should much less than
+	// 100x the memory.
+	if results[2].memory > results[0].memory*20 {
+		t.Fatalf("memory grew superlogarithmically: %+v", results)
+	}
+}
+
+func TestSlidingConcurrentEngine(t *testing.T) {
+	// The sliding-window protocol only ever replies to the requesting site,
+	// so it must run on the concurrent engine and produce a valid sample.
+	elements := stream.Reslot(dataset.Uniform(5000, 800, 3).Generate(), 5)
+	const k, window = 6, 200
+	h := testHasher()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, 8))
+	sys := NewSystem(k, window, h, 123)
+	m, err := sys.Runner(0, 0).RunConcurrent(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FinalSample) != 1 {
+		t.Fatalf("final sample size %d", len(m.FinalSample))
+	}
+	// The final sample must be a live, minimum-hash element of the last
+	// window.
+	last := arrivals[len(arrivals)-1].Slot
+	live := stream.WindowDistinct(arrivals, last, window)
+	if _, ok := live[m.FinalSample[0].Key]; !ok {
+		t.Fatalf("final sample %q is not live in the last window", m.FinalSample[0].Key)
+	}
+	wantHash := math.Inf(1)
+	for key := range live {
+		if u := h.Unit(key); u < wantHash {
+			wantHash = u
+		}
+	}
+	if m.FinalSample[0].Hash != wantHash {
+		t.Fatalf("final sample hash %.5f, want window minimum %.5f", m.FinalSample[0].Hash, wantHash)
+	}
+}
+
+func TestNewSystemWindowClamp(t *testing.T) {
+	site := NewSite(0, testHasher(), 0, 1)
+	if site.Window() != 1 {
+		t.Fatalf("window clamp failed: %d", site.Window())
+	}
+	sys := NewSystem(4, 50, testHasher(), 9)
+	if len(sys.Sites) != 4 || sys.Coordinator == nil {
+		t.Fatal("NewSystem wiring wrong")
+	}
+	r := sys.Runner(5, 7)
+	if r.TimelineEvery != 5 || r.MemoryEvery != 7 {
+		t.Fatal("runner wiring wrong")
+	}
+}

@@ -1,0 +1,285 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness and by the test suite: harmonic numbers (the analytic
+// message bounds are expressed through them), running moments, confidence
+// intervals, histograms, and goodness-of-fit tests used to validate the
+// uniformity of the distinct samples.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EulerMascheroni is the Euler–Mascheroni constant, used by the asymptotic
+// harmonic-number approximation.
+const EulerMascheroni = 0.5772156649015328606
+
+// Harmonic returns the n-th harmonic number H_n = 1 + 1/2 + ... + 1/n.
+// H_0 is defined as 0. Values for n up to a few thousand are computed by
+// direct summation; larger values use the asymptotic expansion
+// H_n ≈ ln n + γ + 1/(2n) − 1/(12n²), whose absolute error is far below
+// anything the experiments can resolve.
+func Harmonic(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= 4096 {
+		h := 0.0
+		for i := 1; i <= n; i++ {
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	fn := float64(n)
+	return math.Log(fn) + EulerMascheroni + 1/(2*fn) - 1/(12*fn*fn)
+}
+
+// ExpectedMessagesUpperBound evaluates the Lemma 4 upper bound on the
+// expected number of messages of the infinite-window algorithm:
+// 2ks + 2ks(H_d − H_s), for k sites, sample size s and d distinct elements.
+func ExpectedMessagesUpperBound(k, s, d int) float64 {
+	if d < s {
+		// Fewer distinct elements than the sample size: every first
+		// occurrence may be shipped, and each exchange is two messages.
+		return 2 * float64(k) * float64(d)
+	}
+	return 2*float64(k)*float64(s) + 2*float64(k)*float64(s)*(Harmonic(d)-Harmonic(s))
+}
+
+// ExpectedMessagesLowerBound evaluates the Lemma 9 lower bound
+// (ks/2)(H_d − H_s + 1) on the expected messages of any continuous protocol
+// on the adversarial input constructed in the paper.
+func ExpectedMessagesLowerBound(k, s, d int) float64 {
+	if d < s {
+		return float64(k) * float64(d) / 4
+	}
+	return float64(k) * float64(s) / 2 * (Harmonic(d) - Harmonic(s) + 1)
+}
+
+// PerSiteExpectedUpperBound evaluates the Observation 1 refinement
+// 2ks + 2s·Σ_i(H_{d_i} − H_s) given the per-site distinct counts.
+func PerSiteExpectedUpperBound(s int, perSiteDistinct []int) float64 {
+	total := 2 * float64(len(perSiteDistinct)) * float64(s)
+	for _, di := range perSiteDistinct {
+		if di > s {
+			total += 2 * float64(s) * (Harmonic(di) - Harmonic(s))
+		}
+	}
+	return total
+}
+
+// Summary holds simple univariate statistics of a data set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of values. It returns a zero Summary for an
+// empty input.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(values), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of values (0 for an empty slice).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// MeanInts is Mean for integer-valued observations (message counts, memory
+// sizes), which is what the experiments record.
+func MeanInts(values []int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range values {
+		sum += v
+	}
+	return float64(sum) / float64(len(values))
+}
+
+// ConfidenceInterval95 returns the half-width of a normal-approximation 95%
+// confidence interval for the mean of values.
+func ConfidenceInterval95(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	s := Summarize(values)
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running sample variance (n−1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the running sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// ErrDegreesOfFreedom is returned when a goodness-of-fit test is asked to run
+// with fewer than two categories.
+var ErrDegreesOfFreedom = errors.New("stats: need at least two categories")
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against the uniform expectation, and reports whether the statistic is below
+// the (approximate) 99th percentile of the chi-square distribution with
+// len(observed)−1 degrees of freedom. It is used by the tests that check
+// every distinct element is sampled with equal probability.
+func ChiSquareUniform(observed []int) (statistic float64, below99 bool, err error) {
+	k := len(observed)
+	if k < 2 {
+		return 0, false, ErrDegreesOfFreedom
+	}
+	total := 0
+	for _, o := range observed {
+		total += o
+	}
+	if total == 0 {
+		return 0, true, nil
+	}
+	expected := float64(total) / float64(k)
+	for _, o := range observed {
+		d := float64(o) - expected
+		statistic += d * d / expected
+	}
+	return statistic, statistic <= ChiSquare99(k-1), nil
+}
+
+// ChiSquare99 returns an approximation of the 99th percentile of the
+// chi-square distribution with df degrees of freedom, using the
+// Wilson–Hilferty cube approximation. Accurate to well under 1% for df ≥ 2,
+// which is all the tests need.
+func ChiSquare99(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	const z99 = 2.3263478740408408 // 99th percentile of the standard normal
+	d := float64(df)
+	t := 1 - 2/(9*d) + z99*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// KolmogorovSmirnovUniform computes the KS statistic of samples against the
+// Uniform(0,1) distribution and reports whether it is below the asymptotic
+// 99% critical value 1.63/sqrt(n). Used to validate the unit-hash outputs.
+func KolmogorovSmirnovUniform(samples []float64) (statistic float64, pass bool) {
+	n := len(samples)
+	if n == 0 {
+		return 0, true
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		lo := math.Abs(x - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - x)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	critical := 1.63 / math.Sqrt(float64(n))
+	return d, d <= critical
+}
+
+// Histogram counts values into equal-width buckets spanning [lo, hi).
+// Values outside the range are clamped into the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	samples int
+}
+
+// NewHistogram constructs a histogram with the given number of buckets.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	b := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.samples++
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int { return h.samples }

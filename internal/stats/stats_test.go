@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicSmallValues(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {2, 1.5}, {3, 1.8333333333333333}, {4, 2.083333333333333},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticContinuity(t *testing.T) {
+	// The switch from exact summation to the asymptotic expansion happens at
+	// n = 4096; the two formulas must agree to high precision around the
+	// boundary and the function must be increasing.
+	exact := 0.0
+	for i := 1; i <= 5000; i++ {
+		exact += 1 / float64(i)
+		got := Harmonic(i)
+		if math.Abs(got-exact) > 1e-6 {
+			t.Fatalf("Harmonic(%d) = %.10f, want %.10f", i, got, exact)
+		}
+		if i > 1 && Harmonic(i) <= Harmonic(i-1) {
+			t.Fatalf("Harmonic not increasing at %d", i)
+		}
+	}
+}
+
+func TestHarmonicMonotoneQuick(t *testing.T) {
+	f := func(n uint16) bool {
+		return Harmonic(int(n)+1) > Harmonic(int(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedMessageBounds(t *testing.T) {
+	k, s, d := 5, 10, 100000
+	upper := ExpectedMessagesUpperBound(k, s, d)
+	lower := ExpectedMessagesLowerBound(k, s, d)
+	if upper <= 0 || lower <= 0 {
+		t.Fatalf("bounds must be positive: upper %v lower %v", upper, lower)
+	}
+	if lower >= upper {
+		t.Fatalf("lower bound %v not below upper bound %v", lower, upper)
+	}
+	// The paper: the algorithm is message optimal to within a factor of 4.
+	if ratio := upper / lower; ratio > 4.001 {
+		t.Fatalf("upper/lower = %.3f, expected at most 4", ratio)
+	}
+	// Approximately 2ks(1 + ln(d/s)).
+	approx := 2 * float64(k*s) * (1 + math.Log(float64(d)/float64(s)))
+	if math.Abs(upper-approx)/approx > 0.02 {
+		t.Fatalf("upper bound %v deviates from 2ks(1+ln(d/s)) = %v", upper, approx)
+	}
+}
+
+func TestExpectedMessageBoundsSmallD(t *testing.T) {
+	if got := ExpectedMessagesUpperBound(3, 10, 4); got != 24 {
+		t.Fatalf("upper bound with d<s = %v, want 24 (=2kd)", got)
+	}
+	if got := ExpectedMessagesLowerBound(3, 10, 4); got != 3 {
+		t.Fatalf("lower bound with d<s = %v, want 3 (=kd/4)", got)
+	}
+}
+
+func TestPerSiteExpectedUpperBound(t *testing.T) {
+	// With every site seeing the same d_i = d, the per-site bound equals the
+	// global Lemma 4 bound.
+	k, s, d := 4, 5, 1000
+	per := make([]int, k)
+	for i := range per {
+		per[i] = d
+	}
+	got := PerSiteExpectedUpperBound(s, per)
+	want := ExpectedMessagesUpperBound(k, s, d)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("per-site bound %v, want %v", got, want)
+	}
+	// With sites seeing fewer distinct elements the bound must shrink.
+	per[0], per[1] = 10, 10
+	if PerSiteExpectedUpperBound(s, per) >= want {
+		t.Fatal("per-site bound did not shrink when site streams shrank")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-1.2909944487358056) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 9})
+	if odd.Median != 5 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty Summarize = %+v", empty)
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if Mean(nil) != 0 || MeanInts(nil) != 0 {
+		t.Fatal("mean of empty slice should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if MeanInts([]int{2, 4, 9}) != 5 {
+		t.Fatal("MeanInts wrong")
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	if ConfidenceInterval95([]float64{3}) != 0 {
+		t.Fatal("CI of single value should be 0")
+	}
+	ci := ConfidenceInterval95([]float64{10, 12, 11, 9, 13, 10, 11})
+	if ci <= 0 || ci > 3 {
+		t.Fatalf("CI = %v out of plausible range", ci)
+	}
+}
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var w Welford
+	var vals []float64
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*5 + 20
+		w.Add(v)
+		vals = append(vals, v)
+	}
+	s := Summarize(vals)
+	if w.N() != s.N {
+		t.Fatalf("N mismatch")
+	}
+	if math.Abs(w.Mean()-s.Mean) > 1e-9 {
+		t.Fatalf("mean mismatch: %v vs %v", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.Std()-s.Std) > 1e-9 {
+		t.Fatalf("std mismatch: %v vs %v", w.Std(), s.Std)
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.Std() != 0 {
+		t.Fatal("zero-value Welford should report zero variance")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Fatalf("single observation: mean %v var %v", w.Mean(), w.Variance())
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfectly uniform counts pass.
+	stat, ok, err := ChiSquareUniform([]int{100, 100, 100, 100})
+	if err != nil || !ok || stat != 0 {
+		t.Fatalf("uniform counts: stat %v ok %v err %v", stat, ok, err)
+	}
+	// Grossly skewed counts fail.
+	_, ok, err = ChiSquareUniform([]int{1000, 0, 0, 0})
+	if err != nil || ok {
+		t.Fatal("skewed counts unexpectedly passed the chi-square test")
+	}
+	// Error cases.
+	if _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Fatal("expected ErrDegreesOfFreedom")
+	}
+	if _, ok, _ := ChiSquareUniform([]int{0, 0, 0}); !ok {
+		t.Fatal("all-zero counts should trivially pass")
+	}
+}
+
+func TestChiSquareUniformRandomized(t *testing.T) {
+	// Multinomial counts drawn uniformly should almost always pass.
+	rng := rand.New(rand.NewSource(11))
+	failures := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		counts := make([]int, 20)
+		for i := 0; i < 4000; i++ {
+			counts[rng.Intn(20)]++
+		}
+		if _, ok, _ := ChiSquareUniform(counts); !ok {
+			failures++
+		}
+	}
+	if failures > 3 {
+		t.Fatalf("%d/%d uniform multinomials failed the 99%% chi-square test", failures, trials)
+	}
+}
+
+func TestChiSquare99Approximation(t *testing.T) {
+	// Reference values: df=1: 6.63, df=5: 15.09, df=10: 23.21, df=30: 50.89.
+	cases := map[int]float64{1: 6.63, 5: 15.09, 10: 23.21, 30: 50.89}
+	for df, want := range cases {
+		got := ChiSquare99(df)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("ChiSquare99(%d) = %.2f, want ≈ %.2f", df, got, want)
+		}
+	}
+	if ChiSquare99(0) != 0 {
+		t.Error("ChiSquare99(0) should be 0")
+	}
+}
+
+func TestKolmogorovSmirnovUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	uniform := make([]float64, 2000)
+	for i := range uniform {
+		uniform[i] = rng.Float64()
+	}
+	if stat, ok := KolmogorovSmirnovUniform(uniform); !ok {
+		t.Fatalf("uniform sample rejected, KS statistic %v", stat)
+	}
+	// A clearly non-uniform sample (squared uniforms) should be rejected.
+	skewed := make([]float64, 2000)
+	for i := range skewed {
+		u := rng.Float64()
+		skewed[i] = u * u
+	}
+	if _, ok := KolmogorovSmirnovUniform(skewed); ok {
+		t.Fatal("non-uniform sample passed the KS test")
+	}
+	if _, ok := KolmogorovSmirnovUniform(nil); !ok {
+		t.Fatal("empty sample should pass trivially")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, v := range []float64{0.1, 0.3, 0.6, 0.9, -5, 5} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	want := []int{2, 1, 1, 2} // -5 clamps to first, 5 clamps to last
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if NewHistogram(0, 1, 0) == nil || len(NewHistogram(0, 1, 0).Counts) != 1 {
+		t.Fatal("bucket count should be clamped to at least 1")
+	}
+}

@@ -1,0 +1,329 @@
+package treap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestTreapEmpty(t *testing.T) {
+	tr := New[int, string](intLess)
+	if tr.Len() != 0 {
+		t.Fatalf("empty treap Len = %d", tr.Len())
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty treap reported ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty treap reported ok")
+	}
+	if _, _, ok := tr.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty treap reported ok")
+	}
+	if tr.Delete(5) {
+		t.Fatal("Delete on empty treap reported true")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty treap reported ok")
+	}
+	if tr.Height() != 0 {
+		t.Fatalf("empty treap Height = %d", tr.Height())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapSetGetDelete(t *testing.T) {
+	tr := New[int, string](intLess)
+	if !tr.Set(10, "ten") {
+		t.Fatal("first Set reported replace")
+	}
+	if tr.Set(10, "TEN") {
+		t.Fatal("second Set of same key reported insert")
+	}
+	if v, ok := tr.Get(10); !ok || v != "TEN" {
+		t.Fatalf("Get(10) = %q, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if !tr.Delete(10) {
+		t.Fatal("Delete(10) reported absent")
+	}
+	if tr.Len() != 0 || tr.Contains(10) {
+		t.Fatal("key still present after Delete")
+	}
+}
+
+func TestTreapOrderedIteration(t *testing.T) {
+	tr := New[int, int](intLess)
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, v := range perm {
+		tr.Set(v, v*2)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	keys := tr.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Keys not sorted")
+	}
+	if len(keys) != 500 {
+		t.Fatalf("Keys returned %d entries", len(keys))
+	}
+	// Values intact.
+	tr.Ascend(func(k, v int) bool {
+		if v != k*2 {
+			t.Fatalf("value for key %d is %d", k, v)
+		}
+		return true
+	})
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapAscendEarlyStop(t *testing.T) {
+	tr := New[int, int](intLess)
+	for i := 0; i < 100; i++ {
+		tr.Set(i, i)
+	}
+	visited := 0
+	tr.Ascend(func(k, v int) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Fatalf("early-stop Ascend visited %d, want 10", visited)
+	}
+}
+
+func TestTreapAscendGreaterOrEqual(t *testing.T) {
+	tr := New[int, int](intLess)
+	for i := 0; i < 50; i++ {
+		tr.Set(i*2, i) // even keys 0..98
+	}
+	var got []int
+	tr.AscendGreaterOrEqual(31, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) == 0 || got[0] != 32 {
+		t.Fatalf("AscendGreaterOrEqual(31) first key = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("AscendGreaterOrEqual keys not increasing")
+		}
+	}
+	if got[len(got)-1] != 98 || len(got) != 34 {
+		t.Fatalf("AscendGreaterOrEqual(31) returned %d keys ending %d", len(got), got[len(got)-1])
+	}
+	// Pivot equal to an existing key includes that key.
+	got = got[:0]
+	tr.AscendGreaterOrEqual(32, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if got[0] != 32 {
+		t.Fatalf("AscendGreaterOrEqual(32) first key = %d", got[0])
+	}
+}
+
+func TestTreapMinMax(t *testing.T) {
+	tr := New[int, string](intLess)
+	for _, v := range []int{42, 7, 99, 13, 56} {
+		tr.Set(v, "")
+	}
+	if k, _, _ := tr.Min(); k != 7 {
+		t.Fatalf("Min = %d, want 7", k)
+	}
+	if k, _, _ := tr.Max(); k != 99 {
+		t.Fatalf("Max = %d, want 99", k)
+	}
+	k, _, ok := tr.DeleteMin()
+	if !ok || k != 7 {
+		t.Fatalf("DeleteMin = %d, %v", k, ok)
+	}
+	if k, _, _ := tr.Min(); k != 13 {
+		t.Fatalf("Min after DeleteMin = %d, want 13", k)
+	}
+}
+
+func TestTreapFloorCeiling(t *testing.T) {
+	tr := New[int, string](intLess)
+	for _, v := range []int{10, 20, 30, 40} {
+		tr.Set(v, "")
+	}
+	cases := []struct {
+		pivot     int
+		floorKey  int
+		floorOK   bool
+		ceilKey   int
+		ceilingOK bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 0, false, 10, true}, // Floor is strictly less than pivot
+		{11, 10, true, 20, true},
+		{25, 20, true, 30, true},
+		{40, 30, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Floor(c.pivot)
+		if ok != c.floorOK || (ok && k != c.floorKey) {
+			t.Errorf("Floor(%d) = %d, %v; want %d, %v", c.pivot, k, ok, c.floorKey, c.floorOK)
+		}
+		k, _, ok = tr.Ceiling(c.pivot)
+		if ok != c.ceilingOK || (ok && k != c.ceilKey) {
+			t.Errorf("Ceiling(%d) = %d, %v; want %d, %v", c.pivot, k, ok, c.ceilKey, c.ceilingOK)
+		}
+	}
+}
+
+func TestTreapHeightLogarithmic(t *testing.T) {
+	tr := NewWithSeed[int, int](intLess, 77)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Set(i, i) // adversarial (sorted) insertion order
+	}
+	h := tr.Height()
+	// Expected height ~ 3*log2(n) ≈ 43 for n=20000; fail above 80, which a
+	// degenerate (linear) tree would exceed enormously.
+	if h > 80 {
+		t.Fatalf("treap height %d too large for %d sorted inserts", h, n)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreapModelBased drives the treap and a reference map with the same
+// random operation sequence and checks full agreement.
+func TestTreapModelBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewWithSeed[int, int](intLess, 99)
+	model := make(map[int]int)
+
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		key := rng.Intn(400)
+		switch rng.Intn(4) {
+		case 0, 1: // insert/update
+			val := rng.Int()
+			insertedModel := false
+			if _, ok := model[key]; !ok {
+				insertedModel = true
+			}
+			model[key] = val
+			if got := tr.Set(key, val); got != insertedModel {
+				t.Fatalf("op %d: Set(%d) inserted=%v, model says %v", i, key, got, insertedModel)
+			}
+		case 2: // delete
+			_, inModel := model[key]
+			delete(model, key)
+			if got := tr.Delete(key); got != inModel {
+				t.Fatalf("op %d: Delete(%d) = %v, model says %v", i, key, got, inModel)
+			}
+		case 3: // lookup
+			want, inModel := model[key]
+			got, ok := tr.Get(key)
+			if ok != inModel || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = %d,%v; model %d,%v", i, key, got, ok, want, inModel)
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d: Len %d vs model %d", i, tr.Len(), len(model))
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Final content agreement, in order.
+	keys := tr.Keys()
+	if len(keys) != len(model) {
+		t.Fatalf("final key count %d vs model %d", len(keys), len(model))
+	}
+	var modelKeys []int
+	for k := range model {
+		modelKeys = append(modelKeys, k)
+	}
+	sort.Ints(modelKeys)
+	for i, k := range modelKeys {
+		if keys[i] != k {
+			t.Fatalf("key %d differs: %d vs %d", i, keys[i], k)
+		}
+	}
+}
+
+func TestTreapQuickInsertDeleteRoundTrip(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New[int, bool](intLess)
+		uniq := make(map[int]bool)
+		for _, k := range keys {
+			tr.Set(int(k), true)
+			uniq[int(k)] = true
+		}
+		if tr.Len() != len(uniq) {
+			return false
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		for k := range uniq {
+			if !tr.Delete(k) {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapQuickSortedKeys(t *testing.T) {
+	f := func(keys []int) bool {
+		tr := New[int, struct{}](intLess)
+		for _, k := range keys {
+			tr.Set(k, struct{}{})
+		}
+		out := tr.Keys()
+		return sort.IntsAreSorted(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapStringKeys(t *testing.T) {
+	tr := New[string, int](func(a, b string) bool { return a < b })
+	words := []string{"delta", "alpha", "charlie", "bravo", "echo"}
+	for i, w := range words {
+		tr.Set(w, i)
+	}
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	got := tr.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTreapReproducibleShape(t *testing.T) {
+	build := func(seed uint64) int {
+		tr := NewWithSeed[int, int](intLess, seed)
+		for i := 0; i < 1000; i++ {
+			tr.Set(i, i)
+		}
+		return tr.Height()
+	}
+	if build(5) != build(5) {
+		t.Fatal("same seed produced different tree heights")
+	}
+}

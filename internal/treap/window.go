@@ -1,0 +1,167 @@
+package treap
+
+// WindowStore is the per-site sliding-window structure T_i of Algorithm 3.
+//
+// It holds tuples (key, hash, expiry) for elements observed within the
+// current window that could still become the window's minimum-hash element
+// now or in the future. Tuple (e, t) dominates (e', t') when t >= t' and
+// h(e) < h(e'): a dominated element can never be the minimum while it is
+// alive, because the dominating element lives at least as long and hashes
+// lower. The store keeps only non-dominated tuples.
+//
+// The surviving tuples therefore form a "staircase": sorted by hash
+// ascending, expiry is non-decreasing. Equivalently the tuple with the
+// smallest hash is the one that expires soonest. Expected size is
+// H_M = O(log M) where M is the number of distinct elements in the window
+// (Lemma 10 in the paper, following Babcock, Datar and Motwani).
+//
+// The store is not safe for concurrent use; each simulated site owns one.
+type WindowStore struct {
+	tree *Treap[windowKey, int64] // value is the expiry slot
+	byID map[string]windowKey     // current entry for each live key
+}
+
+// windowKey orders tuples by hash, breaking the (astronomically unlikely)
+// ties by element identifier so that distinct elements never compare equal.
+type windowKey struct {
+	Hash float64
+	ID   string
+}
+
+func windowLess(a, b windowKey) bool {
+	if a.Hash != b.Hash {
+		return a.Hash < b.Hash
+	}
+	return a.ID < b.ID
+}
+
+// Tuple is one (element, hash, expiry) entry of a WindowStore.
+type Tuple struct {
+	Key    string
+	Hash   float64
+	Expiry int64
+}
+
+// NewWindowStore constructs an empty store. seed controls the treap's
+// internal priority stream so simulations are reproducible.
+func NewWindowStore(seed uint64) *WindowStore {
+	return &WindowStore{
+		tree: NewWithSeed[windowKey, int64](windowLess, seed),
+		byID: make(map[string]windowKey),
+	}
+}
+
+// Len returns the number of stored tuples.
+func (w *WindowStore) Len() int { return w.tree.Len() }
+
+// Observe records an arrival of key with the given hash, expiring at expiry
+// (arrival slot + window size). If the key is already stored its expiry is
+// refreshed. Dominated tuples are pruned. Expiry values must be
+// non-decreasing across calls for the dominance pruning to be valid, which
+// holds because stream time is non-decreasing and the window size is fixed.
+func (w *WindowStore) Observe(key string, hash float64, expiry int64) {
+	if old, ok := w.byID[key]; ok {
+		// Same element again: refresh its timestamp (Algorithm 3 line
+		// "update timestamp of e in Ti"). Expiries only ever move forward —
+		// a re-observation with an older expiry (e.g. a coordinator reply
+		// that has not seen the element's most recent arrival) must not
+		// shorten the element's remaining lifetime.
+		if existing, ok := w.tree.Get(old); ok && existing >= expiry {
+			return
+		}
+		w.tree.Delete(old)
+		delete(w.byID, key)
+	}
+	wk := windowKey{Hash: hash, ID: key}
+
+	// If an existing tuple with a smaller hash lives at least as long, the
+	// new tuple is itself dominated and will never be the window minimum;
+	// Algorithm 3 would insert it and immediately delete it in the
+	// dominance-pruning step, so we simply skip the insert. Thanks to the
+	// staircase invariant only the immediate predecessor needs checking.
+	if _, predExp, ok := w.tree.Floor(wk); ok && predExp >= expiry {
+		return
+	}
+
+	w.tree.Set(wk, expiry)
+	w.byID[key] = wk
+
+	// Prune every tuple with a larger hash whose expiry is no later than the
+	// new tuple's: those are dominated by it.
+	w.pruneDominatedAbove(wk, expiry)
+}
+
+// pruneDominatedAbove removes all tuples with hash greater than pivot whose
+// expiry is <= expiry. Under the non-decreasing-expiry call pattern that is
+// every tuple above pivot, but the expiry check keeps the operation safe even
+// if a caller violates the pattern.
+func (w *WindowStore) pruneDominatedAbove(pivot windowKey, expiry int64) {
+	var doomed []windowKey
+	w.tree.AscendGreaterOrEqual(pivot, func(k windowKey, exp int64) bool {
+		if k == pivot {
+			return true
+		}
+		if exp <= expiry {
+			doomed = append(doomed, k)
+		}
+		return true
+	})
+	for _, k := range doomed {
+		w.tree.Delete(k)
+		delete(w.byID, k.ID)
+	}
+}
+
+// ExpireBefore removes every tuple whose expiry is strictly before now.
+// Because of the staircase invariant the expired tuples are exactly a prefix
+// of the hash order, so the loop touches only tuples that are removed.
+func (w *WindowStore) ExpireBefore(now int64) {
+	for {
+		k, exp, ok := w.tree.Min()
+		if !ok || exp >= now {
+			return
+		}
+		w.tree.Delete(k)
+		delete(w.byID, k.ID)
+	}
+}
+
+// Min returns the tuple with the smallest hash value, i.e. the site's local
+// candidate for the window sample. ok is false when the store is empty.
+func (w *WindowStore) Min() (Tuple, bool) {
+	k, exp, ok := w.tree.Min()
+	if !ok {
+		return Tuple{}, false
+	}
+	return Tuple{Key: k.ID, Hash: k.Hash, Expiry: exp}, true
+}
+
+// Contains reports whether key currently has a live tuple in the store.
+func (w *WindowStore) Contains(key string) bool {
+	_, ok := w.byID[key]
+	return ok
+}
+
+// Expiry returns the stored expiry slot for key, if present.
+func (w *WindowStore) Expiry(key string) (int64, bool) {
+	wk, ok := w.byID[key]
+	if !ok {
+		return 0, false
+	}
+	exp, ok := w.tree.Get(wk)
+	return exp, ok
+}
+
+// Tuples returns all stored tuples in ascending hash order. Used by tests
+// and by the memory-accounting experiments.
+func (w *WindowStore) Tuples() []Tuple {
+	out := make([]Tuple, 0, w.tree.Len())
+	w.tree.Ascend(func(k windowKey, exp int64) bool {
+		out = append(out, Tuple{Key: k.ID, Hash: k.Hash, Expiry: exp})
+		return true
+	})
+	return out
+}
+
+// Height exposes the underlying treap height for the space experiments.
+func (w *WindowStore) Height() int { return w.tree.Height() }

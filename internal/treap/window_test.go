@@ -1,0 +1,238 @@
+package treap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// windowModel is a brute-force reference: it remembers the latest arrival
+// slot of every key and recomputes the window minimum from scratch.
+type windowModel struct {
+	latest map[string]int64 // key -> latest arrival slot
+	hash   map[string]float64
+	window int64
+}
+
+func newWindowModel(window int64) *windowModel {
+	return &windowModel{latest: map[string]int64{}, hash: map[string]float64{}, window: window}
+}
+
+func (m *windowModel) observe(key string, hash float64, slot int64) {
+	m.latest[key] = slot
+	m.hash[key] = hash
+}
+
+// min returns the minimum-hash element among keys whose latest arrival is in
+// (now-window, now], i.e. not yet expired at slot now.
+func (m *windowModel) min(now int64) (string, float64, bool) {
+	bestKey, bestHash, found := "", math.Inf(1), false
+	for k, slot := range m.latest {
+		if slot > now-m.window {
+			if h := m.hash[k]; h < bestHash {
+				bestKey, bestHash, found = k, h, true
+			}
+		}
+	}
+	return bestKey, bestHash, found
+}
+
+func TestWindowStoreEmpty(t *testing.T) {
+	w := NewWindowStore(1)
+	if w.Len() != 0 {
+		t.Fatalf("empty store Len = %d", w.Len())
+	}
+	if _, ok := w.Min(); ok {
+		t.Fatal("Min on empty store reported ok")
+	}
+	if w.Contains("x") {
+		t.Fatal("Contains on empty store reported true")
+	}
+	if _, ok := w.Expiry("x"); ok {
+		t.Fatal("Expiry on empty store reported ok")
+	}
+	w.ExpireBefore(100) // must not panic
+}
+
+func TestWindowStoreBasicObserve(t *testing.T) {
+	w := NewWindowStore(1)
+	w.Observe("a", 0.5, 10)
+	w.Observe("b", 0.3, 11)
+	// "a" (hash 0.5, expiry 10) is dominated by "b" (hash 0.3, expiry 11).
+	if w.Contains("a") {
+		t.Fatal("dominated tuple a still stored")
+	}
+	mt, ok := w.Min()
+	if !ok || mt.Key != "b" || mt.Hash != 0.3 || mt.Expiry != 11 {
+		t.Fatalf("Min = %+v, %v", mt, ok)
+	}
+	// A later arrival with a larger hash is NOT dominated (it outlives b).
+	w.Observe("c", 0.7, 12)
+	if !w.Contains("c") || w.Len() != 2 {
+		t.Fatalf("store should hold b and c, Len=%d", w.Len())
+	}
+	// But the minimum is still b.
+	if mt, _ := w.Min(); mt.Key != "b" {
+		t.Fatalf("Min = %+v, want b", mt)
+	}
+}
+
+func TestWindowStoreRefreshTimestamp(t *testing.T) {
+	w := NewWindowStore(1)
+	w.Observe("a", 0.5, 10)
+	w.Observe("a", 0.5, 20)
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d after refresh, want 1", w.Len())
+	}
+	exp, ok := w.Expiry("a")
+	if !ok || exp != 20 {
+		t.Fatalf("Expiry(a) = %d, %v; want 20", exp, ok)
+	}
+}
+
+func TestWindowStoreExpiry(t *testing.T) {
+	w := NewWindowStore(1)
+	w.Observe("a", 0.2, 10)
+	w.Observe("b", 0.4, 15)
+	w.Observe("c", 0.6, 20)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (staircase of increasing hash and expiry)", w.Len())
+	}
+	w.ExpireBefore(11) // a expires
+	if w.Contains("a") || w.Len() != 2 {
+		t.Fatalf("a should have expired; Len=%d", w.Len())
+	}
+	mt, _ := w.Min()
+	if mt.Key != "b" {
+		t.Fatalf("Min after expiry = %+v, want b", mt)
+	}
+	w.ExpireBefore(21) // everything gone
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after expiring all, want 0", w.Len())
+	}
+}
+
+func TestWindowStoreDominanceInvariant(t *testing.T) {
+	// After any sequence of operations the stored tuples must form a
+	// staircase: ascending hash implies non-decreasing expiry, and no tuple
+	// is dominated by another.
+	rng := rand.New(rand.NewSource(7))
+	h := hashing.NewMurmur2(123)
+	w := NewWindowStore(5)
+	const window = 50
+	for slot := int64(1); slot <= 2000; slot++ {
+		for arrivals := 0; arrivals < 3; arrivals++ {
+			key := fmt.Sprintf("k%d", rng.Intn(300))
+			w.Observe(key, h.Unit(key), slot+window)
+		}
+		w.ExpireBefore(slot + 1)
+
+		tuples := w.Tuples()
+		for i := 1; i < len(tuples); i++ {
+			if tuples[i].Hash <= tuples[i-1].Hash {
+				t.Fatalf("slot %d: hashes not strictly increasing: %v", slot, tuples)
+			}
+			if tuples[i].Expiry < tuples[i-1].Expiry {
+				t.Fatalf("slot %d: staircase violated (expiry decreased): %v", slot, tuples)
+			}
+		}
+	}
+}
+
+func TestWindowStoreMinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := hashing.NewMurmur2(2024)
+	const window = 30
+	w := NewWindowStore(11)
+	model := newWindowModel(window)
+
+	for slot := int64(1); slot <= 1500; slot++ {
+		// Zero to four arrivals per slot.
+		for arrivals := rng.Intn(5); arrivals > 0; arrivals-- {
+			key := fmt.Sprintf("elem-%d", rng.Intn(200))
+			u := h.Unit(key)
+			w.Observe(key, u, slot+window)
+			model.observe(key, u, slot)
+		}
+		// Advance time: tuples whose expiry is before slot+1 are gone, i.e.
+		// elements whose last arrival was at slot' <= slot-window.
+		w.ExpireBefore(slot + 1)
+
+		gotTuple, gotOK := w.Min()
+		wantKey, wantHash, wantOK := model.min(slot)
+		if gotOK != wantOK {
+			t.Fatalf("slot %d: presence mismatch got %v want %v", slot, gotOK, wantOK)
+		}
+		if gotOK && (gotTuple.Key != wantKey || gotTuple.Hash != wantHash) {
+			t.Fatalf("slot %d: min = %q (%.4f), want %q (%.4f)",
+				slot, gotTuple.Key, gotTuple.Hash, wantKey, wantHash)
+		}
+	}
+}
+
+func TestWindowStoreLogarithmicSize(t *testing.T) {
+	// Lemma 10: the expected number of stored tuples is H_M where M is the
+	// number of distinct elements in the window. With M distinct keys all
+	// alive, H_M ≈ ln(M) + 0.577; check the store stays well under M.
+	h := hashing.NewMurmur2(5)
+	const m = 5000
+	var sizes []int
+	for trial := 0; trial < 5; trial++ {
+		w := NewWindowStore(uint64(trial + 1))
+		for i := 0; i < m; i++ {
+			key := fmt.Sprintf("trial%d-key%d", trial, i)
+			w.Observe(key, h.Unit(key), int64(i)+m) // all still in window
+		}
+		sizes = append(sizes, w.Len())
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	mean := float64(total) / float64(len(sizes))
+	// H_5000 ≈ 9.1; allow up to 4x the expectation across the small number
+	// of trials. A linear-size structure would hold thousands.
+	if mean > 40 {
+		t.Fatalf("mean window store size %.1f far exceeds H_M ≈ 9.1 (sizes %v)", mean, sizes)
+	}
+	if mean < 1 {
+		t.Fatalf("mean window store size %.1f suspiciously small", mean)
+	}
+}
+
+func TestWindowStoreCoordinatorFeedbackInsert(t *testing.T) {
+	// A coordinator reply can carry an element with a smaller hash but an
+	// earlier expiry than local tuples; it must be stored in front of the
+	// staircase without disturbing the locally observed tuples.
+	w := NewWindowStore(1)
+	w.Observe("local1", 0.4, 100)
+	w.Observe("local2", 0.6, 110)
+	w.Observe("remote", 0.1, 90) // from the coordinator: lower hash, earlier expiry
+	if !w.Contains("remote") {
+		t.Fatal("coordinator-provided tuple not stored")
+	}
+	mt, _ := w.Min()
+	if mt.Key != "remote" {
+		t.Fatalf("Min = %+v, want remote", mt)
+	}
+	// When remote expires the local tuples take over again.
+	w.ExpireBefore(91)
+	mt, _ = w.Min()
+	if mt.Key != "local1" {
+		t.Fatalf("Min after remote expiry = %+v, want local1", mt)
+	}
+}
+
+func TestWindowStoreHeightPositive(t *testing.T) {
+	w := NewWindowStore(3)
+	if w.Height() != 0 {
+		t.Fatalf("empty store height = %d", w.Height())
+	}
+	w.Observe("a", 0.9, 10)
+	if w.Height() < 1 {
+		t.Fatal("height not positive after insert")
+	}
+}

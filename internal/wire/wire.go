@@ -1,0 +1,307 @@
+// Package wire turns the simulated protocols into a deployable system: a
+// coordinator server and site clients that exchange the same protocol
+// messages over TCP instead of through the in-process simulation engines.
+//
+// The protocol nodes themselves are reused unchanged (anything implementing
+// netsim.SiteNode / netsim.CoordinatorNode); this package only supplies the
+// transport: newline-delimited JSON frames over a long-lived TCP connection
+// per site, a request/response exchange per offer (mirroring Algorithm 1/2's
+// site-initiated dialogue), and a query frame that returns the coordinator's
+// current sample. Algorithms that broadcast (Algorithm Broadcast) are not
+// supported over this transport, matching the concurrent engine's contract.
+//
+// The wire format is deliberately simple and human-readable: one JSON object
+// per line, of the form
+//
+//	{"type":"offer","msg":{...}}            site -> coordinator
+//	{"type":"replies","msgs":[{...},...]}   coordinator -> site
+//	{"type":"query"}                        any client -> coordinator
+//	{"type":"sample","entries":[...]}       coordinator -> querying client
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Frame is one line of the wire protocol.
+type Frame struct {
+	Type    string               `json:"type"`
+	Site    int                  `json:"site,omitempty"`
+	Slot    int64                `json:"slot,omitempty"`
+	Msg     *netsim.Message      `json:"msg,omitempty"`
+	Msgs    []netsim.Message     `json:"msgs,omitempty"`
+	Entries []netsim.SampleEntry `json:"entries,omitempty"`
+	Error   string               `json:"error,omitempty"`
+}
+
+// Frame types.
+const (
+	FrameHello   = "hello"   // site -> coordinator: announce site id
+	FrameOffer   = "offer"   // site -> coordinator: one protocol message
+	FrameReplies = "replies" // coordinator -> site: the replies to one offer
+	FrameQuery   = "query"   // client -> coordinator: request the sample
+	FrameSample  = "sample"  // coordinator -> client: the current sample
+	FrameError   = "error"   // coordinator -> client: protocol violation
+)
+
+// CoordinatorServer exposes a coordinator node over TCP.
+type CoordinatorServer struct {
+	mu    sync.Mutex
+	node  netsim.CoordinatorNode
+	ln    net.Listener
+	wg    sync.WaitGroup
+	stats struct {
+		offers  int
+		replies int
+		queries int
+	}
+}
+
+// NewCoordinatorServer wraps the given coordinator node.
+func NewCoordinatorServer(node netsim.CoordinatorNode) *CoordinatorServer {
+	return &CoordinatorServer{node: node}
+}
+
+// Listen starts accepting site connections on addr (e.g. "127.0.0.1:0").
+// It returns the bound address. Serve loops run in background goroutines
+// until Close is called.
+func (s *CoordinatorServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connection handlers to finish.
+func (s *CoordinatorServer) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns the number of offers received, reply messages sent, and
+// queries answered.
+func (s *CoordinatorServer) Stats() (offers, replies, queries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.offers, s.stats.replies, s.stats.queries
+}
+
+// Sample returns the coordinator's current sample (thread-safe).
+func (s *CoordinatorServer) Sample() []netsim.SampleEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.Sample()
+}
+
+func (s *CoordinatorServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle serves one site (or query client) connection.
+func (s *CoordinatorServer) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	siteID := -1
+
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			return // connection closed or garbage; drop the site
+		}
+		switch f.Type {
+		case FrameHello:
+			siteID = f.Site
+		case FrameOffer:
+			if f.Msg == nil || siteID < 0 {
+				_ = enc.Encode(Frame{Type: FrameError, Error: "offer before hello or missing msg"})
+				return
+			}
+			msg := *f.Msg
+			msg.From = siteID
+			replies, err := s.dispatch(msg, f.Slot, siteID)
+			if err != nil {
+				_ = enc.Encode(Frame{Type: FrameError, Error: err.Error()})
+				return
+			}
+			if err := enc.Encode(Frame{Type: FrameReplies, Msgs: replies}); err != nil {
+				return
+			}
+		case FrameQuery:
+			s.mu.Lock()
+			entries := s.node.Sample()
+			s.stats.queries++
+			s.mu.Unlock()
+			if err := enc.Encode(Frame{Type: FrameSample, Entries: entries}); err != nil {
+				return
+			}
+		default:
+			_ = enc.Encode(Frame{Type: FrameError, Error: "unknown frame type " + f.Type})
+			return
+		}
+	}
+}
+
+// dispatch runs the coordinator node on one message and collects the replies
+// addressed to the sending site.
+func (s *CoordinatorServer) dispatch(msg netsim.Message, slot int64, siteID int) ([]netsim.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &netsim.Outbox{}
+	s.node.OnMessage(msg, slot, out)
+	s.stats.offers++
+	var replies []netsim.Message
+	for _, env := range out.Drain() {
+		if env.Broadcast || env.To != siteID {
+			return nil, errors.New("wire: coordinator tried to send to a site other than the requester (broadcasting algorithms are not supported over TCP)")
+		}
+		reply := env.Msg
+		reply.From = netsim.CoordinatorID
+		replies = append(replies, reply)
+	}
+	s.stats.replies += len(replies)
+	return replies, nil
+}
+
+// SiteClient connects one site node to a remote coordinator.
+type SiteClient struct {
+	node netsim.SiteNode
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+
+	sent     int
+	received int
+}
+
+// DialSite connects the given site node to the coordinator at addr and
+// announces its site id.
+func DialSite(node netsim.SiteNode, addr string) (*SiteClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	c := &SiteClient{
+		node: node,
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}
+	if err := c.enc.Encode(Frame{Type: FrameHello, Site: node.ID()}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	return c, nil
+}
+
+// Close closes the connection to the coordinator.
+func (c *SiteClient) Close() error { return c.conn.Close() }
+
+// MessagesSent returns the number of offers shipped to the coordinator.
+func (c *SiteClient) MessagesSent() int { return c.sent }
+
+// MessagesReceived returns the number of replies received.
+func (c *SiteClient) MessagesReceived() int { return c.received }
+
+// Observe feeds one element observation to the local site node and performs
+// whatever exchanges with the coordinator the protocol requires.
+func (c *SiteClient) Observe(key string, slot int64) error {
+	out := &netsim.Outbox{}
+	c.node.OnArrival(key, slot, out)
+	return c.flush(out, slot)
+}
+
+// EndSlot signals the end of a time slot to the local site node (needed by
+// the sliding-window protocol for expiry-driven promotions).
+func (c *SiteClient) EndSlot(slot int64) error {
+	out := &netsim.Outbox{}
+	c.node.OnSlotEnd(slot, out)
+	return c.flush(out, slot)
+}
+
+// flush ships every queued coordinator-bound message and feeds the replies
+// back into the site node, repeating until the site has nothing more to say.
+func (c *SiteClient) flush(out *netsim.Outbox, slot int64) error {
+	queue := out.Drain()
+	for len(queue) > 0 {
+		env := queue[0]
+		queue = queue[1:]
+		if env.Broadcast || env.To != netsim.CoordinatorID {
+			return errors.New("wire: site nodes may only message the coordinator")
+		}
+		if err := c.enc.Encode(Frame{Type: FrameOffer, Slot: slot, Msg: &env.Msg}); err != nil {
+			return fmt.Errorf("wire: send offer: %w", err)
+		}
+		c.sent++
+		var resp Frame
+		if err := c.dec.Decode(&resp); err != nil {
+			return fmt.Errorf("wire: read replies: %w", err)
+		}
+		switch resp.Type {
+		case FrameReplies:
+			c.received += len(resp.Msgs)
+			scratch := &netsim.Outbox{}
+			for _, reply := range resp.Msgs {
+				c.node.OnMessage(reply, slot, scratch)
+				queue = append(queue, scratch.Drain()...)
+			}
+		case FrameError:
+			return errors.New("wire: coordinator error: " + resp.Error)
+		default:
+			return errors.New("wire: unexpected frame " + resp.Type)
+		}
+	}
+	return nil
+}
+
+// Query opens a short-lived connection to the coordinator at addr and
+// returns its current distinct sample.
+func Query(addr string) ([]netsim.SampleEntry, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := enc.Encode(Frame{Type: FrameQuery}); err != nil {
+		return nil, fmt.Errorf("wire: query: %w", err)
+	}
+	var resp Frame
+	if err := dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: read sample: %w", err)
+	}
+	if resp.Type == FrameError {
+		return nil, errors.New("wire: coordinator error: " + resp.Error)
+	}
+	if resp.Type != FrameSample {
+		return nil, errors.New("wire: unexpected frame " + resp.Type)
+	}
+	return resp.Entries, nil
+}
