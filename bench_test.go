@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/distribute"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/sliding"
 	"repro/internal/stream"
 	"repro/internal/treap"
+	"repro/internal/wire"
 )
 
 // benchConfig is the experiment configuration used by the per-figure
@@ -226,6 +228,44 @@ func BenchmarkInfiniteSamplerConcurrent(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(arrivals))*float64(b.N)/b.Elapsed().Seconds(), "elements/s")
+}
+
+// BenchmarkClusterIngest measures real TCP ingest into the sharded cluster
+// subsystem across the transport matrix: the JSON-per-offer baseline versus
+// the batched binary codec, at 1 shard and at 4 shards. Each iteration
+// replays the full synthetic stream through concurrent site clients and
+// cross-checks the merged sample against the centralized reference.
+func BenchmarkClusterIngest(b *testing.B) {
+	cases := []struct {
+		name   string
+		shards int
+		codec  wire.Codec
+		batch  int
+	}{
+		{"shards1-json-per-offer", 1, wire.CodecJSON, 1},
+		{"shards1-binary-batch64", 1, wire.CodecBinary, 64},
+		{"shards4-json-per-offer", 4, wire.CodecJSON, 1},
+		{"shards4-binary-batch64", 4, wire.CodecBinary, 64},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := cluster.DefaultBenchConfig()
+			cfg.Shards = c.shards
+			cfg.Codec = c.codec
+			cfg.Batch = c.batch
+			var last *cluster.BenchResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.RunIngestBench(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.OpsPerSec, "elements/s")
+			b.ReportMetric(last.MsgsPerElement, "msgs/element")
+		})
+	}
 }
 
 // BenchmarkSlidingSamplerThroughput measures the sliding-window system.

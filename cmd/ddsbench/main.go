@@ -9,17 +9,22 @@
 //	ddsbench -experiment all -format csv -runs 10
 //	ddsbench -experiment fig5.7 -oc48-scale 0.05 -enron-scale 0.5
 //	ddsbench -experiment table5.1 -paper        # full paper-scale sizes
+//	ddsbench -cluster-bench -out BENCH_cluster.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/plot"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -34,8 +39,21 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "override the master seed")
 		paper      = flag.Bool("paper", false, "use the paper's full-scale configuration (slow)")
 		quick      = flag.Bool("quick", false, "use the sub-second configuration used by tests")
+
+		clusterBench = flag.Bool("cluster-bench", false, "run the sharded-cluster ingest benchmark and write machine-readable JSON")
+		out          = flag.String("out", "BENCH_cluster.json", "output path for -cluster-bench")
+		benchElems   = flag.Int("bench-elements", 20000, "stream length for -cluster-bench")
+		benchShards  = flag.String("bench-shards", "1,4", "comma-separated shard counts for -cluster-bench")
 	)
 	flag.Parse()
+
+	if *clusterBench {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.Registry() {
@@ -105,4 +123,71 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// clusterBenchReport is the schema of BENCH_cluster.json: every transport ×
+// shard-count combination measured, plus the headline speedup of the batched
+// binary transport over the JSON-per-offer baseline at equal shard count, so
+// future changes can track the performance trajectory from one file.
+type clusterBenchReport struct {
+	GeneratedUnix int64                  `json:"generated_unix"`
+	Elements      int                    `json:"elements"`
+	Results       []*cluster.BenchResult `json:"results"`
+	// SpeedupBinaryBatched maps "shards=N" to (binary batched ops/sec) /
+	// (json per-offer ops/sec) for that shard count.
+	SpeedupBinaryBatched map[string]float64 `json:"speedup_binary_batched_vs_json"`
+}
+
+// runClusterBench measures cluster ingest across the transport matrix and
+// writes the machine-readable report to path.
+func runClusterBench(path string, elements int, shardList string, seed uint64) error {
+	report := &clusterBenchReport{
+		GeneratedUnix:        time.Now().Unix(),
+		Elements:             elements,
+		SpeedupBinaryBatched: make(map[string]float64),
+	}
+	transports := []struct {
+		codec wire.Codec
+		batch int
+	}{
+		{wire.CodecJSON, 1},
+		{wire.CodecBinary, 64},
+	}
+	for _, field := range strings.Split(shardList, ",") {
+		shards, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || shards < 1 {
+			return fmt.Errorf("ddsbench: bad -bench-shards entry %q", field)
+		}
+		var opsPerSec [2]float64
+		for i, tr := range transports {
+			cfg := cluster.DefaultBenchConfig()
+			cfg.Shards = shards
+			cfg.Elements = elements
+			cfg.Distinct = elements / 4
+			cfg.Codec = tr.codec
+			cfg.Batch = tr.batch
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := cluster.RunIngestBench(cfg)
+			if err != nil {
+				return err
+			}
+			report.Results = append(report.Results, res)
+			opsPerSec[i] = res.OpsPerSec
+			fmt.Fprintf(os.Stderr, "[cluster-bench shards=%d codec=%s batch=%d: %.0f ops/s, %.3f msgs/element]\n",
+				shards, res.Codec, res.Batch, res.OpsPerSec, res.MsgsPerElement)
+		}
+		report.SpeedupBinaryBatched[fmt.Sprintf("shards=%d", shards)] = opsPerSec[1] / opsPerSec[0]
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+	return nil
 }

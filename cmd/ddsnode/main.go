@@ -1,14 +1,26 @@
 // Command ddsnode runs one node of a real (non-simulated) deployment of the
-// distinct sampler over TCP: a coordinator, a site replaying a stream file,
-// or a one-shot query client. Stream files use the "slot<TAB>key" format
-// produced by cmd/ddsgen.
+// distinct sampler over TCP: a coordinator (single or sharded cluster), a
+// site replaying a stream file, or a one-shot query client. Stream files use
+// the "slot<TAB>key" format produced by cmd/ddsgen.
 //
-// A complete local deployment in three terminals:
+// A complete single-coordinator deployment in three terminals:
 //
 //	ddsnode -role coordinator -listen 127.0.0.1:7070 -sample 20
 //	ddsgen  -dataset enron -scale 0.01 -out enron.tsv
 //	ddsnode -role site -id 0 -coordinator 127.0.0.1:7070 -stream enron.tsv
 //	ddsnode -role query -coordinator 127.0.0.1:7070
+//
+// A 4-shard cluster with batched binary ingest (shard c listens on port
+// 7070+c; sites and query clients list all shard addresses):
+//
+//	ddsnode -role cluster-coordinator -shards 4 -listen 127.0.0.1:7070 -sample 20
+//	ddsnode -role site -id 0 -coordinator 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
+//	        -codec binary -batch 64 -stream enron.tsv
+//	ddsnode -role query -sample 20 -coordinator 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
+//
+// All nodes of one deployment must share -hash-seed (and -window, if set),
+// and a query's -sample must not exceed the coordinators' -sample: each
+// shard only retains its bottom-s, so merges are exact only up to size s.
 package main
 
 import (
@@ -16,10 +28,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hashing"
+	"repro/internal/netsim"
 	"repro/internal/sliding"
 	"repro/internal/stream"
 	"repro/internal/wire"
@@ -27,96 +42,127 @@ import (
 
 func main() {
 	var (
-		role        = flag.String("role", "coordinator", "coordinator, site, or query")
-		listen      = flag.String("listen", "127.0.0.1:7070", "coordinator listen address")
-		coordinator = flag.String("coordinator", "127.0.0.1:7070", "coordinator address (site/query roles)")
+		role        = flag.String("role", "coordinator", "coordinator, cluster-coordinator, site, or query")
+		listen      = flag.String("listen", "127.0.0.1:7070", "coordinator listen address (cluster shard c binds port+c)")
+		coordinator = flag.String("coordinator", "127.0.0.1:7070", "comma-separated coordinator shard addresses (site/query roles)")
+		shards      = flag.Int("shards", 1, "number of coordinator shards (cluster-coordinator role)")
 		id          = flag.Int("id", 0, "site id (site role)")
-		sample      = flag.Int("sample", 20, "sample size s (infinite-window coordinator)")
+		sample      = flag.Int("sample", 20, "sample size s per shard (infinite-window); also the merged query size, which must not exceed the coordinators' s")
 		window      = flag.Int64("window", 0, "window size in slots; > 0 switches to the sliding-window protocol")
 		streamPath  = flag.String("stream", "", "stream file to replay (site role); '-' reads stdin")
 		hashSeed    = flag.Uint64("hash-seed", 20130501, "shared hash-function seed (must match on all nodes)")
+		codecName   = flag.String("codec", "json", "wire codec: json or binary (site/query roles)")
+		batch       = flag.Int("batch", 1, "offers per batch frame; > 1 enables batched transport (site role)")
 	)
 	flag.Parse()
 
+	codec, err := wire.ParseCodec(*codecName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	switch *role {
 	case "coordinator":
-		runCoordinator(*listen, *sample, *window)
+		runCoordinator(*listen, 1, *sample, *window)
+	case "cluster-coordinator":
+		runCoordinator(*listen, *shards, *sample, *window)
 	case "site":
-		runSite(*coordinator, *id, *window, *streamPath, *hashSeed)
+		runSite(splitAddrs(*coordinator), *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch})
 	case "query":
-		runQuery(*coordinator)
+		runQuery(splitAddrs(*coordinator), *sample, *window, codec)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
 		os.Exit(2)
 	}
 }
 
-func runCoordinator(listen string, sampleSize int, window int64) {
-	var srv *wire.CoordinatorServer
+func splitAddrs(list string) []string {
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func runCoordinator(listen string, shards, sampleSize int, window int64) {
+	newCoord := func(int) netsim.CoordinatorNode { return core.NewInfiniteCoordinator(sampleSize) }
+	kind := fmt.Sprintf("infinite-window (s=%d per shard)", sampleSize)
 	if window > 0 {
-		srv = wire.NewCoordinatorServer(sliding.NewCoordinator())
-		fmt.Printf("sliding-window coordinator (w=%d slots)\n", window)
-	} else {
-		srv = wire.NewCoordinatorServer(core.NewInfiniteCoordinator(sampleSize))
-		fmt.Printf("infinite-window coordinator (s=%d)\n", sampleSize)
+		newCoord = func(int) netsim.CoordinatorNode { return sliding.NewCoordinator() }
+		kind = fmt.Sprintf("sliding-window (w=%d slots)", window)
 	}
-	addr, err := srv.Listen(listen)
+	srv, err := cluster.Listen(listen, shards, newCoord)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("listening on %s — press Ctrl-C to stop\n", addr)
+	fmt.Printf("%d-shard %s coordinator\n", srv.Shards(), kind)
+	for shard, addr := range srv.Addrs() {
+		fmt.Printf("  shard %d listening on %s\n", shard, addr)
+	}
+	fmt.Println("press Ctrl-C to stop")
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	offers, replies, queries := srv.Stats()
-	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served\n", offers, replies, queries)
-	fmt.Println("final sample:")
-	for _, e := range srv.Sample() {
+	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served", offers, replies, queries)
+	if shards > 1 {
+		fmt.Printf(" (per-shard offers: %v)", srv.ShardStats())
+	}
+	fmt.Println()
+	mergeSize := sampleSize
+	if window > 0 {
+		mergeSize = 1 // the window sample is the single minimum across shards
+	}
+	fmt.Println("final merged sample:")
+	for _, e := range srv.MergedSample(mergeSize) {
 		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
 	}
 	_ = srv.Close()
 }
 
-func runSite(coordinator string, id int, window int64, streamPath string, hashSeed uint64) {
+func runSite(addrs []string, id int, window int64, streamPath string, hashSeed uint64, opts wire.Options) {
 	if streamPath == "" {
 		fmt.Fprintln(os.Stderr, "site role requires -stream")
+		os.Exit(2)
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "site role requires at least one -coordinator address")
 		os.Exit(2)
 	}
 	in := os.Stdin
 	if streamPath != "-" {
 		f, err := os.Open(streamPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		in = f
 	}
 	elements, err := stream.Read(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	hasher := hashing.NewMurmur2(hashSeed)
-	var node interface {
-		ID() int
-	}
-	var client *wire.SiteClient
+	router := cluster.NewShardRouter(len(addrs), hasher)
+	newSite := func(int) netsim.SiteNode { return core.NewInfiniteSite(id, hasher) }
 	if window > 0 {
-		site := sliding.NewSite(id, hasher, window, uint64(id)+1)
-		node = site
-		client, err = wire.DialSite(site, coordinator)
-	} else {
-		site := core.NewInfiniteSite(id, hasher)
-		node = site
-		client, err = wire.DialSite(site, coordinator)
+		newSite = func(shard int) netsim.SiteNode {
+			return sliding.NewSite(id, hasher, window, uint64(id*len(addrs)+shard)+1)
+		}
 	}
+	client, err := cluster.DialSites(addrs, router, newSite, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer client.Close()
 
@@ -126,35 +172,65 @@ func runSite(coordinator string, id int, window int64, streamPath string, hashSe
 			// Close out every slot between arrivals so expiries fire.
 			for slot := lastSlot; slot < e.Slot; slot++ {
 				if err := client.EndSlot(slot); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					fatal(err)
 				}
 			}
 		}
 		if err := client.Observe(e.Key, e.Slot); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		lastSlot = e.Slot
 	}
 	if window > 0 && lastSlot >= 0 {
 		if err := client.EndSlot(lastSlot); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
-	fmt.Printf("site %d replayed %d elements: %d offers sent, %d replies received\n",
-		node.ID(), len(elements), client.MessagesSent(), client.MessagesReceived())
+	if err := client.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("site %d replayed %d elements to %d shard(s) [%s, batch %d]: %d offers sent, %d replies received\n",
+		id, len(elements), len(addrs), opts.Codec, opts.BatchSize, client.MessagesSent(), client.MessagesReceived())
 }
 
-func runQuery(coordinator string) {
-	entries, err := wire.Query(coordinator)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+func runQuery(addrs []string, sampleSize int, window int64, codec wire.Codec) {
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "query role requires at least one -coordinator address")
+		os.Exit(2)
 	}
-	fmt.Printf("distinct sample (%d entries):\n", len(entries))
+	// Sliding-window shards each hold at most one live entry; the global
+	// window sample is the single minimum across them, and the KMV
+	// distinct-count estimator does not apply.
+	if window > 0 {
+		sampleSize = 1
+	}
+	entries, err := cluster.Query(addrs, sampleSize, codec)
+	if err != nil {
+		fatal(err)
+	}
+	scope := "distinct sample"
+	if window > 0 {
+		scope = "window sample"
+	}
+	if len(addrs) > 1 {
+		scope = fmt.Sprintf("merged %s across %d shards", scope, len(addrs))
+	}
+	fmt.Printf("%s (%d entries):\n", scope, len(entries))
 	for _, e := range entries {
 		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
+	}
+	if window > 0 || len(entries) == 0 {
+		return
+	}
+	est, err := cluster.DistinctCount(sampleSize, entries)
+	switch {
+	case err != nil:
+		fmt.Printf("distinct-count estimate unavailable: %v\n", err)
+	case len(entries) < sampleSize:
+		// The sample holds the whole distinct population: exact answer.
+		fmt.Printf("exact distinct elements: %.0f (population smaller than s=%d)\n", est.Estimate, sampleSize)
+	default:
+		fmt.Printf("estimated distinct elements: %.0f  (95%% CI %.0f – %.0f)\n",
+			est.Estimate, est.Low, est.High)
 	}
 }

@@ -1,0 +1,116 @@
+// Cluster walkthrough: scale the deployable sampler from one coordinator to
+// a sharded cluster. Four coordinator shards listen on localhost, sites
+// ingest over TCP with the batched binary codec, and a query-time merge
+// unions the per-shard bottom-s sketches into the exact global sample.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+func main() {
+	const (
+		shards     = 4  // C: coordinator shards, each a full protocol instance
+		sites      = 3  // k: monitoring sites
+		sampleSize = 12 // s: bottom-s sample size per shard and after merging
+		seed       = 42
+	)
+
+	// 1. A synthetic stream: 60,000 observations over ~8,000 distinct keys,
+	//    spread over the sites uniformly at random.
+	elements := dataset.Uniform(60000, 8000, seed).Generate()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(sites, seed))
+	perSite := make([][]stream.Arrival, sites)
+	for _, a := range arrivals {
+		perSite[a.Site] = append(perSite[a.Site], a)
+	}
+
+	// 2. Every node shares one hash function; the router derives the shard
+	//    partition from it, so all sites and query clients agree on which
+	//    shard owns which key without any coordination.
+	hasher := hashing.NewMurmur2(seed)
+	router := cluster.NewShardRouter(shards, hasher)
+
+	// 3. Start the cluster: C independent infinite-window coordinators, one
+	//    TCP listener each (ephemeral localhost ports here; fixed ports via
+	//    "host:port" in a real deployment).
+	srv, err := cluster.Listen("127.0.0.1:0", shards, func(int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(sampleSize)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("cluster of %d shards listening on %v\n", shards, srv.Addrs())
+
+	// 4. Each site dials every shard and routes each observation to the
+	//    shard owning its key. The binary codec plus 64-offer batches
+	//    amortize syscalls and encoding over many offers per frame.
+	opts := wire.Options{Codec: wire.CodecBinary, BatchSize: 64}
+	var wg sync.WaitGroup
+	for site := 0; site < sites; site++ {
+		id := site
+		client, err := cluster.DialSites(srv.Addrs(), router, func(int) netsim.SiteNode {
+			return core.NewInfiniteSite(id, hasher)
+		}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(client *cluster.SiteClient, share []stream.Arrival) {
+			defer wg.Done()
+			for _, a := range share {
+				if err := client.Observe(a.Key, a.Slot); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := client.Close(); err != nil { // flushes the last batch
+				log.Fatal(err)
+			}
+		}(client, perSite[site])
+	}
+	wg.Wait()
+
+	// 5. Query time: fan out to every shard, union the bottom-s sketches,
+	//    keep the s smallest hashes — exactly the sample one big coordinator
+	//    over the whole stream would hold.
+	merged, err := cluster.Query(srv.Addrs(), sampleSize, wire.CodecBinary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmerged distinct sample of size %d:\n", len(merged))
+	for _, e := range merged {
+		fmt.Printf("  %-12s  hash=%.6f\n", e.Key, e.Hash)
+	}
+
+	// 6. The merged sample feeds the KMV estimator for cluster-wide counts.
+	est, err := cluster.DistinctCount(sampleSize, srv.ShardSamples()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := stream.Summarize(elements)
+	fmt.Printf("\ntrue distinct elements: %d\n", stats.Distinct)
+	fmt.Printf("estimated from merged sample: %.0f (95%% CI %.0f – %.0f)\n",
+		est.Estimate, est.Low, est.High)
+
+	// 7. Sanity: the merge is exact, and the cluster barely talked.
+	oracle := core.NewReference(sampleSize, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	fmt.Printf("matches centralized oracle: %v\n", oracle.SameSample(merged))
+	offers, replies, _ := srv.Stats()
+	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length; per-shard offers %v)\n",
+		offers+replies, 100*float64(offers+replies)/float64(stats.Elements), srv.ShardStats())
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// BenchConfig describes one cluster ingest benchmark run: a synthetic
+// uniform stream distributed over Sites site processes, ingested into a
+// Shards-shard cluster of infinite-window coordinators over localhost TCP.
+type BenchConfig struct {
+	Shards     int
+	Sites      int
+	SampleSize int
+	Elements   int
+	Distinct   int
+	Codec      wire.Codec
+	Batch      int
+	Seed       uint64
+}
+
+// DefaultBenchConfig is a sub-second configuration used by cmd/ddsbench and
+// tests.
+func DefaultBenchConfig() BenchConfig {
+	return BenchConfig{
+		Shards:     1,
+		Sites:      4,
+		SampleSize: 32,
+		Elements:   20000,
+		Distinct:   5000,
+		Codec:      wire.CodecJSON,
+		Batch:      1,
+		Seed:       20130501,
+	}
+}
+
+// BenchResult is the machine-readable outcome of one cluster ingest run,
+// serialized into BENCH_cluster.json by cmd/ddsbench so future changes can
+// track the performance trajectory.
+type BenchResult struct {
+	Shards            int     `json:"shards"`
+	Sites             int     `json:"sites"`
+	SampleSize        int     `json:"sample_size"`
+	Codec             string  `json:"codec"`
+	Batch             int     `json:"batch"`
+	Elements          int     `json:"elements"`
+	DistinctKeys      int     `json:"distinct_keys"`
+	Seconds           float64 `json:"seconds"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	Offers            int     `json:"offers"`
+	Replies           int     `json:"replies"`
+	MsgsPerElement    float64 `json:"msgs_per_element"`
+	PerShardOffers    []int   `json:"per_shard_offers"`
+	PerShardSampleLen []int   `json:"per_shard_sample_len"`
+	MergedSampleLen   int     `json:"merged_sample_len"`
+	DistinctEstimate  float64 `json:"distinct_estimate"`
+}
+
+// RunIngestBench spins up a cfg.Shards-shard cluster on localhost, replays
+// the synthetic stream through cfg.Sites concurrent site clients, and
+// returns throughput, message accounting, and per-shard load. It also
+// cross-checks the merged sample against the centralized reference and
+// fails if they differ, so every benchmark run doubles as a correctness
+// check.
+func RunIngestBench(cfg BenchConfig) (*BenchResult, error) {
+	hasher := hashing.NewMurmur2(cfg.Seed)
+	elements := dataset.Uniform(cfg.Elements, cfg.Distinct, cfg.Seed).Generate()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(cfg.Sites, cfg.Seed))
+	perSite := make([][]stream.Arrival, cfg.Sites)
+	for _, a := range arrivals {
+		perSite[a.Site] = append(perSite[a.Site], a)
+	}
+
+	srv, err := Listen("127.0.0.1:0", cfg.Shards, func(int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(cfg.SampleSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	router := NewShardRouter(cfg.Shards, hasher)
+	opts := wire.Options{Codec: cfg.Codec, BatchSize: cfg.Batch}
+	clients := make([]*SiteClient, cfg.Sites)
+	// Close any still-open clients on every exit path: the deferred
+	// srv.Close() waits for connection handlers, which only return once
+	// their client side is gone, so leaking a client would deadlock error
+	// returns.
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	for site := 0; site < cfg.Sites; site++ {
+		id := site
+		clients[site], err = DialSites(srv.Addrs(), router, func(int) netsim.SiteNode {
+			return core.NewInfiniteSite(id, hasher)
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Sites)
+	for site := 0; site < cfg.Sites; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for _, a := range perSite[site] {
+				if err := clients[site].Observe(a.Key, a.Slot); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := clients[site].Flush(); err != nil {
+				errs <- err
+			}
+		}(site)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	for site, c := range clients {
+		clients[site] = nil
+		if err := c.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	merged := srv.MergedSample(cfg.SampleSize)
+	oracle := core.NewReference(cfg.SampleSize, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	if !oracle.SameSample(merged) {
+		return nil, fmt.Errorf("cluster: merged sample diverged from the centralized reference (shards=%d codec=%s batch=%d)",
+			cfg.Shards, cfg.Codec, cfg.Batch)
+	}
+
+	offers, replies, _ := srv.Stats()
+	shardSamples := srv.ShardSamples()
+	perShardLen := make([]int, len(shardSamples))
+	for i, s := range shardSamples {
+		perShardLen[i] = len(s)
+	}
+	est, err := DistinctCount(cfg.SampleSize, shardSamples...)
+	if err != nil {
+		return nil, err
+	}
+	return &BenchResult{
+		Shards:            cfg.Shards,
+		Sites:             cfg.Sites,
+		SampleSize:        cfg.SampleSize,
+		Codec:             cfg.Codec.String(),
+		Batch:             cfg.Batch,
+		Elements:          len(arrivals),
+		DistinctKeys:      oracle.Distinct(),
+		Seconds:           elapsed.Seconds(),
+		OpsPerSec:         float64(len(arrivals)) / elapsed.Seconds(),
+		Offers:            offers,
+		Replies:           replies,
+		MsgsPerElement:    float64(offers+replies) / float64(len(arrivals)),
+		PerShardOffers:    srv.ShardStats(),
+		PerShardSampleLen: perShardLen,
+		MergedSampleLen:   len(merged),
+		DistinctEstimate:  est.Estimate,
+	}, nil
+}

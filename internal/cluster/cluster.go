@@ -1,0 +1,138 @@
+// Package cluster scales the deployable system from one coordinator to a
+// sharded cluster of C coordinators, each running an unmodified protocol
+// instance (core.InfiniteCoordinator or sliding.Coordinator) over its own
+// slice of the key space.
+//
+// The subsystem rests on one property of the paper's sample: the coordinator
+// maintains the bottom-s set of hash values over distinct keys, and bottom-s
+// sketches under a shared hash function are mergeable. Partition the key
+// space into C disjoint parts, maintain an independent bottom-s sketch per
+// part, and the bottom-s of the union of the C sketches is exactly the
+// bottom-s of the whole key space: every key in the global bottom-s lives in
+// some part, and fewer than s keys of that part hash below it, so the part's
+// sketch retains it. This is the same composability exploited by the
+// level-based distributed sampling algorithms of Cormode–Muthukrishnan–
+// Yi–Zhang (PODS 2010) and Tirthapura–Woodruff (DISC 2011).
+//
+// Concretely:
+//
+//   - ShardRouter deterministically assigns each key to one of C shards by a
+//     prefix of its (rehashed) digest, so every site and every query client
+//     agrees on the partition without coordination.
+//   - Each shard is an ordinary wire.CoordinatorServer; sites hold one
+//     protocol site instance and one connection per shard, so per-shard
+//     thresholds and message bounds follow the paper's analysis applied to
+//     the shard's substream (O(k·s·ln(d_c)) messages for shard c with d_c
+//     distinct keys).
+//   - Merge unions per-shard samples into the exact global bottom-s at query
+//     time; MergedThreshold and DistinctCount feed internal/estimate for
+//     cluster-wide answers.
+//
+// For the sliding-window protocol the same merge applies with s = 1 per
+// shard: the global window sample is the minimum-hash live entry across the
+// shard minima.
+package cluster
+
+import (
+	"errors"
+	"math/bits"
+	"sort"
+
+	"repro/internal/estimate"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// ShardRouter deterministically assigns keys to shards. Routing uses the
+// SplitMix64 finalizer over the shared hasher's digest rather than the digest
+// itself: the digest's magnitude decides sample membership (smallest hashes
+// win), so partitioning by a prefix of the raw digest would concentrate the
+// entire global sample in shard 0. The rehash makes the shard index
+// effectively independent of sample membership, spreading both ingest load
+// and sample entries evenly across shards, while remaining a pure function of
+// (hasher seed, key) that every node computes identically.
+type ShardRouter struct {
+	shards int
+	hasher hashing.UnitHasher
+}
+
+// NewShardRouter builds a router over the cluster's shared hash function.
+// shards below 1 is treated as 1.
+func NewShardRouter(shards int, hasher hashing.UnitHasher) *ShardRouter {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardRouter{shards: shards, hasher: hasher}
+}
+
+// Shards returns the number of shards C.
+func (r *ShardRouter) Shards() int { return r.shards }
+
+// Shard returns the shard index in [0, C) owning key. The mapping is the
+// prefix partition of the rehashed digest: floor(mix(digest) * C / 2^64),
+// computed exactly with a 128-bit multiply.
+func (r *ShardRouter) Shard(key string) int {
+	mixed := hashing.Mix64(r.hasher.Hash(key))
+	hi, _ := bits.Mul64(mixed, uint64(r.shards))
+	return int(hi)
+}
+
+// Merge unions per-shard samples and returns the bottom-s of the union,
+// ordered by ascending hash — exactly the global sample a single coordinator
+// over the whole stream would hold, provided the shard samples come from a
+// disjoint partition of the key space under the same hash function AND
+// sampleSize does not exceed any shard's own sketch capacity: a shard only
+// retains its bottom-s, so asking the merge for more than s entries can
+// silently substitute larger hashes for a shard's discarded ones.
+// sampleSize <= 0 keeps the whole union (useful for sliding-window merges,
+// where each shard contributes at most one live entry and the global sample
+// is the overall minimum).
+func Merge(sampleSize int, shardSamples ...[]netsim.SampleEntry) []netsim.SampleEntry {
+	var union []netsim.SampleEntry
+	seen := make(map[string]struct{})
+	for _, sample := range shardSamples {
+		for _, e := range sample {
+			if _, dup := seen[e.Key]; dup {
+				continue
+			}
+			seen[e.Key] = struct{}{}
+			union = append(union, e)
+		}
+	}
+	sort.Slice(union, func(i, j int) bool {
+		if union[i].Hash != union[j].Hash {
+			return union[i].Hash < union[j].Hash
+		}
+		return union[i].Key < union[j].Key
+	})
+	if sampleSize > 0 && len(union) > sampleSize {
+		union = union[:sampleSize]
+	}
+	return union
+}
+
+// MergedThreshold returns the threshold u of a merged sample: 1 while the
+// merged sample holds fewer than sampleSize entries (the union is the whole
+// distinct population), otherwise the largest retained hash — the same
+// definition core's bottomSet uses, so merged samples plug directly into
+// internal/estimate.
+func MergedThreshold(merged []netsim.SampleEntry, sampleSize int) float64 {
+	if len(merged) < sampleSize {
+		return 1
+	}
+	return merged[len(merged)-1].Hash
+}
+
+// ErrNoShards is returned by cluster operations invoked with no shard
+// samples or addresses.
+var ErrNoShards = errors.New("cluster: need at least one shard")
+
+// DistinctCount merges the per-shard samples and estimates the cluster-wide
+// number of distinct elements with a ~95% confidence interval.
+func DistinctCount(sampleSize int, shardSamples ...[]netsim.SampleEntry) (estimate.Interval, error) {
+	if len(shardSamples) == 0 {
+		return estimate.Interval{}, ErrNoShards
+	}
+	merged := Merge(sampleSize, shardSamples...)
+	return estimate.DistinctCount(merged, sampleSize, MergedThreshold(merged, sampleSize))
+}

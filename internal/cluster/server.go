@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Server runs C shard coordinators in one process, each an independent
+// wire.CoordinatorServer with its own TCP listener. Shard c of a cluster
+// listening on host:port binds host:(port+c); with port 0 every shard gets
+// an ephemeral port (tests and benchmarks).
+type Server struct {
+	servers []*wire.CoordinatorServer
+	addrs   []string
+}
+
+// Listen starts shards coordinator servers. newCoord builds the protocol
+// coordinator for each shard (they must be independent instances).
+func Listen(addr string, shards int, newCoord func(shard int) netsim.CoordinatorNode) (*Server, error) {
+	if shards < 1 {
+		return nil, ErrNoShards
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad listen address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad listen port %q: %w", portStr, err)
+	}
+	s := &Server{}
+	for c := 0; c < shards; c++ {
+		srv := wire.NewCoordinatorServer(newCoord(c))
+		shardPort := 0
+		if port != 0 {
+			shardPort = port + c
+		}
+		bound, err := srv.Listen(net.JoinHostPort(host, strconv.Itoa(shardPort)))
+		if err != nil {
+			_ = s.Close()
+			return nil, fmt.Errorf("cluster: shard %d: %w", c, err)
+		}
+		s.servers = append(s.servers, srv)
+		s.addrs = append(s.addrs, bound)
+	}
+	return s, nil
+}
+
+// Shards returns the number of shard coordinators.
+func (s *Server) Shards() int { return len(s.servers) }
+
+// Addrs returns the bound address of every shard, indexed by shard.
+func (s *Server) Addrs() []string { return append([]string(nil), s.addrs...) }
+
+// Close stops every shard listener and waits for their handlers.
+func (s *Server) Close() error {
+	var first error
+	for _, srv := range s.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns cluster-wide totals of offers received, reply messages sent,
+// and queries answered.
+func (s *Server) Stats() (offers, replies, queries int) {
+	for _, srv := range s.servers {
+		o, r, q := srv.Stats()
+		offers += o
+		replies += r
+		queries += q
+	}
+	return offers, replies, queries
+}
+
+// ShardStats returns the per-shard offer counts (ingest balance).
+func (s *Server) ShardStats() []int {
+	out := make([]int, len(s.servers))
+	for i, srv := range s.servers {
+		out[i], _, _ = srv.Stats()
+	}
+	return out
+}
+
+// ShardSamples returns every shard coordinator's current sample, indexed by
+// shard.
+func (s *Server) ShardSamples() [][]netsim.SampleEntry {
+	out := make([][]netsim.SampleEntry, len(s.servers))
+	for i, srv := range s.servers {
+		out[i] = srv.Sample()
+	}
+	return out
+}
+
+// MergedSample returns the exact global bottom-sampleSize sample across all
+// shards (see Merge).
+func (s *Server) MergedSample(sampleSize int) []netsim.SampleEntry {
+	return Merge(sampleSize, s.ShardSamples()...)
+}
+
+// SiteClient connects one logical site to every shard coordinator: one
+// protocol site instance and one TCP connection per shard, with arrivals
+// routed by the shared ShardRouter. Each shard sees a disjoint substream, so
+// each per-shard site instance keeps its own threshold exactly as the
+// single-coordinator protocol prescribes.
+type SiteClient struct {
+	router  *ShardRouter
+	clients []*wire.SiteClient
+}
+
+// DialSites connects a logical site to all shard coordinators. newSite
+// builds the per-shard protocol site (they must be independent instances
+// sharing the site id and hash function). opts applies to every connection.
+func DialSites(addrs []string, router *ShardRouter, newSite func(shard int) netsim.SiteNode, opts wire.Options) (*SiteClient, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoShards
+	}
+	if len(addrs) != router.Shards() {
+		return nil, fmt.Errorf("cluster: %d shard addresses for a %d-shard router", len(addrs), router.Shards())
+	}
+	c := &SiteClient{router: router}
+	for shard, addr := range addrs {
+		client, err := wire.DialSiteOptions(newSite(shard), addr, opts)
+		if err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("cluster: dial shard %d: %w", shard, err)
+		}
+		c.clients = append(c.clients, client)
+	}
+	return c, nil
+}
+
+// Observe routes one element observation to its owning shard.
+func (c *SiteClient) Observe(key string, slot int64) error {
+	return c.clients[c.router.Shard(key)].Observe(key, slot)
+}
+
+// EndSlot signals the end of a time slot on every shard (the sliding-window
+// protocol needs it for expiry-driven promotions; it also flushes batches).
+func (c *SiteClient) EndSlot(slot int64) error {
+	for shard, client := range c.clients {
+		if err := client.EndSlot(slot); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", shard, err)
+		}
+	}
+	return nil
+}
+
+// Flush ships any batched offers on every shard connection.
+func (c *SiteClient) Flush() error {
+	for shard, client := range c.clients {
+		if err := client.Flush(); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", shard, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every shard connection (flushing batches first).
+func (c *SiteClient) Close() error {
+	var first error
+	for _, client := range c.clients {
+		if client == nil {
+			continue
+		}
+		if err := client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MessagesSent returns the offers shipped across all shard connections.
+func (c *SiteClient) MessagesSent() int {
+	total := 0
+	for _, client := range c.clients {
+		total += client.MessagesSent()
+	}
+	return total
+}
+
+// MessagesReceived returns the replies received across all shard connections.
+func (c *SiteClient) MessagesReceived() int {
+	total := 0
+	for _, client := range c.clients {
+		total += client.MessagesReceived()
+	}
+	return total
+}
+
+// Query fans a sample query out to every shard coordinator concurrently and
+// merges the per-shard samples into the exact global bottom-sampleSize
+// sample (sampleSize <= 0 keeps the whole union).
+func Query(addrs []string, sampleSize int, codec wire.Codec) ([]netsim.SampleEntry, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoShards
+	}
+	samples := make([][]netsim.SampleEntry, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			samples[i], errs[i] = wire.QueryWith(addr, codec)
+		}(i, addr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: query shard %d: %w", i, err)
+		}
+	}
+	return Merge(sampleSize, samples...), nil
+}

@@ -12,6 +12,13 @@ import (
 // size s drawn with replacement. The message cost is s times the cost of a
 // single-element sampler, O(ks·ln(de)), which the paper notes is close to
 // the without-replacement cost O(ks·ln(de/s)).
+//
+// Determinism: this protocol uses no math/rand source at all. All of its
+// randomness comes from the hashing.Family derived from a master seed
+// (hashing.SeedSequence), so every node — and every rerun — computes the
+// same per-copy hash for the same key regardless of goroutine scheduling or
+// arrival interleaving. Components that do need a weight stream (internal/
+// drs) use per-instance rand.New sources, never the global math/rand state.
 
 // WithReplacementSite runs the site half of all s copies. Its state is one
 // threshold per copy.

@@ -28,13 +28,23 @@ import (
 
 // Site is the per-site half of the DRS protocol. Unlike distinct sampling,
 // every occurrence (not every distinct key) draws a fresh random weight.
+//
+// Determinism: each site owns a private *rand.Rand built from its seed via
+// rand.New(rand.NewSource(seed)) — never the deprecated global rand.Seed,
+// whose process-wide state would make runs depend on call order across
+// goroutines and packages. Given the same seeds and the same arrival order,
+// every run draws the identical weight sequence, which is what lets the
+// experiments quote reproducible message counts. (The distinct samplers in
+// internal/core need no RNG at all; see withreplacement.go.)
 type Site struct {
 	id        int
 	rng       *rand.Rand
 	threshold float64
 }
 
-// NewSite constructs a DRS site with its own deterministic weight stream.
+// NewSite constructs a DRS site with its own deterministic weight stream
+// derived from seed (one independent source per site; see the Site doc
+// comment for the determinism guarantee).
 func NewSite(id int, seed uint64) *Site {
 	return &Site{id: id, rng: rand.New(rand.NewSource(int64(seed))), threshold: 1}
 }

@@ -170,6 +170,9 @@ func TestFigure51Shape(t *testing.T) {
 }
 
 func TestFigure52And53Monotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration experiment sweep skipped in -short mode")
+	}
 	cfg := QuickConfig()
 	// Figure 5.2: messages grow (roughly linearly) with the sample size.
 	tab := Figure52(cfg)
@@ -218,6 +221,9 @@ func TestFigure52And53Monotonicity(t *testing.T) {
 }
 
 func TestFigure54To56BroadcastCostsMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration experiment sweep skipped in -short mode")
+	}
 	cfg := QuickConfig()
 	// Figure 5.4: at the end of the stream Broadcast has sent more messages.
 	tab := Figure54(cfg)
@@ -266,6 +272,9 @@ func TestFigure54To56BroadcastCostsMore(t *testing.T) {
 }
 
 func TestSlidingFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration experiment sweep skipped in -short mode")
+	}
 	cfg := QuickConfig()
 	// Figure 5.7: memory grows with the window size, far slower than
 	// linearly. Figure 5.8: messages decrease with the window size.
@@ -327,6 +336,9 @@ func TestSlidingFigures(t *testing.T) {
 }
 
 func TestExtensionExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration experiment sweep skipped in -short mode")
+	}
 	cfg := QuickConfig()
 
 	t.Run("dds-vs-drs", func(t *testing.T) {

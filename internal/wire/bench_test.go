@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// floodSite is a stub site that offers every arrival unconditionally, so
+// transport benchmarks measure offer throughput rather than the protocol's
+// (intentionally tiny) offer rate.
+type floodSite struct {
+	id     int
+	hasher hashing.UnitHasher
+}
+
+func (f *floodSite) ID() int { return f.id }
+func (f *floodSite) OnArrival(key string, _ int64, out *netsim.Outbox) {
+	out.ToCoordinator(netsim.Message{Kind: netsim.KindOffer, Key: key, Hash: f.hasher.Unit(key)})
+}
+func (f *floodSite) OnMessage(netsim.Message, int64, *netsim.Outbox) {}
+func (f *floodSite) OnSlotEnd(int64, *netsim.Outbox)                 {}
+func (f *floodSite) Memory() int                                     { return 0 }
+
+// offerThroughput ships n offers through one site connection and returns
+// offers per second.
+func offerThroughput(tb testing.TB, n int, opts Options) float64 {
+	tb.Helper()
+	srv := NewCoordinatorServer(core.NewInfiniteCoordinator(16))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := DialSiteOptions(&floodSite{id: 0, hasher: hashing.NewMurmur2(1)}, addr, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("flood-key-%d", i)
+	}
+	start := time.Now()
+	for i, key := range keys {
+		if err := client.Observe(key, int64(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := client.Close(); err != nil { // flushes the final partial batch
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if offers, _, _ := srv.Stats(); offers != n {
+		tb.Fatalf("server saw %d offers, want %d", offers, n)
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+// TestBatchedBinaryAtLeast3xJSON is the transport acceptance check: batched
+// binary framing must move offers at least 3x faster than the
+// one-JSON-line-per-offer request/response path on localhost. (Measured
+// ratios are typically far higher; 3x leaves headroom for loaded CI.)
+func TestBatchedBinaryAtLeast3xJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement skipped in -short mode")
+	}
+	const n = 4000
+	jsonOps := offerThroughput(t, n, Options{Codec: CodecJSON})
+	binOps := offerThroughput(t, n, Options{Codec: CodecBinary, BatchSize: 64})
+	t.Logf("json per-offer: %.0f offers/s; binary batch=64: %.0f offers/s (%.1fx)",
+		jsonOps, binOps, binOps/jsonOps)
+	if binOps < 3*jsonOps {
+		t.Fatalf("batched binary %.0f offers/s is less than 3x json %.0f offers/s", binOps, jsonOps)
+	}
+}
+
+// BenchmarkTransport compares the wire codecs and batch sizes on the raw
+// offer path: one JSON request/response per offer versus length-prefixed
+// binary frames batching 16 or 64 offers.
+func BenchmarkTransport(b *testing.B) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"json-per-offer", Options{Codec: CodecJSON}},
+		{"json-batch64", Options{Codec: CodecJSON, BatchSize: 64}},
+		{"binary-per-offer", Options{Codec: CodecBinary}},
+		{"binary-batch16", Options{Codec: CodecBinary, BatchSize: 16}},
+		{"binary-batch64", Options{Codec: CodecBinary, BatchSize: 64}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			srv := NewCoordinatorServer(core.NewInfiniteCoordinator(16))
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			client, err := DialSiteOptions(&floodSite{id: 0, hasher: hashing.NewMurmur2(1)}, addr, c.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.Observe(fmt.Sprintf("key-%d", i), int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := client.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "offers/s")
+		})
+	}
+}

@@ -1,0 +1,408 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"repro/internal/netsim"
+)
+
+// Codec selects the wire encoding of a connection. Every connection starts
+// with a client-chosen preamble: JSON clients simply send their first frame
+// (which always begins with '{'), binary clients send the 4-byte magic
+// binMagic first. The server sniffs the first byte, so old JSON clients keep
+// working unchanged and the codec is negotiated without an extra round trip.
+type Codec int
+
+const (
+	// CodecJSON is the original newline-delimited JSON encoding: one JSON
+	// object per frame, human-readable, self-describing.
+	CodecJSON Codec = iota
+	// CodecBinary is the length-prefixed binary encoding: a uint32
+	// little-endian payload length followed by a compact tag-based payload.
+	// Combined with batched frames it amortizes syscalls and encoding over
+	// many offers and is the transport for high-throughput ingest.
+	CodecBinary
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// ParseCodec maps the -codec flag values to a Codec.
+func ParseCodec(name string) (Codec, error) {
+	switch name {
+	case "json":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown codec %q (want json or binary)", name)
+	}
+}
+
+// binMagic is the binary-codec connection preamble. The first byte is not
+// '{', which is how the server tells the two codecs apart.
+var binMagic = [4]byte{'D', 'D', 'S', '1'}
+
+// maxFrameSize bounds a binary frame's payload, protecting the server from
+// malformed or hostile length prefixes.
+const maxFrameSize = 16 << 20
+
+// Binary frame type codes (the binary counterpart of the Frame* strings).
+const (
+	binHello   = 0x01
+	binOffer   = 0x02
+	binReplies = 0x03
+	binQuery   = 0x04
+	binSample  = 0x05
+	binError   = 0x06
+	binBatch   = 0x07
+)
+
+var binToName = map[byte]string{
+	binHello:   FrameHello,
+	binOffer:   FrameOffer,
+	binReplies: FrameReplies,
+	binQuery:   FrameQuery,
+	binSample:  FrameSample,
+	binError:   FrameError,
+	binBatch:   FrameBatch,
+}
+
+// Minimum encoded sizes, used to reject implausible element counts before
+// allocating: a message is kind (1) + key length uvarint (>=1) + hash and u
+// (8 each) + three varints (>=1 each); a batch entry adds a slot varint; a
+// sample entry is key length uvarint (>=1) + hash (8) + expiry varint (>=1).
+const (
+	minMessageBytes     = 1 + 1 + 8 + 8 + 1 + 1 + 1
+	minBatchEntryBytes  = 1 + minMessageBytes
+	minSampleEntryBytes = 1 + 8 + 1
+)
+
+var nameToBin = map[string]byte{
+	FrameHello:   binHello,
+	FrameOffer:   binOffer,
+	FrameReplies: binReplies,
+	FrameQuery:   binQuery,
+	FrameSample:  binSample,
+	FrameError:   binError,
+	FrameBatch:   binBatch,
+}
+
+// frameConn reads and writes protocol frames in one concrete codec. Both
+// implementations are used single-threadedly per connection (the server
+// serializes on its handler goroutine, the client on the caller).
+type frameConn interface {
+	ReadFrame(f *Frame) error
+	WriteFrame(f *Frame) error
+}
+
+// jsonConn is the original one-JSON-object-per-line transport.
+type jsonConn struct {
+	dec *json.Decoder
+	enc *json.Encoder
+}
+
+func newJSONConn(r io.Reader, w io.Writer) *jsonConn {
+	return &jsonConn{dec: json.NewDecoder(r), enc: json.NewEncoder(w)}
+}
+
+func (c *jsonConn) ReadFrame(f *Frame) error  { *f = Frame{}; return c.dec.Decode(f) }
+func (c *jsonConn) WriteFrame(f *Frame) error { return c.enc.Encode(f) }
+
+// binConn is the length-prefixed binary transport. Writes are buffered and
+// flushed once per frame, so a batched frame costs one syscall regardless of
+// how many offers it carries.
+type binConn struct {
+	r       *bufio.Reader
+	w       *bufio.Writer
+	scratch []byte
+}
+
+func newBinConn(r *bufio.Reader, w io.Writer) *binConn {
+	return &binConn{r: r, w: bufio.NewWriter(w)}
+}
+
+// dialBinary sends the binary preamble over a fresh client connection.
+func dialBinary(conn net.Conn, r *bufio.Reader) (*binConn, error) {
+	c := newBinConn(r, conn)
+	if _, err := c.w.Write(binMagic[:]); err != nil {
+		return nil, fmt.Errorf("wire: send magic: %w", err)
+	}
+	return c, nil
+}
+
+func (c *binConn) WriteFrame(f *Frame) error {
+	code, ok := nameToBin[f.Type]
+	if !ok {
+		return fmt.Errorf("wire: cannot encode frame type %q", f.Type)
+	}
+	buf := append(c.scratch[:0], code)
+	switch code {
+	case binHello:
+		buf = binary.AppendUvarint(buf, uint64(f.Site))
+	case binOffer:
+		buf = binary.AppendVarint(buf, f.Slot)
+		if f.Msg == nil {
+			return fmt.Errorf("wire: offer frame without message")
+		}
+		buf = appendMessage(buf, *f.Msg)
+	case binReplies:
+		buf = binary.AppendUvarint(buf, uint64(len(f.Msgs)))
+		for _, m := range f.Msgs {
+			buf = appendMessage(buf, m)
+		}
+	case binQuery:
+		// No payload.
+	case binSample:
+		buf = binary.AppendUvarint(buf, uint64(len(f.Entries)))
+		for _, e := range f.Entries {
+			buf = appendString(buf, e.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Hash))
+			buf = binary.AppendVarint(buf, e.Expiry)
+		}
+	case binError:
+		buf = appendString(buf, f.Error)
+	case binBatch:
+		buf = binary.AppendUvarint(buf, uint64(len(f.Batch)))
+		for _, e := range f.Batch {
+			buf = binary.AppendVarint(buf, e.Slot)
+			buf = appendMessage(buf, e.Msg)
+		}
+	}
+	c.scratch = buf
+	var lenPrefix [4]byte
+	binary.LittleEndian.PutUint32(lenPrefix[:], uint32(len(buf)))
+	if _, err := c.w.Write(lenPrefix[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(buf); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *binConn) ReadFrame(f *Frame) error {
+	var lenPrefix [4]byte
+	if _, err := io.ReadFull(c.r, lenPrefix[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(lenPrefix[:])
+	if n == 0 || n > maxFrameSize {
+		return fmt.Errorf("wire: invalid frame length %d", n)
+	}
+	if cap(c.scratch) < int(n) {
+		c.scratch = make([]byte, n)
+	}
+	buf := c.scratch[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return err
+	}
+	*f = Frame{}
+	d := byteDecoder{buf: buf}
+	code := d.byte()
+	name, ok := binToName[code]
+	if !ok {
+		return fmt.Errorf("wire: unknown binary frame code 0x%02x", code)
+	}
+	f.Type = name
+	switch code {
+	case binHello:
+		f.Site = int(d.uvarint())
+	case binOffer:
+		f.Slot = d.varint()
+		m := d.message()
+		f.Msg = &m
+	case binReplies:
+		count := d.uvarint()
+		if err := d.checkCount(count, minMessageBytes); err != nil {
+			return err
+		}
+		if count > 0 {
+			f.Msgs = make([]netsim.Message, 0, count)
+		}
+		for i := uint64(0); i < count && d.err == nil; i++ {
+			f.Msgs = append(f.Msgs, d.message())
+		}
+	case binQuery:
+	case binSample:
+		count := d.uvarint()
+		if err := d.checkCount(count, minSampleEntryBytes); err != nil {
+			return err
+		}
+		if count > 0 {
+			f.Entries = make([]netsim.SampleEntry, 0, count)
+		}
+		for i := uint64(0); i < count && d.err == nil; i++ {
+			e := netsim.SampleEntry{Key: d.string(), Hash: d.float()}
+			e.Expiry = d.varint()
+			f.Entries = append(f.Entries, e)
+		}
+	case binError:
+		f.Error = d.string()
+	case binBatch:
+		count := d.uvarint()
+		if err := d.checkCount(count, minBatchEntryBytes); err != nil {
+			return err
+		}
+		if count > 0 {
+			f.Batch = make([]BatchEntry, 0, count)
+		}
+		for i := uint64(0); i < count && d.err == nil; i++ {
+			e := BatchEntry{Slot: d.varint()}
+			e.Msg = d.message()
+			f.Batch = append(f.Batch, e)
+		}
+	}
+	return d.err
+}
+
+// appendString appends a uvarint length followed by the bytes.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendMessage appends one protocol message in the compact layout:
+// kind (1 byte), key (length-prefixed), hash and u (8 bytes each, IEEE 754
+// bits), expiry / copy / from (zigzag varints).
+func appendMessage(buf []byte, m netsim.Message) []byte {
+	buf = append(buf, byte(m.Kind))
+	buf = appendString(buf, m.Key)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Hash))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.U))
+	buf = binary.AppendVarint(buf, m.Expiry)
+	buf = binary.AppendVarint(buf, int64(m.Copy))
+	buf = binary.AppendVarint(buf, int64(m.From))
+	return buf
+}
+
+// byteDecoder consumes the fields of a binary payload, remembering the first
+// error so call sites can read a whole struct before checking.
+type byteDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *byteDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated binary frame")
+	}
+}
+
+func (d *byteDecoder) byte() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *byteDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *byteDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *byteDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *byteDecoder) float() float64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *byteDecoder) message() netsim.Message {
+	m := netsim.Message{Kind: netsim.Kind(d.byte())}
+	m.Key = d.string()
+	m.Hash = d.float()
+	m.U = d.float()
+	m.Expiry = d.varint()
+	m.Copy = int(d.varint())
+	m.From = int(d.varint())
+	return m
+}
+
+// checkCount rejects element counts that could not possibly fit in the
+// remaining payload (each element costs at least minBytes), so a corrupt
+// count cannot trigger a huge allocation.
+func (d *byteDecoder) checkCount(count uint64, minBytes int) error {
+	if d.err != nil {
+		return d.err
+	}
+	if count > uint64(len(d.buf)/minBytes)+1 {
+		d.err = fmt.Errorf("wire: implausible element count %d in binary frame", count)
+	}
+	return d.err
+}
+
+// sniffServerConn inspects the first byte of an accepted connection and
+// returns the matching frameConn: '{' selects JSON (a legacy client's first
+// frame), the binary magic selects the binary codec. Anything else is
+// rejected.
+func sniffServerConn(conn net.Conn) (frameConn, error) {
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] == '{' {
+		return newJSONConn(br, conn), nil
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("wire: bad connection preamble % x", magic)
+	}
+	return newBinConn(br, conn), nil
+}

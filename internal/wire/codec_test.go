@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distribute"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+)
+
+// pipeBin builds a binary frameConn pair over an in-memory pipe.
+func pipeBin(t *testing.T) (client, server frameConn, cleanup func()) {
+	t.Helper()
+	c, s := net.Pipe()
+	// net.Pipe is synchronous: run reads and writes from different
+	// goroutines in the tests.
+	clientConn := newBinConn(bufio.NewReader(c), c)
+	serverConn := newBinConn(bufio.NewReader(s), s)
+	return clientConn, serverConn, func() { c.Close(); s.Close() }
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, Site: 7},
+		{Type: FrameOffer, Slot: -3, Msg: &netsim.Message{
+			Kind: netsim.KindOffer, Key: "alpha", Hash: 0.125, U: 0.5, Expiry: 42, Copy: 3, From: -1,
+		}},
+		{Type: FrameReplies, Msgs: []netsim.Message{
+			{Kind: netsim.KindThreshold, U: 0.25, From: netsim.CoordinatorID},
+			{Kind: netsim.KindWindowSample, Key: "beta", Hash: 0.75, Expiry: 9},
+		}},
+		{Type: FrameQuery},
+		{Type: FrameSample, Entries: []netsim.SampleEntry{
+			{Key: "k1", Hash: 0.01, Expiry: 100},
+			{Key: "", Hash: 0.99},
+		}},
+		{Type: FrameError, Error: "boom"},
+		{Type: FrameBatch, Batch: []BatchEntry{
+			{Slot: 1, Msg: netsim.Message{Kind: netsim.KindOffer, Key: "x", Hash: 0.5}},
+			{Slot: 2, Msg: netsim.Message{Kind: netsim.KindWindowOffer, Key: "y", Hash: 0.25, Expiry: 11}},
+		}},
+		{Type: FrameReplies}, // empty replies round-trip too
+	}
+	client, server, cleanup := pipeBin(t)
+	defer cleanup()
+	done := make(chan error, 1)
+	go func() {
+		for i := range frames {
+			f := frames[i]
+			if err := client.WriteFrame(&f); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := range frames {
+		var got Frame
+		if err := server.ReadFrame(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, frames[i]) {
+			t.Fatalf("frame %d round-trip mismatch:\n got: %+v\nwant: %+v", i, got, frames[i])
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryCodecRejectsCorruptInput(t *testing.T) {
+	corrupt := [][]byte{
+		{},                       // empty
+		{0x05, 0x00, 0x00},       // truncated length prefix
+		{0x00, 0x00, 0x00, 0x00}, // zero-length frame
+		append(binary.LittleEndian.AppendUint32(nil, uint32(maxFrameSize+1)), 0x01), // oversized
+		append(binary.LittleEndian.AppendUint32(nil, 1), 0x7f),                      // unknown frame code
+		append(binary.LittleEndian.AppendUint32(nil, 2), binOffer, 0x01),            // truncated offer
+		// replies frame claiming far more messages than the payload holds
+		append(binary.LittleEndian.AppendUint32(nil, 3), binReplies, 0xff, 0x7f),
+	}
+	for i, raw := range corrupt {
+		c := newBinConn(bufio.NewReader(bytes.NewReader(raw)), &bytes.Buffer{})
+		var f Frame
+		if err := c.ReadFrame(&f); err == nil {
+			t.Fatalf("corrupt input %d decoded without error: %+v", i, f)
+		}
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	if c, err := ParseCodec("json"); err != nil || c != CodecJSON {
+		t.Fatalf("ParseCodec(json) = %v, %v", c, err)
+	}
+	if c, err := ParseCodec("binary"); err != nil || c != CodecBinary {
+		t.Fatalf("ParseCodec(binary) = %v, %v", c, err)
+	}
+	if _, err := ParseCodec("gob"); err == nil {
+		t.Fatal("ParseCodec should reject unknown names")
+	}
+	if CodecJSON.String() != "json" || CodecBinary.String() != "binary" {
+		t.Fatal("Codec.String mismatch")
+	}
+}
+
+// TestBinaryBatchedEndToEnd re-runs the infinite-window end-to-end
+// deployment over the binary codec with batching and checks the sample
+// against the centralized oracle, plus JSON/binary interop on one server.
+func TestBinaryBatchedEndToEnd(t *testing.T) {
+	const (
+		k    = 4
+		s    = 16
+		seed = 11
+	)
+	hasher := hashing.NewMurmur2(seed)
+	elements := dataset.Uniform(6000, 1200, seed).Generate()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(k, seed))
+
+	srv, addr := startServer(t, core.NewInfiniteCoordinator(s))
+
+	perSite := make([][]stream.Arrival, k)
+	for _, a := range arrivals {
+		perSite[a.Site] = append(perSite[a.Site], a)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, k)
+	for site := 0; site < k; site++ {
+		// Mix codecs and batch sizes on the same server: negotiation is per
+		// connection.
+		opts := Options{Codec: CodecBinary, BatchSize: 32}
+		if site%2 == 1 {
+			opts = Options{Codec: CodecJSON, BatchSize: 4}
+		}
+		client, err := DialSiteOptions(core.NewInfiniteSite(site, hasher), addr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(site int, client *SiteClient) {
+			defer wg.Done()
+			for _, a := range perSite[site] {
+				if err := client.Observe(a.Key, a.Slot); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- client.Close() // Close flushes the partial batch
+		}(site, client)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	oracle := core.NewReference(s, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	if !oracle.SameSample(srv.Sample()) {
+		t.Fatal("batched/binary deployment diverged from the oracle")
+	}
+	// Query over both codecs returns the same entries.
+	jsonSample, err := Query(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binSample, err := QueryWith(addr, CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jsonSample, binSample) {
+		t.Fatalf("codec-dependent query results:\njson: %+v\nbin:  %+v", jsonSample, binSample)
+	}
+}
+
+// TestServerRejectsBadPreamble covers the negotiation path: a connection
+// that is neither JSON nor the binary magic is dropped without a response.
+func TestServerRejectsBadPreamble(t *testing.T) {
+	_, addr := startServer(t, core.NewInfiniteCoordinator(2))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("NOPE")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the server to close a connection with a bad preamble")
+	}
+}

@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+)
+
+// TestMalformedFrames sends garbage at the server in both codecs and checks
+// that it drops the connection without taking the server down.
+func TestMalformedFrames(t *testing.T) {
+	srv, addr := startServer(t, core.NewInfiniteCoordinator(4))
+
+	garbage := [][]byte{
+		[]byte("{\"type\":\"offer\",,,\n"),  // JSON-looking but unparsable
+		[]byte("{\"type\": 12}\n{bad json"), // valid frame then broken stream
+		{'D', 'D', 'S', '1', 0xff, 0xff, 0xff, 0x7f}, // binary magic + absurd length
+		{'D', 'D', 'S', '1', 2, 0, 0, 0, 0x7f, 0x00}, // binary magic + unknown frame code
+		{'X', 'Y'}, // neither codec
+	}
+	for i, raw := range garbage {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(raw); err != nil {
+			t.Fatalf("case %d: write: %v", i, err)
+		}
+		// The server must close the connection (possibly after an error
+		// frame); reads must not hang.
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 256)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}
+
+	// The server is still healthy: a well-formed session works.
+	hasher := hashing.NewMurmur2(5)
+	client, err := DialSite(core.NewInfiniteSite(0, hasher), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Observe("survivor", 0); err != nil {
+		t.Fatal(err)
+	}
+	sample, err := Query(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 1 || sample[0].Key != "survivor" {
+		t.Fatalf("server state wrong after malformed traffic: %+v", sample)
+	}
+	if offers, _, _ := srv.Stats(); offers != 1 {
+		t.Fatalf("offers = %d, want 1", offers)
+	}
+}
+
+// TestMidStreamDisconnect kills site connections at awkward points (after
+// hello, mid-frame) and checks the server keeps serving everyone else.
+func TestMidStreamDisconnect(t *testing.T) {
+	_, addr := startServer(t, core.NewInfiniteCoordinator(4))
+	hasher := hashing.NewMurmur2(9)
+
+	// A site that says hello and vanishes.
+	c1, err := DialSite(core.NewInfiniteSite(1, hasher), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c1.Close()
+
+	// A raw connection that dies halfway through a binary frame: magic, a
+	// length prefix promising 100 bytes, but only 3 delivered.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := append([]byte{'D', 'D', 'S', '1'}, binary.LittleEndian.AppendUint32(nil, 100)...)
+	partial = append(partial, 1, 2, 3)
+	if _, err := raw.Write(partial); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	// A batched binary site that disconnects with offers still buffered
+	// (never flushed): the server must simply never see them.
+	c2, err := DialSiteOptions(core.NewInfiniteSite(2, hasher), addr, Options{Codec: CodecBinary, BatchSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Observe("buffered-key", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Close the raw socket underneath the client, then Close flushes into a
+	// dead connection and must surface an error rather than hang.
+	c2.conn.Close()
+	if err := c2.Close(); err == nil {
+		t.Fatal("expected flush-on-close over a dead connection to fail")
+	}
+
+	// A healthy site still works after all of the above.
+	c3, err := DialSiteOptions(core.NewInfiniteSite(3, hasher), addr, Options{Codec: CodecBinary, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if err := c3.Observe(key, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sample, err := Query(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != 3 {
+		t.Fatalf("sample has %d entries, want the 3 offered by the healthy site: %+v", len(sample), sample)
+	}
+}
+
+// TestConcurrentQueriesDuringIngest hammers the query path while sites are
+// ingesting (run with -race): queries must always return a consistent
+// snapshot and never an error.
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	const (
+		k       = 4
+		s       = 8
+		queries = 25
+	)
+	_, addr := startServer(t, core.NewInfiniteCoordinator(s))
+	hasher := hashing.NewMurmur2(31)
+	keys := make([]string, 3000)
+	for i := range keys {
+		keys[i] = "key-" + string(rune('a'+i%26)) + "-" + time.Duration(i).String()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, k+queries)
+	for site := 0; site < k; site++ {
+		opts := Options{}
+		if site%2 == 0 {
+			opts = Options{Codec: CodecBinary, BatchSize: 16}
+		}
+		client, err := DialSiteOptions(core.NewInfiniteSite(site, hasher), addr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(site int, client *SiteClient) {
+			defer wg.Done()
+			for i, key := range keys {
+				if i%k != site {
+					continue
+				}
+				if err := client.Observe(key, int64(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- client.Close()
+		}(site, client)
+	}
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			codec := CodecJSON
+			if q%2 == 0 {
+				codec = CodecBinary
+			}
+			sample, err := QueryWith(addr, codec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(sample) > s {
+				errs <- errTooBig(len(sample))
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// After ingest settles, the sample matches the oracle.
+	oracle := core.NewReference(s, hasher)
+	oracle.ObserveAll(keys)
+	final, err := Query(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.SameSample(final) {
+		t.Fatal("final sample diverged from oracle after concurrent queries")
+	}
+}
+
+type errTooBig int
+
+func (e errTooBig) Error() string { return "sample larger than s" }

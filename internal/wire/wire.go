@@ -4,24 +4,37 @@
 //
 // The protocol nodes themselves are reused unchanged (anything implementing
 // netsim.SiteNode / netsim.CoordinatorNode); this package only supplies the
-// transport: newline-delimited JSON frames over a long-lived TCP connection
-// per site, a request/response exchange per offer (mirroring Algorithm 1/2's
-// site-initiated dialogue), and a query frame that returns the coordinator's
-// current sample. Algorithms that broadcast (Algorithm Broadcast) are not
-// supported over this transport, matching the concurrent engine's contract.
+// transport: framed messages over a long-lived TCP connection per site, a
+// request/response exchange per offer or per batch of offers (mirroring
+// Algorithm 1/2's site-initiated dialogue), and a query frame that returns
+// the coordinator's current sample. Algorithms that broadcast (Algorithm
+// Broadcast) are not supported over this transport, matching the concurrent
+// engine's contract.
 //
-// The wire format is deliberately simple and human-readable: one JSON object
-// per line, of the form
+// Two codecs are negotiated per connection (see Codec in codec.go):
 //
-//	{"type":"offer","msg":{...}}            site -> coordinator
-//	{"type":"replies","msgs":[{...},...]}   coordinator -> site
-//	{"type":"query"}                        any client -> coordinator
-//	{"type":"sample","entries":[...]}       coordinator -> querying client
+//   - CodecJSON, the original human-readable format — one JSON object per
+//     line:
+//
+//     {"type":"offer","msg":{...}}            site -> coordinator
+//     {"type":"replies","msgs":[{...},...]}   coordinator -> site
+//     {"type":"query"}                        any client -> coordinator
+//     {"type":"sample","entries":[...]}       coordinator -> querying client
+//
+//   - CodecBinary, a length-prefixed binary format for high-throughput
+//     ingest. A binary connection opens with a 4-byte magic; every frame is
+//     a uint32 length followed by a compact tagged payload.
+//
+// Independently of the codec, sites may batch: a "batch" frame carries N
+// offers and is answered by one "replies" frame covering all of them, so
+// syscalls and encoding overhead amortize over the batch. Batching delays a
+// site's view of the coordinator threshold by at most one batch, which can
+// only cause extra offers, never missed ones — the coordinator's sample is
+// unaffected (the same argument that covers the concurrent engine's races).
 package wire
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -30,13 +43,21 @@ import (
 	"repro/internal/netsim"
 )
 
-// Frame is one line of the wire protocol.
+// BatchEntry is one offer inside a batched frame, carrying its own slot so a
+// batch may span slot boundaries.
+type BatchEntry struct {
+	Slot int64          `json:"slot,omitempty"`
+	Msg  netsim.Message `json:"msg"`
+}
+
+// Frame is one message of the wire protocol.
 type Frame struct {
 	Type    string               `json:"type"`
 	Site    int                  `json:"site,omitempty"`
 	Slot    int64                `json:"slot,omitempty"`
 	Msg     *netsim.Message      `json:"msg,omitempty"`
 	Msgs    []netsim.Message     `json:"msgs,omitempty"`
+	Batch   []BatchEntry         `json:"batch,omitempty"`
 	Entries []netsim.SampleEntry `json:"entries,omitempty"`
 	Error   string               `json:"error,omitempty"`
 }
@@ -45,7 +66,8 @@ type Frame struct {
 const (
 	FrameHello   = "hello"   // site -> coordinator: announce site id
 	FrameOffer   = "offer"   // site -> coordinator: one protocol message
-	FrameReplies = "replies" // coordinator -> site: the replies to one offer
+	FrameBatch   = "batch"   // site -> coordinator: many protocol messages
+	FrameReplies = "replies" // coordinator -> site: the replies to one offer/batch
 	FrameQuery   = "query"   // client -> coordinator: request the sample
 	FrameSample  = "sample"  // coordinator -> client: the current sample
 	FrameError   = "error"   // coordinator -> client: protocol violation
@@ -123,16 +145,19 @@ func (s *CoordinatorServer) acceptLoop() {
 	}
 }
 
-// handle serves one site (or query client) connection.
+// handle serves one site (or query client) connection in whichever codec the
+// client chose.
 func (s *CoordinatorServer) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	fc, err := sniffServerConn(conn)
+	if err != nil {
+		return // unreadable preamble; drop the connection
+	}
 	siteID := -1
 
+	var f Frame
 	for {
-		var f Frame
-		if err := dec.Decode(&f); err != nil {
+		if err := fc.ReadFrame(&f); err != nil {
 			return // connection closed or garbage; drop the site
 		}
 		switch f.Type {
@@ -140,17 +165,41 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 			siteID = f.Site
 		case FrameOffer:
 			if f.Msg == nil || siteID < 0 {
-				_ = enc.Encode(Frame{Type: FrameError, Error: "offer before hello or missing msg"})
+				_ = fc.WriteFrame(&Frame{Type: FrameError, Error: "offer before hello or missing msg"})
 				return
 			}
 			msg := *f.Msg
 			msg.From = siteID
 			replies, err := s.dispatch(msg, f.Slot, siteID)
 			if err != nil {
-				_ = enc.Encode(Frame{Type: FrameError, Error: err.Error()})
+				_ = fc.WriteFrame(&Frame{Type: FrameError, Error: err.Error()})
 				return
 			}
-			if err := enc.Encode(Frame{Type: FrameReplies, Msgs: replies}); err != nil {
+			if err := fc.WriteFrame(&Frame{Type: FrameReplies, Msgs: replies}); err != nil {
+				return
+			}
+		case FrameBatch:
+			if siteID < 0 {
+				_ = fc.WriteFrame(&Frame{Type: FrameError, Error: "batch before hello"})
+				return
+			}
+			var replies []netsim.Message
+			failed := false
+			for _, entry := range f.Batch {
+				msg := entry.Msg
+				msg.From = siteID
+				r, err := s.dispatch(msg, entry.Slot, siteID)
+				if err != nil {
+					_ = fc.WriteFrame(&Frame{Type: FrameError, Error: err.Error()})
+					failed = true
+					break
+				}
+				replies = append(replies, r...)
+			}
+			if failed {
+				return
+			}
+			if err := fc.WriteFrame(&Frame{Type: FrameReplies, Msgs: replies}); err != nil {
 				return
 			}
 		case FrameQuery:
@@ -158,11 +207,11 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 			entries := s.node.Sample()
 			s.stats.queries++
 			s.mu.Unlock()
-			if err := enc.Encode(Frame{Type: FrameSample, Entries: entries}); err != nil {
+			if err := fc.WriteFrame(&Frame{Type: FrameSample, Entries: entries}); err != nil {
 				return
 			}
 		default:
-			_ = enc.Encode(Frame{Type: FrameError, Error: "unknown frame type " + f.Type})
+			_ = fc.WriteFrame(&Frame{Type: FrameError, Error: "unknown frame type " + f.Type})
 			return
 		}
 	}
@@ -189,39 +238,78 @@ func (s *CoordinatorServer) dispatch(msg netsim.Message, slot int64, siteID int)
 	return replies, nil
 }
 
+// Options configures a site client's transport.
+type Options struct {
+	// Codec selects the wire encoding. The default CodecJSON matches legacy
+	// coordinators; CodecBinary is the high-throughput encoding.
+	Codec Codec
+	// BatchSize > 1 buffers up to that many coordinator-bound messages and
+	// ships them in one batch frame, answered by one replies frame. 0 or 1
+	// keeps the original one-request-per-offer dialogue. EndSlot and Close
+	// always flush the buffer, so batching never holds a message past a slot
+	// boundary.
+	BatchSize int
+}
+
 // SiteClient connects one site node to a remote coordinator.
 type SiteClient struct {
 	node netsim.SiteNode
 	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	fc   frameConn
+	opts Options
+
+	pending []BatchEntry // buffered offers awaiting a batch flush
 
 	sent     int
 	received int
 }
 
-// DialSite connects the given site node to the coordinator at addr and
-// announces its site id.
+// DialSite connects the given site node to the coordinator at addr with the
+// default options (JSON codec, no batching) and announces its site id.
 func DialSite(node netsim.SiteNode, addr string) (*SiteClient, error) {
+	return DialSiteOptions(node, addr, Options{})
+}
+
+// DialSiteOptions connects the given site node to the coordinator at addr
+// using the given transport options and announces its site id.
+func DialSiteOptions(node netsim.SiteNode, addr string, opts Options) (*SiteClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial: %w", err)
 	}
-	c := &SiteClient{
-		node: node,
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		enc:  json.NewEncoder(conn),
+	fc, err := clientConn(conn, opts.Codec)
+	if err != nil {
+		conn.Close()
+		return nil, err
 	}
-	if err := c.enc.Encode(Frame{Type: FrameHello, Site: node.ID()}); err != nil {
+	c := &SiteClient{node: node, conn: conn, fc: fc, opts: opts}
+	if err := c.fc.WriteFrame(&Frame{Type: FrameHello, Site: node.ID()}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: hello: %w", err)
 	}
 	return c, nil
 }
 
-// Close closes the connection to the coordinator.
-func (c *SiteClient) Close() error { return c.conn.Close() }
+// clientConn builds the client half of a connection in the chosen codec,
+// sending the binary preamble when needed.
+func clientConn(conn net.Conn, codec Codec) (frameConn, error) {
+	br := bufio.NewReader(conn)
+	if codec == CodecBinary {
+		return dialBinary(conn, br)
+	}
+	return newJSONConn(br, conn), nil
+}
+
+// Close flushes any buffered offers and closes the connection to the
+// coordinator.
+func (c *SiteClient) Close() error {
+	flushErr := c.Flush()
+	closeErr := c.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
 
 // MessagesSent returns the number of offers shipped to the coordinator.
 func (c *SiteClient) MessagesSent() int { return c.sent }
@@ -230,7 +318,8 @@ func (c *SiteClient) MessagesSent() int { return c.sent }
 func (c *SiteClient) MessagesReceived() int { return c.received }
 
 // Observe feeds one element observation to the local site node and performs
-// whatever exchanges with the coordinator the protocol requires.
+// whatever exchanges with the coordinator the protocol requires (possibly
+// deferred, when batching is enabled).
 func (c *SiteClient) Observe(key string, slot int64) error {
 	out := &netsim.Outbox{}
 	c.node.OnArrival(key, slot, out)
@@ -238,16 +327,33 @@ func (c *SiteClient) Observe(key string, slot int64) error {
 }
 
 // EndSlot signals the end of a time slot to the local site node (needed by
-// the sliding-window protocol for expiry-driven promotions).
+// the sliding-window protocol for expiry-driven promotions) and flushes any
+// batched offers so nothing crosses the slot boundary unsent.
 func (c *SiteClient) EndSlot(slot int64) error {
 	out := &netsim.Outbox{}
 	c.node.OnSlotEnd(slot, out)
-	return c.flush(out, slot)
+	if err := c.flush(out, slot); err != nil {
+		return err
+	}
+	return c.Flush()
 }
 
-// flush ships every queued coordinator-bound message and feeds the replies
-// back into the site node, repeating until the site has nothing more to say.
+// flush routes every queued coordinator-bound message: in unbatched mode it
+// ships each message and processes the replies immediately; in batched mode
+// it buffers and ships full batches only.
 func (c *SiteClient) flush(out *netsim.Outbox, slot int64) error {
+	if c.opts.BatchSize > 1 {
+		for _, env := range out.Drain() {
+			if env.Broadcast || env.To != netsim.CoordinatorID {
+				return errors.New("wire: site nodes may only message the coordinator")
+			}
+			c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
+		}
+		if len(c.pending) >= c.opts.BatchSize {
+			return c.sendPending(slot)
+		}
+		return nil
+	}
 	queue := out.Drain()
 	for len(queue) > 0 {
 		env := queue[0]
@@ -255,46 +361,105 @@ func (c *SiteClient) flush(out *netsim.Outbox, slot int64) error {
 		if env.Broadcast || env.To != netsim.CoordinatorID {
 			return errors.New("wire: site nodes may only message the coordinator")
 		}
-		if err := c.enc.Encode(Frame{Type: FrameOffer, Slot: slot, Msg: &env.Msg}); err != nil {
+		if err := c.fc.WriteFrame(&Frame{Type: FrameOffer, Slot: slot, Msg: &env.Msg}); err != nil {
 			return fmt.Errorf("wire: send offer: %w", err)
 		}
 		c.sent++
-		var resp Frame
-		if err := c.dec.Decode(&resp); err != nil {
-			return fmt.Errorf("wire: read replies: %w", err)
+		replies, err := c.readReplies()
+		if err != nil {
+			return err
 		}
-		switch resp.Type {
-		case FrameReplies:
-			c.received += len(resp.Msgs)
-			scratch := &netsim.Outbox{}
-			for _, reply := range resp.Msgs {
-				c.node.OnMessage(reply, slot, scratch)
-				queue = append(queue, scratch.Drain()...)
-			}
-		case FrameError:
-			return errors.New("wire: coordinator error: " + resp.Error)
-		default:
-			return errors.New("wire: unexpected frame " + resp.Type)
+		scratch := &netsim.Outbox{}
+		for _, reply := range replies {
+			c.node.OnMessage(reply, slot, scratch)
+			queue = append(queue, scratch.Drain()...)
 		}
 	}
 	return nil
 }
 
-// Query opens a short-lived connection to the coordinator at addr and
+// Flush ships every buffered offer (batched mode) and feeds the replies back
+// into the site node, repeating until the site has nothing more to say. It is
+// a no-op in unbatched mode and when the buffer is empty.
+func (c *SiteClient) Flush() error {
+	for len(c.pending) > 0 {
+		lastSlot := c.pending[len(c.pending)-1].Slot
+		if err := c.sendPending(lastSlot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendPending ships the current buffer as one batch frame and applies the
+// replies. Messages the site emits in response are buffered for the next
+// batch (Flush loops until quiescence).
+func (c *SiteClient) sendPending(slot int64) error {
+	batch := c.pending
+	c.pending = nil
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := c.fc.WriteFrame(&Frame{Type: FrameBatch, Batch: batch}); err != nil {
+		return fmt.Errorf("wire: send batch: %w", err)
+	}
+	c.sent += len(batch)
+	replies, err := c.readReplies()
+	if err != nil {
+		return err
+	}
+	scratch := &netsim.Outbox{}
+	for _, reply := range replies {
+		c.node.OnMessage(reply, slot, scratch)
+		for _, env := range scratch.Drain() {
+			if env.Broadcast || env.To != netsim.CoordinatorID {
+				return errors.New("wire: site nodes may only message the coordinator")
+			}
+			c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
+		}
+	}
+	return nil
+}
+
+// readReplies reads one replies frame, surfacing protocol errors.
+func (c *SiteClient) readReplies() ([]netsim.Message, error) {
+	var resp Frame
+	if err := c.fc.ReadFrame(&resp); err != nil {
+		return nil, fmt.Errorf("wire: read replies: %w", err)
+	}
+	switch resp.Type {
+	case FrameReplies:
+		c.received += len(resp.Msgs)
+		return resp.Msgs, nil
+	case FrameError:
+		return nil, errors.New("wire: coordinator error: " + resp.Error)
+	default:
+		return nil, errors.New("wire: unexpected frame " + resp.Type)
+	}
+}
+
+// Query opens a short-lived JSON connection to the coordinator at addr and
 // returns its current distinct sample.
 func Query(addr string) ([]netsim.SampleEntry, error) {
+	return QueryWith(addr, CodecJSON)
+}
+
+// QueryWith is Query over an explicit codec.
+func QueryWith(addr string, codec Codec) ([]netsim.SampleEntry, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial: %w", err)
 	}
 	defer conn.Close()
-	enc := json.NewEncoder(conn)
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	if err := enc.Encode(Frame{Type: FrameQuery}); err != nil {
+	fc, err := clientConn(conn, codec)
+	if err != nil {
+		return nil, err
+	}
+	if err := fc.WriteFrame(&Frame{Type: FrameQuery}); err != nil {
 		return nil, fmt.Errorf("wire: query: %w", err)
 	}
 	var resp Frame
-	if err := dec.Decode(&resp); err != nil {
+	if err := fc.ReadFrame(&resp); err != nil {
 		return nil, fmt.Errorf("wire: read sample: %w", err)
 	}
 	if resp.Type == FrameError {
