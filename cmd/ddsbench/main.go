@@ -44,11 +44,13 @@ func main() {
 		out          = flag.String("out", "BENCH_cluster.json", "output path for -cluster-bench")
 		benchElems   = flag.Int("bench-elements", 20000, "stream length for -cluster-bench")
 		benchShards  = flag.String("bench-shards", "1,4", "comma-separated shard counts for -cluster-bench")
+		benchWindows = flag.String("bench-windows", "1,2,4,8,16,32", "comma-separated pipeline window sizes for the -cluster-bench pipeline sweep (1 = synchronous)")
+		requireSpeed = flag.Float64("require-pipeline-speedup", 0, "fail -cluster-bench unless the best pipelined window beats the synchronous path by this factor (0 disables; CI uses 1.0)")
 	)
 	flag.Parse()
 
 	if *clusterBench {
-		if err := runClusterBench(*out, *benchElems, *benchShards, *seed); err != nil {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -136,11 +138,47 @@ type clusterBenchReport struct {
 	// SpeedupBinaryBatched maps "shards=N" to (binary batched ops/sec) /
 	// (json per-offer ops/sec) for that shard count.
 	SpeedupBinaryBatched map[string]float64 `json:"speedup_binary_batched_vs_json"`
+	// Pipeline is the window-size sweep of the pipelined ingest path.
+	Pipeline *pipelineReport `json:"pipeline"`
 }
 
-// runClusterBench measures cluster ingest across the transport matrix and
-// writes the machine-readable report to path.
-func runClusterBench(path string, elements int, shardList string, seed uint64) error {
+// pipelineReport compares synchronous and pipelined batched-binary ingest in
+// flood mode (one offer per element on the wire), sweeping the credit window
+// size at two batch sizes. Flood mode isolates transport throughput: the
+// paper's protocol filters almost every arrival locally, so a protocol-mode
+// run measures hashing rather than the wire. Two batch sizes because
+// pipelining changes the trade-off: the synchronous path needs large batches
+// to amortize its per-batch round trip, while the pipelined path sustains
+// throughput at small batches too (fresher thresholds, lower latency) — the
+// speedup is largest there.
+type pipelineReport struct {
+	Shards int             `json:"shards"`
+	Sweeps []pipelineSweep `json:"sweeps"`
+	// BestSpeedupVsSync is the max over all sweeps and windows of
+	// ops_per_sec / (that sweep's window-1 ops_per_sec).
+	BestSpeedupVsSync float64 `json:"best_speedup_vs_sync"`
+	BestBatch         int     `json:"best_batch"`
+	BestWindow        int     `json:"best_window"`
+}
+
+type pipelineSweep struct {
+	Batch int `json:"batch"`
+	// Windows lists one measurement per swept window size; window 1 is the
+	// synchronous request/response baseline.
+	Windows []pipelinePoint `json:"windows"`
+}
+
+type pipelinePoint struct {
+	Window        int     `json:"window"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	SpeedupVsSync float64 `json:"speedup_vs_sync"`
+}
+
+// runClusterBench measures cluster ingest across the transport matrix plus
+// the pipeline window sweep and writes the machine-readable report to path.
+// If requireSpeedup > 0 and the best pipelined window does not beat the
+// synchronous path by that factor, an error is returned (the CI smoke gate).
+func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64) error {
 	report := &clusterBenchReport{
 		GeneratedUnix:        time.Now().Unix(),
 		Elements:             elements,
@@ -153,10 +191,14 @@ func runClusterBench(path string, elements int, shardList string, seed uint64) e
 		{wire.CodecJSON, 1},
 		{wire.CodecBinary, 64},
 	}
+	maxShards := 1
 	for _, field := range strings.Split(shardList, ",") {
 		shards, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil || shards < 1 {
 			return fmt.Errorf("ddsbench: bad -bench-shards entry %q", field)
+		}
+		if shards > maxShards {
+			maxShards = shards
 		}
 		var opsPerSec [2]float64
 		for i, tr := range transports {
@@ -180,6 +222,13 @@ func runClusterBench(path string, elements int, shardList string, seed uint64) e
 		}
 		report.SpeedupBinaryBatched[fmt.Sprintf("shards=%d", shards)] = opsPerSec[1] / opsPerSec[0]
 	}
+
+	pipeline, err := runPipelineSweep(elements, maxShards, windowList, seed)
+	if err != nil {
+		return err
+	}
+	report.Pipeline = pipeline
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -188,6 +237,64 @@ func runClusterBench(path string, elements int, shardList string, seed uint64) e
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d results)\n", path, len(report.Results))
+	fmt.Printf("wrote %s (%d results; pipelined best %.2fx sync at batch %d window %d)\n",
+		path, len(report.Results), pipeline.BestSpeedupVsSync, pipeline.BestBatch, pipeline.BestWindow)
+	if requireSpeedup > 0 && pipeline.BestSpeedupVsSync < requireSpeedup {
+		return fmt.Errorf("ddsbench: pipelined ingest best speedup %.2fx is below the required %.2fx",
+			pipeline.BestSpeedupVsSync, requireSpeedup)
+	}
 	return nil
+}
+
+// runPipelineSweep measures flood-mode batched-binary ingest across the
+// given window sizes at the given shard count, at batch sizes 16 and 64.
+func runPipelineSweep(elements, shards int, windowList string, seed uint64) (*pipelineReport, error) {
+	rep := &pipelineReport{Shards: shards}
+	for _, batch := range []int{16, 64} {
+		sweep := pipelineSweep{Batch: batch}
+		syncOps := 0.0
+		for _, field := range strings.Split(windowList, ",") {
+			window, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || window < 1 {
+				return nil, fmt.Errorf("ddsbench: bad -bench-windows entry %q", field)
+			}
+			cfg := cluster.DefaultBenchConfig()
+			cfg.Shards = shards
+			cfg.Elements = elements
+			cfg.Distinct = elements / 4
+			cfg.Codec = wire.CodecBinary
+			cfg.Batch = batch
+			cfg.Flood = true
+			if window > 1 {
+				cfg.Window = window
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			res, err := cluster.RunIngestBench(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if syncOps == 0 {
+				if window != 1 {
+					return nil, fmt.Errorf("ddsbench: -bench-windows must start with 1 (the synchronous baseline), got %d", window)
+				}
+				syncOps = res.OpsPerSec
+			}
+			point := pipelinePoint{Window: window, OpsPerSec: res.OpsPerSec, SpeedupVsSync: res.OpsPerSec / syncOps}
+			sweep.Windows = append(sweep.Windows, point)
+			// Only pipelined points count toward the best speedup: the
+			// window-1 baseline is 1.0x by construction, and letting it in
+			// would make the -require-pipeline-speedup gate vacuous at 1.0.
+			if window > 1 && point.SpeedupVsSync > rep.BestSpeedupVsSync {
+				rep.BestSpeedupVsSync = point.SpeedupVsSync
+				rep.BestBatch = batch
+				rep.BestWindow = window
+			}
+			fmt.Fprintf(os.Stderr, "[pipeline-sweep shards=%d flood batch=%d window=%d: %.0f ops/s (%.2fx sync)]\n",
+				shards, batch, window, point.OpsPerSec, point.SpeedupVsSync)
+		}
+		rep.Sweeps = append(rep.Sweeps, sweep)
+	}
+	return rep, nil
 }

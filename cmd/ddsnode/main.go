@@ -10,17 +10,21 @@
 //	ddsnode -role site -id 0 -coordinator 127.0.0.1:7070 -stream enron.tsv
 //	ddsnode -role query -coordinator 127.0.0.1:7070
 //
-// A 4-shard cluster with batched binary ingest (shard c listens on port
-// 7070+c; sites and query clients list all shard addresses):
+// A 4-shard cluster with pipelined batched binary ingest (shard c listens on
+// port 7070+c; sites and query clients list all shard addresses; -pipeline 8
+// lets up to 8 batch frames stream per connection before their replies come
+// back — see the README's pipelined-ingest section for tuning):
 //
 //	ddsnode -role cluster-coordinator -shards 4 -listen 127.0.0.1:7070 -sample 20
 //	ddsnode -role site -id 0 -coordinator 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
-//	        -codec binary -batch 64 -stream enron.tsv
+//	        -codec binary -batch 64 -pipeline 8 -stream enron.tsv
 //	ddsnode -role query -sample 20 -coordinator 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
 //
 // All nodes of one deployment must share -hash-seed (and -window, if set),
 // and a query's -sample must not exceed the coordinators' -sample: each
 // shard only retains its bottom-s, so merges are exact only up to size s.
+// (-window is the sliding-window length in slots, a protocol parameter;
+// -pipeline is the transport's batch-frames-in-flight credit window.)
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 		hashSeed    = flag.Uint64("hash-seed", 20130501, "shared hash-function seed (must match on all nodes)")
 		codecName   = flag.String("codec", "json", "wire codec: json or binary (site/query roles)")
 		batch       = flag.Int("batch", 1, "offers per batch frame; > 1 enables batched transport (site role)")
+		pipeline    = flag.Int("pipeline", 0, "pipelined ingest: max batch frames in flight per connection; 0 or 1 = synchronous request/response (site role; try 8)")
 	)
 	flag.Parse()
 
@@ -68,7 +73,7 @@ func main() {
 	case "cluster-coordinator":
 		runCoordinator(*listen, *shards, *sample, *window)
 	case "site":
-		runSite(splitAddrs(*coordinator), *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch})
+		runSite(splitAddrs(*coordinator), *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch, Window: *pipeline})
 	case "query":
 		runQuery(splitAddrs(*coordinator), *sample, *window, codec)
 	default:
@@ -189,8 +194,12 @@ func runSite(addrs []string, id int, window int64, streamPath string, hashSeed u
 	if err := client.Flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("site %d replayed %d elements to %d shard(s) [%s, batch %d]: %d offers sent, %d replies received\n",
-		id, len(elements), len(addrs), opts.Codec, opts.BatchSize, client.MessagesSent(), client.MessagesReceived())
+	mode := "sync"
+	if opts.Window > 1 {
+		mode = fmt.Sprintf("pipelined window %d", opts.Window)
+	}
+	fmt.Printf("site %d replayed %d elements to %d shard(s) [%s, batch %d, %s]: %d offers sent, %d replies received\n",
+		id, len(elements), len(addrs), opts.Codec, opts.BatchSize, mode, client.MessagesSent(), client.MessagesReceived())
 }
 
 func runQuery(addrs []string, sampleSize int, window int64, codec wire.Codec) {

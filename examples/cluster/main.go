@@ -58,8 +58,11 @@ func main() {
 
 	// 4. Each site dials every shard and routes each observation to the
 	//    shard owning its key. The binary codec plus 64-offer batches
-	//    amortize syscalls and encoding over many offers per frame.
-	opts := wire.Options{Codec: wire.CodecBinary, BatchSize: 64}
+	//    amortize syscalls and encoding over many offers per frame, and the
+	//    pipeline window lets up to 8 batches stream per connection before
+	//    their replies come back (Flush/Close drain the window, so nothing
+	//    is lost at shutdown).
+	opts := wire.Options{Codec: wire.CodecBinary, BatchSize: 64, Window: wire.DefaultWindow}
 	var wg sync.WaitGroup
 	for site := 0; site < sites; site++ {
 		id := site

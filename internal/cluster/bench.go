@@ -25,7 +25,19 @@ type BenchConfig struct {
 	Distinct   int
 	Codec      wire.Codec
 	Batch      int
-	Seed       uint64
+	// Window > 1 enables pipelined ingest with that many batches in flight
+	// per connection (see wire.Options.Window); 0 or 1 is the synchronous
+	// request/response path.
+	Window int
+	// Flood makes every site offer every arrival unconditionally instead of
+	// running the protocol's local threshold filter. The coordinator's
+	// bottom-s sample is unchanged (extra offers can never evict a smaller
+	// hash), so the reference cross-check still applies, but the wire now
+	// carries one offer per element — the configuration that measures
+	// transport throughput rather than the protocol's (intentionally tiny)
+	// offer rate.
+	Flood bool
+	Seed  uint64
 }
 
 // DefaultBenchConfig is a sub-second configuration used by cmd/ddsbench and
@@ -52,6 +64,8 @@ type BenchResult struct {
 	SampleSize        int     `json:"sample_size"`
 	Codec             string  `json:"codec"`
 	Batch             int     `json:"batch"`
+	Window            int     `json:"window"`
+	Flood             bool    `json:"flood,omitempty"`
 	Elements          int     `json:"elements"`
 	DistinctKeys      int     `json:"distinct_keys"`
 	Seconds           float64 `json:"seconds"`
@@ -64,6 +78,24 @@ type BenchResult struct {
 	MergedSampleLen   int     `json:"merged_sample_len"`
 	DistinctEstimate  float64 `json:"distinct_estimate"`
 }
+
+// floodSite is a stub site for Flood benchmark runs: it offers every arrival
+// to the owning shard unconditionally and ignores threshold replies. The
+// coordinator's bottom-s sample is identical to the protocol's — redundant
+// offers never change a bottom-s sketch — but the transport now carries one
+// offer per element, exposing wire throughput instead of protocol behavior.
+type floodSite struct {
+	id     int
+	hasher hashing.UnitHasher
+}
+
+func (f *floodSite) ID() int { return f.id }
+func (f *floodSite) OnArrival(key string, _ int64, out *netsim.Outbox) {
+	out.ToCoordinator(netsim.Message{Kind: netsim.KindOffer, Key: key, Hash: f.hasher.Unit(key)})
+}
+func (f *floodSite) OnMessage(netsim.Message, int64, *netsim.Outbox) {}
+func (f *floodSite) OnSlotEnd(int64, *netsim.Outbox)                 {}
+func (f *floodSite) Memory() int                                     { return 0 }
 
 // RunIngestBench spins up a cfg.Shards-shard cluster on localhost, replays
 // the synthetic stream through cfg.Sites concurrent site clients, and
@@ -89,7 +121,7 @@ func RunIngestBench(cfg BenchConfig) (*BenchResult, error) {
 	defer srv.Close()
 
 	router := NewShardRouter(cfg.Shards, hasher)
-	opts := wire.Options{Codec: cfg.Codec, BatchSize: cfg.Batch}
+	opts := wire.Options{Codec: cfg.Codec, BatchSize: cfg.Batch, Window: cfg.Window}
 	clients := make([]*SiteClient, cfg.Sites)
 	// Close any still-open clients on every exit path: the deferred
 	// srv.Close() waits for connection handlers, which only return once
@@ -104,9 +136,11 @@ func RunIngestBench(cfg BenchConfig) (*BenchResult, error) {
 	}()
 	for site := 0; site < cfg.Sites; site++ {
 		id := site
-		clients[site], err = DialSites(srv.Addrs(), router, func(int) netsim.SiteNode {
-			return core.NewInfiniteSite(id, hasher)
-		}, opts)
+		newSite := func(int) netsim.SiteNode { return core.NewInfiniteSite(id, hasher) }
+		if cfg.Flood {
+			newSite = func(int) netsim.SiteNode { return &floodSite{id: id, hasher: hasher} }
+		}
+		clients[site], err = DialSites(srv.Addrs(), router, newSite, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -147,8 +181,8 @@ func RunIngestBench(cfg BenchConfig) (*BenchResult, error) {
 	oracle := core.NewReference(cfg.SampleSize, hasher)
 	oracle.ObserveAll(stream.Keys(elements))
 	if !oracle.SameSample(merged) {
-		return nil, fmt.Errorf("cluster: merged sample diverged from the centralized reference (shards=%d codec=%s batch=%d)",
-			cfg.Shards, cfg.Codec, cfg.Batch)
+		return nil, fmt.Errorf("cluster: merged sample diverged from the centralized reference (shards=%d codec=%s batch=%d window=%d)",
+			cfg.Shards, cfg.Codec, cfg.Batch, cfg.Window)
 	}
 
 	offers, replies, _ := srv.Stats()
@@ -167,6 +201,8 @@ func RunIngestBench(cfg BenchConfig) (*BenchResult, error) {
 		SampleSize:        cfg.SampleSize,
 		Codec:             cfg.Codec.String(),
 		Batch:             cfg.Batch,
+		Window:            cfg.Window,
+		Flood:             cfg.Flood,
 		Elements:          len(arrivals),
 		DistinctKeys:      oracle.Distinct(),
 		Seconds:           elapsed.Seconds(),

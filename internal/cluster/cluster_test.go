@@ -91,6 +91,11 @@ func TestMergedSampleMatchesReference(t *testing.T) {
 		for _, opts := range []wire.Options{
 			{Codec: wire.CodecJSON},
 			{Codec: wire.CodecBinary, BatchSize: 16},
+			// Pipelined ingest: batches stream with a credit window and the
+			// shard fan-out on Flush/Close runs concurrently; the merged
+			// sample must stay byte-identical to the reference.
+			{Codec: wire.CodecBinary, BatchSize: 16, Window: 4},
+			{Codec: wire.CodecJSON, BatchSize: 8, Window: 2},
 		} {
 			srv := ingest(t, shards, k, s, hasher, arrivals, opts)
 			merged := srv.MergedSample(s)
@@ -99,8 +104,8 @@ func TestMergedSampleMatchesReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(got, want) {
-				t.Fatalf("shards=%d codec=%s batch=%d: merged sample differs from reference\n got: %s\nwant: %s",
-					shards, opts.Codec, opts.BatchSize, got, want)
+				t.Fatalf("shards=%d codec=%s batch=%d window=%d: merged sample differs from reference\n got: %s\nwant: %s",
+					shards, opts.Codec, opts.BatchSize, opts.Window, got, want)
 			}
 			// The remote merged query returns the identical sample.
 			queried, err := Query(srv.Addrs(), s, opts.Codec)
@@ -248,7 +253,7 @@ func TestSlidingClusterWindowMinimum(t *testing.T) {
 		id := site
 		clients[site], err = DialSites(srv.Addrs(), router, func(shard int) netsim.SiteNode {
 			return sliding.NewSite(id, hasher, window, uint64(id*shards+shard)+1)
-		}, wire.Options{Codec: wire.CodecBinary, BatchSize: 8})
+		}, wire.Options{Codec: wire.CodecBinary, BatchSize: 8, Window: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -308,5 +313,32 @@ func TestRunIngestBench(t *testing.T) {
 	}
 	if len(res.PerShardOffers) != 2 || len(res.PerShardSampleLen) != 2 {
 		t.Fatalf("missing per-shard series: %+v", res)
+	}
+}
+
+// TestRunIngestBenchPipelinedFlood covers the configuration behind the
+// BENCH_cluster.json pipeline section: flood-mode sites (one offer per
+// element on the wire) with pipelined ingest. The runner's internal
+// reference cross-check proves that redundant flooded offers and windowed
+// streaming leave the merged sample byte-identical to the oracle; here we
+// additionally check the offer accounting.
+func TestRunIngestBenchPipelinedFlood(t *testing.T) {
+	cfg := DefaultBenchConfig()
+	cfg.Shards = 2
+	cfg.Elements = 4000
+	cfg.Distinct = 1000
+	cfg.Codec = wire.CodecBinary
+	cfg.Batch = 32
+	cfg.Window = 4
+	cfg.Flood = true
+	res, err := RunIngestBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offers != cfg.Elements {
+		t.Fatalf("flood mode shipped %d offers, want one per element (%d)", res.Offers, cfg.Elements)
+	}
+	if res.Window != 4 || !res.Flood {
+		t.Fatalf("bench result does not record the pipelined flood config: %+v", res)
 	}
 }

@@ -142,39 +142,59 @@ func (c *SiteClient) Observe(key string, slot int64) error {
 	return c.clients[c.router.Shard(key)].Observe(key, slot)
 }
 
-// EndSlot signals the end of a time slot on every shard (the sliding-window
-// protocol needs it for expiry-driven promotions; it also flushes batches).
-func (c *SiteClient) EndSlot(slot int64) error {
-	for shard, client := range c.clients {
-		if err := client.EndSlot(slot); err != nil {
-			return fmt.Errorf("cluster: shard %d: %w", shard, err)
+// fanOut runs op on every shard connection concurrently and returns the
+// first error (tagged with its shard). Each wire.SiteClient is touched by
+// exactly one goroutine, so this respects the per-client single-caller
+// contract; the win is that per-shard flushes and window drains overlap
+// instead of paying one coordinator round trip per shard in sequence.
+func (c *SiteClient) fanOut(op func(*wire.SiteClient) error) error {
+	if len(c.clients) == 1 {
+		if c.clients[0] == nil {
+			return nil
 		}
+		return op(c.clients[0])
 	}
-	return nil
-}
-
-// Flush ships any batched offers on every shard connection.
-func (c *SiteClient) Flush() error {
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
 	for shard, client := range c.clients {
-		if err := client.Flush(); err != nil {
-			return fmt.Errorf("cluster: shard %d: %w", shard, err)
-		}
-	}
-	return nil
-}
-
-// Close closes every shard connection (flushing batches first).
-func (c *SiteClient) Close() error {
-	var first error
-	for _, client := range c.clients {
 		if client == nil {
 			continue
 		}
-		if err := client.Close(); err != nil && first == nil {
-			first = err
+		wg.Add(1)
+		go func(shard int, client *wire.SiteClient) {
+			defer wg.Done()
+			if err := op(client); err != nil {
+				errs[shard] = fmt.Errorf("cluster: shard %d: %w", shard, err)
+			}
+		}(shard, client)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return first
+	return nil
+}
+
+// EndSlot signals the end of a time slot on every shard concurrently (the
+// sliding-window protocol needs it for expiry-driven promotions; it also
+// flushes batches and drains pipeline windows).
+func (c *SiteClient) EndSlot(slot int64) error {
+	return c.fanOut(func(client *wire.SiteClient) error { return client.EndSlot(slot) })
+}
+
+// Flush ships any batched offers and drains the pipeline window on every
+// shard connection concurrently.
+func (c *SiteClient) Flush() error {
+	return c.fanOut((*wire.SiteClient).Flush)
+}
+
+// Close closes every shard connection concurrently (flushing batches and
+// draining pipeline windows first). Every connection is closed even when
+// some fail; the first error wins.
+func (c *SiteClient) Close() error {
+	return c.fanOut((*wire.SiteClient).Close)
 }
 
 // MessagesSent returns the offers shipped across all shard connections.

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// BenchmarkBottomSetOffer baselines the O(s) ordered-slice insert behind
+// every coordinator (bottomSet.Offer is the hot path of each offer a
+// coordinator dispatches). The stream offers n distinct keys with uniform
+// hashes into a set of capacity s, so the mix of cheap rejections (hash
+// above threshold) and shifting inserts matches a real ingest: inserts are
+// frequent early and logarithmically rare once the set is full. Future perf
+// work (e.g. a heap- or tree-backed set for large s) should move these
+// numbers without changing core's sampling semantics.
+func BenchmarkBottomSetOffer(b *testing.B) {
+	hasher := hashing.NewMurmur2(7)
+	const keys = 1 << 16
+	type pair struct {
+		key  string
+		hash float64
+	}
+	pairs := make([]pair, keys)
+	for i := range pairs {
+		key := fmt.Sprintf("bs-key-%d", i)
+		pairs[i] = pair{key: key, hash: hasher.Unit(key)}
+	}
+	for _, s := range []int{32, 256, 2048} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			set := newBottomSet(s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%keys]
+				set.Offer(p.key, p.hash)
+			}
+		})
+	}
+}

@@ -127,6 +127,16 @@ func (o *Outbox) Drain() []Envelope {
 	return e
 }
 
+// Reset empties the outbox while keeping its capacity, so a long-lived
+// scratch outbox can be reused across callbacks without reallocating.
+// The envelopes returned by a previous Envelopes call are invalidated.
+func (o *Outbox) Reset() { o.envelopes = o.envelopes[:0] }
+
+// Envelopes returns the queued envelopes without clearing them. Unlike
+// Drain, ownership stays with the outbox: the slice is only valid until the
+// next Reset or queueing call.
+func (o *Outbox) Envelopes() []Envelope { return o.envelopes }
+
 // SiteNode is the site half of a protocol.
 type SiteNode interface {
 	// ID returns the site index in [0, k).

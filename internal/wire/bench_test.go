@@ -1,7 +1,10 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -78,9 +81,133 @@ func TestBatchedBinaryAtLeast3xJSON(t *testing.T) {
 	}
 }
 
-// BenchmarkTransport compares the wire codecs and batch sizes on the raw
-// offer path: one JSON request/response per offer versus length-prefixed
-// binary frames batching 16 or 64 offers.
+// benchBatchFrame builds a representative 64-offer batch frame.
+func benchBatchFrame() *Frame {
+	hasher := hashing.NewMurmur2(3)
+	f := &Frame{Type: FrameBatch, Seq: 123}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("bench-key-%d", i)
+		f.Batch = append(f.Batch, BatchEntry{
+			Slot: int64(i / 8),
+			Msg:  netsim.Message{Kind: netsim.KindOffer, Key: key, Hash: hasher.Unit(key)},
+		})
+	}
+	return f
+}
+
+// BenchmarkEncodeFrame measures the binary encode hot path: one 64-offer
+// batch frame per op into a discarded buffered writer. Run with -benchmem;
+// steady state must be allocation-free (asserted by
+// TestEncodeFrameAllocationFree).
+func BenchmarkEncodeFrame(b *testing.B) {
+	c := newBinConn(bufio.NewReader(bytes.NewReader(nil)), io.Discard)
+	f := benchBatchFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "offers/s")
+}
+
+// TestEncodeFrameAllocationFree pins the zero-allocation property of the
+// batched binary encode path: once the connection's write buffer is warm,
+// encoding a batch frame must not allocate at all.
+func TestEncodeFrameAllocationFree(t *testing.T) {
+	c := newBinConn(bufio.NewReader(bytes.NewReader(nil)), io.Discard)
+	f := benchBatchFrame()
+	if err := c.WriteFrame(f); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("batched binary encode allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// BenchmarkDecodeFrame measures the binary decode hot path: one 64-offer
+// batch frame per op, reusing one Frame so slice capacity reaches steady
+// state. Run with -benchmem; the only per-op allocations left are the key
+// strings themselves (asserted by TestDecodeFrameAllocsBoundedByKeys).
+func BenchmarkDecodeFrame(b *testing.B) {
+	var buf bytes.Buffer
+	enc := newBinConn(bufio.NewReader(bytes.NewReader(nil)), &buf)
+	src := benchBatchFrame()
+	if err := enc.WriteFrame(src); err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r := bytes.NewReader(raw)
+	br := bufio.NewReader(r)
+	c := newBinConn(br, io.Discard)
+	var f Frame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		br.Reset(r)
+		if err := c.ReadFrame(&f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "offers/s")
+}
+
+// TestDecodeFrameAllocsBoundedByKeys pins decode-side allocation behavior:
+// decoding a warm 64-offer batch frame may allocate the 64 key strings it
+// returns, and nothing else.
+func TestDecodeFrameAllocsBoundedByKeys(t *testing.T) {
+	var buf bytes.Buffer
+	enc := newBinConn(bufio.NewReader(bytes.NewReader(nil)), &buf)
+	src := benchBatchFrame()
+	if err := enc.WriteFrame(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r := bytes.NewReader(raw)
+	br := bufio.NewReader(r)
+	c := newBinConn(br, io.Discard)
+	var f Frame
+	r.Reset(raw)
+	br.Reset(r)
+	if err := c.ReadFrame(&f); err != nil { // warm scratch and slices
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(raw)
+		br.Reset(r)
+		if err := c.ReadFrame(&f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > float64(len(src.Batch)) {
+		t.Fatalf("decode allocates %.1f times per 64-offer frame, want at most %d (one per key string)",
+			allocs, len(src.Batch))
+	}
+}
+
+// BenchmarkTransport compares the wire codecs, batch sizes, and pipeline
+// windows on the raw offer path: one JSON request/response per offer versus
+// length-prefixed binary frames batching 16 or 64 offers, synchronously or
+// with a credit window of batches in flight.
 func BenchmarkTransport(b *testing.B) {
 	cases := []struct {
 		name string
@@ -91,6 +218,8 @@ func BenchmarkTransport(b *testing.B) {
 		{"binary-per-offer", Options{Codec: CodecBinary}},
 		{"binary-batch16", Options{Codec: CodecBinary, BatchSize: 16}},
 		{"binary-batch64", Options{Codec: CodecBinary, BatchSize: 64}},
+		{"binary-batch64-win8", Options{Codec: CodecBinary, BatchSize: 64, Window: 8}},
+		{"binary-batch64-win32", Options{Codec: CodecBinary, BatchSize: 64, Window: 32}},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {

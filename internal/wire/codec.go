@@ -51,8 +51,11 @@ func ParseCodec(name string) (Codec, error) {
 }
 
 // binMagic is the binary-codec connection preamble. The first byte is not
-// '{', which is how the server tells the two codecs apart.
-var binMagic = [4]byte{'D', 'D', 'S', '1'}
+// '{', which is how the server tells the two codecs apart. The trailing
+// digit versions the frame layout: "2" added the pipeline sequence number
+// to batch and replies frames, so a "DDS1" peer is rejected at the
+// preamble instead of misparsing frames mid-stream.
+var binMagic = [4]byte{'D', 'D', 'S', '2'}
 
 // maxFrameSize bounds a binary frame's payload, protecting the server from
 // malformed or hostile length prefixes.
@@ -99,15 +102,23 @@ var nameToBin = map[string]byte{
 	FrameBatch:   binBatch,
 }
 
-// frameConn reads and writes protocol frames in one concrete codec. Both
-// implementations are used single-threadedly per connection (the server
-// serializes on its handler goroutine, the client on the caller).
+// frameConn reads and writes protocol frames in one concrete codec. A
+// connection is used by at most one reading and one writing goroutine at a
+// time (the pipelined client reads replies from a dedicated goroutine while
+// the caller writes); each side owns its own scratch state.
+//
+// WriteFrame may buffer; Flush pushes everything buffered to the wire.
+// Callers must Flush before blocking on a response — the pipelined writer
+// exploits this to coalesce several frames into one syscall, flushing only
+// when it is about to wait for credits.
 type frameConn interface {
 	ReadFrame(f *Frame) error
 	WriteFrame(f *Frame) error
+	Flush() error
 }
 
-// jsonConn is the original one-JSON-object-per-line transport.
+// jsonConn is the original one-JSON-object-per-line transport. Writes are
+// unbuffered (Flush is a no-op), matching the legacy synchronous dialogue.
 type jsonConn struct {
 	dec *json.Decoder
 	enc *json.Encoder
@@ -119,19 +130,31 @@ func newJSONConn(r io.Reader, w io.Writer) *jsonConn {
 
 func (c *jsonConn) ReadFrame(f *Frame) error  { *f = Frame{}; return c.dec.Decode(f) }
 func (c *jsonConn) WriteFrame(f *Frame) error { return c.enc.Encode(f) }
+func (c *jsonConn) Flush() error              { return nil }
 
-// binConn is the length-prefixed binary transport. Writes are buffered and
-// flushed once per frame, so a batched frame costs one syscall regardless of
-// how many offers it carries.
+// binBufSize sizes the binary transport's buffered reader and writer. Large
+// enough to hold a whole pipeline window of typical batch frames, so a
+// coalesced flush or a batched read costs one syscall.
+const binBufSize = 64 << 10
+
+// binConn is the length-prefixed binary transport. Writes are buffered until
+// Flush, so a run of pipelined batch frames costs one syscall. Read and
+// write scratch buffers are separate and persistent: a pipelined client
+// reads from a dedicated goroutine while the writer keeps encoding, and
+// neither side reallocates once warm.
 type binConn struct {
-	r       *bufio.Reader
-	w       *bufio.Writer
-	scratch []byte
+	r    *bufio.Reader
+	w    *bufio.Writer
+	rlen [4]byte // ReadFrame length-prefix scratch (a stack array would escape)
+	rbuf []byte  // ReadFrame payload scratch, owned by the reading goroutine
+	wbuf []byte  // WriteFrame encode scratch, owned by the writing goroutine
 }
 
 func newBinConn(r *bufio.Reader, w io.Writer) *binConn {
-	return &binConn{r: r, w: bufio.NewWriter(w)}
+	return &binConn{r: r, w: bufio.NewWriterSize(w, binBufSize)}
 }
+
+func (c *binConn) Flush() error { return c.w.Flush() }
 
 // dialBinary sends the binary preamble over a fresh client connection.
 func dialBinary(conn net.Conn, r *bufio.Reader) (*binConn, error) {
@@ -147,7 +170,10 @@ func (c *binConn) WriteFrame(f *Frame) error {
 	if !ok {
 		return fmt.Errorf("wire: cannot encode frame type %q", f.Type)
 	}
-	buf := append(c.scratch[:0], code)
+	// The payload is encoded after a 4-byte placeholder that becomes the
+	// length prefix, so the whole frame goes out in one buffered write with
+	// no per-frame allocation.
+	buf := append(c.wbuf[:0], 0, 0, 0, 0, code)
 	switch code {
 	case binHello:
 		buf = binary.AppendUvarint(buf, uint64(f.Site))
@@ -158,6 +184,7 @@ func (c *binConn) WriteFrame(f *Frame) error {
 		}
 		buf = appendMessage(buf, *f.Msg)
 	case binReplies:
+		buf = binary.AppendUvarint(buf, f.Seq)
 		buf = binary.AppendUvarint(buf, uint64(len(f.Msgs)))
 		for _, m := range f.Msgs {
 			buf = appendMessage(buf, m)
@@ -174,40 +201,37 @@ func (c *binConn) WriteFrame(f *Frame) error {
 	case binError:
 		buf = appendString(buf, f.Error)
 	case binBatch:
+		buf = binary.AppendUvarint(buf, f.Seq)
 		buf = binary.AppendUvarint(buf, uint64(len(f.Batch)))
 		for _, e := range f.Batch {
 			buf = binary.AppendVarint(buf, e.Slot)
 			buf = appendMessage(buf, e.Msg)
 		}
 	}
-	c.scratch = buf
-	var lenPrefix [4]byte
-	binary.LittleEndian.PutUint32(lenPrefix[:], uint32(len(buf)))
-	if _, err := c.w.Write(lenPrefix[:]); err != nil {
-		return err
-	}
-	if _, err := c.w.Write(buf); err != nil {
-		return err
-	}
-	return c.w.Flush()
+	c.wbuf = buf
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err := c.w.Write(buf)
+	return err
 }
 
 func (c *binConn) ReadFrame(f *Frame) error {
-	var lenPrefix [4]byte
-	if _, err := io.ReadFull(c.r, lenPrefix[:]); err != nil {
+	if _, err := io.ReadFull(c.r, c.rlen[:]); err != nil {
 		return err
 	}
-	n := binary.LittleEndian.Uint32(lenPrefix[:])
+	n := binary.LittleEndian.Uint32(c.rlen[:])
 	if n == 0 || n > maxFrameSize {
 		return fmt.Errorf("wire: invalid frame length %d", n)
 	}
-	if cap(c.scratch) < int(n) {
-		c.scratch = make([]byte, n)
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
 	}
-	buf := c.scratch[:n]
+	buf := c.rbuf[:n]
 	if _, err := io.ReadFull(c.r, buf); err != nil {
 		return err
 	}
+	// Keep the capacity of the previous frame's slices: decoding repeatedly
+	// into the same Frame then reaches steady state without reallocating.
+	msgs, entries, batch := f.Msgs[:0], f.Entries[:0], f.Batch[:0]
 	*f = Frame{}
 	d := byteDecoder{buf: buf}
 	code := d.byte()
@@ -224,12 +248,13 @@ func (c *binConn) ReadFrame(f *Frame) error {
 		m := d.message()
 		f.Msg = &m
 	case binReplies:
+		f.Seq = d.uvarint()
 		count := d.uvarint()
 		if err := d.checkCount(count, minMessageBytes); err != nil {
 			return err
 		}
 		if count > 0 {
-			f.Msgs = make([]netsim.Message, 0, count)
+			f.Msgs = msgs
 		}
 		for i := uint64(0); i < count && d.err == nil; i++ {
 			f.Msgs = append(f.Msgs, d.message())
@@ -241,7 +266,7 @@ func (c *binConn) ReadFrame(f *Frame) error {
 			return err
 		}
 		if count > 0 {
-			f.Entries = make([]netsim.SampleEntry, 0, count)
+			f.Entries = entries
 		}
 		for i := uint64(0); i < count && d.err == nil; i++ {
 			e := netsim.SampleEntry{Key: d.string(), Hash: d.float()}
@@ -251,12 +276,13 @@ func (c *binConn) ReadFrame(f *Frame) error {
 	case binError:
 		f.Error = d.string()
 	case binBatch:
+		f.Seq = d.uvarint()
 		count := d.uvarint()
 		if err := d.checkCount(count, minBatchEntryBytes); err != nil {
 			return err
 		}
 		if count > 0 {
-			f.Batch = make([]BatchEntry, 0, count)
+			f.Batch = batch
 		}
 		for i := uint64(0); i < count && d.err == nil; i++ {
 			e := BatchEntry{Slot: d.varint()}
@@ -311,6 +337,16 @@ func (d *byteDecoder) byte() byte {
 }
 
 func (d *byteDecoder) uvarint() uint64 {
+	// Fast path: single-byte values cover key lengths, counts, and most
+	// protocol fields on the ingest hot path.
+	if len(d.buf) > 0 && d.buf[0] < 0x80 {
+		if d.err != nil {
+			return 0
+		}
+		v := uint64(d.buf[0])
+		d.buf = d.buf[1:]
+		return v
+	}
 	if d.err != nil {
 		return 0
 	}
@@ -324,6 +360,20 @@ func (d *byteDecoder) uvarint() uint64 {
 }
 
 func (d *byteDecoder) varint() int64 {
+	// Fast path: single-byte zigzag values (|v| <= 63) cover the slot,
+	// expiry, copy, and sender fields of typical offers.
+	if len(d.buf) > 0 && d.buf[0] < 0x80 {
+		if d.err != nil {
+			return 0
+		}
+		ux := uint64(d.buf[0])
+		d.buf = d.buf[1:]
+		x := int64(ux >> 1)
+		if ux&1 != 0 {
+			x = ^x
+		}
+		return x
+	}
 	if d.err != nil {
 		return 0
 	}
@@ -389,7 +439,7 @@ func (d *byteDecoder) checkCount(count uint64, minBytes int) error {
 // frame), the binary magic selects the binary codec. Anything else is
 // rejected.
 func sniffServerConn(conn net.Conn) (frameConn, error) {
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, binBufSize)
 	first, err := br.Peek(1)
 	if err != nil {
 		return nil, err

@@ -34,7 +34,7 @@ func TestBinaryCodecRoundTrip(t *testing.T) {
 		{Type: FrameOffer, Slot: -3, Msg: &netsim.Message{
 			Kind: netsim.KindOffer, Key: "alpha", Hash: 0.125, U: 0.5, Expiry: 42, Copy: 3, From: -1,
 		}},
-		{Type: FrameReplies, Msgs: []netsim.Message{
+		{Type: FrameReplies, Seq: 41, Msgs: []netsim.Message{
 			{Kind: netsim.KindThreshold, U: 0.25, From: netsim.CoordinatorID},
 			{Kind: netsim.KindWindowSample, Key: "beta", Hash: 0.75, Expiry: 9},
 		}},
@@ -44,7 +44,7 @@ func TestBinaryCodecRoundTrip(t *testing.T) {
 			{Key: "", Hash: 0.99},
 		}},
 		{Type: FrameError, Error: "boom"},
-		{Type: FrameBatch, Batch: []BatchEntry{
+		{Type: FrameBatch, Seq: 7, Batch: []BatchEntry{
 			{Slot: 1, Msg: netsim.Message{Kind: netsim.KindOffer, Key: "x", Hash: 0.5}},
 			{Slot: 2, Msg: netsim.Message{Kind: netsim.KindWindowOffer, Key: "y", Hash: 0.25, Expiry: 11}},
 		}},
@@ -57,6 +57,10 @@ func TestBinaryCodecRoundTrip(t *testing.T) {
 		for i := range frames {
 			f := frames[i]
 			if err := client.WriteFrame(&f); err != nil {
+				done <- err
+				return
+			}
+			if err := client.Flush(); err != nil { // WriteFrame only buffers
 				done <- err
 				return
 			}

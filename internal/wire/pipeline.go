@@ -1,0 +1,287 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// pipeline is the state of a pipelined site connection (Options.Window > 1).
+//
+// The caller's goroutine is the writer: Observe/EndSlot buffer offers into
+// SiteClient.pending and ship() encodes them as sequence-numbered batch
+// frames, at most Window in flight at once. A dedicated reader goroutine
+// receives the coordinator's replies frames, matches them to batches by
+// sequence number (the server echoes each batch's Seq and TCP preserves
+// order, so replies must arrive in send order), feeds the replies into the
+// site node, and returns the batch's credit to the writer.
+//
+// The credit window is the backpressure and memory bound: when the
+// coordinator falls behind, the writer blocks in ship() after Window
+// unacknowledged batches instead of buffering without limit.
+//
+// Everything below is guarded by SiteClient.mu except the actual WriteFrame
+// and ReadFrame calls, which run unlocked so that a blocked TCP write can
+// never prevent the reader from draining replies (the classic pipelined
+// deadlock). The codec keeps separate read and write scratch buffers for the
+// same reason.
+type pipeline struct {
+	cond    *sync.Cond // signals credit returns and failures; cond.L == &SiteClient.mu
+	sendSeq uint64     // sequence number of the next batch to ship
+	ackSeq  uint64     // sequence number the next replies frame must carry
+	slots   []int64    // slot context of each in-flight batch, FIFO
+	err     error      // sticky failure; set once, ends the pipeline
+	done    chan struct{}
+
+	batchScratch []BatchEntry // writer-owned chunk buffer, reused per frame
+
+	// wireDirty marks batch frames written but not yet flushed to the
+	// socket. Owned by the writer goroutine. Keeping frames buffered while
+	// credits remain lets a whole window ride one syscall; the writer MUST
+	// flush before blocking on credits or draining, or the coordinator
+	// never sees the batches it is expected to ack.
+	wireDirty bool
+}
+
+// inflight returns the number of unacknowledged batches. Callers hold mu.
+func (p *pipeline) inflight() int { return int(p.sendSeq - p.ackSeq) }
+
+// startPipeline arms pipelined mode on a freshly dialed client.
+func (c *SiteClient) startPipeline() {
+	c.pipe = &pipeline{cond: sync.NewCond(&c.mu), done: make(chan struct{})}
+	go c.readLoop()
+}
+
+// failPipe records the pipeline's first error and wakes every waiter.
+// Callers must hold mu.
+func (c *SiteClient) failPipe(err error) {
+	if c.pipe.err == nil {
+		c.pipe.err = err
+	}
+	c.pipe.cond.Broadcast()
+}
+
+// pipeObserve is Observe in pipelined mode: run the site callback, buffer
+// its messages, and ship any full batches without waiting for replies.
+func (c *SiteClient) pipeObserve(key string, slot int64) error {
+	batchSize := c.opts.BatchSize
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	c.mu.Lock()
+	if err := c.pipe.err; err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.scratch.Reset()
+	c.node.OnArrival(key, slot, &c.scratch)
+	err := c.bufferLocked(slot)
+	full := len(c.pending) >= batchSize
+	c.mu.Unlock()
+	if err != nil || !full {
+		return err
+	}
+	return c.ship(false)
+}
+
+// pipeEndSlot is EndSlot in pipelined mode: run the slot-end callback, then
+// drain the window so nothing crosses the slot boundary unacknowledged.
+func (c *SiteClient) pipeEndSlot(slot int64) error {
+	c.mu.Lock()
+	if err := c.pipe.err; err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.scratch.Reset()
+	c.node.OnSlotEnd(slot, &c.scratch)
+	err := c.bufferLocked(slot)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.pipeFlush()
+}
+
+// bufferLocked appends the scratch outbox's messages to the pending buffer.
+// Callers hold mu.
+func (c *SiteClient) bufferLocked(slot int64) error {
+	for _, env := range c.scratch.Envelopes() {
+		if env.Broadcast || env.To != netsim.CoordinatorID {
+			return errors.New("wire: site nodes may only message the coordinator")
+		}
+		c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
+	}
+	c.scratch.Reset()
+	return nil
+}
+
+// ship moves pending offers onto the wire as sequence-numbered batch frames.
+// It sends only full batches unless all is set, waits for a credit when the
+// window is full (backpressure), and never holds mu across a write.
+//
+// Writes are buffered by the codec; ship flushes only when it is about to
+// block (window full) or return — so a burst of credits lets several batch
+// frames ride one syscall, and the coordinator always sees every shipped
+// frame before the writer goes to sleep (no flush, no progress, deadlock).
+func (c *SiteClient) ship(all bool) error {
+	batchSize := c.opts.BatchSize
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	flush := func() error {
+		if !c.pipe.wireDirty {
+			return nil
+		}
+		c.pipe.wireDirty = false
+		if err := c.fc.Flush(); err != nil {
+			err = fmt.Errorf("wire: flush batches: %w", err)
+			c.mu.Lock()
+			c.failPipe(err)
+			c.mu.Unlock()
+			return err
+		}
+		return nil
+	}
+	for {
+		c.mu.Lock()
+		for c.pipe.inflight() >= c.opts.Window && c.pipe.err == nil {
+			if c.pipe.wireDirty {
+				c.mu.Unlock()
+				if err := flush(); err != nil {
+					return err
+				}
+				c.mu.Lock()
+				continue
+			}
+			c.pipe.cond.Wait()
+		}
+		if err := c.pipe.err; err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		n := len(c.pending)
+		if n == 0 || (!all && n < batchSize) {
+			c.mu.Unlock()
+			// While credits remain, frames stay buffered for coalescing;
+			// only a drain (all) forces them out now.
+			if all {
+				return flush()
+			}
+			return nil
+		}
+		if n > batchSize {
+			n = batchSize
+		}
+		// Copy the chunk out and compact pending so the reader can keep
+		// appending reply-generated offers while the frame is on the wire.
+		batch := append(c.pipe.batchScratch[:0], c.pending[:n]...)
+		c.pipe.batchScratch = batch
+		rest := copy(c.pending, c.pending[n:])
+		c.pending = c.pending[:rest]
+		seq := c.pipe.sendSeq
+		c.pipe.sendSeq++
+		c.pipe.slots = append(c.pipe.slots, batch[len(batch)-1].Slot)
+		c.sent += len(batch)
+		c.mu.Unlock()
+
+		c.wframe = Frame{Type: FrameBatch, Seq: seq, Batch: batch}
+		if err := c.fc.WriteFrame(&c.wframe); err != nil {
+			err = fmt.Errorf("wire: send batch: %w", err)
+			c.mu.Lock()
+			c.failPipe(err)
+			c.mu.Unlock()
+			return err
+		}
+		c.pipe.wireDirty = true
+	}
+}
+
+// pipeFlush ships everything buffered and waits until the window is fully
+// drained, looping while acknowledged replies generate new offers. On
+// return either every offer the site ever emitted has been acknowledged by
+// the coordinator, or an error is reported.
+func (c *SiteClient) pipeFlush() error {
+	for {
+		if err := c.ship(true); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		for c.pipe.inflight() > 0 && c.pipe.err == nil {
+			c.pipe.cond.Wait()
+		}
+		err := c.pipe.err
+		idle := len(c.pending) == 0
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if idle {
+			return nil
+		}
+	}
+}
+
+// readLoop is the dedicated reply reader of a pipelined connection. It
+// verifies reply sequencing, feeds replies into the site node (buffering any
+// messages the node emits in response for the next batch), and returns
+// credits to the writer. It exits on the first error or when the connection
+// closes.
+func (c *SiteClient) readLoop() {
+	defer close(c.pipe.done)
+	var f Frame
+	for {
+		if err := c.fc.ReadFrame(&f); err != nil {
+			c.mu.Lock()
+			c.failPipe(fmt.Errorf("wire: read replies: %w", err))
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		switch f.Type {
+		case FrameReplies:
+			// Acks are cumulative: Seq s acknowledges every in-flight batch
+			// up to and including s (the coordinator may fold the acks of
+			// several reply-less batches into one frame). A sequence number
+			// outside the in-flight range [ackSeq, sendSeq) is a protocol
+			// violation — unknown, duplicate, or reordered.
+			if c.pipe.inflight() == 0 || f.Seq < c.pipe.ackSeq || f.Seq >= c.pipe.sendSeq {
+				c.failPipe(fmt.Errorf("wire: reply sequence %d outside in-flight range [%d, %d)", f.Seq, c.pipe.ackSeq, c.pipe.sendSeq))
+				c.mu.Unlock()
+				return
+			}
+			acked := int(f.Seq - c.pipe.ackSeq + 1)
+			// Replies belong to the newest acked batch: the coordinator only
+			// defers acks of batches that produced none.
+			slot := c.pipe.slots[acked-1]
+			rest := copy(c.pipe.slots, c.pipe.slots[acked:])
+			c.pipe.slots = c.pipe.slots[:rest]
+			c.received += len(f.Msgs)
+			ok := true
+			for _, reply := range f.Msgs {
+				c.scratch.Reset()
+				c.node.OnMessage(reply, slot, &c.scratch)
+				if err := c.bufferLocked(slot); err != nil {
+					c.failPipe(err)
+					ok = false
+					break
+				}
+			}
+			c.pipe.ackSeq = f.Seq + 1
+			c.pipe.cond.Broadcast()
+			c.mu.Unlock()
+			if !ok {
+				return
+			}
+		case FrameError:
+			c.failPipe(errors.New("wire: coordinator error: " + f.Error))
+			c.mu.Unlock()
+			return
+		default:
+			c.failPipe(errors.New("wire: unexpected frame " + f.Type))
+			c.mu.Unlock()
+			return
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary. Throughput assertions are skipped under it: instrumentation slows
+// the lock- and condvar-heavy pipelined path far more than the synchronous
+// one, inverting ratios that hold on uninstrumented builds.
+const raceEnabled = true

@@ -27,10 +27,19 @@
 //
 // Independently of the codec, sites may batch: a "batch" frame carries N
 // offers and is answered by one "replies" frame covering all of them, so
-// syscalls and encoding overhead amortize over the batch. Batching delays a
-// site's view of the coordinator threshold by at most one batch, which can
-// only cause extra offers, never missed ones — the coordinator's sample is
-// unaffected (the same argument that covers the concurrent engine's races).
+// syscalls and encoding overhead amortize over the batch (with identical
+// consecutive replies coalesced — every coordinator-to-site message is an
+// idempotent state refresh, so repeating it within one frame is pure
+// overhead). Batching delays a site's view of the coordinator threshold by
+// at most one batch, which can only cause extra offers, never missed ones —
+// the coordinator's sample is unaffected (the same argument that covers the
+// concurrent engine's races).
+//
+// On top of batching, sites may pipeline (Options.Window > 1): batch frames
+// carry sequence numbers, up to Window of them stream before their replies
+// frames come back (cumulative acks), and a dedicated reader goroutine per
+// connection applies replies as they arrive. See Options.Window and the
+// README's pipelined-ingest section.
 package wire
 
 import (
@@ -52,9 +61,15 @@ type BatchEntry struct {
 
 // Frame is one message of the wire protocol.
 type Frame struct {
-	Type    string               `json:"type"`
-	Site    int                  `json:"site,omitempty"`
-	Slot    int64                `json:"slot,omitempty"`
+	Type string `json:"type"`
+	Site int    `json:"site,omitempty"`
+	Slot int64  `json:"slot,omitempty"`
+	// Seq is the batch sequence number of pipelined ingest: each batch frame
+	// carries the site's next sequence number and the coordinator echoes it
+	// on the covering replies frame, so a site streaming several batches
+	// without waiting can match replies to batches and detect reordering.
+	// Synchronous clients leave it zero.
+	Seq     uint64               `json:"seq,omitempty"`
 	Msg     *netsim.Message      `json:"msg,omitempty"`
 	Msgs    []netsim.Message     `json:"msgs,omitempty"`
 	Batch   []BatchEntry         `json:"batch,omitempty"`
@@ -145,8 +160,25 @@ func (s *CoordinatorServer) acceptLoop() {
 	}
 }
 
+// writeFlush writes one frame and pushes it to the wire immediately — the
+// synchronous request/response paths, where the peer is waiting for it.
+func writeFlush(fc frameConn, f *Frame) error {
+	if err := fc.WriteFrame(f); err != nil {
+		return err
+	}
+	return fc.Flush()
+}
+
 // handle serves one site (or query client) connection in whichever codec the
 // client chose.
+//
+// Each connection runs two goroutines: a read pump that decodes frames and a
+// dispatch loop (this function) that runs the coordinator and writes
+// replies. Decoding frame N+1 thus overlaps dispatching frame N — for
+// pipelined sites streaming batches, decode would otherwise serialize with
+// the coordinator's work and cap ingest. A small fixed ring of Frame buffers
+// circulates between the two goroutines, preserving order and reusing
+// decoded slice capacity.
 func (s *CoordinatorServer) handle(conn net.Conn) {
 	defer conn.Close()
 	fc, err := sniffServerConn(conn)
@@ -155,51 +187,137 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 	}
 	siteID := -1
 
-	var f Frame
-	for {
-		if err := fc.ReadFrame(&f); err != nil {
-			return // connection closed or garbage; drop the site
+	const frameRing = 3
+	frames := make(chan *Frame, frameRing-1) // decoded, in arrival order
+	free := make(chan *Frame, frameRing)     // recycled buffers
+	for i := 0; i < frameRing; i++ {
+		free <- new(Frame)
+	}
+	done := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		defer close(frames)
+		for {
+			var f *Frame
+			select {
+			case f = <-free:
+			case <-done:
+				return
+			}
+			if err := fc.ReadFrame(f); err != nil {
+				return // connection closed or garbage; drop the site
+			}
+			select {
+			case frames <- f:
+			case <-done:
+				return
+			}
 		}
+	}()
+	defer func() {
+		close(done)
+		conn.Close() // unblocks a read pump stuck in ReadFrame
+		<-readerDone
+	}()
+
+	// Per-connection scratch, reused across frames so the steady-state ingest
+	// loop performs no per-frame allocations beyond decoded keys: one write
+	// frame, one reply accumulator, one coordinator outbox.
+	var (
+		resp    Frame
+		replies []netsim.Message
+		out     netsim.Outbox
+	)
+	// Replies frames carry cumulative acks: Seq s acknowledges every batch
+	// up to and including s. When a pipelined client is running ahead (more
+	// input already buffered) and a batch produced no replies, the ack is
+	// deferred and folded into the next one, so a quiet ingest stream costs
+	// the coordinator roughly one reply frame per drained window instead of
+	// one per batch. ackDeferred/deferredSeq track the deferral; any
+	// non-batch frame forces the pending ack out first to preserve ordering
+	// for clients that interleave.
+	ackDeferred := false
+	var deferredSeq uint64
+	flushAck := func() error {
+		if !ackDeferred {
+			return nil
+		}
+		ackDeferred = false
+		ack := Frame{Type: FrameReplies, Seq: deferredSeq}
+		return fc.WriteFrame(&ack)
+	}
+	for f := range frames {
 		switch f.Type {
 		case FrameHello:
 			siteID = f.Site
+			// Hello produces no response frame of its own, so push any
+			// deferred ack out now — every non-batch frame must, or a
+			// conforming peer that interleaves one could wait forever.
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := fc.Flush(); err != nil {
+				return
+			}
 		case FrameOffer:
 			if f.Msg == nil || siteID < 0 {
-				_ = fc.WriteFrame(&Frame{Type: FrameError, Error: "offer before hello or missing msg"})
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "offer before hello or missing msg"})
 				return
 			}
 			msg := *f.Msg
 			msg.From = siteID
-			replies, err := s.dispatch(msg, f.Slot, siteID)
+			replies, err = s.dispatch(msg, f.Slot, siteID, &out, replies[:0])
 			if err != nil {
-				_ = fc.WriteFrame(&Frame{Type: FrameError, Error: err.Error()})
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: err.Error()})
 				return
 			}
-			if err := fc.WriteFrame(&Frame{Type: FrameReplies, Msgs: replies}); err != nil {
+			if err := flushAck(); err != nil {
+				return
+			}
+			resp = Frame{Type: FrameReplies, Msgs: replies}
+			if err := writeFlush(fc, &resp); err != nil {
 				return
 			}
 		case FrameBatch:
 			if siteID < 0 {
-				_ = fc.WriteFrame(&Frame{Type: FrameError, Error: "batch before hello"})
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "batch before hello"})
 				return
 			}
-			var replies []netsim.Message
-			failed := false
-			for _, entry := range f.Batch {
-				msg := entry.Msg
-				msg.From = siteID
-				r, err := s.dispatch(msg, entry.Slot, siteID)
+			// One lock acquisition covers the whole batch: this is the ingest
+			// hot path, and per-message locking would make the coordinator's
+			// serial section the pipeline's ceiling.
+			replies = replies[:0]
+			s.mu.Lock()
+			for i := range f.Batch {
+				// Stamp the sender in place: the decoded batch is scratch,
+				// and copying each ~60-byte message twice per offer would
+				// show up on the ingest hot path.
+				entry := &f.Batch[i]
+				entry.Msg.From = siteID
+				replies, err = s.dispatchLocked(entry.Msg, entry.Slot, siteID, &out, replies)
 				if err != nil {
-					_ = fc.WriteFrame(&Frame{Type: FrameError, Error: err.Error()})
-					failed = true
 					break
 				}
-				replies = append(replies, r...)
 			}
-			if failed {
+			s.mu.Unlock()
+			if err != nil {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: err.Error()})
 				return
 			}
-			if err := fc.WriteFrame(&Frame{Type: FrameReplies, Msgs: replies}); err != nil {
+			if len(replies) == 0 && len(frames) > 0 {
+				// The client is ahead (the read pump already decoded the
+				// next frame) and has nothing to learn from this batch:
+				// fold the ack into a later replies frame.
+				ackDeferred, deferredSeq = true, f.Seq
+				free <- f
+				continue
+			}
+			// Echo the batch's sequence number; this frame cumulatively acks
+			// any deferred batches before it (zero for synchronous sites).
+			ackDeferred = false
+			resp = Frame{Type: FrameReplies, Seq: f.Seq, Msgs: replies}
+			if err := writeFlush(fc, &resp); err != nil {
 				return
 			}
 		case FrameQuery:
@@ -207,34 +325,55 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 			entries := s.node.Sample()
 			s.stats.queries++
 			s.mu.Unlock()
-			if err := fc.WriteFrame(&Frame{Type: FrameSample, Entries: entries}); err != nil {
+			if err := flushAck(); err != nil {
+				return
+			}
+			resp = Frame{Type: FrameSample, Entries: entries}
+			if err := writeFlush(fc, &resp); err != nil {
 				return
 			}
 		default:
-			_ = fc.WriteFrame(&Frame{Type: FrameError, Error: "unknown frame type " + f.Type})
+			_ = writeFlush(fc, &Frame{Type: FrameError, Error: "unknown frame type " + f.Type})
 			return
 		}
+		free <- f
 	}
 }
 
-// dispatch runs the coordinator node on one message and collects the replies
-// addressed to the sending site.
-func (s *CoordinatorServer) dispatch(msg netsim.Message, slot int64, siteID int) ([]netsim.Message, error) {
+// dispatch runs the coordinator node on one message and appends the replies
+// addressed to the sending site onto replies, reusing the caller's outbox.
+func (s *CoordinatorServer) dispatch(msg netsim.Message, slot int64, siteID int, out *netsim.Outbox, replies []netsim.Message) ([]netsim.Message, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := &netsim.Outbox{}
+	return s.dispatchLocked(msg, slot, siteID, out, replies)
+}
+
+// dispatchLocked is dispatch for callers already holding s.mu.
+//
+// Identical consecutive replies within one replies frame are coalesced:
+// every coordinator-to-site message in the supported protocols is an
+// idempotent state refresh (the new threshold u, the new window sample), so
+// a batch of 64 offers that all draw the same "u is still 0.01" answer ships
+// it once instead of 64 times. This halves reply-path bytes and encode/decode
+// work on flooded links without changing any site's resulting state.
+func (s *CoordinatorServer) dispatchLocked(msg netsim.Message, slot int64, siteID int, out *netsim.Outbox, replies []netsim.Message) ([]netsim.Message, error) {
+	out.Reset()
 	s.node.OnMessage(msg, slot, out)
 	s.stats.offers++
-	var replies []netsim.Message
-	for _, env := range out.Drain() {
+	n := 0
+	for _, env := range out.Envelopes() {
 		if env.Broadcast || env.To != siteID {
-			return nil, errors.New("wire: coordinator tried to send to a site other than the requester (broadcasting algorithms are not supported over TCP)")
+			return replies, errors.New("wire: coordinator tried to send to a site other than the requester (broadcasting algorithms are not supported over TCP)")
 		}
 		reply := env.Msg
 		reply.From = netsim.CoordinatorID
+		if len(replies) > 0 && replies[len(replies)-1] == reply {
+			continue // identical consecutive refresh; idempotent
+		}
 		replies = append(replies, reply)
+		n++
 	}
-	s.stats.replies += len(replies)
+	s.stats.replies += n
 	return replies, nil
 }
 
@@ -249,16 +388,45 @@ type Options struct {
 	// always flush the buffer, so batching never holds a message past a slot
 	// boundary.
 	BatchSize int
+	// Window > 1 enables pipelined ingest: up to Window batch frames may be
+	// in flight before their replies frames have come back, with a dedicated
+	// reader goroutine matching replies to batches by sequence number and
+	// feeding them into the site node as they arrive. The window is a credit
+	// scheme — a full window blocks the writer, bounding memory — and
+	// Flush/EndSlot/Close drain it completely, so slot boundaries and
+	// shutdown stay exact. 0 or 1 keeps the synchronous request/response
+	// dialogue. DefaultWindow is a good starting point on localhost; see the
+	// README for tuning guidance.
+	Window int
 }
 
+// DefaultWindow is the pipeline depth used by callers that enable pipelining
+// without choosing a width: deep enough to hide a localhost round trip
+// behind encoding, shallow enough that a stalled coordinator blocks the
+// writer after a few batches.
+const DefaultWindow = 8
+
 // SiteClient connects one site node to a remote coordinator.
+//
+// A SiteClient is not safe for concurrent use: Observe/EndSlot/Flush/Close
+// must be called from one goroutine (or externally serialized), exactly like
+// the site node it wraps. In pipelined mode the client owns one additional
+// internal reader goroutine; mu serializes that reader's access to the site
+// node and shared buffers against the caller.
 type SiteClient struct {
 	node netsim.SiteNode
 	conn net.Conn
 	fc   frameConn
 	opts Options
 
+	mu      sync.Mutex   // guards node, pending, counters when pipelining
 	pending []BatchEntry // buffered offers awaiting a batch flush
+
+	scratch netsim.Outbox // reusable outbox for node callbacks
+	wframe  Frame         // reusable frame for writes
+	rframe  Frame         // reusable frame for reads (sync mode)
+
+	pipe *pipeline // non-nil when Options.Window > 1
 
 	sent     int
 	received int
@@ -283,9 +451,12 @@ func DialSiteOptions(node netsim.SiteNode, addr string, opts Options) (*SiteClie
 		return nil, err
 	}
 	c := &SiteClient{node: node, conn: conn, fc: fc, opts: opts}
-	if err := c.fc.WriteFrame(&Frame{Type: FrameHello, Site: node.ID()}); err != nil {
+	if err := writeFlush(c.fc, &Frame{Type: FrameHello, Site: node.ID()}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	if opts.Window > 1 {
+		c.startPipeline()
 	}
 	return c, nil
 }
@@ -293,18 +464,21 @@ func DialSiteOptions(node netsim.SiteNode, addr string, opts Options) (*SiteClie
 // clientConn builds the client half of a connection in the chosen codec,
 // sending the binary preamble when needed.
 func clientConn(conn net.Conn, codec Codec) (frameConn, error) {
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, binBufSize)
 	if codec == CodecBinary {
 		return dialBinary(conn, br)
 	}
 	return newJSONConn(br, conn), nil
 }
 
-// Close flushes any buffered offers and closes the connection to the
-// coordinator.
+// Close flushes any buffered offers, drains the pipeline window, and closes
+// the connection to the coordinator.
 func (c *SiteClient) Close() error {
 	flushErr := c.Flush()
 	closeErr := c.conn.Close()
+	if c.pipe != nil {
+		<-c.pipe.done // reader exits once the connection is closed
+	}
 	if flushErr != nil {
 		return flushErr
 	}
@@ -312,27 +486,42 @@ func (c *SiteClient) Close() error {
 }
 
 // MessagesSent returns the number of offers shipped to the coordinator.
-func (c *SiteClient) MessagesSent() int { return c.sent }
+func (c *SiteClient) MessagesSent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
 
 // MessagesReceived returns the number of replies received.
-func (c *SiteClient) MessagesReceived() int { return c.received }
+func (c *SiteClient) MessagesReceived() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.received
+}
 
 // Observe feeds one element observation to the local site node and performs
 // whatever exchanges with the coordinator the protocol requires (possibly
-// deferred, when batching is enabled).
+// deferred, when batching or pipelining is enabled).
 func (c *SiteClient) Observe(key string, slot int64) error {
-	out := &netsim.Outbox{}
-	c.node.OnArrival(key, slot, out)
-	return c.flush(out, slot)
+	if c.pipe != nil {
+		return c.pipeObserve(key, slot)
+	}
+	c.scratch.Reset()
+	c.node.OnArrival(key, slot, &c.scratch)
+	return c.flush(&c.scratch, slot)
 }
 
 // EndSlot signals the end of a time slot to the local site node (needed by
 // the sliding-window protocol for expiry-driven promotions) and flushes any
-// batched offers so nothing crosses the slot boundary unsent.
+// batched offers so nothing crosses the slot boundary unsent. In pipelined
+// mode it also drains the window, keeping slot boundaries exact.
 func (c *SiteClient) EndSlot(slot int64) error {
-	out := &netsim.Outbox{}
-	c.node.OnSlotEnd(slot, out)
-	if err := c.flush(out, slot); err != nil {
+	if c.pipe != nil {
+		return c.pipeEndSlot(slot)
+	}
+	c.scratch.Reset()
+	c.node.OnSlotEnd(slot, &c.scratch)
+	if err := c.flush(&c.scratch, slot); err != nil {
 		return err
 	}
 	return c.Flush()
@@ -340,28 +529,31 @@ func (c *SiteClient) EndSlot(slot int64) error {
 
 // flush routes every queued coordinator-bound message: in unbatched mode it
 // ships each message and processes the replies immediately; in batched mode
-// it buffers and ships full batches only.
+// it buffers and ships full batches only. The outbox is reset on return.
 func (c *SiteClient) flush(out *netsim.Outbox, slot int64) error {
 	if c.opts.BatchSize > 1 {
-		for _, env := range out.Drain() {
+		for _, env := range out.Envelopes() {
 			if env.Broadcast || env.To != netsim.CoordinatorID {
 				return errors.New("wire: site nodes may only message the coordinator")
 			}
 			c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
 		}
+		out.Reset()
 		if len(c.pending) >= c.opts.BatchSize {
 			return c.sendPending(slot)
 		}
 		return nil
 	}
-	queue := out.Drain()
+	queue := append([]netsim.Envelope(nil), out.Envelopes()...)
+	out.Reset()
 	for len(queue) > 0 {
 		env := queue[0]
 		queue = queue[1:]
 		if env.Broadcast || env.To != netsim.CoordinatorID {
 			return errors.New("wire: site nodes may only message the coordinator")
 		}
-		if err := c.fc.WriteFrame(&Frame{Type: FrameOffer, Slot: slot, Msg: &env.Msg}); err != nil {
+		c.wframe = Frame{Type: FrameOffer, Slot: slot, Msg: &env.Msg}
+		if err := writeFlush(c.fc, &c.wframe); err != nil {
 			return fmt.Errorf("wire: send offer: %w", err)
 		}
 		c.sent++
@@ -369,19 +561,24 @@ func (c *SiteClient) flush(out *netsim.Outbox, slot int64) error {
 		if err != nil {
 			return err
 		}
-		scratch := &netsim.Outbox{}
 		for _, reply := range replies {
-			c.node.OnMessage(reply, slot, scratch)
-			queue = append(queue, scratch.Drain()...)
+			out.Reset()
+			c.node.OnMessage(reply, slot, out)
+			queue = append(queue, out.Envelopes()...)
+			out.Reset()
 		}
 	}
 	return nil
 }
 
-// Flush ships every buffered offer (batched mode) and feeds the replies back
-// into the site node, repeating until the site has nothing more to say. It is
-// a no-op in unbatched mode and when the buffer is empty.
+// Flush ships every buffered offer and feeds the replies back into the site
+// node, repeating until the site has nothing more to say; in pipelined mode
+// it additionally waits until every in-flight batch has been acknowledged.
+// It is a no-op in synchronous unbatched mode.
 func (c *SiteClient) Flush() error {
+	if c.pipe != nil {
+		return c.pipeFlush()
+	}
 	for len(c.pending) > 0 {
 		lastSlot := c.pending[len(c.pending)-1].Slot
 		if err := c.sendPending(lastSlot); err != nil {
@@ -396,11 +593,12 @@ func (c *SiteClient) Flush() error {
 // batch (Flush loops until quiescence).
 func (c *SiteClient) sendPending(slot int64) error {
 	batch := c.pending
-	c.pending = nil
+	c.pending = c.pending[len(c.pending):]
 	if len(batch) == 0 {
 		return nil
 	}
-	if err := c.fc.WriteFrame(&Frame{Type: FrameBatch, Batch: batch}); err != nil {
+	c.wframe = Frame{Type: FrameBatch, Batch: batch}
+	if err := writeFlush(c.fc, &c.wframe); err != nil {
 		return fmt.Errorf("wire: send batch: %w", err)
 	}
 	c.sent += len(batch)
@@ -408,33 +606,35 @@ func (c *SiteClient) sendPending(slot int64) error {
 	if err != nil {
 		return err
 	}
-	scratch := &netsim.Outbox{}
 	for _, reply := range replies {
-		c.node.OnMessage(reply, slot, scratch)
-		for _, env := range scratch.Drain() {
+		c.scratch.Reset()
+		c.node.OnMessage(reply, slot, &c.scratch)
+		for _, env := range c.scratch.Envelopes() {
 			if env.Broadcast || env.To != netsim.CoordinatorID {
 				return errors.New("wire: site nodes may only message the coordinator")
 			}
 			c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
 		}
+		c.scratch.Reset()
 	}
 	return nil
 }
 
-// readReplies reads one replies frame, surfacing protocol errors.
+// readReplies reads one replies frame, surfacing protocol errors. The
+// returned slice is only valid until the next read (it aliases the client's
+// reusable read frame).
 func (c *SiteClient) readReplies() ([]netsim.Message, error) {
-	var resp Frame
-	if err := c.fc.ReadFrame(&resp); err != nil {
+	if err := c.fc.ReadFrame(&c.rframe); err != nil {
 		return nil, fmt.Errorf("wire: read replies: %w", err)
 	}
-	switch resp.Type {
+	switch c.rframe.Type {
 	case FrameReplies:
-		c.received += len(resp.Msgs)
-		return resp.Msgs, nil
+		c.received += len(c.rframe.Msgs)
+		return c.rframe.Msgs, nil
 	case FrameError:
-		return nil, errors.New("wire: coordinator error: " + resp.Error)
+		return nil, errors.New("wire: coordinator error: " + c.rframe.Error)
 	default:
-		return nil, errors.New("wire: unexpected frame " + resp.Type)
+		return nil, errors.New("wire: unexpected frame " + c.rframe.Type)
 	}
 }
 
@@ -455,7 +655,7 @@ func QueryWith(addr string, codec Codec) ([]netsim.SampleEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := fc.WriteFrame(&Frame{Type: FrameQuery}); err != nil {
+	if err := writeFlush(fc, &Frame{Type: FrameQuery}); err != nil {
 		return nil, fmt.Errorf("wire: query: %w", err)
 	}
 	var resp Frame
