@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -40,17 +41,20 @@ func main() {
 		paper      = flag.Bool("paper", false, "use the paper's full-scale configuration (slow)")
 		quick      = flag.Bool("quick", false, "use the sub-second configuration used by tests")
 
-		clusterBench = flag.Bool("cluster-bench", false, "run the sharded-cluster ingest benchmark and write machine-readable JSON")
-		out          = flag.String("out", "BENCH_cluster.json", "output path for -cluster-bench")
-		benchElems   = flag.Int("bench-elements", 20000, "stream length for -cluster-bench")
-		benchShards  = flag.String("bench-shards", "1,4", "comma-separated shard counts for -cluster-bench")
-		benchWindows = flag.String("bench-windows", "1,2,4,8,16,32", "comma-separated pipeline window sizes for the -cluster-bench pipeline sweep (1 = synchronous)")
-		requireSpeed = flag.Float64("require-pipeline-speedup", 0, "fail -cluster-bench unless the best pipelined window beats the synchronous path by this factor (0 disables; CI uses 1.0)")
+		clusterBench  = flag.Bool("cluster-bench", false, "run the sharded-cluster ingest benchmark and write machine-readable JSON")
+		out           = flag.String("out", "BENCH_cluster.json", "output path for -cluster-bench")
+		benchElems    = flag.Int("bench-elements", 20000, "stream length for -cluster-bench")
+		benchShards   = flag.String("bench-shards", "1,4", "comma-separated shard counts for -cluster-bench")
+		benchWindows  = flag.String("bench-windows", "1,2,4,8,16,32", "comma-separated pipeline window sizes for the -cluster-bench pipeline sweep (1 = synchronous)")
+		requireSpeed  = flag.Float64("require-pipeline-speedup", 0, "fail -cluster-bench unless the best pipelined window beats the synchronous path by this factor (0 disables; CI uses 1.0)")
+		benchFailover = flag.Bool("bench-failover", true, "include the kill/promote failover benchmark in -cluster-bench (fails on reference divergence)")
+		benchReplicas = flag.Int("bench-replicas", 1, "warm replicas per shard for the failover benchmark")
+		benchSyncInt  = flag.Duration("bench-sync-interval", 50*time.Millisecond, "replica sync interval for the failover benchmark")
 	)
 	flag.Parse()
 
 	if *clusterBench {
-		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed); err != nil {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReplicas, *benchSyncInt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -140,6 +144,22 @@ type clusterBenchReport struct {
 	SpeedupBinaryBatched map[string]float64 `json:"speedup_binary_batched_vs_json"`
 	// Pipeline is the window-size sweep of the pipelined ingest path.
 	Pipeline *pipelineReport `json:"pipeline"`
+	// Failover measures ingest throughput across a kill/promote event on
+	// replica groups (see cluster.RunFailoverBench). Every run in it has
+	// passed the merged-sample-vs-reference byte-identity check.
+	Failover *failoverReport `json:"failover,omitempty"`
+}
+
+// failoverReport is the failover section of BENCH_cluster.json: one
+// kill/promote run per transport mode, at the sweep's largest shard count.
+type failoverReport struct {
+	Replicas       int                       `json:"replicas"`
+	SyncIntervalMS float64                   `json:"sync_interval_ms"`
+	Runs           []*cluster.FailoverResult `json:"runs"`
+	// WorstPostKillRatio is the min over runs of post-kill / pre-kill
+	// throughput: how much of the ingest rate survives a primary death
+	// (promotion stall included).
+	WorstPostKillRatio float64 `json:"worst_post_kill_ratio"`
 }
 
 // pipelineReport compares synchronous and pipelined batched-binary ingest in
@@ -178,7 +198,7 @@ type pipelinePoint struct {
 // the pipeline window sweep and writes the machine-readable report to path.
 // If requireSpeedup > 0 and the best pipelined window does not beat the
 // synchronous path by that factor, an error is returned (the CI smoke gate).
-func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64) error {
+func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover bool, replicas int, syncInterval time.Duration) error {
 	report := &clusterBenchReport{
 		GeneratedUnix:        time.Now().Unix(),
 		Elements:             elements,
@@ -229,6 +249,13 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 	}
 	report.Pipeline = pipeline
 
+	if failover {
+		report.Failover, err = runFailoverBench(elements, maxShards, replicas, syncInterval, seed)
+		if err != nil {
+			return err
+		}
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -244,6 +271,46 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 			pipeline.BestSpeedupVsSync, requireSpeedup)
 	}
 	return nil
+}
+
+// runFailoverBench runs the kill/promote benchmark in both transport modes
+// (synchronous batched and pipelined, flood mode so the wire is the
+// bottleneck) at the sweep's largest shard count. Each run internally fails
+// if the post-promotion merged sample diverges from the centralized
+// reference, so a successful section is also a correctness proof.
+func runFailoverBench(elements, shards, replicas int, syncInterval time.Duration, seed uint64) (*failoverReport, error) {
+	rep := &failoverReport{
+		Replicas:           replicas,
+		SyncIntervalMS:     float64(syncInterval) / float64(time.Millisecond),
+		WorstPostKillRatio: math.Inf(1),
+	}
+	for _, window := range []int{1, 8} {
+		cfg := cluster.DefaultBenchConfig()
+		cfg.Shards = shards
+		cfg.Elements = elements
+		cfg.Distinct = elements / 4
+		cfg.Codec = wire.CodecBinary
+		cfg.Batch = 64
+		cfg.Flood = true
+		if window > 1 {
+			cfg.Window = window
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		res, err := cluster.RunFailoverBench(cfg, replicas, syncInterval)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, res)
+		ratio := res.PostKillOpsPerSec / res.PreKillOpsPerSec
+		if ratio < rep.WorstPostKillRatio {
+			rep.WorstPostKillRatio = ratio
+		}
+		fmt.Fprintf(os.Stderr, "[failover-bench shards=%d replicas=%d window=%d: %.0f -> %.0f ops/s across kill (%.2fx), %d promotions, %.1f ms stalled]\n",
+			shards, replicas, window, res.PreKillOpsPerSec, res.PostKillOpsPerSec, ratio, res.Failovers, res.FailoverStallSec*1000)
+	}
+	return rep, nil
 }
 
 // runPipelineSweep measures flood-mode batched-binary ingest across the

@@ -1,7 +1,8 @@
 // Command ddsnode runs one node of a real (non-simulated) deployment of the
-// distinct sampler over TCP: a coordinator (single or sharded cluster), a
-// site replaying a stream file, or a one-shot query client. Stream files use
-// the "slot<TAB>key" format produced by cmd/ddsgen.
+// distinct sampler over TCP: a coordinator (single, sharded cluster, or
+// replicated cluster), a standalone replica, a site replaying a stream file,
+// or a one-shot query client. Stream files use the "slot<TAB>key" format
+// produced by cmd/ddsgen.
 //
 // A complete single-coordinator deployment in three terminals:
 //
@@ -20,11 +21,30 @@
 //	        -codec binary -batch 64 -pipeline 8 -stream enron.tsv
 //	ddsnode -role query -sample 20 -coordinator 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
 //
+// With -replicas R > 0 every shard becomes a replica group of 1 + R members
+// on consecutive ports (shard c member m binds port + c*(R+1) + m); the
+// primary pushes its full bottom-s sample to the replicas every
+// -sync-interval. Sites and query clients then list the group members of a
+// shard separated by "/" (shards stay comma-separated) and fail over
+// automatically when a primary dies:
+//
+//	ddsnode -role cluster-coordinator -shards 2 -replicas 1 -listen 127.0.0.1:7070 -sample 20
+//	ddsnode -role site -id 0 -codec binary -batch 64 -pipeline 8 -stream enron.tsv \
+//	        -coordinator 127.0.0.1:7070/127.0.0.1:7071,127.0.0.1:7072/127.0.0.1:7073
+//	ddsnode -role query -sample 20 -coordinator 127.0.0.1:7070/127.0.0.1:7071,127.0.0.1:7072/127.0.0.1:7073
+//
+// -role replica runs one standalone warm replica: an infinite-window
+// coordinator that accepts state-sync pushes and promote frames (any
+// coordinator does; the dedicated role exists so a replica can be placed on
+// its own host and adopted as a group member address).
+//
 // All nodes of one deployment must share -hash-seed (and -window, if set),
 // and a query's -sample must not exceed the coordinators' -sample: each
 // shard only retains its bottom-s, so merges are exact only up to size s.
 // (-window is the sliding-window length in slots, a protocol parameter;
-// -pipeline is the transport's batch-frames-in-flight credit window.)
+// -pipeline is the transport's batch-frames-in-flight credit window.
+// Replication requires the infinite-window protocol: the sliding-window
+// coordinator's candidate store does not fit in a sample frame yet.)
 package main
 
 import (
@@ -34,11 +54,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
+	"repro/internal/replica"
 	"repro/internal/sliding"
 	"repro/internal/stream"
 	"repro/internal/wire"
@@ -46,18 +68,20 @@ import (
 
 func main() {
 	var (
-		role        = flag.String("role", "coordinator", "coordinator, cluster-coordinator, site, or query")
-		listen      = flag.String("listen", "127.0.0.1:7070", "coordinator listen address (cluster shard c binds port+c)")
-		coordinator = flag.String("coordinator", "127.0.0.1:7070", "comma-separated coordinator shard addresses (site/query roles)")
-		shards      = flag.Int("shards", 1, "number of coordinator shards (cluster-coordinator role)")
-		id          = flag.Int("id", 0, "site id (site role)")
-		sample      = flag.Int("sample", 20, "sample size s per shard (infinite-window); also the merged query size, which must not exceed the coordinators' s")
-		window      = flag.Int64("window", 0, "window size in slots; > 0 switches to the sliding-window protocol")
-		streamPath  = flag.String("stream", "", "stream file to replay (site role); '-' reads stdin")
-		hashSeed    = flag.Uint64("hash-seed", 20130501, "shared hash-function seed (must match on all nodes)")
-		codecName   = flag.String("codec", "json", "wire codec: json or binary (site/query roles)")
-		batch       = flag.Int("batch", 1, "offers per batch frame; > 1 enables batched transport (site role)")
-		pipeline    = flag.Int("pipeline", 0, "pipelined ingest: max batch frames in flight per connection; 0 or 1 = synchronous request/response (site role; try 8)")
+		role         = flag.String("role", "coordinator", "coordinator, cluster-coordinator, replica, site, or query")
+		listen       = flag.String("listen", "127.0.0.1:7070", "coordinator listen address (cluster shard c member m binds port + c*(replicas+1) + m)")
+		coordinator  = flag.String("coordinator", "127.0.0.1:7070", "coordinator shard addresses: shards comma-separated, replica-group members '/'-separated (site/query roles)")
+		shards       = flag.Int("shards", 1, "number of coordinator shards (cluster-coordinator role)")
+		replicas     = flag.Int("replicas", 0, "warm replicas per shard; > 0 turns each shard into a replica group (cluster-coordinator role)")
+		syncInterval = flag.Duration("sync-interval", replica.DefaultSyncInterval, "how often each primary pushes its sample to its replicas (cluster-coordinator role with -replicas)")
+		id           = flag.Int("id", 0, "site id (site role)")
+		sample       = flag.Int("sample", 20, "sample size s per shard (infinite-window); also the merged query size, which must not exceed the coordinators' s")
+		window       = flag.Int64("window", 0, "window size in slots; > 0 switches to the sliding-window protocol")
+		streamPath   = flag.String("stream", "", "stream file to replay (site role); '-' reads stdin")
+		hashSeed     = flag.Uint64("hash-seed", 20130501, "shared hash-function seed (must match on all nodes)")
+		codecName    = flag.String("codec", "json", "wire codec: json or binary (site/query roles)")
+		batch        = flag.Int("batch", 1, "offers per batch frame; > 1 enables batched transport (site role)")
+		pipeline     = flag.Int("pipeline", 0, "pipelined ingest: max batch frames in flight per connection; 0 or 1 = synchronous request/response (site role; try 8)")
 	)
 	flag.Parse()
 
@@ -69,27 +93,37 @@ func main() {
 
 	switch *role {
 	case "coordinator":
-		runCoordinator(*listen, 1, *sample, *window)
+		runCoordinator(*listen, 1, 0, *syncInterval, *sample, *window, codec)
 	case "cluster-coordinator":
-		runCoordinator(*listen, *shards, *sample, *window)
+		runCoordinator(*listen, *shards, *replicas, *syncInterval, *sample, *window, codec)
+	case "replica":
+		runReplica(*listen, *sample, *window)
 	case "site":
-		runSite(splitAddrs(*coordinator), *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch, Window: *pipeline})
+		runSite(splitGroups(*coordinator), *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch, Window: *pipeline})
 	case "query":
-		runQuery(splitAddrs(*coordinator), *sample, *window, codec)
+		runQuery(splitGroups(*coordinator), *sample, *window, codec)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
 		os.Exit(2)
 	}
 }
 
-func splitAddrs(list string) []string {
-	var addrs []string
-	for _, a := range strings.Split(list, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
+// splitGroups parses the -coordinator list: shards separated by commas, the
+// members of one shard's replica group separated by slashes.
+func splitGroups(list string) [][]string {
+	var groups [][]string
+	for _, shard := range strings.Split(list, ",") {
+		var members []string
+		for _, a := range strings.Split(shard, "/") {
+			if a = strings.TrimSpace(a); a != "" {
+				members = append(members, a)
+			}
+		}
+		if len(members) > 0 {
+			groups = append(groups, members)
 		}
 	}
-	return addrs
+	return groups
 }
 
 func fatal(err error) {
@@ -97,7 +131,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runCoordinator(listen string, shards, sampleSize int, window int64) {
+func runCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, window int64, codec wire.Codec) {
+	if window > 0 && replicas > 0 {
+		fatal(fmt.Errorf("replication requires the infinite-window protocol (drop -window or -replicas)"))
+	}
+	if replicas > 0 {
+		runReplicatedCoordinator(listen, shards, replicas, syncInterval, sampleSize, codec)
+		return
+	}
 	newCoord := func(int) netsim.CoordinatorNode { return core.NewInfiniteCoordinator(sampleSize) }
 	kind := fmt.Sprintf("infinite-window (s=%d per shard)", sampleSize)
 	if window > 0 {
@@ -114,9 +155,7 @@ func runCoordinator(listen string, shards, sampleSize int, window int64) {
 	}
 	fmt.Println("press Ctrl-C to stop")
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
+	waitForSignal()
 	offers, replies, queries := srv.Stats()
 	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served", offers, replies, queries)
 	if shards > 1 {
@@ -134,14 +173,91 @@ func runCoordinator(listen string, shards, sampleSize int, window int64) {
 	_ = srv.Close()
 }
 
-func runSite(addrs []string, id int, window int64, streamPath string, hashSeed uint64, opts wire.Options) {
+func runReplicatedCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, codec wire.Codec) {
+	srv, err := replica.Listen(listen, shards, replica.Options{
+		Replicas:     replicas,
+		SyncInterval: syncInterval,
+		Codec:        codec,
+	}, func(int, int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(sampleSize)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d-shard infinite-window coordinator (s=%d per shard), %d warm replica(s) per shard, sync every %v\n",
+		srv.Shards(), sampleSize, replicas, syncInterval)
+	groups := srv.GroupAddrs()
+	shardArgs := make([]string, len(groups))
+	for shard, members := range groups {
+		fmt.Printf("  shard %d: primary %s, replicas %s\n", shard, members[0], strings.Join(members[1:], " "))
+		shardArgs[shard] = strings.Join(members, "/")
+	}
+	fmt.Printf("site/query -coordinator value: %s\n", strings.Join(shardArgs, ","))
+	fmt.Println("press Ctrl-C to stop")
+
+	waitForSignal()
+	offers, replies, queries := srv.Stats()
+	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served\n", offers, replies, queries)
+	for shard := range groups {
+		fmt.Printf("  shard %d primary: member %d (epochs %v)\n", shard, srv.PrimaryIndex(shard), srv.Epochs(shard))
+	}
+	if samples, err := srv.PrimarySamples(); err == nil {
+		fmt.Println("final merged sample:")
+		for _, e := range cluster.Merge(sampleSize, samples...) {
+			fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
+		}
+	}
+	_ = srv.Close()
+}
+
+// runReplica runs one standalone warm replica: a restorable infinite-window
+// coordinator that waits for a primary's state-sync pushes and serves ingest
+// once promoted.
+func runReplica(listen string, sampleSize int, window int64) {
+	if window > 0 {
+		fatal(fmt.Errorf("replication requires the infinite-window protocol (drop -window)"))
+	}
+	srv := wire.NewCoordinatorServer(core.NewInfiniteCoordinator(sampleSize))
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("warm replica (s=%d) listening on %s: accepting state-sync, promote, and (once promoted) ingest\n", sampleSize, addr)
+	fmt.Println("press Ctrl-C to stop")
+	waitForSignal()
+	offers, replies, queries := srv.Stats()
+	fmt.Printf("\nshutting down: epoch %d (promoted: %v), %d offers, %d replies, %d queries served\n",
+		srv.Epoch(), srv.Promoted(), offers, replies, queries)
+	fmt.Println("final sample:")
+	for _, e := range srv.Sample() {
+		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
+	}
+	_ = srv.Close()
+}
+
+func waitForSignal() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+}
+
+func runSite(groups [][]string, id int, window int64, streamPath string, hashSeed uint64, opts wire.Options) {
 	if streamPath == "" {
 		fmt.Fprintln(os.Stderr, "site role requires -stream")
 		os.Exit(2)
 	}
-	if len(addrs) == 0 {
+	if len(groups) == 0 {
 		fmt.Fprintln(os.Stderr, "site role requires at least one -coordinator address")
 		os.Exit(2)
+	}
+	replicated := false
+	for _, members := range groups {
+		if len(members) > 1 {
+			replicated = true
+		}
+	}
+	if replicated && window > 0 {
+		fatal(fmt.Errorf("replication requires the infinite-window protocol (drop -window or the replica addresses)"))
 	}
 	in := os.Stdin
 	if streamPath != "-" {
@@ -158,14 +274,14 @@ func runSite(addrs []string, id int, window int64, streamPath string, hashSeed u
 	}
 
 	hasher := hashing.NewMurmur2(hashSeed)
-	router := cluster.NewShardRouter(len(addrs), hasher)
+	router := cluster.NewShardRouter(len(groups), hasher)
 	newSite := func(int) netsim.SiteNode { return core.NewInfiniteSite(id, hasher) }
 	if window > 0 {
 		newSite = func(shard int) netsim.SiteNode {
-			return sliding.NewSite(id, hasher, window, uint64(id*len(addrs)+shard)+1)
+			return sliding.NewSite(id, hasher, window, uint64(id*len(groups)+shard)+1)
 		}
 	}
-	client, err := cluster.DialSites(addrs, router, newSite, opts)
+	client, err := cluster.DialGroups(groups, router, newSite, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -198,12 +314,16 @@ func runSite(addrs []string, id int, window int64, streamPath string, hashSeed u
 	if opts.Window > 1 {
 		mode = fmt.Sprintf("pipelined window %d", opts.Window)
 	}
-	fmt.Printf("site %d replayed %d elements to %d shard(s) [%s, batch %d, %s]: %d offers sent, %d replies received\n",
-		id, len(elements), len(addrs), opts.Codec, opts.BatchSize, mode, client.MessagesSent(), client.MessagesReceived())
+	fmt.Printf("site %d replayed %d elements to %d shard(s) [%s, batch %d, %s]: %d offers sent, %d replies received",
+		id, len(elements), len(groups), opts.Codec, opts.BatchSize, mode, client.MessagesSent(), client.MessagesReceived())
+	if n, stall := client.Failovers(); n > 0 {
+		fmt.Printf("; survived %d failover(s), %.0f ms stalled", n, float64(stall)/float64(time.Millisecond))
+	}
+	fmt.Println()
 }
 
-func runQuery(addrs []string, sampleSize int, window int64, codec wire.Codec) {
-	if len(addrs) == 0 {
+func runQuery(groups [][]string, sampleSize int, window int64, codec wire.Codec) {
+	if len(groups) == 0 {
 		fmt.Fprintln(os.Stderr, "query role requires at least one -coordinator address")
 		os.Exit(2)
 	}
@@ -213,7 +333,7 @@ func runQuery(addrs []string, sampleSize int, window int64, codec wire.Codec) {
 	if window > 0 {
 		sampleSize = 1
 	}
-	entries, err := cluster.Query(addrs, sampleSize, codec)
+	entries, err := cluster.QueryGroups(groups, sampleSize, codec)
 	if err != nil {
 		fatal(err)
 	}
@@ -221,8 +341,8 @@ func runQuery(addrs []string, sampleSize int, window int64, codec wire.Codec) {
 	if window > 0 {
 		scope = "window sample"
 	}
-	if len(addrs) > 1 {
-		scope = fmt.Sprintf("merged %s across %d shards", scope, len(addrs))
+	if len(groups) > 1 {
+		scope = fmt.Sprintf("merged %s across %d shards", scope, len(groups))
 	}
 	fmt.Printf("%s (%d entries):\n", scope, len(entries))
 	for _, e := range entries {

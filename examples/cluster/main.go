@@ -1,7 +1,10 @@
 // Cluster walkthrough: scale the deployable sampler from one coordinator to
-// a sharded cluster. Four coordinator shards listen on localhost, sites
-// ingest over TCP with the batched binary codec, and a query-time merge
-// unions the per-shard bottom-s sketches into the exact global sample.
+// a sharded, replicated cluster — and kill a primary mid-ingest to watch it
+// fail over. Four coordinator shards run as replica groups (one primary plus
+// one warm replica each), sites ingest over TCP with the batched binary
+// codec, a shard primary dies halfway through the stream, the sites promote
+// its replica and replay their unacknowledged offers, and the query-time
+// merge still reconstructs the exact global sample.
 //
 //	go run ./examples/cluster
 package main
@@ -10,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/distribute"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
+	"repro/internal/replica"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -24,6 +29,7 @@ import (
 func main() {
 	const (
 		shards     = 4  // C: coordinator shards, each a full protocol instance
+		replicas   = 1  // R: warm replicas per shard
 		sites      = 3  // k: monitoring sites
 		sampleSize = 12 // s: bottom-s sample size per shard and after merging
 		seed       = 42
@@ -44,53 +50,100 @@ func main() {
 	hasher := hashing.NewMurmur2(seed)
 	router := cluster.NewShardRouter(shards, hasher)
 
-	// 3. Start the cluster: C independent infinite-window coordinators, one
-	//    TCP listener each (ephemeral localhost ports here; fixed ports via
-	//    "host:port" in a real deployment).
-	srv, err := cluster.Listen("127.0.0.1:0", shards, func(int) netsim.CoordinatorNode {
+	// 3. Start the cluster: C replica groups, each 1 + R independent
+	//    infinite-window coordinators with their own TCP listeners. The
+	//    coordinator's whole state is its bottom-s sketch, so each primary
+	//    keeps its replica warm by pushing one tiny state-sync frame per sync
+	//    interval — there is no replicated log.
+	srv, err := replica.Listen("127.0.0.1:0", shards, replica.Options{
+		Replicas:     replicas,
+		SyncInterval: 25 * time.Millisecond,
+		Codec:        wire.CodecBinary,
+	}, func(int, int) netsim.CoordinatorNode {
 		return core.NewInfiniteCoordinator(sampleSize)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("cluster of %d shards listening on %v\n", shards, srv.Addrs())
+	groups := srv.GroupAddrs()
+	fmt.Printf("cluster of %d shards × %d members listening:\n", shards, replicas+1)
+	for shard, members := range groups {
+		fmt.Printf("  shard %d: %v\n", shard, members)
+	}
 
-	// 4. Each site dials every shard and routes each observation to the
-	//    shard owning its key. The binary codec plus 64-offer batches
-	//    amortize syscalls and encoding over many offers per frame, and the
-	//    pipeline window lets up to 8 batches stream per connection before
-	//    their replies come back (Flush/Close drain the window, so nothing
-	//    is lost at shutdown).
+	// 4. Each site dials every shard's current primary and routes each
+	//    observation to the shard owning its key; binary codec, 64-offer
+	//    batches, pipeline window 8 (see the pipelined-ingest example).
 	opts := wire.Options{Codec: wire.CodecBinary, BatchSize: 64, Window: wire.DefaultWindow}
-	var wg sync.WaitGroup
+	clients := make([]*cluster.SiteClient, sites)
 	for site := 0; site < sites; site++ {
 		id := site
-		client, err := cluster.DialSites(srv.Addrs(), router, func(int) netsim.SiteNode {
+		clients[site], err = cluster.DialGroups(groups, router, func(int) netsim.SiteNode {
 			return core.NewInfiniteSite(id, hasher)
 		}, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		wg.Add(1)
-		go func(client *cluster.SiteClient, share []stream.Arrival) {
-			defer wg.Done()
-			for _, a := range share {
-				if err := client.Observe(a.Key, a.Slot); err != nil {
+	}
+	ingest := func(half int) {
+		var wg sync.WaitGroup
+		for site := 0; site < sites; site++ {
+			wg.Add(1)
+			go func(site int) {
+				defer wg.Done()
+				mine := perSite[site]
+				from, to := 0, len(mine)/2
+				if half == 1 {
+					from, to = len(mine)/2, len(mine)
+				}
+				for _, a := range mine[from:to] {
+					if err := clients[site].Observe(a.Key, a.Slot); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if err := clients[site].Flush(); err != nil {
 					log.Fatal(err)
 				}
-			}
-			if err := client.Close(); err != nil { // flushes the last batch
-				log.Fatal(err)
-			}
-		}(client, perSite[site])
+			}(site)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
-	// 5. Query time: fan out to every shard, union the bottom-s sketches,
-	//    keep the s smallest hashes — exactly the sample one big coordinator
-	//    over the whole stream would hold.
-	merged, err := cluster.Query(srv.Addrs(), sampleSize, wire.CodecBinary)
+	// 5. Ingest the first half, then kill shard 0's primary. (The flush +
+	//    forced sync bounds what the crash can lose to exactly nothing; in
+	//    production the loss bound is one sync interval of acknowledged
+	//    offers — everything unacknowledged is replayed by the sites.)
+	ingest(0)
+	if err := srv.SyncNow(); err != nil {
+		log.Fatal(err)
+	}
+	killed, err := srv.KillPrimary(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nkilled shard 0 member %d mid-ingest; continuing...\n", killed)
+
+	// 6. The second half streams through the failure: each site's next offer
+	//    to shard 0 hits a dead connection, probes the primary, promotes the
+	//    replica (deterministic epoch, so all sites converge on the same new
+	//    primary), replays its unacked window, and carries on.
+	ingest(1)
+	for site, c := range clients {
+		if n, stall := c.Failovers(); n > 0 {
+			fmt.Printf("site %d failed over %d time(s), stalled %v\n", site, n, stall.Round(time.Microsecond))
+		}
+		if err := c.Close(); err != nil {
+			log.Fatal(err)
+		}
+		clients[site] = nil
+	}
+	fmt.Printf("shard 0 primary is now member %d (epochs %v)\n", srv.PrimaryIndex(0), srv.Epochs(0))
+
+	// 7. Query time: fan out to every shard's current primary, union the
+	//    bottom-s sketches, keep the s smallest hashes — exactly the sample
+	//    one big coordinator over the whole stream would hold, crash or not.
+	merged, err := cluster.QueryGroups(groups, sampleSize, wire.CodecBinary)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,8 +152,12 @@ func main() {
 		fmt.Printf("  %-12s  hash=%.6f\n", e.Key, e.Hash)
 	}
 
-	// 6. The merged sample feeds the KMV estimator for cluster-wide counts.
-	est, err := cluster.DistinctCount(sampleSize, srv.ShardSamples()...)
+	// 8. The merged sample feeds the KMV estimator for cluster-wide counts.
+	shardSamples, err := srv.PrimarySamples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := cluster.DistinctCount(sampleSize, shardSamples...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,11 +166,12 @@ func main() {
 	fmt.Printf("estimated from merged sample: %.0f (95%% CI %.0f – %.0f)\n",
 		est.Estimate, est.Low, est.High)
 
-	// 7. Sanity: the merge is exact, and the cluster barely talked.
+	// 9. Sanity: the merge is exact despite the crash, and the cluster
+	//    barely talked.
 	oracle := core.NewReference(sampleSize, hasher)
 	oracle.ObserveAll(stream.Keys(elements))
 	fmt.Printf("matches centralized oracle: %v\n", oracle.SameSample(merged))
 	offers, replies, _ := srv.Stats()
-	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length; per-shard offers %v)\n",
-		offers+replies, 100*float64(offers+replies)/float64(stats.Elements), srv.ShardStats())
+	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length)\n",
+		offers+replies, 100*float64(offers+replies)/float64(stats.Elements))
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/distribute"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
+	"repro/internal/replica"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -214,5 +215,193 @@ func RunIngestBench(cfg BenchConfig) (*BenchResult, error) {
 		PerShardSampleLen: perShardLen,
 		MergedSampleLen:   len(merged),
 		DistinctEstimate:  est.Estimate,
+	}, nil
+}
+
+// FailoverResult is the machine-readable outcome of one kill-and-promote
+// benchmark run: ingest throughput before and after a shard primary is
+// killed mid-ingest, how long the promotion stalled the affected sites, and
+// the proof that the post-promotion merged sample still matches the
+// centralized reference exactly.
+type FailoverResult struct {
+	Shards       int     `json:"shards"`
+	Sites        int     `json:"sites"`
+	Replicas     int     `json:"replicas"`
+	SampleSize   int     `json:"sample_size"`
+	Codec        string  `json:"codec"`
+	Batch        int     `json:"batch"`
+	Window       int     `json:"window"`
+	Flood        bool    `json:"flood,omitempty"`
+	Elements     int     `json:"elements"`
+	SyncMillis   float64 `json:"sync_interval_ms"`
+	KilledShard  int     `json:"killed_shard"`
+	KilledMember int     `json:"killed_member"`
+	NewPrimary   int     `json:"new_primary"`
+	// PreKillOpsPerSec and PostKillOpsPerSec are the ingest throughput of the
+	// stream halves before and after the kill (the post-kill half absorbs the
+	// detection + promotion + replay stall).
+	PreKillOpsPerSec  float64 `json:"pre_kill_ops_per_sec"`
+	PostKillOpsPerSec float64 `json:"post_kill_ops_per_sec"`
+	// Failovers counts promotions across all site clients (every site
+	// connected to the killed shard performs one); FailoverStallSec is the
+	// largest single site's cumulative time inside failover.
+	Failovers        int     `json:"failovers"`
+	FailoverStallSec float64 `json:"failover_stall_sec"`
+	MergedSampleLen  int     `json:"merged_sample_len"`
+}
+
+// RunFailoverBench measures ingest throughput across a kill/promote event:
+// cfg.Sites clients ingest the first half of the stream into a cluster of
+// cfg.Shards replica groups (each 1 primary + replicas warm standbys), the
+// run quiesces (flush + forced state-sync, so replication is exactly caught
+// up), shard 0's primary is killed, and the second half is ingested through
+// the promotion. The merged sample over the surviving primaries must be
+// byte-identical to the centralized reference — a kill that loses state
+// fails the benchmark rather than reporting a number.
+func RunFailoverBench(cfg BenchConfig, replicas int, syncInterval time.Duration) (*FailoverResult, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("cluster: failover bench needs at least one replica")
+	}
+	hasher := hashing.NewMurmur2(cfg.Seed)
+	elements := dataset.Uniform(cfg.Elements, cfg.Distinct, cfg.Seed).Generate()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(cfg.Sites, cfg.Seed))
+	perSite := make([][]stream.Arrival, cfg.Sites)
+	for _, a := range arrivals {
+		perSite[a.Site] = append(perSite[a.Site], a)
+	}
+
+	srv, err := replica.Listen("127.0.0.1:0", cfg.Shards, replica.Options{
+		Replicas:     replicas,
+		SyncInterval: syncInterval,
+		Codec:        cfg.Codec,
+	}, func(int, int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(cfg.SampleSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	router := NewShardRouter(cfg.Shards, hasher)
+	opts := wire.Options{Codec: cfg.Codec, BatchSize: cfg.Batch, Window: cfg.Window}
+	clients := make([]*SiteClient, cfg.Sites)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	groups := srv.GroupAddrs()
+	for site := 0; site < cfg.Sites; site++ {
+		id := site
+		newSite := func(int) netsim.SiteNode { return core.NewInfiniteSite(id, hasher) }
+		if cfg.Flood {
+			newSite = func(int) netsim.SiteNode { return &floodSite{id: id, hasher: hasher} }
+		}
+		clients[site], err = DialGroups(groups, router, newSite, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ingestHalf replays arrivals[from:to) of every site concurrently and
+	// flushes, returning the wall-clock spent.
+	ingestHalf := func(half int) (time.Duration, error) {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Sites)
+		for site := 0; site < cfg.Sites; site++ {
+			wg.Add(1)
+			go func(site int) {
+				defer wg.Done()
+				mine := perSite[site]
+				from, to := 0, len(mine)/2
+				if half == 1 {
+					from, to = len(mine)/2, len(mine)
+				}
+				for _, a := range mine[from:to] {
+					if err := clients[site].Observe(a.Key, a.Slot); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- clients[site].Flush()
+			}(site)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	preDur, err := ingestHalf(0)
+	if err != nil {
+		return nil, err
+	}
+	// Quiesce: every offer is acknowledged, and one forced sync round makes
+	// every replica byte-identical to its primary. This bounds what the kill
+	// can lose to exactly nothing — everything after it is either replayed by
+	// the sites or ingested by the new primary directly.
+	if err := srv.SyncNow(); err != nil {
+		return nil, err
+	}
+	killed, err := srv.KillPrimary(0)
+	if err != nil {
+		return nil, err
+	}
+	postDur, err := ingestHalf(1)
+	if err != nil {
+		return nil, err
+	}
+	failovers := 0
+	maxStall := time.Duration(0)
+	for site, c := range clients {
+		clients[site] = nil
+		if err := c.Close(); err != nil {
+			return nil, err
+		}
+		n, stall := c.Failovers()
+		failovers += n
+		if stall > maxStall {
+			maxStall = stall
+		}
+	}
+
+	shardSamples, err := srv.PrimarySamples()
+	if err != nil {
+		return nil, err
+	}
+	merged := Merge(cfg.SampleSize, shardSamples...)
+	oracle := core.NewReference(cfg.SampleSize, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	if !oracle.SameSample(merged) {
+		return nil, fmt.Errorf("cluster: post-promotion merged sample diverged from the centralized reference (shards=%d replicas=%d codec=%s batch=%d window=%d)",
+			cfg.Shards, replicas, cfg.Codec, cfg.Batch, cfg.Window)
+	}
+
+	return &FailoverResult{
+		Shards:            cfg.Shards,
+		Sites:             cfg.Sites,
+		Replicas:          replicas,
+		SampleSize:        cfg.SampleSize,
+		Codec:             cfg.Codec.String(),
+		Batch:             cfg.Batch,
+		Window:            cfg.Window,
+		Flood:             cfg.Flood,
+		Elements:          len(arrivals),
+		SyncMillis:        float64(syncInterval) / float64(time.Millisecond),
+		KilledShard:       0,
+		KilledMember:      killed,
+		NewPrimary:        srv.PrimaryIndex(0),
+		PreKillOpsPerSec:  float64(len(arrivals)/2) / preDur.Seconds(),
+		PostKillOpsPerSec: float64(len(arrivals)-len(arrivals)/2) / postDur.Seconds(),
+		Failovers:         failovers,
+		FailoverStallSec:  maxStall.Seconds(),
+		MergedSampleLen:   len(merged),
 	}, nil
 }

@@ -223,6 +223,62 @@ func TestMergeSmallCases(t *testing.T) {
 	}
 }
 
+// TestMergeEdgeCases covers the merge paths replication leans on: empty
+// shard samples (a cold replica, an idle shard), duplicate entries across
+// shards (replicated state: same key, same hash), distinct keys colliding on
+// a hash, and a sample size exceeding the total distinct population.
+func TestMergeEdgeCases(t *testing.T) {
+	// Empty inputs in every position, including all-empty.
+	if got := Merge(4); got != nil {
+		t.Fatalf("merge of nothing = %+v, want nil", got)
+	}
+	if got := Merge(4, nil, nil); len(got) != 0 {
+		t.Fatalf("merge of empty shards = %+v, want empty", got)
+	}
+	a := []netsim.SampleEntry{{Key: "a", Hash: 0.1}, {Key: "b", Hash: 0.3}}
+	if got := Merge(4, nil, a, nil); len(got) != 2 || got[0].Key != "a" {
+		t.Fatalf("merge with empty shards interleaved = %+v", got)
+	}
+	if got := MergedThreshold(nil, 4); got != 1 {
+		t.Fatalf("threshold of an empty merge = %v, want 1", got)
+	}
+
+	// All-duplicate entries across shards (what replicated samples look
+	// like): the union dedupes by key, so R copies of one shard's sample
+	// merge to the sample itself.
+	if got := Merge(4, a, a, a); len(got) != 2 {
+		t.Fatalf("merging 3 replicas of one sample kept %d entries, want 2", len(got))
+	}
+
+	// Distinct keys with identical hashes (hash collision across shards):
+	// both survive, deterministically ordered by key.
+	coll := Merge(4,
+		[]netsim.SampleEntry{{Key: "x", Hash: 0.5}},
+		[]netsim.SampleEntry{{Key: "w", Hash: 0.5}},
+	)
+	if len(coll) != 2 || coll[0].Key != "w" || coll[1].Key != "x" {
+		t.Fatalf("hash-collision merge = %+v, want w then x", coll)
+	}
+
+	// Sample size larger than the total distinct population: the merge holds
+	// the whole population, and the threshold stays 1 (the sample *is* the
+	// population, so estimates are exact).
+	small := Merge(100, a, []netsim.SampleEntry{{Key: "c", Hash: 0.2}})
+	if len(small) != 3 {
+		t.Fatalf("undersized population merge = %+v", small)
+	}
+	if got := MergedThreshold(small, 100); got != 1 {
+		t.Fatalf("undersized population threshold = %v, want 1", got)
+	}
+	est, err := DistinctCount(100, a, []netsim.SampleEntry{{Key: "c", Hash: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Estimate != 3 {
+		t.Fatalf("undersized population estimate = %v, want exactly 3", est.Estimate)
+	}
+}
+
 // TestSlidingClusterWindowMinimum shards the sliding-window protocol: each
 // shard maintains the window minimum of its key slice; the merged sample
 // (sampleSize 1) must equal the global window minimum.

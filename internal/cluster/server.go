@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/wire"
@@ -105,68 +107,275 @@ func (s *Server) MergedSample(sampleSize int) []netsim.SampleEntry {
 	return Merge(sampleSize, s.ShardSamples()...)
 }
 
-// SiteClient connects one logical site to every shard coordinator: one
+// SiteClient connects one logical site to every shard of the cluster: one
 // protocol site instance and one TCP connection per shard, with arrivals
 // routed by the shared ShardRouter. Each shard sees a disjoint substream, so
 // each per-shard site instance keeps its own threshold exactly as the
 // single-coordinator protocol prescribes.
+//
+// When a shard is a replica group (DialGroups with more than one member
+// address), the client fails over: a connection error triggers a health
+// probe of the current primary, and if it is dead the client promotes the
+// next member in group order with an epoch equal to that member's index —
+// deterministic, so every site that observes the same failure promotes the
+// same member and they all converge without coordination. The protocol site
+// instance survives the reconnect (its threshold view and duplicate memo
+// carry over), and every offer the dead primary never acknowledged is
+// replayed to the new primary before ingest resumes. Offers are idempotent
+// refreshes of a bottom-s sketch, so replay can only restore lost state,
+// never corrupt it; what replay cannot restore is offers the dead primary
+// acknowledged after its last state-sync — the bounded resync window
+// documented in internal/replica.
 type SiteClient struct {
-	router  *ShardRouter
-	clients []*wire.SiteClient
+	router *ShardRouter
+	opts   wire.Options
+	shards []*shardConn
+
+	mu           sync.Mutex // guards the failover counters (fanOut goroutines)
+	failovers    int
+	failoverTime time.Duration
 }
 
-// DialSites connects a logical site to all shard coordinators. newSite
-// builds the per-shard protocol site (they must be independent instances
-// sharing the site id and hash function). opts applies to every connection.
+// shardConn is one shard's connection state. Only one goroutine touches a
+// given shardConn at a time (the caller, or its per-shard fanOut goroutine).
+type shardConn struct {
+	members []string // member addresses in promotion order
+	primary int      // index of the member currently believed primary
+	node    netsim.SiteNode
+	client  *wire.SiteClient
+	// retiredSent/retiredReceived carry the message counters of connections
+	// replaced by failover, so MessagesSent/MessagesReceived span the
+	// shard's whole history rather than just the current primary's.
+	retiredSent     int
+	retiredReceived int
+}
+
+// DialSites connects a logical site to all shard coordinators (one address
+// per shard, no replicas — failover disabled). newSite builds the per-shard
+// protocol site (independent instances sharing the site id and hash
+// function). opts applies to every connection.
 func DialSites(addrs []string, router *ShardRouter, newSite func(shard int) netsim.SiteNode, opts wire.Options) (*SiteClient, error) {
-	if len(addrs) == 0 {
+	groups := make([][]string, len(addrs))
+	for i, addr := range addrs {
+		groups[i] = []string{addr}
+	}
+	return DialGroups(groups, router, newSite, opts)
+}
+
+// DialGroups connects a logical site to a cluster of replica groups:
+// groups[shard] lists the shard's member addresses in promotion order
+// (primary first, as returned by replica.Server.GroupAddrs). The site
+// initially dials each group's current primary, determined by probing the
+// members' epochs.
+func DialGroups(groups [][]string, router *ShardRouter, newSite func(shard int) netsim.SiteNode, opts wire.Options) (*SiteClient, error) {
+	if len(groups) == 0 {
 		return nil, ErrNoShards
 	}
-	if len(addrs) != router.Shards() {
-		return nil, fmt.Errorf("cluster: %d shard addresses for a %d-shard router", len(addrs), router.Shards())
+	if len(groups) != router.Shards() {
+		return nil, fmt.Errorf("cluster: %d shard groups for a %d-shard router", len(groups), router.Shards())
 	}
-	c := &SiteClient{router: router}
-	for shard, addr := range addrs {
-		client, err := wire.DialSiteOptions(newSite(shard), addr, opts)
-		if err != nil {
+	c := &SiteClient{router: router, opts: opts}
+	for shard, members := range groups {
+		if len(members) == 0 {
 			_ = c.Close()
-			return nil, fmt.Errorf("cluster: dial shard %d: %w", shard, err)
+			return nil, fmt.Errorf("cluster: shard %d has no member addresses", shard)
 		}
-		c.clients = append(c.clients, client)
+		sc := &shardConn{members: members, node: newSite(shard)}
+		if len(members) > 1 {
+			sc.primary = currentPrimary(members, opts.Codec)
+		}
+		c.shards = append(c.shards, sc)
+		client, err := wire.DialSiteOptions(sc.node, members[sc.primary], opts)
+		if err == nil {
+			sc.client = client
+			continue
+		}
+		// The supposed primary may be dead before any established site has
+		// promoted its replica (e.g. a fresh site joining mid-outage): run
+		// the ordinary failover walk, which promotes the next live member
+		// and connects to it. There is no unacked state to replay yet.
+		if len(members) > 1 {
+			if ferr := c.failover(shard); ferr == nil {
+				continue
+			}
+		}
+		_ = c.Close()
+		return nil, fmt.Errorf("cluster: dial shard %d: %w", shard, err)
 	}
 	return c, nil
 }
 
-// Observe routes one element observation to its owning shard.
-func (c *SiteClient) Observe(key string, slot int64) error {
-	return c.clients[c.router.Shard(key)].Observe(key, slot)
+// currentPrimary probes a group's members for the current epoch and maps it
+// to the primary's member index (the promotion scheme numbers epochs by
+// member index). Falls back to member 0 when nothing answers — the dial that
+// follows will surface the real error.
+func currentPrimary(members []string, codec wire.Codec) int {
+	for _, addr := range members {
+		epoch, err := wire.ProbeEpoch(addr, codec)
+		if err != nil {
+			continue
+		}
+		if int(epoch) < len(members) {
+			return int(epoch)
+		}
+	}
+	return 0
 }
 
-// fanOut runs op on every shard connection concurrently and returns the
-// first error (tagged with its shard). Each wire.SiteClient is touched by
-// exactly one goroutine, so this respects the per-client single-caller
-// contract; the win is that per-shard flushes and window drains overlap
-// instead of paying one coordinator round trip per shard in sequence.
-func (c *SiteClient) fanOut(op func(*wire.SiteClient) error) error {
-	if len(c.clients) == 1 {
-		if c.clients[0] == nil {
+// do runs op against the shard's current primary, failing over and retrying
+// as long as recovery makes progress. Each successful failover advances the
+// shard's primary index, and a healthy-primary reconnect (a connection-level
+// reset, not a dead server) is attempted at most once per operation, so the
+// loop terminates.
+func (c *SiteClient) do(shard int, op func(*wire.SiteClient) error) error {
+	sc := c.shards[shard]
+	reconnected := false
+	for {
+		err := op(sc.client)
+		if err == nil {
 			return nil
 		}
-		return op(c.clients[0])
+		ferr := c.failover(shard)
+		if ferr == nil {
+			continue // promoted to a new primary; retry there
+		}
+		if errors.Is(ferr, errPrimaryHealthy) && !reconnected {
+			// The server is alive but our connection is not (idle timeout,
+			// reset): re-dial the same primary, replay the unacked window,
+			// and retry. A second failure against a healthy primary is a
+			// protocol error and surfaces.
+			if rerr := c.reconnect(shard); rerr == nil {
+				reconnected = true
+				continue
+			}
+		}
+		return fmt.Errorf("cluster: shard %d: %w (failover: %v)", shard, err, ferr)
 	}
-	errs := make([]error, len(c.clients))
+}
+
+// reconnect replaces the shard's connection to its current primary, carrying
+// the surviving site node and unacked window over, exactly like a failover
+// minus the promotion.
+func (c *SiteClient) reconnect(shard int) error {
+	sc := c.shards[shard]
+	var unacked []wire.BatchEntry
+	if sc.client != nil {
+		_ = sc.client.Close()
+		unacked = sc.client.Unacked()
+	}
+	client, err := wire.DialSiteOptions(sc.node, sc.members[sc.primary], c.opts)
+	if err != nil {
+		return err
+	}
+	if err := client.Replay(unacked); err != nil {
+		_ = client.Close()
+		return err
+	}
+	if sc.client != nil {
+		sc.retiredSent += sc.client.MessagesSent()
+		sc.retiredReceived += sc.client.MessagesReceived()
+	}
+	sc.client = client
+	return nil
+}
+
+// errPrimaryHealthy distinguishes "the primary is fine, your error was not a
+// liveness problem" from "no member could be promoted".
+var errPrimaryHealthy = errors.New("current primary is healthy; not a liveness failure")
+
+// failover health-checks the shard's current primary and, if it is dead,
+// promotes the next live member (epoch = member index), reconnects the
+// surviving site node to it, and replays the unacked window. A nil return
+// means a new primary is connected and the caller should retry.
+func (c *SiteClient) failover(shard int) error {
+	sc := c.shards[shard]
+	start := time.Now()
+	// Liveness check first: a protocol error from a healthy coordinator must
+	// surface (or trigger a plain reconnect, see do), not a promotion storm.
+	if _, err := wire.ProbeEpoch(sc.members[sc.primary], c.opts.Codec); err == nil {
+		return errPrimaryHealthy
+	}
+	if len(sc.members) < 2 {
+		return errors.New("no replicas configured")
+	}
+	// The old connection is dead; collect everything it could not prove was
+	// applied. Close first so a synchronous client's final flush attempt has
+	// stashed its pending buffer. (sc.client is nil when the *initial* dial
+	// failed — nothing to retire or replay then.)
+	var unacked []wire.BatchEntry
+	if sc.client != nil {
+		_ = sc.client.Close()
+		unacked = sc.client.Unacked()
+	}
+	var lastErr error = errors.New("no members past the dead primary")
+	for j := sc.primary + 1; j < len(sc.members); j++ {
+		if _, err := wire.PromoteAddr(sc.members[j], uint64(j), c.opts.Codec); err != nil {
+			lastErr = err
+			continue // dead too; keep walking
+		}
+		client, err := wire.DialSiteOptions(sc.node, sc.members[j], c.opts)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := client.Replay(unacked); err != nil {
+			_ = client.Close()
+			lastErr = err
+			continue
+		}
+		if sc.client != nil {
+			sc.retiredSent += sc.client.MessagesSent()
+			sc.retiredReceived += sc.client.MessagesReceived()
+		}
+		sc.primary, sc.client = j, client
+		c.mu.Lock()
+		c.failovers++
+		c.failoverTime += time.Since(start)
+		c.mu.Unlock()
+		return nil
+	}
+	return lastErr
+}
+
+// Failovers returns how many promotions this client has performed and the
+// total wall-clock time spent inside them (ingest stall attributable to
+// failover).
+func (c *SiteClient) Failovers() (int, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failovers, c.failoverTime
+}
+
+// Observe routes one element observation to its owning shard.
+func (c *SiteClient) Observe(key string, slot int64) error {
+	shard := c.router.Shard(key)
+	return c.do(shard, func(client *wire.SiteClient) error { return client.Observe(key, slot) })
+}
+
+// fanOut runs op on every shard connection concurrently (with per-shard
+// failover) and returns the first error, tagged with its shard. Each
+// shardConn is touched by exactly one goroutine, so this respects the
+// per-client single-caller contract; the win is that per-shard flushes and
+// window drains overlap instead of paying one coordinator round trip per
+// shard in sequence.
+func (c *SiteClient) fanOut(op func(*wire.SiteClient) error) error {
+	if len(c.shards) == 1 {
+		if c.shards[0].client == nil {
+			return nil
+		}
+		return c.do(0, op)
+	}
+	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
-	for shard, client := range c.clients {
-		if client == nil {
+	for shard, sc := range c.shards {
+		if sc.client == nil {
 			continue
 		}
 		wg.Add(1)
-		go func(shard int, client *wire.SiteClient) {
+		go func(shard int) {
 			defer wg.Done()
-			if err := op(client); err != nil {
-				errs[shard] = fmt.Errorf("cluster: shard %d: %w", shard, err)
-			}
-		}(shard, client)
+			errs[shard] = c.do(shard, op)
+		}(shard)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -192,25 +401,31 @@ func (c *SiteClient) Flush() error {
 
 // Close closes every shard connection concurrently (flushing batches and
 // draining pipeline windows first). Every connection is closed even when
-// some fail; the first error wins.
+// some fail; the first error wins. If a shard's primary dies at shutdown
+// with offers still unacknowledged, the per-shard failover inside fanOut
+// promotes a replica and replays them before closing, so a clean Close means
+// every offer reached a live coordinator.
 func (c *SiteClient) Close() error {
 	return c.fanOut((*wire.SiteClient).Close)
 }
 
-// MessagesSent returns the offers shipped across all shard connections.
+// MessagesSent returns the offers shipped across all shard connections,
+// including connections retired by failover (replayed offers count once per
+// transmission).
 func (c *SiteClient) MessagesSent() int {
 	total := 0
-	for _, client := range c.clients {
-		total += client.MessagesSent()
+	for _, sc := range c.shards {
+		total += sc.retiredSent + sc.client.MessagesSent()
 	}
 	return total
 }
 
-// MessagesReceived returns the replies received across all shard connections.
+// MessagesReceived returns the replies received across all shard
+// connections, including connections retired by failover.
 func (c *SiteClient) MessagesReceived() int {
 	total := 0
-	for _, client := range c.clients {
-		total += client.MessagesReceived()
+	for _, sc := range c.shards {
+		total += sc.retiredReceived + sc.client.MessagesReceived()
 	}
 	return total
 }
@@ -222,15 +437,31 @@ func Query(addrs []string, sampleSize int, codec wire.Codec) ([]netsim.SampleEnt
 	if len(addrs) == 0 {
 		return nil, ErrNoShards
 	}
-	samples := make([][]netsim.SampleEntry, len(addrs))
-	errs := make([]error, len(addrs))
-	var wg sync.WaitGroup
+	groups := make([][]string, len(addrs))
 	for i, addr := range addrs {
+		groups[i] = []string{addr}
+	}
+	return QueryGroups(groups, sampleSize, codec)
+}
+
+// QueryGroups is Query over replica groups: for each shard it locates the
+// current primary (by probing member epochs) and queries it, falling back to
+// a live replica — whose sample is at most one sync interval stale — if the
+// primary cannot be reached. The per-shard samples merge into the global
+// bottom-sampleSize sample exactly as in Query.
+func QueryGroups(groups [][]string, sampleSize int, codec wire.Codec) ([]netsim.SampleEntry, error) {
+	if len(groups) == 0 {
+		return nil, ErrNoShards
+	}
+	samples := make([][]netsim.SampleEntry, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, members := range groups {
 		wg.Add(1)
-		go func(i int, addr string) {
+		go func(i int, members []string) {
 			defer wg.Done()
-			samples[i], errs[i] = wire.QueryWith(addr, codec)
-		}(i, addr)
+			samples[i], errs[i] = queryGroup(members, codec)
+		}(i, members)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -239,4 +470,39 @@ func Query(addrs []string, sampleSize int, codec wire.Codec) ([]netsim.SampleEnt
 		}
 	}
 	return Merge(sampleSize, samples...), nil
+}
+
+// queryGroup returns one shard's sample, preferring the current primary.
+func queryGroup(members []string, codec wire.Codec) ([]netsim.SampleEntry, error) {
+	var lastErr error
+	for j, addr := range members {
+		epoch, err := wire.ProbeEpoch(addr, codec)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// The promotion scheme numbers epochs by member index, so the probed
+		// epoch names the primary.
+		target := j
+		if int(epoch) < len(members) {
+			target = int(epoch)
+		}
+		sample, err := wire.QueryWith(members[target], codec)
+		if err == nil {
+			return sample, nil
+		}
+		lastErr = err
+		if target != j {
+			// The supposed primary is unreachable (mid-failover gap): serve
+			// the probed member's own sample, stale by at most one sync
+			// interval, rather than failing the query.
+			if sample, err := wire.QueryWith(addr, codec); err == nil {
+				return sample, nil
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoShards
+	}
+	return nil, lastErr
 }

@@ -71,6 +71,20 @@ func (b *bottomSet) Offer(key string, hash float64) bool {
 	return true
 }
 
+// Restore replaces the set's contents with the given entries (at most
+// capacity survive; the smallest hashes win). It is the replication
+// primitive: a replica applying the primary's sample frame ends up with the
+// identical bottom-s state, and re-applying the same frame is a no-op.
+func (b *bottomSet) Restore(entries []netsim.SampleEntry) {
+	b.entries = b.entries[:0]
+	for k := range b.members {
+		delete(b.members, k)
+	}
+	for _, e := range entries {
+		b.Offer(e.Key, e.Hash)
+	}
+}
+
 // Entries returns a copy of the sample ordered by ascending hash.
 func (b *bottomSet) Entries() []netsim.SampleEntry {
 	return append([]netsim.SampleEntry(nil), b.entries...)

@@ -122,6 +122,17 @@ func (c *InfiniteCoordinator) OnMessage(msg netsim.Message, _ int64, out *netsim
 // OnSlotEnd implements netsim.CoordinatorNode (no time-driven behaviour).
 func (c *InfiniteCoordinator) OnSlotEnd(int64, *netsim.Outbox) {}
 
+// RestoreSample implements netsim.Restorable: it replaces the coordinator's
+// entire state with the given bottom-s sample. Because the sample *is* the
+// coordinator's whole state, a warm replica is brought fully up to date by
+// one such frame; the threshold u is re-derived from the restored set, so no
+// separate metadata needs to survive the transfer.
+func (c *InfiniteCoordinator) RestoreSample(entries []netsim.SampleEntry) {
+	c.sample.Restore(entries)
+}
+
+var _ netsim.Restorable = (*InfiniteCoordinator)(nil)
+
 // Sample implements netsim.CoordinatorNode: the current distinct sample,
 // ordered by ascending hash.
 func (c *InfiniteCoordinator) Sample() []netsim.SampleEntry { return c.sample.Entries() }

@@ -1,0 +1,426 @@
+// Package replica turns each cluster shard into a replica group: one primary
+// coordinator plus R warm replicas, kept up to date by state-sync frames and
+// promoted by epoch on failover.
+//
+// Replication here is almost free compared to a classic replicated log,
+// because of the same property that makes sharding exact: the coordinator's
+// entire state is a bottom-s sketch — a few dozen (key, hash) pairs. There
+// is no log to ship and no divergence to reconcile; the primary periodically
+// pushes one state-sync frame carrying its full sample (plus threshold and
+// slot metadata) over the ordinary internal/wire transport, and a replica
+// that applies it is byte-identical to the primary at capture time. A
+// replica joining cold catches up in exactly one frame.
+//
+// Roles are decided by epoch-numbered promotion. Every member starts at
+// epoch 0 with member 0 as primary; promoting member j means sending it a
+// promote frame with epoch j. Epochs ratchet monotonically (wire fences
+// state-syncs stamped with a lower epoch, so a deposed primary can never
+// overwrite a promoted replica), promotion is idempotent, and the
+// member-index-as-epoch convention makes it deterministic: every client that
+// observes the same primary failure walks the same member order and promotes
+// the same next member, with no coordination. The trade-off is bounded
+// staleness: offers the dead primary acknowledged after its last state-sync
+// are lost unless the sites replay them (see cluster.SiteClient, which
+// replays its unacked window on failover) — the window is at most one
+// SyncInterval of acknowledged-but-unsynced offers.
+package replica
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Options configures a replica-group cluster server.
+type Options struct {
+	// Replicas is R, the number of warm replicas per shard (0 disables
+	// replication; each shard is a bare primary).
+	Replicas int
+	// SyncInterval is how often each group's primary state is pushed to its
+	// replicas while ingest is active (syncs are skipped while the primary is
+	// idle). Defaults to DefaultSyncInterval.
+	SyncInterval time.Duration
+	// Codec is the wire codec used for state-sync connections.
+	Codec wire.Codec
+}
+
+// DefaultSyncInterval bounds replica staleness to well under a second while
+// keeping sync traffic negligible (one tiny frame per shard per interval).
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// member is one coordinator process of a replica group.
+type member struct {
+	srv  *wire.CoordinatorServer
+	addr string
+
+	mu     sync.Mutex
+	killed bool
+	sync   *wire.SyncClient // syncer's cached connection to this member
+}
+
+func (m *member) isKilled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.killed
+}
+
+// group is one shard's replica group plus its sync bookkeeping.
+type group struct {
+	shard   int
+	members []*member
+
+	mu         sync.Mutex // serializes sync rounds (ticker vs SyncNow)
+	seq        uint64     // monotone state-sync sequence number
+	lastOffers int        // primary offer count at the last push (change detection)
+	lastEpoch  uint64     // primary epoch at the last push
+	pushed     bool       // at least one push happened
+}
+
+// Server runs shards × (1 + R) coordinator servers in one process and keeps
+// every group's replicas warm. Shard c's members listen on consecutive
+// ports: with listen address host:port, member m of shard c binds
+// host:(port + c*(R+1) + m); port 0 gives every member an ephemeral port.
+type Server struct {
+	opts   Options
+	groups []*group
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Listen starts every group member and the per-group sync loops. newCoord
+// builds the protocol coordinator for (shard, member); instances must be
+// independent and the node must implement netsim.Restorable for replicas to
+// be able to apply state-syncs (core.InfiniteCoordinator does; the
+// sliding-window coordinator does not yet — its candidate store does not fit
+// in a sample frame).
+func Listen(addr string, shards int, opts Options, newCoord func(shard, member int) netsim.CoordinatorNode) (*Server, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("replica: need at least one shard")
+	}
+	if opts.Replicas < 0 {
+		opts.Replicas = 0
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bad listen address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bad listen port %q: %w", portStr, err)
+	}
+	s := &Server{opts: opts, stop: make(chan struct{})}
+	groupSize := opts.Replicas + 1
+	for c := 0; c < shards; c++ {
+		g := &group{shard: c}
+		// Register the group before binding its members so the error paths
+		// below close whatever part of it already listens.
+		s.groups = append(s.groups, g)
+		for m := 0; m < groupSize; m++ {
+			node := newCoord(c, m)
+			if _, ok := node.(netsim.Restorable); !ok && opts.Replicas > 0 {
+				_ = s.Close()
+				return nil, fmt.Errorf("replica: shard %d member %d: coordinator node is not restorable", c, m)
+			}
+			srv := wire.NewCoordinatorServer(node)
+			memberPort := 0
+			if port != 0 {
+				memberPort = port + c*groupSize + m
+			}
+			bound, err := srv.Listen(net.JoinHostPort(host, strconv.Itoa(memberPort)))
+			if err != nil {
+				_ = s.Close()
+				return nil, fmt.Errorf("replica: shard %d member %d: %w", c, m, err)
+			}
+			g.members = append(g.members, &member{srv: srv, addr: bound})
+		}
+	}
+	if opts.Replicas > 0 {
+		for _, g := range s.groups {
+			s.wg.Add(1)
+			go s.syncLoop(g)
+		}
+	}
+	return s, nil
+}
+
+// syncLoop pushes the group's primary state to its replicas every
+// SyncInterval while ingest is active.
+func (s *Server) syncLoop(g *group) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			_ = g.syncRound(s.opts.Codec, false)
+		}
+	}
+}
+
+// primary returns the group's current primary: the live member with the
+// highest epoch, preferring promoted members on ties (state-syncs propagate
+// the primary's epoch to its replicas, so epoch alone does not identify the
+// promoted member) and the lowest index after that. nil if every member has
+// been killed.
+func (g *group) primary() (int, *member) {
+	bestIdx, best := -1, (*member)(nil)
+	var bestEpoch uint64
+	bestPromoted := false
+	for i, m := range g.members {
+		if m.isKilled() {
+			continue
+		}
+		epoch, promoted := m.srv.Epoch(), m.srv.Promoted()
+		better := best == nil ||
+			epoch > bestEpoch ||
+			(epoch == bestEpoch && promoted && !bestPromoted)
+		if better {
+			bestIdx, best, bestEpoch, bestPromoted = i, m, epoch, promoted
+		}
+	}
+	return bestIdx, best
+}
+
+// syncRound captures the primary's state and pushes one state-sync frame to
+// every live replica. Unless force is set, the push is skipped while the
+// primary is idle (no new offers and no epoch change since the last push).
+// Errors pushing to individual replicas are returned joined but do not stop
+// the round — a dead replica must not block the others.
+func (g *group) syncRound(codec wire.Codec, force bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, p := g.primary()
+	if p == nil {
+		return fmt.Errorf("replica: shard %d: no live members", g.shard)
+	}
+	entries, u, slot, offers := p.srv.SyncState()
+	epoch := p.srv.Epoch()
+	if !force && g.pushed && offers == g.lastOffers && epoch == g.lastEpoch {
+		return nil
+	}
+	g.seq++
+	// Push to every replica concurrently: each member's sync connection is
+	// guarded by its own mutex, and a replica that is down without having
+	// been Kill()ed (external deployment, partition) must burn its dial
+	// timeout in parallel with — not ahead of — the healthy replicas' pushes.
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	for i, m := range g.members {
+		if m == p || m.isKilled() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			if err := g.push(m, codec, epoch, slot, u, entries); err != nil {
+				errs[i] = fmt.Errorf("replica: shard %d sync to %s: %w", g.shard, m.addr, err)
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Leave the change-detection state alone: a replica that missed
+			// this round must be retried by the next ticker round even if the
+			// primary goes idle, or its staleness would be unbounded instead
+			// of one sync interval. Re-pushing to the healthy replicas in the
+			// meantime is harmless — application is idempotent and the frame
+			// is tiny.
+			return err
+		}
+	}
+	g.lastOffers, g.lastEpoch, g.pushed = offers, epoch, true
+	return nil
+}
+
+// push ships one state-sync frame to a member over its cached sync
+// connection, dialing (or redialing once, if the cached connection has gone
+// stale) as needed.
+func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u float64, entries []netsim.SampleEntry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if m.sync == nil {
+			sc, err := wire.DialSync(m.addr, codec)
+			if err != nil {
+				return err
+			}
+			m.sync = sc
+		}
+		ackEpoch, err := m.sync.Sync(epoch, g.seq, slot, u, entries)
+		if err != nil {
+			m.sync.Close()
+			m.sync = nil
+			if attempt == 0 {
+				continue // stale connection; one redial
+			}
+			return err
+		}
+		if ackEpoch > epoch {
+			return fmt.Errorf("replica: fenced: replica %s is at epoch %d, sync was stamped %d", m.addr, ackEpoch, epoch)
+		}
+		return nil
+	}
+}
+
+// SyncNow forces one immediate sync round on every group, returning the
+// first error. Callers use it to quiesce replication: after SiteClient
+// flushes have drained and SyncNow returns, every live replica holds the
+// primary's exact current state.
+func (s *Server) SyncNow() error {
+	var firstErr error
+	for _, g := range s.groups {
+		if err := g.syncRound(s.opts.Codec, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Shards returns the number of shards (groups).
+func (s *Server) Shards() int { return len(s.groups) }
+
+// GroupSize returns 1 + R, the number of members per group.
+func (s *Server) GroupSize() int { return s.opts.Replicas + 1 }
+
+// GroupAddrs returns, per shard, the member addresses in promotion order
+// (member 0 first). This is the address set sites and query clients take.
+func (s *Server) GroupAddrs() [][]string {
+	out := make([][]string, len(s.groups))
+	for c, g := range s.groups {
+		addrs := make([]string, len(g.members))
+		for m, mem := range g.members {
+			addrs[m] = mem.addr
+		}
+		out[c] = addrs
+	}
+	return out
+}
+
+// PrimaryIndex returns the member index of the shard's current primary, or
+// -1 if every member is dead.
+func (s *Server) PrimaryIndex(shard int) int {
+	idx, _ := s.groups[shard].primary()
+	return idx
+}
+
+// Epochs returns the current epoch of every member of the shard.
+func (s *Server) Epochs(shard int) []uint64 {
+	g := s.groups[shard]
+	out := make([]uint64, len(g.members))
+	for i, m := range g.members {
+		out[i] = m.srv.Epoch()
+	}
+	return out
+}
+
+// PrimarySamples returns the current primary's sample for every shard,
+// indexed by shard — the inputs to cluster.Merge.
+func (s *Server) PrimarySamples() ([][]netsim.SampleEntry, error) {
+	out := make([][]netsim.SampleEntry, len(s.groups))
+	for c, g := range s.groups {
+		_, p := g.primary()
+		if p == nil {
+			return nil, fmt.Errorf("replica: shard %d: no live members", c)
+		}
+		out[c] = p.srv.Sample()
+	}
+	return out, nil
+}
+
+// MemberSample returns one member's current sample (for staleness checks).
+func (s *Server) MemberSample(shard, member int) []netsim.SampleEntry {
+	return s.groups[shard].members[member].srv.Sample()
+}
+
+// Stats returns cluster-wide totals of offers received, reply messages sent,
+// and queries answered, summed over every member (a replayed offer counts at
+// both the dead primary and its successor).
+func (s *Server) Stats() (offers, replies, queries int) {
+	for _, g := range s.groups {
+		for _, m := range g.members {
+			o, r, q := m.srv.Stats()
+			offers += o
+			replies += r
+			queries += q
+		}
+	}
+	return offers, replies, queries
+}
+
+// Kill simulates the crash of one member: its listener and every live
+// connection are force-closed (clients see read/write errors immediately)
+// and the syncer stops pushing to it. Killing is permanent for the lifetime
+// of the server.
+func (s *Server) Kill(shard, memberIdx int) error {
+	if shard < 0 || shard >= len(s.groups) {
+		return fmt.Errorf("replica: no shard %d", shard)
+	}
+	g := s.groups[shard]
+	if memberIdx < 0 || memberIdx >= len(g.members) {
+		return fmt.Errorf("replica: shard %d has no member %d", shard, memberIdx)
+	}
+	m := g.members[memberIdx]
+	m.mu.Lock()
+	if m.killed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.killed = true
+	if m.sync != nil {
+		m.sync.Close()
+		m.sync = nil
+	}
+	m.mu.Unlock()
+	return m.srv.Close()
+}
+
+// KillPrimary kills the shard's current primary and returns its member
+// index (-1 if the group was already fully dead).
+func (s *Server) KillPrimary(shard int) (int, error) {
+	idx, _ := s.groups[shard].primary()
+	if idx < 0 {
+		return -1, fmt.Errorf("replica: shard %d: no live members", shard)
+	}
+	return idx, s.Kill(shard, idx)
+}
+
+// Close stops the sync loops and every member server.
+func (s *Server) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+	var firstErr error
+	for _, g := range s.groups {
+		for _, m := range g.members {
+			m.mu.Lock()
+			if m.sync != nil {
+				m.sync.Close()
+				m.sync = nil
+			}
+			killed := m.killed
+			m.killed = true
+			m.mu.Unlock()
+			if killed {
+				continue
+			}
+			if err := m.srv.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

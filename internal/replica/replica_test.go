@@ -1,0 +1,166 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// newGroupServer starts one shard with R replicas and a sync loop slow
+// enough that tests control every push via SyncNow.
+func newGroupServer(t *testing.T, shards, replicas, sampleSize int) *Server {
+	t.Helper()
+	srv, err := Listen("127.0.0.1:0", shards, Options{
+		Replicas:     replicas,
+		SyncInterval: time.Hour, // ticker effectively off; tests call SyncNow
+		Codec:        wire.CodecBinary,
+	}, func(int, int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(sampleSize)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// mustJSON marshals a sample for byte-identity comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestReplicaCatchesUpInOneFrame is the package's core claim: after any
+// amount of primary ingest, a single sync round makes every replica's sample
+// byte-identical to the primary's — replicas rebuild from one sketch frame,
+// not from a log.
+func TestReplicaCatchesUpInOneFrame(t *testing.T) {
+	const s = 16
+	srv := newGroupServer(t, 1, 2, s)
+	hasher := hashing.NewMurmur2(5)
+
+	// Ingest a few thousand keys into the primary only.
+	site := core.NewInfiniteSite(0, hasher)
+	client, err := wire.DialSiteOptions(site, srv.GroupAddrs()[0][0], wire.Options{Codec: wire.CodecBinary, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := client.Observe(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := mustJSON(t, srv.MemberSample(0, 0))
+	if len(srv.MemberSample(0, 1)) != 0 || len(srv.MemberSample(0, 2)) != 0 {
+		t.Fatal("replicas have state before any sync")
+	}
+	if err := srv.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	for m := 1; m <= 2; m++ {
+		if got := mustJSON(t, srv.MemberSample(0, m)); !bytes.Equal(got, want) {
+			t.Fatalf("replica %d differs from primary after one sync:\n got: %s\nwant: %s", m, got, want)
+		}
+	}
+}
+
+// TestSyncSkipsIdlePrimary checks the change-detection: ticker-driven rounds
+// push nothing while the primary is idle (SyncNow always pushes).
+func TestSyncSkipsIdlePrimary(t *testing.T) {
+	srv := newGroupServer(t, 1, 1, 8)
+	g := srv.groups[0]
+	if err := g.syncRound(wire.CodecBinary, false); err != nil {
+		t.Fatal(err)
+	}
+	seqAfterFirst := g.seq
+	// No ingest happened: further unforced rounds are skipped.
+	for i := 0; i < 3; i++ {
+		if err := g.syncRound(wire.CodecBinary, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.seq != seqAfterFirst {
+		t.Fatalf("idle rounds pushed syncs: seq went %d -> %d", seqAfterFirst, g.seq)
+	}
+	if err := srv.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if g.seq == seqAfterFirst {
+		t.Fatal("SyncNow did not force a push")
+	}
+}
+
+// TestKillAndPromote walks a full failover at the group level: kill the
+// primary, promote the next member the way a failing-over site would, and
+// check that the group reports the new primary and keeps syncing from it.
+func TestKillAndPromote(t *testing.T) {
+	srv := newGroupServer(t, 1, 2, 8)
+	addrs := srv.GroupAddrs()[0]
+
+	// Seed the primary with a little state and replicate it.
+	sc, err := wire.DialSync(addrs[0], wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if srv.PrimaryIndex(0) != 0 {
+		t.Fatalf("initial primary = %d, want 0", srv.PrimaryIndex(0))
+	}
+
+	killed, err := srv.KillPrimary(0)
+	if err != nil || killed != 0 {
+		t.Fatalf("KillPrimary = (%d, %v)", killed, err)
+	}
+	// A dead member is dead: probes fail.
+	if _, err := wire.ProbeEpoch(addrs[0], wire.CodecBinary); err == nil {
+		t.Fatal("probe of the killed primary should fail")
+	}
+	// Deterministic promotion: next member, epoch = its index.
+	if epoch, err := wire.PromoteAddr(addrs[1], 1, wire.CodecBinary); err != nil || epoch != 1 {
+		t.Fatalf("promote member 1 = (%d, %v)", epoch, err)
+	}
+	if got := srv.PrimaryIndex(0); got != 1 {
+		t.Fatalf("primary after promotion = %d, want 1", got)
+	}
+	// The sync loop now pushes from member 1 to member 2 (member 0 is dead
+	// and skipped).
+	if err := srv.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := srv.Epochs(0), []uint64{0, 1, 1}; len(got) != 3 || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("epochs after promoted sync = %v, want member 1 and 2 at epoch 1", got)
+	}
+	// Promotion is idempotent: a second site promoting the same member is a
+	// no-op, and the primary does not flap.
+	if epoch, err := wire.PromoteAddr(addrs[1], 1, wire.CodecBinary); err != nil || epoch != 1 {
+		t.Fatalf("re-promote member 1 = (%d, %v)", epoch, err)
+	}
+	if got := srv.PrimaryIndex(0); got != 1 {
+		t.Fatalf("primary flapped to %d after idempotent re-promotion", got)
+	}
+}
+
+// TestListenRejectsNonRestorable checks that replica groups refuse
+// coordinator nodes that cannot apply a state-sync.
+func TestListenRejectsNonRestorable(t *testing.T) {
+	_, err := Listen("127.0.0.1:0", 1, Options{Replicas: 1}, func(int, int) netsim.CoordinatorNode {
+		return core.NewBroadcastCoordinator(1)
+	})
+	if err == nil {
+		t.Fatal("Listen should reject non-restorable coordinators when replicas are enabled")
+	}
+}

@@ -62,24 +62,34 @@ var binMagic = [4]byte{'D', 'D', 'S', '2'}
 const maxFrameSize = 16 << 20
 
 // Binary frame type codes (the binary counterpart of the Frame* strings).
+// Codes 0x08–0x0a are the replication frames added after DDS2 shipped;
+// adding codes is layout-compatible (existing frames encode unchanged, and a
+// peer that predates a code rejects it cleanly as unknown), so the preamble
+// digit only moves when an existing frame's layout changes.
 const (
-	binHello   = 0x01
-	binOffer   = 0x02
-	binReplies = 0x03
-	binQuery   = 0x04
-	binSample  = 0x05
-	binError   = 0x06
-	binBatch   = 0x07
+	binHello     = 0x01
+	binOffer     = 0x02
+	binReplies   = 0x03
+	binQuery     = 0x04
+	binSample    = 0x05
+	binError     = 0x06
+	binBatch     = 0x07
+	binStateSync = 0x08
+	binStateAck  = 0x09
+	binPromote   = 0x0a
 )
 
 var binToName = map[byte]string{
-	binHello:   FrameHello,
-	binOffer:   FrameOffer,
-	binReplies: FrameReplies,
-	binQuery:   FrameQuery,
-	binSample:  FrameSample,
-	binError:   FrameError,
-	binBatch:   FrameBatch,
+	binHello:     FrameHello,
+	binOffer:     FrameOffer,
+	binReplies:   FrameReplies,
+	binQuery:     FrameQuery,
+	binSample:    FrameSample,
+	binError:     FrameError,
+	binBatch:     FrameBatch,
+	binStateSync: FrameStateSync,
+	binStateAck:  FrameStateAck,
+	binPromote:   FramePromote,
 }
 
 // Minimum encoded sizes, used to reject implausible element counts before
@@ -93,13 +103,16 @@ const (
 )
 
 var nameToBin = map[string]byte{
-	FrameHello:   binHello,
-	FrameOffer:   binOffer,
-	FrameReplies: binReplies,
-	FrameQuery:   binQuery,
-	FrameSample:  binSample,
-	FrameError:   binError,
-	FrameBatch:   binBatch,
+	FrameHello:     binHello,
+	FrameOffer:     binOffer,
+	FrameReplies:   binReplies,
+	FrameQuery:     binQuery,
+	FrameSample:    binSample,
+	FrameError:     binError,
+	FrameBatch:     binBatch,
+	FrameStateSync: binStateSync,
+	FrameStateAck:  binStateAck,
+	FramePromote:   binPromote,
 }
 
 // frameConn reads and writes protocol frames in one concrete codec. A
@@ -207,6 +220,22 @@ func (c *binConn) WriteFrame(f *Frame) error {
 			buf = binary.AppendVarint(buf, e.Slot)
 			buf = appendMessage(buf, e.Msg)
 		}
+	case binStateSync:
+		buf = binary.AppendUvarint(buf, f.Epoch)
+		buf = binary.AppendUvarint(buf, f.Seq)
+		buf = binary.AppendVarint(buf, f.Slot)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.U))
+		buf = binary.AppendUvarint(buf, uint64(len(f.Entries)))
+		for _, e := range f.Entries {
+			buf = appendString(buf, e.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Hash))
+			buf = binary.AppendVarint(buf, e.Expiry)
+		}
+	case binStateAck:
+		buf = binary.AppendUvarint(buf, f.Epoch)
+		buf = binary.AppendUvarint(buf, f.Seq)
+	case binPromote:
+		buf = binary.AppendUvarint(buf, f.Epoch)
 	}
 	c.wbuf = buf
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
@@ -289,6 +318,28 @@ func (c *binConn) ReadFrame(f *Frame) error {
 			e.Msg = d.message()
 			f.Batch = append(f.Batch, e)
 		}
+	case binStateSync:
+		f.Epoch = d.uvarint()
+		f.Seq = d.uvarint()
+		f.Slot = d.varint()
+		f.U = d.float()
+		count := d.uvarint()
+		if err := d.checkCount(count, minSampleEntryBytes); err != nil {
+			return err
+		}
+		if count > 0 {
+			f.Entries = entries
+		}
+		for i := uint64(0); i < count && d.err == nil; i++ {
+			e := netsim.SampleEntry{Key: d.string(), Hash: d.float()}
+			e.Expiry = d.varint()
+			f.Entries = append(f.Entries, e)
+		}
+	case binStateAck:
+		f.Epoch = d.uvarint()
+		f.Seq = d.uvarint()
+	case binPromote:
+		f.Epoch = d.uvarint()
 	}
 	return d.err
 }

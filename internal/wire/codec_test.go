@@ -49,6 +49,14 @@ func TestBinaryCodecRoundTrip(t *testing.T) {
 			{Slot: 2, Msg: netsim.Message{Kind: netsim.KindWindowOffer, Key: "y", Hash: 0.25, Expiry: 11}},
 		}},
 		{Type: FrameReplies}, // empty replies round-trip too
+		// Replication frames: full metadata, and the empty-sample edge.
+		{Type: FrameStateSync, Epoch: 3, Seq: 99, Slot: -7, U: 0.0625, Entries: []netsim.SampleEntry{
+			{Key: "r1", Hash: 0.03, Expiry: 5},
+			{Key: "r2", Hash: 0.0625},
+		}},
+		{Type: FrameStateSync, U: 1},
+		{Type: FrameStateAck, Epoch: 2, Seq: 17},
+		{Type: FramePromote, Epoch: 4},
 	}
 	client, server, cleanup := pipeBin(t)
 	defer cleanup()

@@ -35,7 +35,15 @@ type pipeline struct {
 	err     error      // sticky failure; set once, ends the pipeline
 	done    chan struct{}
 
-	batchScratch []BatchEntry // writer-owned chunk buffer, reused per frame
+	// unacked retains a copy of every shipped-but-unacknowledged batch,
+	// FIFO and parallel to slots. On a cumulative ack the acked prefix is
+	// recycled through free (so the steady-state hot path still allocates
+	// nothing once warm — at most Window buffers circulate); on a connection
+	// failure the retained batches are exactly the offers whose application
+	// the client cannot prove, and SiteClient.Unacked hands them to the
+	// failover path for replay against a promoted replica.
+	unacked [][]BatchEntry
+	free    [][]BatchEntry
 
 	// wireDirty marks batch frames written but not yet flushed to the
 	// socket. Owned by the writer goroutine. Keeping frames buffered while
@@ -174,15 +182,23 @@ func (c *SiteClient) ship(all bool) error {
 		if n > batchSize {
 			n = batchSize
 		}
-		// Copy the chunk out and compact pending so the reader can keep
-		// appending reply-generated offers while the frame is on the wire.
-		batch := append(c.pipe.batchScratch[:0], c.pending[:n]...)
-		c.pipe.batchScratch = batch
+		// Copy the chunk out (into a recycled buffer when one is free) and
+		// compact pending so the reader can keep appending reply-generated
+		// offers while the frame is on the wire. The copy is retained in
+		// inflight until its ack arrives — it is both the frame's payload
+		// and the failover replay record.
+		var buf []BatchEntry
+		if k := len(c.pipe.free); k > 0 {
+			buf = c.pipe.free[k-1]
+			c.pipe.free = c.pipe.free[:k-1]
+		}
+		batch := append(buf[:0], c.pending[:n]...)
 		rest := copy(c.pending, c.pending[n:])
 		c.pending = c.pending[:rest]
 		seq := c.pipe.sendSeq
 		c.pipe.sendSeq++
 		c.pipe.slots = append(c.pipe.slots, batch[len(batch)-1].Slot)
+		c.pipe.unacked = append(c.pipe.unacked, batch)
 		c.sent += len(batch)
 		c.mu.Unlock()
 
@@ -257,6 +273,13 @@ func (c *SiteClient) readLoop() {
 			slot := c.pipe.slots[acked-1]
 			rest := copy(c.pipe.slots, c.pipe.slots[acked:])
 			c.pipe.slots = c.pipe.slots[:rest]
+			// The acked batches are confirmed applied: recycle their replay
+			// buffers for the writer.
+			for i := 0; i < acked; i++ {
+				c.pipe.free = append(c.pipe.free, c.pipe.unacked[i][:0])
+			}
+			rest = copy(c.pipe.unacked, c.pipe.unacked[acked:])
+			c.pipe.unacked = c.pipe.unacked[:rest]
 			c.received += len(f.Msgs)
 			ok := true
 			for _, reply := range f.Msgs {

@@ -235,8 +235,11 @@ func (g *gatedCoordinator) OnMessage(msg netsim.Message, slot int64, out *netsim
 }
 
 // TestPipelinedBackpressure checks the credit window's memory bound: with a
-// stalled coordinator, the writer ships at most Window batches and then
-// blocks instead of buffering the whole stream.
+// stalled coordinator, the writer ships exactly Window batches and then
+// blocks instead of buffering the whole stream. It runs over the in-memory
+// frameConn backend, which removes TCP sockets and kernel-buffer timing from
+// the picture: the writer must reach exactly window*batchSize shipped offers
+// (polled, not slept for) and must not move past it.
 func TestPipelinedBackpressure(t *testing.T) {
 	const (
 		window    = 2
@@ -245,11 +248,12 @@ func TestPipelinedBackpressure(t *testing.T) {
 	)
 	gate := make(chan struct{})
 	coord := &gatedCoordinator{CoordinatorNode: core.NewInfiniteCoordinator(16), gate: gate}
-	_, addr := startServer(t, coord)
+	srv := NewCoordinatorServer(coord)
+	t.Cleanup(func() { _ = srv.Close() })
 
 	hasher := hashing.NewMurmur2(11)
-	client, err := DialSiteOptions(&floodSite{id: 0, hasher: hasher}, addr,
-		Options{Codec: CodecBinary, BatchSize: batchSize, Window: window})
+	client, err := DialSiteMem(&floodSite{id: 0, hasher: hasher}, srv,
+		Options{BatchSize: batchSize, Window: window})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,15 +269,24 @@ func TestPipelinedBackpressure(t *testing.T) {
 		done <- client.Flush()
 	}()
 
-	// Give the writer ample time to run away if backpressure were broken.
-	time.Sleep(200 * time.Millisecond)
+	// The writer must ship exactly a full window and then stall. Poll until
+	// it gets there (deterministic: it cannot stop short of the window with
+	// the stream this long), then hold a moment to catch any overrun.
+	deadline := time.Now().Add(5 * time.Second)
+	for client.MessagesSent() != window*batchSize {
+		if time.Now().After(deadline) {
+			t.Fatalf("writer stalled at %d offers; want a full window of %d", client.MessagesSent(), window*batchSize)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
 	select {
 	case err := <-done:
 		t.Fatalf("ingest finished against a stalled coordinator (err=%v); the window did not block", err)
 	default:
 	}
-	if sent := client.MessagesSent(); sent > window*batchSize {
-		t.Fatalf("writer shipped %d offers against a stalled coordinator; window allows at most %d",
+	if sent := client.MessagesSent(); sent != window*batchSize {
+		t.Fatalf("writer shipped %d offers against a stalled coordinator; the window allows exactly %d",
 			sent, window*batchSize)
 	}
 

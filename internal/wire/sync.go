@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// syncDialTimeout bounds replication and failover dials. Health probes must
+// fail fast: a site stalled on a dead replica's dial is a site not ingesting.
+const syncDialTimeout = 3 * time.Second
+
+// SyncClient speaks the replication half of the protocol to one coordinator
+// server: state-sync pushes (primary → replica) and promote/probe exchanges
+// (failover clients → replica). One SyncClient is used by one goroutine at a
+// time.
+type SyncClient struct {
+	conn   io.Closer
+	fc     frameConn
+	rframe Frame
+}
+
+// DialSync connects to the coordinator at addr for replication traffic.
+func DialSync(addr string, codec Codec) (*SyncClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, syncDialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial sync: %w", err)
+	}
+	fc, err := clientConn(conn, codec)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &SyncClient{conn: conn, fc: fc}, nil
+}
+
+// NewMemSync connects a SyncClient to an in-process coordinator server over
+// an in-memory frame pipe (see MemConn).
+func NewMemSync(srv *CoordinatorServer) *SyncClient {
+	fc := srv.ServeMem()
+	return &SyncClient{conn: fc, fc: fc}
+}
+
+// Close closes the underlying connection.
+func (c *SyncClient) Close() error { return c.conn.Close() }
+
+// roundTrip writes one frame and reads the state-ack answering it.
+func (c *SyncClient) roundTrip(f *Frame) (ackEpoch, ackSeq uint64, err error) {
+	if err := writeFlush(c.fc, f); err != nil {
+		return 0, 0, fmt.Errorf("wire: send %s: %w", f.Type, err)
+	}
+	if err := c.fc.ReadFrame(&c.rframe); err != nil {
+		return 0, 0, fmt.Errorf("wire: read state-ack: %w", err)
+	}
+	switch c.rframe.Type {
+	case FrameStateAck:
+		return c.rframe.Epoch, c.rframe.Seq, nil
+	case FrameError:
+		return 0, 0, errors.New("wire: coordinator error: " + c.rframe.Error)
+	default:
+		return 0, 0, errors.New("wire: unexpected frame " + c.rframe.Type)
+	}
+}
+
+// Sync pushes the primary's full sample — with its epoch, a per-epoch
+// sequence number, and the slot/threshold metadata — and returns the
+// replica's resulting epoch. ackEpoch > epoch means the replica has been
+// promoted past the sender: the sender is a deposed primary and the frame
+// was fenced off, not applied.
+func (c *SyncClient) Sync(epoch, seq uint64, slot int64, u float64, entries []netsim.SampleEntry) (ackEpoch uint64, err error) {
+	ackEpoch, _, err = c.roundTrip(&Frame{Type: FrameStateSync, Epoch: epoch, Seq: seq, Slot: slot, U: u, Entries: entries})
+	return ackEpoch, err
+}
+
+// Promote asks the server to assume the given epoch (idempotent: epochs only
+// ever ratchet up) and returns its resulting epoch. Promote(0) never changes
+// anything and doubles as the health/epoch probe.
+func (c *SyncClient) Promote(epoch uint64) (ackEpoch uint64, err error) {
+	ackEpoch, _, err = c.roundTrip(&Frame{Type: FramePromote, Epoch: epoch})
+	return ackEpoch, err
+}
+
+// PromoteAddr dials addr, sends one promote frame for the given epoch, and
+// returns the server's resulting epoch.
+func PromoteAddr(addr string, epoch uint64, codec Codec) (uint64, error) {
+	c, err := DialSync(addr, codec)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	return c.Promote(epoch)
+}
+
+// ProbeEpoch health-checks the server at addr and returns its current epoch
+// without changing anything.
+func ProbeEpoch(addr string, codec Codec) (uint64, error) {
+	return PromoteAddr(addr, 0, codec)
+}

@@ -40,12 +40,20 @@
 // frames come back (cumulative acks), and a dedicated reader goroutine per
 // connection applies replies as they arrive. See Options.Window and the
 // README's pipelined-ingest section.
+//
+// Replication rides the same transport: a primary coordinator pushes its
+// full bottom-s sample to warm replicas as "state-sync" frames (answered by
+// "state-ack"), and failing-over clients send "promote" frames carrying a
+// monotone epoch number. Both are handled by any CoordinatorServer whose
+// node implements netsim.Restorable; see internal/replica for the group
+// manager and the README's replication section for the protocol.
 package wire
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -69,7 +77,18 @@ type Frame struct {
 	// on the covering replies frame, so a site streaming several batches
 	// without waiting can match replies to batches and detect reordering.
 	// Synchronous clients leave it zero.
-	Seq     uint64               `json:"seq,omitempty"`
+	Seq uint64 `json:"seq,omitempty"`
+	// Epoch is the replication fencing number. Promote frames carry the epoch
+	// the sender wants the receiver to assume; state-sync frames are stamped
+	// with the sending primary's epoch and are rejected by replicas that have
+	// been promoted past it; state-ack frames echo the receiver's current
+	// epoch so a stale primary (or a probing client) learns the group moved on.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// U is the threshold metadata of a state-sync frame: the primary's
+	// current threshold at the moment the sample was captured. The receiver
+	// re-derives its threshold from the restored sample, so U is carried for
+	// observability and cross-checking, not correctness.
+	U       float64              `json:"u,omitempty"`
 	Msg     *netsim.Message      `json:"msg,omitempty"`
 	Msgs    []netsim.Message     `json:"msgs,omitempty"`
 	Batch   []BatchEntry         `json:"batch,omitempty"`
@@ -86,6 +105,10 @@ const (
 	FrameQuery   = "query"   // client -> coordinator: request the sample
 	FrameSample  = "sample"  // coordinator -> client: the current sample
 	FrameError   = "error"   // coordinator -> client: protocol violation
+	// Replication frames (see internal/replica).
+	FrameStateSync = "state-sync" // primary -> replica: full sample + epoch/seq/slot metadata
+	FrameStateAck  = "state-ack"  // replica -> primary/prober: applied (or current) epoch and sync seq
+	FramePromote   = "promote"    // client -> replica: assume this epoch (become primary)
 )
 
 // CoordinatorServer exposes a coordinator node over TCP.
@@ -94,16 +117,30 @@ type CoordinatorServer struct {
 	node  netsim.CoordinatorNode
 	ln    net.Listener
 	wg    sync.WaitGroup
+	conns map[io.Closer]struct{} // live connections, force-closed on Close
 	stats struct {
 		offers  int
 		replies int
 		queries int
 	}
+	// Replication state: the highest epoch this server has been promoted to
+	// (or received a state-sync at), and the sequence number of the last
+	// applied state-sync within that epoch. State-sync frames from lower
+	// epochs are fenced off — a deposed primary cannot overwrite a promoted
+	// replica — and lower sequence numbers within the epoch are ignored, so
+	// re-deliveries and reordering are harmless (application is idempotent
+	// anyway: every frame carries the full sample).
+	epoch    uint64
+	syncSeq  uint64
+	synced   bool  // at least one state-sync applied in the current epoch
+	promoted bool  // a promote frame has been accepted (role visibility)
+	lastSlot int64 // highest slot seen across offers (state-sync slot metadata)
+	closing  bool  // Close has begun; reject freshly accepted connections
 }
 
 // NewCoordinatorServer wraps the given coordinator node.
 func NewCoordinatorServer(node netsim.CoordinatorNode) *CoordinatorServer {
-	return &CoordinatorServer{node: node}
+	return &CoordinatorServer{node: node, conns: make(map[io.Closer]struct{})}
 }
 
 // Listen starts accepting site connections on addr (e.g. "127.0.0.1:0").
@@ -120,14 +157,59 @@ func (s *CoordinatorServer) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for connection handlers to finish.
+// Close stops the listener, force-closes every live connection, and waits
+// for connection handlers to finish. Force-closing matters for failover:
+// killing a primary must surface promptly as read/write errors on its
+// clients, not wait for them to speak first.
 func (s *CoordinatorServer) Close() error {
-	if s.ln == nil {
-		return nil
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
 	}
-	err := s.ln.Close()
+	s.mu.Lock()
+	s.closing = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// Epoch returns the server's current replication epoch (the highest promote
+// or state-sync epoch it has accepted).
+func (s *CoordinatorServer) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Promoted reports whether this server has accepted a promote frame.
+func (s *CoordinatorServer) Promoted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.promoted
+}
+
+// track registers a live connection so Close can force it shut. It returns
+// false when the server is already closing — a connection accepted in the
+// race window between the listener closing and the force-close pass must be
+// dropped, or a "killed" server would keep serving it (and Close would wait
+// on it forever).
+func (s *CoordinatorServer) track(conn io.Closer) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *CoordinatorServer) untrack(conn io.Closer) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 // Stats returns the number of offers received, reply messages sent, and
@@ -143,6 +225,28 @@ func (s *CoordinatorServer) Sample() []netsim.SampleEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.node.Sample()
+}
+
+// Thresholder is implemented by coordinator nodes that expose their current
+// threshold u (core.InfiniteCoordinator does); SyncState uses it to fill a
+// state-sync frame's threshold metadata.
+type Thresholder interface {
+	Threshold() float64
+}
+
+// SyncState atomically captures everything a state-sync frame carries: the
+// node's full sample, its threshold (1 if the node does not expose one), the
+// highest slot seen in ingest, and the count of offers dispatched so far.
+// The offer count lets a replication syncer skip pushing frames while the
+// primary is idle.
+func (s *CoordinatorServer) SyncState() (entries []netsim.SampleEntry, u float64, slot int64, offers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u = 1
+	if t, ok := s.node.(Thresholder); ok {
+		u = t.Threshold()
+	}
+	return s.node.Sample(), u, s.lastSlot, s.stats.offers
 }
 
 func (s *CoordinatorServer) acceptLoop() {
@@ -169,8 +273,25 @@ func writeFlush(fc frameConn, f *Frame) error {
 	return fc.Flush()
 }
 
-// handle serves one site (or query client) connection in whichever codec the
-// client chose.
+// handle serves one site (or query client) TCP connection in whichever codec
+// the client chose.
+func (s *CoordinatorServer) handle(conn net.Conn) {
+	if !s.track(conn) {
+		conn.Close() // raced the server's Close; a dead server serves no one
+		return
+	}
+	defer s.untrack(conn)
+	defer conn.Close()
+	fc, err := sniffServerConn(conn)
+	if err != nil {
+		return // unreadable preamble; drop the connection
+	}
+	s.serve(fc, conn)
+}
+
+// serve runs the dispatch loop of one connection over any frameConn backend
+// (TCP or in-memory). closeConn force-closes the underlying transport, which
+// must unblock a pending ReadFrame.
 //
 // Each connection runs two goroutines: a read pump that decodes frames and a
 // dispatch loop (this function) that runs the coordinator and writes
@@ -179,12 +300,7 @@ func writeFlush(fc frameConn, f *Frame) error {
 // the coordinator's work and cap ingest. A small fixed ring of Frame buffers
 // circulates between the two goroutines, preserving order and reusing
 // decoded slice capacity.
-func (s *CoordinatorServer) handle(conn net.Conn) {
-	defer conn.Close()
-	fc, err := sniffServerConn(conn)
-	if err != nil {
-		return // unreadable preamble; drop the connection
-	}
+func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 	siteID := -1
 
 	const frameRing = 3
@@ -217,7 +333,7 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 	}()
 	defer func() {
 		close(done)
-		conn.Close() // unblocks a read pump stuck in ReadFrame
+		closeConn.Close() // unblocks a read pump stuck in ReadFrame
 		<-readerDone
 	}()
 
@@ -225,6 +341,7 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 	// loop performs no per-frame allocations beyond decoded keys: one write
 	// frame, one reply accumulator, one coordinator outbox.
 	var (
+		err     error
 		resp    Frame
 		replies []netsim.Message
 		out     netsim.Outbox
@@ -332,6 +449,53 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 			if err := writeFlush(fc, &resp); err != nil {
 				return
 			}
+		case FrameStateSync:
+			// A primary is pushing its full sample. Fencing first: a frame
+			// stamped with an epoch below ours comes from a deposed primary
+			// and must not overwrite promoted state; the ack's epoch tells it
+			// so. Within the current epoch, only sequence numbers at or above
+			// the last applied one are applied (re-application is idempotent —
+			// the frame carries the whole sample — but an old frame must not
+			// roll a newer sample back).
+			rn, ok := s.node.(netsim.Restorable)
+			if !ok {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-sync: coordinator node is not restorable"})
+				return
+			}
+			s.mu.Lock()
+			if f.Epoch > s.epoch {
+				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
+			}
+			if f.Epoch == s.epoch && (!s.synced || f.Seq >= s.syncSeq) {
+				rn.RestoreSample(f.Entries)
+				s.syncSeq, s.synced = f.Seq, true
+			}
+			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
+			s.mu.Unlock()
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
+		case FramePromote:
+			// Epoch-numbered promotion: assume the requested epoch if it is
+			// ahead of ours, and echo the resulting epoch either way. The
+			// frame is idempotent, so every site of a cluster can promote the
+			// same replica independently and they all converge on one epoch.
+			s.mu.Lock()
+			if f.Epoch > s.epoch {
+				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
+				s.promoted = true
+			}
+			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
+			s.mu.Unlock()
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
 		default:
 			_ = writeFlush(fc, &Frame{Type: FrameError, Error: "unknown frame type " + f.Type})
 			return
@@ -350,16 +514,32 @@ func (s *CoordinatorServer) dispatch(msg netsim.Message, slot int64, siteID int,
 
 // dispatchLocked is dispatch for callers already holding s.mu.
 //
-// Identical consecutive replies within one replies frame are coalesced:
-// every coordinator-to-site message in the supported protocols is an
-// idempotent state refresh (the new threshold u, the new window sample), so
-// a batch of 64 offers that all draw the same "u is still 0.01" answer ships
-// it once instead of 64 times. This halves reply-path bytes and encode/decode
-// work on flooded links without changing any site's resulting state.
+// Replies within one replies frame are thinned before encode:
+//
+//   - Identical consecutive replies are coalesced: every coordinator-to-site
+//     message in the supported protocols is an idempotent state refresh, so a
+//     batch of 64 offers that all draw the same "u is still 0.01" answer
+//     ships it once instead of 64 times.
+//   - Consecutive threshold refreshes for the same sampler copy are
+//     deduplicated down to the newest one even when they differ: u only ever
+//     tightens, the site's OnMessage overwrites its whole view with the
+//     received value, and pruning the duplicate memo against the final
+//     (smallest) u removes a superset of what the intermediate values would
+//     have removed — so applying only the last refresh of a run yields the
+//     identical site state. A batch whose every offer lowers u thus ships
+//     one threshold instead of one per offer. (Copies are kept distinct:
+//     sampling-with-replacement maintains one threshold per copy, and a
+//     Copy=1 refresh must not be swallowed by a Copy=2 one.)
+//
+// Both rules cut reply-path bytes and encode/decode work on flooded links
+// without changing any site's resulting state.
 func (s *CoordinatorServer) dispatchLocked(msg netsim.Message, slot int64, siteID int, out *netsim.Outbox, replies []netsim.Message) ([]netsim.Message, error) {
 	out.Reset()
 	s.node.OnMessage(msg, slot, out)
 	s.stats.offers++
+	if slot > s.lastSlot {
+		s.lastSlot = slot
+	}
 	n := 0
 	for _, env := range out.Envelopes() {
 		if env.Broadcast || env.To != siteID {
@@ -367,8 +547,15 @@ func (s *CoordinatorServer) dispatchLocked(msg netsim.Message, slot int64, siteI
 		}
 		reply := env.Msg
 		reply.From = netsim.CoordinatorID
-		if len(replies) > 0 && replies[len(replies)-1] == reply {
-			continue // identical consecutive refresh; idempotent
+		if len(replies) > 0 {
+			last := &replies[len(replies)-1]
+			if *last == reply {
+				continue // identical consecutive refresh; idempotent
+			}
+			if reply.Kind == netsim.KindThreshold && last.Kind == netsim.KindThreshold && last.Copy == reply.Copy {
+				*last = reply // only the newest refresh of a run matters
+				continue
+			}
 		}
 		replies = append(replies, reply)
 		n++
@@ -415,7 +602,7 @@ const DefaultWindow = 8
 // node and shared buffers against the caller.
 type SiteClient struct {
 	node netsim.SiteNode
-	conn net.Conn
+	conn io.Closer
 	fc   frameConn
 	opts Options
 
@@ -471,6 +658,14 @@ func clientConn(conn net.Conn, codec Codec) (frameConn, error) {
 	return newJSONConn(br, conn), nil
 }
 
+// Abort closes the underlying transport immediately, without flushing
+// buffered offers or draining the pipeline. Buffered and in-flight offers
+// stay retained for Unacked. The next operation fails as a connection error
+// — this simulates (or reacts to) a network-level reset.
+func (c *SiteClient) Abort() error {
+	return c.conn.Close()
+}
+
 // Close flushes any buffered offers, drains the pipeline window, and closes
 // the connection to the coordinator.
 func (c *SiteClient) Close() error {
@@ -497,6 +692,44 @@ func (c *SiteClient) MessagesReceived() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.received
+}
+
+// Node returns the wrapped site node. After a connection failure the node —
+// which holds the protocol state (threshold view, duplicate memo) — survives
+// and is re-wrapped by a fresh SiteClient to the promoted replica.
+func (c *SiteClient) Node() netsim.SiteNode { return c.node }
+
+// Unacked returns a copy of every offer this client accepted but cannot
+// prove the coordinator applied: shipped-but-unacknowledged pipelined
+// batches (oldest first) followed by buffered pending offers. After a
+// connection failure the caller replays these to the promoted replica.
+// Replaying is always safe: offers are idempotent refreshes of a bottom-s
+// sketch, so re-delivering an offer the dead primary did apply (and whose
+// effect survived via a state-sync) changes nothing, while dropping an
+// unapplied one could lose sample entries.
+func (c *SiteClient) Unacked() []BatchEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []BatchEntry
+	if c.pipe != nil {
+		for _, b := range c.pipe.unacked {
+			out = append(out, b...)
+		}
+	}
+	return append(out, c.pending...)
+}
+
+// Replay queues previously unacked offers (from a failed connection's
+// Unacked) onto this client and ships them immediately, waiting until the
+// coordinator has acknowledged every one.
+func (c *SiteClient) Replay(entries []BatchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	c.pending = append(c.pending, entries...)
+	c.mu.Unlock()
+	return c.Flush()
 }
 
 // Observe feeds one element observation to the local site node and performs
@@ -554,11 +787,13 @@ func (c *SiteClient) flush(out *netsim.Outbox, slot int64) error {
 		}
 		c.wframe = Frame{Type: FrameOffer, Slot: slot, Msg: &env.Msg}
 		if err := writeFlush(c.fc, &c.wframe); err != nil {
+			c.stash(slot, env, queue)
 			return fmt.Errorf("wire: send offer: %w", err)
 		}
 		c.sent++
 		replies, err := c.readReplies()
 		if err != nil {
+			c.stash(slot, env, queue)
 			return err
 		}
 		for _, reply := range replies {
@@ -599,11 +834,13 @@ func (c *SiteClient) sendPending(slot int64) error {
 	}
 	c.wframe = Frame{Type: FrameBatch, Batch: batch}
 	if err := writeFlush(c.fc, &c.wframe); err != nil {
+		c.pending = batch // retained for failover replay
 		return fmt.Errorf("wire: send batch: %w", err)
 	}
 	c.sent += len(batch)
 	replies, err := c.readReplies()
 	if err != nil {
+		c.pending = batch // the batch may or may not have applied; replay is idempotent
 		return err
 	}
 	for _, reply := range replies {
@@ -618,6 +855,16 @@ func (c *SiteClient) sendPending(slot int64) error {
 		c.scratch.Reset()
 	}
 	return nil
+}
+
+// stash preserves coordinator-bound messages a failed synchronous exchange
+// could not confirm (the current envelope plus everything still queued) in
+// the pending buffer, where Unacked picks them up for failover replay.
+func (c *SiteClient) stash(slot int64, env netsim.Envelope, rest []netsim.Envelope) {
+	c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
+	for _, e := range rest {
+		c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: e.Msg})
+	}
 }
 
 // readReplies reads one replies frame, surfacing protocol errors. The
