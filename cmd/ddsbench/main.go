@@ -48,13 +48,14 @@ func main() {
 		benchWindows  = flag.String("bench-windows", "1,2,4,8,16,32", "comma-separated pipeline window sizes for the -cluster-bench pipeline sweep (1 = synchronous)")
 		requireSpeed  = flag.Float64("require-pipeline-speedup", 0, "fail -cluster-bench unless the best pipelined window beats the synchronous path by this factor (0 disables; CI uses 1.0)")
 		benchFailover = flag.Bool("bench-failover", true, "include the kill/promote failover benchmark in -cluster-bench (fails on reference divergence)")
-		benchReplicas = flag.Int("bench-replicas", 1, "warm replicas per shard for the failover benchmark")
-		benchSyncInt  = flag.Duration("bench-sync-interval", 50*time.Millisecond, "replica sync interval for the failover benchmark")
+		benchReshard  = flag.Bool("bench-reshard", true, "include the online split/merge reshard benchmark in -cluster-bench (fails on reference divergence)")
+		benchReplicas = flag.Int("bench-replicas", 1, "warm replicas per shard for the failover and reshard benchmarks")
+		benchSyncInt  = flag.Duration("bench-sync-interval", 50*time.Millisecond, "replica sync interval for the failover and reshard benchmarks")
 	)
 	flag.Parse()
 
 	if *clusterBench {
-		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReplicas, *benchSyncInt); err != nil {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchReplicas, *benchSyncInt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -148,6 +149,21 @@ type clusterBenchReport struct {
 	// replica groups (see cluster.RunFailoverBench). Every run in it has
 	// passed the merged-sample-vs-reference byte-identity check.
 	Failover *failoverReport `json:"failover,omitempty"`
+	// Reshard measures ingest throughput across an online shard split (and a
+	// merge reuniting the ranges) — see cluster.RunReshardBench. Every run
+	// in it has passed the merged-sample-vs-reference check.
+	Reshard *reshardReport `json:"reshard,omitempty"`
+}
+
+// reshardReport is the reshard section of BENCH_cluster.json: one online
+// split+merge run per transport mode, at the sweep's largest shard count.
+type reshardReport struct {
+	Replicas       int                           `json:"replicas"`
+	SyncIntervalMS float64                       `json:"sync_interval_ms"`
+	Runs           []*cluster.ReshardBenchResult `json:"runs"`
+	// WorstDuringRatio is the min over runs of during-split / before-split
+	// throughput: how much of the ingest rate survives a live reshard.
+	WorstDuringRatio float64 `json:"worst_during_ratio"`
 }
 
 // failoverReport is the failover section of BENCH_cluster.json: one
@@ -198,7 +214,7 @@ type pipelinePoint struct {
 // the pipeline window sweep and writes the machine-readable report to path.
 // If requireSpeedup > 0 and the best pipelined window does not beat the
 // synchronous path by that factor, an error is returned (the CI smoke gate).
-func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover bool, replicas int, syncInterval time.Duration) error {
+func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard bool, replicas int, syncInterval time.Duration) error {
 	report := &clusterBenchReport{
 		GeneratedUnix:        time.Now().Unix(),
 		Elements:             elements,
@@ -251,6 +267,13 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 
 	if failover {
 		report.Failover, err = runFailoverBench(elements, maxShards, replicas, syncInterval, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	if reshard {
+		report.Reshard, err = runReshardBench(elements, maxShards, replicas, syncInterval, seed)
 		if err != nil {
 			return err
 		}
@@ -309,6 +332,49 @@ func runFailoverBench(elements, shards, replicas int, syncInterval time.Duration
 		}
 		fmt.Fprintf(os.Stderr, "[failover-bench shards=%d replicas=%d window=%d: %.0f -> %.0f ops/s across kill (%.2fx), %d promotions, %.1f ms stalled]\n",
 			shards, replicas, window, res.PreKillOpsPerSec, res.PostKillOpsPerSec, ratio, res.Failovers, res.FailoverStallSec*1000)
+	}
+	return rep, nil
+}
+
+// runReshardBench runs the online split+merge benchmark in both transport
+// modes (synchronous batched and pipelined, flood mode so the wire is the
+// bottleneck) at the sweep's largest shard count. Each run splits a shard
+// live under mid-ingest load, measures throughput before/during/after plus
+// the cutover stall, merges the ranges back, and internally fails if the
+// final merged sample diverges from the centralized reference — so a
+// successful section is also a correctness proof.
+func runReshardBench(elements, shards, replicas int, syncInterval time.Duration, seed uint64) (*reshardReport, error) {
+	rep := &reshardReport{
+		Replicas:         replicas,
+		SyncIntervalMS:   float64(syncInterval) / float64(time.Millisecond),
+		WorstDuringRatio: math.Inf(1),
+	}
+	for _, window := range []int{1, 8} {
+		cfg := cluster.DefaultBenchConfig()
+		cfg.Shards = shards
+		cfg.Elements = elements
+		cfg.Distinct = elements / 4
+		cfg.Codec = wire.CodecBinary
+		cfg.Batch = 64
+		cfg.Flood = true
+		if window > 1 {
+			cfg.Window = window
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		res, err := cluster.RunReshardBench(cfg, replicas, syncInterval)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, res)
+		ratio := res.DuringOpsPerSec / res.BeforeOpsPerSec
+		if ratio < rep.WorstDuringRatio {
+			rep.WorstDuringRatio = ratio
+		}
+		fmt.Fprintf(os.Stderr, "[reshard-bench shards=%d replicas=%d window=%d: %.0f -> %.0f -> %.0f ops/s across split (%.2fx during), cutover stall %.1f ms, %d+%d entries moved]\n",
+			shards, replicas, window, res.BeforeOpsPerSec, res.DuringOpsPerSec, res.AfterOpsPerSec, ratio,
+			res.SplitCutoverStallSec*1000, res.WarmEntries, res.SettleEntries)
 	}
 	return rep, nil
 }

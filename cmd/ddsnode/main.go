@@ -38,6 +38,26 @@
 // coordinator does; the dedicated role exists so a replica can be placed on
 // its own host and adopted as a group member address).
 //
+// With -admin ADDR a (replicated) cluster coordinator also listens for
+// resharding commands: -role reshard connects to it and triggers an online
+// shard split or merge, executed live by the in-process reshard driver
+// (snapshot handoff, two-phase cutover, donor prune):
+//
+//	ddsnode -role cluster-coordinator -shards 2 -replicas 1 -admin 127.0.0.1:7069 -listen 127.0.0.1:7070
+//	ddsnode -role reshard -admin 127.0.0.1:7069 -split 0        # split shard slot 0 at its range midpoint
+//	ddsnode -role reshard -admin 127.0.0.1:7069 -split 0:0.25   # split at a quarter of the range
+//	ddsnode -role reshard -admin 127.0.0.1:7069 -merge-range 0  # merge range 0 with the range to its right
+//	ddsnode -role reshard -admin 127.0.0.1:7069                 # print the current table and groups
+//
+// The reply carries the new routing table and the -coordinator string for
+// the grown/shrunk cluster. Site processes already running keep their old
+// table (the admin path registers no remote sites): restart them after
+// resharding, passing -admin so they fetch the live table and groups —
+// sites and query clients started with -admin need no -coordinator at all
+// and adopt the cluster's actual (post-reshard) partition rather than the
+// uniform one. In-process drivers (the chaos tests, ddsbench
+// -cluster-bench, examples/cluster) flip live sites online instead.
+//
 // All nodes of one deployment must share -hash-seed (and -window, if set),
 // and a query's -sample must not exceed the coordinators' -sample: each
 // shard only retains its bottom-s, so merges are exact only up to size s.
@@ -48,10 +68,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -82,6 +105,9 @@ func main() {
 		codecName    = flag.String("codec", "json", "wire codec: json or binary (site/query roles)")
 		batch        = flag.Int("batch", 1, "offers per batch frame; > 1 enables batched transport (site role)")
 		pipeline     = flag.Int("pipeline", 0, "pipelined ingest: max batch frames in flight per connection; 0 or 1 = synchronous request/response (site role; try 8)")
+		admin        = flag.String("admin", "", "resharding admin address: the cluster-coordinator role listens on it, the reshard role connects to it")
+		split        = flag.String("split", "", "reshard role: split shard slot SLOT (or SLOT:FRAC for a cut at that fraction of its range)")
+		mergeRange   = flag.Int("merge-range", -1, "reshard role: merge this range index with the range to its right")
 	)
 	flag.Parse()
 
@@ -93,15 +119,17 @@ func main() {
 
 	switch *role {
 	case "coordinator":
-		runCoordinator(*listen, 1, 0, *syncInterval, *sample, *window, codec)
+		runCoordinator(*listen, 1, 0, *syncInterval, *sample, *window, codec, "", *hashSeed)
 	case "cluster-coordinator":
-		runCoordinator(*listen, *shards, *replicas, *syncInterval, *sample, *window, codec)
+		runCoordinator(*listen, *shards, *replicas, *syncInterval, *sample, *window, codec, *admin, *hashSeed)
 	case "replica":
 		runReplica(*listen, *sample, *window)
 	case "site":
-		runSite(splitGroups(*coordinator), *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch, Window: *pipeline})
+		runSite(splitGroups(*coordinator), *admin, *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch, Window: *pipeline})
 	case "query":
-		runQuery(splitGroups(*coordinator), *sample, *window, codec)
+		runQuery(splitGroups(*coordinator), *admin, *sample, *window, codec)
+	case "reshard":
+		runReshardAdminClient(*admin, *split, *mergeRange)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
 		os.Exit(2)
@@ -131,12 +159,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, window int64, codec wire.Codec) {
-	if window > 0 && replicas > 0 {
-		fatal(fmt.Errorf("replication requires the infinite-window protocol (drop -window or -replicas)"))
+func runCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, window int64, codec wire.Codec, admin string, hashSeed uint64) {
+	if window > 0 && (replicas > 0 || admin != "") {
+		fatal(fmt.Errorf("replication and resharding require the infinite-window protocol (drop -window, -replicas, or -admin)"))
 	}
-	if replicas > 0 {
-		runReplicatedCoordinator(listen, shards, replicas, syncInterval, sampleSize, codec)
+	if replicas > 0 || admin != "" {
+		// The resharding driver needs the replica-group server even with
+		// R = 0 (groups of one member each).
+		runReplicatedCoordinator(listen, shards, replicas, syncInterval, sampleSize, codec, admin, hashSeed)
 		return
 	}
 	newCoord := func(int) netsim.CoordinatorNode { return core.NewInfiniteCoordinator(sampleSize) }
@@ -173,11 +203,13 @@ func runCoordinator(listen string, shards, replicas int, syncInterval time.Durat
 	_ = srv.Close()
 }
 
-func runReplicatedCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, codec wire.Codec) {
+func runReplicatedCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, codec wire.Codec, admin string, hashSeed uint64) {
+	router := cluster.NewShardRouter(shards, hashing.NewMurmur2(hashSeed))
 	srv, err := replica.Listen(listen, shards, replica.Options{
 		Replicas:     replicas,
 		SyncInterval: syncInterval,
 		Codec:        codec,
+		RouteHash:    router.RouteHash,
 	}, func(int, int) netsim.CoordinatorNode {
 		return core.NewInfiniteCoordinator(sampleSize)
 	})
@@ -187,18 +219,28 @@ func runReplicatedCoordinator(listen string, shards, replicas int, syncInterval 
 	fmt.Printf("%d-shard infinite-window coordinator (s=%d per shard), %d warm replica(s) per shard, sync every %v\n",
 		srv.Shards(), sampleSize, replicas, syncInterval)
 	groups := srv.GroupAddrs()
-	shardArgs := make([]string, len(groups))
 	for shard, members := range groups {
 		fmt.Printf("  shard %d: primary %s, replicas %s\n", shard, members[0], strings.Join(members[1:], " "))
-		shardArgs[shard] = strings.Join(members, "/")
 	}
-	fmt.Printf("site/query -coordinator value: %s\n", strings.Join(shardArgs, ","))
+	fmt.Printf("site/query -coordinator value: %s\n", coordinatorArg(groups))
+	if admin != "" {
+		rs := cluster.NewResharder(srv, router.Table(), codec)
+		bound, err := serveReshardAdmin(admin, rs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reshard admin listening on %s (ddsnode -role reshard -admin %s ...)\n", bound, bound)
+	}
 	fmt.Println("press Ctrl-C to stop")
 
 	waitForSignal()
 	offers, replies, queries := srv.Stats()
 	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served\n", offers, replies, queries)
-	for shard := range groups {
+	for shard, members := range srv.GroupAddrs() {
+		if members == nil {
+			fmt.Printf("  shard %d: retired by resharding\n", shard)
+			continue
+		}
 		fmt.Printf("  shard %d primary: member %d (epochs %v)\n", shard, srv.PrimaryIndex(shard), srv.Epochs(shard))
 	}
 	if samples, err := srv.PrimarySamples(); err == nil {
@@ -208,6 +250,182 @@ func runReplicatedCoordinator(listen string, shards, replicas int, syncInterval 
 		}
 	}
 	_ = srv.Close()
+}
+
+// coordinatorArg renders slot-indexed groups as a -coordinator flag value
+// (shards comma-separated, members slash-separated, retired slots skipped).
+func coordinatorArg(groups [][]string) string {
+	var shardArgs []string
+	for _, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		shardArgs = append(shardArgs, strings.Join(members, "/"))
+	}
+	return strings.Join(shardArgs, ",")
+}
+
+// adminRequest is one resharding command on the admin connection (JSON, one
+// object per line). Op is "split", "merge", or "table".
+type adminRequest struct {
+	Op    string  `json:"op"`
+	Slot  int     `json:"slot,omitempty"`
+	Frac  float64 `json:"frac,omitempty"`
+	Range int     `json:"range,omitempty"`
+}
+
+// adminResponse answers an admin request with the (possibly new) routing
+// state. Coordinator is the ready-to-paste -coordinator value for sites and
+// query clients. NOTE: site processes already connected keep routing by
+// their old table — restart them with the new Coordinator value; the admin
+// path performs the server-side handoffs only.
+type adminResponse struct {
+	Version     uint64   `json:"version"`
+	Bounds      []uint64 `json:"bounds"`
+	Slots       []int    `json:"slots"`
+	Coordinator string   `json:"coordinator"`
+	// Groups is slot-indexed (nil entries for retired slots), aligning with
+	// Slots — what a joining site needs to dial the current partition.
+	Groups [][]string             `json:"groups"`
+	Report *cluster.ReshardReport `json:"report,omitempty"`
+	Error  string                 `json:"error,omitempty"`
+}
+
+// serveReshardAdmin starts the admin listener and returns its bound address.
+func serveReshardAdmin(addr string, rs *cluster.Resharder) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handleReshardAdmin(conn, rs)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func handleReshardAdmin(conn net.Conn, rs *cluster.Resharder) {
+	defer conn.Close()
+	var req adminRequest
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		_ = json.NewEncoder(conn).Encode(adminResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	var resp adminResponse
+	switch req.Op {
+	case "split":
+		table := rs.Table()
+		mid, err := table.SplitPoint(req.Slot, req.Frac)
+		if err == nil {
+			resp.Report, err = rs.Split(req.Slot, mid)
+		}
+		if err != nil {
+			resp.Error = err.Error()
+		}
+	case "merge":
+		rep, err := rs.MergeAt(req.Range)
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Report = rep
+		}
+	case "table", "":
+		// Read-only.
+	default:
+		resp.Error = fmt.Sprintf("unknown op %q (want split, merge, or table)", req.Op)
+	}
+	table := rs.Table()
+	resp.Version, resp.Bounds, resp.Slots = table.Version, table.Bounds, table.Slots
+	resp.Groups = rs.Groups()
+	resp.Coordinator = coordinatorArg(resp.Groups)
+	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+// adminRoundTrip sends one command to a coordinator's admin listener and
+// returns the decoded reply (request and reply are one JSON object each).
+func adminRoundTrip(admin string, req adminRequest) (adminResponse, error) {
+	var resp adminResponse
+	conn, err := net.Dial("tcp", admin)
+	if err != nil {
+		return resp, err
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return resp, err
+	}
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return resp, err
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("admin: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// fetchAdminTable asks a coordinator's admin listener for the current
+// routing table and slot-indexed groups, so joining sites and query clients
+// adopt the real (possibly resharded) partition instead of assuming the
+// uniform one.
+func fetchAdminTable(admin string) (cluster.RangeTable, [][]string, error) {
+	resp, err := adminRoundTrip(admin, adminRequest{Op: "table"})
+	if err != nil {
+		return cluster.RangeTable{}, nil, err
+	}
+	return cluster.RangeTable{Version: resp.Version, Bounds: resp.Bounds, Slots: resp.Slots}, resp.Groups, nil
+}
+
+// runReshardAdminClient implements -role reshard: send one command to a
+// coordinator's admin listener and print the reply.
+func runReshardAdminClient(admin, split string, mergeRange int) {
+	if admin == "" {
+		fmt.Fprintln(os.Stderr, "reshard role requires -admin (the coordinator's admin address)")
+		os.Exit(2)
+	}
+	req := adminRequest{Op: "table"}
+	switch {
+	case split != "" && mergeRange >= 0:
+		fmt.Fprintln(os.Stderr, "choose one of -split or -merge-range")
+		os.Exit(2)
+	case split != "":
+		req.Op = "split"
+		spec := split
+		if slot, fracStr, ok := strings.Cut(spec, ":"); ok {
+			spec = slot
+			frac, err := strconv.ParseFloat(fracStr, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -split fraction %q: %w", fracStr, err))
+			}
+			req.Frac = frac
+		}
+		slot, err := strconv.Atoi(spec)
+		if err != nil {
+			fatal(fmt.Errorf("bad -split slot %q: %w", spec, err))
+		}
+		req.Slot = slot
+	case mergeRange >= 0:
+		req.Op = "merge"
+		req.Range = mergeRange
+	}
+	resp, err := adminRoundTrip(admin, req)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.Report != nil {
+		fmt.Printf("%s v%d: moved range [%#x, %#x) from slot %d to slot %d (%d+%d entries, cutover %v, total %v)\n",
+			resp.Report.Op, resp.Report.Version, resp.Report.Lo, resp.Report.Hi, resp.Report.Donor, resp.Report.Successor,
+			resp.Report.WarmEntries, resp.Report.SettleEntries, resp.Report.CutoverStall, resp.Report.Total)
+	}
+	fmt.Printf("routing table v%d over %d range(s):\n", resp.Version, len(resp.Bounds))
+	for i, b := range resp.Bounds {
+		fmt.Printf("  [%#016x, ...) -> slot %d\n", b, resp.Slots[i])
+	}
+	fmt.Printf("site/query -coordinator value: %s\n", resp.Coordinator)
+	fmt.Println("note: restart running site processes with -admin so they fetch this table (the admin path does not flip remote sites, and -coordinator alone would assume the uniform partition)")
 }
 
 // runReplica runs one standalone warm replica: a restorable infinite-window
@@ -241,13 +459,31 @@ func waitForSignal() {
 	<-stop
 }
 
-func runSite(groups [][]string, id int, window int64, streamPath string, hashSeed uint64, opts wire.Options) {
+func runSite(groups [][]string, admin string, id int, window int64, streamPath string, hashSeed uint64, opts wire.Options) {
 	if streamPath == "" {
 		fmt.Fprintln(os.Stderr, "site role requires -stream")
 		os.Exit(2)
 	}
+	hasher := hashing.NewMurmur2(hashSeed)
+	var router *cluster.ShardRouter
+	if admin != "" {
+		// Adopt the cluster's live partition: after resharding, the real
+		// range table is not the uniform one a group count would imply.
+		table, adminGroups, err := fetchAdminTable(admin)
+		if err != nil {
+			fatal(err)
+		}
+		router, err = cluster.NewRangeRouter(table, hasher)
+		if err != nil {
+			fatal(err)
+		}
+		groups = adminGroups
+		fmt.Printf("adopted routing table v%d (%d ranges) from %s\n", table.Version, table.NumRanges(), admin)
+	} else {
+		router = cluster.NewShardRouter(len(groups), hasher)
+	}
 	if len(groups) == 0 {
-		fmt.Fprintln(os.Stderr, "site role requires at least one -coordinator address")
+		fmt.Fprintln(os.Stderr, "site role requires at least one -coordinator address (or -admin)")
 		os.Exit(2)
 	}
 	replicated := false
@@ -256,8 +492,8 @@ func runSite(groups [][]string, id int, window int64, streamPath string, hashSee
 			replicated = true
 		}
 	}
-	if replicated && window > 0 {
-		fatal(fmt.Errorf("replication requires the infinite-window protocol (drop -window or the replica addresses)"))
+	if (replicated || admin != "") && window > 0 {
+		fatal(fmt.Errorf("replication and resharding require the infinite-window protocol (drop -window, the replica addresses, or -admin)"))
 	}
 	in := os.Stdin
 	if streamPath != "-" {
@@ -273,8 +509,6 @@ func runSite(groups [][]string, id int, window int64, streamPath string, hashSee
 		fatal(err)
 	}
 
-	hasher := hashing.NewMurmur2(hashSeed)
-	router := cluster.NewShardRouter(len(groups), hasher)
 	newSite := func(int) netsim.SiteNode { return core.NewInfiniteSite(id, hasher) }
 	if window > 0 {
 		newSite = func(shard int) netsim.SiteNode {
@@ -322,9 +556,22 @@ func runSite(groups [][]string, id int, window int64, streamPath string, hashSee
 	fmt.Println()
 }
 
-func runQuery(groups [][]string, sampleSize int, window int64, codec wire.Codec) {
-	if len(groups) == 0 {
-		fmt.Fprintln(os.Stderr, "query role requires at least one -coordinator address")
+func runQuery(groups [][]string, admin string, sampleSize int, window int64, codec wire.Codec) {
+	if admin != "" {
+		_, adminGroups, err := fetchAdminTable(admin)
+		if err != nil {
+			fatal(err)
+		}
+		groups = adminGroups
+	}
+	live := 0
+	for _, members := range groups {
+		if len(members) > 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		fmt.Fprintln(os.Stderr, "query role requires at least one -coordinator address (or -admin)")
 		os.Exit(2)
 	}
 	// Sliding-window shards each hold at most one live entry; the global
@@ -341,8 +588,8 @@ func runQuery(groups [][]string, sampleSize int, window int64, codec wire.Codec)
 	if window > 0 {
 		scope = "window sample"
 	}
-	if len(groups) > 1 {
-		scope = fmt.Sprintf("merged %s across %d shards", scope, len(groups))
+	if live > 1 {
+		scope = fmt.Sprintf("merged %s across %d shards", scope, live)
 	}
 	fmt.Printf("%s (%d entries):\n", scope, len(entries))
 	for _, e := range entries {

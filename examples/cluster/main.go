@@ -1,10 +1,14 @@
 // Cluster walkthrough: scale the deployable sampler from one coordinator to
-// a sharded, replicated cluster — and kill a primary mid-ingest to watch it
-// fail over. Four coordinator shards run as replica groups (one primary plus
-// one warm replica each), sites ingest over TCP with the batched binary
-// codec, a shard primary dies halfway through the stream, the sites promote
-// its replica and replay their unacknowledged offers, and the query-time
-// merge still reconstructs the exact global sample.
+// a sharded, replicated cluster — kill a primary mid-ingest to watch it fail
+// over, and reshard the cluster live to watch it grow. Four coordinator
+// shards run as replica groups (one primary plus one warm replica each),
+// sites ingest over TCP with the batched binary codec, a shard primary dies
+// halfway through the stream, the sites promote its replica and replay their
+// unacknowledged offers — and while the second half streams, shard 1's
+// hash-prefix range is split in two: a fifth shard group spins up, warms
+// from one snapshot frame, the sites flip their routing tables mid-flight,
+// and afterwards the two ranges are merged back. The query-time merge still
+// reconstructs the exact global sample through all of it.
 //
 //	go run ./examples/cluster
 package main
@@ -59,6 +63,9 @@ func main() {
 		Replicas:     replicas,
 		SyncInterval: 25 * time.Millisecond,
 		Codec:        wire.CodecBinary,
+		// The shared routing hash lets coordinators filter sample entries by
+		// hash-prefix range — the primitive online resharding is built on.
+		RouteHash: router.RouteHash,
 	}, func(int, int) netsim.CoordinatorNode {
 		return core.NewInfiniteCoordinator(sampleSize)
 	})
@@ -124,14 +131,54 @@ func main() {
 	}
 	fmt.Printf("\nkilled shard 0 member %d mid-ingest; continuing...\n", killed)
 
-	// 6. The second half streams through the failure: each site's next offer
-	//    to shard 0 hits a dead connection, probes the primary, promotes the
-	//    replica (deterministic epoch, so all sites converge on the same new
-	//    primary), replays its unacked window, and carries on.
+	// 6. The second half streams through the failure — and through a live
+	//    reshard. Each site's next offer to shard 0 hits a dead connection,
+	//    probes the primary, promotes the replica (deterministic epoch, so
+	//    all sites converge on the same new primary), replays its unacked
+	//    window, and carries on. Meanwhile the reshard driver splits shard
+	//    1's range: a fifth replica group starts, warms from one snapshot
+	//    frame of shard 1's bottom-s sample, every site flips its routing
+	//    table at its next operation boundary, and the donor prunes the
+	//    handed-off range.
+	rs := cluster.NewResharder(srv, router.Table(), wire.CodecBinary)
+	rs.Register(clients...)
+	splitDone := make(chan *cluster.ReshardReport, 1)
+	go func() {
+		mid, err := rs.Table().SplitPoint(1, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rs.Split(1, mid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		splitDone <- rep
+	}()
 	ingest(1)
+	rep := awaitPlan(splitDone, clients)
+	fmt.Printf("split shard 1 live: range [%#x, %#x) moved to new shard %d (v%d, %d+%d sample entries shipped, cutover stalled sites %v)\n",
+		rep.Lo, rep.Hi, rep.Successor, rep.Version, rep.WarmEntries, rep.SettleEntries, rep.CutoverStall.Round(time.Microsecond))
+
+	// 7. Merge the split ranges back (say the traffic spike passed): the
+	//    surviving shard absorbs the range and the sample, the extra group
+	//    retires, and the sites drop their connections to it.
+	mergeDone := make(chan *cluster.ReshardReport, 1)
+	go func() {
+		rep, err := rs.MergeAt(rs.Table().RangeIndexOf(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mergeDone <- rep
+	}()
+	rep = awaitPlan(mergeDone, clients)
+	fmt.Printf("merged it back: shard %d retired (v%d)\n", rep.Donor, rep.Version)
+
 	for site, c := range clients {
 		if n, stall := c.Failovers(); n > 0 {
 			fmt.Printf("site %d failed over %d time(s), stalled %v\n", site, n, stall.Round(time.Microsecond))
+		}
+		if n, stall := c.ReshardStalls(); n > 0 {
+			fmt.Printf("site %d applied %d route update(s), stalled %v\n", site, n, stall.Round(time.Microsecond))
 		}
 		if err := c.Close(); err != nil {
 			log.Fatal(err)
@@ -140,10 +187,11 @@ func main() {
 	}
 	fmt.Printf("shard 0 primary is now member %d (epochs %v)\n", srv.PrimaryIndex(0), srv.Epochs(0))
 
-	// 7. Query time: fan out to every shard's current primary, union the
-	//    bottom-s sketches, keep the s smallest hashes — exactly the sample
-	//    one big coordinator over the whole stream would hold, crash or not.
-	merged, err := cluster.QueryGroups(groups, sampleSize, wire.CodecBinary)
+	// 8. Query time: fan out to every live shard's current primary (retired
+	//    slots are skipped), union the bottom-s sketches, keep the s
+	//    smallest hashes — exactly the sample one big coordinator over the
+	//    whole stream would hold, crash and reshards notwithstanding.
+	merged, err := cluster.QueryGroups(srv.GroupAddrs(), sampleSize, wire.CodecBinary)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,7 +200,7 @@ func main() {
 		fmt.Printf("  %-12s  hash=%.6f\n", e.Key, e.Hash)
 	}
 
-	// 8. The merged sample feeds the KMV estimator for cluster-wide counts.
+	// 9. The merged sample feeds the KMV estimator for cluster-wide counts.
 	shardSamples, err := srv.PrimarySamples()
 	if err != nil {
 		log.Fatal(err)
@@ -166,12 +214,33 @@ func main() {
 	fmt.Printf("estimated from merged sample: %.0f (95%% CI %.0f – %.0f)\n",
 		est.Estimate, est.Low, est.High)
 
-	// 9. Sanity: the merge is exact despite the crash, and the cluster
-	//    barely talked.
+	// 10. Sanity: the merge is exact despite the crash and both reshards,
+	//     and the cluster barely talked.
 	oracle := core.NewReference(sampleSize, hasher)
 	oracle.ObserveAll(stream.Keys(elements))
 	fmt.Printf("matches centralized oracle: %v\n", oracle.SameSample(merged))
 	offers, replies, _ := srv.Stats()
 	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length)\n",
 		offers+replies, 100*float64(offers+replies)/float64(stats.Elements))
+}
+
+// awaitPlan waits for a background reshard plan while pumping the (by now
+// idle) site clients from their owning goroutine: cutovers are cooperative,
+// so sites must keep reaching an operation boundary for the flip to land.
+// While ingest is still running the pump never fires — Observe applies
+// pending updates for free.
+func awaitPlan(done chan *cluster.ReshardReport, clients []*cluster.SiteClient) *cluster.ReshardReport {
+	for {
+		select {
+		case rep := <-done:
+			return rep
+		default:
+			for _, c := range clients {
+				if err := c.ApplyRouteUpdates(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
 }

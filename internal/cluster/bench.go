@@ -218,6 +218,242 @@ func RunIngestBench(cfg BenchConfig) (*BenchResult, error) {
 	}, nil
 }
 
+// ReshardBenchResult is the machine-readable outcome of one online-reshard
+// benchmark run: ingest throughput before, during, and after a mid-ingest
+// shard split, the cutover's cost, and (after a merge reunites the ranges)
+// the proof that the merged sample still matches the centralized reference.
+type ReshardBenchResult struct {
+	Shards     int    `json:"shards"`
+	Sites      int    `json:"sites"`
+	Replicas   int    `json:"replicas"`
+	SampleSize int    `json:"sample_size"`
+	Codec      string `json:"codec"`
+	Batch      int    `json:"batch"`
+	Window     int    `json:"window"`
+	Flood      bool   `json:"flood,omitempty"`
+	Elements   int    `json:"elements"`
+	// BeforeOpsPerSec / DuringOpsPerSec / AfterOpsPerSec are the ingest
+	// throughput of the three stream thirds; the middle third absorbs the
+	// concurrent split (group bring-up, warm + settle handoffs, and every
+	// site's cutover flip).
+	BeforeOpsPerSec float64 `json:"before_ops_per_sec"`
+	DuringOpsPerSec float64 `json:"during_ops_per_sec"`
+	AfterOpsPerSec  float64 `json:"after_ops_per_sec"`
+	// SplitCutoverStallSec is the window from publishing the new table until
+	// every site had flipped; SplitTotalSec is the whole plan. MaxSiteStallSec
+	// is the largest single site's cumulative time inside cutover flips
+	// (split + merge) — the per-site ingest stall resharding cost.
+	SplitCutoverStallSec float64 `json:"split_cutover_stall_sec"`
+	SplitTotalSec        float64 `json:"split_total_sec"`
+	MergeCutoverStallSec float64 `json:"merge_cutover_stall_sec"`
+	MaxSiteStallSec      float64 `json:"max_site_stall_sec"`
+	// WarmEntries/SettleEntries count the sample entries the split's two
+	// handoff frames carried — the entire data motion of the reshard.
+	WarmEntries     int `json:"warm_entries"`
+	SettleEntries   int `json:"settle_entries"`
+	MergedSampleLen int `json:"merged_sample_len"`
+}
+
+// RunReshardBench measures ingest throughput across an online shard split
+// and merge: cfg.Sites clients ingest the first third of the stream into a
+// cfg.Shards-shard cluster of replica groups, the second third streams while
+// shard slot 0's range is split live (two-phase cutover, no quiesce), the
+// final third streams against the grown cluster, and then the split ranges
+// are merged back. The merged sample must match the centralized reference at
+// the end — a reshard that loses or duplicates offers fails the benchmark
+// rather than reporting a number.
+func RunReshardBench(cfg BenchConfig, replicas int, syncInterval time.Duration) (*ReshardBenchResult, error) {
+	if replicas < 0 {
+		replicas = 0
+	}
+	hasher := hashing.NewMurmur2(cfg.Seed)
+	elements := dataset.Uniform(cfg.Elements, cfg.Distinct, cfg.Seed).Generate()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(cfg.Sites, cfg.Seed))
+	perSite := make([][]stream.Arrival, cfg.Sites)
+	for _, a := range arrivals {
+		perSite[a.Site] = append(perSite[a.Site], a)
+	}
+
+	router := NewShardRouter(cfg.Shards, hasher)
+	srv, err := replica.Listen("127.0.0.1:0", cfg.Shards, replica.Options{
+		Replicas:     replicas,
+		SyncInterval: syncInterval,
+		Codec:        cfg.Codec,
+		RouteHash:    router.RouteHash,
+	}, func(int, int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(cfg.SampleSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	opts := wire.Options{Codec: cfg.Codec, BatchSize: cfg.Batch, Window: cfg.Window}
+	clients := make([]*SiteClient, cfg.Sites)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	groups := srv.GroupAddrs()
+	for site := 0; site < cfg.Sites; site++ {
+		id := site
+		newSite := func(int) netsim.SiteNode { return core.NewInfiniteSite(id, hasher) }
+		if cfg.Flood {
+			newSite = func(int) netsim.SiteNode { return &floodSite{id: id, hasher: hasher} }
+		}
+		clients[site], err = DialGroups(groups, router, newSite, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rs := NewResharder(srv, router.Table(), cfg.Codec)
+	rs.Register(clients...)
+
+	// ingestThird replays arrivals[third] of every site concurrently and
+	// flushes, returning the wall-clock spent.
+	ingestThird := func(third int) (time.Duration, error) {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Sites)
+		for site := 0; site < cfg.Sites; site++ {
+			wg.Add(1)
+			go func(site int) {
+				defer wg.Done()
+				mine := perSite[site]
+				from, to := third*len(mine)/3, (third+1)*len(mine)/3
+				for _, a := range mine[from:to] {
+					if err := clients[site].Observe(a.Key, a.Slot); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- clients[site].Flush()
+			}(site)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	// runPlan executes a reshard plan in the background and, once ingest has
+	// drained, pumps idle clients so the cooperative cutover always
+	// completes; it returns the plan's report.
+	runPlan := func(plan func() (*ReshardReport, error), during func() error) (*ReshardReport, error) {
+		type result struct {
+			rep *ReshardReport
+			err error
+		}
+		done := make(chan result, 1)
+		go func() {
+			rep, err := plan()
+			done <- result{rep, err}
+		}()
+		if during != nil {
+			if err := during(); err != nil {
+				<-done // the plan goroutine must not outlive the clients
+				return nil, err
+			}
+		}
+		for {
+			select {
+			case r := <-done:
+				return r.rep, r.err
+			default:
+				for _, c := range clients {
+					if err := c.ApplyRouteUpdates(); err != nil {
+						<-done
+						return nil, err
+					}
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+
+	beforeDur, err := ingestThird(0)
+	if err != nil {
+		return nil, err
+	}
+	mid, err := rs.Table().SplitPoint(0, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	var duringDur time.Duration
+	splitRep, err := runPlan(
+		func() (*ReshardReport, error) { return rs.Split(0, mid) },
+		func() error {
+			var derr error
+			duringDur, derr = ingestThird(1)
+			return derr
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	afterDur, err := ingestThird(2)
+	if err != nil {
+		return nil, err
+	}
+	mergeRep, err := runPlan(func() (*ReshardReport, error) {
+		return rs.MergeAt(rs.Table().RangeIndexOf(0))
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	maxStall := time.Duration(0)
+	for site, c := range clients {
+		clients[site] = nil
+		if err := c.Close(); err != nil {
+			return nil, err
+		}
+		if _, stall := c.ReshardStalls(); stall > maxStall {
+			maxStall = stall
+		}
+	}
+	shardSamples, err := srv.PrimarySamples()
+	if err != nil {
+		return nil, err
+	}
+	merged := Merge(cfg.SampleSize, shardSamples...)
+	oracle := core.NewReference(cfg.SampleSize, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	if !oracle.SameSample(merged) {
+		return nil, fmt.Errorf("cluster: post-reshard merged sample diverged from the centralized reference (shards=%d replicas=%d codec=%s batch=%d window=%d)",
+			cfg.Shards, replicas, cfg.Codec, cfg.Batch, cfg.Window)
+	}
+
+	third := len(arrivals) / 3
+	return &ReshardBenchResult{
+		Shards:               cfg.Shards,
+		Sites:                cfg.Sites,
+		Replicas:             replicas,
+		SampleSize:           cfg.SampleSize,
+		Codec:                cfg.Codec.String(),
+		Batch:                cfg.Batch,
+		Window:               cfg.Window,
+		Flood:                cfg.Flood,
+		Elements:             len(arrivals),
+		BeforeOpsPerSec:      float64(third) / beforeDur.Seconds(),
+		DuringOpsPerSec:      float64(third) / duringDur.Seconds(),
+		AfterOpsPerSec:       float64(len(arrivals)-2*third) / afterDur.Seconds(),
+		SplitCutoverStallSec: splitRep.CutoverStall.Seconds(),
+		SplitTotalSec:        splitRep.Total.Seconds(),
+		MergeCutoverStallSec: mergeRep.CutoverStall.Seconds(),
+		MaxSiteStallSec:      maxStall.Seconds(),
+		WarmEntries:          splitRep.WarmEntries,
+		SettleEntries:        splitRep.SettleEntries,
+		MergedSampleLen:      len(merged),
+	}, nil
+}
+
 // FailoverResult is the machine-readable outcome of one kill-and-promote
 // benchmark run: ingest throughput before and after a shard primary is
 // killed mid-ingest, how long the promotion stalled the affected sites, and

@@ -35,7 +35,6 @@ package cluster
 
 import (
 	"errors"
-	"math/bits"
 	"sort"
 
 	"repro/internal/estimate"
@@ -51,30 +50,52 @@ import (
 // effectively independent of sample membership, spreading both ingest load
 // and sample entries evenly across shards, while remaining a pure function of
 // (hasher seed, key) that every node computes identically.
+//
+// The partition itself is a versioned RangeTable of contiguous hash-prefix
+// ranges. A freshly constructed router holds the uniform C-way table; online
+// resharding (see Resharder) publishes newer tables that split or merge
+// ranges, and each SiteClient flips to them independently under the version
+// fence. The router value is immutable — it describes the partition at
+// construction time and hands clients their initial table.
 type ShardRouter struct {
-	shards int
+	table  RangeTable
 	hasher hashing.UnitHasher
 }
 
 // NewShardRouter builds a router over the cluster's shared hash function.
 // shards below 1 is treated as 1.
 func NewShardRouter(shards int, hasher hashing.UnitHasher) *ShardRouter {
-	if shards < 1 {
-		shards = 1
-	}
-	return &ShardRouter{shards: shards, hasher: hasher}
+	return &ShardRouter{table: UniformTable(shards), hasher: hasher}
 }
 
-// Shards returns the number of shards C.
-func (r *ShardRouter) Shards() int { return r.shards }
+// NewRangeRouter builds a router over an explicit range table — the way a
+// site joining a cluster that has already resharded adopts the current
+// partition (e.g. fetched from the coordinator's reshard admin listener)
+// instead of assuming the uniform one.
+func NewRangeRouter(table RangeTable, hasher hashing.UnitHasher) (*ShardRouter, error) {
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	return &ShardRouter{table: table.clone(), hasher: hasher}, nil
+}
 
-// Shard returns the shard index in [0, C) owning key. The mapping is the
-// prefix partition of the rehashed digest: floor(mix(digest) * C / 2^64),
-// computed exactly with a 128-bit multiply.
+// Shards returns the number of live shard slots.
+func (r *ShardRouter) Shards() int { return r.table.NumRanges() }
+
+// Table returns the router's (initial) range table.
+func (r *ShardRouter) Table() RangeTable { return r.table.clone() }
+
+// RouteHash returns the 64-bit routing hash of key: the SplitMix64 finalizer
+// over the shared digest, the value the range table partitions on. It is the
+// function coordinators need installed (wire.CoordinatorServer.SetRouteHash)
+// to filter sample entries by range during resharding.
+func (r *ShardRouter) RouteHash(key string) uint64 {
+	return hashing.Mix64(r.hasher.Hash(key))
+}
+
+// Shard returns the shard slot owning key under the router's table.
 func (r *ShardRouter) Shard(key string) int {
-	mixed := hashing.Mix64(r.hasher.Hash(key))
-	hi, _ := bits.Mul64(mixed, uint64(r.shards))
-	return int(hi)
+	return r.table.Lookup(r.RouteHash(key))
 }
 
 // Merge unions per-shard samples and returns the bottom-s of the union,

@@ -6,6 +6,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -126,14 +127,42 @@ func (s *Server) MergedSample(sampleSize int) []netsim.SampleEntry {
 // never corrupt it; what replay cannot restore is offers the dead primary
 // acknowledged after its last state-sync — the bounded resync window
 // documented in internal/replica.
+// The client also participates in online resharding: a Resharder publishes a
+// RouteUpdate (new range table + shard groups) via OfferRouteUpdate, and the
+// client applies it cooperatively at its next operation boundary — it drains
+// every in-flight window under the old table, dials connections for newly
+// added shard slots, atomically swaps its routing table, and closes
+// connections to retired slots. The version fence makes application
+// idempotent and ordered: a client only ever moves to a strictly newer table.
 type SiteClient struct {
-	router *ShardRouter
-	opts   wire.Options
-	shards []*shardConn
+	routeHash func(string) uint64
+	newSite   func(shard int) netsim.SiteNode
+	opts      wire.Options
+	table     RangeTable
+	groups    [][]string   // slot-indexed member addresses (nil = retired slot)
+	shards    []*shardConn // slot-indexed; nil for slots never dialed
 
-	mu           sync.Mutex // guards the failover counters (fanOut goroutines)
+	// pendingRoute is the cross-goroutine mailbox of the reshard driver;
+	// routeVer publishes the applied table version and closed the client's
+	// retirement, so the driver can tell "will apply at its next operation"
+	// from "will never apply again".
+	pendingRoute atomic.Pointer[RouteUpdate]
+	routeVer     atomic.Uint64
+	closed       atomic.Bool
+
+	mu           sync.Mutex // guards the failover/reshard counters (fanOut goroutines)
 	failovers    int
 	failoverTime time.Duration
+	reshards     int
+	reshardTime  time.Duration
+}
+
+// RouteUpdate is one published routing change: the new table plus, for every
+// slot it references, the shard's member addresses in promotion order.
+// Groups is slot-indexed and may carry nil entries for retired slots.
+type RouteUpdate struct {
+	Table  RangeTable
+	Groups [][]string
 }
 
 // shardConn is one shard's connection state. Only one goroutine touches a
@@ -163,46 +192,76 @@ func DialSites(addrs []string, router *ShardRouter, newSite func(shard int) nets
 }
 
 // DialGroups connects a logical site to a cluster of replica groups:
-// groups[shard] lists the shard's member addresses in promotion order
-// (primary first, as returned by replica.Server.GroupAddrs). The site
-// initially dials each group's current primary, determined by probing the
-// members' epochs.
+// groups[slot] lists the shard slot's member addresses in promotion order
+// (primary first, as returned by replica.Server.GroupAddrs). Slots the
+// router's table does not route to may be nil (retired by resharding);
+// every routed slot must have at least one member. The site initially dials
+// each routed group's current primary, determined by probing the members'
+// epochs.
 func DialGroups(groups [][]string, router *ShardRouter, newSite func(shard int) netsim.SiteNode, opts wire.Options) (*SiteClient, error) {
 	if len(groups) == 0 {
 		return nil, ErrNoShards
 	}
-	if len(groups) != router.Shards() {
-		return nil, fmt.Errorf("cluster: %d shard groups for a %d-shard router", len(groups), router.Shards())
+	table := router.Table()
+	if len(groups) <= table.MaxSlot() {
+		return nil, fmt.Errorf("cluster: %d shard groups for a router whose table names slot %d", len(groups), table.MaxSlot())
 	}
-	c := &SiteClient{router: router, opts: opts}
-	for shard, members := range groups {
+	c := &SiteClient{
+		routeHash: router.RouteHash,
+		newSite:   newSite,
+		opts:      opts,
+		table:     table,
+		groups:    cloneGroups(groups),
+		shards:    make([]*shardConn, len(groups)),
+	}
+	c.routeVer.Store(c.table.Version)
+	for _, slot := range table.Slots {
+		members := groups[slot]
 		if len(members) == 0 {
 			_ = c.Close()
-			return nil, fmt.Errorf("cluster: shard %d has no member addresses", shard)
+			return nil, fmt.Errorf("cluster: shard slot %d has no member addresses", slot)
 		}
-		sc := &shardConn{members: members, node: newSite(shard)}
-		if len(members) > 1 {
-			sc.primary = currentPrimary(members, opts.Codec)
+		if err := c.dialShard(slot, members); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("cluster: dial shard %d: %w", slot, err)
 		}
-		c.shards = append(c.shards, sc)
-		client, err := wire.DialSiteOptions(sc.node, members[sc.primary], opts)
-		if err == nil {
-			sc.client = client
-			continue
-		}
-		// The supposed primary may be dead before any established site has
-		// promoted its replica (e.g. a fresh site joining mid-outage): run
-		// the ordinary failover walk, which promotes the next live member
-		// and connects to it. There is no unacked state to replay yet.
-		if len(members) > 1 {
-			if ferr := c.failover(shard); ferr == nil {
-				continue
-			}
-		}
-		_ = c.Close()
-		return nil, fmt.Errorf("cluster: dial shard %d: %w", shard, err)
 	}
 	return c, nil
+}
+
+// dialShard connects one shard slot: it builds the slot's protocol site
+// instance and dials the group's current primary, falling back to the
+// failover walk when the primary is already dead (e.g. a fresh site joining
+// mid-outage — there is no unacked state to replay yet).
+func (c *SiteClient) dialShard(slot int, members []string) error {
+	sc := &shardConn{members: members, node: c.newSite(slot)}
+	if len(members) > 1 {
+		sc.primary = currentPrimary(members, c.opts.Codec)
+	}
+	c.shards[slot] = sc
+	client, err := wire.DialSiteOptions(sc.node, members[sc.primary], c.opts)
+	if err == nil {
+		sc.client = client
+		return nil
+	}
+	if len(members) > 1 {
+		if ferr := c.failover(slot); ferr == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// cloneGroups deep-copies a slot-indexed group list so published updates and
+// client state never alias.
+func cloneGroups(groups [][]string) [][]string {
+	out := make([][]string, len(groups))
+	for i, members := range groups {
+		if members != nil {
+			out[i] = append([]string(nil), members...)
+		}
+	}
+	return out
 }
 
 // currentPrimary probes a group's members for the current epoch and maps it
@@ -229,6 +288,9 @@ func currentPrimary(members []string, codec wire.Codec) int {
 // loop terminates.
 func (c *SiteClient) do(shard int, op func(*wire.SiteClient) error) error {
 	sc := c.shards[shard]
+	if sc == nil || sc.client == nil {
+		return fmt.Errorf("cluster: no connection for shard slot %d", shard)
+	}
 	reconnected := false
 	for {
 		err := op(sc.client)
@@ -346,9 +408,128 @@ func (c *SiteClient) Failovers() (int, time.Duration) {
 	return c.failovers, c.failoverTime
 }
 
+// ReshardStalls returns how many route updates this client has applied and
+// the total wall-clock time spent applying them (ingest stall attributable
+// to resharding cutovers: draining windows, dialing new shards, retiring
+// old ones).
+func (c *SiteClient) ReshardStalls() (int, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reshards, c.reshardTime
+}
+
+// OfferRouteUpdate publishes a routing change to this client. It may be
+// called from any goroutine (the reshard driver's, typically); the client
+// applies the update at its next operation boundary — Observe, EndSlot,
+// Flush, or an explicit ApplyRouteUpdates — and only if the update is newer
+// than everything it has applied or been offered so far.
+func (c *SiteClient) OfferRouteUpdate(u *RouteUpdate) {
+	for {
+		cur := c.pendingRoute.Load()
+		if cur != nil && cur.Table.Version >= u.Table.Version {
+			return
+		}
+		if c.routeVer.Load() >= u.Table.Version {
+			return
+		}
+		if c.pendingRoute.CompareAndSwap(cur, u) {
+			return
+		}
+	}
+}
+
+// RouteVersion returns the version of the routing table the client is
+// currently ingesting under. It may be read from any goroutine.
+func (c *SiteClient) RouteVersion() uint64 { return c.routeVer.Load() }
+
+// Closed reports whether Close has completed: the client flushed everything
+// it ever accepted and will not apply further route updates.
+func (c *SiteClient) Closed() bool { return c.closed.Load() }
+
+// ApplyRouteUpdates applies any pending route update immediately. Like every
+// other SiteClient method it must be called from the client's owning
+// goroutine; it exists for callers that are otherwise idle (a reshard cutover
+// cannot complete until every site has either applied the update or closed).
+func (c *SiteClient) ApplyRouteUpdates() error { return c.maybeApplyRoute() }
+
+// maybeApplyRoute is the cooperative half of a reshard cutover. Called at
+// every operation boundary on the owning goroutine, it checks the mailbox
+// and, when a newer table has been published: drains every in-flight batch
+// and pipeline window under the OLD table (so no offer can be routed by a
+// table it was not addressed under), dials the slots the new table adds,
+// swaps the table, and retires connections to slots the new table dropped.
+// On error (say, a new shard that cannot be dialed yet) the update stays
+// pending and the next operation retries.
+func (c *SiteClient) maybeApplyRoute() error {
+	u := c.pendingRoute.Load()
+	if u == nil {
+		return nil
+	}
+	if u.Table.Version <= c.table.Version {
+		c.pendingRoute.CompareAndSwap(u, nil)
+		return nil
+	}
+	start := time.Now()
+	// Phase 1: drain. After this, every offer this client ever accepted is
+	// acknowledged by a coordinator that owned its key under the old table.
+	if err := c.fanOut((*wire.SiteClient).Flush); err != nil {
+		return fmt.Errorf("cluster: reshard drain: %w", err)
+	}
+	// Phase 2: dial new slots before swapping, so a dial failure leaves the
+	// client fully consistent under the old table.
+	for slot := len(c.shards); slot <= u.Table.MaxSlot(); slot++ {
+		c.shards = append(c.shards, nil)
+	}
+	for _, slot := range u.Table.Slots {
+		if sc := c.shards[slot]; sc != nil && sc.client != nil {
+			continue
+		}
+		if slot >= len(u.Groups) || len(u.Groups[slot]) == 0 {
+			return fmt.Errorf("cluster: route update v%d routes to slot %d but lists no members for it", u.Table.Version, slot)
+		}
+		if err := c.dialShard(slot, append([]string(nil), u.Groups[slot]...)); err != nil {
+			return fmt.Errorf("cluster: reshard dial slot %d: %w", slot, err)
+		}
+	}
+	// Phase 3: the flip. Plain field writes — the table is only read by this
+	// goroutine.
+	c.table = u.Table.clone()
+	c.groups = cloneGroups(u.Groups)
+	// Phase 4: retire connections to slots the new table no longer routes
+	// to. Their windows were drained in phase 1 and nothing new was routed
+	// to them since, so closing cannot lose offers; counters fold into the
+	// retired totals exactly as on failover.
+	live := make(map[int]bool, len(c.table.Slots))
+	for _, slot := range c.table.Slots {
+		live[slot] = true
+	}
+	var firstErr error
+	for slot, sc := range c.shards {
+		if sc == nil || sc.client == nil || live[slot] {
+			continue
+		}
+		if err := sc.client.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sc.retiredSent += sc.client.MessagesSent()
+		sc.retiredReceived += sc.client.MessagesReceived()
+		sc.client = nil
+	}
+	c.routeVer.Store(c.table.Version)
+	c.pendingRoute.CompareAndSwap(u, nil)
+	c.mu.Lock()
+	c.reshards++
+	c.reshardTime += time.Since(start)
+	c.mu.Unlock()
+	return firstErr
+}
+
 // Observe routes one element observation to its owning shard.
 func (c *SiteClient) Observe(key string, slot int64) error {
-	shard := c.router.Shard(key)
+	if err := c.maybeApplyRoute(); err != nil {
+		return err
+	}
+	shard := c.table.Lookup(c.routeHash(key))
 	return c.do(shard, func(client *wire.SiteClient) error { return client.Observe(key, slot) })
 }
 
@@ -360,7 +541,7 @@ func (c *SiteClient) Observe(key string, slot int64) error {
 // shard in sequence.
 func (c *SiteClient) fanOut(op func(*wire.SiteClient) error) error {
 	if len(c.shards) == 1 {
-		if c.shards[0].client == nil {
+		if c.shards[0] == nil || c.shards[0].client == nil {
 			return nil
 		}
 		return c.do(0, op)
@@ -368,7 +549,7 @@ func (c *SiteClient) fanOut(op func(*wire.SiteClient) error) error {
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for shard, sc := range c.shards {
-		if sc.client == nil {
+		if sc == nil || sc.client == nil {
 			continue
 		}
 		wg.Add(1)
@@ -390,12 +571,18 @@ func (c *SiteClient) fanOut(op func(*wire.SiteClient) error) error {
 // sliding-window protocol needs it for expiry-driven promotions; it also
 // flushes batches and drains pipeline windows).
 func (c *SiteClient) EndSlot(slot int64) error {
+	if err := c.maybeApplyRoute(); err != nil {
+		return err
+	}
 	return c.fanOut(func(client *wire.SiteClient) error { return client.EndSlot(slot) })
 }
 
 // Flush ships any batched offers and drains the pipeline window on every
-// shard connection concurrently.
+// shard connection concurrently (applying any pending route update first).
 func (c *SiteClient) Flush() error {
+	if err := c.maybeApplyRoute(); err != nil {
+		return err
+	}
 	return c.fanOut((*wire.SiteClient).Flush)
 }
 
@@ -404,28 +591,46 @@ func (c *SiteClient) Flush() error {
 // some fail; the first error wins. If a shard's primary dies at shutdown
 // with offers still unacknowledged, the per-shard failover inside fanOut
 // promotes a replica and replays them before closing, so a clean Close means
-// every offer reached a live coordinator.
+// every offer reached a live coordinator. Pending route updates are NOT
+// applied — everything buffered was routed under the current table and is
+// delivered to the coordinators that own it there; the Closed flag (set only
+// after the drain completes) tells the reshard driver this client's offers
+// are all settled.
 func (c *SiteClient) Close() error {
-	return c.fanOut((*wire.SiteClient).Close)
+	err := c.fanOut((*wire.SiteClient).Close)
+	c.closed.Store(true)
+	return err
 }
 
 // MessagesSent returns the offers shipped across all shard connections,
-// including connections retired by failover (replayed offers count once per
-// transmission).
+// including connections retired by failover or resharding (replayed offers
+// count once per transmission).
 func (c *SiteClient) MessagesSent() int {
 	total := 0
 	for _, sc := range c.shards {
-		total += sc.retiredSent + sc.client.MessagesSent()
+		if sc == nil {
+			continue
+		}
+		total += sc.retiredSent
+		if sc.client != nil {
+			total += sc.client.MessagesSent()
+		}
 	}
 	return total
 }
 
 // MessagesReceived returns the replies received across all shard
-// connections, including connections retired by failover.
+// connections, including connections retired by failover or resharding.
 func (c *SiteClient) MessagesReceived() int {
 	total := 0
 	for _, sc := range c.shards {
-		total += sc.retiredReceived + sc.client.MessagesReceived()
+		if sc == nil {
+			continue
+		}
+		total += sc.retiredReceived
+		if sc.client != nil {
+			total += sc.client.MessagesReceived()
+		}
 	}
 	return total
 }
@@ -448,15 +653,26 @@ func Query(addrs []string, sampleSize int, codec wire.Codec) ([]netsim.SampleEnt
 // current primary (by probing member epochs) and queries it, falling back to
 // a live replica — whose sample is at most one sync interval stale — if the
 // primary cannot be reached. The per-shard samples merge into the global
-// bottom-sampleSize sample exactly as in Query.
+// bottom-sampleSize sample exactly as in Query. Nil or empty group entries
+// (slots retired by resharding) are skipped; at least one live group is
+// required.
 func QueryGroups(groups [][]string, sampleSize int, codec wire.Codec) ([]netsim.SampleEntry, error) {
-	if len(groups) == 0 {
+	live := 0
+	for _, members := range groups {
+		if len(members) > 0 {
+			live++
+		}
+	}
+	if live == 0 {
 		return nil, ErrNoShards
 	}
 	samples := make([][]netsim.SampleEntry, len(groups))
 	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
 	for i, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, members []string) {
 			defer wg.Done()

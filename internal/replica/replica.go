@@ -47,6 +47,12 @@ type Options struct {
 	SyncInterval time.Duration
 	// Codec is the wire codec used for state-sync connections.
 	Codec wire.Codec
+	// RouteHash is the cluster's routing-hash function (ShardRouter.RouteHash
+	// of the shared hasher). When set it is installed on every member server,
+	// enabling the resharding frames — route-update pruning and range-handoff
+	// absorption both filter sample entries by routing hash. Required for
+	// online resharding (cluster.Resharder); optional otherwise.
+	RouteHash func(key string) uint64
 }
 
 // DefaultSyncInterval bounds replica staleness to well under a second while
@@ -74,22 +80,66 @@ type group struct {
 	shard   int
 	members []*member
 
-	mu         sync.Mutex // serializes sync rounds (ticker vs SyncNow)
+	mu         sync.Mutex // serializes sync rounds (ticker vs SyncNow) and retirement
+	retired    bool       // RetireGroup ran: the slot's range was merged away
 	seq        uint64     // monotone state-sync sequence number
-	lastOffers int        // primary offer count at the last push (change detection)
+	lastOffers int        // primary activity count at the last push (change detection)
 	lastEpoch  uint64     // primary epoch at the last push
 	pushed     bool       // at least one push happened
+}
+
+func (g *group) isRetired() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.retired
+}
+
+// memberList returns the group's member slice under the group lock. The
+// slice is assigned exactly once (when AddGroup finishes building the group)
+// and its contents are immutable afterwards, so callers may iterate the
+// returned slice without the lock; the accessor only orders the read against
+// that one assignment.
+func (g *group) memberList() []*member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members
+}
+
+// currentPrimary is primary() for callers not holding g.mu.
+func (g *group) currentPrimary() (int, *member) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.primary()
 }
 
 // Server runs shards × (1 + R) coordinator servers in one process and keeps
 // every group's replicas warm. Shard c's members listen on consecutive
 // ports: with listen address host:port, member m of shard c binds
 // host:(port + c*(R+1) + m); port 0 gives every member an ephemeral port.
+//
+// Groups may be added (AddGroup, for shard splits) and retired (RetireGroup,
+// for shard merges) while the server runs; slot indices are stable — a
+// retired slot keeps its index and is never reused, so range tables and
+// slot-indexed client state stay consistent across reshards.
 type Server struct {
-	opts   Options
+	opts     Options
+	host     string
+	basePort int
+	newCoord func(shard, member int) netsim.CoordinatorNode
+
+	mu     sync.RWMutex // guards the groups slice (AddGroup appends while readers iterate)
 	groups []*group
-	stop   chan struct{}
-	wg     sync.WaitGroup
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// snapshotGroups returns the current groups slice under the read lock; the
+// *group pointers themselves are safe to use without it.
+func (s *Server) snapshotGroups() []*group {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.groups[:len(s.groups):len(s.groups)]
 }
 
 // Listen starts every group member and the per-group sync loops. newCoord
@@ -116,39 +166,109 @@ func Listen(addr string, shards int, opts Options, newCoord func(shard, member i
 	if err != nil {
 		return nil, fmt.Errorf("replica: bad listen port %q: %w", portStr, err)
 	}
-	s := &Server{opts: opts, stop: make(chan struct{})}
-	groupSize := opts.Replicas + 1
+	s := &Server{opts: opts, host: host, basePort: port, newCoord: newCoord, stop: make(chan struct{})}
 	for c := 0; c < shards; c++ {
-		g := &group{shard: c}
-		// Register the group before binding its members so the error paths
-		// below close whatever part of it already listens.
-		s.groups = append(s.groups, g)
-		for m := 0; m < groupSize; m++ {
-			node := newCoord(c, m)
-			if _, ok := node.(netsim.Restorable); !ok && opts.Replicas > 0 {
-				_ = s.Close()
-				return nil, fmt.Errorf("replica: shard %d member %d: coordinator node is not restorable", c, m)
-			}
-			srv := wire.NewCoordinatorServer(node)
-			memberPort := 0
-			if port != 0 {
-				memberPort = port + c*groupSize + m
-			}
-			bound, err := srv.Listen(net.JoinHostPort(host, strconv.Itoa(memberPort)))
-			if err != nil {
-				_ = s.Close()
-				return nil, fmt.Errorf("replica: shard %d member %d: %w", c, m, err)
-			}
-			g.members = append(g.members, &member{srv: srv, addr: bound})
-		}
-	}
-	if opts.Replicas > 0 {
-		for _, g := range s.groups {
-			s.wg.Add(1)
-			go s.syncLoop(g)
+		if _, _, err := s.AddGroup(); err != nil {
+			_ = s.Close()
+			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// AddGroup starts one additional replica group (1 primary + R replicas) at
+// the next slot index and returns the slot and its member addresses in
+// promotion order. Shard splits use it to bring up the new range's owner
+// while the cluster serves; Listen uses it to start the initial groups.
+func (s *Server) AddGroup() (slot int, addrs []string, err error) {
+	s.mu.Lock()
+	slot = len(s.groups)
+	// Register the group before binding its members so slot numbering stays
+	// dense even across failed additions — but register it marked retired
+	// ("under construction"): concurrent readers (GroupAddrs, Stats,
+	// PrimarySamples, a racing Close) skip it until the member list is
+	// complete and published in one locked assignment below.
+	g := &group{shard: slot, retired: true}
+	s.groups = append(s.groups, g)
+	s.mu.Unlock()
+	groupSize := s.opts.Replicas + 1
+	var members []*member
+	for m := 0; m < groupSize; m++ {
+		node := s.newCoord(slot, m)
+		if _, ok := node.(netsim.Restorable); !ok && s.opts.Replicas > 0 {
+			closeMembers(members)
+			return 0, nil, fmt.Errorf("replica: shard %d member %d: coordinator node is not restorable", slot, m)
+		}
+		srv := wire.NewCoordinatorServer(node)
+		if s.opts.RouteHash != nil {
+			srv.SetRouteHash(s.opts.RouteHash)
+		}
+		memberPort := 0
+		if s.basePort != 0 {
+			memberPort = s.basePort + slot*groupSize + m
+		}
+		bound, err := srv.Listen(net.JoinHostPort(s.host, strconv.Itoa(memberPort)))
+		if err != nil {
+			closeMembers(members)
+			return 0, nil, fmt.Errorf("replica: shard %d member %d: %w", slot, m, err)
+		}
+		members = append(members, &member{srv: srv, addr: bound})
+	}
+	g.mu.Lock()
+	g.members = members
+	g.retired = false
+	g.mu.Unlock()
+	if s.opts.Replicas > 0 {
+		s.wg.Add(1)
+		go s.syncLoop(g)
+	}
+	addrs = make([]string, len(members))
+	for m, mem := range members {
+		addrs[m] = mem.addr
+	}
+	return slot, addrs, nil
+}
+
+// closeMembers kills and closes a set of members (failed-construction and
+// retirement teardown).
+func closeMembers(members []*member) error {
+	var firstErr error
+	for _, m := range members {
+		m.mu.Lock()
+		if m.sync != nil {
+			m.sync.Close()
+			m.sync = nil
+		}
+		killed := m.killed
+		m.killed = true
+		m.mu.Unlock()
+		if killed {
+			continue
+		}
+		if err := m.srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// RetireGroup permanently shuts one group down: a shard merge has handed its
+// range (and its sample) to a neighbour, so its members stop serving and its
+// sync loop exits. The slot index stays allocated and is never reused.
+func (s *Server) RetireGroup(slot int) error {
+	g := s.group(slot)
+	if g == nil {
+		return fmt.Errorf("replica: no shard %d", slot)
+	}
+	g.mu.Lock()
+	if g.retired {
+		g.mu.Unlock()
+		return nil
+	}
+	g.retired = true
+	members := g.members
+	g.mu.Unlock()
+	return closeMembers(members)
 }
 
 // syncLoop pushes the group's primary state to its replicas every
@@ -162,6 +282,9 @@ func (s *Server) syncLoop(g *group) {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+			if g.isRetired() {
+				return
+			}
 			_ = g.syncRound(s.opts.Codec, false)
 		}
 	}
@@ -199,6 +322,9 @@ func (g *group) primary() (int, *member) {
 func (g *group) syncRound(codec wire.Codec, force bool) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.retired {
+		return nil
+	}
 	_, p := g.primary()
 	if p == nil {
 		return fmt.Errorf("replica: shard %d: no live members", g.shard)
@@ -273,13 +399,13 @@ func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u fl
 	}
 }
 
-// SyncNow forces one immediate sync round on every group, returning the
+// SyncNow forces one immediate sync round on every live group, returning the
 // first error. Callers use it to quiesce replication: after SiteClient
 // flushes have drained and SyncNow returns, every live replica holds the
 // primary's exact current state.
 func (s *Server) SyncNow() error {
 	var firstErr error
-	for _, g := range s.groups {
+	for _, g := range s.snapshotGroups() {
 		if err := g.syncRound(s.opts.Codec, true); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -287,19 +413,32 @@ func (s *Server) SyncNow() error {
 	return firstErr
 }
 
-// Shards returns the number of shards (groups).
-func (s *Server) Shards() int { return len(s.groups) }
+// Shards returns the number of shard slots ever allocated, including retired
+// ones (slot indices are stable; use GroupAddrs to tell live from retired).
+func (s *Server) Shards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.groups)
+}
 
 // GroupSize returns 1 + R, the number of members per group.
 func (s *Server) GroupSize() int { return s.opts.Replicas + 1 }
 
-// GroupAddrs returns, per shard, the member addresses in promotion order
-// (member 0 first). This is the address set sites and query clients take.
+// GroupAddrs returns, per shard slot, the member addresses in promotion
+// order (member 0 first); retired slots are nil. This is the address set
+// sites and query clients take.
 func (s *Server) GroupAddrs() [][]string {
-	out := make([][]string, len(s.groups))
-	for c, g := range s.groups {
-		addrs := make([]string, len(g.members))
-		for m, mem := range g.members {
+	groups := s.snapshotGroups()
+	out := make([][]string, len(groups))
+	for c, g := range groups {
+		g.mu.Lock()
+		retired, members := g.retired, g.members
+		g.mu.Unlock()
+		if retired {
+			continue
+		}
+		addrs := make([]string, len(members))
+		for m, mem := range members {
 			addrs[m] = mem.addr
 		}
 		out[c] = addrs
@@ -307,29 +446,67 @@ func (s *Server) GroupAddrs() [][]string {
 	return out
 }
 
+// group returns the group at slot, or nil if the slot is out of range.
+func (s *Server) group(slot int) *group {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if slot < 0 || slot >= len(s.groups) {
+		return nil
+	}
+	return s.groups[slot]
+}
+
 // PrimaryIndex returns the member index of the shard's current primary, or
-// -1 if every member is dead.
+// -1 if every member is dead (or the slot retired).
 func (s *Server) PrimaryIndex(shard int) int {
-	idx, _ := s.groups[shard].primary()
+	g := s.group(shard)
+	if g == nil || g.isRetired() {
+		return -1
+	}
+	idx, _ := g.currentPrimary()
 	return idx
+}
+
+// PrimaryAddr returns the address of the shard's current primary member
+// ("" if the slot is retired or fully dead) — the endpoint reshard drivers
+// snapshot from and hand ranges to.
+func (s *Server) PrimaryAddr(shard int) string {
+	g := s.group(shard)
+	if g == nil || g.isRetired() {
+		return ""
+	}
+	_, p := g.currentPrimary()
+	if p == nil {
+		return ""
+	}
+	return p.addr
 }
 
 // Epochs returns the current epoch of every member of the shard.
 func (s *Server) Epochs(shard int) []uint64 {
-	g := s.groups[shard]
-	out := make([]uint64, len(g.members))
-	for i, m := range g.members {
+	g := s.group(shard)
+	if g == nil {
+		return nil
+	}
+	members := g.memberList()
+	out := make([]uint64, len(members))
+	for i, m := range members {
 		out[i] = m.srv.Epoch()
 	}
 	return out
 }
 
-// PrimarySamples returns the current primary's sample for every shard,
-// indexed by shard — the inputs to cluster.Merge.
+// PrimarySamples returns the current primary's sample for every live shard
+// slot, indexed by slot (retired slots contribute nil) — the inputs to
+// cluster.Merge.
 func (s *Server) PrimarySamples() ([][]netsim.SampleEntry, error) {
-	out := make([][]netsim.SampleEntry, len(s.groups))
-	for c, g := range s.groups {
-		_, p := g.primary()
+	groups := s.snapshotGroups()
+	out := make([][]netsim.SampleEntry, len(groups))
+	for c, g := range groups {
+		if g.isRetired() {
+			continue
+		}
+		_, p := g.currentPrimary()
 		if p == nil {
 			return nil, fmt.Errorf("replica: shard %d: no live members", c)
 		}
@@ -340,15 +517,16 @@ func (s *Server) PrimarySamples() ([][]netsim.SampleEntry, error) {
 
 // MemberSample returns one member's current sample (for staleness checks).
 func (s *Server) MemberSample(shard, member int) []netsim.SampleEntry {
-	return s.groups[shard].members[member].srv.Sample()
+	return s.group(shard).memberList()[member].srv.Sample()
 }
 
 // Stats returns cluster-wide totals of offers received, reply messages sent,
-// and queries answered, summed over every member (a replayed offer counts at
-// both the dead primary and its successor).
+// and queries answered, summed over every member ever started (a replayed
+// offer counts at both the dead primary and its successor; retired members'
+// history stays counted).
 func (s *Server) Stats() (offers, replies, queries int) {
-	for _, g := range s.groups {
-		for _, m := range g.members {
+	for _, g := range s.snapshotGroups() {
+		for _, m := range g.memberList() {
 			o, r, q := m.srv.Stats()
 			offers += o
 			replies += r
@@ -363,14 +541,15 @@ func (s *Server) Stats() (offers, replies, queries int) {
 // and the syncer stops pushing to it. Killing is permanent for the lifetime
 // of the server.
 func (s *Server) Kill(shard, memberIdx int) error {
-	if shard < 0 || shard >= len(s.groups) {
+	g := s.group(shard)
+	if g == nil {
 		return fmt.Errorf("replica: no shard %d", shard)
 	}
-	g := s.groups[shard]
-	if memberIdx < 0 || memberIdx >= len(g.members) {
+	members := g.memberList()
+	if memberIdx < 0 || memberIdx >= len(members) {
 		return fmt.Errorf("replica: shard %d has no member %d", shard, memberIdx)
 	}
-	m := g.members[memberIdx]
+	m := members[memberIdx]
 	m.mu.Lock()
 	if m.killed {
 		m.mu.Unlock()
@@ -388,7 +567,7 @@ func (s *Server) Kill(shard, memberIdx int) error {
 // KillPrimary kills the shard's current primary and returns its member
 // index (-1 if the group was already fully dead).
 func (s *Server) KillPrimary(shard int) (int, error) {
-	idx, _ := s.groups[shard].primary()
+	idx := s.PrimaryIndex(shard)
 	if idx < 0 {
 		return -1, fmt.Errorf("replica: shard %d: no live members", shard)
 	}
@@ -404,22 +583,9 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	var firstErr error
-	for _, g := range s.groups {
-		for _, m := range g.members {
-			m.mu.Lock()
-			if m.sync != nil {
-				m.sync.Close()
-				m.sync = nil
-			}
-			killed := m.killed
-			m.killed = true
-			m.mu.Unlock()
-			if killed {
-				continue
-			}
-			if err := m.srv.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+	for _, g := range s.snapshotGroups() {
+		if err := closeMembers(g.memberList()); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr

@@ -67,29 +67,33 @@ const maxFrameSize = 16 << 20
 // peer that predates a code rejects it cleanly as unknown), so the preamble
 // digit only moves when an existing frame's layout changes.
 const (
-	binHello     = 0x01
-	binOffer     = 0x02
-	binReplies   = 0x03
-	binQuery     = 0x04
-	binSample    = 0x05
-	binError     = 0x06
-	binBatch     = 0x07
-	binStateSync = 0x08
-	binStateAck  = 0x09
-	binPromote   = 0x0a
+	binHello        = 0x01
+	binOffer        = 0x02
+	binReplies      = 0x03
+	binQuery        = 0x04
+	binSample       = 0x05
+	binError        = 0x06
+	binBatch        = 0x07
+	binStateSync    = 0x08
+	binStateAck     = 0x09
+	binPromote      = 0x0a
+	binRouteUpdate  = 0x0b
+	binRangeHandoff = 0x0c
 )
 
 var binToName = map[byte]string{
-	binHello:     FrameHello,
-	binOffer:     FrameOffer,
-	binReplies:   FrameReplies,
-	binQuery:     FrameQuery,
-	binSample:    FrameSample,
-	binError:     FrameError,
-	binBatch:     FrameBatch,
-	binStateSync: FrameStateSync,
-	binStateAck:  FrameStateAck,
-	binPromote:   FramePromote,
+	binHello:        FrameHello,
+	binOffer:        FrameOffer,
+	binReplies:      FrameReplies,
+	binQuery:        FrameQuery,
+	binSample:       FrameSample,
+	binError:        FrameError,
+	binBatch:        FrameBatch,
+	binStateSync:    FrameStateSync,
+	binStateAck:     FrameStateAck,
+	binPromote:      FramePromote,
+	binRouteUpdate:  FrameRouteUpdate,
+	binRangeHandoff: FrameRangeHandoff,
 }
 
 // Minimum encoded sizes, used to reject implausible element counts before
@@ -103,16 +107,18 @@ const (
 )
 
 var nameToBin = map[string]byte{
-	FrameHello:     binHello,
-	FrameOffer:     binOffer,
-	FrameReplies:   binReplies,
-	FrameQuery:     binQuery,
-	FrameSample:    binSample,
-	FrameError:     binError,
-	FrameBatch:     binBatch,
-	FrameStateSync: binStateSync,
-	FrameStateAck:  binStateAck,
-	FramePromote:   binPromote,
+	FrameHello:        binHello,
+	FrameOffer:        binOffer,
+	FrameReplies:      binReplies,
+	FrameQuery:        binQuery,
+	FrameSample:       binSample,
+	FrameError:        binError,
+	FrameBatch:        binBatch,
+	FrameStateSync:    binStateSync,
+	FrameStateAck:     binStateAck,
+	FramePromote:      binPromote,
+	FrameRouteUpdate:  binRouteUpdate,
+	FrameRangeHandoff: binRangeHandoff,
 }
 
 // frameConn reads and writes protocol frames in one concrete codec. A
@@ -236,6 +242,21 @@ func (c *binConn) WriteFrame(f *Frame) error {
 		buf = binary.AppendUvarint(buf, f.Seq)
 	case binPromote:
 		buf = binary.AppendUvarint(buf, f.Epoch)
+	case binRouteUpdate:
+		buf = binary.AppendUvarint(buf, f.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Lo)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Hi)
+	case binRangeHandoff:
+		buf = binary.AppendUvarint(buf, f.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Lo)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Hi)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.U))
+		buf = binary.AppendUvarint(buf, uint64(len(f.Entries)))
+		for _, e := range f.Entries {
+			buf = appendString(buf, e.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Hash))
+			buf = binary.AppendVarint(buf, e.Expiry)
+		}
 	}
 	c.wbuf = buf
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
@@ -340,6 +361,27 @@ func (c *binConn) ReadFrame(f *Frame) error {
 		f.Seq = d.uvarint()
 	case binPromote:
 		f.Epoch = d.uvarint()
+	case binRouteUpdate:
+		f.Seq = d.uvarint()
+		f.Lo = d.uint64()
+		f.Hi = d.uint64()
+	case binRangeHandoff:
+		f.Seq = d.uvarint()
+		f.Lo = d.uint64()
+		f.Hi = d.uint64()
+		f.U = d.float()
+		count := d.uvarint()
+		if err := d.checkCount(count, minSampleEntryBytes); err != nil {
+			return err
+		}
+		if count > 0 {
+			f.Entries = entries
+		}
+		for i := uint64(0); i < count && d.err == nil; i++ {
+			e := netsim.SampleEntry{Key: d.string(), Hash: d.float()}
+			e.Expiry = d.varint()
+			f.Entries = append(f.Entries, e)
+		}
 	}
 	return d.err
 }
@@ -449,6 +491,16 @@ func (d *byteDecoder) string() string {
 	s := string(d.buf[:n])
 	d.buf = d.buf[n:]
 	return s
+}
+
+func (d *byteDecoder) uint64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
 }
 
 func (d *byteDecoder) float() float64 {

@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// testRouteHash mirrors the cluster router's routing hash (the SplitMix64
+// finalizer over the shared digest) without importing internal/cluster.
+func testRouteHash(hasher hashing.UnitHasher) func(string) uint64 {
+	return func(key string) uint64 { return hashing.Mix64(hasher.Hash(key)) }
+}
+
+// TestRouteUpdatePrunesSample checks the server half of a reshard restrict:
+// a route-update keeps exactly the entries hashing into the assigned range,
+// ratchets the route version, and fences stale versions.
+func TestRouteUpdatePrunesSample(t *testing.T) {
+	hasher := hashing.NewMurmur2(11)
+	rh := testRouteHash(hasher)
+	coord := core.NewInfiniteCoordinator(64)
+	srv := NewCoordinatorServer(coord)
+	srv.SetRouteHash(rh)
+	defer srv.Close()
+	sc := NewMemSync(srv)
+	defer sc.Close()
+
+	var entries []netsim.SampleEntry
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("prune-%d", i)
+		entries = append(entries, netsim.SampleEntry{Key: key, Hash: hasher.Unit(key)})
+	}
+	if _, err := sc.Sync(0, 1, 0, 1, entries); err != nil {
+		t.Fatal(err)
+	}
+	const mid = 1 << 63
+	wantKept := 0
+	for _, e := range entries {
+		if rh(e.Key) < mid {
+			wantKept++
+		}
+	}
+	if wantKept == 0 || wantKept == len(entries) {
+		t.Fatalf("degenerate test data: %d of %d keys below the midpoint", wantKept, len(entries))
+	}
+	ackVer, err := sc.RouteUpdate(3, 0, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ackVer != 3 {
+		t.Fatalf("route-update ack version = %d, want 3", ackVer)
+	}
+	if got := srv.RouteVersion(); got != 3 {
+		t.Fatalf("server route version = %d, want 3", got)
+	}
+	kept := srv.Sample()
+	if len(kept) != wantKept {
+		t.Fatalf("prune kept %d entries, want %d", len(kept), wantKept)
+	}
+	for _, e := range kept {
+		if rh(e.Key) >= mid {
+			t.Fatalf("entry %q (routing hash %#x) survived a prune to [0, %#x)", e.Key, rh(e.Key), uint64(mid))
+		}
+	}
+	// A stale route-update (version 2 < 3) is fenced: nothing changes and
+	// the ack reveals the applied version.
+	ackVer, err = sc.RouteUpdate(2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ackVer != 3 {
+		t.Fatalf("stale route-update ack = %d, want 3", ackVer)
+	}
+	if got := srv.Sample(); len(got) != wantKept {
+		t.Fatalf("stale route-update changed the sample: %d entries", len(got))
+	}
+}
+
+// TestRangeHandoffAbsorbsFiltered checks the receiving half of a handoff:
+// only the entries in the carried range are absorbed, absorption merges with
+// (never replaces) the local sample, application is idempotent, and stale
+// handoffs are fenced by route version.
+func TestRangeHandoffAbsorbsFiltered(t *testing.T) {
+	hasher := hashing.NewMurmur2(12)
+	rh := testRouteHash(hasher)
+	srv := NewCoordinatorServer(core.NewInfiniteCoordinator(64))
+	srv.SetRouteHash(rh)
+	defer srv.Close()
+	sc := NewMemSync(srv)
+	defer sc.Close()
+
+	// The receiver already owns some state of its own.
+	local := netsim.SampleEntry{Key: "local-1", Hash: hasher.Unit("local-1")}
+	if _, err := sc.Sync(0, 1, 0, 1, []netsim.SampleEntry{local}); err != nil {
+		t.Fatal(err)
+	}
+	const mid = 1 << 63
+	var donor []netsim.SampleEntry
+	wantAbsorbed := 0
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("handoff-%d", i)
+		donor = append(donor, netsim.SampleEntry{Key: key, Hash: hasher.Unit(key)})
+		if rh(key) >= mid {
+			wantAbsorbed++
+		}
+	}
+	if _, err := sc.Handoff(2, mid, 0, 1, donor); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.Sample()
+	if len(got) != wantAbsorbed+1 {
+		t.Fatalf("after handoff: %d entries, want %d absorbed + 1 local", len(got), wantAbsorbed)
+	}
+	keys := make(map[string]bool, len(got))
+	for _, e := range got {
+		keys[e.Key] = true
+		if e.Key != local.Key && rh(e.Key) < mid {
+			t.Fatalf("out-of-range entry %q absorbed", e.Key)
+		}
+	}
+	if !keys[local.Key] {
+		t.Fatal("handoff replaced the receiver's own state instead of merging")
+	}
+	// Idempotent re-application.
+	if _, err := sc.Handoff(2, mid, 0, 1, donor); err != nil {
+		t.Fatal(err)
+	}
+	if again := srv.Sample(); len(again) != len(got) {
+		t.Fatalf("re-applied handoff changed the sample: %d -> %d entries", len(got), len(again))
+	}
+	// Move the route version forward; a handoff stamped below it is fenced.
+	if _, err := sc.RouteUpdate(5, mid, 0); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterPrune := len(srv.Sample())
+	ackVer, err := sc.Handoff(4, 0, 0, 1, []netsim.SampleEntry{{Key: "stale", Hash: 0.000001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ackVer != 5 {
+		t.Fatalf("stale handoff ack version = %d, want 5", ackVer)
+	}
+	if got := srv.Sample(); len(got) != sizeAfterPrune {
+		t.Fatalf("stale handoff was applied: %d -> %d entries", sizeAfterPrune, len(got))
+	}
+}
+
+// TestRouteFramesRequireRouteHash checks that a coordinator without the
+// shared routing hash rejects reshard frames loudly: range filtering is
+// impossible without it, and a silent accept could lose sample entries.
+func TestRouteFramesRequireRouteHash(t *testing.T) {
+	srv := NewCoordinatorServer(core.NewInfiniteCoordinator(4))
+	defer srv.Close()
+	sc := NewMemSync(srv)
+	defer sc.Close()
+	if _, err := sc.RouteUpdate(1, 0, 0); err == nil || !strings.Contains(err.Error(), "routing hash") {
+		t.Fatalf("route-update without routing hash: err = %v", err)
+	}
+	sc2 := NewMemSync(srv)
+	defer sc2.Close()
+	if _, err := sc2.Handoff(1, 0, 0, 1, nil); err == nil || !strings.Contains(err.Error(), "routing hash") {
+		t.Fatalf("range-handoff without routing hash: err = %v", err)
+	}
+}
+
+// TestPartitionDeposedPrimaryIsFenced is the regression test for the gap
+// PR 3 documented: a primary deposed by a *partition* (it is alive and keeps
+// acknowledging offers, it just cannot know the group moved on) must not be
+// able to push its acknowledged-but-doomed offers into the promoted replica.
+// The fenced state-sync is the only channel those offers could travel, so
+// the assertion is: after the partition heals enough for the deposed primary
+// to push, the replica's sample contains exactly the pre-partition state —
+// none of the doomed keys — and the deposed primary learns the newer epoch
+// from the ack.
+func TestPartitionDeposedPrimaryIsFenced(t *testing.T) {
+	const s = 8
+	hasher := hashing.NewMurmur2(31)
+	primary := NewCoordinatorServer(core.NewInfiniteCoordinator(s))
+	defer primary.Close()
+	replica := NewCoordinatorServer(core.NewInfiniteCoordinator(s))
+	defer replica.Close()
+
+	site := core.NewInfiniteSite(0, hasher)
+	client, err := DialSiteMem(site, primary, Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Pre-partition: ingest, then one state-sync catches the replica up.
+	for i := 0; i < 200; i++ {
+		if err := client.Observe(fmt.Sprintf("pre-%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, u, slot, _ := primary.SyncState()
+	push := NewMemSync(replica)
+	defer push.Close()
+	if _, err := push.Sync(0, 1, slot, u, entries); err != nil {
+		t.Fatal(err)
+	}
+	preSample := replica.Sample()
+	if len(preSample) != s {
+		t.Fatalf("replica holds %d entries pre-partition, want %d", len(preSample), s)
+	}
+
+	// The partition: clients can reach the replica but not the (still live)
+	// primary, so they promote the replica to epoch 1. The primary is NOT
+	// closed — that is the difference from a crash.
+	promoter := NewMemSync(replica)
+	defer promoter.Close()
+	if epoch, err := promoter.Promote(1); err != nil || epoch != 1 {
+		t.Fatalf("promote = (%d, %v), want (1, nil)", epoch, err)
+	}
+
+	// A site still on the primary's side of the partition keeps ingesting;
+	// the deposed primary acknowledges every offer. These are the doomed
+	// offers: acknowledged by a coordinator that is no longer the group's
+	// primary. Use tiny hashes so that, if they leaked into the replica,
+	// they would certainly displace sample entries.
+	doomed := make(map[string]bool)
+	dsc := NewMemSync(primary)
+	defer dsc.Close()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("doomed-%d", i)
+		doomed[key] = true
+		if err := client.Observe(key, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deposed primary's next sync push reaches the replica (say the
+	// partition heals): it must be fenced, and the ack must reveal epoch 1.
+	entries, u, slot, _ = primary.SyncState()
+	ackEpoch, err := push.Sync(0, 2, slot, u, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ackEpoch != 1 {
+		t.Fatalf("deposed primary's sync ack epoch = %d, want 1", ackEpoch)
+	}
+	got := replica.Sample()
+	if len(got) != len(preSample) {
+		t.Fatalf("replica sample changed size across a fenced sync: %d -> %d", len(preSample), len(got))
+	}
+	for i, e := range got {
+		if doomed[e.Key] {
+			t.Fatalf("doomed offer %q survived into the promoted replica", e.Key)
+		}
+		if e != preSample[i] {
+			t.Fatalf("replica entry %d changed across a fenced sync: %+v -> %+v", i, preSample[i], e)
+		}
+	}
+	// The epoch-1 primary (the replica) would stamp its own pushes with
+	// epoch 1; the deposed primary can never catch up without being
+	// re-promoted, because epochs only ratchet via promote frames.
+	if replica.Epoch() != 1 || !replica.Promoted() {
+		t.Fatalf("replica epoch/promoted = %d/%v, want 1/true", replica.Epoch(), replica.Promoted())
+	}
+}

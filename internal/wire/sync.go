@@ -84,6 +84,47 @@ func (c *SyncClient) Promote(epoch uint64) (ackEpoch uint64, err error) {
 	return ackEpoch, err
 }
 
+// RouteUpdate assigns the server its new routing-hash range [lo, hi) as of
+// the given route-table version (hi == 0 means up to 2^64): the server drops
+// every sample entry outside the range. It returns the server's resulting
+// route version; ackVer > ver means the frame was fenced off — the server has
+// already applied a newer routing table.
+func (c *SyncClient) RouteUpdate(ver uint64, lo, hi uint64) (ackVer uint64, err error) {
+	_, ackVer, err = c.roundTrip(&Frame{Type: FrameRouteUpdate, Seq: ver, Lo: lo, Hi: hi})
+	return ackVer, err
+}
+
+// Handoff ships a donor shard's snapshot to the server, which absorbs the
+// entries hashing into [lo, hi) into its own sample (bottom-s of the union).
+// Application is idempotent; a handoff stamped below the server's applied
+// route version is fenced off.
+func (c *SyncClient) Handoff(ver uint64, lo, hi uint64, u float64, entries []netsim.SampleEntry) (ackVer uint64, err error) {
+	_, ackVer, err = c.roundTrip(&Frame{Type: FrameRangeHandoff, Seq: ver, Lo: lo, Hi: hi, U: u, Entries: entries})
+	return ackVer, err
+}
+
+// RouteUpdateAddr dials addr, sends one route-update frame, and returns the
+// server's resulting route version.
+func RouteUpdateAddr(addr string, ver, lo, hi uint64, codec Codec) (uint64, error) {
+	c, err := DialSync(addr, codec)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	return c.RouteUpdate(ver, lo, hi)
+}
+
+// HandoffAddr dials addr, sends one range-handoff frame, and returns the
+// server's resulting route version.
+func HandoffAddr(addr string, ver, lo, hi uint64, entries []netsim.SampleEntry, codec Codec) (uint64, error) {
+	c, err := DialSync(addr, codec)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	return c.Handoff(ver, lo, hi, 1, entries)
+}
+
 // PromoteAddr dials addr, sends one promote frame for the given epoch, and
 // returns the server's resulting epoch.
 func PromoteAddr(addr string, epoch uint64, codec Codec) (uint64, error) {

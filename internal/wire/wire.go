@@ -88,7 +88,17 @@ type Frame struct {
 	// current threshold at the moment the sample was captured. The receiver
 	// re-derives its threshold from the restored sample, so U is carried for
 	// observability and cross-checking, not correctness.
-	U       float64              `json:"u,omitempty"`
+	U float64 `json:"u,omitempty"`
+	// Lo and Hi delimit a half-open routing-hash range [Lo, Hi) on the
+	// resharding frames: route-update carries the receiver's newly owned
+	// range, range-handoff carries the range whose entries the receiver must
+	// absorb. Hi == 0 means the range extends to 2^64 (the top of the routing
+	// space), so the full space is Lo == 0, Hi == 0. On these frames Seq
+	// carries the route-table version, the resharding fencing number: a
+	// coordinator that has applied version v ignores route frames stamped
+	// below it, exactly like the replication epoch fences state-syncs.
+	Lo      uint64               `json:"lo,omitempty"`
+	Hi      uint64               `json:"hi,omitempty"`
 	Msg     *netsim.Message      `json:"msg,omitempty"`
 	Msgs    []netsim.Message     `json:"msgs,omitempty"`
 	Batch   []BatchEntry         `json:"batch,omitempty"`
@@ -109,6 +119,9 @@ const (
 	FrameStateSync = "state-sync" // primary -> replica: full sample + epoch/seq/slot metadata
 	FrameStateAck  = "state-ack"  // replica -> primary/prober: applied (or current) epoch and sync seq
 	FramePromote   = "promote"    // client -> replica: assume this epoch (become primary)
+	// Resharding frames (see internal/cluster's Resharder).
+	FrameRouteUpdate  = "route-update"  // reshard driver -> coordinator: own [Lo,Hi) as of route version Seq; prune the rest
+	FrameRangeHandoff = "range-handoff" // reshard driver -> coordinator: absorb the carried entries that hash into [Lo,Hi)
 )
 
 // CoordinatorServer exposes a coordinator node over TCP.
@@ -136,6 +149,16 @@ type CoordinatorServer struct {
 	promoted bool  // a promote frame has been accepted (role visibility)
 	lastSlot int64 // highest slot seen across offers (state-sync slot metadata)
 	closing  bool  // Close has begun; reject freshly accepted connections
+	// Resharding state: the route-table version this server has applied (a
+	// monotone ratchet, like epoch — route frames stamped below it are
+	// fenced off), the routing-hash function used to filter sample entries
+	// by range (set by SetRouteHash; route frames are rejected without it),
+	// and a count of state mutations applied outside the offer path
+	// (state-syncs, handoffs, prunes) so replication change detection sees
+	// sample changes that offer counts alone would miss.
+	routeVer  uint64
+	routeHash func(key string) uint64
+	mutations int
 }
 
 // NewCoordinatorServer wraps the given coordinator node.
@@ -191,6 +214,41 @@ func (s *CoordinatorServer) Promoted() bool {
 	return s.promoted
 }
 
+// SetRouteHash installs the cluster's routing-hash function (the rehashed
+// digest the ShardRouter partitions on). It must be set before the server can
+// apply route-update or range-handoff frames: both filter sample entries by
+// their routing hash, which only the shared hash function can compute.
+func (s *CoordinatorServer) SetRouteHash(fn func(key string) uint64) {
+	s.mu.Lock()
+	s.routeHash = fn
+	s.mu.Unlock()
+}
+
+// RouteVersion returns the highest route-table version this server has
+// applied (0 if it has never seen a route frame).
+func (s *CoordinatorServer) RouteVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.routeVer
+}
+
+// routeInRange reports whether routing hash x falls in [lo, hi), where
+// hi == 0 means the range extends to 2^64.
+func routeInRange(x, lo, hi uint64) bool {
+	return x >= lo && (hi == 0 || x < hi)
+}
+
+// filterRange keeps the entries whose routing hash falls in [lo, hi).
+func filterRange(entries []netsim.SampleEntry, lo, hi uint64, routeHash func(string) uint64) []netsim.SampleEntry {
+	kept := make([]netsim.SampleEntry, 0, len(entries))
+	for _, e := range entries {
+		if routeInRange(routeHash(e.Key), lo, hi) {
+			kept = append(kept, e)
+		}
+	}
+	return kept
+}
+
 // track registers a live connection so Close can force it shut. It returns
 // false when the server is already closing — a connection accepted in the
 // race window between the listener closing and the force-close pass must be
@@ -236,17 +294,19 @@ type Thresholder interface {
 
 // SyncState atomically captures everything a state-sync frame carries: the
 // node's full sample, its threshold (1 if the node does not expose one), the
-// highest slot seen in ingest, and the count of offers dispatched so far.
-// The offer count lets a replication syncer skip pushing frames while the
-// primary is idle.
-func (s *CoordinatorServer) SyncState() (entries []netsim.SampleEntry, u float64, slot int64, offers int) {
+// highest slot seen in ingest, and an activity counter — offers dispatched
+// plus mutations applied through route/handoff/state-sync frames — that lets
+// a replication syncer skip pushing frames while the primary's state is
+// unchanged. (Mutations count because a resharding prune or handoff changes
+// the sample without any offer arriving; replicas must still learn of it.)
+func (s *CoordinatorServer) SyncState() (entries []netsim.SampleEntry, u float64, slot int64, activity int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	u = 1
 	if t, ok := s.node.(Thresholder); ok {
 		u = t.Threshold()
 	}
-	return s.node.Sample(), u, s.lastSlot, s.stats.offers
+	return s.node.Sample(), u, s.lastSlot, s.stats.offers + s.mutations
 }
 
 func (s *CoordinatorServer) acceptLoop() {
@@ -469,6 +529,7 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			if f.Epoch == s.epoch && (!s.synced || f.Seq >= s.syncSeq) {
 				rn.RestoreSample(f.Entries)
 				s.syncSeq, s.synced = f.Seq, true
+				s.mutations++
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
 			s.mu.Unlock()
@@ -489,6 +550,80 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 				s.promoted = true
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
+			s.mu.Unlock()
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
+		case FrameRouteUpdate:
+			// A reshard driver assigns this coordinator its new hash-prefix
+			// range: as of route version Seq it owns [Lo, Hi), and every
+			// sample entry outside that range has been (or is being) handed
+			// to another shard, so it is dropped here — the "filtered
+			// re-application" that keeps each successor of a split exactly
+			// the keys hashing into its new range. The version ratchets
+			// monotonically; a frame stamped at or below the applied version
+			// is fenced off (the ack's Seq tells the sender where the server
+			// is), so a delayed route-update can never resurrect a
+			// handed-off range.
+			rn, ok := s.node.(netsim.Restorable)
+			if !ok {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "route-update: coordinator node is not restorable"})
+				return
+			}
+			s.mu.Lock()
+			if s.routeHash == nil {
+				s.mu.Unlock()
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "route-update: no routing hash configured on this coordinator"})
+				return
+			}
+			if f.Seq > s.routeVer {
+				s.routeVer = f.Seq
+				rn.RestoreSample(filterRange(s.node.Sample(), f.Lo, f.Hi, s.routeHash))
+				s.mutations++
+			}
+			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
+			s.mu.Unlock()
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
+		case FrameRangeHandoff:
+			// A reshard driver hands this coordinator a donor shard's
+			// snapshot. The entries hashing into [Lo, Hi) are merged into the
+			// node's sample — applied as offers, so the result is the exact
+			// bottom-s of the union of the snapshot and whatever this shard
+			// has ingested since the cutover — and everything else in the
+			// frame is ignored (it belongs to some other successor).
+			// Application is idempotent, so the warm handoff before the
+			// cutover and the settling handoff after it can carry
+			// overlapping snapshots safely. Handoffs stamped below the
+			// applied route version are fenced: the range has since moved
+			// on, and absorbing a stale snapshot could resurrect keys this
+			// shard no longer owns.
+			rn, ok := s.node.(netsim.Restorable)
+			if !ok {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "range-handoff: coordinator node is not restorable"})
+				return
+			}
+			s.mu.Lock()
+			if s.routeHash == nil {
+				s.mu.Unlock()
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "range-handoff: no routing hash configured on this coordinator"})
+				return
+			}
+			if f.Seq >= s.routeVer {
+				incoming := filterRange(f.Entries, f.Lo, f.Hi, s.routeHash)
+				if len(incoming) > 0 {
+					rn.RestoreSample(append(s.node.Sample(), incoming...))
+					s.mutations++
+				}
+			}
+			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
 			s.mu.Unlock()
 			if err := flushAck(); err != nil {
 				return
