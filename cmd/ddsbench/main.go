@@ -49,13 +49,15 @@ func main() {
 		requireSpeed  = flag.Float64("require-pipeline-speedup", 0, "fail -cluster-bench unless the best pipelined window beats the synchronous path by this factor (0 disables; CI uses 1.0)")
 		benchFailover = flag.Bool("bench-failover", true, "include the kill/promote failover benchmark in -cluster-bench (fails on reference divergence)")
 		benchReshard  = flag.Bool("bench-reshard", true, "include the online split/merge reshard benchmark in -cluster-bench (fails on reference divergence)")
+		benchSlidingF = flag.Bool("bench-sliding-failover", true, "include the sliding-window kill/promote benchmark in -cluster-bench (fails on window-minimum divergence)")
+		benchWindowSl = flag.Int64("bench-window-slots", 60, "sliding-window length in slots for -bench-sliding-failover")
 		benchReplicas = flag.Int("bench-replicas", 1, "warm replicas per shard for the failover and reshard benchmarks")
 		benchSyncInt  = flag.Duration("bench-sync-interval", 50*time.Millisecond, "replica sync interval for the failover and reshard benchmarks")
 	)
 	flag.Parse()
 
 	if *clusterBench {
-		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchReplicas, *benchSyncInt); err != nil {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchSlidingF, *benchWindowSl, *benchReplicas, *benchSyncInt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -153,6 +155,24 @@ type clusterBenchReport struct {
 	// merge reuniting the ranges) — see cluster.RunReshardBench. Every run
 	// in it has passed the merged-sample-vs-reference check.
 	Reshard *reshardReport `json:"reshard,omitempty"`
+	// SlidingFailover measures ingest throughput across a kill/promote event
+	// on a sliding-window cluster — replication of the candidate store via
+	// the generic state frames (see cluster.RunSlidingFailoverBench). Every
+	// run has passed the window-minimum-vs-brute-force check.
+	SlidingFailover *slidingFailoverReport `json:"sliding_failover,omitempty"`
+}
+
+// slidingFailoverReport is the sliding_failover section of
+// BENCH_cluster.json: one sliding-window kill/promote run per transport
+// mode, at the sweep's largest shard count.
+type slidingFailoverReport struct {
+	Replicas       int                              `json:"replicas"`
+	WindowSlots    int64                            `json:"window_slots"`
+	SyncIntervalMS float64                          `json:"sync_interval_ms"`
+	Runs           []*cluster.SlidingFailoverResult `json:"runs"`
+	// WorstPostKillRatio is the min over runs of post-kill / pre-kill
+	// throughput.
+	WorstPostKillRatio float64 `json:"worst_post_kill_ratio"`
 }
 
 // reshardReport is the reshard section of BENCH_cluster.json: one online
@@ -214,7 +234,7 @@ type pipelinePoint struct {
 // the pipeline window sweep and writes the machine-readable report to path.
 // If requireSpeedup > 0 and the best pipelined window does not beat the
 // synchronous path by that factor, an error is returned (the CI smoke gate).
-func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard bool, replicas int, syncInterval time.Duration) error {
+func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard, slidingFailover bool, windowSlots int64, replicas int, syncInterval time.Duration) error {
 	report := &clusterBenchReport{
 		GeneratedUnix:        time.Now().Unix(),
 		Elements:             elements,
@@ -279,6 +299,13 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 		}
 	}
 
+	if slidingFailover {
+		report.SlidingFailover, err = runSlidingFailoverBench(elements, maxShards, windowSlots, replicas, syncInterval, seed)
+		if err != nil {
+			return err
+		}
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -332,6 +359,47 @@ func runFailoverBench(elements, shards, replicas int, syncInterval time.Duration
 		}
 		fmt.Fprintf(os.Stderr, "[failover-bench shards=%d replicas=%d window=%d: %.0f -> %.0f ops/s across kill (%.2fx), %d promotions, %.1f ms stalled]\n",
 			shards, replicas, window, res.PreKillOpsPerSec, res.PostKillOpsPerSec, ratio, res.Failovers, res.FailoverStallSec*1000)
+	}
+	return rep, nil
+}
+
+// runSlidingFailoverBench runs the sliding-window kill/promote benchmark in
+// both transport modes at the sweep's largest shard count. Each run
+// internally fails if the post-promotion merged window sample diverges from
+// the brute-force window minimum, so a successful section is also the
+// correctness proof that sliding-window replication (generic state frames)
+// survives a primary death.
+func runSlidingFailoverBench(elements, shards int, windowSlots int64, replicas int, syncInterval time.Duration, seed uint64) (*slidingFailoverReport, error) {
+	rep := &slidingFailoverReport{
+		Replicas:           replicas,
+		WindowSlots:        windowSlots,
+		SyncIntervalMS:     float64(syncInterval) / float64(time.Millisecond),
+		WorstPostKillRatio: math.Inf(1),
+	}
+	for _, window := range []int{1, 8} {
+		cfg := cluster.DefaultBenchConfig()
+		cfg.Shards = shards
+		cfg.Elements = elements
+		cfg.Distinct = elements / 4
+		cfg.Codec = wire.CodecBinary
+		cfg.Batch = 64
+		if window > 1 {
+			cfg.Window = window
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		res, err := cluster.RunSlidingFailoverBench(cfg, windowSlots, replicas, syncInterval)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, res)
+		ratio := res.PostKillOpsPerSec / res.PreKillOpsPerSec
+		if ratio < rep.WorstPostKillRatio {
+			rep.WorstPostKillRatio = ratio
+		}
+		fmt.Fprintf(os.Stderr, "[sliding-failover-bench shards=%d replicas=%d w=%d window=%d: %.0f -> %.0f ops/s across kill (%.2fx), %d promotions, %.1f ms stalled]\n",
+			shards, replicas, windowSlots, window, res.PreKillOpsPerSec, res.PostKillOpsPerSec, ratio, res.Failovers, res.FailoverStallSec*1000)
 	}
 	return rep, nil
 }

@@ -1,8 +1,9 @@
 // Command ddsnode runs one node of a real (non-simulated) deployment of the
-// distinct sampler over TCP: a coordinator (single, sharded cluster, or
-// replicated cluster), a standalone replica, a site replaying a stream file,
-// or a one-shot query client. Stream files use the "slot<TAB>key" format
-// produced by cmd/ddsgen.
+// distinct sampler over TCP, built on the public dds package: a coordinator
+// cluster (sharded, optionally replicated, infinite- or sliding-window), a
+// standalone warm replica, a site replaying a stream file, a one-shot query
+// client, or a reshard admin client. Stream files use the "slot<TAB>key"
+// format produced by cmd/ddsgen.
 //
 // A complete single-coordinator deployment in three terminals:
 //
@@ -12,66 +13,43 @@
 //	ddsnode -role query -coordinator 127.0.0.1:7070
 //
 // A 4-shard cluster with pipelined batched binary ingest (shard c listens on
-// port 7070+c; sites and query clients list all shard addresses; -pipeline 8
-// lets up to 8 batch frames stream per connection before their replies come
-// back — see the README's pipelined-ingest section for tuning):
+// port 7070+c; -pipeline 8 lets up to 8 batch frames stream per connection):
 //
 //	ddsnode -role cluster-coordinator -shards 4 -listen 127.0.0.1:7070 -sample 20
 //	ddsnode -role site -id 0 -coordinator 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
 //	        -codec binary -batch 64 -pipeline 8 -stream enron.tsv
-//	ddsnode -role query -sample 20 -coordinator 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073
+//	ddsnode -role query -sample 20 -coordinator 127.0.0.1:7070,...
 //
 // With -replicas R > 0 every shard becomes a replica group of 1 + R members
-// on consecutive ports (shard c member m binds port + c*(R+1) + m); the
-// primary pushes its full bottom-s sample to the replicas every
-// -sync-interval. Sites and query clients then list the group members of a
-// shard separated by "/" (shards stay comma-separated) and fail over
-// automatically when a primary dies:
+// on consecutive ports (shard c member m binds port + c*(R+1) + m); sites
+// and query clients list a shard's members separated by "/" (shards stay
+// comma-separated) and fail over automatically when a primary dies. Since
+// the unified Snapshot/Restore API, replication works for BOTH windows: a
+// sliding-window cluster (-window W) replicates its candidate stores and
+// slot clocks through the same generic state frames.
 //
-//	ddsnode -role cluster-coordinator -shards 2 -replicas 1 -listen 127.0.0.1:7070 -sample 20
-//	ddsnode -role site -id 0 -codec binary -batch 64 -pipeline 8 -stream enron.tsv \
-//	        -coordinator 127.0.0.1:7070/127.0.0.1:7071,127.0.0.1:7072/127.0.0.1:7073
-//	ddsnode -role query -sample 20 -coordinator 127.0.0.1:7070/127.0.0.1:7071,127.0.0.1:7072/127.0.0.1:7073
+//	ddsnode -role cluster-coordinator -shards 2 -replicas 1 -window 100 -listen 127.0.0.1:7070
 //
-// -role replica runs one standalone warm replica: an infinite-window
-// coordinator that accepts state-sync pushes and promote frames (any
-// coordinator does; the dedicated role exists so a replica can be placed on
-// its own host and adopted as a group member address).
-//
-// With -admin ADDR a (replicated) cluster coordinator also listens for
-// resharding commands: -role reshard connects to it and triggers an online
-// shard split or merge, executed live by the in-process reshard driver
-// (snapshot handoff, two-phase cutover, donor prune):
+// With -admin ADDR the cluster also serves resharding commands; -role
+// reshard triggers an online split or merge, and sites/queries started with
+// -admin fetch the live (post-reshard) table and groups instead of assuming
+// the uniform partition:
 //
 //	ddsnode -role cluster-coordinator -shards 2 -replicas 1 -admin 127.0.0.1:7069 -listen 127.0.0.1:7070
-//	ddsnode -role reshard -admin 127.0.0.1:7069 -split 0        # split shard slot 0 at its range midpoint
+//	ddsnode -role reshard -admin 127.0.0.1:7069 -split 0        # split slot 0 at its range midpoint
 //	ddsnode -role reshard -admin 127.0.0.1:7069 -split 0:0.25   # split at a quarter of the range
-//	ddsnode -role reshard -admin 127.0.0.1:7069 -merge-range 0  # merge range 0 with the range to its right
-//	ddsnode -role reshard -admin 127.0.0.1:7069                 # print the current table and groups
+//	ddsnode -role reshard -admin 127.0.0.1:7069 -merge-range 0  # merge range 0 with its right neighbour
+//	ddsnode -role site -id 0 -admin 127.0.0.1:7069 -stream enron.tsv
 //
-// The reply carries the new routing table and the -coordinator string for
-// the grown/shrunk cluster. Site processes already running keep their old
-// table (the admin path registers no remote sites): restart them after
-// resharding, passing -admin so they fetch the live table and groups —
-// sites and query clients started with -admin need no -coordinator at all
-// and adopt the cluster's actual (post-reshard) partition rather than the
-// uniform one. In-process drivers (the chaos tests, ddsbench
-// -cluster-bench, examples/cluster) flip live sites online instead.
-//
-// All nodes of one deployment must share -hash-seed (and -window, if set),
-// and a query's -sample must not exceed the coordinators' -sample: each
-// shard only retains its bottom-s, so merges are exact only up to size s.
+// All nodes of one deployment must share -hash-seed, -sample, and -window.
 // (-window is the sliding-window length in slots, a protocol parameter;
-// -pipeline is the transport's batch-frames-in-flight credit window.
-// Replication requires the infinite-window protocol: the sliding-window
-// coordinator's candidate store does not fit in a sample frame yet.)
+// -pipeline is the transport's batch-frames-in-flight credit window.)
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -79,61 +57,113 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cluster"
+	"repro/dds"
 	"repro/internal/core"
-	"repro/internal/hashing"
 	"repro/internal/netsim"
-	"repro/internal/replica"
 	"repro/internal/sliding"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
 
-func main() {
-	var (
-		role         = flag.String("role", "coordinator", "coordinator, cluster-coordinator, replica, site, or query")
-		listen       = flag.String("listen", "127.0.0.1:7070", "coordinator listen address (cluster shard c member m binds port + c*(replicas+1) + m)")
-		coordinator  = flag.String("coordinator", "127.0.0.1:7070", "coordinator shard addresses: shards comma-separated, replica-group members '/'-separated (site/query roles)")
-		shards       = flag.Int("shards", 1, "number of coordinator shards (cluster-coordinator role)")
-		replicas     = flag.Int("replicas", 0, "warm replicas per shard; > 0 turns each shard into a replica group (cluster-coordinator role)")
-		syncInterval = flag.Duration("sync-interval", replica.DefaultSyncInterval, "how often each primary pushes its sample to its replicas (cluster-coordinator role with -replicas)")
-		id           = flag.Int("id", 0, "site id (site role)")
-		sample       = flag.Int("sample", 20, "sample size s per shard (infinite-window); also the merged query size, which must not exceed the coordinators' s")
-		window       = flag.Int64("window", 0, "window size in slots; > 0 switches to the sliding-window protocol")
-		streamPath   = flag.String("stream", "", "stream file to replay (site role); '-' reads stdin")
-		hashSeed     = flag.Uint64("hash-seed", 20130501, "shared hash-function seed (must match on all nodes)")
-		codecName    = flag.String("codec", "json", "wire codec: json or binary (site/query roles)")
-		batch        = flag.Int("batch", 1, "offers per batch frame; > 1 enables batched transport (site role)")
-		pipeline     = flag.Int("pipeline", 0, "pipelined ingest: max batch frames in flight per connection; 0 or 1 = synchronous request/response (site role; try 8)")
-		admin        = flag.String("admin", "", "resharding admin address: the cluster-coordinator role listens on it, the reshard role connects to it")
-		split        = flag.String("split", "", "reshard role: split shard slot SLOT (or SLOT:FRAC for a cut at that fraction of its range)")
-		mergeRange   = flag.Int("merge-range", -1, "reshard role: merge this range index with the range to its right")
-	)
-	flag.Parse()
+// nodeFlags carries every parsed flag, so validation is a pure function the
+// tests can table-drive.
+type nodeFlags struct {
+	Role         string
+	Listen       string
+	Coordinator  string
+	Shards       int
+	Replicas     int
+	SyncInterval time.Duration
+	ID           int
+	Sample       int
+	Window       int64
+	Stream       string
+	HashSeed     uint64
+	Codec        string
+	Batch        int
+	Pipeline     int
+	Admin        string
+	Split        string
+	MergeRange   int
+}
 
-	codec, err := wire.ParseCodec(*codecName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	switch *role {
-	case "coordinator":
-		runCoordinator(*listen, 1, 0, *syncInterval, *sample, *window, codec, "", *hashSeed)
-	case "cluster-coordinator":
-		runCoordinator(*listen, *shards, *replicas, *syncInterval, *sample, *window, codec, *admin, *hashSeed)
-	case "replica":
-		runReplica(*listen, *sample, *window)
-	case "site":
-		runSite(splitGroups(*coordinator), *admin, *id, *window, *streamPath, *hashSeed, wire.Options{Codec: codec, BatchSize: *batch, Window: *pipeline})
-	case "query":
-		runQuery(splitGroups(*coordinator), *admin, *sample, *window, codec)
-	case "reshard":
-		runReshardAdminClient(*admin, *split, *mergeRange)
+// validateFlags rejects contradictory or nonsensical flag combinations with
+// actionable errors, before any socket is touched. Silent misbehavior —
+// -pipeline 1 quietly not pipelining, -role reshard quietly printing
+// nothing — is exactly what it exists to prevent.
+func validateFlags(f nodeFlags) error {
+	switch f.Role {
+	case "coordinator", "cluster-coordinator", "replica", "site", "query", "reshard":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
-		os.Exit(2)
+		return fmt.Errorf("unknown role %q (want coordinator, cluster-coordinator, replica, site, query, or reshard)", f.Role)
 	}
+	if f.Codec != "json" && f.Codec != "binary" {
+		return fmt.Errorf("unknown codec %q (want json or binary)", f.Codec)
+	}
+	if f.Sample < 1 {
+		return fmt.Errorf("-sample %d: the sample size must be at least 1", f.Sample)
+	}
+	if f.Window < 0 {
+		return fmt.Errorf("-window %d: the window length cannot be negative (0 = infinite window)", f.Window)
+	}
+	if f.Shards < 1 {
+		return fmt.Errorf("-shards %d: a cluster needs at least one shard", f.Shards)
+	}
+	if f.Replicas < 0 {
+		return fmt.Errorf("-replicas %d: the replica count cannot be negative (0 disables replication)", f.Replicas)
+	}
+	if f.SyncInterval <= 0 {
+		return fmt.Errorf("-sync-interval %v: the replication interval must be positive", f.SyncInterval)
+	}
+	if f.Batch < 1 {
+		return fmt.Errorf("-batch %d: the batch size must be at least 1 (1 = one offer per frame)", f.Batch)
+	}
+	if f.Pipeline < 0 || f.Pipeline == 1 {
+		return fmt.Errorf("-pipeline %d is not a pipeline: use 0 to disable pipelining or at least 2 frames in flight", f.Pipeline)
+	}
+	if f.Role == "reshard" {
+		if f.Admin == "" {
+			return fmt.Errorf("-role reshard requires -admin (the coordinator's admin address) — without it there is no cluster to reshard")
+		}
+		if f.Split != "" && f.MergeRange >= 0 {
+			return fmt.Errorf("-split and -merge-range are mutually exclusive: a reshard command is one split or one merge")
+		}
+		if f.Split != "" {
+			if _, _, err := parseSplit(f.Split); err != nil {
+				return err
+			}
+		}
+	}
+	if f.Role == "site" && f.Stream == "" {
+		return fmt.Errorf("-role site requires -stream (a slot<TAB>key file, or '-' for stdin)")
+	}
+	if (f.Role == "site" || f.Role == "query") && f.Coordinator == "" && f.Admin == "" {
+		return fmt.Errorf("-role %s requires -coordinator addresses or -admin to discover them", f.Role)
+	}
+	return nil
+}
+
+// parseSplit parses -split's SLOT[:FRAC] syntax.
+func parseSplit(spec string) (slot int, frac float64, err error) {
+	slotSpec := spec
+	if s, fracStr, ok := strings.Cut(spec, ":"); ok {
+		slotSpec = s
+		frac, err = strconv.ParseFloat(fracStr, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad -split fraction %q: %w", fracStr, err)
+		}
+		if frac <= 0 || frac >= 1 {
+			return 0, 0, fmt.Errorf("bad -split fraction %v: must be strictly between 0 and 1", frac)
+		}
+	}
+	slot, err = strconv.Atoi(slotSpec)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -split slot %q: %w", slotSpec, err)
+	}
+	if slot < 0 {
+		return 0, 0, fmt.Errorf("bad -split slot %d: slot indices are non-negative", slot)
+	}
+	return slot, frac, nil
 }
 
 // splitGroups parses the -coordinator list: shards separated by commas, the
@@ -154,293 +184,146 @@ func splitGroups(list string) [][]string {
 	return groups
 }
 
+func main() {
+	var f nodeFlags
+	flag.StringVar(&f.Role, "role", "coordinator", "coordinator, cluster-coordinator, replica, site, query, or reshard")
+	flag.StringVar(&f.Listen, "listen", "127.0.0.1:7070", "coordinator listen address (cluster shard c member m binds port + c*(replicas+1) + m)")
+	flag.StringVar(&f.Coordinator, "coordinator", "127.0.0.1:7070", "coordinator shard addresses: shards comma-separated, replica-group members '/'-separated (site/query roles)")
+	flag.IntVar(&f.Shards, "shards", 1, "number of coordinator shards (cluster-coordinator role)")
+	flag.IntVar(&f.Replicas, "replicas", 0, "warm replicas per shard; > 0 turns each shard into a replica group (cluster-coordinator role)")
+	flag.DurationVar(&f.SyncInterval, "sync-interval", 100*time.Millisecond, "how often each primary pushes its state to its replicas (cluster-coordinator role with -replicas)")
+	flag.IntVar(&f.ID, "id", 0, "site id (site role)")
+	flag.IntVar(&f.Sample, "sample", 20, "sample size s per shard and for merged queries (must match across all nodes)")
+	flag.Int64Var(&f.Window, "window", 0, "window size in slots; > 0 switches to the sliding-window protocol")
+	flag.StringVar(&f.Stream, "stream", "", "stream file to replay (site role); '-' reads stdin")
+	flag.Uint64Var(&f.HashSeed, "hash-seed", dds.DefaultSeed, "shared hash-function seed (must match on all nodes)")
+	flag.StringVar(&f.Codec, "codec", "binary", "wire codec: json or binary")
+	flag.IntVar(&f.Batch, "batch", 1, "offers per batch frame; > 1 enables batched transport (site role)")
+	flag.IntVar(&f.Pipeline, "pipeline", 0, "pipelined ingest: max batch frames in flight per connection; 0 = synchronous (site role; try 8)")
+	flag.StringVar(&f.Admin, "admin", "", "resharding admin address: the cluster-coordinator role listens on it, site/query/reshard roles connect to it")
+	flag.StringVar(&f.Split, "split", "", "reshard role: split shard slot SLOT (or SLOT:FRAC for a cut at that fraction of its range)")
+	flag.IntVar(&f.MergeRange, "merge-range", -1, "reshard role: merge this range index with the range to its right")
+	flag.Parse()
+
+	if err := validateFlags(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	switch f.Role {
+	case "coordinator":
+		f.Shards = 1
+		runCoordinator(f)
+	case "cluster-coordinator":
+		runCoordinator(f)
+	case "replica":
+		runReplica(f)
+	case "site":
+		runSite(f)
+	case "query":
+		runQuery(f)
+	case "reshard":
+		runReshard(f)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }
 
-func runCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, window int64, codec wire.Codec, admin string, hashSeed uint64) {
-	if window > 0 && (replicas > 0 || admin != "") {
-		fatal(fmt.Errorf("replication and resharding require the infinite-window protocol (drop -window, -replicas, or -admin)"))
+// options renders the shared flags as dds functional options.
+func (f nodeFlags) options() []dds.Option {
+	opts := []dds.Option{dds.WithCodec(dds.Codec(f.Codec))}
+	if f.Window > 0 {
+		opts = append(opts, dds.WithWindow(f.Window))
 	}
-	if replicas > 0 || admin != "" {
-		// The resharding driver needs the replica-group server even with
-		// R = 0 (groups of one member each).
-		runReplicatedCoordinator(listen, shards, replicas, syncInterval, sampleSize, codec, admin, hashSeed)
-		return
+	if f.Batch > 1 {
+		opts = append(opts, dds.WithBatch(f.Batch))
 	}
-	newCoord := func(int) netsim.CoordinatorNode { return core.NewInfiniteCoordinator(sampleSize) }
-	kind := fmt.Sprintf("infinite-window (s=%d per shard)", sampleSize)
-	if window > 0 {
-		newCoord = func(int) netsim.CoordinatorNode { return sliding.NewCoordinator() }
-		kind = fmt.Sprintf("sliding-window (w=%d slots)", window)
+	if f.Pipeline > 1 {
+		opts = append(opts, dds.WithPipelining(f.Pipeline))
 	}
-	srv, err := cluster.Listen(listen, shards, newCoord)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%d-shard %s coordinator\n", srv.Shards(), kind)
-	for shard, addr := range srv.Addrs() {
-		fmt.Printf("  shard %d listening on %s\n", shard, addr)
-	}
-	fmt.Println("press Ctrl-C to stop")
-
-	waitForSignal()
-	offers, replies, queries := srv.Stats()
-	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served", offers, replies, queries)
-	if shards > 1 {
-		fmt.Printf(" (per-shard offers: %v)", srv.ShardStats())
-	}
-	fmt.Println()
-	mergeSize := sampleSize
-	if window > 0 {
-		mergeSize = 1 // the window sample is the single minimum across shards
-	}
-	fmt.Println("final merged sample:")
-	for _, e := range srv.MergedSample(mergeSize) {
-		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
-	}
-	_ = srv.Close()
+	return opts
 }
 
-func runReplicatedCoordinator(listen string, shards, replicas int, syncInterval time.Duration, sampleSize int, codec wire.Codec, admin string, hashSeed uint64) {
-	router := cluster.NewShardRouter(shards, hashing.NewMurmur2(hashSeed))
-	srv, err := replica.Listen(listen, shards, replica.Options{
-		Replicas:     replicas,
-		SyncInterval: syncInterval,
-		Codec:        codec,
-		RouteHash:    router.RouteHash,
-	}, func(int, int) netsim.CoordinatorNode {
-		return core.NewInfiniteCoordinator(sampleSize)
-	})
+func (f nodeFlags) config() dds.Config {
+	return dds.Config{
+		Coordinators: splitGroups(f.Coordinator),
+		SiteID:       f.ID,
+		SampleSize:   f.Sample,
+		Seed:         f.HashSeed,
+		Listen:       f.Listen,
+		Shards:       f.Shards,
+	}
+}
+
+func waitForSignal() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+}
+
+func runCoordinator(f nodeFlags) {
+	opts := f.options()
+	opts = append(opts, dds.WithReplicas(f.Replicas), dds.WithSyncInterval(f.SyncInterval))
+	if f.Admin != "" {
+		opts = append(opts, dds.WithAdmin(f.Admin))
+	}
+	cl, err := dds.Serve(context.Background(), f.config(), opts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%d-shard infinite-window coordinator (s=%d per shard), %d warm replica(s) per shard, sync every %v\n",
-		srv.Shards(), sampleSize, replicas, syncInterval)
-	groups := srv.GroupAddrs()
-	for shard, members := range groups {
-		fmt.Printf("  shard %d: primary %s, replicas %s\n", shard, members[0], strings.Join(members[1:], " "))
+	kind := fmt.Sprintf("infinite-window (s=%d per shard)", f.Sample)
+	if f.Window > 0 {
+		kind = fmt.Sprintf("sliding-window (w=%d slots)", f.Window)
 	}
-	fmt.Printf("site/query -coordinator value: %s\n", coordinatorArg(groups))
-	if admin != "" {
-		rs := cluster.NewResharder(srv, router.Table(), codec)
-		bound, err := serveReshardAdmin(admin, rs)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("reshard admin listening on %s (ddsnode -role reshard -admin %s ...)\n", bound, bound)
+	fmt.Printf("%d-shard %s coordinator, %d warm replica(s) per shard\n", f.Shards, kind, f.Replicas)
+	for shard, members := range cl.Groups() {
+		fmt.Printf("  shard %d: %s\n", shard, strings.Join(members, " "))
+	}
+	fmt.Printf("site/query -coordinator value: %s\n", cl.CoordinatorSpec())
+	if addr := cl.AdminAddr(); addr != "" {
+		fmt.Printf("reshard admin listening on %s (ddsnode -role reshard -admin %s ...)\n", addr, addr)
 	}
 	fmt.Println("press Ctrl-C to stop")
 
 	waitForSignal()
-	offers, replies, queries := srv.Stats()
+	offers, replies, queries := cl.Stats()
 	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served\n", offers, replies, queries)
-	for shard, members := range srv.GroupAddrs() {
-		if members == nil {
-			fmt.Printf("  shard %d: retired by resharding\n", shard)
-			continue
-		}
-		fmt.Printf("  shard %d primary: member %d (epochs %v)\n", shard, srv.PrimaryIndex(shard), srv.Epochs(shard))
-	}
-	if samples, err := srv.PrimarySamples(); err == nil {
+	if sample, err := cl.Sample(0); err == nil {
 		fmt.Println("final merged sample:")
-		for _, e := range cluster.Merge(sampleSize, samples...) {
+		for _, e := range sample {
 			fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
 		}
 	}
-	_ = srv.Close()
+	_ = cl.Close()
 }
 
-// coordinatorArg renders slot-indexed groups as a -coordinator flag value
-// (shards comma-separated, members slash-separated, retired slots skipped).
-func coordinatorArg(groups [][]string) string {
-	var shardArgs []string
-	for _, members := range groups {
-		if len(members) == 0 {
-			continue
-		}
-		shardArgs = append(shardArgs, strings.Join(members, "/"))
+// runReplica runs one standalone warm replica: a coordinator of the chosen
+// window kind that accepts state-frame pushes and promote frames, serving
+// ingest once promoted. Placed on its own host, its address joins a replica
+// group's member list. (This role sits below the dds API on purpose: a bare
+// replica is a single wire-level coordinator server, not a cluster.)
+// newReplicaNode builds the protocol coordinator a standalone replica hosts.
+func newReplicaNode(f nodeFlags) netsim.CoordinatorNode {
+	if f.Window > 0 {
+		return sliding.NewCoordinator()
 	}
-	return strings.Join(shardArgs, ",")
+	return core.NewInfiniteCoordinator(f.Sample)
 }
 
-// adminRequest is one resharding command on the admin connection (JSON, one
-// object per line). Op is "split", "merge", or "table".
-type adminRequest struct {
-	Op    string  `json:"op"`
-	Slot  int     `json:"slot,omitempty"`
-	Frac  float64 `json:"frac,omitempty"`
-	Range int     `json:"range,omitempty"`
-}
-
-// adminResponse answers an admin request with the (possibly new) routing
-// state. Coordinator is the ready-to-paste -coordinator value for sites and
-// query clients. NOTE: site processes already connected keep routing by
-// their old table — restart them with the new Coordinator value; the admin
-// path performs the server-side handoffs only.
-type adminResponse struct {
-	Version     uint64   `json:"version"`
-	Bounds      []uint64 `json:"bounds"`
-	Slots       []int    `json:"slots"`
-	Coordinator string   `json:"coordinator"`
-	// Groups is slot-indexed (nil entries for retired slots), aligning with
-	// Slots — what a joining site needs to dial the current partition.
-	Groups [][]string             `json:"groups"`
-	Report *cluster.ReshardReport `json:"report,omitempty"`
-	Error  string                 `json:"error,omitempty"`
-}
-
-// serveReshardAdmin starts the admin listener and returns its bound address.
-func serveReshardAdmin(addr string, rs *cluster.Resharder) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go handleReshardAdmin(conn, rs)
-		}
-	}()
-	return ln.Addr().String(), nil
-}
-
-func handleReshardAdmin(conn net.Conn, rs *cluster.Resharder) {
-	defer conn.Close()
-	var req adminRequest
-	if err := json.NewDecoder(conn).Decode(&req); err != nil {
-		_ = json.NewEncoder(conn).Encode(adminResponse{Error: "bad request: " + err.Error()})
-		return
-	}
-	var resp adminResponse
-	switch req.Op {
-	case "split":
-		table := rs.Table()
-		mid, err := table.SplitPoint(req.Slot, req.Frac)
-		if err == nil {
-			resp.Report, err = rs.Split(req.Slot, mid)
-		}
-		if err != nil {
-			resp.Error = err.Error()
-		}
-	case "merge":
-		rep, err := rs.MergeAt(req.Range)
-		if err != nil {
-			resp.Error = err.Error()
-		} else {
-			resp.Report = rep
-		}
-	case "table", "":
-		// Read-only.
-	default:
-		resp.Error = fmt.Sprintf("unknown op %q (want split, merge, or table)", req.Op)
-	}
-	table := rs.Table()
-	resp.Version, resp.Bounds, resp.Slots = table.Version, table.Bounds, table.Slots
-	resp.Groups = rs.Groups()
-	resp.Coordinator = coordinatorArg(resp.Groups)
-	_ = json.NewEncoder(conn).Encode(resp)
-}
-
-// adminRoundTrip sends one command to a coordinator's admin listener and
-// returns the decoded reply (request and reply are one JSON object each).
-func adminRoundTrip(admin string, req adminRequest) (adminResponse, error) {
-	var resp adminResponse
-	conn, err := net.Dial("tcp", admin)
-	if err != nil {
-		return resp, err
-	}
-	defer conn.Close()
-	if err := json.NewEncoder(conn).Encode(req); err != nil {
-		return resp, err
-	}
-	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
-		return resp, err
-	}
-	if resp.Error != "" {
-		return resp, fmt.Errorf("admin: %s", resp.Error)
-	}
-	return resp, nil
-}
-
-// fetchAdminTable asks a coordinator's admin listener for the current
-// routing table and slot-indexed groups, so joining sites and query clients
-// adopt the real (possibly resharded) partition instead of assuming the
-// uniform one.
-func fetchAdminTable(admin string) (cluster.RangeTable, [][]string, error) {
-	resp, err := adminRoundTrip(admin, adminRequest{Op: "table"})
-	if err != nil {
-		return cluster.RangeTable{}, nil, err
-	}
-	return cluster.RangeTable{Version: resp.Version, Bounds: resp.Bounds, Slots: resp.Slots}, resp.Groups, nil
-}
-
-// runReshardAdminClient implements -role reshard: send one command to a
-// coordinator's admin listener and print the reply.
-func runReshardAdminClient(admin, split string, mergeRange int) {
-	if admin == "" {
-		fmt.Fprintln(os.Stderr, "reshard role requires -admin (the coordinator's admin address)")
-		os.Exit(2)
-	}
-	req := adminRequest{Op: "table"}
-	switch {
-	case split != "" && mergeRange >= 0:
-		fmt.Fprintln(os.Stderr, "choose one of -split or -merge-range")
-		os.Exit(2)
-	case split != "":
-		req.Op = "split"
-		spec := split
-		if slot, fracStr, ok := strings.Cut(spec, ":"); ok {
-			spec = slot
-			frac, err := strconv.ParseFloat(fracStr, 64)
-			if err != nil {
-				fatal(fmt.Errorf("bad -split fraction %q: %w", fracStr, err))
-			}
-			req.Frac = frac
-		}
-		slot, err := strconv.Atoi(spec)
-		if err != nil {
-			fatal(fmt.Errorf("bad -split slot %q: %w", spec, err))
-		}
-		req.Slot = slot
-	case mergeRange >= 0:
-		req.Op = "merge"
-		req.Range = mergeRange
-	}
-	resp, err := adminRoundTrip(admin, req)
+func runReplica(f nodeFlags) {
+	srv := wire.NewCoordinatorServer(newReplicaNode(f))
+	addr, err := srv.Listen(f.Listen)
 	if err != nil {
 		fatal(err)
 	}
-	if resp.Report != nil {
-		fmt.Printf("%s v%d: moved range [%#x, %#x) from slot %d to slot %d (%d+%d entries, cutover %v, total %v)\n",
-			resp.Report.Op, resp.Report.Version, resp.Report.Lo, resp.Report.Hi, resp.Report.Donor, resp.Report.Successor,
-			resp.Report.WarmEntries, resp.Report.SettleEntries, resp.Report.CutoverStall, resp.Report.Total)
+	kind := fmt.Sprintf("infinite-window, s=%d", f.Sample)
+	if f.Window > 0 {
+		kind = fmt.Sprintf("sliding-window, w=%d slots", f.Window)
 	}
-	fmt.Printf("routing table v%d over %d range(s):\n", resp.Version, len(resp.Bounds))
-	for i, b := range resp.Bounds {
-		fmt.Printf("  [%#016x, ...) -> slot %d\n", b, resp.Slots[i])
-	}
-	fmt.Printf("site/query -coordinator value: %s\n", resp.Coordinator)
-	fmt.Println("note: restart running site processes with -admin so they fetch this table (the admin path does not flip remote sites, and -coordinator alone would assume the uniform partition)")
-}
-
-// runReplica runs one standalone warm replica: a restorable infinite-window
-// coordinator that waits for a primary's state-sync pushes and serves ingest
-// once promoted.
-func runReplica(listen string, sampleSize int, window int64) {
-	if window > 0 {
-		fatal(fmt.Errorf("replication requires the infinite-window protocol (drop -window)"))
-	}
-	srv := wire.NewCoordinatorServer(core.NewInfiniteCoordinator(sampleSize))
-	addr, err := srv.Listen(listen)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("warm replica (s=%d) listening on %s: accepting state-sync, promote, and (once promoted) ingest\n", sampleSize, addr)
+	fmt.Printf("warm replica (%s) listening on %s: accepting state frames, promote, and (once promoted) ingest\n", kind, addr)
 	fmt.Println("press Ctrl-C to stop")
 	waitForSignal()
 	offers, replies, queries := srv.Stats()
@@ -453,69 +336,26 @@ func runReplica(listen string, sampleSize int, window int64) {
 	_ = srv.Close()
 }
 
-func waitForSignal() {
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
-}
-
-func runSite(groups [][]string, admin string, id int, window int64, streamPath string, hashSeed uint64, opts wire.Options) {
-	if streamPath == "" {
-		fmt.Fprintln(os.Stderr, "site role requires -stream")
-		os.Exit(2)
-	}
-	hasher := hashing.NewMurmur2(hashSeed)
-	var router *cluster.ShardRouter
-	if admin != "" {
-		// Adopt the cluster's live partition: after resharding, the real
-		// range table is not the uniform one a group count would imply.
-		table, adminGroups, err := fetchAdminTable(admin)
-		if err != nil {
-			fatal(err)
-		}
-		router, err = cluster.NewRangeRouter(table, hasher)
-		if err != nil {
-			fatal(err)
-		}
-		groups = adminGroups
-		fmt.Printf("adopted routing table v%d (%d ranges) from %s\n", table.Version, table.NumRanges(), admin)
-	} else {
-		router = cluster.NewShardRouter(len(groups), hasher)
-	}
-	if len(groups) == 0 {
-		fmt.Fprintln(os.Stderr, "site role requires at least one -coordinator address (or -admin)")
-		os.Exit(2)
-	}
-	replicated := false
-	for _, members := range groups {
-		if len(members) > 1 {
-			replicated = true
-		}
-	}
-	if (replicated || admin != "") && window > 0 {
-		fatal(fmt.Errorf("replication and resharding require the infinite-window protocol (drop -window, the replica addresses, or -admin)"))
-	}
+func runSite(f nodeFlags) {
 	in := os.Stdin
-	if streamPath != "-" {
-		f, err := os.Open(streamPath)
+	if f.Stream != "-" {
+		file, err := os.Open(f.Stream)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		in = f
+		defer file.Close()
+		in = file
 	}
 	elements, err := stream.Read(in)
 	if err != nil {
 		fatal(err)
 	}
 
-	newSite := func(int) netsim.SiteNode { return core.NewInfiniteSite(id, hasher) }
-	if window > 0 {
-		newSite = func(shard int) netsim.SiteNode {
-			return sliding.NewSite(id, hasher, window, uint64(id*len(groups)+shard)+1)
-		}
+	opts := f.options()
+	if f.Admin != "" {
+		opts = append(opts, dds.WithAdmin(f.Admin))
 	}
-	client, err := cluster.DialGroups(groups, router, newSite, opts)
+	client, err := dds.Open(context.Background(), f.config(), opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -523,7 +363,7 @@ func runSite(groups [][]string, admin string, id int, window int64, streamPath s
 
 	lastSlot := int64(-1)
 	for _, e := range elements {
-		if window > 0 && lastSlot >= 0 && e.Slot > lastSlot {
+		if f.Window > 0 && lastSlot >= 0 && e.Slot > lastSlot {
 			// Close out every slot between arrivals so expiries fire.
 			for slot := lastSlot; slot < e.Slot; slot++ {
 				if err := client.EndSlot(slot); err != nil {
@@ -531,12 +371,12 @@ func runSite(groups [][]string, admin string, id int, window int64, streamPath s
 				}
 			}
 		}
-		if err := client.Observe(e.Key, e.Slot); err != nil {
+		if err := client.Offer(e.Key, e.Slot); err != nil {
 			fatal(err)
 		}
 		lastSlot = e.Slot
 	}
-	if window > 0 && lastSlot >= 0 {
+	if f.Window > 0 && lastSlot >= 0 {
 		if err := client.EndSlot(lastSlot); err != nil {
 			fatal(err)
 		}
@@ -545,68 +385,74 @@ func runSite(groups [][]string, admin string, id int, window int64, streamPath s
 		fatal(err)
 	}
 	mode := "sync"
-	if opts.Window > 1 {
-		mode = fmt.Sprintf("pipelined window %d", opts.Window)
+	if f.Pipeline > 1 {
+		mode = fmt.Sprintf("pipelined window %d", f.Pipeline)
 	}
-	fmt.Printf("site %d replayed %d elements to %d shard(s) [%s, batch %d, %s]: %d offers sent, %d replies received",
-		id, len(elements), len(groups), opts.Codec, opts.BatchSize, mode, client.MessagesSent(), client.MessagesReceived())
-	if n, stall := client.Failovers(); n > 0 {
-		fmt.Printf("; survived %d failover(s), %.0f ms stalled", n, float64(stall)/float64(time.Millisecond))
-	}
-	fmt.Println()
+	fmt.Printf("site %d replayed %d elements [%s, batch %d, %s]\n", f.ID, len(elements), f.Codec, f.Batch, mode)
 }
 
-func runQuery(groups [][]string, admin string, sampleSize int, window int64, codec wire.Codec) {
-	if admin != "" {
-		_, adminGroups, err := fetchAdminTable(admin)
-		if err != nil {
-			fatal(err)
-		}
-		groups = adminGroups
+func runQuery(f nodeFlags) {
+	opts := f.options()
+	if f.Admin != "" {
+		opts = append(opts, dds.WithAdmin(f.Admin))
 	}
-	live := 0
-	for _, members := range groups {
-		if len(members) > 0 {
-			live++
-		}
-	}
-	if live == 0 {
-		fmt.Fprintln(os.Stderr, "query role requires at least one -coordinator address (or -admin)")
-		os.Exit(2)
-	}
-	// Sliding-window shards each hold at most one live entry; the global
-	// window sample is the single minimum across them, and the KMV
-	// distinct-count estimator does not apply.
-	if window > 0 {
-		sampleSize = 1
-	}
-	entries, err := cluster.QueryGroups(groups, sampleSize, codec)
+	ctx := context.Background()
+	sample, err := dds.Query(ctx, f.config(), opts...)
 	if err != nil {
 		fatal(err)
 	}
 	scope := "distinct sample"
-	if window > 0 {
+	if f.Window > 0 {
 		scope = "window sample"
 	}
-	if live > 1 {
-		scope = fmt.Sprintf("merged %s across %d shards", scope, live)
-	}
-	fmt.Printf("%s (%d entries):\n", scope, len(entries))
-	for _, e := range entries {
+	fmt.Printf("%s (%d entries):\n", scope, len(sample))
+	for _, e := range sample {
 		fmt.Printf("  %-40s h=%.6f\n", e.Key, e.Hash)
 	}
-	if window > 0 || len(entries) == 0 {
+	if f.Window > 0 || len(sample) == 0 {
 		return
 	}
-	est, err := cluster.DistinctCount(sampleSize, entries)
+	// Whole-stream mode: the sample already fetched doubles as the KMV
+	// sketch — the estimate is local, no second cluster round trip.
+	est, err := sample.Estimate(f.Sample)
 	switch {
 	case err != nil:
 		fmt.Printf("distinct-count estimate unavailable: %v\n", err)
-	case len(entries) < sampleSize:
-		// The sample holds the whole distinct population: exact answer.
-		fmt.Printf("exact distinct elements: %.0f (population smaller than s=%d)\n", est.Estimate, sampleSize)
+	case est.Exact:
+		fmt.Printf("exact distinct elements: %.0f (population smaller than s=%d)\n", est.Count, f.Sample)
 	default:
-		fmt.Printf("estimated distinct elements: %.0f  (95%% CI %.0f – %.0f)\n",
-			est.Estimate, est.Low, est.High)
+		fmt.Printf("estimated distinct elements: %.0f  (95%% CI %.0f – %.0f)\n", est.Count, est.Low, est.High)
 	}
+}
+
+func runReshard(f nodeFlags) {
+	ctx := context.Background()
+	var status *dds.AdminStatus
+	var err error
+	switch {
+	case f.Split != "":
+		slot, frac, perr := parseSplit(f.Split)
+		if perr != nil {
+			fatal(perr)
+		}
+		status, err = dds.AdminSplit(ctx, f.Admin, slot, frac)
+	case f.MergeRange >= 0:
+		status, err = dds.AdminMerge(ctx, f.Admin, f.MergeRange)
+	default:
+		status, err = dds.AdminTable(ctx, f.Admin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if rep := status.Report; rep != nil {
+		fmt.Printf("%s v%d: moved range [%#x, %#x) from slot %d to slot %d (%d+%d entries, cutover %v, total %v)\n",
+			rep.Op, rep.Version, rep.Lo, rep.Hi, rep.Donor, rep.Successor,
+			rep.WarmEntries, rep.SettleEntries, rep.CutoverStall, rep.Total)
+	}
+	fmt.Printf("routing table v%d over %d range(s):\n", status.Version, len(status.Bounds))
+	for i, b := range status.Bounds {
+		fmt.Printf("  [%#016x, ...) -> slot %d\n", b, status.Slots[i])
+	}
+	fmt.Printf("site/query -coordinator value: %s\n", status.Coordinator)
+	fmt.Println("note: restart running site processes with -admin so they fetch this table (the admin path does not flip remote sites)")
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validFlags returns a flag set that passes validation, for the table to
+// perturb.
+func validFlags() nodeFlags {
+	return nodeFlags{
+		Role:         "coordinator",
+		Listen:       "127.0.0.1:0",
+		Coordinator:  "127.0.0.1:7070",
+		Shards:       1,
+		Replicas:     0,
+		SyncInterval: 100 * time.Millisecond,
+		Sample:       20,
+		Codec:        "binary",
+		Batch:        1,
+		Pipeline:     0,
+		MergeRange:   -1,
+	}
+}
+
+// TestValidateFlags table-drives the contradictory-combination checks: every
+// rejected combo must produce an actionable error naming the offending flag,
+// and every sensible combo must pass — including the sliding-window +
+// replication pairing the unified sampler API made legal.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*nodeFlags)
+		wantErr string // substring of the expected error; "" means valid
+	}{
+		{"defaults", func(f *nodeFlags) {}, ""},
+		{"unknown role", func(f *nodeFlags) { f.Role = "observer" }, "unknown role"},
+		{"unknown codec", func(f *nodeFlags) { f.Codec = "protobuf" }, "unknown codec"},
+		{"zero sample", func(f *nodeFlags) { f.Sample = 0 }, "-sample"},
+		{"negative window", func(f *nodeFlags) { f.Window = -5 }, "-window"},
+		{"zero shards", func(f *nodeFlags) { f.Role = "cluster-coordinator"; f.Shards = 0 }, "-shards"},
+		{"negative replicas", func(f *nodeFlags) { f.Role = "cluster-coordinator"; f.Replicas = -1 }, "-replicas"},
+		{"zero sync interval", func(f *nodeFlags) { f.Role = "cluster-coordinator"; f.Replicas = 1; f.SyncInterval = 0 }, "-sync-interval"},
+		{"zero batch", func(f *nodeFlags) { f.Batch = 0 }, "-batch"},
+		{"pipeline of one", func(f *nodeFlags) { f.Pipeline = 1 }, "-pipeline 1 is not a pipeline"},
+		{"negative pipeline", func(f *nodeFlags) { f.Pipeline = -3 }, "not a pipeline"},
+		{"pipeline of two is fine", func(f *nodeFlags) { f.Pipeline = 2 }, ""},
+		{"reshard without admin", func(f *nodeFlags) { f.Role = "reshard" }, "-role reshard requires -admin"},
+		{"reshard split and merge", func(f *nodeFlags) {
+			f.Role = "reshard"
+			f.Admin = "127.0.0.1:7069"
+			f.Split = "0"
+			f.MergeRange = 1
+		}, "mutually exclusive"},
+		{"reshard bad split slot", func(f *nodeFlags) {
+			f.Role = "reshard"
+			f.Admin = "127.0.0.1:7069"
+			f.Split = "zero"
+		}, "bad -split slot"},
+		{"reshard bad split fraction", func(f *nodeFlags) {
+			f.Role = "reshard"
+			f.Admin = "127.0.0.1:7069"
+			f.Split = "0:1.5"
+		}, "bad -split fraction"},
+		{"reshard split with fraction is fine", func(f *nodeFlags) {
+			f.Role = "reshard"
+			f.Admin = "127.0.0.1:7069"
+			f.Split = "2:0.25"
+		}, ""},
+		{"site without stream", func(f *nodeFlags) { f.Role = "site" }, "-role site requires -stream"},
+		{"site with stream is fine", func(f *nodeFlags) { f.Role = "site"; f.Stream = "-" }, ""},
+		{"site without any coordinator", func(f *nodeFlags) {
+			f.Role = "site"
+			f.Stream = "-"
+			f.Coordinator = ""
+		}, "requires -coordinator"},
+		{"site with admin only is fine", func(f *nodeFlags) {
+			f.Role = "site"
+			f.Stream = "-"
+			f.Coordinator = ""
+			f.Admin = "127.0.0.1:7069"
+		}, ""},
+		{"query without any coordinator", func(f *nodeFlags) {
+			f.Role = "query"
+			f.Coordinator = ""
+		}, "requires -coordinator"},
+		// The pairing the unified Snapshot/Restore API legalized: sliding
+		// window + replication (and resharding) used to be rejected here.
+		{"sliding window with replicas is fine", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Window = 100
+			f.Replicas = 2
+		}, ""},
+		{"sliding window with admin is fine", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Window = 100
+			f.Admin = "127.0.0.1:7069"
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFlags()
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want nil", f, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%+v) = nil, want error containing %q", f, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSplitGroups pins the -coordinator syntax.
+func TestSplitGroups(t *testing.T) {
+	groups := splitGroups("a:1/b:1, c:2 ,d:3/e:3/f:3")
+	want := [][]string{{"a:1", "b:1"}, {"c:2"}, {"d:3", "e:3", "f:3"}}
+	if len(groups) != len(want) {
+		t.Fatalf("splitGroups = %v, want %v", groups, want)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("group %d member %d = %q, want %q", i, j, groups[i][j], want[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,541 @@
+// Package dds is the public API of the distributed distinct sampler: a
+// client for ingesting streams into (and querying) a sharded, replicated
+// coordinator cluster, and an embeddable server for running one.
+//
+// The system maintains a uniform random sample of the distinct elements of a
+// stream observed by many distributed sites, with communication logarithmic
+// in the stream length (Tirthapura & Woodruff's distributed distinct
+// sampling), either over the whole stream (infinite window) or over the last
+// w time slots (sliding window, WithWindow). The coordinator-side state is a
+// bottom-s sketch — tiny, exactly mergeable, and capturable as one versioned
+// snapshot — which is what makes sharding exact, replication one frame, and
+// resharding a live operation.
+//
+// A minimal deployment embeds both halves:
+//
+//	cluster, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: 32})
+//	client, err := dds.Open(ctx, dds.Config{Coordinators: cluster.Groups(), SampleSize: 32})
+//	client.Offer("user-123", 0)
+//	sample, err := client.Query(ctx)
+//
+// Clients and servers must agree on SampleSize, Seed, and the window; see
+// Config. A Client is not safe for concurrent use — one goroutine (or
+// external serialization) per Client, exactly like the underlying transport.
+package dds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/sliding"
+	"repro/internal/wire"
+)
+
+// DefaultSeed is the hash-function seed used when Config.Seed is zero. All
+// nodes of one deployment must share a seed: the sample is defined by the
+// hash function, and the shard partition is derived from it.
+const DefaultSeed = 20130501
+
+// DefaultSampleSize is the sample size used when Config.SampleSize is zero.
+const DefaultSampleSize = 20
+
+// Codec names a wire encoding.
+type Codec string
+
+// Supported wire codecs.
+const (
+	// CodecJSON is the human-readable newline-delimited JSON encoding.
+	CodecJSON Codec = "json"
+	// CodecBinary is the length-prefixed binary encoding — the
+	// high-throughput choice, and the default.
+	CodecBinary Codec = "binary"
+)
+
+// ErrDeposed reports an epoch fence: the coordinator a state push or sync
+// targeted has been promoted past the sender's epoch, so the sender is (or
+// was talking to) a deposed primary. Detect it with errors.Is.
+var ErrDeposed = wire.ErrDeposed
+
+// ErrStaleRoute reports a route-version fence: the peer has already applied
+// a newer routing table than the operation was stamped with. Detect it with
+// errors.Is.
+var ErrStaleRoute = wire.ErrStaleRoute
+
+// Config carries the identity and topology shared by Open, Query, and
+// Serve. Transport and replication knobs are set through Options.
+type Config struct {
+	// Coordinators lists the cluster's shard groups, slot-indexed: one inner
+	// slice per shard, each the shard's replica-group member addresses in
+	// promotion order (primary first). Retired slots may be nil. Clients
+	// dial every routed slot; WithAdmin can populate this (and the live
+	// routing table) from a running cluster's admin listener instead.
+	Coordinators [][]string
+	// SiteID identifies this client among the k monitoring sites.
+	SiteID int
+	// SampleSize is s, the distinct-sample size — per shard and at query
+	// time. Every node of a deployment must use the same value. Zero means
+	// DefaultSampleSize.
+	SampleSize int
+	// Seed seeds the shared hash function. Zero means DefaultSeed.
+	Seed uint64
+	// Listen is the server's base listen address (Serve only). Shard c
+	// member m binds port + c*(replicas+1) + m; port 0 gives every member an
+	// ephemeral port.
+	Listen string
+	// Shards is the number of coordinator shards (Serve only). Zero means 1.
+	Shards int
+
+	codec        Codec
+	window       int64
+	batch        int
+	pipeline     int
+	replicas     int
+	syncInterval time.Duration
+	admin        string
+}
+
+// Option configures transport, window, and replication behavior for Open,
+// Query, and Serve.
+type Option func(*Config)
+
+// WithCodec selects the wire encoding (default CodecBinary).
+func WithCodec(c Codec) Option { return func(cfg *Config) { cfg.codec = c } }
+
+// WithWindow switches the deployment to the sliding-window protocol: the
+// sample covers the distinct elements whose most recent arrival lies within
+// the last slots time slots. Zero (the default) is the infinite window.
+// Every node of a deployment must use the same window.
+func WithWindow(slots int64) Option { return func(cfg *Config) { cfg.window = slots } }
+
+// WithBatch makes the client buffer up to n offers per batch frame
+// (default 1: one request/response per offer). Batching amortizes syscalls
+// and encoding; slot boundaries still flush exactly.
+func WithBatch(n int) Option { return func(cfg *Config) { cfg.batch = n } }
+
+// WithPipelining lets up to depth batch frames stream per connection before
+// their replies come back (credit-window backpressure; default 0: fully
+// synchronous). Depth must be at least 2 to pipeline; try 8.
+func WithPipelining(depth int) Option { return func(cfg *Config) { cfg.pipeline = depth } }
+
+// WithReplicas gives every shard r warm replicas (Serve only; default 0).
+// Each primary pushes its full state to its replicas as one snapshot frame
+// per sync interval, and clients fail over to a replica when a primary dies.
+func WithReplicas(r int) Option { return func(cfg *Config) { cfg.replicas = r } }
+
+// WithSyncInterval sets how often each primary's state is pushed to its
+// replicas (Serve only; default 100ms). It bounds replica staleness.
+func WithSyncInterval(d time.Duration) Option { return func(cfg *Config) { cfg.syncInterval = d } }
+
+// WithAdmin names a cluster admin listener. For Serve it is the address to
+// serve resharding commands on; for Open and Query it is where to fetch the
+// live routing table and shard groups, replacing Config.Coordinators — a
+// client joining after a reshard then adopts the real partition instead of
+// assuming the uniform one.
+func WithAdmin(addr string) Option { return func(cfg *Config) { cfg.admin = addr } }
+
+// Entry is one element of a sample: the element's key, its unit hash under
+// the deployment's shared hash function, and — in sliding-window mode — the
+// last slot at which it is still inside the window.
+type Entry struct {
+	Key    string  `json:"key"`
+	Hash   float64 `json:"hash"`
+	Expiry int64   `json:"expiry,omitempty"`
+}
+
+// Sample is a distinct sample in ascending hash order.
+type Sample []Entry
+
+// Keys returns the sampled keys in ascending hash order.
+func (s Sample) Keys() []string {
+	keys := make([]string, len(s))
+	for i, e := range s {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// Estimate is a distinct-count estimate with a ~95% confidence interval.
+type Estimate struct {
+	// Count is the estimated number of distinct elements.
+	Count float64 `json:"count"`
+	// Low and High bound the ~95% confidence interval.
+	Low  float64 `json:"low"`
+	High float64 `json:"high"`
+	// Exact reports that the sample held the whole distinct population, so
+	// Count is exact rather than estimated.
+	Exact bool `json:"exact,omitempty"`
+}
+
+// ShardState is one shard's full coordinator state, captured as a versioned,
+// self-describing snapshot blob (the same encoding replication and reshard
+// handoff frames carry). It is the backup primitive: the blob round-trips
+// the shard's entire protocol state, sliding-window candidate stores
+// included.
+type ShardState struct {
+	// Slot is the shard's stable slot index.
+	Slot int `json:"slot"`
+	// Data is the encoded snapshot.
+	Data []byte `json:"data"`
+}
+
+// normalize applies defaults and options, returning an error for
+// contradictory settings.
+func (cfg Config) normalize(opts []Option) (Config, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.SampleSize == 0 {
+		cfg.SampleSize = DefaultSampleSize
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	if cfg.codec == "" {
+		cfg.codec = CodecBinary
+	}
+	if cfg.batch == 0 {
+		cfg.batch = 1
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.syncInterval == 0 {
+		cfg.syncInterval = 100 * time.Millisecond
+	}
+	switch {
+	case cfg.SampleSize < 1:
+		return cfg, fmt.Errorf("dds: sample size %d must be at least 1", cfg.SampleSize)
+	case cfg.window < 0:
+		return cfg, fmt.Errorf("dds: window %d must not be negative", cfg.window)
+	case cfg.batch < 1:
+		return cfg, fmt.Errorf("dds: batch size %d must be at least 1", cfg.batch)
+	case cfg.pipeline < 0 || cfg.pipeline == 1:
+		return cfg, fmt.Errorf("dds: pipelining depth %d is not a pipeline; use 0 to disable or at least 2 to stream", cfg.pipeline)
+	case cfg.replicas < 0:
+		return cfg, fmt.Errorf("dds: replica count %d must not be negative", cfg.replicas)
+	case cfg.Shards < 1:
+		return cfg, fmt.Errorf("dds: shard count %d must be at least 1", cfg.Shards)
+	}
+	if _, err := wire.ParseCodec(string(cfg.codec)); err != nil {
+		return cfg, fmt.Errorf("dds: unknown codec %q (want %q or %q)", cfg.codec, CodecJSON, CodecBinary)
+	}
+	return cfg, nil
+}
+
+func (cfg *Config) wireCodec() wire.Codec {
+	c, _ := wire.ParseCodec(string(cfg.codec))
+	return c
+}
+
+func (cfg *Config) wireOptions() wire.Options {
+	return wire.Options{Codec: cfg.wireCodec(), BatchSize: cfg.batch, Window: cfg.pipeline}
+}
+
+func (cfg *Config) hasher() hashing.UnitHasher { return hashing.NewMurmur2(cfg.Seed) }
+
+// resolveTopology returns the routing table and groups a client should dial:
+// the admin listener's live view when WithAdmin is set, Config.Coordinators
+// under the uniform partition otherwise.
+func resolveTopology(ctx context.Context, cfg *Config) (*cluster.ShardRouter, [][]string, error) {
+	hasher := cfg.hasher()
+	if cfg.admin != "" {
+		status, err := adminRoundTrip(ctx, cfg.admin, adminRequest{Op: "table"})
+		if err != nil {
+			return nil, nil, fmt.Errorf("dds: fetch topology from admin %s: %w", cfg.admin, err)
+		}
+		table := cluster.RangeTable{Version: status.Version, Bounds: status.Bounds, Slots: status.Slots}
+		router, err := cluster.NewRangeRouter(table, hasher)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dds: admin topology: %w", err)
+		}
+		return router, status.Groups, nil
+	}
+	if len(cfg.Coordinators) == 0 {
+		return nil, nil, errors.New("dds: no coordinators configured (set Config.Coordinators or WithAdmin)")
+	}
+	return cluster.NewShardRouter(len(cfg.Coordinators), hasher), cfg.Coordinators, nil
+}
+
+// Client ingests one site's stream into the cluster and answers queries
+// against it. It is not safe for concurrent use.
+type Client struct {
+	cfg    Config
+	router *cluster.ShardRouter
+	sc     *cluster.SiteClient
+	// lastSlot tracks the newest slot this client has seen, the clock
+	// sliding-window queries evaluate expiry against.
+	lastSlot int64
+	closed   bool
+}
+
+// Open connects a site client to every shard of the cluster and returns it.
+// The context bounds the dial phase: cancellation abandons the connection
+// attempt (any connections already made are closed in the background).
+func Open(ctx context.Context, cfg Config, opts ...Option) (*Client, error) {
+	cfg, err := cfg.normalize(opts)
+	if err != nil {
+		return nil, err
+	}
+	router, groups, err := resolveTopology(ctx, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	hasher := cfg.hasher()
+	newSite := func(shard int) netsim.SiteNode {
+		if cfg.window > 0 {
+			return sliding.NewSite(cfg.SiteID, hasher, cfg.window, uint64(cfg.SiteID*1000+shard)+1)
+		}
+		return core.NewInfiniteSite(cfg.SiteID, hasher)
+	}
+	type dialed struct {
+		sc  *cluster.SiteClient
+		err error
+	}
+	done := make(chan dialed, 1)
+	go func() {
+		sc, err := cluster.DialGroups(groups, router, newSite, cfg.wireOptions())
+		done <- dialed{sc, err}
+	}()
+	select {
+	case d := <-done:
+		if d.err != nil {
+			return nil, fmt.Errorf("dds: open: %w", d.err)
+		}
+		return &Client{cfg: cfg, router: router, sc: d.sc}, nil
+	case <-ctx.Done():
+		go func() {
+			if d := <-done; d.err == nil {
+				_ = d.sc.Close()
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// Offer feeds one element observation at the given time slot to the
+// sampler. The protocol decides whether anything is sent: most offers cost
+// no communication at all.
+func (c *Client) Offer(key string, slot int64) error {
+	if slot > c.lastSlot {
+		c.lastSlot = slot
+	}
+	return c.sc.Observe(key, slot)
+}
+
+// EndSlot closes time slot slot: buffered offers flush, and sliding-window
+// sites run their expiry-driven promotions. Call it once per slot boundary
+// in sliding-window mode; it is harmless (a flush) otherwise.
+func (c *Client) EndSlot(slot int64) error {
+	if slot > c.lastSlot {
+		c.lastSlot = slot
+	}
+	return c.sc.EndSlot(slot)
+}
+
+// Flush ships every buffered offer and drains the pipeline window. On
+// return, every offer this client ever accepted has been acknowledged by a
+// live coordinator.
+func (c *Client) Flush() error { return c.sc.Flush() }
+
+// Query returns the cluster-wide distinct sample: the per-shard samples
+// merged into the exact global bottom-s (or, in sliding-window mode, the
+// window sample — the minimum-hash element currently inside the window,
+// read from each shard's full snapshot so a shard with a lagging slot clock
+// cannot hide live candidates behind an expired minimum). Queries follow
+// reshards: they target the groups the client currently routes to.
+func (c *Client) Query(ctx context.Context) (Sample, error) {
+	groups := c.sc.Groups()
+	if c.cfg.window > 0 {
+		entries, err := queryWindowCtx(ctx, groups, c.lastSlot, c.cfg.wireCodec())
+		if err != nil {
+			return nil, err
+		}
+		return toSample(entries), nil
+	}
+	entries, err := queryGroupsCtx(ctx, groups, c.cfg.SampleSize, c.cfg.wireCodec())
+	if err != nil {
+		return nil, err
+	}
+	return toSample(entries), nil
+}
+
+// Estimate derives the KMV distinct-count estimate from a whole-stream
+// sample of the given size: the number of distinct elements in the sampled
+// stream, with a ~95% confidence interval. The estimate is a pure function
+// of the sample — no further cluster round trips.
+func (s Sample) Estimate(sampleSize int) (Estimate, error) {
+	if sampleSize < 1 {
+		return Estimate{}, fmt.Errorf("dds: sample size %d must be at least 1", sampleSize)
+	}
+	entries := make([]netsim.SampleEntry, len(s))
+	for i, e := range s {
+		entries[i] = netsim.SampleEntry{Key: e.Key, Hash: e.Hash, Expiry: e.Expiry}
+	}
+	iv, err := estimate.DistinctCount(entries, sampleSize, cluster.MergedThreshold(entries, sampleSize))
+	if err != nil {
+		return Estimate{}, fmt.Errorf("dds: estimate: %w", err)
+	}
+	return Estimate{Count: iv.Estimate, Low: iv.Low, High: iv.High, Exact: len(entries) < sampleSize}, nil
+}
+
+// Estimate returns the estimated number of distinct elements in the stream
+// (whole-stream mode only), with a ~95% confidence interval: one Query plus
+// the sample-local Sample.Estimate. When the population is smaller than the
+// sample size the count is exact.
+func (c *Client) Estimate(ctx context.Context) (Estimate, error) {
+	if c.cfg.window > 0 {
+		return Estimate{}, errors.New("dds: distinct-count estimation applies to the infinite window only")
+	}
+	sample, err := c.Query(ctx)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return sample.Estimate(c.cfg.SampleSize)
+}
+
+// Snapshot captures every live shard's full coordinator state as one
+// versioned snapshot blob per shard — the whole cluster's protocol state,
+// sliding-window candidate stores included. The blobs are what replication
+// and handoff frames carry; persist them as a backup.
+func (c *Client) Snapshot(ctx context.Context) ([]ShardState, error) {
+	groups := c.sc.Groups()
+	codec := c.cfg.wireCodec()
+	var out []ShardState
+	for slot, members := range groups {
+		if len(members) == 0 {
+			continue // retired by resharding
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st, err := snapshotGroup(ctx, members, codec)
+		if err != nil {
+			return nil, fmt.Errorf("dds: snapshot shard %d: %w", slot, err)
+		}
+		out = append(out, ShardState{Slot: slot, Data: core.EncodeState(st)})
+	}
+	return out, nil
+}
+
+// Close flushes buffered offers, drains the pipeline, and closes every
+// shard connection. A clean Close means every offer reached a live
+// coordinator.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.sc.Close()
+}
+
+// Query answers a one-shot cluster query without opening an ingest client:
+// the merged distinct sample across the configured (or admin-fetched) shard
+// groups. In sliding-window mode, pass the current slot as asOf to evaluate
+// expiry; whole-stream callers use Query(ctx, cfg).
+func Query(ctx context.Context, cfg Config, opts ...Option) (Sample, error) {
+	return QueryAsOf(ctx, 0, cfg, opts...)
+}
+
+// QueryAsOf is Query with an explicit slot clock for sliding-window
+// deployments: only elements still live at slot asOf count.
+func QueryAsOf(ctx context.Context, asOf int64, cfg Config, opts ...Option) (Sample, error) {
+	cfg, err := cfg.normalize(opts)
+	if err != nil {
+		return nil, err
+	}
+	_, groups, err := resolveTopology(ctx, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.window > 0 {
+		entries, err := queryWindowCtx(ctx, groups, asOf, cfg.wireCodec())
+		if err != nil {
+			return nil, err
+		}
+		return toSample(entries), nil
+	}
+	entries, err := queryGroupsCtx(ctx, groups, cfg.SampleSize, cfg.wireCodec())
+	if err != nil {
+		return nil, err
+	}
+	return toSample(entries), nil
+}
+
+// queryGroupsCtx runs the cluster query under a context: cancellation
+// abandons the wait (the underlying fan-out finishes in the background).
+func queryGroupsCtx(ctx context.Context, groups [][]string, size int, codec wire.Codec) ([]netsim.SampleEntry, error) {
+	type result struct {
+		entries []netsim.SampleEntry
+		err     error
+	}
+	done := make(chan result, 1)
+	go func() {
+		entries, err := cluster.QueryGroups(groups, size, codec)
+		done <- result{entries, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return nil, fmt.Errorf("dds: query: %w", r.err)
+		}
+		return r.entries, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// queryWindowCtx runs the snapshot-based window query under a context (see
+// queryGroupsCtx for the cancellation contract).
+func queryWindowCtx(ctx context.Context, groups [][]string, asOf int64, codec wire.Codec) ([]netsim.SampleEntry, error) {
+	type result struct {
+		entries []netsim.SampleEntry
+		err     error
+	}
+	done := make(chan result, 1)
+	go func() {
+		entries, err := cluster.QueryWindowGroups(groups, asOf, codec)
+		done <- result{entries, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return nil, fmt.Errorf("dds: query: %w", r.err)
+		}
+		return r.entries, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// snapshotGroup fetches one shard's state via the shared primary-resolution
+// walk: the current primary (probed by epoch) preferred, any live member —
+// whose state is at most one sync interval stale — as fallback.
+func snapshotGroup(ctx context.Context, members []string, codec wire.Codec) (core.State, error) {
+	if err := ctx.Err(); err != nil {
+		return core.State{}, err
+	}
+	var st core.State
+	err := cluster.WithGroupPrimary(members, codec, func(addr string) error {
+		s, err := wire.SnapshotAddr(addr, codec)
+		if err == nil {
+			st = s
+		}
+		return err
+	})
+	return st, err
+}
+
+func toSample(entries []netsim.SampleEntry) Sample {
+	out := make(Sample, len(entries))
+	for i, e := range entries {
+		out[i] = Entry{Key: e.Key, Hash: e.Hash, Expiry: e.Expiry}
+	}
+	return out
+}

@@ -1,98 +1,78 @@
-// Cluster walkthrough: scale the deployable sampler from one coordinator to
-// a sharded, replicated cluster — kill a primary mid-ingest to watch it fail
-// over, and reshard the cluster live to watch it grow. Four coordinator
-// shards run as replica groups (one primary plus one warm replica each),
-// sites ingest over TCP with the batched binary codec, a shard primary dies
-// halfway through the stream, the sites promote its replica and replay their
-// unacknowledged offers — and while the second half streams, shard 1's
-// hash-prefix range is split in two: a fifth shard group spins up, warms
-// from one snapshot frame, the sites flip their routing tables mid-flight,
-// and afterwards the two ranges are merged back. The query-time merge still
-// reconstructs the exact global sample through all of it.
+// Cluster walkthrough on the public dds API: a sharded, replicated sampler
+// cluster survives a primary kill mid-ingest and grows live through an
+// online shard split — all through dds.Serve/dds.Open, no internal imports.
+// Four coordinator shards run as replica groups (one primary plus one warm
+// replica each), three sites ingest concurrently with the pipelined binary
+// transport, a shard primary dies halfway through the stream, the sites
+// promote its replica and replay their unacknowledged offers — and while the
+// second half streams, shard 1's hash-prefix range is split in two: a fifth
+// shard group spins up, warms from one snapshot frame, the clients flip
+// their routing tables mid-flight, and afterwards the ranges are merged
+// back. The query-time merge reconstructs the same global sample through all
+// of it.
 //
 //	go run ./examples/cluster
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 	"sync"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/distribute"
-	"repro/internal/hashing"
-	"repro/internal/netsim"
-	"repro/internal/replica"
-	"repro/internal/stream"
-	"repro/internal/wire"
+	"repro/dds"
+)
+
+const (
+	shards     = 4  // C: coordinator shards, each a full protocol instance
+	sites      = 3  // k: monitoring sites
+	sampleSize = 12 // s: bottom-s sample size per shard and after merging
+	elements   = 60000
+	distinct   = 8000
 )
 
 func main() {
-	const (
-		shards     = 4  // C: coordinator shards, each a full protocol instance
-		replicas   = 1  // R: warm replicas per shard
-		sites      = 3  // k: monitoring sites
-		sampleSize = 12 // s: bottom-s sample size per shard and after merging
-		seed       = 42
-	)
+	ctx := context.Background()
 
-	// 1. A synthetic stream: 60,000 observations over ~8,000 distinct keys,
-	//    spread over the sites uniformly at random.
-	elements := dataset.Uniform(60000, 8000, seed).Generate()
-	arrivals := distribute.Apply(elements, distribute.NewRandom(sites, seed))
-	perSite := make([][]stream.Arrival, sites)
-	for _, a := range arrivals {
-		perSite[a.Site] = append(perSite[a.Site], a)
-	}
-
-	// 2. Every node shares one hash function; the router derives the shard
-	//    partition from it, so all sites and query clients agree on which
-	//    shard owns which key without any coordination.
-	hasher := hashing.NewMurmur2(seed)
-	router := cluster.NewShardRouter(shards, hasher)
-
-	// 3. Start the cluster: C replica groups, each 1 + R independent
-	//    infinite-window coordinators with their own TCP listeners. The
-	//    coordinator's whole state is its bottom-s sketch, so each primary
-	//    keeps its replica warm by pushing one tiny state-sync frame per sync
-	//    interval — there is no replicated log.
-	srv, err := replica.Listen("127.0.0.1:0", shards, replica.Options{
-		Replicas:     replicas,
-		SyncInterval: 25 * time.Millisecond,
-		Codec:        wire.CodecBinary,
-		// The shared routing hash lets coordinators filter sample entries by
-		// hash-prefix range — the primitive online resharding is built on.
-		RouteHash: router.RouteHash,
-	}, func(int, int) netsim.CoordinatorNode {
-		return core.NewInfiniteCoordinator(sampleSize)
-	})
+	// 1. The cluster: C replica groups, each 1 + 1 independent coordinators
+	//    with their own TCP listeners. A coordinator's whole state is its
+	//    bottom-s sketch, so each primary keeps its replica warm by pushing
+	//    one tiny snapshot frame per sync interval — there is no log.
+	cluster, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0", Shards: shards, SampleSize: sampleSize},
+		dds.WithReplicas(1), dds.WithSyncInterval(25*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
-	groups := srv.GroupAddrs()
-	fmt.Printf("cluster of %d shards × %d members listening:\n", shards, replicas+1)
-	for shard, members := range groups {
+	defer cluster.Close()
+	fmt.Printf("cluster of %d shards × 2 members listening:\n", shards)
+	for shard, members := range cluster.Groups() {
 		fmt.Printf("  shard %d: %v\n", shard, members)
 	}
 
-	// 4. Each site dials every shard's current primary and routes each
-	//    observation to the shard owning its key; binary codec, 64-offer
-	//    batches, pipeline window 8 (see the pipelined-ingest example).
-	opts := wire.Options{Codec: wire.CodecBinary, BatchSize: 64, Window: wire.DefaultWindow}
-	clients := make([]*cluster.SiteClient, sites)
-	for site := 0; site < sites; site++ {
-		id := site
-		clients[site], err = cluster.DialGroups(groups, router, func(int) netsim.SiteNode {
-			return core.NewInfiniteSite(id, hasher)
-		}, opts)
+	// 2. The stream, pre-split across the sites.
+	rng := rand.New(rand.NewSource(42))
+	perSite := make([][]string, sites)
+	for i := 0; i < elements; i++ {
+		site := rng.Intn(sites)
+		perSite[site] = append(perSite[site], fmt.Sprintf("user-%05d", rng.Intn(distinct)))
+	}
+
+	// 3. One client per site: each dials every shard's current primary and
+	//    routes each observation to the shard owning its key (64-offer
+	//    batches, pipeline window 8). Attach registers them with the reshard
+	//    driver so live cutovers can flip their routing tables.
+	clients := make([]*dds.Client, sites)
+	for site := range clients {
+		clients[site], err = dds.Open(ctx, dds.Config{Coordinators: cluster.Groups(), SiteID: site, SampleSize: sampleSize},
+			dds.WithBatch(64), dds.WithPipelining(8))
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
+	cluster.Attach(clients...)
+
 	ingest := func(half int) {
 		var wg sync.WaitGroup
 		for site := 0; site < sites; site++ {
@@ -104,8 +84,8 @@ func main() {
 				if half == 1 {
 					from, to = len(mine)/2, len(mine)
 				}
-				for _, a := range mine[from:to] {
-					if err := clients[site].Observe(a.Key, a.Slot); err != nil {
+				for _, key := range mine[from:to] {
+					if err := clients[site].Offer(key, 0); err != nil {
 						log.Fatal(err)
 					}
 				}
@@ -117,38 +97,27 @@ func main() {
 		wg.Wait()
 	}
 
-	// 5. Ingest the first half, then kill shard 0's primary. (The flush +
+	// 4. Ingest the first half, then kill shard 0's primary. (The flush +
 	//    forced sync bounds what the crash can lose to exactly nothing; in
 	//    production the loss bound is one sync interval of acknowledged
 	//    offers — everything unacknowledged is replayed by the sites.)
 	ingest(0)
-	if err := srv.SyncNow(); err != nil {
+	if err := cluster.SyncNow(); err != nil {
 		log.Fatal(err)
 	}
-	killed, err := srv.KillPrimary(0)
+	killed, err := cluster.KillPrimary(0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nkilled shard 0 member %d mid-ingest; continuing...\n", killed)
 
-	// 6. The second half streams through the failure — and through a live
-	//    reshard. Each site's next offer to shard 0 hits a dead connection,
-	//    probes the primary, promotes the replica (deterministic epoch, so
-	//    all sites converge on the same new primary), replays its unacked
-	//    window, and carries on. Meanwhile the reshard driver splits shard
-	//    1's range: a fifth replica group starts, warms from one snapshot
-	//    frame of shard 1's bottom-s sample, every site flips its routing
-	//    table at its next operation boundary, and the donor prunes the
-	//    handed-off range.
-	rs := cluster.NewResharder(srv, router.Table(), wire.CodecBinary)
-	rs.Register(clients...)
-	splitDone := make(chan *cluster.ReshardReport, 1)
+	// 5. The second half streams through the failure — and through a live
+	//    reshard: shard 1's range splits, a fifth replica group warms from
+	//    one snapshot frame, every client flips at its next operation
+	//    boundary, and the donor prunes the handed-off range.
+	splitDone := make(chan *dds.ReshardReport, 1)
 	go func() {
-		mid, err := rs.Table().SplitPoint(1, 0.5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := rs.Split(1, mid)
+		rep, err := cluster.Split(1, 0.5)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -156,15 +125,15 @@ func main() {
 	}()
 	ingest(1)
 	rep := awaitPlan(splitDone, clients)
-	fmt.Printf("split shard 1 live: range [%#x, %#x) moved to new shard %d (v%d, %d+%d sample entries shipped, cutover stalled sites %v)\n",
+	fmt.Printf("split shard 1 live: range [%#x, %#x) moved to new shard %d (v%d, %d+%d snapshot entries shipped, cutover stalled clients %v)\n",
 		rep.Lo, rep.Hi, rep.Successor, rep.Version, rep.WarmEntries, rep.SettleEntries, rep.CutoverStall.Round(time.Microsecond))
 
-	// 7. Merge the split ranges back (say the traffic spike passed): the
-	//    surviving shard absorbs the range and the sample, the extra group
-	//    retires, and the sites drop their connections to it.
-	mergeDone := make(chan *cluster.ReshardReport, 1)
+	// 6. Merge the split ranges back (say the traffic spike passed): the
+	//    surviving shard absorbs the range and the state, the extra group
+	//    retires, and the clients drop their connections to it.
+	mergeDone := make(chan *dds.ReshardReport, 1)
 	go func() {
-		rep, err := rs.MergeAt(rs.Table().RangeIndexOf(1))
+		rep, err := cluster.MergeAt(cluster.RangeIndexOf(1))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -172,26 +141,13 @@ func main() {
 	}()
 	rep = awaitPlan(mergeDone, clients)
 	fmt.Printf("merged it back: shard %d retired (v%d)\n", rep.Donor, rep.Version)
+	fmt.Printf("shard 0 primary is now member %d (epochs %v)\n", cluster.PrimaryIndex(0), cluster.Epochs(0))
 
-	for site, c := range clients {
-		if n, stall := c.Failovers(); n > 0 {
-			fmt.Printf("site %d failed over %d time(s), stalled %v\n", site, n, stall.Round(time.Microsecond))
-		}
-		if n, stall := c.ReshardStalls(); n > 0 {
-			fmt.Printf("site %d applied %d route update(s), stalled %v\n", site, n, stall.Round(time.Microsecond))
-		}
-		if err := c.Close(); err != nil {
-			log.Fatal(err)
-		}
-		clients[site] = nil
-	}
-	fmt.Printf("shard 0 primary is now member %d (epochs %v)\n", srv.PrimaryIndex(0), srv.Epochs(0))
-
-	// 8. Query time: fan out to every live shard's current primary (retired
-	//    slots are skipped), union the bottom-s sketches, keep the s
-	//    smallest hashes — exactly the sample one big coordinator over the
-	//    whole stream would hold, crash and reshards notwithstanding.
-	merged, err := cluster.QueryGroups(srv.GroupAddrs(), sampleSize, wire.CodecBinary)
+	// 7. Query time: fan out to every live shard's current primary, union
+	//    the bottom-s sketches, keep the s smallest hashes — the same sample
+	//    one big coordinator over the whole stream would hold, crash and
+	//    reshards notwithstanding. The estimate rides on the same sketch.
+	merged, err := clients[0].Query(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -199,48 +155,64 @@ func main() {
 	for _, e := range merged {
 		fmt.Printf("  %-12s  hash=%.6f\n", e.Key, e.Hash)
 	}
-
-	// 9. The merged sample feeds the KMV estimator for cluster-wide counts.
-	shardSamples, err := srv.PrimarySamples()
+	est, err := clients[0].Estimate(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	est, err := cluster.DistinctCount(sampleSize, shardSamples...)
+	fmt.Printf("\ntrue distinct elements: %d\n", countDistinct(perSite))
+	fmt.Printf("estimated from merged sample: %.0f (95%% CI %.0f – %.0f)\n", est.Count, est.Low, est.High)
+
+	// 8. Sanity: the remote query and the cluster's own primaries agree
+	//    byte-identically, and the cluster barely talked.
+	direct, err := cluster.Sample(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := stream.Summarize(elements)
-	fmt.Printf("\ntrue distinct elements: %d\n", stats.Distinct)
-	fmt.Printf("estimated from merged sample: %.0f (95%% CI %.0f – %.0f)\n",
-		est.Estimate, est.Low, est.High)
+	agree := len(direct) == len(merged)
+	for i := 0; agree && i < len(direct); i++ {
+		agree = direct[i] == merged[i]
+	}
+	fmt.Printf("remote query matches cluster primaries: %v\n", agree)
 
-	// 10. Sanity: the merge is exact despite the crash and both reshards,
-	//     and the cluster barely talked.
-	oracle := core.NewReference(sampleSize, hasher)
-	oracle.ObserveAll(stream.Keys(elements))
-	fmt.Printf("matches centralized oracle: %v\n", oracle.SameSample(merged))
-	offers, replies, _ := srv.Stats()
+	for site, c := range clients {
+		if err := c.Close(); err != nil {
+			log.Fatal(err)
+		}
+		clients[site] = nil
+	}
+	offers, replies, _ := cluster.Stats()
 	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length)\n",
-		offers+replies, 100*float64(offers+replies)/float64(stats.Elements))
+		offers+replies, 100*float64(offers+replies)/float64(elements))
 }
 
 // awaitPlan waits for a background reshard plan while pumping the (by now
-// idle) site clients from their owning goroutine: cutovers are cooperative,
-// so sites must keep reaching an operation boundary for the flip to land.
-// While ingest is still running the pump never fires — Observe applies
-// pending updates for free.
-func awaitPlan(done chan *cluster.ReshardReport, clients []*cluster.SiteClient) *cluster.ReshardReport {
+// idle) clients from their owning goroutines: cutovers are cooperative, so
+// clients must keep reaching an operation boundary for the flip to land.
+// While ingest is still running the pump never fires — Offer applies pending
+// updates for free.
+func awaitPlan(done chan *dds.ReshardReport, clients []*dds.Client) *dds.ReshardReport {
 	for {
 		select {
 		case rep := <-done:
 			return rep
 		default:
 			for _, c := range clients {
-				if err := c.ApplyRouteUpdates(); err != nil {
+				if err := c.Flush(); err != nil {
 					log.Fatal(err)
 				}
 			}
 			time.Sleep(200 * time.Microsecond)
 		}
 	}
+}
+
+// countDistinct tallies the stream's true distinct count for the printout.
+func countDistinct(perSite [][]string) int {
+	seen := make(map[string]struct{})
+	for _, keys := range perSite {
+		for _, key := range keys {
+			seen[key] = struct{}{}
+		}
+	}
+	return len(seen)
 }

@@ -1,64 +1,69 @@
-// Quickstart: maintain a distinct random sample over a stream observed by
-// several distributed sites, then query it at the coordinator.
+// Quickstart for the public dds API: start an embedded sampler cluster,
+// ingest a stream of repeated observations over TCP, and query the uniform
+// distinct sample and the distinct-count estimate — in ~40 lines, importing
+// nothing but the dds package.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/distribute"
-	"repro/internal/hashing"
-	"repro/internal/stream"
+	"repro/dds"
 )
 
 func main() {
-	const (
-		sites      = 4  // k: number of monitoring sites
-		sampleSize = 8  // s: distinct sample size at the coordinator
-		seed       = 42 // reproducibility
-	)
+	ctx := context.Background()
 
-	// 1. A synthetic stream: 50,000 observations over ~5,000 distinct keys.
-	elements := dataset.Uniform(50000, 5000, seed).Generate()
-
-	// 2. Every node shares one hash function (the coordinator would normally
-	//    distribute it during initialization).
-	hasher := hashing.NewMurmur2(seed)
-
-	// 3. Build the distributed system: k sites plus a coordinator.
-	system := core.NewSystem(sites, sampleSize, hasher)
-
-	// 4. Decide which site observes each element. Here each element goes to
-	//    one uniformly random site.
-	arrivals := distribute.Apply(elements, distribute.NewRandom(sites, seed))
-
-	// 5. Play the stream through the simulation engine, which counts every
-	//    message exchanged between the sites and the coordinator.
-	metrics, err := system.Runner(0, 0).RunSequential(arrivals)
+	// 1. An embedded cluster: one coordinator shard, sample size 8.
+	cluster, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0", Shards: 1, SampleSize: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cluster.Close()
 
-	// 6. Query the coordinator: a uniform random sample of the distinct
-	//    elements seen so far, regardless of how often each one appeared.
-	fmt.Printf("distinct sample of size %d:\n", len(metrics.FinalSample))
-	for _, entry := range metrics.FinalSample {
+	// 2. A site client: batched binary ingest over TCP.
+	client, err := dds.Open(ctx, dds.Config{Coordinators: cluster.Groups(), SampleSize: 8}, dds.WithBatch(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// 3. The stream: 50,000 observations over ~5,000 distinct users. The
+	//    protocol decides what to send; almost every offer costs nothing.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50000; i++ {
+		if err := client.Offer(fmt.Sprintf("user-%04d", rng.Intn(5000)), 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Query: a uniform random sample of the distinct elements seen so
+	//    far, regardless of how often each one appeared.
+	sample, err := client.Query(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distinct sample of size %d:\n", len(sample))
+	for _, entry := range sample {
 		fmt.Printf("  %-12s  hash=%.6f\n", entry.Key, entry.Hash)
 	}
 
-	// 7. The whole point of the algorithm: very little communication.
-	stats := stream.Summarize(elements)
-	fmt.Printf("\nstream: %d elements, %d distinct\n", stats.Elements, stats.Distinct)
-	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length)\n",
-		metrics.TotalMessages(), 100*float64(metrics.TotalMessages())/float64(stats.Elements))
+	// 5. The sample doubles as a KMV sketch: estimate the distinct count.
+	est, err := client.Estimate(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nestimated distinct elements: %.0f (95%% CI %.0f – %.0f)\n", est.Count, est.Low, est.High)
 
-	// Sanity: the distributed sample matches what a centralized sampler that
-	// saw every element would hold.
-	oracle := core.NewReference(sampleSize, hasher)
-	oracle.ObserveAll(stream.Keys(elements))
-	fmt.Printf("matches centralized oracle: %v\n", oracle.SameSample(metrics.FinalSample))
+	// 6. The whole point of the algorithm: very little communication.
+	offers, replies, _ := cluster.Stats()
+	fmt.Printf("messages exchanged: %d (%.2f%% of the stream length)\n",
+		offers+replies, 100*float64(offers+replies)/50000)
 }

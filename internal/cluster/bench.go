@@ -11,6 +11,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/netsim"
 	"repro/internal/replica"
+	"repro/internal/sliding"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
@@ -451,6 +452,217 @@ func RunReshardBench(cfg BenchConfig, replicas int, syncInterval time.Duration) 
 		WarmEntries:          splitRep.WarmEntries,
 		SettleEntries:        splitRep.SettleEntries,
 		MergedSampleLen:      len(merged),
+	}, nil
+}
+
+// SlidingFailoverResult is the machine-readable outcome of one
+// sliding-window kill-and-promote benchmark run: ingest throughput before
+// and after a shard primary is killed mid-ingest, with the whole cluster
+// running the sliding-window protocol — the configuration that only became
+// possible when the unified Snapshot/Restore API made the sliding
+// coordinator's candidate store replicable.
+type SlidingFailoverResult struct {
+	Shards      int     `json:"shards"`
+	Sites       int     `json:"sites"`
+	Replicas    int     `json:"replicas"`
+	WindowSlots int64   `json:"window_slots"`
+	Codec       string  `json:"codec"`
+	Batch       int     `json:"batch"`
+	Window      int     `json:"window"`
+	Elements    int     `json:"elements"`
+	Slots       int64   `json:"slots"`
+	SyncMillis  float64 `json:"sync_interval_ms"`
+	KilledShard int     `json:"killed_shard"`
+	NewPrimary  int     `json:"new_primary"`
+	// PreKillOpsPerSec and PostKillOpsPerSec are the ingest throughput of
+	// the slot-range halves before and after the kill (the post-kill half
+	// absorbs the detection + promotion + replay stall).
+	PreKillOpsPerSec  float64 `json:"pre_kill_ops_per_sec"`
+	PostKillOpsPerSec float64 `json:"post_kill_ops_per_sec"`
+	Failovers         int     `json:"failovers"`
+	FailoverStallSec  float64 `json:"failover_stall_sec"`
+}
+
+// RunSlidingFailoverBench measures sliding-window ingest throughput across a
+// kill/promote event: cfg.Sites clients drive a slotted stream (EndSlot at
+// every slot boundary so expiry-driven promotions fire) into cfg.Shards
+// sliding-window replica groups, the run quiesces and kills shard 0's
+// primary at the halfway slot, and the second half ingests through the
+// promotion. The merged window sample must equal the brute-force window
+// minimum at the end — a promotion that loses candidate-store state fails
+// the benchmark rather than reporting a number.
+func RunSlidingFailoverBench(cfg BenchConfig, windowSlots int64, replicas int, syncInterval time.Duration) (*SlidingFailoverResult, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("cluster: sliding failover bench needs at least one replica")
+	}
+	if windowSlots < 1 {
+		windowSlots = 1
+	}
+	const perSlot = 10
+	hasher := hashing.NewMurmur2(cfg.Seed)
+	elements := stream.Reslot(dataset.Uniform(cfg.Elements, cfg.Distinct, cfg.Seed).Generate(), perSlot)
+	arrivals := distribute.Apply(elements, distribute.NewRandom(cfg.Sites, cfg.Seed))
+	stream.SortArrivals(arrivals)
+	minSlot, maxSlot := arrivals[0].Slot, arrivals[len(arrivals)-1].Slot
+	perSiteSlot := make([]map[int64][]string, cfg.Sites)
+	for i := range perSiteSlot {
+		perSiteSlot[i] = make(map[int64][]string)
+	}
+	for _, a := range arrivals {
+		perSiteSlot[a.Site][a.Slot] = append(perSiteSlot[a.Site][a.Slot], a.Key)
+	}
+
+	router := NewShardRouter(cfg.Shards, hasher)
+	srv, err := replica.Listen("127.0.0.1:0", cfg.Shards, replica.Options{
+		Replicas:     replicas,
+		SyncInterval: syncInterval,
+		Codec:        cfg.Codec,
+		RouteHash:    router.RouteHash,
+	}, func(int, int) netsim.CoordinatorNode {
+		return sliding.NewCoordinator()
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	opts := wire.Options{Codec: cfg.Codec, BatchSize: cfg.Batch, Window: cfg.Window}
+	clients := make([]*SiteClient, cfg.Sites)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	groups := srv.GroupAddrs()
+	for site := 0; site < cfg.Sites; site++ {
+		id := site
+		clients[site], err = DialGroups(groups, router, func(shard int) netsim.SiteNode {
+			return sliding.NewSite(id, hasher, windowSlots, uint64(id*100+shard)+1)
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ingestSlots drives the slot range [from, to] on every site
+	// concurrently, closing out every slot, and returns the wall-clock and
+	// arrival count.
+	ingestSlots := func(from, to int64) (time.Duration, int, error) {
+		start := time.Now()
+		total := 0
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.Sites)
+		counts := make([]int, cfg.Sites)
+		for site := 0; site < cfg.Sites; site++ {
+			wg.Add(1)
+			go func(site int) {
+				defer wg.Done()
+				for slot := from; slot <= to; slot++ {
+					for _, key := range perSiteSlot[site][slot] {
+						if err := clients[site].Observe(key, slot); err != nil {
+							errs <- err
+							return
+						}
+						counts[site]++
+					}
+					if err := clients[site].EndSlot(slot); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- clients[site].Flush()
+			}(site)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		for _, n := range counts {
+			total += n
+		}
+		return time.Since(start), total, nil
+	}
+
+	midSlot := minSlot + (maxSlot-minSlot)/2
+	preDur, preCount, err := ingestSlots(minSlot, midSlot)
+	if err != nil {
+		return nil, err
+	}
+	// Quiesce so the replica holds the primary's exact store and slot clock,
+	// then kill.
+	if err := srv.SyncNow(); err != nil {
+		return nil, err
+	}
+	if _, err := srv.KillPrimary(0); err != nil {
+		return nil, err
+	}
+	postDur, postCount, err := ingestSlots(midSlot+1, maxSlot)
+	if err != nil {
+		return nil, err
+	}
+
+	failovers := 0
+	maxStall := time.Duration(0)
+	for site, c := range clients {
+		clients[site] = nil
+		if err := c.Close(); err != nil {
+			return nil, err
+		}
+		n, stall := c.Failovers()
+		failovers += n
+		if stall > maxStall {
+			maxStall = stall
+		}
+	}
+
+	// Correctness gate: merged live window sample == brute-force minimum.
+	lastArrival := make(map[string]int64, cfg.Distinct)
+	for _, a := range arrivals {
+		if a.Slot > lastArrival[a.Key] || lastArrival[a.Key] == 0 {
+			lastArrival[a.Key] = a.Slot
+		}
+	}
+	wantKey, wantHash := "", 2.0
+	for key, last := range lastArrival {
+		if last <= maxSlot-windowSlots {
+			continue
+		}
+		if h := hasher.Unit(key); h < wantHash {
+			wantKey, wantHash = key, h
+		}
+	}
+	samples, err := srv.PrimarySamples()
+	if err != nil {
+		return nil, err
+	}
+	merged := MergeWindow(maxSlot, samples...)
+	if wantKey != "" && (len(merged) != 1 || merged[0].Key != wantKey) {
+		return nil, fmt.Errorf("cluster: post-promotion window sample %v diverged from the brute-force minimum %q (shards=%d replicas=%d w=%d)",
+			merged, wantKey, cfg.Shards, replicas, windowSlots)
+	}
+
+	return &SlidingFailoverResult{
+		Shards:            cfg.Shards,
+		Sites:             cfg.Sites,
+		Replicas:          replicas,
+		WindowSlots:       windowSlots,
+		Codec:             cfg.Codec.String(),
+		Batch:             cfg.Batch,
+		Window:            cfg.Window,
+		Elements:          len(arrivals),
+		Slots:             maxSlot - minSlot + 1,
+		SyncMillis:        float64(syncInterval) / float64(time.Millisecond),
+		KilledShard:       0,
+		NewPrimary:        srv.PrimaryIndex(0),
+		PreKillOpsPerSec:  float64(preCount) / preDur.Seconds(),
+		PostKillOpsPerSec: float64(postCount) / postDur.Seconds(),
+		Failovers:         failovers,
+		FailoverStallSec:  maxStall.Seconds(),
 	}, nil
 }
 

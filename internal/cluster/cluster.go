@@ -132,6 +132,37 @@ func Merge(sampleSize int, shardSamples ...[]netsim.SampleEntry) []netsim.Sample
 	return union
 }
 
+// MergeWindow unions per-shard sliding-window candidate sets, drops entries
+// that have expired by slot now, and returns the minimum-hash live entry —
+// the global window sample — or nil when nothing is live. The explicit
+// clock matters because shard coordinators expire lazily (only a message or
+// slot-end advances them): an idle shard may still report an expired entry.
+// The filter is exact over whatever candidates the inputs carry; note that
+// a shard's single-entry Sample() hides live higher-hash candidates behind
+// an expired minimum, so callers that may query an idle shard should feed
+// MergeWindow full snapshot stores instead (see QueryWindowGroups). At an
+// EndSlot-quiesced boundary with every shard actively served, Sample()
+// inputs are exact too: a site whose candidate expired re-offers its next
+// best at the slot end, refreshing the shard minimum.
+func MergeWindow(now int64, shardSamples ...[]netsim.SampleEntry) []netsim.SampleEntry {
+	var best netsim.SampleEntry
+	have := false
+	for _, sample := range shardSamples {
+		for _, e := range sample {
+			if e.Expiry < now {
+				continue
+			}
+			if !have || e.Hash < best.Hash || (e.Hash == best.Hash && e.Key < best.Key) {
+				best, have = e, true
+			}
+		}
+	}
+	if !have {
+		return nil
+	}
+	return []netsim.SampleEntry{best}
+}
+
 // MergedThreshold returns the threshold u of a merged sample: 1 while the
 // merged sample holds fewer than sampleSize entries (the union is the whole
 // distinct population), otherwise the largest retained hash — the same

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/replica"
 	"repro/internal/wire"
 )
@@ -210,13 +212,40 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 	return rep, nil
 }
 
-// handoff snapshots the donor slot's primary sample and ships the entries in
-// [lo, hi) to the receiver slot's primary, returning how many entries the
-// frame carried. Both endpoints are re-resolved per attempt so a primary
-// killed mid-plan fails over to its replica.
+// handoff snapshots the donor slot's primary state and ships it, filtered to
+// [lo, hi), to the receiver slot's primary, returning how many entries the
+// frame carried. The snapshot is a full core.State (generic state-handoff
+// frame), so sliding-window shards — whose candidate store never fit in a
+// flat sample frame — hand ranges off exactly like infinite-window ones;
+// pre-snapshot coordinators fall back to the legacy flat-sample handoff.
+// Both endpoints are re-resolved per attempt so a primary killed mid-plan
+// fails over to its replica.
 func (r *Resharder) handoff(donor, receiver int, ver, lo, hi uint64) (int, error) {
 	var n int
 	err := r.withPrimary(donor, func(donorAddr string) error {
+		st, serr := wire.SnapshotAddr(donorAddr, r.codec)
+		if serr == nil {
+			n = core.StateEntryCount(st)
+			return r.withPrimary(receiver, func(recvAddr string) error {
+				ackVer, err := wire.HandoffStateAddr(recvAddr, ver, lo, hi, st, r.codec)
+				if err != nil {
+					return err
+				}
+				if ackVer > ver {
+					return fmt.Errorf("cluster: handoff to slot %d at route version %d, plan is %d: %w", receiver, ackVer, ver, wire.ErrStaleRoute)
+				}
+				return nil
+			})
+		}
+		if !strings.Contains(serr.Error(), "does not support state snapshots") {
+			// A transient failure (dial, read, mid-plan kill), NOT a donor
+			// that predates the Snapshot API: surface it so withPrimary's
+			// retry re-resolves the primary instead of downgrading to a
+			// legacy path the receiver may reject.
+			return serr
+		}
+		// Legacy path: the donor predates the Snapshot API; its whole state
+		// is its flat sample.
 		entries, err := wire.QueryWith(donorAddr, r.codec)
 		if err != nil {
 			return err
@@ -228,7 +257,7 @@ func (r *Resharder) handoff(donor, receiver int, ver, lo, hi uint64) (int, error
 				return err
 			}
 			if ackVer > ver {
-				return fmt.Errorf("cluster: handoff fenced: receiver slot %d is at route version %d, plan is %d", receiver, ackVer, ver)
+				return fmt.Errorf("cluster: handoff to slot %d at route version %d, plan is %d: %w", receiver, ackVer, ver, wire.ErrStaleRoute)
 			}
 			return nil
 		})
@@ -244,7 +273,7 @@ func (r *Resharder) routeUpdate(slot int, ver, lo, hi uint64) error {
 			return err
 		}
 		if ackVer > ver {
-			return fmt.Errorf("cluster: route update fenced: slot %d is at route version %d, plan is %d", slot, ackVer, ver)
+			return fmt.Errorf("cluster: route update for slot %d at route version %d, plan is %d: %w", slot, ackVer, ver, wire.ErrStaleRoute)
 		}
 		return nil
 	})

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
@@ -442,6 +443,25 @@ func (c *SiteClient) OfferRouteUpdate(u *RouteUpdate) {
 // currently ingesting under. It may be read from any goroutine.
 func (c *SiteClient) RouteVersion() uint64 { return c.routeVer.Load() }
 
+// Groups returns the slot-indexed member addresses the client currently
+// routes to (nil entries for slots its table does not route to, retired
+// ones included) — the address set query clients should use so reads follow
+// reshards. Like every other method it must be called from the client's
+// owning goroutine.
+func (c *SiteClient) Groups() [][]string {
+	routed := make(map[int]bool, len(c.table.Slots))
+	for _, slot := range c.table.Slots {
+		routed[slot] = true
+	}
+	out := make([][]string, len(c.groups))
+	for slot, members := range c.groups {
+		if routed[slot] && members != nil {
+			out[slot] = append([]string(nil), members...)
+		}
+	}
+	return out
+}
+
 // Closed reports whether Close has completed: the client flushed everything
 // it ever accepted and will not apply further route updates.
 func (c *SiteClient) Closed() bool { return c.closed.Load() }
@@ -495,6 +515,16 @@ func (c *SiteClient) maybeApplyRoute() error {
 	// goroutine.
 	c.table = u.Table.clone()
 	c.groups = cloneGroups(u.Groups)
+	// Phase 3b: repartition site-side window state. Sliding-window site
+	// instances hold per-shard candidate stores (T_i); after the flip, the
+	// tuples of keys that moved to another shard must migrate into that
+	// shard's instance, or their expiry-driven promotions would never reach
+	// the new owner and the merged window sample could miss a live minimum.
+	// Runs before phase 4 so a merge moves the absorbed instance's store
+	// into the survivor's before the absorbed connection closes.
+	if err := c.repartitionSiteState(); err != nil {
+		return fmt.Errorf("cluster: reshard site-state repartition: %w", err)
+	}
 	// Phase 4: retire connections to slots the new table no longer routes
 	// to. Their windows were drained in phase 1 and nothing new was routed
 	// to them since, so closing cannot lose offers; counters fold into the
@@ -522,6 +552,76 @@ func (c *SiteClient) maybeApplyRoute() error {
 	c.reshardTime += time.Since(start)
 	c.mu.Unlock()
 	return firstErr
+}
+
+// repartitionSiteState migrates per-shard site node state across a route
+// flip: every live instance that implements core.Snapshotter is snapshotted,
+// entries whose keys now route elsewhere move to the owning slot's instance
+// (merged under the sampler kind's own union semantics), and each instance
+// is restored to exactly the keys it owns under the new table. Site nodes
+// without snapshots (the infinite-window site's threshold-and-memo state is
+// per-shard-valid as is) are left untouched.
+func (c *SiteClient) repartitionSiteState() error {
+	type snap struct {
+		slot int
+		node core.Snapshotter
+		st   core.State
+	}
+	var snaps []snap
+	for slot, sc := range c.shards {
+		if sc == nil || sc.client == nil {
+			continue
+		}
+		sn, ok := sc.node.(core.Snapshotter)
+		if !ok {
+			return nil // uniform site type per client; nothing to migrate
+		}
+		snaps = append(snaps, snap{slot: slot, node: sn, st: sn.Snapshot()})
+	}
+	// moved[slot] collects the entries whose keys slot now owns.
+	moved := make(map[int][]netsim.SampleEntry)
+	for i := range snaps {
+		s := &snaps[i]
+		collect := func(e netsim.SampleEntry) {
+			owner := c.table.Lookup(c.routeHash(e.Key))
+			if owner != s.slot {
+				moved[owner] = append(moved[owner], e)
+			}
+		}
+		for _, sec := range s.st.Sections {
+			for _, e := range sec.Entries {
+				collect(e)
+			}
+			if sec.Candidate != nil {
+				collect(*sec.Candidate)
+			}
+		}
+		s.st = core.FilterState(s.st, func(key string) bool {
+			return c.table.Lookup(c.routeHash(key)) == s.slot
+		})
+	}
+	for i := range snaps {
+		s := &snaps[i]
+		if in := moved[s.slot]; len(in) > 0 {
+			incoming := core.State{
+				Version:    s.st.Version,
+				Kind:       s.st.Kind,
+				SampleSize: s.st.SampleSize,
+				Slot:       s.st.Slot,
+				Sections:   make([]core.SectionState, len(s.st.Sections)),
+			}
+			incoming.Sections[0] = core.SectionState{Entries: in}
+			merged, err := core.MergeStates(s.st, incoming)
+			if err != nil {
+				return err
+			}
+			s.st = merged
+		}
+		if err := s.node.Restore(s.st); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Observe routes one element observation to its owning shard.
@@ -688,8 +788,16 @@ func QueryGroups(groups [][]string, sampleSize int, codec wire.Codec) ([]netsim.
 	return Merge(sampleSize, samples...), nil
 }
 
-// queryGroup returns one shard's sample, preferring the current primary.
-func queryGroup(members []string, codec wire.Codec) ([]netsim.SampleEntry, error) {
+// WithGroupPrimary runs op against a replica group's current primary: it
+// probes members for the group epoch (the promotion scheme numbers epochs
+// by member index, so the probed epoch names the primary), runs op against
+// that member, and falls back to the probed member itself — whose state is
+// at most one sync interval stale — when the supposed primary is
+// unreachable (the mid-failover gap). It is the one shared implementation
+// of the primary-resolution walk; queries, snapshots, and the dds package
+// all route through it so a change to the epoch-numbering scheme cannot
+// desynchronize callers.
+func WithGroupPrimary(members []string, codec wire.Codec, op func(addr string) error) error {
 	var lastErr error
 	for j, addr := range members {
 		epoch, err := wire.ProbeEpoch(addr, codec)
@@ -697,28 +805,92 @@ func queryGroup(members []string, codec wire.Codec) ([]netsim.SampleEntry, error
 			lastErr = err
 			continue
 		}
-		// The promotion scheme numbers epochs by member index, so the probed
-		// epoch names the primary.
 		target := j
 		if int(epoch) < len(members) {
 			target = int(epoch)
 		}
-		sample, err := wire.QueryWith(members[target], codec)
-		if err == nil {
-			return sample, nil
+		if err := op(members[target]); err == nil {
+			return nil
+		} else {
+			lastErr = err
 		}
-		lastErr = err
 		if target != j {
-			// The supposed primary is unreachable (mid-failover gap): serve
-			// the probed member's own sample, stale by at most one sync
-			// interval, rather than failing the query.
-			if sample, err := wire.QueryWith(addr, codec); err == nil {
-				return sample, nil
+			if err := op(addr); err == nil {
+				return nil
+			} else {
+				lastErr = err
 			}
 		}
 	}
 	if lastErr == nil {
 		lastErr = ErrNoShards
 	}
-	return nil, lastErr
+	return lastErr
+}
+
+// queryGroup returns one shard's sample, preferring the current primary.
+func queryGroup(members []string, codec wire.Codec) ([]netsim.SampleEntry, error) {
+	var sample []netsim.SampleEntry
+	err := WithGroupPrimary(members, codec, func(addr string) error {
+		s, err := wire.QueryWith(addr, codec)
+		if err == nil {
+			sample = s
+		}
+		return err
+	})
+	return sample, err
+}
+
+// QueryWindowGroups returns the live window sample at slot now across
+// replica groups: one entry — the minimum-hash element still inside the
+// window — or nil when nothing is live. Unlike QueryGroups + MergeWindow it
+// reads each shard's full state snapshot, not its single current sample: a
+// shard whose slot clock lags (nothing advanced it since its minimum
+// expired) reports an expired minimum that hides still-live higher-hash
+// candidates, and only the snapshot's candidate store makes the query exact
+// in that case.
+func QueryWindowGroups(groups [][]string, now int64, codec wire.Codec) ([]netsim.SampleEntry, error) {
+	live := 0
+	for _, members := range groups {
+		if len(members) > 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil, ErrNoShards
+	}
+	candidates := make([][]netsim.SampleEntry, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, members := range groups {
+		if len(members) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, members []string) {
+			defer wg.Done()
+			errs[i] = WithGroupPrimary(members, codec, func(addr string) error {
+				st, err := wire.SnapshotAddr(addr, codec)
+				if err != nil {
+					return err
+				}
+				var entries []netsim.SampleEntry
+				for _, sec := range st.Sections {
+					entries = append(entries, sec.Entries...)
+					if sec.Candidate != nil {
+						entries = append(entries, *sec.Candidate)
+					}
+				}
+				candidates[i] = entries
+				return nil
+			})
+		}(i, members)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: window query shard %d: %w", i, err)
+		}
+	}
+	return MergeWindow(now, candidates...), nil
 }

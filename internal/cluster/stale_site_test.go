@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+	"repro/internal/replica"
+	"repro/internal/wire"
+)
+
+// TestStaleSiteStrayKeysAcrossReshards is the regression test for ROADMAP
+// gap (a): there is no coordinator→site push channel, so a *cross-process*
+// site that missed a reshard keeps offering moved-range keys to the old
+// owner ("stray" keys). The test pins both halves of the documented
+// contract:
+//
+//  1. After ONE reshard, strays are correctness-safe: the old owner accepts
+//     them into its sketch, query-time Merge unions all live shards, and the
+//     merged sample stays byte-identical to the reference.
+//  2. After a SECOND reshard that prunes the old owner, strays whose range
+//     moved away earlier are silently dropped — they are outside every
+//     handoff filter and outside the donor's restricted range, and the
+//     current owner never saw them. This is the documented operational
+//     requirement: restart (or re-point via -admin) external sites after
+//     resharding; the drop is the price of not doing so.
+//
+// If either half changes — e.g. a future offer-forwarding fence makes the
+// second half exact — this test is the place that notices.
+func TestStaleSiteStrayKeysAcrossReshards(t *testing.T) {
+	const (
+		s    = 16
+		seed = 1337
+	)
+	hasher := hashing.NewMurmur2(seed)
+	router := NewShardRouter(1, hasher)
+	srv, err := replica.Listen("127.0.0.1:0", 1, replica.Options{
+		Replicas:     1,
+		SyncInterval: 20 * time.Millisecond,
+		Codec:        wire.CodecBinary,
+		RouteHash:    router.RouteHash,
+	}, func(int, int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rs := NewResharder(srv, router.Table(), wire.CodecBinary)
+
+	// The registered (in-process, flip-aware) client.
+	registered, err := DialGroups(srv.GroupAddrs(), router, func(int) netsim.SiteNode {
+		return core.NewInfiniteSite(0, hasher)
+	}, wire.Options{Codec: wire.CodecBinary, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Register(registered)
+
+	// The stale external site: dialed under the original 1-shard partition
+	// and never registered, so no cutover ever flips it — exactly a site in
+	// another process that nobody restarted.
+	stale, err := DialGroups(srv.GroupAddrs(), router, func(int) netsim.SiteNode {
+		return core.NewInfiniteSite(1, hasher)
+	}, wire.Options{Codec: wire.CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+
+	oracle := core.NewReference(s, hasher)
+	baseKeys := make([]string, 0, 600)
+	for i := 0; i < 600; i++ {
+		key := fmt.Sprintf("base-%d", i)
+		baseKeys = append(baseKeys, key)
+		oracle.Observe(key)
+		if err := registered.Observe(key, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := registered.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	checkMerged := func(label string, want []netsim.SampleEntry) {
+		t.Helper()
+		samples, err := srv.PrimarySamples()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		got := Merge(s, samples...)
+		if len(got) != len(want) {
+			t.Fatalf("%s: merged sample has %d entries, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Hash != want[i].Hash {
+				t.Fatalf("%s: merged sample[%d] = %+v, want %+v", label, i, got[i], want[i])
+			}
+		}
+	}
+
+	// First reshard: split slot 0's full range at the midpoint; slot 1 now
+	// owns the upper half, and the donor pruned it away.
+	mid, err := rs.Table().SplitPoint(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPlanPumping(t, []*SiteClient{registered}, func() (*ReshardReport, error) { return rs.Split(0, mid) })
+	checkMerged("after first split", oracle.Sample())
+
+	// Stray keys: offered by the stale site to slot 0 even though their
+	// routing hash moved to slot 1 — and chosen with tiny unit hashes so
+	// they land in the global bottom-s and any loss is visible. (Unit hash
+	// decides sample membership; the routing hash is its SplitMix64 rehash,
+	// so "in the moved range" and "in the bottom-s" are independent and
+	// both satisfiable.)
+	var strays []string
+	for i := 0; len(strays) < 3 && i < 4_000_000; i++ {
+		key := fmt.Sprintf("stray-%d", i)
+		if rh := router.RouteHash(key); rh < mid {
+			continue // still owned by the donor; not a stray
+		}
+		if hasher.Unit(key) > 0.0005 {
+			continue // would not enter the bottom-s reliably
+		}
+		strays = append(strays, key)
+	}
+	if len(strays) < 3 {
+		t.Fatal("could not find stray candidates (hash search exhausted)")
+	}
+	for _, key := range strays {
+		oracle.Observe(key)
+		if err := stale.Observe(key, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stale.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the strays really are sample-worthy.
+	for _, key := range strays {
+		found := false
+		for _, e := range oracle.Sample() {
+			if e.Key == key {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stray %q did not enter the reference bottom-%d; pick smaller hashes", key, s)
+		}
+	}
+
+	// Half 1 of the contract: queries stay correct. The donor holds the
+	// strays out-of-range, the merge unions them in.
+	checkMerged("after stale strays (union-safe)", oracle.Sample())
+
+	// Second reshard pruning the donor: split slot 0's remaining range. The
+	// strays hash into slot 1's range — outside both successors' handoff
+	// filters and outside the donor's restricted range — so the restrict
+	// prune silently drops them.
+	mid2, err := rs.Table().SplitPoint(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPlanPumping(t, []*SiteClient{registered}, func() (*ReshardReport, error) { return rs.Split(0, mid2) })
+
+	// Half 2 of the contract: the strays are gone — the merged sample is
+	// byte-identical to a reference that never saw them. Documented, not
+	// fixed: external sites must re-point after a reshard.
+	baseOracle := core.NewReference(s, hasher)
+	for _, key := range baseKeys {
+		baseOracle.Observe(key)
+	}
+	checkMerged("after second split (strays dropped)", baseOracle.Sample())
+
+	if err := registered.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/hashing"
 	"repro/internal/netsim"
 )
@@ -122,16 +124,53 @@ func (c *InfiniteCoordinator) OnMessage(msg netsim.Message, _ int64, out *netsim
 // OnSlotEnd implements netsim.CoordinatorNode (no time-driven behaviour).
 func (c *InfiniteCoordinator) OnSlotEnd(int64, *netsim.Outbox) {}
 
-// RestoreSample implements netsim.Restorable: it replaces the coordinator's
-// entire state with the given bottom-s sample. Because the sample *is* the
-// coordinator's whole state, a warm replica is brought fully up to date by
-// one such frame; the threshold u is re-derived from the restored set, so no
-// separate metadata needs to survive the transfer.
+// RestoreSample implements netsim.Restorable, the legacy (pre-Snapshot)
+// capture seam: it replaces the coordinator's entire state with the given
+// bottom-s sample. Retained for one release so old state-sync and
+// range-handoff frames keep applying; new code uses Snapshot/Restore.
 func (c *InfiniteCoordinator) RestoreSample(entries []netsim.SampleEntry) {
 	c.sample.Restore(entries)
 }
 
 var _ netsim.Restorable = (*InfiniteCoordinator)(nil)
+
+// Offer implements Sampler: present one element with its precomputed hash.
+// Slot, expiry, and copy are ignored — the infinite window has no time
+// semantics and a single sketch.
+func (c *InfiniteCoordinator) Offer(o Offer) bool {
+	return c.sample.Offer(o.Key, o.Hash)
+}
+
+// Snapshot implements Sampler: the coordinator's whole state is its bottom-s
+// sample, captured as a single-section infinite-kind State.
+func (c *InfiniteCoordinator) Snapshot() State {
+	return State{
+		Version:    StateVersion,
+		Kind:       StateInfinite,
+		SampleSize: c.sampleSize,
+		Sections:   []SectionState{{Entries: c.sample.Entries()}},
+	}
+}
+
+// Restore implements Sampler: replace the coordinator's state with the
+// snapshot. Every entry is re-offered, so restoring a merged state (see
+// MergeStates) yields exactly the bottom-s of the union.
+func (c *InfiniteCoordinator) Restore(st State) error {
+	if err := st.validate(StateInfinite, c.sampleSize); err != nil {
+		return err
+	}
+	if len(st.Sections) != 1 {
+		return fmt.Errorf("core: infinite snapshot has %d sections, want 1", len(st.Sections))
+	}
+	entries := st.Sections[0].Entries
+	if cand := st.Sections[0].Candidate; cand != nil {
+		entries = append(append([]netsim.SampleEntry(nil), entries...), *cand)
+	}
+	c.sample.Restore(entries)
+	return nil
+}
+
+var _ Sampler = (*InfiniteCoordinator)(nil)
 
 // Sample implements netsim.CoordinatorNode: the current distinct sample,
 // ordered by ascending hash.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/hashing"
 	"repro/internal/netsim"
 )
@@ -91,16 +93,94 @@ func (c *WithReplacementCoordinator) OnMessage(msg netsim.Message, _ int64, out 
 		return
 	}
 	i := msg.Copy
-	if !c.have[i] || msg.Hash < c.entries[i].Hash {
-		c.entries[i] = netsim.SampleEntry{Key: msg.Key, Hash: msg.Hash}
-		c.have[i] = true
-	}
+	c.Offer(Offer{Key: msg.Key, Hash: msg.Hash, Copy: i})
 	u := 1.0
 	if c.have[i] {
 		u = c.entries[i].Hash
 	}
 	out.ToSite(msg.From, netsim.Message{Kind: netsim.KindThreshold, U: u, Copy: i})
 }
+
+// Offer implements Sampler: present one element to copy o.Copy, which keeps
+// it if it beats the copy's current minimum. Slot and expiry are ignored.
+func (c *WithReplacementCoordinator) Offer(o Offer) bool {
+	if o.Copy < 0 || o.Copy >= len(c.entries) {
+		return false
+	}
+	i := o.Copy
+	if !c.have[i] || o.Hash < c.entries[i].Hash {
+		c.entries[i] = netsim.SampleEntry{Key: o.Key, Hash: o.Hash}
+		c.have[i] = true
+		return true
+	}
+	return false
+}
+
+// Threshold implements Sampler: the loosest per-copy threshold — an element
+// whose hash is at or above it cannot change any copy's minimum, so it is
+// the scalar selectivity bound of the whole s-copy sampler. (Each copy's own
+// threshold is its current minimum hash, or 1 before its first element.)
+func (c *WithReplacementCoordinator) Threshold() float64 {
+	u := 0.0
+	for i := range c.entries {
+		ui := 1.0
+		if c.have[i] {
+			ui = c.entries[i].Hash
+		}
+		if ui > u {
+			u = ui
+		}
+	}
+	return u
+}
+
+// Snapshot implements Sampler: one section per copy, each carrying the
+// copy's current minimum as its candidate.
+func (c *WithReplacementCoordinator) Snapshot() State {
+	st := State{
+		Version:    StateVersion,
+		Kind:       StateWithReplacement,
+		SampleSize: len(c.entries),
+		Sections:   make([]SectionState, len(c.entries)),
+	}
+	for i := range c.entries {
+		if c.have[i] {
+			e := c.entries[i]
+			st.Sections[i].Candidate = &e
+		}
+	}
+	return st
+}
+
+// Restore implements Sampler: each copy adopts the minimum-hash entry among
+// its section's candidate and entries, so restoring a merged state (see
+// MergeStates) yields the per-copy minimum of the union.
+func (c *WithReplacementCoordinator) Restore(st State) error {
+	if err := st.validate(StateWithReplacement, len(c.entries)); err != nil {
+		return err
+	}
+	if len(st.Sections) != len(c.entries) {
+		return fmt.Errorf("core: with-replacement snapshot has %d sections, want %d", len(st.Sections), len(c.entries))
+	}
+	for i, sec := range st.Sections {
+		best, have := netsim.SampleEntry{}, false
+		consider := func(e netsim.SampleEntry) {
+			if !have || e.Hash < best.Hash || (e.Hash == best.Hash && e.Key < best.Key) {
+				best, have = e, true
+			}
+		}
+		if sec.Candidate != nil {
+			consider(*sec.Candidate)
+		}
+		for _, e := range sec.Entries {
+			consider(e)
+		}
+		c.entries[i], c.have[i] = best, have
+	}
+	return nil
+}
+
+var _ Sampler = (*WithReplacementCoordinator)(nil)
 
 // OnSlotEnd implements netsim.CoordinatorNode.
 func (c *WithReplacementCoordinator) OnSlotEnd(int64, *netsim.Outbox) {}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/wire"
 )
@@ -144,10 +145,10 @@ func (s *Server) snapshotGroups() []*group {
 
 // Listen starts every group member and the per-group sync loops. newCoord
 // builds the protocol coordinator for (shard, member); instances must be
-// independent and the node must implement netsim.Restorable for replicas to
-// be able to apply state-syncs (core.InfiniteCoordinator does; the
-// sliding-window coordinator does not yet — its candidate store does not fit
-// in a sample frame).
+// independent, and for replicas to apply syncs the node must implement
+// either core.Snapshotter (the unified Snapshot/Restore API — every sampler
+// kind, sliding-window included, replicates through generic state frames) or
+// the legacy netsim.Restorable flat-sample seam.
 func Listen(addr string, shards int, opts Options, newCoord func(shard, member int) netsim.CoordinatorNode) (*Server, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("replica: need at least one shard")
@@ -195,9 +196,11 @@ func (s *Server) AddGroup() (slot int, addrs []string, err error) {
 	var members []*member
 	for m := 0; m < groupSize; m++ {
 		node := s.newCoord(slot, m)
-		if _, ok := node.(netsim.Restorable); !ok && s.opts.Replicas > 0 {
+		_, restorable := node.(netsim.Restorable)
+		_, snapshottable := node.(core.Snapshotter)
+		if !restorable && !snapshottable && s.opts.Replicas > 0 {
 			closeMembers(members)
-			return 0, nil, fmt.Errorf("replica: shard %d member %d: coordinator node is not restorable", slot, m)
+			return 0, nil, fmt.Errorf("replica: shard %d member %d: coordinator node is neither snapshottable nor restorable", slot, m)
 		}
 		srv := wire.NewCoordinatorServer(node)
 		if s.opts.RouteHash != nil {
@@ -329,7 +332,21 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 	if p == nil {
 		return fmt.Errorf("replica: shard %d: no live members", g.shard)
 	}
-	entries, u, slot, offers := p.srv.SyncState()
+	// Prefer the generic capture: one encoded core.State replicates any
+	// snapshot-capable sampler (the sliding-window coordinator's candidate
+	// store included). Nodes predating the Snapshot/Restore API fall back to
+	// the legacy flat-sample state-sync.
+	st, generic, slot, offers := p.srv.SnapshotSync()
+	var (
+		entries []netsim.SampleEntry
+		u       float64
+		encoded []byte
+	)
+	if generic {
+		encoded = core.EncodeState(st)
+	} else {
+		entries, u, slot, offers = p.srv.SyncState()
+	}
 	epoch := p.srv.Epoch()
 	if !force && g.pushed && offers == g.lastOffers && epoch == g.lastEpoch {
 		return nil
@@ -348,7 +365,7 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			if err := g.push(m, codec, epoch, slot, u, entries); err != nil {
+			if err := g.push(m, codec, epoch, slot, u, entries, encoded); err != nil {
 				errs[i] = fmt.Errorf("replica: shard %d sync to %s: %w", g.shard, m.addr, err)
 			}
 		}(i, m)
@@ -369,10 +386,11 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 	return nil
 }
 
-// push ships one state-sync frame to a member over its cached sync
+// push ships one sync frame — a generic state-frame when encoded is set, the
+// legacy flat-sample state-sync otherwise — to a member over its cached sync
 // connection, dialing (or redialing once, if the cached connection has gone
 // stale) as needed.
-func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u float64, entries []netsim.SampleEntry) error {
+func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u float64, entries []netsim.SampleEntry, encoded []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for attempt := 0; ; attempt++ {
@@ -383,7 +401,13 @@ func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u fl
 			}
 			m.sync = sc
 		}
-		ackEpoch, err := m.sync.Sync(epoch, g.seq, slot, u, entries)
+		var ackEpoch uint64
+		var err error
+		if encoded != nil {
+			ackEpoch, err = m.sync.SyncFrame(epoch, g.seq, slot, encoded)
+		} else {
+			ackEpoch, err = m.sync.Sync(epoch, g.seq, slot, u, entries)
+		}
 		if err != nil {
 			m.sync.Close()
 			m.sync = nil
@@ -393,7 +417,7 @@ func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u fl
 			return err
 		}
 		if ackEpoch > epoch {
-			return fmt.Errorf("replica: fenced: replica %s is at epoch %d, sync was stamped %d", m.addr, ackEpoch, epoch)
+			return fmt.Errorf("replica: replica %s is at epoch %d, sync was stamped %d: %w", m.addr, ackEpoch, epoch, wire.ErrDeposed)
 		}
 		return nil
 	}

@@ -26,6 +26,9 @@
 package sliding
 
 import (
+	"fmt"
+
+	"repro/internal/core"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
 	"repro/internal/treap"
@@ -137,6 +140,40 @@ func (s *Site) OnSlotEnd(slot int64, out *netsim.Outbox) {
 // quantity plotted in Figures 5.7 and 5.9.
 func (s *Site) Memory() int { return s.store.Len() }
 
+// Snapshot implements core.Snapshotter: the site's candidate sample
+// (e_i, u_i, t_i) plus its store T_i as one sliding-kind State. Site
+// snapshots are what lets a reshard repartition site-side window state:
+// tuples for keys that moved to another shard migrate into that shard's
+// site instance instead of being stranded (see cluster.SiteClient).
+func (s *Site) Snapshot() core.State {
+	var cand *netsim.SampleEntry
+	if s.hasSample {
+		cand = &netsim.SampleEntry{Key: s.sampleKey, Hash: s.sampleHash, Expiry: s.sampleExpiry}
+	}
+	return storeSnapshot(s.store, cand, 0)
+}
+
+// Restore implements core.Snapshotter: replace the site's store and
+// candidate with the snapshot's. A snapshot without a candidate leaves the
+// site sample-less, so its next arrival is reported unconditionally — the
+// protocol's initial state, always safe.
+func (s *Site) Restore(st core.State) error {
+	if err := core.ValidateState(st, core.StateSliding, 1); err != nil {
+		return err
+	}
+	if err := restoreStore(s.store, st); err != nil {
+		return err
+	}
+	if cand := st.Sections[0].Candidate; cand != nil {
+		s.sampleKey, s.sampleHash, s.sampleExpiry, s.hasSample = cand.Key, cand.Hash, cand.Expiry, true
+	} else {
+		s.sampleKey, s.sampleHash, s.sampleExpiry, s.hasSample = "", 0, 0, false
+	}
+	return nil
+}
+
+var _ core.Snapshotter = (*Site)(nil)
+
 // StoreHeight exposes the treap height (diagnostics and the treap-bound
 // extension experiment).
 func (s *Site) StoreHeight() int { return s.store.Height() }
@@ -216,6 +253,100 @@ func (c *Coordinator) Current() (key string, hash float64, expiry int64, ok bool
 // StoreLen exposes the size of the coordinator's offer store (diagnostics
 // and the memory extension experiment).
 func (c *Coordinator) StoreLen() int { return c.offers.Len() }
+
+// Offer implements core.Sampler: advance the slot clock to o.Slot, expire
+// stale tuples, and observe the element with its expiry. It reports whether
+// the window sample (the minimum-hash live tuple) changed.
+func (c *Coordinator) Offer(o core.Offer) bool {
+	if o.Slot > c.lastSlot {
+		c.lastSlot = o.Slot
+	}
+	c.offers.ExpireBefore(c.lastSlot)
+	before, hadBefore := c.offers.Min()
+	c.offers.Observe(o.Key, o.Hash, o.Expiry)
+	after, hadAfter := c.offers.Min()
+	return hadBefore != hadAfter || before != after
+}
+
+// Threshold implements core.Sampler: the current sample's hash — an element
+// hashing at or above it cannot become the window minimum now (though,
+// unlike the infinite window, it may later, once the minimum expires).
+// 1 while no live candidate exists.
+func (c *Coordinator) Threshold() float64 {
+	if min, ok := c.offers.Min(); ok {
+		return min.Hash
+	}
+	return 1
+}
+
+// storeSnapshot captures a window store plus an optional explicit candidate
+// as one sliding-kind State section — shared by the coordinator and Site.
+func storeSnapshot(store *treap.WindowStore, candidate *netsim.SampleEntry, slot int64) core.State {
+	tuples := store.Tuples()
+	entries := make([]netsim.SampleEntry, len(tuples))
+	for i, tu := range tuples {
+		entries[i] = netsim.SampleEntry{Key: tu.Key, Hash: tu.Hash, Expiry: tu.Expiry}
+	}
+	return core.State{
+		Version:    core.StateVersion,
+		Kind:       core.StateSliding,
+		SampleSize: 1,
+		Slot:       slot,
+		Sections:   []core.SectionState{{Candidate: candidate, Entries: entries}},
+	}
+}
+
+// restoreStore rebuilds a window store from a sliding-kind State's section,
+// re-running dominance pruning (so a merged snapshot restores to exactly the
+// non-dominated set of the union) and expiring everything dead at the
+// snapshot's slot clock.
+func restoreStore(store *treap.WindowStore, st core.State) error {
+	if len(st.Sections) != 1 {
+		return fmt.Errorf("sliding: snapshot has %d sections, want 1", len(st.Sections))
+	}
+	sec := st.Sections[0]
+	tuples := make([]treap.Tuple, 0, len(sec.Entries)+1)
+	for _, e := range sec.Entries {
+		tuples = append(tuples, treap.Tuple{Key: e.Key, Hash: e.Hash, Expiry: e.Expiry})
+	}
+	if sec.Candidate != nil {
+		tuples = append(tuples, treap.Tuple{Key: sec.Candidate.Key, Hash: sec.Candidate.Hash, Expiry: sec.Candidate.Expiry})
+	}
+	store.RestoreTuples(tuples)
+	store.ExpireBefore(st.Slot)
+	return nil
+}
+
+// Snapshot implements core.Sampler: the coordinator's whole protocol state —
+// the non-dominated offer store, the current candidate (e*, u*, t*), and the
+// slot clock — as one sliding-kind State. This is what finally makes the
+// sliding-window coordinator restorable: its candidate store never fit in a
+// flat sample frame.
+func (c *Coordinator) Snapshot() core.State {
+	var cand *netsim.SampleEntry
+	if min, ok := c.offers.Min(); ok {
+		cand = &netsim.SampleEntry{Key: min.Key, Hash: min.Hash, Expiry: min.Expiry}
+	}
+	st := storeSnapshot(c.offers, cand, c.lastSlot)
+	// The candidate is the store minimum — do not duplicate it in Entries.
+	// (storeSnapshot keeps both; for the coordinator the candidate is
+	// derived, so it rides along purely as self-description.)
+	return st
+}
+
+// Restore implements core.Sampler.
+func (c *Coordinator) Restore(st core.State) error {
+	if err := core.ValidateState(st, core.StateSliding, 1); err != nil {
+		return err
+	}
+	if err := restoreStore(c.offers, st); err != nil {
+		return err
+	}
+	c.lastSlot = st.Slot
+	return nil
+}
+
+var _ core.Sampler = (*Coordinator)(nil)
 
 // System bundles the sliding-window sites and coordinator.
 type System struct {

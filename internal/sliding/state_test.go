@@ -1,0 +1,114 @@
+package sliding
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/netsim"
+)
+
+// TestSlidingSnapshotRoundTripProperty is the sliding-window arm of the
+// snapshot property test: under randomized slotted offer streams, a
+// coordinator's Snapshot → Restore (into a fresh coordinator) → Snapshot
+// must be byte-identical at the encoding level — candidate store, current
+// candidate, and slot clock included — and re-restoring must change
+// nothing. 30 seeded trials.
+func TestSlidingSnapshotRoundTripProperty(t *testing.T) {
+	const trials = 30
+	hasher := hashing.NewMurmur2(77)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(3000 + trial)))
+		window := int64(2 + rng.Intn(30))
+		src := NewCoordinator()
+		keys := make([]string, 1+rng.Intn(150))
+		for i := range keys {
+			keys[i] = fmt.Sprintf("w-%d-%d", trial, i)
+		}
+		slot := int64(0)
+		for i, n := 0, rng.Intn(500); i < n; i++ {
+			if rng.Intn(4) == 0 {
+				slot++
+			}
+			key := keys[rng.Intn(len(keys))]
+			src.Offer(core.Offer{Key: key, Hash: hasher.Unit(key), Slot: slot, Expiry: slot + window - 1})
+		}
+
+		st := src.Snapshot()
+		encoded := core.EncodeState(st)
+		decoded, err := core.DecodeState(encoded)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		dst := NewCoordinator()
+		if err := dst.Restore(decoded); err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		reencoded := core.EncodeState(dst.Snapshot())
+		if !bytes.Equal(encoded, reencoded) {
+			t.Fatalf("trial %d: Snapshot→Restore→Snapshot not byte-identical\n first: %x\nsecond: %x", trial, encoded, reencoded)
+		}
+		if err := dst.Restore(decoded); err != nil {
+			t.Fatalf("trial %d: re-restore: %v", trial, err)
+		}
+		if again := core.EncodeState(dst.Snapshot()); !bytes.Equal(encoded, again) {
+			t.Fatalf("trial %d: re-restoring the same snapshot changed the state", trial)
+		}
+		// Behavioral equivalence going forward: both coordinators answer the
+		// next slot's expiries identically.
+		src.OnSlotEnd(slot+1, &netsim.Outbox{})
+		dst.OnSlotEnd(slot+1, &netsim.Outbox{})
+		a, b := src.Sample(), dst.Sample()
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: post-restore samples diverge: %v vs %v", trial, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: post-restore sample[%d] = %+v, want %+v", trial, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+// TestSiteSnapshotRoundTrip pins the site-store half: a site's candidate and
+// store T_i round-trip through a sliding-kind State, so reshard cutovers can
+// migrate site-side window state between shard instances.
+func TestSiteSnapshotRoundTrip(t *testing.T) {
+	hasher := hashing.NewMurmur2(5)
+	src := NewSite(0, hasher, 20, 0xfeed)
+	out := &netsim.Outbox{}
+	for i := 0; i < 200; i++ {
+		src.OnArrival(fmt.Sprintf("site-%d", i%37), int64(i/5), out)
+		out.Reset()
+	}
+	// Give it a candidate, as the coordinator's reply would.
+	src.OnMessage(netsim.Message{Kind: netsim.KindWindowSample, Key: "site-1", Hash: hasher.Unit("site-1"), Expiry: 60}, 40, out)
+
+	st := src.Snapshot()
+	dst := NewSite(0, hasher, 20, 0xfeed)
+	if err := dst.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(core.EncodeState(st), core.EncodeState(dst.Snapshot())) {
+		t.Fatal("site snapshot did not round-trip byte-identically")
+	}
+	if src.Threshold() != dst.Threshold() {
+		t.Fatalf("restored site threshold %v, want %v", dst.Threshold(), src.Threshold())
+	}
+	// A filtered restore (the reshard repartition path) drops the candidate
+	// when its key moved away, leaving the site in its safe initial state.
+	filtered := core.FilterState(st, func(key string) bool { return key != "site-1" })
+	moved := NewSite(0, hasher, 20, 0xfeed)
+	if err := moved.Restore(filtered); err != nil {
+		t.Fatal(err)
+	}
+	if moved.Threshold() != 1 {
+		t.Fatalf("candidate-less site threshold %v, want 1", moved.Threshold())
+	}
+	if moved.store.Contains("site-1") {
+		t.Fatal("filtered restore kept the moved key's tuple")
+	}
+}

@@ -1,5 +1,7 @@
 package treap
 
+import "sort"
+
 // WindowStore is the per-site sliding-window structure T_i of Algorithm 3.
 //
 // It holds tuples (key, hash, expiry) for elements observed within the
@@ -17,6 +19,7 @@ package treap
 //
 // The store is not safe for concurrent use; each simulated site owns one.
 type WindowStore struct {
+	seed uint64
 	tree *Treap[windowKey, int64] // value is the expiry slot
 	byID map[string]windowKey     // current entry for each live key
 }
@@ -46,8 +49,32 @@ type Tuple struct {
 // internal priority stream so simulations are reproducible.
 func NewWindowStore(seed uint64) *WindowStore {
 	return &WindowStore{
+		seed: seed,
 		tree: NewWithSeed[windowKey, int64](windowLess, seed),
 		byID: make(map[string]windowKey),
+	}
+}
+
+// RestoreTuples replaces the store's contents with the given tuples,
+// re-running dominance pruning over them (so restoring the union of two
+// stores yields exactly the non-dominated set of the union). The store's
+// priority seed is kept, and the observable tuple set — Tuples(), Min() —
+// round-trips exactly: RestoreTuples(w.Tuples()) leaves w unchanged.
+func (w *WindowStore) RestoreTuples(tuples []Tuple) {
+	w.tree = NewWithSeed[windowKey, int64](windowLess, w.seed)
+	w.byID = make(map[string]windowKey, len(tuples))
+	// Observe in ascending hash order: each insert then only needs the
+	// predecessor dominance check, and the result is independent of the
+	// tuples' original order.
+	sorted := append([]Tuple(nil), tuples...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Hash != sorted[j].Hash {
+			return sorted[i].Hash < sorted[j].Hash
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	for _, tu := range sorted {
+		w.Observe(tu.Key, tu.Hash, tu.Expiry)
 	}
 }
 

@@ -79,6 +79,15 @@ const (
 	binPromote      = 0x0a
 	binRouteUpdate  = 0x0b
 	binRangeHandoff = 0x0c
+	// Generic state frames (the unified Snapshot/Restore API): the payload is
+	// an encoded core.State — kind-tagged and version-fenced by core's own
+	// encoding — so one frame layout carries every sampler kind's full state.
+	// They supersede the flat-sample state-sync and range-handoff payloads,
+	// which remain decodable (and applied, for restorable nodes) for one
+	// release.
+	binStateFrame   = 0x0d
+	binStateHandoff = 0x0e
+	binSnapshot     = 0x0f
 )
 
 var binToName = map[byte]string{
@@ -94,6 +103,9 @@ var binToName = map[byte]string{
 	binPromote:      FramePromote,
 	binRouteUpdate:  FrameRouteUpdate,
 	binRangeHandoff: FrameRangeHandoff,
+	binStateFrame:   FrameState,
+	binStateHandoff: FrameStateHandoff,
+	binSnapshot:     FrameSnapshot,
 }
 
 // Minimum encoded sizes, used to reject implausible element counts before
@@ -119,6 +131,9 @@ var nameToBin = map[string]byte{
 	FramePromote:      binPromote,
 	FrameRouteUpdate:  binRouteUpdate,
 	FrameRangeHandoff: binRangeHandoff,
+	FrameState:        binStateFrame,
+	FrameStateHandoff: binStateHandoff,
+	FrameSnapshot:     binSnapshot,
 }
 
 // frameConn reads and writes protocol frames in one concrete codec. A
@@ -257,6 +272,20 @@ func (c *binConn) WriteFrame(f *Frame) error {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Hash))
 			buf = binary.AppendVarint(buf, e.Expiry)
 		}
+	case binStateFrame:
+		buf = binary.AppendUvarint(buf, f.Epoch)
+		buf = binary.AppendUvarint(buf, f.Seq)
+		buf = binary.AppendVarint(buf, f.Slot)
+		buf = binary.AppendUvarint(buf, uint64(len(f.State)))
+		buf = append(buf, f.State...)
+	case binStateHandoff:
+		buf = binary.AppendUvarint(buf, f.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Lo)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Hi)
+		buf = binary.AppendUvarint(buf, uint64(len(f.State)))
+		buf = append(buf, f.State...)
+	case binSnapshot:
+		// No payload.
 	}
 	c.wbuf = buf
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
@@ -281,7 +310,7 @@ func (c *binConn) ReadFrame(f *Frame) error {
 	}
 	// Keep the capacity of the previous frame's slices: decoding repeatedly
 	// into the same Frame then reaches steady state without reallocating.
-	msgs, entries, batch := f.Msgs[:0], f.Entries[:0], f.Batch[:0]
+	msgs, entries, batch, state := f.Msgs[:0], f.Entries[:0], f.Batch[:0], f.State[:0]
 	*f = Frame{}
 	d := byteDecoder{buf: buf}
 	code := d.byte()
@@ -382,6 +411,17 @@ func (c *binConn) ReadFrame(f *Frame) error {
 			e.Expiry = d.varint()
 			f.Entries = append(f.Entries, e)
 		}
+	case binStateFrame:
+		f.Epoch = d.uvarint()
+		f.Seq = d.uvarint()
+		f.Slot = d.varint()
+		f.State = d.bytes(state)
+	case binStateHandoff:
+		f.Seq = d.uvarint()
+		f.Lo = d.uint64()
+		f.Hi = d.uint64()
+		f.State = d.bytes(state)
+	case binSnapshot:
 	}
 	return d.err
 }
@@ -477,6 +517,23 @@ func (d *byteDecoder) varint() int64 {
 	}
 	d.buf = d.buf[n:]
 	return v
+}
+
+// bytes reads a uvarint length followed by that many raw bytes, copied into
+// scratch (reusing its capacity) so the result does not alias the
+// connection's read buffer.
+func (d *byteDecoder) bytes(scratch []byte) []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail()
+		return nil
+	}
+	out := append(scratch[:0], d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return out
 }
 
 func (d *byteDecoder) string() string {

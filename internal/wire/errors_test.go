@@ -17,8 +17,8 @@ func TestMalformedFrames(t *testing.T) {
 	srv, addr := startServer(t, core.NewInfiniteCoordinator(4))
 
 	garbage := [][]byte{
-		[]byte("{\"type\":\"offer\",,,\n"),  // JSON-looking but unparsable
-		[]byte("{\"type\": 12}\n{bad json"), // valid frame then broken stream
+		[]byte("{\"type\":\"offer\",,,\n"),           // JSON-looking but unparsable
+		[]byte("{\"type\": 12}\n{bad json"),          // valid frame then broken stream
 		{'D', 'D', 'S', '2', 0xff, 0xff, 0xff, 0x7f}, // binary magic + absurd length
 		{'D', 'D', 'S', '2', 2, 0, 0, 0, 0x7f, 0x00}, // binary magic + unknown frame code
 		{'D', 'D', 'S', '1', 2, 0, 0, 0, 0x02, 0x00}, // stale pre-pipelining peer: rejected at the preamble

@@ -6,6 +6,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 )
 
@@ -49,7 +50,30 @@ func corpusFrames() []Frame {
 		{Type: FramePromote, Epoch: 6},
 		{Type: FrameRouteUpdate, Seq: 4, Lo: 1 << 62, Hi: 3 << 62},
 		{Type: FrameRangeHandoff, Seq: 4, Lo: 1 << 62, Hi: 0, U: 0.5, Entries: entries},
+		{Type: FrameState, Epoch: 3, Seq: 7, Slot: 21, State: corpusState()},
+		{Type: FrameStateHandoff, Seq: 5, Lo: 1 << 61, Hi: 1 << 63, State: corpusState()},
+		{Type: FrameSnapshot},
 	}
+}
+
+// corpusState is a well-formed encoded core.State (sliding kind, candidate +
+// store tuples + slot clock), so the fuzzer starts from the accept path of
+// the generic state frames' payload too, not just their envelope.
+func corpusState() []byte {
+	cand := netsim.SampleEntry{Key: "state-cand", Hash: 0.01, Expiry: 30}
+	return core.EncodeState(core.State{
+		Version:    core.StateVersion,
+		Kind:       core.StateSliding,
+		SampleSize: 1,
+		Slot:       17,
+		Sections: []core.SectionState{{
+			Candidate: &cand,
+			Entries: []netsim.SampleEntry{
+				{Key: "state-cand", Hash: 0.01, Expiry: 30},
+				{Key: "state-b", Hash: 0.2, Expiry: 44},
+			},
+		}},
+	})
 }
 
 // FuzzBinaryFrameDecode feeds arbitrary bytes to the binary frame decoder.
@@ -95,7 +119,8 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 // invariant, not nilness).
 func framesEquivalent(a, b *Frame) bool {
 	if a.Type != b.Type || a.Site != b.Site || a.Slot != b.Slot || a.Seq != b.Seq ||
-		a.Epoch != b.Epoch || a.Lo != b.Lo || a.Hi != b.Hi || a.Error != b.Error {
+		a.Epoch != b.Epoch || a.Lo != b.Lo || a.Hi != b.Hi || a.Error != b.Error ||
+		!bytes.Equal(a.State, b.State) {
 		return false
 	}
 	// NaN-tolerant float comparison: the codec moves raw IEEE 754 bits, so a

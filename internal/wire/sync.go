@@ -7,12 +7,25 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 )
 
 // syncDialTimeout bounds replication and failover dials. Health probes must
 // fail fast: a site stalled on a dead replica's dial is a site not ingesting.
 const syncDialTimeout = 3 * time.Second
+
+// ErrDeposed is the epoch fence: the peer has been promoted past the
+// sender's epoch, so the sender is a deposed primary (or is talking to one)
+// and its state push was rejected, not applied. Callers detect it with
+// errors.Is; the public dds package re-exports it.
+var ErrDeposed = errors.New("wire: fenced by a higher epoch (sender deposed)")
+
+// ErrStaleRoute is the route-version fence: the peer has already applied a
+// newer routing table than the frame was stamped with, so the route update
+// or handoff was rejected. Callers detect it with errors.Is; the public dds
+// package re-exports it.
+var ErrStaleRoute = errors.New("wire: fenced by a newer route-table version")
 
 // SyncClient speaks the replication half of the protocol to one coordinator
 // server: state-sync pushes (primary → replica) and promote/probe exchanges
@@ -82,6 +95,70 @@ func (c *SyncClient) Sync(epoch, seq uint64, slot int64, u float64, entries []ne
 func (c *SyncClient) Promote(epoch uint64) (ackEpoch uint64, err error) {
 	ackEpoch, _, err = c.roundTrip(&Frame{Type: FramePromote, Epoch: epoch})
 	return ackEpoch, err
+}
+
+// SyncFrame pushes one encoded core.State as a generic state-frame — the
+// replication push for snapshot-capable samplers of every kind — and returns
+// the replica's resulting epoch, exactly like Sync. ackEpoch > epoch means
+// the frame was fenced off (see ErrDeposed, which the caller should wrap).
+func (c *SyncClient) SyncFrame(epoch, seq uint64, slot int64, encoded []byte) (ackEpoch uint64, err error) {
+	ackEpoch, _, err = c.roundTrip(&Frame{Type: FrameState, Epoch: epoch, Seq: seq, Slot: slot, State: encoded})
+	return ackEpoch, err
+}
+
+// HandoffState ships an encoded donor state to the server, which absorbs the
+// sections filtered to [lo, hi) into its own state (each sampler kind's own
+// union semantics). Idempotent; fenced below the server's route version.
+func (c *SyncClient) HandoffState(ver uint64, lo, hi uint64, encoded []byte) (ackVer uint64, err error) {
+	_, ackVer, err = c.roundTrip(&Frame{Type: FrameStateHandoff, Seq: ver, Lo: lo, Hi: hi, State: encoded})
+	return ackVer, err
+}
+
+// FetchState requests the server's full state (a snapshot frame answered by
+// a state-frame) and returns the decoded state with its epoch and slot
+// metadata — the capture half of a generic handoff or backup.
+func (c *SyncClient) FetchState() (st core.State, epoch uint64, slot int64, err error) {
+	if err := writeFlush(c.fc, &Frame{Type: FrameSnapshot}); err != nil {
+		return core.State{}, 0, 0, fmt.Errorf("wire: send snapshot request: %w", err)
+	}
+	if err := c.fc.ReadFrame(&c.rframe); err != nil {
+		return core.State{}, 0, 0, fmt.Errorf("wire: read state-frame: %w", err)
+	}
+	switch c.rframe.Type {
+	case FrameState:
+		st, err := core.DecodeState(c.rframe.State)
+		if err != nil {
+			return core.State{}, 0, 0, err
+		}
+		return st, c.rframe.Epoch, c.rframe.Slot, nil
+	case FrameError:
+		return core.State{}, 0, 0, errors.New("wire: coordinator error: " + c.rframe.Error)
+	default:
+		return core.State{}, 0, 0, errors.New("wire: unexpected frame " + c.rframe.Type)
+	}
+}
+
+// SnapshotAddr dials addr, fetches the coordinator's full state, and returns
+// it decoded.
+func SnapshotAddr(addr string, codec Codec) (core.State, error) {
+	c, err := DialSync(addr, codec)
+	if err != nil {
+		return core.State{}, err
+	}
+	defer c.Close()
+	st, _, _, err := c.FetchState()
+	return st, err
+}
+
+// HandoffStateAddr dials addr, sends one state-handoff frame, and returns
+// the server's resulting route version.
+func HandoffStateAddr(addr string, ver, lo, hi uint64, st core.State, codec Codec) (uint64, error) {
+	c, err := DialSync(addr, codec)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	return c.HandoffState(ver, lo, hi, core.EncodeState(st))
 }
 
 // RouteUpdate assigns the server its new routing-hash range [lo, hi) as of

@@ -57,6 +57,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 )
 
@@ -97,8 +98,14 @@ type Frame struct {
 	// carries the route-table version, the resharding fencing number: a
 	// coordinator that has applied version v ignores route frames stamped
 	// below it, exactly like the replication epoch fences state-syncs.
-	Lo      uint64               `json:"lo,omitempty"`
-	Hi      uint64               `json:"hi,omitempty"`
+	Lo uint64 `json:"lo,omitempty"`
+	Hi uint64 `json:"hi,omitempty"`
+	// State is the payload of the generic state frames (state-frame and
+	// state-handoff): one encoded core.State, kind-tagged and version-fenced
+	// by core's own encoding, so the same frame layout replicates or hands
+	// off every sampler kind — including the sliding-window coordinator,
+	// whose candidate store never fit in a flat Entries list.
+	State   []byte               `json:"state,omitempty"`
 	Msg     *netsim.Message      `json:"msg,omitempty"`
 	Msgs    []netsim.Message     `json:"msgs,omitempty"`
 	Batch   []BatchEntry         `json:"batch,omitempty"`
@@ -122,6 +129,13 @@ const (
 	// Resharding frames (see internal/cluster's Resharder).
 	FrameRouteUpdate  = "route-update"  // reshard driver -> coordinator: own [Lo,Hi) as of route version Seq; prune the rest
 	FrameRangeHandoff = "range-handoff" // reshard driver -> coordinator: absorb the carried entries that hash into [Lo,Hi)
+	// Generic state frames (the unified Snapshot/Restore API). They carry an
+	// encoded core.State and supersede the flat-sample state-sync and
+	// range-handoff payloads, which legacy peers may still send for one
+	// release (restorable nodes keep applying them).
+	FrameState        = "state-frame"   // primary/prober -> node: full sampler state (sync push or snapshot reply)
+	FrameStateHandoff = "state-handoff" // reshard driver -> coordinator: absorb the carried state filtered to [Lo,Hi)
+	FrameSnapshot     = "snapshot"      // client -> coordinator: request the full state; answered by a state-frame
 )
 
 // CoordinatorServer exposes a coordinator node over TCP.
@@ -290,6 +304,21 @@ func (s *CoordinatorServer) Sample() []netsim.SampleEntry {
 // state-sync frame's threshold metadata.
 type Thresholder interface {
 	Threshold() float64
+}
+
+// SnapshotSync atomically captures the node's full state as a core.State —
+// the generic replication capture — together with the slot clock and the
+// activity counter SyncState documents. ok is false when the node predates
+// the Snapshot/Restore API; callers then fall back to the flat-sample
+// SyncState capture.
+func (s *CoordinatorServer) SnapshotSync() (st core.State, ok bool, slot int64, activity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn, isSnap := s.node.(core.Snapshotter)
+	if !isSnap {
+		return core.State{}, false, s.lastSlot, s.stats.offers + s.mutations
+	}
+	return sn.Snapshot(), true, s.lastSlot, s.stats.offers + s.mutations
 }
 
 // SyncState atomically captures everything a state-sync frame carries: the
@@ -567,9 +596,12 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			// monotonically; a frame stamped at or below the applied version
 			// is fenced off (the ack's Seq tells the sender where the server
 			// is), so a delayed route-update can never resurrect a
-			// handed-off range.
-			rn, ok := s.node.(netsim.Restorable)
-			if !ok {
+			// handed-off range. Snapshot-capable nodes prune through their
+			// full state (candidate store included); legacy restorable nodes
+			// prune the flat sample.
+			sn, isSnap := s.node.(core.Snapshotter)
+			rn, isRest := s.node.(netsim.Restorable)
+			if !isSnap && !isRest {
 				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "route-update: coordinator node is not restorable"})
 				return
 			}
@@ -581,7 +613,16 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			}
 			if f.Seq > s.routeVer {
 				s.routeVer = f.Seq
-				rn.RestoreSample(filterRange(s.node.Sample(), f.Lo, f.Hi, s.routeHash))
+				if isSnap {
+					keep := func(key string) bool { return routeInRange(s.routeHash(key), f.Lo, f.Hi) }
+					if err := sn.Restore(core.FilterState(sn.Snapshot(), keep)); err != nil {
+						s.mu.Unlock()
+						_ = writeFlush(fc, &Frame{Type: FrameError, Error: "route-update: " + err.Error()})
+						return
+					}
+				} else {
+					rn.RestoreSample(filterRange(s.node.Sample(), f.Lo, f.Hi, s.routeHash))
+				}
 				s.mutations++
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
@@ -624,6 +665,111 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 				}
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
+			s.mu.Unlock()
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
+		case FrameState:
+			// Generic state-sync: the payload is one encoded core.State, so
+			// any snapshot-capable sampler — sliding-window candidate stores
+			// included — replicates through the same frame. Fencing is
+			// identical to the legacy state-sync: lower epochs are deposed
+			// primaries, lower sequence numbers within the epoch are stale.
+			sn, ok := s.node.(core.Snapshotter)
+			if !ok {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-frame: coordinator node does not support state snapshots"})
+				return
+			}
+			st, derr := core.DecodeState(f.State)
+			if derr != nil {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-frame: " + derr.Error()})
+				return
+			}
+			s.mu.Lock()
+			if f.Epoch > s.epoch {
+				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
+			}
+			if f.Epoch == s.epoch && (!s.synced || f.Seq >= s.syncSeq) {
+				if err := sn.Restore(st); err != nil {
+					s.mu.Unlock()
+					_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-frame: " + err.Error()})
+					return
+				}
+				s.syncSeq, s.synced = f.Seq, true
+				s.mutations++
+				if f.Slot > s.lastSlot {
+					s.lastSlot = f.Slot
+				}
+			}
+			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
+			s.mu.Unlock()
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
+		case FrameStateHandoff:
+			// Generic range handoff: absorb a donor's encoded state filtered
+			// to [Lo, Hi). The incoming sections merge into the node's own
+			// snapshot and the merged state is restored, so each sampler
+			// kind applies its own union semantics (bottom-s of the union,
+			// per-copy minimum, non-dominated tuple set). Idempotent, and
+			// fenced below the applied route version like the legacy
+			// range-handoff.
+			sn, ok := s.node.(core.Snapshotter)
+			if !ok {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-handoff: coordinator node does not support state snapshots"})
+				return
+			}
+			incoming, derr := core.DecodeState(f.State)
+			if derr != nil {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-handoff: " + derr.Error()})
+				return
+			}
+			s.mu.Lock()
+			if s.routeHash == nil {
+				s.mu.Unlock()
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-handoff: no routing hash configured on this coordinator"})
+				return
+			}
+			if f.Seq >= s.routeVer {
+				keep := func(key string) bool { return routeInRange(s.routeHash(key), f.Lo, f.Hi) }
+				merged, merr := core.MergeStates(sn.Snapshot(), core.FilterState(incoming, keep))
+				if merr == nil {
+					merr = sn.Restore(merged)
+				}
+				if merr != nil {
+					s.mu.Unlock()
+					_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-handoff: " + merr.Error()})
+					return
+				}
+				s.mutations++
+			}
+			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
+			s.mu.Unlock()
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
+		case FrameSnapshot:
+			// Full-state read: the snapshot-and-ship half of replication,
+			// handoff, and backup. The reply is a state-frame stamped with
+			// the server's epoch, sync sequence, and slot clock.
+			sn, ok := s.node.(core.Snapshotter)
+			if !ok {
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "snapshot: coordinator node does not support state snapshots"})
+				return
+			}
+			s.mu.Lock()
+			encoded := core.EncodeState(sn.Snapshot())
+			s.stats.queries++
+			resp = Frame{Type: FrameState, Epoch: s.epoch, Seq: s.syncSeq, Slot: s.lastSlot, State: encoded}
 			s.mu.Unlock()
 			if err := flushAck(); err != nil {
 				return
