@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/dds"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/plot"
@@ -160,6 +161,14 @@ type clusterBenchReport struct {
 	// the generic state frames (see cluster.RunSlidingFailoverBench). Every
 	// run has passed the window-minimum-vs-brute-force check.
 	SlidingFailover *slidingFailoverReport `json:"sliding_failover,omitempty"`
+	// Metrics is the process's full observability snapshot taken after every
+	// benchmark section ran: wire frame/byte counters, per-shard offer and
+	// churn counters, replica sync totals, failover and reshard phase
+	// histograms. Because every section runs in-process against the shared
+	// registry, this is the benchmark suite's own flight recording — a
+	// regression that changes message efficiency or sync traffic shows up
+	// here even when throughput numbers hold steady.
+	Metrics *dds.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // slidingFailoverReport is the sliding_failover section of
@@ -306,6 +315,14 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 		}
 	}
 
+	ms := dds.Metrics()
+	report.Metrics = &ms
+	fmt.Fprintf(os.Stderr, "[metrics snapshot: %d counters, %d gauges, %d histograms; frames encoded=%d, replica syncs=%d, failovers=%d]\n",
+		len(ms.Counters), len(ms.Gauges), len(ms.Histograms),
+		sumFamily(ms, "dds_wire_frames_encoded_total"),
+		ms.Counter("dds_replica_sync_rounds_total"),
+		ms.Counter("dds_cluster_failovers_total"))
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -445,6 +462,19 @@ func runReshardBench(elements, shards, replicas int, syncInterval time.Duration,
 			res.SplitCutoverStallSec*1000, res.WarmEntries, res.SettleEntries)
 	}
 	return rep, nil
+}
+
+// sumFamily totals every counter whose name starts with the given family
+// name (labels are baked into instrument names, so a labeled family is many
+// counters).
+func sumFamily(ms dds.MetricsSnapshot, family string) uint64 {
+	var total uint64
+	for _, c := range ms.Counters {
+		if strings.HasPrefix(c.Name, family) {
+			total += c.Value
+		}
+	}
+	return total
 }
 
 // runPipelineSweep measures flood-mode batched-binary ingest across the

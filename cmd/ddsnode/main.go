@@ -50,6 +50,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -60,6 +62,7 @@ import (
 	"repro/dds"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sliding"
 	"repro/internal/stream"
 	"repro/internal/wire"
@@ -85,6 +88,9 @@ type nodeFlags struct {
 	Admin        string
 	Split        string
 	MergeRange   int
+	Metrics      string
+	Scrape       string
+	Require      string
 }
 
 // validateFlags rejects contradictory or nonsensical flag combinations with
@@ -93,9 +99,9 @@ type nodeFlags struct {
 // nothing — is exactly what it exists to prevent.
 func validateFlags(f nodeFlags) error {
 	switch f.Role {
-	case "coordinator", "cluster-coordinator", "replica", "site", "query", "reshard":
+	case "coordinator", "cluster-coordinator", "replica", "site", "query", "reshard", "scrape":
 	default:
-		return fmt.Errorf("unknown role %q (want coordinator, cluster-coordinator, replica, site, query, or reshard)", f.Role)
+		return fmt.Errorf("unknown role %q (want coordinator, cluster-coordinator, replica, site, query, reshard, or scrape)", f.Role)
 	}
 	if f.Codec != "json" && f.Codec != "binary" {
 		return fmt.Errorf("unknown codec %q (want json or binary)", f.Codec)
@@ -133,6 +139,20 @@ func validateFlags(f nodeFlags) error {
 				return err
 			}
 		}
+	}
+	if f.Metrics != "" {
+		if _, _, err := net.SplitHostPort(f.Metrics); err != nil {
+			return fmt.Errorf("-metrics %q is not a host:port address: %v", f.Metrics, err)
+		}
+		if f.Metrics == f.Listen {
+			return fmt.Errorf("-metrics %s collides with -listen: the metrics endpoint needs its own address", f.Metrics)
+		}
+		if f.Admin != "" && f.Metrics == f.Admin {
+			return fmt.Errorf("-metrics %s collides with -admin: the metrics endpoint needs its own address", f.Metrics)
+		}
+	}
+	if f.Role == "scrape" && f.Scrape == "" {
+		return fmt.Errorf("-role scrape requires -scrape (the metrics endpoint to check, ADDR or URL)")
 	}
 	if f.Role == "site" && f.Stream == "" {
 		return fmt.Errorf("-role site requires -stream (a slot<TAB>key file, or '-' for stdin)")
@@ -203,6 +223,9 @@ func main() {
 	flag.StringVar(&f.Admin, "admin", "", "resharding admin address: the cluster-coordinator role listens on it, site/query/reshard roles connect to it")
 	flag.StringVar(&f.Split, "split", "", "reshard role: split shard slot SLOT (or SLOT:FRAC for a cut at that fraction of its range)")
 	flag.IntVar(&f.MergeRange, "merge-range", -1, "reshard role: merge this range index with the range to its right")
+	flag.StringVar(&f.Metrics, "metrics", "", "serve live introspection on this host:port — /metrics, /debug/vars, /debug/events, /debug/pprof (coordinator and replica roles)")
+	flag.StringVar(&f.Scrape, "scrape", "", "scrape role: metrics endpoint to fetch and check (host:port or full URL)")
+	flag.StringVar(&f.Require, "require", "", "scrape role: comma-separated metric families that must be present with a nonzero total")
 	flag.Parse()
 
 	if err := validateFlags(f); err != nil {
@@ -224,7 +247,25 @@ func main() {
 		runQuery(f)
 	case "reshard":
 		runReshard(f)
+	case "scrape":
+		runScrape(f)
 	}
+}
+
+// serveMetrics starts the live-introspection endpoint when -metrics is set,
+// returning its bound address ("" when disabled).
+func serveMetrics(f nodeFlags) string {
+	if f.Metrics == "" {
+		return ""
+	}
+	ln, err := net.Listen("tcp", f.Metrics)
+	if err != nil {
+		fatal(fmt.Errorf("metrics listen: %w", err))
+	}
+	go func() { _ = http.Serve(ln, dds.MetricsHandler()) }()
+	addr := ln.Addr().String()
+	fmt.Printf("metrics listening on http://%s/metrics (also /debug/vars, /debug/events, /debug/pprof)\n", addr)
+	return addr
 }
 
 func fatal(err error) {
@@ -274,6 +315,7 @@ func runCoordinator(f nodeFlags) {
 	if err != nil {
 		fatal(err)
 	}
+	serveMetrics(f)
 	kind := fmt.Sprintf("infinite-window (s=%d per shard)", f.Sample)
 	if f.Window > 0 {
 		kind = fmt.Sprintf("sliding-window (w=%d slots)", f.Window)
@@ -319,6 +361,7 @@ func runReplica(f nodeFlags) {
 	if err != nil {
 		fatal(err)
 	}
+	serveMetrics(f)
 	kind := fmt.Sprintf("infinite-window, s=%d", f.Sample)
 	if f.Window > 0 {
 		kind = fmt.Sprintf("sliding-window, w=%d slots", f.Window)
@@ -455,4 +498,45 @@ func runReshard(f nodeFlags) {
 	}
 	fmt.Printf("site/query -coordinator value: %s\n", status.Coordinator)
 	fmt.Println("note: restart running site processes with -admin so they fetch this table (the admin path does not flip remote sites)")
+}
+
+// runScrape fetches a node's /metrics endpoint, parses the Prometheus text
+// exposition, and — with -require — fails unless every named metric family
+// is present with a nonzero total. It is the deployment (and CI) smoke
+// check: "is this cluster actually counting?" as an exit code.
+func runScrape(f nodeFlags) {
+	url := f.Scrape
+	if !strings.Contains(url, "://") {
+		url = "http://" + url + "/metrics"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("scrape %s: status %s", url, resp.Status))
+	}
+	series, err := obs.ParsePrometheus(resp.Body)
+	if err != nil {
+		fatal(fmt.Errorf("scrape %s: not valid Prometheus text: %w", url, err))
+	}
+	fmt.Printf("scraped %s: %d series\n", url, len(series))
+	failed := false
+	for _, family := range strings.Split(f.Require, ",") {
+		family = strings.TrimSpace(family)
+		if family == "" {
+			continue
+		}
+		total := obs.FamilyTotal(series, family)
+		if total == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL %s: total is zero or family absent\n", family)
+			failed = true
+			continue
+		}
+		fmt.Printf("  ok %s total=%g\n", family, total)
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

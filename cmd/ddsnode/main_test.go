@@ -97,6 +97,23 @@ func TestValidateFlags(t *testing.T) {
 			f.Window = 100
 			f.Admin = "127.0.0.1:7069"
 		}, ""},
+		// The -metrics listener must be a real address and must not collide
+		// with the data or admin listeners (all three are separate servers).
+		{"metrics is fine", func(f *nodeFlags) { f.Metrics = "127.0.0.1:9100" }, ""},
+		{"malformed metrics addr", func(f *nodeFlags) { f.Metrics = "no-port" }, "not a host:port"},
+		{"metrics collides with listen", func(f *nodeFlags) {
+			f.Listen = "127.0.0.1:7071"
+			f.Metrics = "127.0.0.1:7071"
+		}, "collides with -listen"},
+		{"metrics collides with admin", func(f *nodeFlags) {
+			f.Admin = "127.0.0.1:7069"
+			f.Metrics = "127.0.0.1:7069"
+		}, "collides with -admin"},
+		{"scrape without endpoint", func(f *nodeFlags) { f.Role = "scrape" }, "-role scrape requires -scrape"},
+		{"scrape with endpoint is fine", func(f *nodeFlags) {
+			f.Role = "scrape"
+			f.Scrape = "127.0.0.1:9100"
+		}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

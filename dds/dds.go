@@ -68,6 +68,13 @@ var ErrDeposed = wire.ErrDeposed
 // errors.Is.
 var ErrStaleRoute = wire.ErrStaleRoute
 
+// ErrNotSnapshottable reports that a coordinator node refused a
+// state-snapshot operation because it predates the Snapshot/Restore API
+// (today: the per-copy sliding-window coordinator). Replica attach, backup
+// (Client.Snapshot), and reshard handoffs all surface it; detect it with
+// errors.Is.
+var ErrNotSnapshottable = wire.ErrNotSnapshottable
+
 // Config carries the identity and topology shared by Open, Query, and
 // Serve. Transport and replication knobs are set through Options.
 type Config struct {

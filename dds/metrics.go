@@ -1,0 +1,156 @@
+package dds
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// CounterStat is one monotone counter's value at snapshot time.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeStat is one gauge's value at snapshot time.
+type GaugeStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramBucket is one cumulative histogram bucket: Count observations at
+// most UpperBound (the +Inf bucket is implied by HistogramStat.Count).
+type HistogramBucket struct {
+	UpperBound int64  `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramStat is one histogram's state at snapshot time.
+type HistogramStat struct {
+	Name    string            `json:"name"`
+	Count   uint64            `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h HistogramStat) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// MetricsSnapshot is a point-in-time copy of a node's metrics registry,
+// sorted by instrument name. Instrument names follow the Prometheus
+// convention with any labels baked into the name (for the full catalog see
+// the README's Observability section).
+type MetricsSnapshot struct {
+	Counters   []CounterStat   `json:"counters"`
+	Gauges     []GaugeStat     `json:"gauges"`
+	Histograms []HistogramStat `json:"histograms"`
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (m MetricsSnapshot) Counter(name string) uint64 {
+	for _, c := range m.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value (0 when absent).
+func (m MetricsSnapshot) Gauge(name string) int64 {
+	for _, g := range m.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram's state (nil when absent).
+func (m MetricsSnapshot) Histogram(name string) *HistogramStat {
+	for i := range m.Histograms {
+		if m.Histograms[i].Name == name {
+			return &m.Histograms[i]
+		}
+	}
+	return nil
+}
+
+func fromObsSnapshot(s obs.Snapshot) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Counters:   make([]CounterStat, len(s.Counters)),
+		Gauges:     make([]GaugeStat, len(s.Gauges)),
+		Histograms: make([]HistogramStat, len(s.Histograms)),
+	}
+	for i, c := range s.Counters {
+		out.Counters[i] = CounterStat{Name: c.Name, Value: c.Value}
+	}
+	for i, g := range s.Gauges {
+		out.Gauges[i] = GaugeStat{Name: g.Name, Value: g.Value}
+	}
+	for i, h := range s.Histograms {
+		hs := HistogramStat{Name: h.Name, Count: h.Count, Sum: h.Sum, Buckets: make([]HistogramBucket, len(h.Buckets))}
+		for j, b := range h.Buckets {
+			hs.Buckets[j] = HistogramBucket{UpperBound: b.UpperBound, Count: b.Count}
+		}
+		out.Histograms[i] = hs
+	}
+	return out
+}
+
+// Metrics returns a snapshot of this process's metrics registry: every
+// instrument the wire, replication, and cluster layers have registered, with
+// their current values. An embedded Cluster and its in-process clients share
+// one registry, so for the embedded deployment this is the cluster-wide view.
+func Metrics() MetricsSnapshot { return fromObsSnapshot(obs.Default().Snapshot()) }
+
+// MetricsHandler returns the live-introspection HTTP handler: /metrics
+// (Prometheus text format), /debug/vars (expvar), /debug/events (the
+// control-plane event log as JSON), and /debug/pprof. cmd/ddsnode serves it
+// on -metrics; embedders can mount it on their own server.
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// ClusterStats is the cluster-wide stats report of a running deployment:
+// protocol totals plus the serving process's full metrics snapshot.
+type ClusterStats struct {
+	// Offers, Replies, and Queries are totals over every shard member ever
+	// started (replayed offers count at both the dead primary and its
+	// successor).
+	Offers  int `json:"offers"`
+	Replies int `json:"replies"`
+	Queries int `json:"queries"`
+	// Metrics is the serving process's registry snapshot.
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+// Stats fetches the cluster-wide stats — ingest totals and the serving
+// process's metrics snapshot — via the cluster's admin listener. The client
+// must have been opened WithAdmin; in-process embedders can call Metrics()
+// and Cluster.Stats directly instead.
+func (c *Client) Stats(ctx context.Context) (*ClusterStats, error) {
+	if c.cfg.admin == "" {
+		return nil, errors.New("dds: Stats needs an admin listener (open the client WithAdmin)")
+	}
+	status, err := AdminStats(ctx, c.cfg.admin)
+	if err != nil {
+		return nil, err
+	}
+	stats := &ClusterStats{Offers: status.Offers, Replies: status.Replies, Queries: status.Queries}
+	if status.Metrics != nil {
+		stats.Metrics = *status.Metrics
+	}
+	return stats, nil
+}
+
+// AdminStats fetches a running cluster's ingest totals and metrics snapshot
+// from its admin listener (the "stats" admin verb).
+func AdminStats(ctx context.Context, admin string) (*AdminStatus, error) {
+	return adminRoundTrip(ctx, admin, adminRequest{Op: "stats"})
+}

@@ -1,0 +1,98 @@
+package dds_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/dds"
+	"repro/internal/sliding"
+	"repro/internal/wire"
+)
+
+// TestClientStatsViaAdmin exercises the stats admin verb end to end: serve a
+// cluster with an admin listener, ingest through a client opened against it,
+// and require Client.Stats to report the ingest totals plus a metrics
+// snapshot whose wire and shard instruments have moved.
+func TestClientStatsViaAdmin(t *testing.T) {
+	ctx := context.Background()
+	cl, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: 16},
+		dds.WithAdmin("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	client, err := dds.Open(ctx, dds.Config{SampleSize: 16}, dds.WithAdmin(cl.AdminAddr()), dds.WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 400; i++ {
+		if err := client.Offer(fmt.Sprintf("stats-key-%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Offers == 0 {
+		t.Fatal("Stats reports zero offers after ingest")
+	}
+	var encoded uint64
+	for _, c := range stats.Metrics.Counters {
+		if strings.HasPrefix(c.Name, "dds_wire_frames_encoded_total") {
+			encoded += c.Value
+		}
+	}
+	if encoded == 0 {
+		t.Fatal("metrics snapshot has no encoded-frame counts")
+	}
+	if stats.Metrics.Counter(`dds_shard_offers_total{slot="0"}`)+stats.Metrics.Counter(`dds_shard_offers_total{slot="1"}`) == 0 {
+		t.Fatal("metrics snapshot has no per-shard offer counts")
+	}
+
+	// Stats without an admin listener is a configuration error, not a panic.
+	bare, err := dds.Open(ctx, dds.Config{Coordinators: cl.Groups(), SampleSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := bare.Stats(ctx); err == nil {
+		t.Fatal("Stats without WithAdmin should fail")
+	}
+}
+
+// TestSnapshotNotSnapshottableTyped pins the typed sentinel on the backup
+// path: Client.Snapshot against a coordinator that predates the
+// Snapshot/Restore API (the per-copy sliding-window coordinator) fails with
+// an error wrapping dds.ErrNotSnapshottable.
+func TestSnapshotNotSnapshottableTyped(t *testing.T) {
+	srv := wire.NewCoordinatorServer(sliding.NewMultiCoordinator(4))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	client, err := dds.Open(ctx, dds.Config{Coordinators: [][]string{{addr}}, SampleSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	_, err = client.Snapshot(ctx)
+	if err == nil {
+		t.Fatal("Snapshot of a non-snapshottable coordinator succeeded")
+	}
+	if !errors.Is(err, dds.ErrNotSnapshottable) {
+		t.Fatalf("err = %v, want errors.Is(err, dds.ErrNotSnapshottable)", err)
+	}
+}

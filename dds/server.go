@@ -250,7 +250,8 @@ func (cl *Cluster) Close() error {
 // -role reshard) triggers live reshards and how joining clients (WithAdmin)
 // fetch the live partition.
 
-// adminRequest is one admin command. Op is "split", "merge", or "table".
+// adminRequest is one admin command. Op is "split", "merge", "table", or
+// "stats".
 type adminRequest struct {
 	Op    string  `json:"op"`
 	Slot  int     `json:"slot,omitempty"`
@@ -272,6 +273,13 @@ type AdminStatus struct {
 	Coordinator string     `json:"coordinator"`
 	// Report is the executed reshard's report (split and merge commands).
 	Report *ReshardReport `json:"report,omitempty"`
+	// Offers, Replies, Queries, and Metrics carry the cluster's ingest
+	// totals and the serving process's metrics registry snapshot (stats
+	// command).
+	Offers  int              `json:"offers,omitempty"`
+	Replies int              `json:"replies,omitempty"`
+	Queries int              `json:"queries,omitempty"`
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 	// Error carries a command failure; the transport-level exchange still
 	// succeeds so the caller sees the live table alongside it.
 	Error string `json:"error,omitempty"`
@@ -320,10 +328,14 @@ func (cl *Cluster) handleAdmin(conn net.Conn) {
 		} else {
 			resp.Report = rep
 		}
+	case "stats":
+		resp.Offers, resp.Replies, resp.Queries = cl.Stats()
+		ms := Metrics()
+		resp.Metrics = &ms
 	case "table", "":
 		// Read-only.
 	default:
-		resp.Error = fmt.Sprintf("unknown op %q (want split, merge, or table)", req.Op)
+		resp.Error = fmt.Sprintf("unknown op %q (want split, merge, table, or stats)", req.Op)
 	}
 	table := cl.rs.Table()
 	resp.Version, resp.Bounds, resp.Slots = table.Version, table.Bounds, table.Slots

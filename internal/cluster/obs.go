@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cluster-plane instruments: site-side failover and route-flip costs, and the
+// reshard driver's data motion. Durations are nanoseconds in exponential
+// buckets from 1µs to ~16s — failovers and cutovers are dominated by dial
+// timeouts and drain round trips, not CPU.
+var (
+	obsFailovers      = obs.Default().Counter("dds_cluster_failovers_total")
+	obsFailoverNs     = obs.Default().Histogram("dds_cluster_failover_ns", obs.ExpBuckets(1000, 4, 12))
+	obsRouteFlips     = obs.Default().Counter("dds_cluster_route_flips_total")
+	obsRouteApplyNs   = obs.Default().Histogram("dds_cluster_route_apply_ns", obs.ExpBuckets(1000, 4, 12))
+	obsRouteDrainNs   = obs.Default().Histogram("dds_cluster_cutover_drain_ns", obs.ExpBuckets(1000, 4, 12))
+	obsRouteDialNs    = obs.Default().Histogram("dds_cluster_cutover_dial_ns", obs.ExpBuckets(1000, 4, 12))
+	obsHandoffEntries = obs.Default().Counter("dds_reshard_handoff_entries_total")
+	obsHandoffBytes   = obs.Default().Counter("dds_reshard_handoff_bytes_total")
+	obsCutoverStallNs = obs.Default().Histogram("dds_reshard_cutover_stall_ns", obs.ExpBuckets(1000, 4, 12))
+	obsPlanNs         = obs.Default().Histogram("dds_reshard_plan_ns", obs.ExpBuckets(1000, 4, 12))
+)
+
+// reshardPlans counts executed plans by op ("split" / "merge").
+func reshardPlans(op string) *obs.Counter {
+	return obs.Default().Counter(fmt.Sprintf("dds_reshard_plans_total{op=%q}", op))
+}
+
+// reshardPhase records one plan phase: its duration lands in the per-phase
+// histogram and one Info event marks it in the control-plane trail.
+func reshardPhase(op, phase string, version uint64, start time.Time) {
+	d := time.Since(start).Nanoseconds()
+	obs.Default().Histogram(fmt.Sprintf("dds_reshard_phase_ns{phase=%q}", phase), obs.ExpBuckets(1000, 4, 12)).Observe(d)
+	obs.Logger().Info("reshard phase", "op", op, "phase", phase, "version", version, "ns", d)
+}
+
+// shardObs builds the per-slot offer/churn counters injected into bare
+// (non-replicated) shard coordinators; replica.Server injects the same names
+// for its groups, and the registry dedupes, so the per-slot series are
+// uniform across both deployment shapes.
+func shardObs(slot int) (offers, churn *obs.Counter) {
+	offers = obs.Default().Counter(fmt.Sprintf(`dds_shard_offers_total{slot="%d"}`, slot))
+	churn = obs.Default().Counter(fmt.Sprintf(`dds_shard_sample_churn_total{slot="%d"}`, slot))
+	return offers, churn
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/wire"
 )
@@ -137,35 +138,47 @@ func (r *Resharder) Split(slot int, mid uint64) (*ReshardReport, error) {
 	rep := &ReshardReport{Op: "split", Version: next.Version, Donor: slot, Successor: newSlot, Lo: mid, Hi: hi}
 	// Phase 1: the new shard learns its range and version before anything
 	// else, so the warm handoff below cannot be misfiltered or unfenced.
+	phaseStart := time.Now()
 	if _, err := wire.RouteUpdateAddr(members[0], next.Version, mid, hi, r.codec); err != nil {
 		_ = r.srv.RetireGroup(newSlot)
 		return nil, fmt.Errorf("cluster: split: assign range to new shard: %w", err)
 	}
+	reshardPhase("split", "assign", next.Version, phaseStart)
 	// Phase 2: warm the new shard from the donor's snapshot while the donor
 	// keeps serving.
+	phaseStart = time.Now()
 	rep.WarmEntries, err = r.handoff(slot, newSlot, next.Version, mid, hi)
 	if err != nil {
 		_ = r.srv.RetireGroup(newSlot)
 		return nil, fmt.Errorf("cluster: split: warm handoff: %w", err)
 	}
+	reshardPhase("split", "warm", next.Version, phaseStart)
 	// Phase 3: cut every site over to the new table.
+	phaseStart = time.Now()
 	if rep.CutoverStall, err = r.cutover(next); err != nil {
 		return nil, err
 	}
+	reshardPhase("split", "cutover", next.Version, phaseStart)
 	// Phase 4: settle the delta that reached the donor between the warm
 	// snapshot and the last site's flip.
+	phaseStart = time.Now()
 	if rep.SettleEntries, err = r.handoff(slot, newSlot, next.Version, mid, hi); err != nil {
 		return nil, fmt.Errorf("cluster: split: settling handoff: %w", err)
 	}
+	reshardPhase("split", "settle", next.Version, phaseStart)
 	// Phase 5: the donor drops what it handed away, and one forced sync
 	// round propagates both shards' new state to their replicas.
+	phaseStart = time.Now()
 	if err := r.routeUpdate(slot, next.Version, lo, mid); err != nil {
 		return nil, fmt.Errorf("cluster: split: restrict donor: %w", err)
 	}
 	if err := r.srv.SyncNow(); err != nil {
 		return nil, fmt.Errorf("cluster: split: sync replicas: %w", err)
 	}
+	reshardPhase("split", "restrict", next.Version, phaseStart)
 	rep.Total = time.Since(start)
+	reshardPlans("split").Inc()
+	obsPlanNs.Observe(rep.Total.Nanoseconds())
 	return rep, nil
 }
 
@@ -187,28 +200,38 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 	// Phase 1: widen the survivor first (its current entries all lie inside
 	// the widened range, so the prune is a no-op; the version fence arms it
 	// for the handoff).
+	phaseStart := time.Now()
 	if err := r.routeUpdate(survivor, next.Version, lo, hi); err != nil {
 		return nil, fmt.Errorf("cluster: merge: widen survivor: %w", err)
 	}
+	reshardPhase("merge", "widen", next.Version, phaseStart)
 	// Phase 2: cut every site over; each drains and closes its connection to
 	// the absorbed shard after the flip.
+	phaseStart = time.Now()
 	if rep.CutoverStall, err = r.cutover(next); err != nil {
 		return nil, err
 	}
+	reshardPhase("merge", "cutover", next.Version, phaseStart)
 	// Phase 3: hand the absorbed shard's full sample to the survivor. After
 	// the cutover no site routes to the absorbed slot anymore, so its sample
 	// is final.
+	phaseStart = time.Now()
 	if rep.SettleEntries, err = r.handoff(retired, survivor, next.Version, mlo, mhi); err != nil {
 		return nil, fmt.Errorf("cluster: merge: handoff: %w", err)
 	}
+	reshardPhase("merge", "settle", next.Version, phaseStart)
 	// Phase 4: retire the absorbed group and propagate.
+	phaseStart = time.Now()
 	if err := r.srv.RetireGroup(retired); err != nil {
 		return nil, fmt.Errorf("cluster: merge: retire group: %w", err)
 	}
 	if err := r.srv.SyncNow(); err != nil {
 		return nil, fmt.Errorf("cluster: merge: sync replicas: %w", err)
 	}
+	reshardPhase("merge", "retire", next.Version, phaseStart)
 	rep.Total = time.Since(start)
+	reshardPlans("merge").Inc()
+	obsPlanNs.Observe(rep.Total.Nanoseconds())
 	return rep, nil
 }
 
@@ -221,11 +244,12 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 // Both endpoints are re-resolved per attempt so a primary killed mid-plan
 // fails over to its replica.
 func (r *Resharder) handoff(donor, receiver int, ver, lo, hi uint64) (int, error) {
-	var n int
+	var n, frameBytes int
 	err := r.withPrimary(donor, func(donorAddr string) error {
 		st, serr := wire.SnapshotAddr(donorAddr, r.codec)
 		if serr == nil {
 			n = core.StateEntryCount(st)
+			frameBytes = len(core.EncodeState(st))
 			return r.withPrimary(receiver, func(recvAddr string) error {
 				ackVer, err := wire.HandoffStateAddr(recvAddr, ver, lo, hi, st, r.codec)
 				if err != nil {
@@ -262,6 +286,10 @@ func (r *Resharder) handoff(donor, receiver int, ver, lo, hi uint64) (int, error
 			return nil
 		})
 	})
+	if err == nil {
+		obsHandoffEntries.Add(uint64(n))
+		obsHandoffBytes.Add(uint64(frameBytes))
+	}
 	return n, err
 }
 
@@ -328,7 +356,11 @@ func (r *Resharder) cutover(next RangeTable) (time.Duration, error) {
 			}
 		}
 		if flipped {
-			return time.Since(start), nil
+			stall := time.Since(start)
+			obsCutoverStallNs.Observe(stall.Nanoseconds())
+			obs.Logger().Info("reshard cutover complete",
+				"version", next.Version, "sites", len(r.sites), "stall_ns", stall.Nanoseconds())
+			return stall, nil
 		}
 		if time.Now().After(deadline) {
 			return 0, fmt.Errorf("cluster: reshard cutover to version %d timed out after %v (an idle unclosed site never applied the update?)", next.Version, r.WaitTimeout)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -40,6 +41,7 @@ func Listen(addr string, shards int, newCoord func(shard int) netsim.Coordinator
 	s := &Server{}
 	for c := 0; c < shards; c++ {
 		srv := wire.NewCoordinatorServer(newCoord(c))
+		srv.SetShardObs(shardObs(c))
 		shardPort := 0
 		if port != 0 {
 			shardPort = port + c
@@ -395,6 +397,10 @@ func (c *SiteClient) failover(shard int) error {
 		c.failovers++
 		c.failoverTime += time.Since(start)
 		c.mu.Unlock()
+		obsFailovers.Inc()
+		obsFailoverNs.Observe(time.Since(start).Nanoseconds())
+		obs.Logger().Info("failover promoted",
+			"shard", shard, "member", j, "epoch", j, "replayed", len(unacked))
 		return nil
 	}
 	return lastErr
@@ -495,8 +501,10 @@ func (c *SiteClient) maybeApplyRoute() error {
 	if err := c.fanOut((*wire.SiteClient).Flush); err != nil {
 		return fmt.Errorf("cluster: reshard drain: %w", err)
 	}
+	obsRouteDrainNs.Observe(time.Since(start).Nanoseconds())
 	// Phase 2: dial new slots before swapping, so a dial failure leaves the
 	// client fully consistent under the old table.
+	dialStart := time.Now()
 	for slot := len(c.shards); slot <= u.Table.MaxSlot(); slot++ {
 		c.shards = append(c.shards, nil)
 	}
@@ -511,6 +519,7 @@ func (c *SiteClient) maybeApplyRoute() error {
 			return fmt.Errorf("cluster: reshard dial slot %d: %w", slot, err)
 		}
 	}
+	obsRouteDialNs.Observe(time.Since(dialStart).Nanoseconds())
 	// Phase 3: the flip. Plain field writes — the table is only read by this
 	// goroutine.
 	c.table = u.Table.clone()
@@ -551,6 +560,9 @@ func (c *SiteClient) maybeApplyRoute() error {
 	c.reshards++
 	c.reshardTime += time.Since(start)
 	c.mu.Unlock()
+	obsRouteFlips.Inc()
+	obsRouteApplyNs.Observe(time.Since(start).Nanoseconds())
+	obs.Logger().Info("route flip applied", "version", c.table.Version)
 	return firstErr
 }
 

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Event is one recorded control-plane transition: a promotion, a cutover
+// phase, a fence rejection, a failover replay. Attrs are flattened to
+// strings so events marshal to JSON and render in /debug/events without
+// caring what the producers logged.
+type Event struct {
+	Seq   uint64            `json:"seq"`
+	Time  time.Time         `json:"time"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// EventLog is a leveled, ring-buffered sink for structured control-plane
+// events, fed through a standard log/slog Logger. By default nothing is
+// written anywhere else — tests stay silent and the ring is inspected via
+// Events/Since — but SetOutput can tee every accepted record to another
+// slog handler (e.g. stderr text in ddsnode).
+type EventLog struct {
+	mu    sync.Mutex
+	ring  []Event
+	cap   int
+	next  uint64 // sequence number of the next event
+	level slog.Level
+	tee   slog.Handler
+}
+
+// NewEventLog returns a ring of the given capacity accepting records at or
+// above min.
+func NewEventLog(capacity int, min slog.Level) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{ring: make([]Event, 0, capacity), cap: capacity, level: min}
+}
+
+var defaultEvents = NewEventLog(1024, slog.LevelInfo)
+
+// Events returns the process-wide control-plane event log.
+func Events() *EventLog { return defaultEvents }
+
+// Logger returns a slog.Logger recording into the process-wide event log.
+func Logger() *slog.Logger { return defaultEvents.Logger() }
+
+// Logger returns a slog.Logger recording into l.
+func (l *EventLog) Logger() *slog.Logger { return slog.New(&ringHandler{log: l}) }
+
+// SetLevel changes the minimum accepted level.
+func (l *EventLog) SetLevel(min slog.Level) {
+	l.mu.Lock()
+	l.level = min
+	l.mu.Unlock()
+}
+
+// SetOutput tees every accepted record to h (nil restores silence).
+func (l *EventLog) SetOutput(h slog.Handler) {
+	l.mu.Lock()
+	l.tee = h
+	l.mu.Unlock()
+}
+
+// Seq returns the sequence number the next event will get. Tests capture it
+// as a baseline and assert on Since(baseline) — the ring is process-wide
+// and cumulative, like the default registry.
+func (l *EventLog) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (l *EventLog) Events() []Event { return l.Since(0) }
+
+// Since returns the buffered events with sequence >= seq, oldest first.
+// Events older than the ring's capacity are gone; the Seq gaps make the
+// loss visible.
+func (l *EventLog) Since(seq uint64) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	// The ring is stored in insertion order modulo cap: entry with sequence
+	// s lives at s % cap once the ring is full.
+	start := uint64(0)
+	if l.next > uint64(l.cap) {
+		start = l.next - uint64(l.cap)
+	}
+	for s := start; s < l.next; s++ {
+		ev := l.ring[s%uint64(l.cap)]
+		if ev.Seq >= seq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func (l *EventLog) append(ev Event) {
+	l.mu.Lock()
+	ev.Seq = l.next
+	if len(l.ring) < l.cap {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[ev.Seq%uint64(l.cap)] = ev
+	}
+	l.next++
+	l.mu.Unlock()
+}
+
+// ringHandler adapts the ring to slog.Handler. Bound attrs (WithAttrs) and
+// group prefixes (WithGroup) are resolved at Handle time into the flat
+// string map.
+type ringHandler struct {
+	log    *EventLog
+	prefix string
+	bound  []slog.Attr
+}
+
+func (h *ringHandler) Enabled(_ context.Context, level slog.Level) bool {
+	h.log.mu.Lock()
+	defer h.log.mu.Unlock()
+	return level >= h.log.level
+}
+
+func (h *ringHandler) Handle(_ context.Context, rec slog.Record) error {
+	ev := Event{Time: rec.Time, Level: rec.Level.String(), Msg: rec.Message}
+	if rec.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	n := rec.NumAttrs() + len(h.bound)
+	if n > 0 {
+		ev.Attrs = make(map[string]string, n)
+	}
+	for _, a := range h.bound {
+		flattenAttr(ev.Attrs, "", a) // already prefixed at bind time
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		flattenAttr(ev.Attrs, h.prefix, a)
+		return true
+	})
+	h.log.append(ev)
+	h.log.mu.Lock()
+	tee := h.log.tee
+	h.log.mu.Unlock()
+	if tee != nil && tee.Enabled(context.Background(), rec.Level) {
+		return tee.Handle(context.Background(), rec)
+	}
+	return nil
+}
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	bound := make([]slog.Attr, 0, len(h.bound)+len(attrs))
+	bound = append(bound, h.bound...)
+	for _, a := range attrs {
+		if h.prefix != "" {
+			a.Key = h.prefix + a.Key
+		}
+		bound = append(bound, a)
+	}
+	return &ringHandler{log: h.log, prefix: h.prefix, bound: bound}
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	return &ringHandler{log: h.log, prefix: h.prefix + name + ".", bound: h.bound}
+}
+
+func flattenAttr(dst map[string]string, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			flattenAttr(dst, prefix+a.Key+".", ga)
+		}
+		return
+	}
+	dst[prefix+a.Key] = fmt.Sprint(v.Any())
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"testing"
+)
+
+func TestEventLogRecordsAndLevels(t *testing.T) {
+	l := NewEventLog(16, slog.LevelInfo)
+	log := l.Logger()
+	log.Debug("too quiet", "k", 1)
+	log.Info("promotion", "shard", 2, "epoch", 3)
+	log.Warn("fence", "kind", "epoch")
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (debug filtered): %+v", len(evs), evs)
+	}
+	if evs[0].Msg != "promotion" || evs[0].Level != "INFO" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[0].Attrs["shard"] != "2" || evs[0].Attrs["epoch"] != "3" {
+		t.Fatalf("event 0 attrs = %v", evs[0].Attrs)
+	}
+	if evs[1].Msg != "fence" || evs[1].Level != "WARN" {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	l.SetLevel(slog.LevelDebug)
+	log.Debug("now audible")
+	if got := len(l.Events()); got != 3 {
+		t.Fatalf("after SetLevel(debug): %d events, want 3", got)
+	}
+}
+
+func TestEventLogRingWrapAndSince(t *testing.T) {
+	l := NewEventLog(4, slog.LevelInfo)
+	log := l.Logger()
+	for i := 0; i < 10; i++ {
+		log.Info(fmt.Sprintf("ev-%d", i))
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq || ev.Msg != fmt.Sprintf("ev-%d", wantSeq) {
+			t.Fatalf("event %d = %+v, want seq %d", i, ev, wantSeq)
+		}
+	}
+	since := l.Since(8)
+	if len(since) != 2 || since[0].Seq != 8 || since[1].Seq != 9 {
+		t.Fatalf("Since(8) = %+v", since)
+	}
+	if l.Seq() != 10 {
+		t.Fatalf("Seq() = %d, want 10", l.Seq())
+	}
+}
+
+func TestEventLogWithAttrsAndGroups(t *testing.T) {
+	l := NewEventLog(8, slog.LevelInfo)
+	log := l.Logger().With("shard", 5).WithGroup("reshard")
+	log.Info("cutover", "phase", "drain")
+	evs := l.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Attrs["shard"] != "5" {
+		t.Fatalf("bound attr missing: %v", evs[0].Attrs)
+	}
+	if evs[0].Attrs["reshard.phase"] != "drain" {
+		t.Fatalf("grouped attr missing: %v", evs[0].Attrs)
+	}
+}
+
+// TestEventLogSilentByDefault pins the contract that recording goes only to
+// the ring: no tee handler is installed unless SetOutput is called.
+func TestEventLogSilentByDefault(t *testing.T) {
+	l := NewEventLog(8, slog.LevelInfo)
+	if l.tee != nil {
+		t.Fatal("new event log has a tee handler installed")
+	}
+	// And the default process-wide log is a ring, not stderr.
+	if Events() == nil || Events().tee != nil {
+		t.Fatal("default event log tees output")
+	}
+}

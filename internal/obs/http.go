@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// publishExpvar exposes the default registry's snapshot as the expvar
+// variable `dds_metrics` (alongside expvar's built-in memstats/cmdline).
+// Publish panics on duplicates, hence the Once.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("dds_metrics", expvar.Func(func() any { return Default().Snapshot() }))
+	})
+}
+
+// Handler returns the live-introspection mux that `ddsnode -metrics addr`
+// serves:
+//
+//	/metrics       Prometheus text exposition of the default registry
+//	/debug/vars    expvar JSON (includes dds_metrics, memstats)
+//	/debug/events  the control-plane event ring as JSON, oldest first
+//	/debug/pprof/  the standard runtime profiles
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Events().Events())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	if again := r.Counter("c_total"); again != c {
+		t.Fatal("registry did not deduplicate counter by name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if again := r.Gauge("g"); again != g {
+		t.Fatal("registry did not deduplicate gauge by name")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the boundary rule: a value equal to a
+// bucket's upper bound lands in that bucket (Prometheus `le` semantics), one
+// above it lands in the next, and values beyond the last bound land in the
+// implicit +Inf bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100, 1000})
+	for _, v := range []int64{-5, 0, 10, 11, 100, 1000, 1001, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hv := s.Histogram("h")
+	if hv == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// Cumulative counts: le=10 gets {-5, 0, 10}; le=100 adds {11, 100};
+	// le=1000 adds {1000}; +Inf adds {1001, 5000}.
+	wantCum := []uint64{3, 5, 6}
+	for i, b := range hv.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket le=%d count = %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if hv.Count != 8 {
+		t.Fatalf("count = %d, want 8", hv.Count)
+	}
+	wantSum := int64(-5 + 0 + 10 + 11 + 100 + 1000 + 1001 + 5000)
+	if hv.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", hv.Sum, wantSum)
+	}
+	if got := hv.Mean(); got != float64(wantSum)/8 {
+		t.Fatalf("mean = %v, want %v", got, float64(wantSum)/8)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1000, 4, 5)
+	want := []int64{1000, 4000, 16000, 64000, 256000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentRecording hammers one counter, one gauge, and one histogram
+// from many goroutines (meaningful under -race) and checks totals.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(1, 2, 10))
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(seed + int64(i%7))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestSnapshotWhileRecording takes snapshots concurrently with recording and
+// requires every snapshot to be internally monotone: cumulative bucket
+// counts never decrease bucket-to-bucket, totals never decrease between
+// consecutive snapshots, and the histogram count is never less than its
+// highest cumulative bucket.
+func TestSnapshotWhileRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	h := r.Histogram("h", []int64{1, 2, 4, 8})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(i % 10)
+		}
+	}()
+	var lastCount, lastCounter uint64
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		hv := s.Histogram("h")
+		var prev uint64
+		for _, b := range hv.Buckets {
+			if b.Count < prev {
+				t.Fatalf("snapshot %d: cumulative bucket counts decreased: %v", i, hv.Buckets)
+			}
+			prev = b.Count
+		}
+		if hv.Count < prev {
+			t.Fatalf("snapshot %d: histogram count %d below last bucket %d", i, hv.Count, prev)
+		}
+		if hv.Count < lastCount {
+			t.Fatalf("snapshot %d: histogram count went backwards: %d -> %d", i, lastCount, hv.Count)
+		}
+		lastCount = hv.Count
+		cv := s.Counter("c_total")
+		if cv < lastCounter {
+			t.Fatalf("snapshot %d: counter went backwards: %d -> %d", i, lastCounter, cv)
+		}
+		lastCounter = cv
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMetricsOverheadAllocFree asserts the hot-path contract: counter,
+// gauge, and histogram operations allocate nothing. The companion ns/op
+// bound lives in TestMetricsOverheadNanoseconds.
+func TestMetricsOverheadAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(1000, 4, 12))
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc() }); allocs > 0 {
+		t.Fatalf("Counter.Inc allocates %.1f times per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { c.Add(3) }); allocs > 0 {
+		t.Fatalf("Counter.Add allocates %.1f times per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { g.Set(42) }); allocs > 0 {
+		t.Fatalf("Gauge.Set allocates %.1f times per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(17000) }); allocs > 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestMetricsOverheadNanoseconds bounds the uncontended hot-path cost. An
+// uncontended atomic add measures ~9 ns/op on the reference container (a
+// plain non-atomic increment is ~3 ns; sub-nanosecond instruments are not
+// achievable with instruments that must also be correct under -race, which
+// requires atomics). The 50 ns bound is deliberately loose for noisy CI
+// while still catching a regression to locks or allocation on the hot path.
+func TestMetricsOverheadNanoseconds(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation multiplies atomic-op cost; bound is meaningless")
+	}
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	h := r.Histogram("h", ExpBuckets(1000, 4, 12))
+	counterNs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	}).NsPerOp()
+	histNs := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(17000)
+		}
+	}).NsPerOp()
+	t.Logf("uncontended Counter.Inc %d ns/op, Histogram.Observe %d ns/op", counterNs, histNs)
+	const bound = 50
+	if counterNs > bound {
+		t.Fatalf("Counter.Inc %d ns/op exceeds %d ns/op uncontended bound", counterNs, bound)
+	}
+	if histNs > bound {
+		t.Fatalf("Histogram.Observe %d ns/op exceeds %d ns/op uncontended bound", histNs, bound)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", ExpBuckets(1000, 4, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(17000)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled — no client library dependency.
+// Instrument names may carry a baked-in label set (`name{k="v"}`); the
+// family name before the brace groups the TYPE comment, and histogram
+// bucket/sum/count series splice the `le` label into the existing set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	typeLine := func(name, kind string) {
+		family, _ := splitSeries(name)
+		if family != lastFamily {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", family, kind)
+			lastFamily = family
+		}
+	}
+	for _, c := range s.Counters {
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(bw, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(bw, "%s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		typeLine(h.Name, "histogram")
+		family, labels := splitSeries(h.Name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", family, mergeLabels(labels, strconv.FormatInt(b.UpperBound, 10)), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", family, mergeLabels(labels, "+Inf"), h.Count)
+		fmt.Fprintf(bw, "%s_sum%s %d\n", family, braced(labels), h.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", family, braced(labels), h.Count)
+	}
+	return bw.Flush()
+}
+
+// splitSeries splits `name{k="v"}` into the family name and the inner label
+// text (without braces, empty when unlabeled).
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func mergeLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + labels + `,le="` + le + `"}`
+}
+
+// ParsePrometheus parses Prometheus text exposition into a map of full
+// series name (labels included, as printed) to value. It accepts the subset
+// WritePrometheus emits — comment lines, blank lines, and `series value`
+// samples — and reports malformed lines as errors, which makes it a usable
+// scrape validator for CI smoke checks.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The series name may contain spaces only inside label values; the
+		// value is the field after the closing brace (or the second field
+		// when unlabeled).
+		var series, valueText string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("obs: parse prometheus line %d: unbalanced braces: %q", lineNo, line)
+			}
+			series = line[:j+1]
+			valueText = strings.TrimSpace(line[j+1:])
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("obs: parse prometheus line %d: want `name value`, got %q", lineNo, line)
+			}
+			series, valueText = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse prometheus line %d: bad value %q: %v", lineNo, valueText, err)
+		}
+		if series == "" {
+			return nil, fmt.Errorf("obs: parse prometheus line %d: empty series name", lineNo)
+		}
+		out[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: parse prometheus: %w", err)
+	}
+	return out, nil
+}
+
+// FamilyTotal sums every parsed series whose family name (the part before
+// any label braces) equals family — the scrape-side aggregate used by the CI
+// smoke check ("frame counters nonzero").
+func FamilyTotal(series map[string]float64, family string) float64 {
+	var total float64
+	for name, v := range series {
+		f, _ := splitSeries(name)
+		if f == family {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dds_frames_total").Add(5)
+	r.Counter(`dds_shard_offers_total{slot="0"}`).Add(10)
+	r.Counter(`dds_shard_offers_total{slot="1"}`).Add(20)
+	r.Gauge("dds_lag").Set(-7)
+	h := r.Histogram(`dds_rt_ns{path="sync"}`, []int64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE dds_frames_total counter\n",
+		"dds_frames_total 5\n",
+		"# TYPE dds_shard_offers_total counter\n",
+		"dds_shard_offers_total{slot=\"0\"} 10\n",
+		"dds_shard_offers_total{slot=\"1\"} 20\n",
+		"# TYPE dds_lag gauge\n",
+		"dds_lag -7\n",
+		"# TYPE dds_rt_ns histogram\n",
+		"dds_rt_ns_bucket{path=\"sync\",le=\"100\"} 1\n",
+		"dds_rt_ns_bucket{path=\"sync\",le=\"1000\"} 2\n",
+		"dds_rt_ns_bucket{path=\"sync\",le=\"+Inf\"} 3\n",
+		"dds_rt_ns_sum{path=\"sync\"} 5550\n",
+		"dds_rt_ns_count{path=\"sync\"} 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	// The labeled family must emit its TYPE comment exactly once.
+	if n := strings.Count(text, "# TYPE dds_shard_offers_total counter"); n != 1 {
+		t.Fatalf("family TYPE comment appears %d times, want 1:\n%s", n, text)
+	}
+}
+
+// TestParsePrometheusRoundTrip feeds the writer's output back through the
+// parser — the same check the CI scrape smoke runs against a live ddsnode.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Counter(`b_total{k="v"}`).Add(4)
+	r.Gauge("g").Set(9)
+	r.Histogram("h", []int64{10}).Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse own output: %v", err)
+	}
+	checks := map[string]float64{
+		"a_total":             3,
+		`b_total{k="v"}`:      4,
+		"g":                   9,
+		`h_bucket{le="10"}`:   1,
+		`h_bucket{le="+Inf"}`: 1,
+		"h_sum":               5,
+		"h_count":             1,
+	}
+	for name, want := range checks {
+		if got, ok := series[name]; !ok || got != want {
+			t.Fatalf("series %q = %v (present=%v), want %v\ntext:\n%s", name, got, ok, want, sb.String())
+		}
+	}
+	if got := FamilyTotal(series, "b_total"); got != 4 {
+		t.Fatalf("FamilyTotal(b_total) = %v, want 4", got)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"name_only\n",
+		"name 1 2 3\n",
+		"name notanumber\n",
+		"name{unbalanced 5\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParsePrometheus accepted malformed line %q", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# HELP x y\n# TYPE x counter\n\nx 1\n"
+	series, err := ParsePrometheus(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["x"] != 1 {
+		t.Fatalf("series = %v", series)
+	}
+}

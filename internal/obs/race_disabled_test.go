@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary; see race_enabled_test.go.
+const raceEnabled = false

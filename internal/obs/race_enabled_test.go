@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary. The hot-path overhead bound is skipped under it: instrumentation
+// multiplies the cost of every atomic operation.
+const raceEnabled = true

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry owns a namespace of instruments. Constructors deduplicate by
+// name: asking twice for the same name returns the same instrument, so
+// instruments survive reshard/replica churn (a re-attached shard slot finds
+// its counters already registered) and multiple in-process clusters (tests)
+// share one cumulative namespace — assertions on a shared registry must be
+// delta-based.
+//
+// Names follow Prometheus conventions: `dds_wire_bytes_out_total`, optionally
+// with a label set baked into the name (`dds_shard_offers_total{slot="3"}`).
+// Registration is the cold path (it takes a lock); the returned instrument
+// pointers are the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every layer registers into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds if needed. A histogram that already exists
+// keeps its original bounds; callers registering the same name must agree.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketValue is one histogram bucket in a snapshot. Count is cumulative
+// (every observation <= UpperBound), matching Prometheus semantics; the
+// +Inf bucket is implied by HistogramValue.Count.
+type BucketValue struct {
+	UpperBound int64  `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a stable, JSON-serializable copy of a registry's instruments,
+// sorted by name. Reads are per-instrument atomic loads: a snapshot taken
+// while recording is internally consistent per instrument (bucket counts
+// are captured low-to-high, so a concurrent Observe can at worst appear in
+// the +Inf tail of Count but never make cumulative bucket counts decrease).
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Counter returns the snapshotted value of the named counter (0 if absent).
+func (s *Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshotted value of the named gauge (0 if absent).
+func (s *Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the snapshotted named histogram (nil if absent).
+func (s *Snapshot) Histogram(name string) *HistogramValue {
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot captures every instrument in the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counterNames := sortedKeys(r.counters)
+	gaugeNames := sortedKeys(r.gauges)
+	histNames := sortedKeys(r.hists)
+	counters := make([]*Counter, len(counterNames))
+	for i, n := range counterNames {
+		counters[i] = r.counters[n]
+	}
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, n := range gaugeNames {
+		gauges[i] = r.gauges[n]
+	}
+	hists := make([]*Histogram, len(histNames))
+	for i, n := range histNames {
+		hists[i] = r.hists[n]
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	s.Counters = make([]CounterValue, len(counters))
+	for i, c := range counters {
+		s.Counters[i] = CounterValue{Name: counterNames[i], Value: c.Value()}
+	}
+	s.Gauges = make([]GaugeValue, len(gauges))
+	for i, g := range gauges {
+		s.Gauges[i] = GaugeValue{Name: gaugeNames[i], Value: g.Value()}
+	}
+	s.Histograms = make([]HistogramValue, len(hists))
+	for i, h := range hists {
+		hv := HistogramValue{Name: histNames[i], Buckets: make([]BucketValue, len(h.bounds))}
+		var cum uint64
+		for b := range h.bounds {
+			cum += h.counts[b].Load()
+			hv.Buckets[b] = BucketValue{UpperBound: h.bounds[b], Count: cum}
+		}
+		hv.Count = cum + h.counts[len(h.bounds)].Load()
+		hv.Sum = h.Sum()
+		s.Histograms[i] = hv
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -87,6 +88,8 @@ type group struct {
 	lastOffers int        // primary activity count at the last push (change detection)
 	lastEpoch  uint64     // primary epoch at the last push
 	pushed     bool       // at least one push happened
+	lastPushNs int64      // wall time of the last successful push (sync-lag gauge)
+	obsLag     *obs.Gauge // per-slot staleness: nanoseconds between consecutive pushes
 }
 
 func (g *group) isRetired() bool {
@@ -193,6 +196,7 @@ func (s *Server) AddGroup() (slot int, addrs []string, err error) {
 	s.groups = append(s.groups, g)
 	s.mu.Unlock()
 	groupSize := s.opts.Replicas + 1
+	offers, churn, lag := shardObs(slot)
 	var members []*member
 	for m := 0; m < groupSize; m++ {
 		node := s.newCoord(slot, m)
@@ -200,9 +204,10 @@ func (s *Server) AddGroup() (slot int, addrs []string, err error) {
 		_, snapshottable := node.(core.Snapshotter)
 		if !restorable && !snapshottable && s.opts.Replicas > 0 {
 			closeMembers(members)
-			return 0, nil, fmt.Errorf("replica: shard %d member %d: coordinator node is neither snapshottable nor restorable", slot, m)
+			return 0, nil, fmt.Errorf("replica: shard %d member %d: coordinator node is neither snapshottable nor restorable: %w", slot, m, wire.ErrNotSnapshottable)
 		}
 		srv := wire.NewCoordinatorServer(node)
+		srv.SetShardObs(offers, churn)
 		if s.opts.RouteHash != nil {
 			srv.SetRouteHash(s.opts.RouteHash)
 		}
@@ -220,6 +225,7 @@ func (s *Server) AddGroup() (slot int, addrs []string, err error) {
 	g.mu.Lock()
 	g.members = members
 	g.retired = false
+	g.obsLag = lag
 	g.mu.Unlock()
 	if s.opts.Replicas > 0 {
 		s.wg.Add(1)
@@ -349,7 +355,15 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 	}
 	epoch := p.srv.Epoch()
 	if !force && g.pushed && offers == g.lastOffers && epoch == g.lastEpoch {
+		obsSyncSkipped.Inc()
 		return nil
+	}
+	start := nowNanos()
+	obsSyncRounds.Inc()
+	if generic {
+		obsSyncBytes.Add(uint64(len(encoded)))
+	} else {
+		obsSyncEntries.Add(uint64(len(entries)))
 	}
 	g.seq++
 	// Push to every replica concurrently: each member's sync connection is
@@ -383,6 +397,11 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 		}
 	}
 	g.lastOffers, g.lastEpoch, g.pushed = offers, epoch, true
+	obsSyncRoundNs.Observe(nowNanos() - start)
+	if g.lastPushNs != 0 && g.obsLag != nil {
+		g.obsLag.Set(start - g.lastPushNs)
+	}
+	g.lastPushNs = start
 	return nil
 }
 
@@ -417,6 +436,9 @@ func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u fl
 			return err
 		}
 		if ackEpoch > epoch {
+			obsDeposedFences.Inc()
+			obs.Logger().Warn("deposed primary fenced",
+				"shard", g.shard, "replica", m.addr, "epoch", epoch, "ack_epoch", ackEpoch)
 			return fmt.Errorf("replica: replica %s is at epoch %d, sync was stamped %d: %w", m.addr, ackEpoch, epoch, wire.ErrDeposed)
 		}
 		return nil

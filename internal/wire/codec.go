@@ -162,9 +162,27 @@ func newJSONConn(r io.Reader, w io.Writer) *jsonConn {
 	return &jsonConn{dec: json.NewDecoder(r), enc: json.NewEncoder(w)}
 }
 
-func (c *jsonConn) ReadFrame(f *Frame) error  { *f = Frame{}; return c.dec.Decode(f) }
-func (c *jsonConn) WriteFrame(f *Frame) error { return c.enc.Encode(f) }
-func (c *jsonConn) Flush() error              { return nil }
+func (c *jsonConn) ReadFrame(f *Frame) error {
+	*f = Frame{}
+	if err := c.dec.Decode(f); err != nil {
+		return err
+	}
+	if code, ok := nameToBin[f.Type]; ok {
+		obsFramesDecoded[code].Inc()
+	}
+	return nil
+}
+
+func (c *jsonConn) WriteFrame(f *Frame) error {
+	if err := c.enc.Encode(f); err != nil {
+		return err
+	}
+	if code, ok := nameToBin[f.Type]; ok {
+		obsFramesEncoded[code].Inc()
+	}
+	return nil
+}
+func (c *jsonConn) Flush() error { return nil }
 
 // binBufSize sizes the binary transport's buffered reader and writer. Large
 // enough to hold a whole pipeline window of typical batch frames, so a
@@ -290,6 +308,10 @@ func (c *binConn) WriteFrame(f *Frame) error {
 	c.wbuf = buf
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	_, err := c.w.Write(buf)
+	if err == nil {
+		obsFramesEncoded[code].Inc()
+		obsBytesOut.Add(uint64(len(buf)))
+	}
 	return err
 }
 
@@ -319,6 +341,8 @@ func (c *binConn) ReadFrame(f *Frame) error {
 		return fmt.Errorf("wire: unknown binary frame code 0x%02x", code)
 	}
 	f.Type = name
+	obsFramesDecoded[code].Inc()
+	obsBytesIn.Add(uint64(n) + 4)
 	switch code {
 	case binHello:
 		f.Site = int(d.uvarint())

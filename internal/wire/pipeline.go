@@ -45,6 +45,11 @@ type pipeline struct {
 	unacked [][]BatchEntry
 	free    [][]BatchEntry
 
+	// sendTimes records each in-flight batch's ship time (UnixNano), FIFO
+	// and parallel to slots, feeding the ack-latency histogram when the
+	// cumulative ack arrives.
+	sendTimes []int64
+
 	// wireDirty marks batch frames written but not yet flushed to the
 	// socket. Owned by the writer goroutine. Keeping frames buffered while
 	// credits remain lets a whole window ride one syscall; the writer MUST
@@ -154,6 +159,7 @@ func (c *SiteClient) ship(all bool) error {
 	}
 	for {
 		c.mu.Lock()
+		stalledAt := int64(0)
 		for c.pipe.inflight() >= c.opts.Window && c.pipe.err == nil {
 			if c.pipe.wireDirty {
 				c.mu.Unlock()
@@ -163,7 +169,17 @@ func (c *SiteClient) ship(all bool) error {
 				c.mu.Lock()
 				continue
 			}
+			// Out of credits with nothing left to flush: the writer sleeps
+			// until the reader returns credit. This is the backpressure the
+			// stall counters expose.
+			if stalledAt == 0 {
+				stalledAt = nowNanos()
+				obsCreditStalls.Inc()
+			}
 			c.pipe.cond.Wait()
+		}
+		if stalledAt != 0 {
+			obsCreditStallNs.Observe(nowNanos() - stalledAt)
 		}
 		if err := c.pipe.err; err != nil {
 			c.mu.Unlock()
@@ -198,8 +214,10 @@ func (c *SiteClient) ship(all bool) error {
 		seq := c.pipe.sendSeq
 		c.pipe.sendSeq++
 		c.pipe.slots = append(c.pipe.slots, batch[len(batch)-1].Slot)
+		c.pipe.sendTimes = append(c.pipe.sendTimes, nowNanos())
 		c.pipe.unacked = append(c.pipe.unacked, batch)
 		c.sent += len(batch)
+		obsBatchSize.Observe(int64(len(batch)))
 		c.mu.Unlock()
 
 		c.wframe = Frame{Type: FrameBatch, Seq: seq, Batch: batch}
@@ -273,6 +291,12 @@ func (c *SiteClient) readLoop() {
 			slot := c.pipe.slots[acked-1]
 			rest := copy(c.pipe.slots, c.pipe.slots[acked:])
 			c.pipe.slots = c.pipe.slots[:rest]
+			now := nowNanos()
+			for i := 0; i < acked; i++ {
+				obsAckLatencyNs.Observe(now - c.pipe.sendTimes[i])
+			}
+			rest = copy(c.pipe.sendTimes, c.pipe.sendTimes[acked:])
+			c.pipe.sendTimes = c.pipe.sendTimes[:rest]
 			// The acked batches are confirmed applied: recycle their replay
 			// buffers for the writer.
 			for i := 0; i < acked; i++ {

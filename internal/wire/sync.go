@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +27,31 @@ var ErrDeposed = errors.New("wire: fenced by a higher epoch (sender deposed)")
 // or handoff was rejected. Callers detect it with errors.Is; the public dds
 // package re-exports it.
 var ErrStaleRoute = errors.New("wire: fenced by a newer route-table version")
+
+// ErrNotSnapshottable is the typed form of a coordinator refusing a
+// state-snapshot operation because its node predates the Snapshot/Restore
+// API (today: sliding.MultiCoordinator, which has no section-level slot
+// clock yet). Every caller path that asks such a node for a snapshot —
+// replica attach, the generic sync push, cluster handoff, dds backup — gets
+// an error wrapping this sentinel instead of a silent degrade; callers
+// detect it with errors.Is, and the public dds package re-exports it.
+var ErrNotSnapshottable = errors.New("wire: coordinator node does not support state snapshots")
+
+// notSnapshottableText is the server-side error string of a refused
+// snapshot operation. It is matched on the client side to restore the typed
+// sentinel across the wire (the FrameError payload is just a string), and
+// cluster.Resharder's legacy-donor fallback matches the same text.
+const notSnapshottableText = "does not support state snapshots"
+
+// coordError turns a FrameError payload into a client-side error,
+// re-attaching the typed sentinel for snapshot-capability refusals so
+// errors.Is works across the wire.
+func coordError(msg string) error {
+	if strings.Contains(msg, notSnapshottableText) {
+		return fmt.Errorf("wire: coordinator error: %s: %w", msg, ErrNotSnapshottable)
+	}
+	return errors.New("wire: coordinator error: " + msg)
+}
 
 // SyncClient speaks the replication half of the protocol to one coordinator
 // server: state-sync pushes (primary → replica) and promote/probe exchanges
@@ -73,7 +99,7 @@ func (c *SyncClient) roundTrip(f *Frame) (ackEpoch, ackSeq uint64, err error) {
 	case FrameStateAck:
 		return c.rframe.Epoch, c.rframe.Seq, nil
 	case FrameError:
-		return 0, 0, errors.New("wire: coordinator error: " + c.rframe.Error)
+		return 0, 0, coordError(c.rframe.Error)
 	default:
 		return 0, 0, errors.New("wire: unexpected frame " + c.rframe.Type)
 	}
@@ -132,7 +158,7 @@ func (c *SyncClient) FetchState() (st core.State, epoch uint64, slot int64, err 
 		}
 		return st, c.rframe.Epoch, c.rframe.Slot, nil
 	case FrameError:
-		return core.State{}, 0, 0, errors.New("wire: coordinator error: " + c.rframe.Error)
+		return core.State{}, 0, 0, coordError(c.rframe.Error)
 	default:
 		return core.State{}, 0, 0, errors.New("wire: unexpected frame " + c.rframe.Type)
 	}

@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // BatchEntry is one offer inside a batched frame, carrying its own slot so a
@@ -173,6 +174,13 @@ type CoordinatorServer struct {
 	routeVer  uint64
 	routeHash func(key string) uint64
 	mutations int
+	// Per-shard observability hooks, attached by the replica/cluster layer
+	// (SetShardObs) once the server's slot identity is known: offers counts
+	// dispatched offer messages, churn counts reply messages (each reply is
+	// a sample-affecting state refresh — the load-watcher's churn signal).
+	// Nil-checked on the dispatch hot path; nil means unattached.
+	obsOffers *obs.Counter
+	obsChurn  *obs.Counter
 }
 
 // NewCoordinatorServer wraps the given coordinator node.
@@ -235,6 +243,18 @@ func (s *CoordinatorServer) Promoted() bool {
 func (s *CoordinatorServer) SetRouteHash(fn func(key string) uint64) {
 	s.mu.Lock()
 	s.routeHash = fn
+	s.mu.Unlock()
+}
+
+// SetShardObs attaches the per-shard offer and churn counters this server
+// increments on its dispatch path. The cluster/replica layers call it with
+// counters named for the shard slot (`dds_shard_offers_total{slot="N"}`), so
+// scraped rates are per shard — the load-watcher inputs. Either counter may
+// be nil.
+func (s *CoordinatorServer) SetShardObs(offers, churn *obs.Counter) {
+	s.mu.Lock()
+	s.obsOffers = offers
+	s.obsChurn = churn
 	s.mu.Unlock()
 }
 
@@ -555,13 +575,18 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			if f.Epoch > s.epoch {
 				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
 			}
-			if f.Epoch == s.epoch && (!s.synced || f.Seq >= s.syncSeq) {
+			fenced := f.Epoch < s.epoch
+			if !fenced && (!s.synced || f.Seq >= s.syncSeq) {
 				rn.RestoreSample(f.Entries)
 				s.syncSeq, s.synced = f.Seq, true
 				s.mutations++
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
 			s.mu.Unlock()
+			if fenced {
+				obsEpochFences.Inc()
+				fenceEvent("epoch", f.Type, f.Epoch, resp.Epoch)
+			}
 			if err := flushAck(); err != nil {
 				return
 			}
@@ -574,12 +599,17 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			// frame is idempotent, so every site of a cluster can promote the
 			// same replica independently and they all converge on one epoch.
 			s.mu.Lock()
-			if f.Epoch > s.epoch {
+			accepted := f.Epoch > s.epoch
+			if accepted {
 				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
 				s.promoted = true
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
 			s.mu.Unlock()
+			if accepted {
+				obsPromotions.Inc()
+				obs.Logger().Info("promotion accepted", "epoch", f.Epoch)
+			}
 			if err := flushAck(); err != nil {
 				return
 			}
@@ -611,7 +641,8 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "route-update: no routing hash configured on this coordinator"})
 				return
 			}
-			if f.Seq > s.routeVer {
+			fenced := f.Seq <= s.routeVer
+			if !fenced {
 				s.routeVer = f.Seq
 				if isSnap {
 					keep := func(key string) bool { return routeInRange(s.routeHash(key), f.Lo, f.Hi) }
@@ -627,6 +658,10 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
 			s.mu.Unlock()
+			if fenced {
+				obsRouteFences.Inc()
+				fenceEvent("route", f.Type, f.Seq, resp.Seq)
+			}
 			if err := flushAck(); err != nil {
 				return
 			}
@@ -657,7 +692,8 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "range-handoff: no routing hash configured on this coordinator"})
 				return
 			}
-			if f.Seq >= s.routeVer {
+			fenced := f.Seq < s.routeVer
+			if !fenced {
 				incoming := filterRange(f.Entries, f.Lo, f.Hi, s.routeHash)
 				if len(incoming) > 0 {
 					rn.RestoreSample(append(s.node.Sample(), incoming...))
@@ -666,6 +702,10 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
 			s.mu.Unlock()
+			if fenced {
+				obsRouteFences.Inc()
+				fenceEvent("route", f.Type, f.Seq, resp.Seq)
+			}
 			if err := flushAck(); err != nil {
 				return
 			}
@@ -692,7 +732,8 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			if f.Epoch > s.epoch {
 				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
 			}
-			if f.Epoch == s.epoch && (!s.synced || f.Seq >= s.syncSeq) {
+			fenced := f.Epoch < s.epoch
+			if !fenced && (!s.synced || f.Seq >= s.syncSeq) {
 				if err := sn.Restore(st); err != nil {
 					s.mu.Unlock()
 					_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-frame: " + err.Error()})
@@ -706,6 +747,10 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
 			s.mu.Unlock()
+			if fenced {
+				obsEpochFences.Inc()
+				fenceEvent("epoch", f.Type, f.Epoch, resp.Epoch)
+			}
 			if err := flushAck(); err != nil {
 				return
 			}
@@ -736,7 +781,8 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-handoff: no routing hash configured on this coordinator"})
 				return
 			}
-			if f.Seq >= s.routeVer {
+			fenced := f.Seq < s.routeVer
+			if !fenced {
 				keep := func(key string) bool { return routeInRange(s.routeHash(key), f.Lo, f.Hi) }
 				merged, merr := core.MergeStates(sn.Snapshot(), core.FilterState(incoming, keep))
 				if merr == nil {
@@ -751,6 +797,10 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.routeVer}
 			s.mu.Unlock()
+			if fenced {
+				obsRouteFences.Inc()
+				fenceEvent("route", f.Type, f.Seq, resp.Seq)
+			}
 			if err := flushAck(); err != nil {
 				return
 			}
@@ -818,6 +868,9 @@ func (s *CoordinatorServer) dispatchLocked(msg netsim.Message, slot int64, siteI
 	out.Reset()
 	s.node.OnMessage(msg, slot, out)
 	s.stats.offers++
+	if s.obsOffers != nil {
+		s.obsOffers.Inc()
+	}
 	if slot > s.lastSlot {
 		s.lastSlot = slot
 	}
@@ -842,6 +895,9 @@ func (s *CoordinatorServer) dispatchLocked(msg netsim.Message, slot int64, siteI
 		n++
 	}
 	s.stats.replies += n
+	if s.obsChurn != nil && n > 0 {
+		s.obsChurn.Add(uint64(n))
+	}
 	return replies, nil
 }
 
@@ -1119,6 +1175,7 @@ func (c *SiteClient) sendPending(slot int64) error {
 		return fmt.Errorf("wire: send batch: %w", err)
 	}
 	c.sent += len(batch)
+	obsBatchSize.Observe(int64(len(batch)))
 	replies, err := c.readReplies()
 	if err != nil {
 		c.pending = batch // the batch may or may not have applied; replay is idempotent
