@@ -77,6 +77,9 @@ type nodeFlags struct {
 	Shards       int
 	Replicas     int
 	SyncInterval time.Duration
+	Lease        time.Duration
+	RetryMax     int
+	RetryBase    time.Duration
 	ID           int
 	Sample       int
 	Window       int64
@@ -120,6 +123,18 @@ func validateFlags(f nodeFlags) error {
 	}
 	if f.SyncInterval <= 0 {
 		return fmt.Errorf("-sync-interval %v: the replication interval must be positive", f.SyncInterval)
+	}
+	if f.Lease < 0 {
+		return fmt.Errorf("-lease-interval %v: the lease cannot be negative (0 disables lease fencing)", f.Lease)
+	}
+	if f.Lease > 0 && f.Lease <= f.SyncInterval {
+		return fmt.Errorf("-lease-interval %v must exceed -sync-interval %v: a healthy primary renews its lease once per replication round", f.Lease, f.SyncInterval)
+	}
+	if f.Lease > 0 && f.Replicas < 1 {
+		return fmt.Errorf("-lease-interval needs -replicas: the lease is renewed by replica quorum acks, so an unreplicated shard could never renew")
+	}
+	if f.RetryBase < 0 {
+		return fmt.Errorf("-retry-base %v: the retry backoff base cannot be negative", f.RetryBase)
 	}
 	if f.Batch < 1 {
 		return fmt.Errorf("-batch %d: the batch size must be at least 1 (1 = one offer per frame)", f.Batch)
@@ -212,6 +227,9 @@ func main() {
 	flag.IntVar(&f.Shards, "shards", 1, "number of coordinator shards (cluster-coordinator role)")
 	flag.IntVar(&f.Replicas, "replicas", 0, "warm replicas per shard; > 0 turns each shard into a replica group (cluster-coordinator role)")
 	flag.DurationVar(&f.SyncInterval, "sync-interval", 100*time.Millisecond, "how often each primary pushes its state to its replicas (cluster-coordinator role with -replicas)")
+	flag.DurationVar(&f.Lease, "lease-interval", 0, "lease-fence primaries: a primary whose replica quorum has not renewed it within this long stops ingesting; must exceed -sync-interval, 0 disables (cluster-coordinator role with -replicas)")
+	flag.IntVar(&f.RetryMax, "retry-max", 0, "max retries per operation against a lease-fenced primary before promoting a replica; 0 = default (5), negative = promote on the first fence (site role)")
+	flag.DurationVar(&f.RetryBase, "retry-base", 0, "exponential-backoff base for lease-fence retries; 0 = default (5ms) (site role)")
 	flag.IntVar(&f.ID, "id", 0, "site id (site role)")
 	flag.IntVar(&f.Sample, "sample", 20, "sample size s per shard and for merged queries (must match across all nodes)")
 	flag.Int64Var(&f.Window, "window", 0, "window size in slots; > 0 switches to the sliding-window protocol")
@@ -285,6 +303,9 @@ func (f nodeFlags) options() []dds.Option {
 	if f.Pipeline > 1 {
 		opts = append(opts, dds.WithPipelining(f.Pipeline))
 	}
+	if f.RetryMax != 0 || f.RetryBase != 0 {
+		opts = append(opts, dds.WithRetry(f.RetryMax, f.RetryBase))
+	}
 	return opts
 }
 
@@ -308,6 +329,9 @@ func waitForSignal() {
 func runCoordinator(f nodeFlags) {
 	opts := f.options()
 	opts = append(opts, dds.WithReplicas(f.Replicas), dds.WithSyncInterval(f.SyncInterval))
+	if f.Lease > 0 {
+		opts = append(opts, dds.WithLease(f.Lease))
+	}
 	if f.Admin != "" {
 		opts = append(opts, dds.WithAdmin(f.Admin))
 	}

@@ -43,6 +43,31 @@ func TestValidateFlags(t *testing.T) {
 		{"negative replicas", func(f *nodeFlags) { f.Role = "cluster-coordinator"; f.Replicas = -1 }, "-replicas"},
 		{"zero sync interval", func(f *nodeFlags) { f.Role = "cluster-coordinator"; f.Replicas = 1; f.SyncInterval = 0 }, "-sync-interval"},
 		{"zero batch", func(f *nodeFlags) { f.Batch = 0 }, "-batch"},
+		{"negative lease", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Replicas = 1
+			f.Lease = -time.Second
+		}, "-lease-interval"},
+		{"lease not exceeding sync interval", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Replicas = 1
+			f.Lease = 100 * time.Millisecond
+		}, "must exceed -sync-interval"},
+		{"lease without replicas", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Lease = time.Second
+		}, "-lease-interval needs -replicas"},
+		{"leased replicated cluster is fine", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Replicas = 1
+			f.Lease = time.Second
+		}, ""},
+		{"negative retry base", func(f *nodeFlags) { f.RetryBase = -time.Millisecond }, "-retry-base"},
+		{"negative retry max is fine", func(f *nodeFlags) {
+			f.Role = "site"
+			f.Stream = "-"
+			f.RetryMax = -1
+		}, ""},
 		{"pipeline of one", func(f *nodeFlags) { f.Pipeline = 1 }, "-pipeline 1 is not a pipeline"},
 		{"negative pipeline", func(f *nodeFlags) { f.Pipeline = -3 }, "not a pipeline"},
 		{"pipeline of two is fine", func(f *nodeFlags) { f.Pipeline = 2 }, ""},

@@ -68,6 +68,12 @@ var ErrDeposed = wire.ErrDeposed
 // errors.Is.
 var ErrStaleRoute = wire.ErrStaleRoute
 
+// ErrLeaseLapsed reports a lease fence: the primary an offer targeted has
+// not had its lease renewed by a replication quorum and refuses to ingest
+// until renewal or promotion. Clients heal it automatically (WithRetry);
+// detect it with errors.Is when driving the transport directly.
+var ErrLeaseLapsed = wire.ErrLeaseLapsed
+
 // ErrNotSnapshottable reports that a coordinator node refused a
 // state-snapshot operation because it predates the Snapshot/Restore API
 // (today: the per-copy sliding-window coordinator). Replica attach, backup
@@ -105,6 +111,9 @@ type Config struct {
 	pipeline     int
 	replicas     int
 	syncInterval time.Duration
+	lease        time.Duration
+	retryMax     int
+	retryBase    time.Duration
 	admin        string
 }
 
@@ -139,6 +148,24 @@ func WithReplicas(r int) Option { return func(cfg *Config) { cfg.replicas = r } 
 // WithSyncInterval sets how often each primary's state is pushed to its
 // replicas (Serve only; default 100ms). It bounds replica staleness.
 func WithSyncInterval(d time.Duration) Option { return func(cfg *Config) { cfg.syncInterval = d } }
+
+// WithLease arms lease-based fencing (Serve only; default 0: disabled).
+// Each primary holds a time-bounded lease renewed every sync round by a
+// quorum of its replica group; a primary that cannot reach a quorum — it is
+// partitioned, or deposed by a promotion it never saw — stops accepting
+// offers with ErrLeaseLapsed when the lease runs down, instead of ingesting
+// into state nobody replicates. The lease must exceed the sync interval
+// (a healthy primary renews once per round) and requires WithReplicas.
+func WithLease(d time.Duration) Option { return func(cfg *Config) { cfg.lease = d } }
+
+// WithRetry sets the client's recovery policy (Open only): at most max
+// retries per operation against a lease-fenced primary, backing off
+// exponentially from base with jitter before each, then promoting the next
+// replica-group member. Zeros take the defaults (5 retries from 5ms);
+// max < 0 disables lease waiting, so the first fence triggers promotion.
+func WithRetry(max int, base time.Duration) Option {
+	return func(cfg *Config) { cfg.retryMax = max; cfg.retryBase = base }
+}
 
 // WithAdmin names a cluster admin listener. For Serve it is the address to
 // serve resharding commands on; for Open and Query it is where to fetch the
@@ -229,6 +256,14 @@ func (cfg Config) normalize(opts []Option) (Config, error) {
 		return cfg, fmt.Errorf("dds: replica count %d must not be negative", cfg.replicas)
 	case cfg.Shards < 1:
 		return cfg, fmt.Errorf("dds: shard count %d must be at least 1", cfg.Shards)
+	case cfg.lease < 0:
+		return cfg, fmt.Errorf("dds: lease %v must not be negative", cfg.lease)
+	case cfg.lease > 0 && cfg.lease <= cfg.syncInterval:
+		return cfg, fmt.Errorf("dds: lease %v must exceed the sync interval %v (a healthy primary renews once per round)", cfg.lease, cfg.syncInterval)
+	case cfg.lease > 0 && cfg.replicas < 1:
+		return cfg, fmt.Errorf("dds: lease fencing needs replicas (the lease is renewed by quorum acks); set WithReplicas")
+	case cfg.retryBase < 0:
+		return cfg, fmt.Errorf("dds: retry base %v must not be negative", cfg.retryBase)
 	}
 	if _, err := wire.ParseCodec(string(cfg.codec)); err != nil {
 		return cfg, fmt.Errorf("dds: unknown codec %q (want %q or %q)", cfg.codec, CodecJSON, CodecBinary)
@@ -242,7 +277,13 @@ func (cfg *Config) wireCodec() wire.Codec {
 }
 
 func (cfg *Config) wireOptions() wire.Options {
-	return wire.Options{Codec: cfg.wireCodec(), BatchSize: cfg.batch, Window: cfg.pipeline}
+	return wire.Options{
+		Codec:     cfg.wireCodec(),
+		BatchSize: cfg.batch,
+		Window:    cfg.pipeline,
+		RetryMax:  cfg.retryMax,
+		RetryBase: cfg.retryBase,
+	}
 }
 
 func (cfg *Config) hasher() hashing.UnitHasher { return hashing.NewMurmur2(cfg.Seed) }

@@ -267,9 +267,100 @@ func TestOpenValidationAndContext(t *testing.T) {
 	if _, err := dds.Open(ctx, dds.Config{Coordinators: [][]string{{"127.0.0.1:1"}}}, dds.WithReplicas(-1)); err == nil {
 		t.Fatal("Open with negative replicas succeeded")
 	}
+	if _, err := dds.Open(ctx, dds.Config{Coordinators: [][]string{{"127.0.0.1:1"}}}, dds.WithRetry(3, -time.Millisecond)); err == nil {
+		t.Fatal("Open with negative retry base succeeded")
+	}
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
 	if _, err := dds.Open(cancelled, dds.Config{Coordinators: [][]string{{"127.0.0.1:1"}}}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Open with cancelled context returned %v, want context.Canceled", err)
+	}
+}
+
+// TestPublicAPILeaseFencing pins the lease options through the public
+// surface: the contradictory configurations fail at Serve, and a leased,
+// replicated cluster with a retrying client survives a primary kill with the
+// sample still exact — the happy path where quorum renewals keep every lease
+// alive and the client's retry policy only ever arms.
+func TestPublicAPILeaseFencing(t *testing.T) {
+	const (
+		sampleSize = 16
+		seed       = 20130501
+	)
+	ctx := context.Background()
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"},
+		dds.WithReplicas(1), dds.WithLease(50*time.Millisecond)); err == nil {
+		t.Fatal("Serve with lease not exceeding the sync interval succeeded")
+	}
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"},
+		dds.WithLease(200*time.Millisecond)); err == nil {
+		t.Fatal("Serve with a lease but no replicas succeeded")
+	}
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"},
+		dds.WithLease(-time.Second)); err == nil {
+		t.Fatal("Serve with a negative lease succeeded")
+	}
+
+	cl, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: sampleSize, Seed: seed},
+		dds.WithReplicas(1), dds.WithSyncInterval(15*time.Millisecond), dds.WithLease(90*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	client, err := dds.Open(ctx, dds.Config{Coordinators: cl.Groups(), SampleSize: sampleSize, Seed: seed},
+		dds.WithBatch(8), dds.WithRetry(8, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := core.NewReference(sampleSize, hashing.NewMurmur2(seed))
+	offer := func(from, to int) {
+		t.Helper()
+		for i := from; i < to; i++ {
+			key := fmt.Sprintf("lease-%d", i)
+			oracle.Observe(key)
+			if err := client.Offer(key, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := client.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkExact := func(label string) {
+		t.Helper()
+		sample, err := client.Query(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		want := oracle.SampleKeys()
+		got := sample.Keys()
+		if len(got) != len(want) {
+			t.Fatalf("%s: sample has %d keys, want %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: sample[%d] = %q, want %q", label, i, got[i], want[i])
+			}
+		}
+	}
+
+	offer(0, 800)
+	checkExact("after leased ingest")
+
+	// A quiesced kill: the promoted replica re-arms its lease from the next
+	// quorum round, and the client's failover replay keeps the sample exact.
+	if err := cl.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.KillPrimary(0); err != nil {
+		t.Fatal(err)
+	}
+	offer(800, 1600)
+	checkExact("after failover under lease")
+
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

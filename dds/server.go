@@ -28,7 +28,8 @@ type Cluster struct {
 }
 
 // Serve starts a cluster per cfg (Listen, Shards, SampleSize, Seed, plus the
-// WithWindow/WithReplicas/WithSyncInterval/WithCodec/WithAdmin options) and
+// WithWindow/WithReplicas/WithSyncInterval/WithLease/WithCodec/WithAdmin
+// options) and
 // returns it running. The context bounds startup only; the cluster serves
 // until Close.
 func Serve(ctx context.Context, cfg Config, opts ...Option) (*Cluster, error) {
@@ -52,6 +53,7 @@ func Serve(ctx context.Context, cfg Config, opts ...Option) (*Cluster, error) {
 	srv, err := replica.Listen(cfg.Listen, cfg.Shards, replica.Options{
 		Replicas:     cfg.replicas,
 		SyncInterval: cfg.syncInterval,
+		Lease:        cfg.lease,
 		Codec:        cfg.wireCodec(),
 		RouteHash:    router.RouteHash,
 	}, newCoord)

@@ -22,7 +22,23 @@ var (
 	obsHandoffBytes   = obs.Default().Counter("dds_reshard_handoff_bytes_total")
 	obsCutoverStallNs = obs.Default().Histogram("dds_reshard_cutover_stall_ns", obs.ExpBuckets(1000, 4, 12))
 	obsPlanNs         = obs.Default().Histogram("dds_reshard_plan_ns", obs.ExpBuckets(1000, 4, 12))
+	// Self-healing retries: how long clients back off between attempts
+	// (exponential with jitter; see retryObs for the per-op counters).
+	obsRetryBackoffNs = obs.Default().Histogram("dds_retry_backoff_ns", obs.ExpBuckets(1000, 4, 12))
 )
+
+// retryObs records one client recovery attempt: op names the path taken
+// ("lease-wait" — backing off for a fenced primary's lease to renew;
+// "reroute" — replaying strict-route-fenced offers under a newer table;
+// "replay" — re-shipping an unacked window). delay is the backoff slept
+// before the attempt (0 for immediate retries).
+func retryObs(op string, delay time.Duration) {
+	obs.Default().Counter(fmt.Sprintf("dds_retry_attempts_total{op=%q}", op)).Inc()
+	if delay > 0 {
+		obsRetryBackoffNs.Observe(delay.Nanoseconds())
+	}
+	obs.Logger().Info("recovery retry", "op", op, "backoff_ns", delay.Nanoseconds())
+}
 
 // reshardPlans counts executed plans by op ("split" / "merge").
 func reshardPlans(op string) *obs.Counter {

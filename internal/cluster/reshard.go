@@ -172,6 +172,13 @@ func (r *Resharder) Split(slot int, mid uint64) (*ReshardReport, error) {
 	if err := r.routeUpdate(slot, next.Version, lo, mid); err != nil {
 		return nil, fmt.Errorf("cluster: split: restrict donor: %w", err)
 	}
+	// From here on both sides NACK offers outside their range instead of
+	// accepting keys a later plan would silently prune: every registered site
+	// flipped during the cutover, so the only senders still routing under an
+	// older table are stale external sites — exactly the ones that must be
+	// bounced into rerouting (they apply the pushed table and retry).
+	r.srv.RestrictRoute(slot)
+	r.srv.RestrictRoute(newSlot)
 	if err := r.srv.SyncNow(); err != nil {
 		return nil, fmt.Errorf("cluster: split: sync replicas: %w", err)
 	}
@@ -293,6 +300,22 @@ func (r *Resharder) handoff(donor, receiver int, ver, lo, hi uint64) (int, error
 	return n, err
 }
 
+// routePushFrame encodes a routing table plus the slot-indexed member
+// addresses as one route-push frame for the coordinator→site push channel.
+func routePushFrame(t RangeTable, groups [][]string) *wire.Frame {
+	f := &wire.Frame{
+		Type:   wire.FrameRoutePush,
+		Seq:    t.Version,
+		Bounds: append([]uint64(nil), t.Bounds...),
+		Slots:  make([]int64, len(t.Slots)),
+		Groups: groups,
+	}
+	for i, s := range t.Slots {
+		f.Slots[i] = int64(s)
+	}
+	return f
+}
+
 // routeUpdate assigns slot its owned range [lo, hi) at the given version.
 func (r *Resharder) routeUpdate(slot int, ver, lo, hi uint64) error {
 	return r.withPrimary(slot, func(addr string) error {
@@ -344,6 +367,13 @@ func (r *Resharder) cutover(next RangeTable) (time.Duration, error) {
 	start := time.Now()
 	for _, c := range r.sites {
 		c.OfferRouteUpdate(update)
+	}
+	// Broadcast the table over the coordinator→site push channel as well:
+	// external site processes (never Register-ed — they live outside this
+	// process) get the new table over their existing connections and flip
+	// live, instead of discovering the reshard on their first fenced offer.
+	if pushed := r.srv.PushRoute(routePushFrame(next, update.Groups)); pushed > 0 {
+		obs.Logger().Info("route table pushed", "version", next.Version, "connections", pushed)
 	}
 	r.table = next.clone()
 	deadline := start.Add(r.WaitTimeout)

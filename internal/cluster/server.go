@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"sync"
@@ -137,6 +138,17 @@ func (s *Server) MergedSample(sampleSize int) []netsim.SampleEntry {
 // added shard slots, atomically swaps its routing table, and closes
 // connections to retired slots. The version fence makes application
 // idempotent and ordered: a client only ever moves to a strictly newer table.
+//
+// Route updates also arrive unsolicited: coordinators broadcast route-push
+// frames at cutover, and the client folds them into the same mailbox, so a
+// site that no Resharder knows about still follows reshards. Should a push
+// be missed anyway (it is best-effort), the donor's strict-route fence NACKs
+// offers for ranges it gave away, and the client heals by adopting whatever
+// newer table has arrived and replaying the refused offers to their owners.
+// A lease-fenced primary (alive but cut off from its replicas, see
+// internal/replica) is handled by backing off and retrying until the lease
+// renews, then by force-promoting the next member — Options.RetryMax and
+// Options.RetryBase set that policy.
 type SiteClient struct {
 	routeHash func(string) uint64
 	newSite   func(shard int) netsim.SiteNode
@@ -218,6 +230,19 @@ func DialGroups(groups [][]string, router *ShardRouter, newSite func(shard int) 
 		shards:    make([]*shardConn, len(groups)),
 	}
 	c.routeVer.Store(c.table.Version)
+	// Fold coordinator-initiated route pushes into the same mailbox the
+	// reshard driver uses; the version fence dedupes the two sources. The
+	// callback runs on connection reader goroutines, and OfferRouteUpdate is
+	// the one SiteClient method safe to call there.
+	user := opts.OnRoutePush
+	c.opts.OnRoutePush = func(f *wire.Frame) {
+		if u := routeUpdateFromPush(f); u != nil {
+			c.OfferRouteUpdate(u)
+		}
+		if user != nil {
+			user(f)
+		}
+	}
 	for _, slot := range table.Slots {
 		members := groups[slot]
 		if len(members) == 0 {
@@ -255,6 +280,25 @@ func (c *SiteClient) dialShard(slot int, members []string) error {
 	return err
 }
 
+// routeUpdateFromPush decodes a route-push frame into a RouteUpdate, or nil
+// when the frame does not carry a valid table (a malformed push is dropped,
+// never applied — the reshard driver's registered-site offer is the reliable
+// path).
+func routeUpdateFromPush(f *wire.Frame) *RouteUpdate {
+	t := RangeTable{
+		Version: f.Seq,
+		Bounds:  append([]uint64(nil), f.Bounds...),
+		Slots:   make([]int, len(f.Slots)),
+	}
+	for i, s := range f.Slots {
+		t.Slots[i] = int(s)
+	}
+	if err := t.Validate(); err != nil {
+		return nil
+	}
+	return &RouteUpdate{Table: t, Groups: cloneGroups(f.Groups)}
+}
+
 // cloneGroups deep-copies a slot-indexed group list so published updates and
 // client state never alias.
 func cloneGroups(groups [][]string) [][]string {
@@ -286,19 +330,61 @@ func currentPrimary(members []string, codec wire.Codec) int {
 
 // do runs op against the shard's current primary, failing over and retrying
 // as long as recovery makes progress. Each successful failover advances the
-// shard's primary index, and a healthy-primary reconnect (a connection-level
-// reset, not a dead server) is attempted at most once per operation, so the
-// loop terminates.
+// shard's primary index, a healthy-primary reconnect (a connection-level
+// reset, not a dead server) is attempted at most once per operation, and
+// lease waits and reroutes are budgeted by the retry policy, so the loop
+// terminates.
 func (c *SiteClient) do(shard int, op func(*wire.SiteClient) error) error {
+	return c.doRetry(shard, op, c.retryMax())
+}
+
+// doRetry is do with an explicit stale-route budget. Three recovery paths:
+//
+//   - wire.ErrStaleRoute: the shard gave the key's range away in a reshard
+//     this client has not applied yet. Spend one budget unit healing —
+//     adopt the pushed table and replay the refused offers to their owners
+//     (healStaleRoute, which recurses through doRetry with the decremented
+//     budget) — so a client that never receives a newer table surfaces the
+//     typed error instead of NACK-looping forever.
+//   - wire.ErrLeaseLapsed: the primary is alive but fenced, so the liveness
+//     probe below cannot help; back off and retry until the lease renews,
+//     then force-promote (leaseWait).
+//   - anything else: the classic liveness path — probe, promote the next
+//     member, or re-dial a healthy primary once.
+func (c *SiteClient) doRetry(shard int, op func(*wire.SiteClient) error, staleBudget int) error {
 	sc := c.shards[shard]
 	if sc == nil || sc.client == nil {
 		return fmt.Errorf("cluster: no connection for shard slot %d", shard)
 	}
 	reconnected := false
+	leaseWaits := 0
 	for {
 		err := op(sc.client)
 		if err == nil {
 			return nil
+		}
+		switch {
+		case errors.Is(err, wire.ErrStaleRoute):
+			if staleBudget <= 0 {
+				return fmt.Errorf("cluster: shard %d: %w (no newer route table arrived)", shard, err)
+			}
+			staleBudget--
+			retryObs("reroute", 0)
+			if herr := c.healStaleRoute(shard, staleBudget); herr != nil {
+				return fmt.Errorf("cluster: shard %d: %w (reroute: %v)", shard, err, herr)
+			}
+			if sc = c.shards[shard]; sc == nil || sc.client == nil {
+				// The adopted table retired this slot. The refused offers
+				// were replayed to their new owners by the heal, which is
+				// everything op was shipping, so it is satisfied.
+				return nil
+			}
+			continue
+		case errors.Is(err, wire.ErrLeaseLapsed):
+			if werr := c.leaseWait(shard, &leaseWaits); werr != nil {
+				return fmt.Errorf("cluster: shard %d: %w (lease: %v)", shard, err, werr)
+			}
+			continue
 		}
 		ferr := c.failover(shard)
 		if ferr == nil {
@@ -316,6 +402,110 @@ func (c *SiteClient) do(shard int, op func(*wire.SiteClient) error) error {
 		}
 		return fmt.Errorf("cluster: shard %d: %w (failover: %v)", shard, err, ferr)
 	}
+}
+
+// retryMax resolves the operative lease-wait/reroute budget from the dial
+// options (see wire.Options.RetryMax).
+func (c *SiteClient) retryMax() int {
+	if c.opts.RetryMax < 0 {
+		return 0
+	}
+	if c.opts.RetryMax == 0 {
+		return wire.DefaultRetryMax
+	}
+	return c.opts.RetryMax
+}
+
+// retryBase resolves the operative backoff base from the dial options.
+func (c *SiteClient) retryBase() time.Duration {
+	if c.opts.RetryBase <= 0 {
+		return wire.DefaultRetryBase
+	}
+	return c.opts.RetryBase
+}
+
+// backoffDelay is the nth retry's pause: exponential from base, capped at
+// 500ms, with half-width jitter so a fleet of clients fenced by the same
+// lapse does not retry in lockstep.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	const ceiling = 500 * time.Millisecond
+	d := base
+	for i := 1; i < attempt && d < ceiling; i++ {
+		d *= 2
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// leaseWait handles one wire.ErrLeaseLapsed NACK: back off (exponentially,
+// with jitter), then reconnect — the unacked replay inside reconnect doubles
+// as the probe, succeeding exactly when the primary's lease has renewed.
+// After retryMax fenced rounds it force-promotes the next member instead
+// (promotion re-arms the lease on the promoted server, unfencing the group
+// even if the old primary never recovers). A connection-level reconnect
+// failure returns nil so the caller's next attempt surfaces it to the
+// ordinary liveness path.
+func (c *SiteClient) leaseWait(shard int, waits *int) error {
+	for {
+		*waits++
+		if *waits > c.retryMax() {
+			retryObs("promote", 0)
+			return c.forcePromote(shard)
+		}
+		delay := backoffDelay(c.retryBase(), *waits)
+		retryObs("lease-wait", delay)
+		time.Sleep(delay)
+		rerr := c.reconnect(shard)
+		if rerr == nil {
+			return nil // lease renewed; replay was accepted
+		}
+		if !errors.Is(rerr, wire.ErrLeaseLapsed) {
+			return nil // not a fence: let the liveness path diagnose it
+		}
+	}
+}
+
+// healStaleRoute recovers from a strict-route fence: it rebuilds the shard's
+// connection around the SAME site node (the node's duplicate memo survives,
+// so re-running the caller's op refreshes instead of re-offering — a fresh
+// node would re-offer the moved key to the donor and be fenced again),
+// adopts the newest pushed table, and replays every offer the fenced primary
+// refused or never acknowledged to the slot that owns it under the new
+// table. budget bounds the recursion when a replayed batch is itself fenced.
+func (c *SiteClient) healStaleRoute(shard, budget int) error {
+	sc := c.shards[shard]
+	var unacked []wire.BatchEntry
+	if sc.client != nil {
+		_ = sc.client.Close()
+		unacked = sc.client.Unacked()
+		sc.retiredSent += sc.client.MessagesSent()
+		sc.retiredReceived += sc.client.MessagesReceived()
+		sc.client = nil
+	}
+	if err := c.reconnect(shard); err != nil {
+		return err
+	}
+	// The route-push rode the same connection as the NACK (pushes are written
+	// before the fence can fire), so the newer table is already in the
+	// mailbox by the time we get here.
+	if err := c.maybeApplyRoute(); err != nil {
+		return err
+	}
+	byOwner := make(map[int][]wire.BatchEntry)
+	for _, e := range unacked {
+		owner := c.table.Lookup(c.routeHash(e.Msg.Key))
+		byOwner[owner] = append(byOwner[owner], e)
+	}
+	for owner, entries := range byOwner {
+		entries := entries
+		err := c.doRetry(owner, func(client *wire.SiteClient) error { return client.Replay(entries) }, budget)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reconnect replaces the shard's connection to its current primary, carrying
@@ -360,6 +550,21 @@ func (c *SiteClient) failover(shard int) error {
 	if _, err := wire.ProbeEpoch(sc.members[sc.primary], c.opts.Codec); err == nil {
 		return errPrimaryHealthy
 	}
+	return c.promoteWalk(shard, start)
+}
+
+// forcePromote is the promotion walk without the liveness probe: leaseWait
+// uses it to depose a primary that is alive but cannot renew its lease
+// (accepting the promotion re-arms the lease on the new primary).
+func (c *SiteClient) forcePromote(shard int) error {
+	return c.promoteWalk(shard, time.Now())
+}
+
+// promoteWalk promotes the next live member past the shard's current
+// primary, reconnects the surviving site node to it, and replays the unacked
+// window.
+func (c *SiteClient) promoteWalk(shard int, start time.Time) error {
+	sc := c.shards[shard]
 	if len(sc.members) < 2 {
 		return errors.New("no replicas configured")
 	}

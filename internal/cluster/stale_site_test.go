@@ -8,33 +8,32 @@ import (
 	"repro/internal/core"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
-// TestStaleSiteStrayKeysAcrossReshards is the regression test for ROADMAP
-// gap (a): there is no coordinator→site push channel, so a *cross-process*
-// site that missed a reshard keeps offering moved-range keys to the old
-// owner ("stray" keys). The test pins both halves of the documented
-// contract:
+// TestStaleSiteStrayKeysAcrossReshards asserts the fix for ROADMAP gap (a):
+// coordinators push route updates to every connected site at cutover, and
+// donors fence offers for ranges they gave away, so a *cross-process* site
+// that nobody restarted still follows reshards. The test drives the whole
+// healing path end to end: a stale, unregistered site offers "stray" keys
+// whose range moved to another shard in a reshard it never applied; the
+// donor's strict-route fence NACKs them with wire.ErrStaleRoute, the client
+// adopts the pushed table and replays the refused offers to the new owner,
+// and after a SECOND reshard prunes the donor the strays are still in the
+// merged sample — byte-identical to a reference that saw every key.
 //
-//  1. After ONE reshard, strays are correctness-safe: the old owner accepts
-//     them into its sketch, query-time Merge unions all live shards, and the
-//     merged sample stays byte-identical to the reference.
-//  2. After a SECOND reshard that prunes the old owner, strays whose range
-//     moved away earlier are silently dropped — they are outside every
-//     handoff filter and outside the donor's restricted range, and the
-//     current owner never saw them. This is the documented operational
-//     requirement: restart (or re-point via -admin) external sites after
-//     resharding; the drop is the price of not doing so.
-//
-// If either half changes — e.g. a future offer-forwarding fence makes the
-// second half exact — this test is the place that notices.
+// Before the push channel existed this test pinned the opposite contract:
+// strays were silently dropped by the second reshard's restrict prune, and
+// "restart external sites after resharding" was the documented operational
+// requirement. That requirement is gone.
 func TestStaleSiteStrayKeysAcrossReshards(t *testing.T) {
 	const (
 		s    = 16
 		seed = 1337
 	)
+	before := obs.Default().Snapshot()
 	hasher := hashing.NewMurmur2(seed)
 	router := NewShardRouter(1, hasher)
 	srv, err := replica.Listen("127.0.0.1:0", 1, replica.Options{
@@ -111,12 +110,14 @@ func TestStaleSiteStrayKeysAcrossReshards(t *testing.T) {
 	runPlanPumping(t, []*SiteClient{registered}, func() (*ReshardReport, error) { return rs.Split(0, mid) })
 	checkMerged("after first split", oracle.Sample())
 
-	// Stray keys: offered by the stale site to slot 0 even though their
+	// Stray keys: offered by the stale site toward slot 0 even though their
 	// routing hash moved to slot 1 — and chosen with tiny unit hashes so
 	// they land in the global bottom-s and any loss is visible. (Unit hash
 	// decides sample membership; the routing hash is its SplitMix64 rehash,
 	// so "in the moved range" and "in the bottom-s" are independent and
-	// both satisfiable.)
+	// both satisfiable.) The donor's restrict fence NACKs each one; the
+	// client heals by applying the route-push buffered on its connection
+	// and replaying the stray to slot 1.
 	var strays []string
 	for i := 0; len(strays) < 3 && i < 4_000_000; i++ {
 		key := fmt.Sprintf("stray-%d", i)
@@ -153,28 +154,41 @@ func TestStaleSiteStrayKeysAcrossReshards(t *testing.T) {
 		}
 	}
 
-	// Half 1 of the contract: queries stay correct. The donor holds the
-	// strays out-of-range, the merge unions them in.
-	checkMerged("after stale strays (union-safe)", oracle.Sample())
+	// The strays were fenced, rerouted, and accepted by their new owner, so
+	// queries are exact immediately.
+	checkMerged("after stale strays (rerouted)", oracle.Sample())
+
+	// The heal must have flipped the stale client to the pushed table — the
+	// next strays route straight to slot 1 with no further fencing.
+	if v := stale.RouteVersion(); v < rs.Table().Version {
+		t.Fatalf("stale client route version = %d, want >= %d (pushed table applied)", v, rs.Table().Version)
+	}
 
 	// Second reshard pruning the donor: split slot 0's remaining range. The
-	// strays hash into slot 1's range — outside both successors' handoff
-	// filters and outside the donor's restricted range — so the restrict
-	// prune silently drops them.
+	// strays live on slot 1 now — inside the current owner's range — so the
+	// restrict prune cannot touch them. (Before the push channel, this is
+	// the step that silently dropped them.)
 	mid2, err := rs.Table().SplitPoint(0, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	runPlanPumping(t, []*SiteClient{registered}, func() (*ReshardReport, error) { return rs.Split(0, mid2) })
 
-	// Half 2 of the contract: the strays are gone — the merged sample is
-	// byte-identical to a reference that never saw them. Documented, not
-	// fixed: external sites must re-point after a reshard.
-	baseOracle := core.NewReference(s, hasher)
-	for _, key := range baseKeys {
-		baseOracle.Observe(key)
+	// The merged sample is byte-identical to a reference that saw every key,
+	// strays included: no offer was lost to the missed reshard.
+	checkMerged("after second split (strays survive)", oracle.Sample())
+
+	// And the healing path really ran: coordinators pushed route frames, the
+	// donor fenced at least one stray, and the client spent reroute retries.
+	// Deltas, not absolutes — the registry is process-global.
+	after := obs.Default().Snapshot()
+	delta := func(name string) uint64 { return after.Counter(name) - before.Counter(name) }
+	if d := delta("dds_route_pushes_total"); d == 0 {
+		t.Fatal("dds_route_pushes_total did not move: no route frames were pushed at cutover")
 	}
-	checkMerged("after second split (strays dropped)", baseOracle.Sample())
+	if d := delta(`dds_retry_attempts_total{op="reroute"}`); d == 0 {
+		t.Fatal(`dds_retry_attempts_total{op="reroute"} did not move: the stale client never healed`)
+	}
 
 	if err := registered.Close(); err != nil {
 		t.Fatal(err)

@@ -19,6 +19,11 @@ var (
 	obsSyncEntries   = obs.Default().Counter("dds_replica_sync_entries_total")
 	obsSyncRoundNs   = obs.Default().Histogram("dds_replica_sync_round_ns", obs.ExpBuckets(1000, 4, 12))
 	obsDeposedFences = obs.Default().Counter("dds_replica_deposed_fences_total")
+	// Lease renewals granted to primaries (quorum of the group acked the
+	// round) and rounds where the quorum was missed — each missed round is a
+	// lease left to run down, the precursor of a dds_lease_lapses_total tick.
+	obsLeaseRenewals = obs.Default().Counter("dds_replica_lease_renewals_total")
+	obsLeaseNoQuorum = obs.Default().Counter("dds_replica_lease_noquorum_total")
 )
 
 // shardObs builds the per-slot instruments a group feeds: the offer and

@@ -57,7 +57,7 @@ func TestReplicaSyncInstruments(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := srv.groups[0]
-	if err := g.syncRound(wire.CodecBinary, false); err != nil { // idle: skipped
+	if err := g.syncRound(Options{Codec: wire.CodecBinary}, false); err != nil { // idle: skipped
 		t.Fatal(err)
 	}
 	if err := srv.SyncNow(); err != nil { // second push: sets the lag gauge
@@ -109,7 +109,7 @@ func TestDeposedFenceInstrumented(t *testing.T) {
 	if _, err := wire.PromoteAddr(m.addr, 2, wire.CodecBinary); err != nil {
 		t.Fatal(err)
 	}
-	err := g.push(m, wire.CodecBinary, 0, 0, 1, nil, nil)
+	err := g.push(m, Options{Codec: wire.CodecBinary}, 0, 0, 1, nil, nil)
 	if !errors.Is(err, wire.ErrDeposed) {
 		t.Fatalf("stale push err = %v, want errors.Is(err, wire.ErrDeposed)", err)
 	}

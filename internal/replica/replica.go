@@ -55,6 +55,21 @@ type Options struct {
 	// absorption both filter sample entries by routing hash. Required for
 	// online resharding (cluster.Resharder); optional otherwise.
 	RouteHash func(key string) uint64
+	// Lease > 0 arms lease-based fencing: each sync round whose pushes (or,
+	// on idle rounds, epoch probes) reach a quorum of the group's live
+	// members grants the primary a lease of this duration; a primary whose
+	// lease runs out — partitioned from its quorum — NACKs offers with
+	// wire.ErrLeaseLapsed instead of acknowledging writes a promoted member
+	// will never see. The lease must comfortably exceed SyncInterval (a
+	// healthy primary renews every round); Listen rejects anything shorter.
+	// 0 disables leasing: primaries serve unconditionally and partition
+	// fencing happens only at the next state-sync (the pre-lease behaviour).
+	Lease time.Duration
+	// SyncWrap, when set, wraps every replication connection's transport —
+	// the seam the faultnet fault injector uses to subject the sync plane
+	// (state pushes, epoch probes, lease renewals) to seeded drops, delays,
+	// and partitions in chaos tests. nil means plain connections.
+	SyncWrap func(wire.FrameConn) wire.FrameConn
 }
 
 // DefaultSyncInterval bounds replica staleness to well under a second while
@@ -161,6 +176,12 @@ func Listen(addr string, shards int, opts Options, newCoord func(shard, member i
 	}
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = DefaultSyncInterval
+	}
+	if opts.Lease > 0 && opts.Lease <= opts.SyncInterval {
+		return nil, fmt.Errorf("replica: lease %v must exceed the sync interval %v (a healthy primary renews once per round)", opts.Lease, opts.SyncInterval)
+	}
+	if opts.Lease > 0 && opts.Replicas == 0 {
+		return nil, fmt.Errorf("replica: lease fencing needs replicas (the lease is renewed by quorum acks)")
 	}
 	host, portStr, err := net.SplitHostPort(addr)
 	if err != nil {
@@ -294,7 +315,7 @@ func (s *Server) syncLoop(g *group) {
 			if g.isRetired() {
 				return
 			}
-			_ = g.syncRound(s.opts.Codec, false)
+			_ = g.syncRound(s.opts, false)
 		}
 	}
 }
@@ -328,7 +349,15 @@ func (g *group) primary() (int, *member) {
 // primary is idle (no new offers and no epoch change since the last push).
 // Errors pushing to individual replicas are returned joined but do not stop
 // the round — a dead replica must not block the others.
-func (g *group) syncRound(codec wire.Codec, force bool) error {
+//
+// When leasing is armed (Options.Lease > 0), every round doubles as the
+// primary's lease heartbeat: the pushes are the quorum votes on an active
+// round, cheap epoch probes stand in for them on an idle (skipped) round,
+// and a majority of the group's live members acking grants the primary
+// Options.Lease more of accepting offers. A partitioned primary misses its
+// quorum, its lease runs down, and it starts NACKing with ErrLeaseLapsed —
+// within one lease of losing its group, not at its next fenced sync.
+func (g *group) syncRound(opts Options, force bool) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.retired {
@@ -356,6 +385,9 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 	epoch := p.srv.Epoch()
 	if !force && g.pushed && offers == g.lastOffers && epoch == g.lastEpoch {
 		obsSyncSkipped.Inc()
+		if opts.Lease > 0 {
+			g.renewOnQuorum(opts, p, epoch, g.probeQuorum(opts, p))
+		}
 		return nil
 	}
 	start := nowNanos()
@@ -371,20 +403,34 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 	// been Kill()ed (external deployment, partition) must burn its dial
 	// timeout in parallel with — not ahead of — the healthy replicas' pushes.
 	errs := make([]error, len(g.members))
+	attempts := 0
 	var wg sync.WaitGroup
 	for i, m := range g.members {
 		if m == p || m.isKilled() {
 			continue
 		}
+		attempts++
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			if err := g.push(m, codec, epoch, slot, u, entries, encoded); err != nil {
+			if err := g.push(m, opts, epoch, slot, u, entries, encoded); err != nil {
 				errs[i] = fmt.Errorf("replica: shard %d sync to %s: %w", g.shard, m.addr, err)
 			}
 		}(i, m)
 	}
 	wg.Wait()
+	if opts.Lease > 0 {
+		successes := 0
+		for i, m := range g.members {
+			if m == p || m.isKilled() {
+				continue
+			}
+			if errs[i] == nil {
+				successes++
+			}
+		}
+		g.renewOnQuorum(opts, p, epoch, hasQuorum(successes, attempts))
+	}
 	for _, err := range errs {
 		if err != nil {
 			// Leave the change-detection state alone: a replica that missed
@@ -405,20 +451,125 @@ func (g *group) syncRound(codec wire.Codec, force bool) error {
 	return nil
 }
 
+// hasQuorum reports whether the primary plus its acked replicas form a
+// strict majority of the group's live members (the primary votes for
+// itself; killed members are administratively removed, not suspected).
+func hasQuorum(successes, attempts int) bool {
+	return (successes+1)*2 > attempts+1
+}
+
+// probeQuorum epoch-probes every live replica concurrently (Promote(0)
+// changes nothing and answers with the member's epoch) and reports whether a
+// quorum answered — the idle-round stand-in for the sync pushes' votes.
+func (g *group) probeQuorum(opts Options, p *member) bool {
+	successes, attempts := 0, 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range g.members {
+		if m == p || m.isKilled() {
+			continue
+		}
+		attempts++
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			if g.probe(m, opts) == nil {
+				mu.Lock()
+				successes++
+				mu.Unlock()
+			}
+		}(m)
+	}
+	wg.Wait()
+	return hasQuorum(successes, attempts)
+}
+
+// renewOnQuorum extends the primary's lease by Options.Lease when the round
+// reached its quorum, and lets it run down (counting the miss) otherwise.
+func (g *group) renewOnQuorum(opts Options, p *member, epoch uint64, quorum bool) {
+	if !quorum {
+		obsLeaseNoQuorum.Inc()
+		obs.Logger().Warn("lease renewal missed: no quorum", "shard", g.shard, "epoch", epoch)
+		return
+	}
+	if err := g.renewLease(p, opts, epoch); err != nil {
+		obsLeaseNoQuorum.Inc()
+		obs.Logger().Warn("lease renewal failed", "shard", g.shard, "epoch", epoch, "err", err.Error())
+		return
+	}
+	obsLeaseRenewals.Inc()
+}
+
+// renewLease delivers one lease-renew frame to the primary over its cached
+// sync connection (the same redial-once discipline as push).
+func (g *group) renewLease(m *member, opts Options, epoch uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if err := g.ensureSyncLocked(m, opts); err != nil {
+			return err
+		}
+		ackEpoch, err := m.sync.RenewLease(epoch, opts.Lease)
+		if err != nil {
+			m.sync.Close()
+			m.sync = nil
+			if attempt == 0 {
+				continue // stale connection; one redial
+			}
+			return err
+		}
+		if ackEpoch != epoch {
+			return fmt.Errorf("replica: primary %s is at epoch %d, renewal was stamped %d: %w", m.addr, ackEpoch, epoch, wire.ErrDeposed)
+		}
+		return nil
+	}
+}
+
+// probe health-checks one member over its cached sync connection.
+func (g *group) probe(m *member, opts Options) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if err := g.ensureSyncLocked(m, opts); err != nil {
+			return err
+		}
+		if _, err := m.sync.Promote(0); err != nil {
+			m.sync.Close()
+			m.sync = nil
+			if attempt == 0 {
+				continue // stale connection; one redial
+			}
+			return err
+		}
+		return nil
+	}
+}
+
+// ensureSyncLocked dials the member's cached sync connection if needed,
+// threading Options.SyncWrap so fault injection covers redials too. Callers
+// hold m.mu.
+func (g *group) ensureSyncLocked(m *member, opts Options) error {
+	if m.sync != nil {
+		return nil
+	}
+	sc, err := wire.DialSyncWrap(m.addr, opts.Codec, opts.SyncWrap)
+	if err != nil {
+		return err
+	}
+	m.sync = sc
+	return nil
+}
+
 // push ships one sync frame — a generic state-frame when encoded is set, the
 // legacy flat-sample state-sync otherwise — to a member over its cached sync
 // connection, dialing (or redialing once, if the cached connection has gone
 // stale) as needed.
-func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u float64, entries []netsim.SampleEntry, encoded []byte) error {
+func (g *group) push(m *member, opts Options, epoch uint64, slot int64, u float64, entries []netsim.SampleEntry, encoded []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for attempt := 0; ; attempt++ {
-		if m.sync == nil {
-			sc, err := wire.DialSync(m.addr, codec)
-			if err != nil {
-				return err
-			}
-			m.sync = sc
+		if err := g.ensureSyncLocked(m, opts); err != nil {
+			return err
 		}
 		var ackEpoch uint64
 		var err error
@@ -452,7 +603,7 @@ func (g *group) push(m *member, codec wire.Codec, epoch uint64, slot int64, u fl
 func (s *Server) SyncNow() error {
 	var firstErr error
 	for _, g := range s.snapshotGroups() {
-		if err := g.syncRound(s.opts.Codec, true); err != nil && firstErr == nil {
+		if err := g.syncRound(s.opts, true); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -526,6 +677,42 @@ func (s *Server) PrimaryAddr(shard int) string {
 		return ""
 	}
 	return p.addr
+}
+
+// PushRoute broadcasts one route-push frame to every site connected to any
+// live member and returns the number of connections it reached — the
+// coordinator→site push channel a reshard driver uses to flip external
+// sites' route tables live instead of waiting for their next NACK.
+func (s *Server) PushRoute(f *wire.Frame) int {
+	n := 0
+	for _, g := range s.snapshotGroups() {
+		if g.isRetired() {
+			continue
+		}
+		for _, m := range g.memberList() {
+			if m.isKilled() {
+				continue
+			}
+			n += m.srv.PushRoute(f)
+		}
+	}
+	return n
+}
+
+// RestrictRoute arms strict routing on every member of the slot: offers for
+// keys outside the member's stored route range are NACKed with
+// wire.ErrStaleRoute from here on. Reshard drivers call it once a split's
+// registered sites have all flipped, so a stale external site's strays are
+// bounced back for rerouting instead of landing on a shard that no longer
+// owns them (and being silently pruned by the next reshard).
+func (s *Server) RestrictRoute(slot int) {
+	g := s.group(slot)
+	if g == nil {
+		return
+	}
+	for _, m := range g.memberList() {
+		m.srv.RestrictRoute()
+	}
 }
 
 // Epochs returns the current epoch of every member of the shard.

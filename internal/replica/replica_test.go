@@ -83,13 +83,13 @@ func TestReplicaCatchesUpInOneFrame(t *testing.T) {
 func TestSyncSkipsIdlePrimary(t *testing.T) {
 	srv := newGroupServer(t, 1, 1, 8)
 	g := srv.groups[0]
-	if err := g.syncRound(wire.CodecBinary, false); err != nil {
+	if err := g.syncRound(Options{Codec: wire.CodecBinary}, false); err != nil {
 		t.Fatal(err)
 	}
 	seqAfterFirst := g.seq
 	// No ingest happened: further unforced rounds are skipped.
 	for i := 0; i < 3; i++ {
-		if err := g.syncRound(wire.CodecBinary, false); err != nil {
+		if err := g.syncRound(Options{Codec: wire.CodecBinary}, false); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -88,6 +88,12 @@ const (
 	binStateFrame   = 0x0d
 	binStateHandoff = 0x0e
 	binSnapshot     = 0x0f
+	// Self-healing control-plane frames: server-initiated route pushes and
+	// the lease renew/ack exchange of lease-based primary fencing. Like the
+	// replication frames, they are new codes over the DDS2 layout.
+	binRoutePush  = 0x10
+	binLeaseRenew = 0x11
+	binLeaseAck   = 0x12
 )
 
 var binToName = map[byte]string{
@@ -106,6 +112,9 @@ var binToName = map[byte]string{
 	binStateFrame:   FrameState,
 	binStateHandoff: FrameStateHandoff,
 	binSnapshot:     FrameSnapshot,
+	binRoutePush:    FrameRoutePush,
+	binLeaseRenew:   FrameLeaseRenew,
+	binLeaseAck:     FrameLeaseAck,
 }
 
 // Minimum encoded sizes, used to reject implausible element counts before
@@ -134,6 +143,9 @@ var nameToBin = map[string]byte{
 	FrameState:        binStateFrame,
 	FrameStateHandoff: binStateHandoff,
 	FrameSnapshot:     binSnapshot,
+	FrameRoutePush:    binRoutePush,
+	FrameLeaseRenew:   binLeaseRenew,
+	FrameLeaseAck:     binLeaseAck,
 }
 
 // frameConn reads and writes protocol frames in one concrete codec. A
@@ -150,6 +162,12 @@ type frameConn interface {
 	WriteFrame(f *Frame) error
 	Flush() error
 }
+
+// FrameConn is the exported face of the transport seam: anything that reads
+// and writes protocol frames. Middleware that wraps connections — the
+// faultnet fault injector foremost — implements and consumes this interface;
+// DialSyncWrap and ServeMemWrap thread a wrapper into real connections.
+type FrameConn = frameConn
 
 // jsonConn is the original one-JSON-object-per-line transport. Writes are
 // unbuffered (Flush is a no-op), matching the legacy synchronous dialogue.
@@ -304,6 +322,29 @@ func (c *binConn) WriteFrame(f *Frame) error {
 		buf = append(buf, f.State...)
 	case binSnapshot:
 		// No payload.
+	case binRoutePush:
+		if len(f.Bounds) != len(f.Slots) {
+			return fmt.Errorf("wire: route-push with %d bounds but %d slots", len(f.Bounds), len(f.Slots))
+		}
+		buf = binary.AppendUvarint(buf, f.Seq)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Bounds)))
+		for i := range f.Bounds {
+			buf = binary.LittleEndian.AppendUint64(buf, f.Bounds[i])
+			buf = binary.AppendVarint(buf, f.Slots[i])
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(f.Groups)))
+		for _, g := range f.Groups {
+			buf = binary.AppendUvarint(buf, uint64(len(g)))
+			for _, addr := range g {
+				buf = appendString(buf, addr)
+			}
+		}
+	case binLeaseRenew:
+		buf = binary.AppendUvarint(buf, f.Epoch)
+		buf = binary.AppendUvarint(buf, f.Seq)
+	case binLeaseAck:
+		buf = binary.AppendUvarint(buf, f.Epoch)
+		buf = binary.AppendUvarint(buf, f.Seq)
 	}
 	c.wbuf = buf
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
@@ -446,6 +487,38 @@ func (c *binConn) ReadFrame(f *Frame) error {
 		f.Hi = d.uint64()
 		f.State = d.bytes(state)
 	case binSnapshot:
+	case binRoutePush:
+		f.Seq = d.uvarint()
+		count := d.uvarint()
+		// Each range costs at least 8 bytes of bound plus 1 of slot varint.
+		if err := d.checkCount(count, 9); err != nil {
+			return err
+		}
+		for i := uint64(0); i < count && d.err == nil; i++ {
+			f.Bounds = append(f.Bounds, d.uint64())
+			f.Slots = append(f.Slots, d.varint())
+		}
+		groups := d.uvarint()
+		if err := d.checkCount(groups, 1); err != nil {
+			return err
+		}
+		for i := uint64(0); i < groups && d.err == nil; i++ {
+			members := d.uvarint()
+			if err := d.checkCount(members, 1); err != nil {
+				return err
+			}
+			var g []string
+			for j := uint64(0); j < members && d.err == nil; j++ {
+				g = append(g, d.string())
+			}
+			f.Groups = append(f.Groups, g)
+		}
+	case binLeaseRenew:
+		f.Epoch = d.uvarint()
+		f.Seq = d.uvarint()
+	case binLeaseAck:
+		f.Epoch = d.uvarint()
+		f.Seq = d.uvarint()
 	}
 	return d.err
 }

@@ -29,8 +29,9 @@ func encodeFrames(t testing.TB, frames ...Frame) []byte {
 }
 
 // corpusFrames returns one representative frame of every kind the binary
-// codec knows, including the resharding frames, so the fuzzer starts from
-// every branch of the decoder.
+// codec knows, including the resharding and control-plane frames
+// (route-push, lease-renew, lease-ack), so the fuzzer starts from every
+// branch of the decoder.
 func corpusFrames() []Frame {
 	msg := netsim.Message{Kind: netsim.KindOffer, Key: "corpus-key", Hash: 0.125, U: 0.5, Expiry: 7, Copy: 2, From: 3}
 	entries := []netsim.SampleEntry{
@@ -53,6 +54,12 @@ func corpusFrames() []Frame {
 		{Type: FrameState, Epoch: 3, Seq: 7, Slot: 21, State: corpusState()},
 		{Type: FrameStateHandoff, Seq: 5, Lo: 1 << 61, Hi: 1 << 63, State: corpusState()},
 		{Type: FrameSnapshot},
+		{Type: FrameRoutePush, Seq: 8,
+			Bounds: []uint64{0, 1 << 62, 3 << 62},
+			Slots:  []int64{0, 2, 1},
+			Groups: [][]string{{"127.0.0.1:9001", "127.0.0.1:9002"}, {"127.0.0.1:9003"}, nil}},
+		{Type: FrameLeaseRenew, Epoch: 4, Seq: 150_000_000},
+		{Type: FrameLeaseAck, Epoch: 4, Seq: 150_000_000},
 	}
 }
 
@@ -151,6 +158,30 @@ func framesEquivalent(a, b *Frame) bool {
 		ea, eb := a.Entries[i], b.Entries[i]
 		if ea.Key != eb.Key || ea.Expiry != eb.Expiry || !floatBitsEqual(ea.Hash, eb.Hash) {
 			return false
+		}
+	}
+	// Route-push payload: the table and the groups.
+	if len(a.Bounds) != len(b.Bounds) || len(a.Slots) != len(b.Slots) || len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return false
+		}
+	}
+	for i := range a.Slots {
+		if a.Slots[i] != b.Slots[i] {
+			return false
+		}
+	}
+	for i := range a.Groups {
+		if len(a.Groups[i]) != len(b.Groups[i]) {
+			return false
+		}
+		for j := range a.Groups[i] {
+			if a.Groups[i][j] != b.Groups[i][j] {
+				return false
+			}
 		}
 	}
 	return true

@@ -63,6 +63,18 @@ func copyFrame(f *Frame) Frame {
 	if f.Entries != nil {
 		g.Entries = append([]netsim.SampleEntry(nil), f.Entries...)
 	}
+	if f.Bounds != nil {
+		g.Bounds = append([]uint64(nil), f.Bounds...)
+	}
+	if f.Slots != nil {
+		g.Slots = append([]int64(nil), f.Slots...)
+	}
+	if f.Groups != nil {
+		g.Groups = make([][]string, len(f.Groups))
+		for i, grp := range f.Groups {
+			g.Groups[i] = append([]string(nil), grp...)
+		}
+	}
 	return g
 }
 

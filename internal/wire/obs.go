@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -15,8 +16,8 @@ var (
 	// Frames encoded/decoded by kind, indexed by binary frame code. The JSON
 	// codec counts into the same families via the nameToBin map (its per-frame
 	// reflection cost dwarfs a map lookup).
-	obsFramesEncoded [binSnapshot + 1]*obs.Counter
-	obsFramesDecoded [binSnapshot + 1]*obs.Counter
+	obsFramesEncoded [binLeaseAck + 1]*obs.Counter
+	obsFramesDecoded [binLeaseAck + 1]*obs.Counter
 	// Bytes on the wire, counted on the binary codec (length prefix included).
 	obsBytesOut *obs.Counter
 	obsBytesIn  *obs.Counter
@@ -35,6 +36,12 @@ var (
 	obsRouteFences *obs.Counter
 	// Promote frames accepted (epoch ratcheted forward).
 	obsPromotions *obs.Counter
+	// Self-healing control plane: primaries whose offer lease expired before
+	// a quorum-backed renewal (each lapse counted once, on the first fenced
+	// offer), and route-push frames delivered to connected sites.
+	obsLeaseLapses  *obs.Counter
+	obsRoutePushes  *obs.Counter
+	obsStrictFences *obs.Counter
 )
 
 func init() {
@@ -52,6 +59,9 @@ func init() {
 	obsEpochFences = r.Counter(`dds_wire_fence_rejections_total{fence="epoch"}`)
 	obsRouteFences = r.Counter(`dds_wire_fence_rejections_total{fence="route"}`)
 	obsPromotions = r.Counter("dds_wire_promotions_total")
+	obsLeaseLapses = r.Counter("dds_lease_lapses_total")
+	obsRoutePushes = r.Counter("dds_route_pushes_total")
+	obsStrictFences = r.Counter(`dds_wire_fence_rejections_total{fence="strict-route"}`)
 }
 
 // fenceEvent records one rejected frame in the control-plane event log —
@@ -60,6 +70,22 @@ func fenceEvent(fence, frameType string, frameStamp, serverStamp uint64) {
 	obs.Logger().Warn("fence rejection",
 		"fence", fence, "frame", frameType,
 		"frame_stamp", frameStamp, "server_stamp", serverStamp)
+}
+
+// leaseFenceObs records one NACKed offer frame after the server lock is
+// released: a lease lapse counts once per lapse edge (lapsed is the edge
+// flag from leaseFenceLocked); a strict-route rejection counts every NACK —
+// each one is a stale site that will retry after applying the pushed table.
+func leaseFenceObs(lapsed bool, nack string) {
+	if strings.Contains(nack, leaseLapsedText) {
+		if lapsed {
+			obsLeaseLapses.Inc()
+			obs.Logger().Warn("lease lapsed", "detail", nack)
+		}
+		return
+	}
+	obsStrictFences.Inc()
+	obs.Logger().Warn("fence rejection", "fence", "strict-route", "detail", nack)
 }
 
 // nowNanos is time.Now().UnixNano(), indirected for readability at the

@@ -321,8 +321,15 @@ func (c *SiteClient) readLoop() {
 			if !ok {
 				return
 			}
+		case FrameRoutePush:
+			// Server-initiated table broadcast: hand it to the callback
+			// outside the lock (it may park the table in a mailbox) and keep
+			// reading — the push is not an ack and returns no credit.
+			c.mu.Unlock()
+			c.routePush(&f)
+			continue
 		case FrameError:
-			c.failPipe(errors.New("wire: coordinator error: " + f.Error))
+			c.failPipe(coordError(f.Error))
 			c.mu.Unlock()
 			return
 		default:

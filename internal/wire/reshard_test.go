@@ -1,13 +1,16 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // testRouteHash mirrors the cluster router's routing hash (the SplitMix64
@@ -167,22 +170,34 @@ func TestRouteFramesRequireRouteHash(t *testing.T) {
 	}
 }
 
-// TestPartitionDeposedPrimaryIsFenced is the regression test for the gap
-// PR 3 documented: a primary deposed by a *partition* (it is alive and keeps
-// acknowledging offers, it just cannot know the group moved on) must not be
-// able to push its acknowledged-but-doomed offers into the promoted replica.
-// The fenced state-sync is the only channel those offers could travel, so
-// the assertion is: after the partition heals enough for the deposed primary
-// to push, the replica's sample contains exactly the pre-partition state —
-// none of the doomed keys — and the deposed primary learns the newer epoch
-// from the ack.
+// TestPartitionDeposedPrimaryIsFenced asserts the lease fix for the gap
+// PR 3 documented: a primary deposed by a *partition* used to keep
+// acknowledging offers it could never sync ("doomed" offers, fenced only at
+// its next state push). Under leases, the partitioned primary's quorum
+// renewals stop, its lease runs down, and it fences its OWN ingest with
+// wire.ErrLeaseLapsed within one lease interval — so no offer is ever
+// acknowledged by a primary the group has moved past, and the site replays
+// the refused offers to the promoted replica with nothing lost.
 func TestPartitionDeposedPrimaryIsFenced(t *testing.T) {
-	const s = 8
+	const (
+		s     = 8
+		lease = 150 * time.Millisecond
+	)
+	before := obs.Default().Snapshot()
+	evBase := obs.Events().Seq()
 	hasher := hashing.NewMurmur2(31)
 	primary := NewCoordinatorServer(core.NewInfiniteCoordinator(s))
 	defer primary.Close()
 	replica := NewCoordinatorServer(core.NewInfiniteCoordinator(s))
 	defer replica.Close()
+
+	// Arm the lease the way the replication plane does: a quorum-backed
+	// renewal at the primary's current epoch. One renewal buys one interval.
+	renewer := NewMemSync(primary)
+	defer renewer.Close()
+	if _, err := renewer.RenewLease(0, lease); err != nil {
+		t.Fatal(err)
+	}
 
 	site := core.NewInfiniteSite(0, hasher)
 	client, err := DialSiteMem(site, primary, Options{BatchSize: 4})
@@ -191,9 +206,13 @@ func TestPartitionDeposedPrimaryIsFenced(t *testing.T) {
 	}
 	defer client.Close()
 
-	// Pre-partition: ingest, then one state-sync catches the replica up.
+	// Pre-partition: ingest under a live lease, then one state-sync catches
+	// the replica up.
+	oracle := core.NewReference(s, hasher)
 	for i := 0; i < 200; i++ {
-		if err := client.Observe(fmt.Sprintf("pre-%d", i), 0); err != nil {
+		key := fmt.Sprintf("pre-%d", i)
+		oracle.Observe(key)
+		if err := client.Observe(key, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -206,41 +225,84 @@ func TestPartitionDeposedPrimaryIsFenced(t *testing.T) {
 	if _, err := push.Sync(0, 1, slot, u, entries); err != nil {
 		t.Fatal(err)
 	}
-	preSample := replica.Sample()
-	if len(preSample) != s {
-		t.Fatalf("replica holds %d entries pre-partition, want %d", len(preSample), s)
+	if got := replica.Sample(); len(got) != s {
+		t.Fatalf("replica holds %d entries pre-partition, want %d", len(got), s)
 	}
 
-	// The partition: clients can reach the replica but not the (still live)
-	// primary, so they promote the replica to epoch 1. The primary is NOT
-	// closed — that is the difference from a crash.
+	// The partition: the group can reach the replica but not the (still
+	// live) primary, so the replica is promoted to epoch 1 and the primary's
+	// renewals stop. The primary is NOT closed — that is the difference from
+	// a crash, and why only the lease can fence it.
 	promoter := NewMemSync(replica)
 	defer promoter.Close()
 	if epoch, err := promoter.Promote(1); err != nil || epoch != 1 {
 		t.Fatalf("promote = (%d, %v), want (1, nil)", epoch, err)
 	}
+	time.Sleep(lease + 20*time.Millisecond) // one lease interval with no renewal
 
-	// A site still on the primary's side of the partition keeps ingesting;
-	// the deposed primary acknowledges every offer. These are the doomed
-	// offers: acknowledged by a coordinator that is no longer the group's
-	// primary. Use tiny hashes so that, if they leaked into the replica,
-	// they would certainly displace sample entries.
-	doomed := make(map[string]bool)
-	dsc := NewMemSync(primary)
-	defer dsc.Close()
-	for i := 0; i < 50; i++ {
+	// A site still on the primary's side of the partition keeps ingesting.
+	// The keys are mined for tiny unit hashes so the site is certain to
+	// offer them (far below its threshold) and, were they accepted and
+	// leaked, certain to displace sample entries.
+	var doomed []string
+	for i := 0; len(doomed) < 10 && i < 2_000_000; i++ {
 		key := fmt.Sprintf("doomed-%d", i)
-		doomed[key] = true
-		if err := client.Observe(key, 1); err != nil {
-			t.Fatal(err)
+		if hasher.Unit(key) < 0.005 {
+			doomed = append(doomed, key)
 		}
 	}
-	if err := client.Flush(); err != nil {
-		t.Fatal(err)
+	if len(doomed) < 10 {
+		t.Fatal("could not mine doomed keys (hash search exhausted)")
+	}
+	var fenced error
+	for _, key := range doomed {
+		oracle.Observe(key)
+		if err := client.Observe(key, 1); err != nil && fenced == nil {
+			fenced = err
+		}
+	}
+	if err := client.Flush(); err != nil && fenced == nil {
+		fenced = err
+	}
+	if !errors.Is(fenced, ErrLeaseLapsed) {
+		t.Fatalf("offers against a lapsed lease: err = %v, want errors.Is(err, ErrLeaseLapsed)", fenced)
+	}
+	for _, e := range primary.Sample() {
+		for _, key := range doomed {
+			if e.Key == key {
+				t.Fatalf("fenced primary accepted doomed offer %q", key)
+			}
+		}
 	}
 
-	// The deposed primary's next sync push reaches the replica (say the
-	// partition heals): it must be fenced, and the ack must reveal epoch 1.
+	// The site heals exactly like the cluster client does: reconnect the
+	// surviving site node to the promoted replica and replay everything the
+	// fenced primary refused. Nothing is lost — the replica's sample is
+	// byte-identical to a reference that saw every key.
+	unacked := client.Unacked()
+	if len(unacked) == 0 {
+		t.Fatal("no unacked offers to replay; the fence should have refused them, not swallowed them")
+	}
+	healed, err := DialSiteMem(site, replica, Options{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healed.Close()
+	if err := healed.Replay(unacked); err != nil {
+		t.Fatal(err)
+	}
+	want, got := oracle.Sample(), replica.Sample()
+	if len(got) != len(want) {
+		t.Fatalf("replica sample has %d entries after replay, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || got[i].Hash != want[i].Hash {
+			t.Fatalf("replica sample[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Defense in depth: even the deposed primary's state push stays fenced
+	// by epoch, and the ack teaches it the newer epoch.
 	entries, u, slot, _ = primary.SyncState()
 	ackEpoch, err := push.Sync(0, 2, slot, u, entries)
 	if err != nil {
@@ -249,22 +311,23 @@ func TestPartitionDeposedPrimaryIsFenced(t *testing.T) {
 	if ackEpoch != 1 {
 		t.Fatalf("deposed primary's sync ack epoch = %d, want 1", ackEpoch)
 	}
-	got := replica.Sample()
-	if len(got) != len(preSample) {
-		t.Fatalf("replica sample changed size across a fenced sync: %d -> %d", len(preSample), len(got))
-	}
-	for i, e := range got {
-		if doomed[e.Key] {
-			t.Fatalf("doomed offer %q survived into the promoted replica", e.Key)
-		}
-		if e != preSample[i] {
-			t.Fatalf("replica entry %d changed across a fenced sync: %+v -> %+v", i, preSample[i], e)
-		}
-	}
-	// The epoch-1 primary (the replica) would stamp its own pushes with
-	// epoch 1; the deposed primary can never catch up without being
-	// re-promoted, because epochs only ratchet via promote frames.
 	if replica.Epoch() != 1 || !replica.Promoted() {
 		t.Fatalf("replica epoch/promoted = %d/%v, want 1/true", replica.Epoch(), replica.Promoted())
+	}
+
+	// The lapse is instrumented: one edge-triggered counter tick and one
+	// control-plane event, however many offers the fence refused.
+	after := obs.Default().Snapshot()
+	if d := after.Counter("dds_lease_lapses_total") - before.Counter("dds_lease_lapses_total"); d != 1 {
+		t.Fatalf("dds_lease_lapses_total delta = %d, want 1 (edge-triggered)", d)
+	}
+	saw := false
+	for _, ev := range obs.Events().Since(evBase) {
+		if ev.Msg == "lease lapsed" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("no lease-lapsed event recorded")
 	}
 }

@@ -28,6 +28,24 @@ var ErrDeposed = errors.New("wire: fenced by a higher epoch (sender deposed)")
 // package re-exports it.
 var ErrStaleRoute = errors.New("wire: fenced by a newer route-table version")
 
+// ErrLeaseLapsed is the lease fence: the primary's time-bounded lease has
+// expired without a quorum-backed renewal, so it NACKs offers instead of
+// accepting writes it may no longer be entitled to — the acked-but-doomed
+// window a partitioned primary otherwise has until its next fenced sync.
+// Clients retain the rejected offers and replay them once the lease renews
+// (partition healed) or a promoted member takes over. Callers detect it with
+// errors.Is; the public dds package re-exports it.
+var ErrLeaseLapsed = errors.New("wire: primary lease lapsed (offers fenced)")
+
+// leaseLapsedText is the server-side NACK string of a lease-fenced offer,
+// matched client-side to restore ErrLeaseLapsed across the wire.
+const leaseLapsedText = "primary lease lapsed"
+
+// staleRouteText is the server-side NACK string of a strict-routing fenced
+// offer (the key's hash range moved to another shard), matched client-side to
+// restore ErrStaleRoute across the wire.
+const staleRouteText = "stale route"
+
 // ErrNotSnapshottable is the typed form of a coordinator refusing a
 // state-snapshot operation because its node predates the Snapshot/Restore
 // API (today: sliding.MultiCoordinator, which has no section-level slot
@@ -47,8 +65,13 @@ const notSnapshottableText = "does not support state snapshots"
 // re-attaching the typed sentinel for snapshot-capability refusals so
 // errors.Is works across the wire.
 func coordError(msg string) error {
-	if strings.Contains(msg, notSnapshottableText) {
+	switch {
+	case strings.Contains(msg, notSnapshottableText):
 		return fmt.Errorf("wire: coordinator error: %s: %w", msg, ErrNotSnapshottable)
+	case strings.Contains(msg, leaseLapsedText):
+		return fmt.Errorf("wire: coordinator error: %s: %w", msg, ErrLeaseLapsed)
+	case strings.Contains(msg, staleRouteText):
+		return fmt.Errorf("wire: coordinator error: %s: %w", msg, ErrStaleRoute)
 	}
 	return errors.New("wire: coordinator error: " + msg)
 }
@@ -77,11 +100,37 @@ func DialSync(addr string, codec Codec) (*SyncClient, error) {
 	return &SyncClient{conn: conn, fc: fc}, nil
 }
 
+// DialSyncWrap is DialSync with transport middleware: wrap receives the
+// dialed connection's frame codec and returns the FrameConn actually used —
+// the seam through which faultnet injects seeded faults into replication
+// traffic (replica.Options.SyncWrap threads it here). A nil wrap is DialSync.
+func DialSyncWrap(addr string, codec Codec, wrap func(FrameConn) FrameConn) (*SyncClient, error) {
+	c, err := DialSync(addr, codec)
+	if err != nil {
+		return nil, err
+	}
+	if wrap != nil {
+		c.fc = wrap(c.fc)
+	}
+	return c, nil
+}
+
 // NewMemSync connects a SyncClient to an in-process coordinator server over
 // an in-memory frame pipe (see MemConn).
 func NewMemSync(srv *CoordinatorServer) *SyncClient {
 	fc := srv.ServeMem()
 	return &SyncClient{conn: fc, fc: fc}
+}
+
+// NewMemSyncWrap is NewMemSync with transport middleware, the in-memory twin
+// of DialSyncWrap: faultnet self-tests inject faults into a pipe this way
+// without touching sockets.
+func NewMemSyncWrap(srv *CoordinatorServer, wrap func(FrameConn) FrameConn) *SyncClient {
+	c := NewMemSync(srv)
+	if wrap != nil {
+		c.fc = wrap(c.fc)
+	}
+	return c
 }
 
 // Close closes the underlying connection.
@@ -96,7 +145,7 @@ func (c *SyncClient) roundTrip(f *Frame) (ackEpoch, ackSeq uint64, err error) {
 		return 0, 0, fmt.Errorf("wire: read state-ack: %w", err)
 	}
 	switch c.rframe.Type {
-	case FrameStateAck:
+	case FrameStateAck, FrameLeaseAck:
 		return c.rframe.Epoch, c.rframe.Seq, nil
 	case FrameError:
 		return 0, 0, coordError(c.rframe.Error)
@@ -120,6 +169,17 @@ func (c *SyncClient) Sync(epoch, seq uint64, slot int64, u float64, entries []ne
 // anything and doubles as the health/epoch probe.
 func (c *SyncClient) Promote(epoch uint64) (ackEpoch uint64, err error) {
 	ackEpoch, _, err = c.roundTrip(&Frame{Type: FramePromote, Epoch: epoch})
+	return ackEpoch, err
+}
+
+// RenewLease grants (or extends) the server's offer lease for the given
+// interval at the sender's epoch. The first renewal arms lease fencing on the
+// server; from then on the server NACKs offers with ErrLeaseLapsed whenever
+// the lease expires before the next renewal. ackEpoch differing from epoch
+// means the renewal was fenced (the server has been promoted past the
+// sender) and the lease was NOT extended.
+func (c *SyncClient) RenewLease(epoch uint64, interval time.Duration) (ackEpoch uint64, err error) {
+	ackEpoch, _, err = c.roundTrip(&Frame{Type: FrameLeaseRenew, Epoch: epoch, Seq: uint64(interval.Nanoseconds())})
 	return ackEpoch, err
 }
 

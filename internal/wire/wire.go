@@ -56,6 +56,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -106,7 +107,17 @@ type Frame struct {
 	// by core's own encoding, so the same frame layout replicates or hands
 	// off every sampler kind — including the sliding-window coordinator,
 	// whose candidate store never fit in a flat Entries list.
-	State   []byte               `json:"state,omitempty"`
+	State []byte `json:"state,omitempty"`
+	// Bounds, Slots, and Groups are the payload of a route-push frame: the
+	// full routing table the coordinator wants its connected sites to adopt.
+	// Bounds[i] is the inclusive lower bound of range i (half-open ranges in
+	// routing-hash space), Slots[i] the shard slot owning it, and Groups the
+	// slot-indexed replica-group addresses. Seq carries the table version —
+	// the same resharding fencing number route-update frames use — so a site
+	// that has already applied a newer table ignores the push.
+	Bounds  []uint64             `json:"bounds,omitempty"`
+	Slots   []int64              `json:"slots,omitempty"`
+	Groups  [][]string           `json:"groups,omitempty"`
 	Msg     *netsim.Message      `json:"msg,omitempty"`
 	Msgs    []netsim.Message     `json:"msgs,omitempty"`
 	Batch   []BatchEntry         `json:"batch,omitempty"`
@@ -137,6 +148,11 @@ const (
 	FrameState        = "state-frame"   // primary/prober -> node: full sampler state (sync push or snapshot reply)
 	FrameStateHandoff = "state-handoff" // reshard driver -> coordinator: absorb the carried state filtered to [Lo,Hi)
 	FrameSnapshot     = "snapshot"      // client -> coordinator: request the full state; answered by a state-frame
+	// Self-healing control-plane frames (see internal/replica for leases and
+	// internal/cluster's Resharder for pushes).
+	FrameRoutePush  = "route-push"  // coordinator -> site: adopt this routing table (version Seq)
+	FrameLeaseRenew = "lease-renew" // replication driver -> primary: hold a lease of Seq nanoseconds at Epoch
+	FrameLeaseAck   = "lease-ack"   // primary -> driver: the epoch the renewal landed on (or fenced against)
 )
 
 // CoordinatorServer exposes a coordinator node over TCP.
@@ -174,6 +190,29 @@ type CoordinatorServer struct {
 	routeVer  uint64
 	routeHash func(key string) uint64
 	mutations int
+	// Strict-routing state: once armed (by the reshard driver after a plan's
+	// restrict phase), offers for keys outside the owned range [routeLo,
+	// routeHi) are NACKed with a stale-route error instead of silently
+	// accepted — a stale external site's strays bounce back for rerouting
+	// rather than landing on a shard that will prune them at the next plan.
+	routeLo, routeHi uint64
+	routeStrict      bool
+	// Lease-based fencing state. A server that has never been granted a
+	// lease serves unconditionally (standalone / unreplicated mode). Once the
+	// replication driver grants one (a lease-renew frame), the server only
+	// accepts offers while the lease is live: a primary partitioned from its
+	// group stops accepting acked-but-doomed offers within one lease interval
+	// instead of at its next fenced sync. An accepted promote frame re-grants
+	// the lease — promotion is the group's explicit fencing decision, and the
+	// promoted member must serve immediately.
+	leaseArmed    bool
+	leaseInterval int64 // nanoseconds, from the last accepted renewal
+	leaseUntil    int64 // UnixNano expiry of the current lease
+	leaseLapsed   bool  // edge detector: first fenced offer after expiry logs once
+	// Per-connection route-push mailboxes, registered at hello (only site
+	// connections receive pushes; sync and query dialogues would misparse
+	// them) and drained by each connection's dispatch loop.
+	pushConns map[chan *Frame]struct{}
 	// Per-shard observability hooks, attached by the replica/cluster layer
 	// (SetShardObs) once the server's slot identity is known: offers counts
 	// dispatched offer messages, churn counts reply messages (each reply is
@@ -185,7 +224,11 @@ type CoordinatorServer struct {
 
 // NewCoordinatorServer wraps the given coordinator node.
 func NewCoordinatorServer(node netsim.CoordinatorNode) *CoordinatorServer {
-	return &CoordinatorServer{node: node, conns: make(map[io.Closer]struct{})}
+	return &CoordinatorServer{
+		node:      node,
+		conns:     make(map[io.Closer]struct{}),
+		pushConns: make(map[chan *Frame]struct{}),
+	}
 }
 
 // Listen starts accepting site connections on addr (e.g. "127.0.0.1:0").
@@ -264,6 +307,80 @@ func (s *CoordinatorServer) RouteVersion() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.routeVer
+}
+
+// RestrictRoute arms strict routing: from now on, offers for keys whose
+// routing hash falls outside the server's owned range (as assigned by the
+// last applied route-update frame) are NACKed with a stale-route error. The
+// reshard driver arms it after a plan's restrict phase, when every
+// registered site has flipped — anything still offering out-of-range keys
+// is a stale external site whose strays would otherwise be silently pruned
+// by the next plan. Requires a routing hash (SetRouteHash).
+func (s *CoordinatorServer) RestrictRoute() {
+	s.mu.Lock()
+	s.routeStrict = true
+	s.mu.Unlock()
+}
+
+// LeaseValid reports whether this server holds a live lease. A server that
+// has never been granted one reports true: leasing is armed by the first
+// lease-renew frame, so standalone deployments are unaffected.
+func (s *CoordinatorServer) LeaseValid() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.leaseArmed || nowNanos() <= s.leaseUntil
+}
+
+// PushRoute broadcasts a route-push frame to every connected site (every
+// connection that has completed the hello handshake), returning how many
+// mailboxes accepted it. Delivery is best-effort — a site whose mailbox is
+// full misses this push and recovers through the stale-route NACK path —
+// and the frame's version fence makes re-delivery harmless.
+func (s *CoordinatorServer) PushRoute(f *Frame) int {
+	s.mu.Lock()
+	targets := make([]chan *Frame, 0, len(s.pushConns))
+	for ch := range s.pushConns {
+		targets = append(targets, ch)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, ch := range targets {
+		g := copyFrame(f)
+		select {
+		case ch <- &g:
+			n++
+		default: // mailbox full; the fence makes skipping safe
+		}
+	}
+	if n > 0 {
+		obsRoutePushes.Add(uint64(n))
+	}
+	return n
+}
+
+// leaseFenceLocked checks the lease fence of the offer path, returning the
+// NACK text for a rejected frame ("" accepts). Callers hold s.mu. The
+// lease-lapse edge is detected once per lapse; the caller emits the counter
+// and event after unlocking via the returned lapsed flag.
+func (s *CoordinatorServer) leaseFenceLocked() (nack string, lapsed bool) {
+	if !s.leaseArmed || nowNanos() <= s.leaseUntil {
+		return "", false
+	}
+	if !s.leaseLapsed {
+		s.leaseLapsed = true
+		lapsed = true
+	}
+	return leaseLapsedText + ": offers fenced pending renewal or promotion", lapsed
+}
+
+// routeFenceLocked checks the strict-routing fence for one offered key,
+// returning the NACK text for an out-of-range offer ("" accepts). Callers
+// hold s.mu. It is a no-op until RestrictRoute arms it.
+func (s *CoordinatorServer) routeFenceLocked(key string) string {
+	if s.routeStrict && s.routeHash != nil && !routeInRange(s.routeHash(key), s.routeLo, s.routeHi) {
+		return staleRouteText + ": this shard no longer owns the key's range"
+	}
+	return ""
 }
 
 // routeInRange reports whether routing hash x falls in [lo, hi), where
@@ -412,6 +529,20 @@ func (s *CoordinatorServer) handle(conn net.Conn) {
 func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 	siteID := -1
 
+	// Route-push mailbox: registered once the connection identifies itself as
+	// a site (hello), drained by the dispatch loop below between inbound
+	// frames. Sync and query dialogues never send hello, so they never see a
+	// push frame mid-exchange.
+	pushCh := make(chan *Frame, 8)
+	pushRegistered := false
+	defer func() {
+		if pushRegistered {
+			s.mu.Lock()
+			delete(s.pushConns, pushCh)
+			s.mu.Unlock()
+		}
+	}()
+
 	const frameRing = 3
 	frames := make(chan *Frame, frameRing-1) // decoded, in arrival order
 	free := make(chan *Frame, frameRing)     // recycled buffers
@@ -473,10 +604,30 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 		ack := Frame{Type: FrameReplies, Seq: deferredSeq}
 		return fc.WriteFrame(&ack)
 	}
-	for f := range frames {
+	for {
+		var f *Frame
+		select {
+		case pf := <-pushCh:
+			if err := writeFlush(fc, pf); err != nil {
+				return
+			}
+			continue
+		case f = <-frames:
+		}
+		if f == nil {
+			return // frames closed: connection done
+		}
 		switch f.Type {
 		case FrameHello:
 			siteID = f.Site
+			if !pushRegistered {
+				s.mu.Lock()
+				if !s.closing {
+					s.pushConns[pushCh] = struct{}{}
+					pushRegistered = true
+				}
+				s.mu.Unlock()
+			}
 			// Hello produces no response frame of its own, so push any
 			// deferred ack out now — every non-batch frame must, or a
 			// conforming peer that interleaves one could wait forever.
@@ -489,6 +640,17 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 		case FrameOffer:
 			if f.Msg == nil || siteID < 0 {
 				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "offer before hello or missing msg"})
+				return
+			}
+			s.mu.Lock()
+			nack, lapsed := s.leaseFenceLocked()
+			if nack == "" {
+				nack = s.routeFenceLocked(f.Msg.Key)
+			}
+			s.mu.Unlock()
+			if nack != "" {
+				leaseFenceObs(lapsed, nack)
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: nack})
 				return
 			}
 			msg := *f.Msg
@@ -515,6 +677,24 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			// serial section the pipeline's ceiling.
 			replies = replies[:0]
 			s.mu.Lock()
+			// Fence the whole frame before applying any of it: a NACKed batch
+			// must stay all-or-nothing so the client's retained copy replays
+			// cleanly. The lease check is one comparison; the per-key range
+			// check only runs once strict routing is armed.
+			nack, lapsed := s.leaseFenceLocked()
+			if nack == "" && s.routeStrict {
+				for i := range f.Batch {
+					if nack = s.routeFenceLocked(f.Batch[i].Msg.Key); nack != "" {
+						break
+					}
+				}
+			}
+			if nack != "" {
+				s.mu.Unlock()
+				leaseFenceObs(lapsed, nack)
+				_ = writeFlush(fc, &Frame{Type: FrameError, Error: nack})
+				return
+			}
 			for i := range f.Batch {
 				// Stamp the sender in place: the decoded batch is scratch,
 				// and copying each ~60-byte message twice per offer would
@@ -603,12 +783,48 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			if accepted {
 				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
 				s.promoted = true
+				// Promotion is the group's explicit decision that this member
+				// now leads: re-grant its lease so a freshly promoted replica
+				// is immediately offerable rather than fenced until the first
+				// renewal round reaches it.
+				if s.leaseArmed {
+					s.leaseUntil = nowNanos() + s.leaseInterval
+					s.leaseLapsed = false
+				}
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
 			s.mu.Unlock()
 			if accepted {
 				obsPromotions.Inc()
 				obs.Logger().Info("promotion accepted", "epoch", f.Epoch)
+			}
+			if err := flushAck(); err != nil {
+				return
+			}
+			if err := writeFlush(fc, &resp); err != nil {
+				return
+			}
+		case FrameLeaseRenew:
+			// The replication driver renews this primary's lease after a
+			// quorum of its group acknowledged the latest sync round. The
+			// first renewal arms lease fencing (standalone coordinators never
+			// see one and serve unconditionally); f.Seq carries the lease
+			// interval in nanoseconds. A renewal stamped with a different
+			// epoch comes from a driver that has been lapped by a promotion
+			// and is fenced — the ack's epoch tells it so.
+			s.mu.Lock()
+			fenced := f.Epoch != s.epoch
+			if !fenced {
+				s.leaseArmed = true
+				s.leaseInterval = int64(f.Seq)
+				s.leaseUntil = nowNanos() + s.leaseInterval
+				s.leaseLapsed = false
+			}
+			resp = Frame{Type: FrameLeaseAck, Epoch: s.epoch, Seq: s.syncSeq}
+			s.mu.Unlock()
+			if fenced {
+				obsEpochFences.Inc()
+				fenceEvent("epoch", f.Type, f.Epoch, resp.Epoch)
 			}
 			if err := flushAck(); err != nil {
 				return
@@ -644,6 +860,11 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			fenced := f.Seq <= s.routeVer
 			if !fenced {
 				s.routeVer = f.Seq
+				// Remember the owned range: if RestrictRoute arms strict
+				// routing later (the reshard driver does so once every
+				// registered site has flipped), offers outside it are NACKed
+				// instead of silently landing on a shard that will prune them.
+				s.routeLo, s.routeHi = f.Lo, f.Hi
 				if isSnap {
 					keep := func(key string) bool { return routeInRange(s.routeHash(key), f.Lo, f.Hi) }
 					if err := sn.Restore(core.FilterState(sn.Snapshot(), keep)); err != nil {
@@ -922,7 +1143,32 @@ type Options struct {
 	// dialogue. DefaultWindow is a good starting point on localhost; see the
 	// README for tuning guidance.
 	Window int
+	// OnRoutePush, when set, receives server-initiated route-push frames: the
+	// coordinator broadcasting a new routing table mid-reshard so connected
+	// sites flip live instead of discovering the move on their next NACK. The
+	// frame is a deep copy the callback may retain. It is invoked from
+	// whichever goroutine reads the connection (the caller's in synchronous
+	// mode, the pipeline reader otherwise), so implementations must be quick
+	// and must not call back into the SiteClient.
+	OnRoutePush func(*Frame)
+	// RetryMax and RetryBase set the recovery policy of the failover layers
+	// built on this transport (cluster.SiteClient, dds.Open): at most
+	// RetryMax retries per operation against a lease-fenced primary, backing
+	// off exponentially from RetryBase with jitter before each. Zero values
+	// take DefaultRetryMax / DefaultRetryBase; RetryMax < 0 disables lease
+	// waiting (the first lapse triggers promotion of the next member).
+	RetryMax  int
+	RetryBase time.Duration
 }
+
+// Default retry policy: five waits starting at 5ms roughly double to an
+// ~150ms total budget — long enough for a transient sync-plane hiccup to
+// heal (one to two default lease intervals), short enough that a genuinely
+// lost quorum fails over before ingest stalls noticeably.
+const (
+	DefaultRetryMax  = 5
+	DefaultRetryBase = 5 * time.Millisecond
+)
 
 // DefaultWindow is the pipeline depth used by callers that enable pipelining
 // without choosing a width: deep enough to hide a localhost round trip
@@ -1205,22 +1451,40 @@ func (c *SiteClient) stash(slot int64, env netsim.Envelope, rest []netsim.Envelo
 	}
 }
 
-// readReplies reads one replies frame, surfacing protocol errors. The
-// returned slice is only valid until the next read (it aliases the client's
-// reusable read frame).
+// readReplies reads one replies frame, surfacing protocol errors as typed
+// coordinator errors (lease and route fences keep their sentinels across the
+// wire). Server-initiated route-push frames interleaved before the reply are
+// handed to Options.OnRoutePush and skipped. The returned slice is only
+// valid until the next read (it aliases the client's reusable read frame).
 func (c *SiteClient) readReplies() ([]netsim.Message, error) {
-	if err := c.fc.ReadFrame(&c.rframe); err != nil {
-		return nil, fmt.Errorf("wire: read replies: %w", err)
+	for {
+		if err := c.fc.ReadFrame(&c.rframe); err != nil {
+			return nil, fmt.Errorf("wire: read replies: %w", err)
+		}
+		switch c.rframe.Type {
+		case FrameReplies:
+			c.received += len(c.rframe.Msgs)
+			return c.rframe.Msgs, nil
+		case FrameRoutePush:
+			c.routePush(&c.rframe)
+		case FrameError:
+			return nil, coordError(c.rframe.Error)
+		default:
+			return nil, errors.New("wire: unexpected frame " + c.rframe.Type)
+		}
 	}
-	switch c.rframe.Type {
-	case FrameReplies:
-		c.received += len(c.rframe.Msgs)
-		return c.rframe.Msgs, nil
-	case FrameError:
-		return nil, errors.New("wire: coordinator error: " + c.rframe.Error)
-	default:
-		return nil, errors.New("wire: unexpected frame " + c.rframe.Type)
+}
+
+// routePush hands one server-initiated route-push frame to the configured
+// callback. The frame is deep-copied first: the caller's frame buffer is
+// reused by the next read, while the callback may hold the table (typically
+// parking it in a mailbox applied between batches).
+func (c *SiteClient) routePush(f *Frame) {
+	if c.opts.OnRoutePush == nil {
+		return
 	}
+	g := copyFrame(f)
+	c.opts.OnRoutePush(&g)
 }
 
 // Query opens a short-lived JSON connection to the coordinator at addr and
