@@ -25,6 +25,7 @@ import (
 	"repro/dds"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/wire"
 )
@@ -51,6 +52,7 @@ func main() {
 		benchFailover = flag.Bool("bench-failover", true, "include the kill/promote failover benchmark in -cluster-bench (fails on reference divergence)")
 		benchReshard  = flag.Bool("bench-reshard", true, "include the online split/merge reshard benchmark in -cluster-bench (fails on reference divergence)")
 		benchSlidingF = flag.Bool("bench-sliding-failover", true, "include the sliding-window kill/promote benchmark in -cluster-bench (fails on window-minimum divergence)")
+		benchTracing  = flag.Bool("bench-tracing", true, "include the trace-sampling overhead comparison in -cluster-bench (ingest at sample rates 0, 0.01, 1.0)")
 		benchWindowSl = flag.Int64("bench-window-slots", 60, "sliding-window length in slots for -bench-sliding-failover")
 		benchReplicas = flag.Int("bench-replicas", 1, "warm replicas per shard for the failover and reshard benchmarks")
 		benchSyncInt  = flag.Duration("bench-sync-interval", 50*time.Millisecond, "replica sync interval for the failover and reshard benchmarks")
@@ -58,7 +60,7 @@ func main() {
 	flag.Parse()
 
 	if *clusterBench {
-		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchSlidingF, *benchWindowSl, *benchReplicas, *benchSyncInt); err != nil {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchSlidingF, *benchTracing, *benchWindowSl, *benchReplicas, *benchSyncInt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -161,6 +163,13 @@ type clusterBenchReport struct {
 	// the generic state frames (see cluster.RunSlidingFailoverBench). Every
 	// run has passed the window-minimum-vs-brute-force check.
 	SlidingFailover *slidingFailoverReport `json:"sliding_failover,omitempty"`
+	// Tracing compares flood-mode pipelined ingest throughput at trace sample
+	// rates 0 (the default: one atomic load per batch, no allocations), 1%
+	// (the suggested production rate), and 100% (every batch records a full
+	// cross-plane span timeline). The sampled-off run doubles as the proof
+	// that carrying trace fields in every wire frame costs nothing when
+	// tracing is disabled.
+	Tracing *tracingReport `json:"tracing,omitempty"`
 	// Metrics is the process's full observability snapshot taken after every
 	// benchmark section ran: wire frame/byte counters, per-shard offer and
 	// churn counters, replica sync totals, failover and reshard phase
@@ -207,6 +216,24 @@ type failoverReport struct {
 	WorstPostKillRatio float64 `json:"worst_post_kill_ratio"`
 }
 
+// tracingReport is the tracing section of BENCH_cluster.json: the same
+// flood-mode pipelined ingest configuration run at three trace sample rates.
+type tracingReport struct {
+	Shards int            `json:"shards"`
+	Runs   []tracingPoint `json:"runs"`
+	// SpansRecorded is how many spans the 100% run left in the flight
+	// recorder ring (bounded by the ring size; proves spans actually flowed).
+	SpansRecorded int `json:"spans_recorded"`
+}
+
+type tracingPoint struct {
+	SampleRate float64 `json:"sample_rate"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// RelativeToOff is this run's ops_per_sec over the sample-rate-0 run's —
+	// the throughput retained when tracing at this rate.
+	RelativeToOff float64 `json:"relative_to_off"`
+}
+
 // pipelineReport compares synchronous and pipelined batched-binary ingest in
 // flood mode (one offer per element on the wire), sweeping the credit window
 // size at two batch sizes. Flood mode isolates transport throughput: the
@@ -243,7 +270,7 @@ type pipelinePoint struct {
 // the pipeline window sweep and writes the machine-readable report to path.
 // If requireSpeedup > 0 and the best pipelined window does not beat the
 // synchronous path by that factor, an error is returned (the CI smoke gate).
-func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard, slidingFailover bool, windowSlots int64, replicas int, syncInterval time.Duration) error {
+func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard, slidingFailover, tracing bool, windowSlots int64, replicas int, syncInterval time.Duration) error {
 	report := &clusterBenchReport{
 		GeneratedUnix:        time.Now().Unix(),
 		Elements:             elements,
@@ -310,6 +337,13 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 
 	if slidingFailover {
 		report.SlidingFailover, err = runSlidingFailoverBench(elements, maxShards, windowSlots, replicas, syncInterval, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	if tracing {
+		report.Tracing, err = runTracingBench(elements, maxShards, seed)
 		if err != nil {
 			return err
 		}
@@ -461,6 +495,44 @@ func runReshardBench(elements, shards, replicas int, syncInterval time.Duration,
 			shards, replicas, window, res.BeforeOpsPerSec, res.DuringOpsPerSec, res.AfterOpsPerSec, ratio,
 			res.SplitCutoverStallSec*1000, res.WarmEntries, res.SettleEntries)
 	}
+	return rep, nil
+}
+
+// runTracingBench measures the cost of trace sampling on the ingest hot
+// path: the same flood-mode pipelined configuration (binary, batch 64,
+// window 8) run with tracing off, at the 1% production rate, and at 100%.
+// The rate is process-wide, so it is restored to 0 before returning no
+// matter how the runs end.
+func runTracingBench(elements, shards int, seed uint64) (*tracingReport, error) {
+	rep := &tracingReport{Shards: shards}
+	defer obs.SetTraceSampleRate(0)
+	baseline := 0.0
+	for _, rate := range []float64{0, 0.01, 1.0} {
+		cfg := cluster.DefaultBenchConfig()
+		cfg.Shards = shards
+		cfg.Elements = elements
+		cfg.Distinct = elements / 4
+		cfg.Codec = wire.CodecBinary
+		cfg.Batch = 64
+		cfg.Window = 8
+		cfg.Flood = true
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		obs.SetTraceSampleRate(rate)
+		res, err := cluster.RunIngestBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if baseline == 0 {
+			baseline = res.OpsPerSec
+		}
+		point := tracingPoint{SampleRate: rate, OpsPerSec: res.OpsPerSec, RelativeToOff: res.OpsPerSec / baseline}
+		rep.Runs = append(rep.Runs, point)
+		fmt.Fprintf(os.Stderr, "[tracing-bench shards=%d flood batch=64 window=8 sample=%g: %.0f ops/s (%.2fx of untraced)]\n",
+			shards, rate, point.OpsPerSec, point.RelativeToOff)
+	}
+	rep.SpansRecorded = len(obs.Traces().Spans())
 	return rep, nil
 }
 

@@ -94,6 +94,7 @@ type nodeFlags struct {
 	Metrics      string
 	Scrape       string
 	Require      string
+	TraceSample  float64
 }
 
 // validateFlags rejects contradictory or nonsensical flag combinations with
@@ -165,6 +166,12 @@ func validateFlags(f nodeFlags) error {
 		if f.Admin != "" && f.Metrics == f.Admin {
 			return fmt.Errorf("-metrics %s collides with -admin: the metrics endpoint needs its own address", f.Metrics)
 		}
+	}
+	if f.TraceSample < 0 || f.TraceSample > 1 {
+		return fmt.Errorf("-trace-sample %v: the trace sample rate is a probability in [0, 1]", f.TraceSample)
+	}
+	if f.Role == "scrape" && f.TraceSample > 0 {
+		return fmt.Errorf("-trace-sample is meaningless for -role scrape: the scrape client records no spans; set it on the node being scraped")
 	}
 	if f.Role == "scrape" && f.Scrape == "" {
 		return fmt.Errorf("-role scrape requires -scrape (the metrics endpoint to check, ADDR or URL)")
@@ -244,12 +251,16 @@ func main() {
 	flag.StringVar(&f.Metrics, "metrics", "", "serve live introspection on this host:port — /metrics, /debug/vars, /debug/events, /debug/pprof (coordinator and replica roles)")
 	flag.StringVar(&f.Scrape, "scrape", "", "scrape role: metrics endpoint to fetch and check (host:port or full URL)")
 	flag.StringVar(&f.Require, "require", "", "scrape role: comma-separated metric families that must be present with a nonzero total")
+	flag.Float64Var(&f.TraceSample, "trace-sample", 0, "fraction of ingest batches to trace with full cross-plane span timelines (/debug/traces); 0 disables, 1 traces everything")
 	flag.Parse()
 
 	if err := validateFlags(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Process-wide: covers every role, the wire-level replica role included
+	// (the dds roles also set it through WithTraceSampling).
+	obs.SetTraceSampleRate(f.TraceSample)
 
 	switch f.Role {
 	case "coordinator":
@@ -282,7 +293,7 @@ func serveMetrics(f nodeFlags) string {
 	}
 	go func() { _ = http.Serve(ln, dds.MetricsHandler()) }()
 	addr := ln.Addr().String()
-	fmt.Printf("metrics listening on http://%s/metrics (also /debug/vars, /debug/events, /debug/pprof)\n", addr)
+	fmt.Printf("metrics listening on http://%s/metrics (also /debug/vars, /debug/events, /debug/traces, /debug/pprof)\n", addr)
 	return addr
 }
 
@@ -305,6 +316,9 @@ func (f nodeFlags) options() []dds.Option {
 	}
 	if f.RetryMax != 0 || f.RetryBase != 0 {
 		opts = append(opts, dds.WithRetry(f.RetryMax, f.RetryBase))
+	}
+	if f.TraceSample > 0 {
+		opts = append(opts, dds.WithTraceSampling(f.TraceSample))
 	}
 	return opts
 }

@@ -139,6 +139,20 @@ func TestValidateFlags(t *testing.T) {
 			f.Role = "scrape"
 			f.Scrape = "127.0.0.1:9100"
 		}, ""},
+		// -trace-sample is a probability and only meaningful on nodes that
+		// record spans — the scrape client records none.
+		{"trace sample above one", func(f *nodeFlags) { f.TraceSample = 1.5 }, "-trace-sample"},
+		{"negative trace sample", func(f *nodeFlags) { f.TraceSample = -0.01 }, "-trace-sample"},
+		{"trace sample on scrape role", func(f *nodeFlags) {
+			f.Role = "scrape"
+			f.Scrape = "127.0.0.1:9100"
+			f.TraceSample = 0.5
+		}, "meaningless for -role scrape"},
+		{"one percent trace sample is fine", func(f *nodeFlags) { f.TraceSample = 0.01 }, ""},
+		{"full trace sample is fine", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.TraceSample = 1
+		}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

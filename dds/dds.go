@@ -34,6 +34,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sliding"
 	"repro/internal/wire"
 )
@@ -115,6 +116,9 @@ type Config struct {
 	retryMax     int
 	retryBase    time.Duration
 	admin        string
+
+	traceSample    float64
+	traceSampleSet bool
 }
 
 // Option configures transport, window, and replication behavior for Open,
@@ -165,6 +169,18 @@ func WithLease(d time.Duration) Option { return func(cfg *Config) { cfg.lease = 
 // max < 0 disables lease waiting, so the first fence triggers promotion.
 func WithRetry(max int, base time.Duration) Option {
 	return func(cfg *Config) { cfg.retryMax = max; cfg.retryBase = base }
+}
+
+// WithTraceSampling sets the process-wide trace sample rate: the fraction of
+// ingest batches (and control-plane operations) that record a full
+// cross-plane span timeline, browsable at the metrics listener's
+// /debug/traces. 0 (the default) disables tracing — the decision then costs
+// one atomic load and the unsampled hot path allocates nothing. 1 traces
+// everything; production deployments typically run 0.01 or lower. The rate
+// is a process-wide setting shared by every Client and Cluster in the
+// process; the last Open or Serve that used this option wins.
+func WithTraceSampling(rate float64) Option {
+	return func(cfg *Config) { cfg.traceSample = rate; cfg.traceSampleSet = true }
 }
 
 // WithAdmin names a cluster admin listener. For Serve it is the address to
@@ -264,6 +280,8 @@ func (cfg Config) normalize(opts []Option) (Config, error) {
 		return cfg, fmt.Errorf("dds: lease fencing needs replicas (the lease is renewed by quorum acks); set WithReplicas")
 	case cfg.retryBase < 0:
 		return cfg, fmt.Errorf("dds: retry base %v must not be negative", cfg.retryBase)
+	case cfg.traceSample < 0 || cfg.traceSample > 1:
+		return cfg, fmt.Errorf("dds: trace sample rate %v must be in [0, 1]", cfg.traceSample)
 	}
 	if _, err := wire.ParseCodec(string(cfg.codec)); err != nil {
 		return cfg, fmt.Errorf("dds: unknown codec %q (want %q or %q)", cfg.codec, CodecJSON, CodecBinary)
@@ -330,6 +348,9 @@ func Open(ctx context.Context, cfg Config, opts ...Option) (*Client, error) {
 	cfg, err := cfg.normalize(opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.traceSampleSet {
+		obs.SetTraceSampleRate(cfg.traceSample)
 	}
 	router, groups, err := resolveTopology(ctx, &cfg)
 	if err != nil {

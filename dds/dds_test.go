@@ -270,6 +270,12 @@ func TestOpenValidationAndContext(t *testing.T) {
 	if _, err := dds.Open(ctx, dds.Config{Coordinators: [][]string{{"127.0.0.1:1"}}}, dds.WithRetry(3, -time.Millisecond)); err == nil {
 		t.Fatal("Open with negative retry base succeeded")
 	}
+	if _, err := dds.Open(ctx, dds.Config{Coordinators: [][]string{{"127.0.0.1:1"}}}, dds.WithTraceSampling(1.5)); err == nil {
+		t.Fatal("Open with trace sample rate above 1 succeeded")
+	}
+	if _, err := dds.Open(ctx, dds.Config{Coordinators: [][]string{{"127.0.0.1:1"}}}, dds.WithTraceSampling(-0.1)); err == nil {
+		t.Fatal("Open with negative trace sample rate succeeded")
+	}
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
 	if _, err := dds.Open(cancelled, dds.Config{Coordinators: [][]string{{"127.0.0.1:1"}}}); !errors.Is(err, context.Canceled) {

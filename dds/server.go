@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/sliding"
 )
@@ -42,6 +43,9 @@ func Serve(ctx context.Context, cfg Config, opts ...Option) (*Cluster, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if cfg.traceSampleSet {
+		obs.SetTraceSampleRate(cfg.traceSample)
 	}
 	router := cluster.NewShardRouter(cfg.Shards, cfg.hasher())
 	newCoord := func(shard, member int) netsim.CoordinatorNode {

@@ -46,11 +46,15 @@ func reshardPlans(op string) *obs.Counter {
 }
 
 // reshardPhase records one plan phase: its duration lands in the per-phase
-// histogram and one Info event marks it in the control-plane trail.
-func reshardPhase(op, phase string, version uint64, start time.Time) {
+// histogram, one Info event marks it in the control-plane trail, and — when
+// the plan is traced — a "reshard_<phase>" span joins the plan's timeline.
+func reshardPhase(tc obs.TraceContext, op, phase string, version uint64, start time.Time) {
 	d := time.Since(start).Nanoseconds()
 	obs.Default().Histogram(fmt.Sprintf("dds_reshard_phase_ns{phase=%q}", phase), obs.ExpBuckets(1000, 4, 12)).Observe(d)
 	obs.Logger().Info("reshard phase", "op", op, "phase", phase, "version", version, "ns", d)
+	if tc.Sampled() {
+		obs.StageSpan(tc, "reshard_"+phase, start.UnixNano(), start.UnixNano()+d)
+	}
 }
 
 // shardObs builds the per-slot offer/churn counters injected into bare

@@ -3,7 +3,9 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -57,6 +59,11 @@ func TestPartitionChaosSelfHeals(t *testing.T) {
 	)
 	before := obs.Default().Snapshot()
 	evBase := obs.Events().Seq()
+	// The whole run is traced at 100%: the final assertions require at least
+	// one recorded trace linking all three planes, proving context propagation
+	// survives the same chaos the data plane does.
+	obs.SetTraceSampleRate(1)
+	defer obs.SetTraceSampleRate(0)
 
 	hasher := hashing.NewMurmur2(seed)
 	all := dataset.OC48(0.0002, seed).Generate() // Zipf 1.2: the skewed ingest
@@ -186,14 +193,31 @@ func TestPartitionChaosSelfHeals(t *testing.T) {
 		}
 	}
 
+	// syncNow forces rounds until one completes cleanly. The sync plane is
+	// faulty by construction, so a forced round can lose its state-frame to
+	// the injector even after push's one redial; the background loop would
+	// simply heal on the next tick, and quiescing needs exactly one clean
+	// round — so retry injected losses and fail on anything else.
+	syncNow := func(label string) {
+		t.Helper()
+		var err error
+		for attempt := 0; attempt < 20; attempt++ {
+			if err = srv.SyncNow(); err == nil {
+				return
+			}
+			if !errors.Is(err, faultnet.ErrInjected) {
+				break
+			}
+		}
+		t.Fatalf("%s: %v", label, err)
+	}
+
 	// Chunk 0: clean ingest, then one forced sync round so every group's
 	// quorum renewal lands and arms its primary's lease before the outage
 	// (ingest can outrun the first ticker round).
 	ingestChunk(0, nil)
 	checkChunk(0)
-	if err := srv.SyncNow(); err != nil {
-		t.Fatalf("arming sync: %v", err)
-	}
+	syncNow("arming sync")
 
 	// Chunk 1: sever the whole sync plane for longer than a lease, so every
 	// primary's renewals stop and its lease runs down BEFORE the chunk's
@@ -218,9 +242,7 @@ func TestPartitionChaosSelfHeals(t *testing.T) {
 			t.Fatalf("quiesce flush: %v", err)
 		}
 	}
-	if err := srv.SyncNow(); err != nil {
-		t.Fatalf("quiesce sync: %v", err)
-	}
+	syncNow("quiesce sync")
 	victim := rs.Table().Slots[0]
 	if _, err := srv.KillPrimary(victim); err != nil {
 		t.Fatalf("kill shard %d: %v", victim, err)
@@ -249,6 +271,9 @@ func TestPartitionChaosSelfHeals(t *testing.T) {
 			t.Fatalf("close site %d: %v", site, err)
 		}
 	}
+	// One more forced round so the last sampled ingest batch's stashed trace
+	// is adopted by a sync round, completing a site→shard→replica timeline.
+	syncNow("final sync")
 
 	// The healing machinery demonstrably ran. Deltas, not absolutes — the
 	// registry is process-global.
@@ -274,5 +299,53 @@ func TestPartitionChaosSelfHeals(t *testing.T) {
 	}
 	if !sawLapse {
 		t.Fatal("no lease-lapsed event in the control-plane trail")
+	}
+
+	// The tracing tentpole demonstrably worked end to end: one trace must link
+	// the site plane (batch assembly and acks), the shard plane (coordinator
+	// decode/lock/offer), and the replica plane (the sync round that adopted
+	// the batch's context) — and the run's lease renewals and the split's
+	// route push must each have recorded their spans.
+	plane := func(stage string) int {
+		switch {
+		case strings.HasPrefix(stage, "site_") || strings.HasPrefix(stage, "credit_"):
+			return 0
+		case strings.HasPrefix(stage, "coord_"):
+			return 1
+		case strings.HasPrefix(stage, "sync_") || strings.HasPrefix(stage, "replica_") || strings.HasPrefix(stage, "lease_"):
+			return 2
+		}
+		return -1
+	}
+	planes := map[uint64][3]bool{}
+	sawLease, sawPush := false, false
+	for _, sp := range obs.Traces().Spans() {
+		if sp.Stage == obs.StageLeaseRenew {
+			sawLease = true
+		}
+		if sp.Stage == obs.StageRoutePush {
+			sawPush = true
+		}
+		if p := plane(sp.Stage); p >= 0 {
+			m := planes[sp.TraceID]
+			m[p] = true
+			planes[sp.TraceID] = m
+		}
+	}
+	crossPlane := false
+	for _, m := range planes {
+		if m[0] && m[1] && m[2] {
+			crossPlane = true
+			break
+		}
+	}
+	if !crossPlane {
+		t.Fatal("no recorded trace spans all three planes (site, shard, replica)")
+	}
+	if !sawLease {
+		t.Fatal("no lease_renew span recorded across the run")
+	}
+	if !sawPush {
+		t.Fatal("no route_push span recorded for the split's cutover")
 	}
 }

@@ -136,6 +136,7 @@ func (r *Resharder) Split(slot int, mid uint64) (*ReshardReport, error) {
 		return nil, err
 	}
 	rep := &ReshardReport{Op: "split", Version: next.Version, Donor: slot, Successor: newSlot, Lo: mid, Hi: hi}
+	tc := obs.StartTrace() // one trace spans every phase of the plan
 	// Phase 1: the new shard learns its range and version before anything
 	// else, so the warm handoff below cannot be misfiltered or unfenced.
 	phaseStart := time.Now()
@@ -143,7 +144,7 @@ func (r *Resharder) Split(slot int, mid uint64) (*ReshardReport, error) {
 		_ = r.srv.RetireGroup(newSlot)
 		return nil, fmt.Errorf("cluster: split: assign range to new shard: %w", err)
 	}
-	reshardPhase("split", "assign", next.Version, phaseStart)
+	reshardPhase(tc, "split", "assign", next.Version, phaseStart)
 	// Phase 2: warm the new shard from the donor's snapshot while the donor
 	// keeps serving.
 	phaseStart = time.Now()
@@ -152,20 +153,20 @@ func (r *Resharder) Split(slot int, mid uint64) (*ReshardReport, error) {
 		_ = r.srv.RetireGroup(newSlot)
 		return nil, fmt.Errorf("cluster: split: warm handoff: %w", err)
 	}
-	reshardPhase("split", "warm", next.Version, phaseStart)
+	reshardPhase(tc, "split", "warm", next.Version, phaseStart)
 	// Phase 3: cut every site over to the new table.
 	phaseStart = time.Now()
-	if rep.CutoverStall, err = r.cutover(next); err != nil {
+	if rep.CutoverStall, err = r.cutover(next, tc); err != nil {
 		return nil, err
 	}
-	reshardPhase("split", "cutover", next.Version, phaseStart)
+	reshardPhase(tc, "split", "cutover", next.Version, phaseStart)
 	// Phase 4: settle the delta that reached the donor between the warm
 	// snapshot and the last site's flip.
 	phaseStart = time.Now()
 	if rep.SettleEntries, err = r.handoff(slot, newSlot, next.Version, mid, hi); err != nil {
 		return nil, fmt.Errorf("cluster: split: settling handoff: %w", err)
 	}
-	reshardPhase("split", "settle", next.Version, phaseStart)
+	reshardPhase(tc, "split", "settle", next.Version, phaseStart)
 	// Phase 5: the donor drops what it handed away, and one forced sync
 	// round propagates both shards' new state to their replicas.
 	phaseStart = time.Now()
@@ -182,7 +183,7 @@ func (r *Resharder) Split(slot int, mid uint64) (*ReshardReport, error) {
 	if err := r.srv.SyncNow(); err != nil {
 		return nil, fmt.Errorf("cluster: split: sync replicas: %w", err)
 	}
-	reshardPhase("split", "restrict", next.Version, phaseStart)
+	reshardPhase(tc, "split", "restrict", next.Version, phaseStart)
 	rep.Total = time.Since(start)
 	reshardPlans("split").Inc()
 	obsPlanNs.Observe(rep.Total.Nanoseconds())
@@ -204,6 +205,7 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 	lo, hi, _ := next.RangeOf(survivor)     // the widened range
 	mlo, mhi, _ := r.table.RangeOf(retired) // the moved (absorbed) range
 	rep := &ReshardReport{Op: "merge", Version: next.Version, Donor: retired, Successor: survivor, Lo: mlo, Hi: mhi}
+	tc := obs.StartTrace() // one trace spans every phase of the plan
 	// Phase 1: widen the survivor first (its current entries all lie inside
 	// the widened range, so the prune is a no-op; the version fence arms it
 	// for the handoff).
@@ -211,14 +213,14 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 	if err := r.routeUpdate(survivor, next.Version, lo, hi); err != nil {
 		return nil, fmt.Errorf("cluster: merge: widen survivor: %w", err)
 	}
-	reshardPhase("merge", "widen", next.Version, phaseStart)
+	reshardPhase(tc, "merge", "widen", next.Version, phaseStart)
 	// Phase 2: cut every site over; each drains and closes its connection to
 	// the absorbed shard after the flip.
 	phaseStart = time.Now()
-	if rep.CutoverStall, err = r.cutover(next); err != nil {
+	if rep.CutoverStall, err = r.cutover(next, tc); err != nil {
 		return nil, err
 	}
-	reshardPhase("merge", "cutover", next.Version, phaseStart)
+	reshardPhase(tc, "merge", "cutover", next.Version, phaseStart)
 	// Phase 3: hand the absorbed shard's full sample to the survivor. After
 	// the cutover no site routes to the absorbed slot anymore, so its sample
 	// is final.
@@ -226,7 +228,7 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 	if rep.SettleEntries, err = r.handoff(retired, survivor, next.Version, mlo, mhi); err != nil {
 		return nil, fmt.Errorf("cluster: merge: handoff: %w", err)
 	}
-	reshardPhase("merge", "settle", next.Version, phaseStart)
+	reshardPhase(tc, "merge", "settle", next.Version, phaseStart)
 	// Phase 4: retire the absorbed group and propagate.
 	phaseStart = time.Now()
 	if err := r.srv.RetireGroup(retired); err != nil {
@@ -235,7 +237,7 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 	if err := r.srv.SyncNow(); err != nil {
 		return nil, fmt.Errorf("cluster: merge: sync replicas: %w", err)
 	}
-	reshardPhase("merge", "retire", next.Version, phaseStart)
+	reshardPhase(tc, "merge", "retire", next.Version, phaseStart)
 	rep.Total = time.Since(start)
 	reshardPlans("merge").Inc()
 	obsPlanNs.Observe(rep.Total.Nanoseconds())
@@ -362,7 +364,7 @@ func (r *Resharder) withPrimary(slot int, op func(addr string) error) error {
 // plan fails (settling handoff, donor restrict, replica sync), the cluster
 // is left union-safe — the donor merely retains entries it also handed away,
 // and query-time Merge dedups — and the next plan proceeds at version+1.
-func (r *Resharder) cutover(next RangeTable) (time.Duration, error) {
+func (r *Resharder) cutover(next RangeTable, tc obs.TraceContext) (time.Duration, error) {
 	update := &RouteUpdate{Table: next.clone(), Groups: r.srv.GroupAddrs()}
 	start := time.Now()
 	for _, c := range r.sites {
@@ -372,8 +374,20 @@ func (r *Resharder) cutover(next RangeTable) (time.Duration, error) {
 	// external site processes (never Register-ed — they live outside this
 	// process) get the new table over their existing connections and flip
 	// live, instead of discovering the reshard on their first fenced offer.
-	if pushed := r.srv.PushRoute(routePushFrame(next, update.Groups)); pushed > 0 {
+	push := routePushFrame(next, update.Groups)
+	if tc.Sampled() {
+		push.SetTrace(tc.Child())
+	}
+	pushStart := time.Now()
+	if pushed := r.srv.PushRoute(push); pushed > 0 {
 		obs.Logger().Info("route table pushed", "version", next.Version, "connections", pushed)
+	}
+	// The broadcast records its own route_push span: receiving sites record a
+	// delivery span too, but a site racing its cutover redial may close the
+	// old connection before reading the push, and the plan's timeline must
+	// still show the broadcast.
+	if tc.Sampled() {
+		obs.StageSpan(tc, obs.StageRoutePush, pushStart.UnixNano(), time.Now().UnixNano())
 	}
 	r.table = next.clone()
 	deadline := start.Add(r.WaitTimeout)

@@ -5,6 +5,8 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -25,6 +27,8 @@ func publishExpvar() {
 //	/metrics       Prometheus text exposition of the default registry
 //	/debug/vars    expvar JSON (includes dds_metrics, memstats)
 //	/debug/events  the control-plane event ring as JSON, oldest first
+//	/debug/traces  the span flight recorder: one timeline per sampled
+//	               trace, plus per-stage latency quantiles
 //	/debug/pprof/  the standard runtime profiles
 func Handler() http.Handler {
 	publishExpvar()
@@ -40,10 +44,90 @@ func Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(Events().Events())
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(TracesPage())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// TraceTimeline is one sampled trace in the /debug/traces page: its spans
+// ordered by start time and the wall-clock window they cover.
+type TraceTimeline struct {
+	TraceID uint64 `json:"trace_id"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	Spans   []Span `json:"spans"`
+}
+
+// StageSummary is the aggregate latency breakdown of one stage, read from
+// its dds_trace_stage_ns histogram (bucket-interpolated quantiles), so the
+// per-stage picture outlives the flight recorder's ring.
+type StageSummary struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// TracesView is the /debug/traces payload.
+type TracesView struct {
+	SampleRate float64         `json:"sample_rate"`
+	Recorded   uint64          `json:"recorded_spans"`
+	Traces     []TraceTimeline `json:"traces"`
+	Stages     []StageSummary  `json:"stages"`
+}
+
+// TracesPage assembles the /debug/traces payload from the default flight
+// recorder and registry: one timeline per trace still in the ring (oldest
+// first), plus the per-stage quantile summary.
+func TracesPage() TracesView {
+	view := TracesView{SampleRate: TraceSampleRate(), Recorded: defaultTraces.Len()}
+	byTrace := make(map[uint64]*TraceTimeline)
+	for _, sp := range defaultTraces.Spans() { // already start-ordered
+		tl, ok := byTrace[sp.TraceID]
+		if !ok {
+			tl = &TraceTimeline{TraceID: sp.TraceID, StartNs: sp.StartNs, EndNs: sp.EndNs}
+			byTrace[sp.TraceID] = tl
+		}
+		if sp.StartNs < tl.StartNs {
+			tl.StartNs = sp.StartNs
+		}
+		if sp.EndNs > tl.EndNs {
+			tl.EndNs = sp.EndNs
+		}
+		tl.Spans = append(tl.Spans, sp)
+	}
+	view.Traces = make([]TraceTimeline, 0, len(byTrace))
+	for _, tl := range byTrace {
+		view.Traces = append(view.Traces, *tl)
+	}
+	sort.Slice(view.Traces, func(i, j int) bool { return view.Traces[i].StartNs < view.Traces[j].StartNs })
+
+	snap := Default().Snapshot()
+	for _, h := range snap.Histograms {
+		family, labels := splitSeries(h.Name)
+		if family != "dds_trace_stage_ns" || h.Count == 0 {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(labels, `stage="`), `"`)
+		view.Stages = append(view.Stages, StageSummary{
+			Stage:  stage,
+			Count:  h.Count,
+			MeanNs: h.Mean(),
+			P50Ns:  h.Quantile(0.50),
+			P90Ns:  h.Quantile(0.90),
+			P99Ns:  h.Quantile(0.99),
+		})
+	}
+	return view
 }

@@ -87,6 +87,58 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the running sum of observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// Quantile returns a linear-interpolation estimate of the q-quantile (q
+// clamped to [0, 1]) from the bucket counts, Prometheus histogram_quantile
+// style: the target rank is located in its bucket and interpolated between
+// the bucket's bounds (the first bucket interpolates up from zero).
+// Observations in the +Inf overflow bucket cap the answer at the last
+// finite bound — a histogram can't see past its buckets. An empty histogram
+// returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum := make([]uint64, len(h.bounds))
+	var c uint64
+	for i := range h.bounds {
+		c += h.counts[i].Load()
+		cum[i] = c
+	}
+	return bucketQuantile(h.bounds, cum, c+h.counts[len(h.bounds)].Load(), q)
+}
+
+// bucketQuantile is the shared interpolation core: bounds are the finite
+// bucket upper bounds, cum the cumulative count at each, total the count
+// including the +Inf bucket.
+func bucketQuantile(bounds []int64, cum []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	for i, c := range cum {
+		if float64(c) < target {
+			continue
+		}
+		lower := 0.0
+		prev := uint64(0)
+		if i > 0 {
+			lower = float64(bounds[i-1])
+			prev = cum[i-1]
+		}
+		width := float64(bounds[i]) - lower
+		inBucket := float64(c - prev)
+		return lower + width*(target-float64(prev))/inBucket
+	}
+	// Target rank lives in the +Inf bucket: the last finite bound is the
+	// most honest answer available.
+	return float64(bounds[len(bounds)-1])
+}
+
 // ExpBuckets returns n exponentially spaced bounds starting at start and
 // multiplying by factor — the usual shape for latency (ns) and size (bytes)
 // histograms.

@@ -70,52 +70,88 @@ func mergeLabels(labels, le string) string {
 }
 
 // ParsePrometheus parses Prometheus text exposition into a map of full
-// series name (labels included, as printed) to value. It accepts the subset
-// WritePrometheus emits — comment lines, blank lines, and `series value`
-// samples — and reports malformed lines as errors, which makes it a usable
-// scrape validator for CI smoke checks.
+// series name (labels included, as printed) to value. It is a tolerant
+// scrape-side parser: comment and blank lines are skipped, OpenMetrics
+// exemplar suffixes (`value # {trace_id="..."} 0.5`) and trailing
+// timestamps are stripped, and lines it cannot make sense of are silently
+// dropped rather than failing the scrape — a foreign endpoint's exotic
+// series must never panic or abort `-role scrape`. Only a read failure
+// returns an error.
 func ParsePrometheus(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	lineNo := 0
 	for sc.Scan() {
-		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		// The series name may contain spaces only inside label values; the
-		// value is the field after the closing brace (or the second field
-		// when unlabeled).
-		var series, valueText string
-		if i := strings.IndexByte(line, '{'); i >= 0 {
-			j := strings.LastIndexByte(line, '}')
-			if j < i {
-				return nil, fmt.Errorf("obs: parse prometheus line %d: unbalanced braces: %q", lineNo, line)
-			}
-			series = line[:j+1]
-			valueText = strings.TrimSpace(line[j+1:])
-		} else {
-			fields := strings.Fields(line)
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("obs: parse prometheus line %d: want `name value`, got %q", lineNo, line)
-			}
-			series, valueText = fields[0], fields[1]
+		if series, v, ok := parsePromLine(line); ok {
+			out[series] = v
 		}
-		v, err := strconv.ParseFloat(valueText, 64)
-		if err != nil {
-			return nil, fmt.Errorf("obs: parse prometheus line %d: bad value %q: %v", lineNo, valueText, err)
-		}
-		if series == "" {
-			return nil, fmt.Errorf("obs: parse prometheus line %d: empty series name", lineNo)
-		}
-		out[series] = v
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("obs: parse prometheus: %w", err)
 	}
 	return out, nil
+}
+
+// parsePromLine parses one non-comment exposition line, reporting ok=false
+// for anything malformed.
+func parsePromLine(line string) (series string, v float64, ok bool) {
+	// A label set opens before the first space (spaces and '#' may appear
+	// inside quoted label values); everything after the series name is
+	// `value [timestamp] [# exemplar]`.
+	var rest string
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		j := closingBrace(line, brace)
+		if j < 0 {
+			return "", 0, false
+		}
+		series = line[:j+1]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var found bool
+		series, rest, found = strings.Cut(line, " ")
+		if !found {
+			return "", 0, false
+		}
+		rest = strings.TrimSpace(rest)
+	}
+	if series == "" || series[0] == '{' {
+		return "", 0, false // no family name
+	}
+	// Drop an exemplar suffix, then keep only the first remaining field
+	// (the value; a second field would be the optional timestamp).
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	valueText, _, _ := strings.Cut(rest, " ")
+	f, err := strconv.ParseFloat(valueText, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return series, f, true
+}
+
+// closingBrace finds the '}' matching the label-set opener at open,
+// skipping quoted label values (backslash escapes included). Returns -1
+// when the set never closes.
+func closingBrace(line string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch c := line[i]; {
+		case inQuote && c == '\\':
+			i++
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i
+		}
+	}
+	return -1
 }
 
 // FamilyTotal sums every parsed series whose family name (the part before

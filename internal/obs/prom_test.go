@@ -82,24 +82,73 @@ func TestParsePrometheusRoundTrip(t *testing.T) {
 	}
 }
 
-func TestParsePrometheusRejectsMalformed(t *testing.T) {
+// TestParsePrometheusSkipsMalformed pins the tolerant contract: garbage
+// lines are dropped, never returned as errors — a foreign endpoint's
+// exotic exposition must not abort `-role scrape` (it used to: any
+// unparseable line failed the whole scrape).
+func TestParsePrometheusSkipsMalformed(t *testing.T) {
 	for _, bad := range []string{
 		"name_only\n",
-		"name 1 2 3\n",
 		"name notanumber\n",
 		"name{unbalanced 5\n",
+		"{} 5\n",
+		" 5\n",
+		"\x00\xff\xfe binary garbage \x01\n",
+		"name{a=\"unterminated quote} 5\n",
 	} {
-		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
-			t.Fatalf("ParsePrometheus accepted malformed line %q", bad)
+		series, err := ParsePrometheus(strings.NewReader(bad))
+		if err != nil {
+			t.Fatalf("ParsePrometheus(%q) errored: %v (tolerant parser must skip, not fail)", bad, err)
 		}
+		if len(series) != 0 {
+			t.Fatalf("ParsePrometheus(%q) = %v, want no accepted series", bad, series)
+		}
+	}
+	// A malformed line must not take its well-formed neighbours with it.
+	mixed := "good_total 3\nname_only\nother_total{k=\"v\"} 7\n"
+	series, err := ParsePrometheus(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["good_total"] != 3 || series[`other_total{k="v"}`] != 7 || len(series) != 2 {
+		t.Fatalf("series = %v, want the two well-formed lines only", series)
 	}
 	// Comments and blank lines are fine.
 	ok := "# HELP x y\n# TYPE x counter\n\nx 1\n"
-	series, err := ParsePrometheus(strings.NewReader(ok))
+	series, err = ParsePrometheus(strings.NewReader(ok))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if series["x"] != 1 {
 		t.Fatalf("series = %v", series)
+	}
+}
+
+// TestParsePrometheusToleratesForeignExposition covers the shapes real
+// scrape targets emit that WritePrometheus does not: OpenMetrics exemplar
+// suffixes, trailing timestamps, label values hiding braces and spaces.
+func TestParsePrometheusToleratesForeignExposition(t *testing.T) {
+	in := strings.Join([]string{
+		`http_requests_total{code="200"} 1027 # {trace_id="abc123"} 0.5`,
+		`rpc_duration_bucket{le="0.1"} 33444 1395066363000`,
+		`plain_with_exemplar 5 # {span_id="x y"} 1.0 1395066363000`,
+		`weird_label{msg="a } b # c"} 42`,
+		`escaped{msg="say \"hi\" } now"} 7`,
+	}, "\n")
+	series, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		`http_requests_total{code="200"}`: 1027,
+		`rpc_duration_bucket{le="0.1"}`:   33444,
+		"plain_with_exemplar":             5,
+		`weird_label{msg="a } b # c"}`:    42,
+		`escaped{msg="say \"hi\" } now"}`: 7,
+	}
+	for name, want := range checks {
+		if got, ok := series[name]; !ok || got != want {
+			t.Fatalf("series %q = %v (present=%v), want %v\nall: %v", name, got, ok, want, series)
+		}
 	}
 }

@@ -111,6 +111,18 @@ func (h HistogramValue) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile returns the interpolated q-quantile of the snapshotted
+// distribution, with the same semantics as Histogram.Quantile.
+func (h HistogramValue) Quantile(q float64) float64 {
+	bounds := make([]int64, len(h.Buckets))
+	cum := make([]uint64, len(h.Buckets))
+	for i, b := range h.Buckets {
+		bounds[i] = b.UpperBound
+		cum[i] = b.Count
+	}
+	return bucketQuantile(bounds, cum, h.Count, q)
+}
+
 // Snapshot is a stable, JSON-serializable copy of a registry's instruments,
 // sorted by name. Reads are per-instrument atomic loads: a snapshot taken
 // while recording is internally consistent per instrument (bucket counts

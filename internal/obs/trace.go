@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceContext identifies one sampled request tree as it crosses the wire: a
+// trace ID shared by every span of the tree, the span ID of the sender's
+// span (the parent of whatever the receiver records), and a flags byte. The
+// zero value means "not sampled" and is what every unsampled operation
+// carries — no allocation, no ring write, no histogram observation. Frames
+// serialize the three fields directly, so propagation is three scalars.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// FlagSampled marks a context whose spans should be recorded. (The flags
+// byte leaves room for future semantics — debug, remote-forced — without a
+// layout change.)
+const FlagSampled uint8 = 1
+
+// Sampled reports whether spans under this context should be recorded.
+func (tc TraceContext) Sampled() bool {
+	return tc.TraceID != 0 && tc.Flags&FlagSampled != 0
+}
+
+// Child derives a context for a new span within the same trace: same trace
+// ID, fresh span ID (the child's spans will name this one as parent).
+// Unsampled contexts stay zero — the hot path pays one branch.
+func (tc TraceContext) Child() TraceContext {
+	if !tc.Sampled() {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: tc.TraceID, SpanID: rand.Uint64(), Flags: tc.Flags}
+}
+
+// traceThreshold is the sampling rate rescaled to a uint64 threshold:
+// 0 = tracing off, MaxUint64 = every operation, anything else compared
+// against one rand.Uint64() draw per trace decision. Lock-free and
+// allocation-free on both the decision and the unsampled path.
+var traceThreshold atomic.Uint64
+
+// SetTraceSampleRate sets the process-wide probability (clamped to [0, 1])
+// that StartTrace begins a sampled trace. Zero (the default) disables
+// tracing entirely; the unsampled hot path then costs one atomic load.
+func SetTraceSampleRate(rate float64) {
+	switch {
+	case rate <= 0 || math.IsNaN(rate):
+		traceThreshold.Store(0)
+	case rate >= 1:
+		traceThreshold.Store(math.MaxUint64)
+	default:
+		traceThreshold.Store(uint64(rate * math.MaxUint64))
+	}
+}
+
+// TraceSampleRate returns the current sampling probability.
+func TraceSampleRate() float64 {
+	th := traceThreshold.Load()
+	if th == math.MaxUint64 {
+		return 1
+	}
+	return float64(th) / math.MaxUint64
+}
+
+// TracingEnabled reports whether any sampling rate is armed — the cheap
+// guard instrumentation sites use before paying for timestamps.
+func TracingEnabled() bool { return traceThreshold.Load() != 0 }
+
+// StartTrace makes one sampling decision and returns either a fresh sampled
+// root context or the zero (unsampled) context. It never allocates; the
+// decision is one atomic load plus at most one PRNG draw.
+func StartTrace() TraceContext {
+	th := traceThreshold.Load()
+	if th == 0 {
+		return TraceContext{}
+	}
+	if th != math.MaxUint64 && rand.Uint64() >= th {
+		return TraceContext{}
+	}
+	id := rand.Uint64()
+	for id == 0 {
+		id = rand.Uint64()
+	}
+	return TraceContext{TraceID: id, SpanID: rand.Uint64(), Flags: FlagSampled}
+}
+
+// Span is one recorded stage of a sampled trace: which trace it belongs to,
+// its own ID, the span it hangs under (the sender's span for cross-node
+// stages), the stage name, and the wall-clock window in Unix nanoseconds.
+type Span struct {
+	TraceID uint64 `json:"trace_id"`
+	SpanID  uint64 `json:"span_id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Stage   string `json:"stage"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// TraceRing is a fixed-size lock-free flight recorder for spans. Writers
+// claim a slot with one atomic add and publish the span with one atomic
+// pointer store (the span itself is freshly allocated — only sampled paths
+// ever write, so the unsampled hot path never touches the ring). Readers
+// snapshot the published pointers; a reader racing a wrap sees either the
+// old span or the new one, never a torn record.
+type TraceRing struct {
+	slots  []atomic.Pointer[Span]
+	cursor atomic.Uint64
+}
+
+// NewTraceRing returns a ring holding the last capacity spans.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[Span], capacity)}
+}
+
+// defaultTraces is the process-wide flight recorder /debug/traces serves.
+// 8k spans ≈ the last ~1k sampled batches with the full per-stage
+// breakdown — enough to hold several complete cross-plane traces even
+// under 100% sampling.
+var defaultTraces = NewTraceRing(8192)
+
+// Traces returns the process-wide span flight recorder.
+func Traces() *TraceRing { return defaultTraces }
+
+// Record appends one span, overwriting the oldest once the ring is full.
+func (r *TraceRing) Record(sp Span) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&sp)
+}
+
+// Len returns the number of spans recorded so far (monotone; not capped at
+// the ring's capacity).
+func (r *TraceRing) Len() uint64 { return r.cursor.Load() }
+
+// Spans returns a copy of the recorded spans, ordered by start time.
+func (r *TraceRing) Spans() []Span {
+	out := make([]Span, 0, len(r.slots))
+	for i := range r.slots {
+		if sp := r.slots[i].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
+	return out
+}
+
+// stageHists caches the per-stage latency histogram pointers so the sampled
+// path pays one sync.Map load, not a registry lock + name formatting.
+var stageHists sync.Map // stage name -> *Histogram
+
+// stageBounds spans 250ns .. ~17s exponentially — wide enough for a credit
+// stall or a reshard settle phase, fine enough near the bottom to separate
+// an encode from a lock wait.
+func stageBounds() []int64 { return ExpBuckets(250, 4, 13) }
+
+// StageHistogram returns the aggregate latency histogram for one stage
+// (`dds_trace_stage_ns{stage="..."}`), registering it on first use.
+func StageHistogram(stage string) *Histogram {
+	if h, ok := stageHists.Load(stage); ok {
+		return h.(*Histogram)
+	}
+	h := Default().Histogram(`dds_trace_stage_ns{stage="`+stage+`"}`, stageBounds())
+	actual, _ := stageHists.LoadOrStore(stage, h)
+	return actual.(*Histogram)
+}
+
+// Stage names for the spans the wire, replica, and cluster layers record.
+// The prefix encodes the plane (site_/credit_ = site client, coord_ = shard
+// coordinator, sync_/replica_/lease_ = replication), which is what lets the
+// chaos test assert a trace crossed all three.
+const (
+	StageSiteBatch    = "site_batch"    // first buffered offer -> batch ship
+	StageCreditWait   = "credit_wait"   // writer blocked on a full credit window
+	StageSiteWrite    = "site_write"    // batch frame encode + transport write
+	StageSiteAck      = "site_ack"      // batch send -> cumulative ack (or reply)
+	StageCoordDecode  = "coord_decode"  // coordinator-side frame decode
+	StageCoordLock    = "coord_lock"    // coordinator mutex wait
+	StageCoordOffer   = "coord_offer"   // protocol dispatch of the batch
+	StageSyncRound    = "sync_round"    // one replica-group state push round
+	StageReplicaApply = "replica_apply" // state frame restore on a replica
+	StageLeaseRenew   = "lease_renew"   // one quorum lease renewal round trip
+	StageRoutePush    = "route_push"    // pushed route table adopted by a site
+)
+
+// StageSpan records one completed span under tc: the span goes to the
+// flight-recorder ring and its duration to the stage's aggregate histogram
+// (`dds_trace_stage_ns{stage=...}`), so the breakdown survives after
+// individual traces age out of the ring. Unsampled contexts return
+// immediately — one branch, zero allocations.
+func StageSpan(tc TraceContext, stage string, startNs, endNs int64) {
+	if !tc.Sampled() {
+		return
+	}
+	StageHistogram(stage).Observe(endNs - startNs)
+	defaultTraces.Record(Span{
+		TraceID: tc.TraceID,
+		SpanID:  rand.Uint64(),
+		Parent:  tc.SpanID,
+		Stage:   stage,
+		StartNs: startNs,
+		EndNs:   endNs,
+	})
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := newHistogram([]int64{100, 1000})
+		if got := h.Quantile(0.5); got != 0 {
+			t.Fatalf("Quantile on empty histogram = %v, want 0", got)
+		}
+		if got := (HistogramValue{}).Quantile(0.5); got != 0 {
+			t.Fatalf("Quantile on empty snapshot = %v, want 0", got)
+		}
+	})
+	t.Run("single bucket interpolates from zero", func(t *testing.T) {
+		h := newHistogram([]int64{100})
+		h.Observe(40)
+		// One observation in [0, 100]: any quantile lands in that bucket and
+		// interpolates linearly across its width.
+		if got := h.Quantile(0.5); got != 100 {
+			t.Fatalf("Quantile(0.5) = %v, want 100 (rank 1 of 1 = bucket upper bound)", got)
+		}
+	})
+	t.Run("interpolates within a bucket", func(t *testing.T) {
+		h := newHistogram([]int64{100, 200})
+		for i := 0; i < 10; i++ {
+			h.Observe(150) // all ten in (100, 200]
+		}
+		got := h.Quantile(0.5)
+		if got <= 100 || got > 200 {
+			t.Fatalf("Quantile(0.5) = %v, want within (100, 200]", got)
+		}
+		// Rank 5 of 10 in a bucket spanning 100..200 -> 150.
+		if got != 150 {
+			t.Fatalf("Quantile(0.5) = %v, want 150", got)
+		}
+	})
+	t.Run("above last bucket caps at last bound", func(t *testing.T) {
+		h := newHistogram([]int64{100})
+		h.Observe(1_000_000) // +Inf bucket
+		if got := h.Quantile(0.99); got != 100 {
+			t.Fatalf("Quantile(0.99) = %v, want the last finite bound 100", got)
+		}
+	})
+	t.Run("clamps q", func(t *testing.T) {
+		h := newHistogram([]int64{100})
+		h.Observe(10)
+		if got := h.Quantile(-3); got != h.Quantile(0) {
+			t.Fatalf("Quantile(-3) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+		}
+		if got := h.Quantile(7); got != h.Quantile(1) {
+			t.Fatalf("Quantile(7) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+		}
+	})
+	t.Run("snapshot agrees with live", func(t *testing.T) {
+		r := NewRegistry()
+		h := r.Histogram("q_ns", []int64{10, 100, 1000})
+		for _, v := range []int64{5, 50, 500, 5000} {
+			h.Observe(v)
+		}
+		s := r.Snapshot()
+		snap := s.Histogram("q_ns")
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+			if live, sn := h.Quantile(q), snap.Quantile(q); live != sn {
+				t.Fatalf("Quantile(%v): live %v != snapshot %v", q, live, sn)
+			}
+		}
+	})
+}
+
+func TestTraceSampling(t *testing.T) {
+	defer SetTraceSampleRate(0)
+
+	SetTraceSampleRate(0)
+	if tc := StartTrace(); tc.Sampled() || tc != (TraceContext{}) {
+		t.Fatalf("StartTrace at rate 0 = %+v, want the zero context", tc)
+	}
+	if TracingEnabled() {
+		t.Fatal("TracingEnabled at rate 0")
+	}
+
+	SetTraceSampleRate(1)
+	tc := StartTrace()
+	if !tc.Sampled() || tc.TraceID == 0 {
+		t.Fatalf("StartTrace at rate 1 = %+v, want sampled with nonzero trace ID", tc)
+	}
+	child := tc.Child()
+	if child.TraceID != tc.TraceID || !child.Sampled() {
+		t.Fatalf("Child() = %+v, want same trace ID as %+v and sampled", child, tc)
+	}
+	if (TraceContext{}).Child().Sampled() {
+		t.Fatal("Child of the zero context must stay unsampled")
+	}
+	if got := TraceSampleRate(); got != 1 {
+		t.Fatalf("TraceSampleRate = %v, want 1", got)
+	}
+
+	SetTraceSampleRate(0.5)
+	if got := TraceSampleRate(); got < 0.49 || got > 0.51 {
+		t.Fatalf("TraceSampleRate = %v, want ~0.5", got)
+	}
+	sampled := 0
+	for i := 0; i < 2000; i++ {
+		if StartTrace().Sampled() {
+			sampled++
+		}
+	}
+	if sampled < 700 || sampled > 1300 {
+		t.Fatalf("rate 0.5 sampled %d of 2000, want roughly half", sampled)
+	}
+}
+
+func TestStageSpanUnsampledIsNoop(t *testing.T) {
+	before := Traces().Len()
+	StageSpan(TraceContext{}, StageSiteWrite, 0, 10)
+	if Traces().Len() != before {
+		t.Fatal("unsampled StageSpan recorded into the ring")
+	}
+}
+
+// TestUnsampledTraceDecisionAllocationFree pins the tentpole's hot-path
+// contract at the obs layer: with sampling off (and even with a fractional
+// rate whose draw misses), the per-batch trace decision plus the span
+// no-ops must not allocate. The wire layer asserts the same through the
+// full encode path.
+func TestUnsampledTraceDecisionAllocationFree(t *testing.T) {
+	defer SetTraceSampleRate(0)
+	SetTraceSampleRate(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tc := StartTrace()
+		StageSpan(tc, StageSiteBatch, 0, 1)
+		StageSpan(tc.Child(), StageSiteWrite, 1, 2)
+	})
+	if !raceEnabled && allocs > 0 {
+		t.Fatalf("unsampled trace path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewTraceRing(8)
+	for i := 0; i < 20; i++ {
+		r.Record(Span{TraceID: 1, SpanID: uint64(i + 1), Stage: StageSiteWrite, StartNs: int64(i)})
+	}
+	spans := r.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want capacity 8", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.StartNs < 12 {
+			t.Fatalf("ring kept span %d; the 8 newest start at 12", sp.StartNs)
+		}
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len = %d, want the monotone total 20", r.Len())
+	}
+}
+
+// TestDebugEndpointsUnderConcurrentWriters hammers /debug/events and
+// /debug/traces while writers wrap both rings — the -race proof that the
+// introspection read path is safe against live recording (the trace ring's
+// atomic-pointer slots, the event ring's mutex).
+func TestDebugEndpointsUnderConcurrentWriters(t *testing.T) {
+	defer SetTraceSampleRate(0)
+	SetTraceSampleRate(1)
+	handler := Handler()
+	logger := Events().Logger()
+
+	const (
+		writers       = 4
+		spansPerGo    = 3000 // 4x3000 wraps the 8192-slot default ring
+		eventsPerGo   = 400  // 4x400 wraps the 1024-entry event ring
+		readsPerGo    = 30
+		readerThreads = 2
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spansPerGo; i++ {
+				tc := StartTrace()
+				StageSpan(tc, StageCoordOffer, int64(i), int64(i+1))
+			}
+			for i := 0; i < eventsPerGo; i++ {
+				logger.Info("trace handler test event", "writer", g, "i", i)
+			}
+		}(g)
+	}
+	for g := 0; g < readerThreads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerGo; i++ {
+				for _, path := range []string{"/debug/traces", "/debug/events", "/metrics"} {
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+					if rec.Code != 200 {
+						t.Errorf("%s -> %d", path, rec.Code)
+						return
+					}
+					if path == "/metrics" {
+						continue
+					}
+					var v any
+					if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+						t.Errorf("%s: invalid JSON under concurrent writers: %v", path, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the dust settles the page must show wrapped, grouped spans.
+	page := TracesPage()
+	if page.Recorded < writers*spansPerGo {
+		t.Fatalf("recorded %d spans, want at least %d", page.Recorded, writers*spansPerGo)
+	}
+	if len(page.Traces) == 0 {
+		t.Fatal("no trace timelines after sampled writes")
+	}
+	found := false
+	for _, st := range page.Stages {
+		if st.Stage == StageCoordOffer && st.Count > 0 && st.P99Ns >= st.P50Ns {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stage summary for %q missing or unordered: %+v", StageCoordOffer, page.Stages)
+	}
+}

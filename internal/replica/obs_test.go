@@ -109,7 +109,7 @@ func TestDeposedFenceInstrumented(t *testing.T) {
 	if _, err := wire.PromoteAddr(m.addr, 2, wire.CodecBinary); err != nil {
 		t.Fatal(err)
 	}
-	err := g.push(m, Options{Codec: wire.CodecBinary}, 0, 0, 1, nil, nil)
+	err := g.push(m, Options{Codec: wire.CodecBinary}, obs.TraceContext{}, 0, 0, 1, nil, nil)
 	if !errors.Is(err, wire.ErrDeposed) {
 		t.Fatalf("stale push err = %v, want errors.Is(err, wire.ErrDeposed)", err)
 	}

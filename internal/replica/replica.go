@@ -383,10 +383,17 @@ func (g *group) syncRound(opts Options, force bool) error {
 		entries, u, slot, offers = p.srv.SyncState()
 	}
 	epoch := p.srv.Epoch()
+	// The round's trace context: adopt the last sampled ingest batch the
+	// primary acknowledged — linking site → shard → replica in one timeline —
+	// or make a fresh sampling decision for rounds with no traced ingest.
+	tc := p.srv.TakeTrace()
+	if !tc.Sampled() {
+		tc = obs.StartTrace()
+	}
 	if !force && g.pushed && offers == g.lastOffers && epoch == g.lastEpoch {
 		obsSyncSkipped.Inc()
 		if opts.Lease > 0 {
-			g.renewOnQuorum(opts, p, epoch, g.probeQuorum(opts, p))
+			g.renewOnQuorum(opts, p, epoch, g.probeQuorum(opts, p), tc)
 		}
 		return nil
 	}
@@ -413,12 +420,15 @@ func (g *group) syncRound(opts Options, force bool) error {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			if err := g.push(m, opts, epoch, slot, u, entries, encoded); err != nil {
+			if err := g.push(m, opts, tc.Child(), epoch, slot, u, entries, encoded); err != nil {
 				errs[i] = fmt.Errorf("replica: shard %d sync to %s: %w", g.shard, m.addr, err)
 			}
 		}(i, m)
 	}
 	wg.Wait()
+	if tc.Sampled() {
+		obs.StageSpan(tc, obs.StageSyncRound, start, nowNanos())
+	}
 	if opts.Lease > 0 {
 		successes := 0
 		for i, m := range g.members {
@@ -429,7 +439,7 @@ func (g *group) syncRound(opts Options, force bool) error {
 				successes++
 			}
 		}
-		g.renewOnQuorum(opts, p, epoch, hasQuorum(successes, attempts))
+		g.renewOnQuorum(opts, p, epoch, hasQuorum(successes, attempts), tc)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -486,13 +496,13 @@ func (g *group) probeQuorum(opts Options, p *member) bool {
 
 // renewOnQuorum extends the primary's lease by Options.Lease when the round
 // reached its quorum, and lets it run down (counting the miss) otherwise.
-func (g *group) renewOnQuorum(opts Options, p *member, epoch uint64, quorum bool) {
+func (g *group) renewOnQuorum(opts Options, p *member, epoch uint64, quorum bool, tc obs.TraceContext) {
 	if !quorum {
 		obsLeaseNoQuorum.Inc()
 		obs.Logger().Warn("lease renewal missed: no quorum", "shard", g.shard, "epoch", epoch)
 		return
 	}
-	if err := g.renewLease(p, opts, epoch); err != nil {
+	if err := g.renewLease(p, opts, epoch, tc); err != nil {
 		obsLeaseNoQuorum.Inc()
 		obs.Logger().Warn("lease renewal failed", "shard", g.shard, "epoch", epoch, "err", err.Error())
 		return
@@ -502,14 +512,18 @@ func (g *group) renewOnQuorum(opts Options, p *member, epoch uint64, quorum bool
 
 // renewLease delivers one lease-renew frame to the primary over its cached
 // sync connection (the same redial-once discipline as push).
-func (g *group) renewLease(m *member, opts Options, epoch uint64) error {
+func (g *group) renewLease(m *member, opts Options, epoch uint64, tc obs.TraceContext) error {
+	if tc.Sampled() {
+		start := nowNanos()
+		defer func() { obs.StageSpan(tc, obs.StageLeaseRenew, start, nowNanos()) }()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for attempt := 0; ; attempt++ {
 		if err := g.ensureSyncLocked(m, opts); err != nil {
 			return err
 		}
-		ackEpoch, err := m.sync.RenewLease(epoch, opts.Lease)
+		ackEpoch, err := m.sync.RenewLeaseTraced(tc.Child(), epoch, opts.Lease)
 		if err != nil {
 			m.sync.Close()
 			m.sync = nil
@@ -564,7 +578,7 @@ func (g *group) ensureSyncLocked(m *member, opts Options) error {
 // legacy flat-sample state-sync otherwise — to a member over its cached sync
 // connection, dialing (or redialing once, if the cached connection has gone
 // stale) as needed.
-func (g *group) push(m *member, opts Options, epoch uint64, slot int64, u float64, entries []netsim.SampleEntry, encoded []byte) error {
+func (g *group) push(m *member, opts Options, tc obs.TraceContext, epoch uint64, slot int64, u float64, entries []netsim.SampleEntry, encoded []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for attempt := 0; ; attempt++ {
@@ -574,7 +588,7 @@ func (g *group) push(m *member, opts Options, epoch uint64, slot int64, u float6
 		var ackEpoch uint64
 		var err error
 		if encoded != nil {
-			ackEpoch, err = m.sync.SyncFrame(epoch, g.seq, slot, encoded)
+			ackEpoch, err = m.sync.SyncFrameTraced(tc, epoch, g.seq, slot, encoded)
 		} else {
 			ackEpoch, err = m.sync.Sync(epoch, g.seq, slot, u, entries)
 		}

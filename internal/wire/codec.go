@@ -10,6 +10,7 @@ import (
 	"net"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Codec selects the wire encoding of a connection. Every connection starts
@@ -53,9 +54,11 @@ func ParseCodec(name string) (Codec, error) {
 // binMagic is the binary-codec connection preamble. The first byte is not
 // '{', which is how the server tells the two codecs apart. The trailing
 // digit versions the frame layout: "2" added the pipeline sequence number
-// to batch and replies frames, so a "DDS1" peer is rejected at the
-// preamble instead of misparsing frames mid-stream.
-var binMagic = [4]byte{'D', 'D', 'S', '2'}
+// to batch and replies frames, "3" added the trailing trace triple
+// (trace/span ID uvarints plus a flags byte) to the trace-carrying frames —
+// batch, replies, state-frame, route-push, lease-renew. A "DDS1"/"DDS2"
+// peer is rejected at the preamble instead of misparsing frames mid-stream.
+var binMagic = [4]byte{'D', 'D', 'S', '3'}
 
 // maxFrameSize bounds a binary frame's payload, protecting the server from
 // malformed or hostile length prefixes.
@@ -182,8 +185,15 @@ func newJSONConn(r io.Reader, w io.Writer) *jsonConn {
 
 func (c *jsonConn) ReadFrame(f *Frame) error {
 	*f = Frame{}
+	var decStart int64
+	if obs.TracingEnabled() {
+		decStart = nowNanos()
+	}
 	if err := c.dec.Decode(f); err != nil {
 		return err
+	}
+	if decStart != 0 {
+		f.decodeStart, f.decodeEnd = decStart, nowNanos()
 	}
 	if code, ok := nameToBin[f.Type]; ok {
 		obsFramesDecoded[code].Inc()
@@ -259,6 +269,7 @@ func (c *binConn) WriteFrame(f *Frame) error {
 		for _, m := range f.Msgs {
 			buf = appendMessage(buf, m)
 		}
+		buf = appendTrace(buf, f)
 	case binQuery:
 		// No payload.
 	case binSample:
@@ -277,6 +288,7 @@ func (c *binConn) WriteFrame(f *Frame) error {
 			buf = binary.AppendVarint(buf, e.Slot)
 			buf = appendMessage(buf, e.Msg)
 		}
+		buf = appendTrace(buf, f)
 	case binStateSync:
 		buf = binary.AppendUvarint(buf, f.Epoch)
 		buf = binary.AppendUvarint(buf, f.Seq)
@@ -314,6 +326,7 @@ func (c *binConn) WriteFrame(f *Frame) error {
 		buf = binary.AppendVarint(buf, f.Slot)
 		buf = binary.AppendUvarint(buf, uint64(len(f.State)))
 		buf = append(buf, f.State...)
+		buf = appendTrace(buf, f)
 	case binStateHandoff:
 		buf = binary.AppendUvarint(buf, f.Seq)
 		buf = binary.LittleEndian.AppendUint64(buf, f.Lo)
@@ -339,9 +352,11 @@ func (c *binConn) WriteFrame(f *Frame) error {
 				buf = appendString(buf, addr)
 			}
 		}
+		buf = appendTrace(buf, f)
 	case binLeaseRenew:
 		buf = binary.AppendUvarint(buf, f.Epoch)
 		buf = binary.AppendUvarint(buf, f.Seq)
+		buf = appendTrace(buf, f)
 	case binLeaseAck:
 		buf = binary.AppendUvarint(buf, f.Epoch)
 		buf = binary.AppendUvarint(buf, f.Seq)
@@ -370,6 +385,14 @@ func (c *binConn) ReadFrame(f *Frame) error {
 	buf := c.rbuf[:n]
 	if _, err := io.ReadFull(c.r, buf); err != nil {
 		return err
+	}
+	// Decode-window stamp (coord_decode span): only while tracing is
+	// enabled, so the unsampled hot path pays one atomic load, no clock
+	// reads. The window starts once the payload is in memory — network wait
+	// must not masquerade as decode time.
+	var decStart int64
+	if obs.TracingEnabled() {
+		decStart = nowNanos()
 	}
 	// Keep the capacity of the previous frame's slices: decoding repeatedly
 	// into the same Frame then reaches steady state without reallocating.
@@ -403,6 +426,7 @@ func (c *binConn) ReadFrame(f *Frame) error {
 		for i := uint64(0); i < count && d.err == nil; i++ {
 			f.Msgs = append(f.Msgs, d.message())
 		}
+		d.trace(f)
 	case binQuery:
 	case binSample:
 		count := d.uvarint()
@@ -433,6 +457,7 @@ func (c *binConn) ReadFrame(f *Frame) error {
 			e.Msg = d.message()
 			f.Batch = append(f.Batch, e)
 		}
+		d.trace(f)
 	case binStateSync:
 		f.Epoch = d.uvarint()
 		f.Seq = d.uvarint()
@@ -481,6 +506,7 @@ func (c *binConn) ReadFrame(f *Frame) error {
 		f.Seq = d.uvarint()
 		f.Slot = d.varint()
 		f.State = d.bytes(state)
+		d.trace(f)
 	case binStateHandoff:
 		f.Seq = d.uvarint()
 		f.Lo = d.uint64()
@@ -513,14 +539,36 @@ func (c *binConn) ReadFrame(f *Frame) error {
 			}
 			f.Groups = append(f.Groups, g)
 		}
+		d.trace(f)
 	case binLeaseRenew:
 		f.Epoch = d.uvarint()
 		f.Seq = d.uvarint()
+		d.trace(f)
 	case binLeaseAck:
 		f.Epoch = d.uvarint()
 		f.Seq = d.uvarint()
 	}
+	if decStart != 0 {
+		f.decodeStart, f.decodeEnd = decStart, nowNanos()
+	}
 	return d.err
+}
+
+// appendTrace appends the trailing trace triple of the trace-carrying frame
+// kinds: trace and span IDs as uvarints plus one flags byte. Unsampled
+// traffic appends three zero bytes — no branch, no allocation — keeping the
+// traced layout uniform so the decoder never guesses.
+func appendTrace(buf []byte, f *Frame) []byte {
+	buf = binary.AppendUvarint(buf, f.TraceID)
+	buf = binary.AppendUvarint(buf, f.SpanID)
+	return append(buf, f.TraceFlags)
+}
+
+// trace decodes the trailing trace triple into the frame.
+func (d *byteDecoder) trace(f *Frame) {
+	f.TraceID = d.uvarint()
+	f.SpanID = d.uvarint()
+	f.TraceFlags = d.byte()
 }
 
 // appendString appends a uvarint length followed by the bytes.

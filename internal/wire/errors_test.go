@@ -19,9 +19,10 @@ func TestMalformedFrames(t *testing.T) {
 	garbage := [][]byte{
 		[]byte("{\"type\":\"offer\",,,\n"),           // JSON-looking but unparsable
 		[]byte("{\"type\": 12}\n{bad json"),          // valid frame then broken stream
-		{'D', 'D', 'S', '2', 0xff, 0xff, 0xff, 0x7f}, // binary magic + absurd length
-		{'D', 'D', 'S', '2', 2, 0, 0, 0, 0x7f, 0x00}, // binary magic + unknown frame code
+		{'D', 'D', 'S', '3', 0xff, 0xff, 0xff, 0x7f}, // binary magic + absurd length
+		{'D', 'D', 'S', '3', 2, 0, 0, 0, 0x7f, 0x00}, // binary magic + unknown frame code
 		{'D', 'D', 'S', '1', 2, 0, 0, 0, 0x02, 0x00}, // stale pre-pipelining peer: rejected at the preamble
+		{'D', 'D', 'S', '2', 2, 0, 0, 0, 0x02, 0x00}, // pre-tracing layout: rejected at the preamble
 		{'X', 'Y'}, // neither codec
 	}
 	for i, raw := range garbage {
@@ -85,7 +86,7 @@ func TestMidStreamDisconnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	partial := append([]byte{'D', 'D', 'S', '2'}, binary.LittleEndian.AppendUint32(nil, 100)...)
+	partial := append([]byte{'D', 'D', 'S', '3'}, binary.LittleEndian.AppendUint32(nil, 100)...)
 	partial = append(partial, 1, 2, 3)
 	if _, err := raw.Write(partial); err != nil {
 		t.Fatal(err)

@@ -60,6 +60,18 @@ func corpusFrames() []Frame {
 			Groups: [][]string{{"127.0.0.1:9001", "127.0.0.1:9002"}, {"127.0.0.1:9003"}, nil}},
 		{Type: FrameLeaseRenew, Epoch: 4, Seq: 150_000_000},
 		{Type: FrameLeaseAck, Epoch: 4, Seq: 150_000_000},
+		// Trace-carrying variants of every frame kind that encodes the
+		// trailing trace triple, so the fuzzer reaches the traced layout too.
+		{Type: FrameBatch, Seq: 10, Batch: []BatchEntry{{Slot: 1, Msg: msg}},
+			TraceID: 0xdeadbeefcafe, SpanID: 0x1234, TraceFlags: 1},
+		{Type: FrameReplies, Seq: 10, Msgs: []netsim.Message{msg},
+			TraceID: 0xdeadbeefcafe, SpanID: 0x5678, TraceFlags: 1},
+		{Type: FrameState, Epoch: 3, Seq: 8, Slot: 22, State: corpusState(),
+			TraceID: 1, SpanID: 1 << 63, TraceFlags: 1},
+		{Type: FrameRoutePush, Seq: 9, Bounds: []uint64{0}, Slots: []int64{0},
+			Groups: [][]string{{"127.0.0.1:9001"}}, TraceID: 42, SpanID: 43, TraceFlags: 1},
+		{Type: FrameLeaseRenew, Epoch: 4, Seq: 150_000_000,
+			TraceID: ^uint64(0), SpanID: ^uint64(0), TraceFlags: 0xff},
 	}
 }
 
@@ -127,6 +139,7 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 func framesEquivalent(a, b *Frame) bool {
 	if a.Type != b.Type || a.Site != b.Site || a.Slot != b.Slot || a.Seq != b.Seq ||
 		a.Epoch != b.Epoch || a.Lo != b.Lo || a.Hi != b.Hi || a.Error != b.Error ||
+		a.TraceID != b.TraceID || a.SpanID != b.SpanID || a.TraceFlags != b.TraceFlags ||
 		!bytes.Equal(a.State, b.State) {
 		return false
 	}

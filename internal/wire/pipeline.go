@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // pipeline is the state of a pipelined site connection (Options.Window > 1).
@@ -49,6 +50,14 @@ type pipeline struct {
 	// and parallel to slots, feeding the ack-latency histogram when the
 	// cumulative ack arrives.
 	sendTimes []int64
+
+	// traces records each in-flight batch's trace context, FIFO and parallel
+	// to sendTimes: the reader closes a sampled batch's site_ack span when
+	// its cumulative ack arrives. Almost always the zero context — the trace
+	// decision happens at ship time and unsampled batches stay zero — and
+	// the slice reaches steady-state capacity with sendTimes, so tracing
+	// costs the unsampled pipeline no allocations.
+	traces []obs.TraceContext
 
 	// wireDirty marks batch frames written but not yet flushed to the
 	// socket. Owned by the writer goroutine. Keeping frames buffered while
@@ -124,6 +133,7 @@ func (c *SiteClient) bufferLocked(slot int64) error {
 		if env.Broadcast || env.To != netsim.CoordinatorID {
 			return errors.New("wire: site nodes may only message the coordinator")
 		}
+		c.noteBatchStart()
 		c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
 	}
 	c.scratch.Reset()
@@ -159,7 +169,7 @@ func (c *SiteClient) ship(all bool) error {
 	}
 	for {
 		c.mu.Lock()
-		stalledAt := int64(0)
+		stalledAt, stallEnd := int64(0), int64(0)
 		for c.pipe.inflight() >= c.opts.Window && c.pipe.err == nil {
 			if c.pipe.wireDirty {
 				c.mu.Unlock()
@@ -179,7 +189,8 @@ func (c *SiteClient) ship(all bool) error {
 			c.pipe.cond.Wait()
 		}
 		if stalledAt != 0 {
-			obsCreditStallNs.Observe(nowNanos() - stalledAt)
+			stallEnd = nowNanos()
+			obsCreditStallNs.Observe(stallEnd - stalledAt)
 		}
 		if err := c.pipe.err; err != nil {
 			c.mu.Unlock()
@@ -213,20 +224,43 @@ func (c *SiteClient) ship(all bool) error {
 		c.pending = c.pending[:rest]
 		seq := c.pipe.sendSeq
 		c.pipe.sendSeq++
+		// Trace decision at ship time: a sampled batch's context rides the
+		// frame, joins the traces FIFO for the reader's site_ack span, and
+		// closes the assembly (site_batch) and credit-wait spans here.
+		// Unsampled: one atomic load in StartTrace, zero-value bookkeeping.
+		tc := obs.StartTrace()
+		batchStart := c.batchStartNs
+		c.batchStartNs = 0
 		c.pipe.slots = append(c.pipe.slots, batch[len(batch)-1].Slot)
 		c.pipe.sendTimes = append(c.pipe.sendTimes, nowNanos())
+		c.pipe.traces = append(c.pipe.traces, tc)
 		c.pipe.unacked = append(c.pipe.unacked, batch)
 		c.sent += len(batch)
 		obsBatchSize.Observe(int64(len(batch)))
 		c.mu.Unlock()
 
+		var writeStart int64
+		if tc.Sampled() {
+			now := nowNanos()
+			if batchStart != 0 {
+				obs.StageSpan(tc, obs.StageSiteBatch, batchStart, now)
+			}
+			if stalledAt != 0 {
+				obs.StageSpan(tc, obs.StageCreditWait, stalledAt, stallEnd)
+			}
+			writeStart = now
+		}
 		c.wframe = Frame{Type: FrameBatch, Seq: seq, Batch: batch}
+		c.wframe.SetTrace(tc)
 		if err := c.fc.WriteFrame(&c.wframe); err != nil {
 			err = fmt.Errorf("wire: send batch: %w", err)
 			c.mu.Lock()
 			c.failPipe(err)
 			c.mu.Unlock()
 			return err
+		}
+		if tc.Sampled() {
+			obs.StageSpan(tc, obs.StageSiteWrite, writeStart, nowNanos())
 		}
 		c.pipe.wireDirty = true
 	}
@@ -294,9 +328,14 @@ func (c *SiteClient) readLoop() {
 			now := nowNanos()
 			for i := 0; i < acked; i++ {
 				obsAckLatencyNs.Observe(now - c.pipe.sendTimes[i])
+				if tc := c.pipe.traces[i]; tc.Sampled() {
+					obs.StageSpan(tc, obs.StageSiteAck, c.pipe.sendTimes[i], now)
+				}
 			}
 			rest = copy(c.pipe.sendTimes, c.pipe.sendTimes[acked:])
 			c.pipe.sendTimes = c.pipe.sendTimes[:rest]
+			rest = copy(c.pipe.traces, c.pipe.traces[acked:])
+			c.pipe.traces = c.pipe.traces[:rest]
 			// The acked batches are confirmed applied: recycle their replay
 			// buffers for the writer.
 			for i := 0; i < acked; i++ {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // syncDialTimeout bounds replication and failover dials. Health probes must
@@ -179,7 +180,16 @@ func (c *SyncClient) Promote(epoch uint64) (ackEpoch uint64, err error) {
 // means the renewal was fenced (the server has been promoted past the
 // sender) and the lease was NOT extended.
 func (c *SyncClient) RenewLease(epoch uint64, interval time.Duration) (ackEpoch uint64, err error) {
-	ackEpoch, _, err = c.roundTrip(&Frame{Type: FrameLeaseRenew, Epoch: epoch, Seq: uint64(interval.Nanoseconds())})
+	return c.RenewLeaseTraced(obs.TraceContext{}, epoch, interval)
+}
+
+// RenewLeaseTraced is RenewLease carrying a trace context, so a sampled sync
+// round's lease renewal is visible in the same trace as the ingest and state
+// push that preceded it. A zero context is RenewLease.
+func (c *SyncClient) RenewLeaseTraced(tc obs.TraceContext, epoch uint64, interval time.Duration) (ackEpoch uint64, err error) {
+	f := Frame{Type: FrameLeaseRenew, Epoch: epoch, Seq: uint64(interval.Nanoseconds())}
+	f.SetTrace(tc)
+	ackEpoch, _, err = c.roundTrip(&f)
 	return ackEpoch, err
 }
 
@@ -188,7 +198,17 @@ func (c *SyncClient) RenewLease(epoch uint64, interval time.Duration) (ackEpoch 
 // the replica's resulting epoch, exactly like Sync. ackEpoch > epoch means
 // the frame was fenced off (see ErrDeposed, which the caller should wrap).
 func (c *SyncClient) SyncFrame(epoch, seq uint64, slot int64, encoded []byte) (ackEpoch uint64, err error) {
-	ackEpoch, _, err = c.roundTrip(&Frame{Type: FrameState, Epoch: epoch, Seq: seq, Slot: slot, State: encoded})
+	return c.SyncFrameTraced(obs.TraceContext{}, epoch, seq, slot, encoded)
+}
+
+// SyncFrameTraced is SyncFrame carrying a trace context: the replication
+// driver threads the ingest trace it took from the primary (TakeTrace)
+// through the frame, and the receiving replica records its apply under the
+// same trace. A zero context is SyncFrame.
+func (c *SyncClient) SyncFrameTraced(tc obs.TraceContext, epoch, seq uint64, slot int64, encoded []byte) (ackEpoch uint64, err error) {
+	f := Frame{Type: FrameState, Epoch: epoch, Seq: seq, Slot: slot, State: encoded}
+	f.SetTrace(tc)
+	ackEpoch, _, err = c.roundTrip(&f)
 	return ackEpoch, err
 }
 

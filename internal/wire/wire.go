@@ -123,6 +123,32 @@ type Frame struct {
 	Batch   []BatchEntry         `json:"batch,omitempty"`
 	Entries []netsim.SampleEntry `json:"entries,omitempty"`
 	Error   string               `json:"error,omitempty"`
+	// TraceID, SpanID, and TraceFlags propagate a sampled trace context
+	// across the wire (see internal/obs): batch frames carry the ingest
+	// trace the site started, replies echo a child context, and the
+	// state-frame / route-push / lease-renew control frames thread the same
+	// trace through replication and reshard rounds. All three are zero on
+	// unsampled traffic — the binary codec still encodes them on the
+	// carrying frames (three bytes of zeros), the JSON codec omits them.
+	TraceID    uint64 `json:"trace_id,omitempty"`
+	SpanID     uint64 `json:"span_id,omitempty"`
+	TraceFlags uint8  `json:"trace_flags,omitempty"`
+
+	// decodeStart/decodeEnd bound the wall-clock window ReadFrame spent
+	// decoding this frame. Stamped only while tracing is enabled (and left
+	// zero otherwise); the dispatch loop turns them into the coord_decode
+	// span. Unexported: per-process measurement, never serialized.
+	decodeStart, decodeEnd int64
+}
+
+// Trace returns the frame's carried trace context (zero when unsampled).
+func (f *Frame) Trace() obs.TraceContext {
+	return obs.TraceContext{TraceID: f.TraceID, SpanID: f.SpanID, Flags: f.TraceFlags}
+}
+
+// SetTrace stamps the frame with the given trace context.
+func (f *Frame) SetTrace(tc obs.TraceContext) {
+	f.TraceID, f.SpanID, f.TraceFlags = tc.TraceID, tc.SpanID, tc.Flags
 }
 
 // Frame types.
@@ -220,6 +246,11 @@ type CoordinatorServer struct {
 	// Nil-checked on the dispatch hot path; nil means unattached.
 	obsOffers *obs.Counter
 	obsChurn  *obs.Counter
+	// lastTrace stashes the trace context of the most recent sampled ingest
+	// batch. The replication driver consumes it (TakeTrace) when it opens
+	// the next sync round, so a sampled ingest trace continues through the
+	// replica plane instead of ending at the coordinator's ack.
+	lastTrace obs.TraceContext
 }
 
 // NewCoordinatorServer wraps the given coordinator node.
@@ -299,6 +330,18 @@ func (s *CoordinatorServer) SetShardObs(offers, churn *obs.Counter) {
 	s.obsOffers = offers
 	s.obsChurn = churn
 	s.mu.Unlock()
+}
+
+// TakeTrace returns — and clears — the trace context of the most recent
+// sampled ingest batch. The replication driver calls it when opening a sync
+// round so the round's spans join the ingest trace that made the state
+// dirty; a zero return means no sampled batch arrived since the last take.
+func (s *CoordinatorServer) TakeTrace() obs.TraceContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tc := s.lastTrace
+	s.lastTrace = obs.TraceContext{}
+	return tc
 }
 
 // RouteVersion returns the highest route-table version this server has
@@ -675,8 +718,19 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			// One lock acquisition covers the whole batch: this is the ingest
 			// hot path, and per-message locking would make the coordinator's
 			// serial section the pipeline's ceiling.
+			tc := f.Trace()
+			var stageT int64 // rolling stage boundary (sampled batches only)
+			if tc.Sampled() {
+				obs.StageSpan(tc, obs.StageCoordDecode, f.decodeStart, f.decodeEnd)
+				stageT = nowNanos()
+			}
 			replies = replies[:0]
 			s.mu.Lock()
+			if tc.Sampled() {
+				now := nowNanos()
+				obs.StageSpan(tc, obs.StageCoordLock, stageT, now)
+				stageT = now
+			}
 			// Fence the whole frame before applying any of it: a NACKed batch
 			// must stay all-or-nothing so the client's retained copy replays
 			// cleanly. The lease check is one comparison; the per-key range
@@ -706,7 +760,13 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 					break
 				}
 			}
+			if tc.Sampled() {
+				s.lastTrace = tc
+			}
 			s.mu.Unlock()
+			if tc.Sampled() {
+				obs.StageSpan(tc, obs.StageCoordOffer, stageT, nowNanos())
+			}
 			if err != nil {
 				_ = writeFlush(fc, &Frame{Type: FrameError, Error: err.Error()})
 				return
@@ -723,6 +783,9 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			// any deferred batches before it (zero for synchronous sites).
 			ackDeferred = false
 			resp = Frame{Type: FrameReplies, Seq: f.Seq, Msgs: replies}
+			if tc.Sampled() {
+				resp.SetTrace(tc.Child())
+			}
 			if err := writeFlush(fc, &resp); err != nil {
 				return
 			}
@@ -949,6 +1012,11 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 				_ = writeFlush(fc, &Frame{Type: FrameError, Error: "state-frame: " + derr.Error()})
 				return
 			}
+			tc := f.Trace()
+			var applyStart int64
+			if tc.Sampled() {
+				applyStart = nowNanos()
+			}
 			s.mu.Lock()
 			if f.Epoch > s.epoch {
 				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
@@ -968,6 +1036,9 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			}
 			resp = Frame{Type: FrameStateAck, Epoch: s.epoch, Seq: s.syncSeq}
 			s.mu.Unlock()
+			if tc.Sampled() && !fenced {
+				obs.StageSpan(tc, obs.StageReplicaApply, applyStart, nowNanos())
+			}
 			if fenced {
 				obsEpochFences.Inc()
 				fenceEvent("epoch", f.Type, f.Epoch, resp.Epoch)
@@ -1191,6 +1262,11 @@ type SiteClient struct {
 
 	mu      sync.Mutex   // guards node, pending, counters when pipelining
 	pending []BatchEntry // buffered offers awaiting a batch flush
+	// batchStartNs is when the current pending buffer got its first offer,
+	// stamped only while tracing is enabled (zero otherwise): the site_batch
+	// span of a sampled batch covers assembly, from first buffered offer to
+	// ship. Reset on every ship. Guarded by mu in pipelined mode.
+	batchStartNs int64
 
 	scratch netsim.Outbox // reusable outbox for node callbacks
 	wframe  Frame         // reusable frame for writes
@@ -1352,6 +1428,7 @@ func (c *SiteClient) flush(out *netsim.Outbox, slot int64) error {
 			if env.Broadcast || env.To != netsim.CoordinatorID {
 				return errors.New("wire: site nodes may only message the coordinator")
 			}
+			c.noteBatchStart()
 			c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
 		}
 		out.Reset()
@@ -1406,26 +1483,59 @@ func (c *SiteClient) Flush() error {
 	return nil
 }
 
+// noteBatchStart stamps the assembly start of the pending buffer's current
+// fill, once per fill and only while tracing is enabled. One atomic load
+// when tracing is off.
+func (c *SiteClient) noteBatchStart() {
+	if c.batchStartNs == 0 && obs.TracingEnabled() {
+		c.batchStartNs = nowNanos()
+	}
+}
+
 // sendPending ships the current buffer as one batch frame and applies the
 // replies. Messages the site emits in response are buffered for the next
 // batch (Flush loops until quiescence).
+//
+// The trace decision happens here, at ship time: a sampled batch records its
+// assembly window (site_batch), the transport write (site_write), and the
+// wait for the coordinator's replies (site_ack), and the frame carries the
+// context so the coordinator's stages join the same trace.
 func (c *SiteClient) sendPending(slot int64) error {
 	batch := c.pending
 	c.pending = c.pending[len(c.pending):]
 	if len(batch) == 0 {
 		return nil
 	}
+	tc := obs.StartTrace()
+	var stageT int64
+	if tc.Sampled() {
+		now := nowNanos()
+		if c.batchStartNs != 0 {
+			obs.StageSpan(tc, obs.StageSiteBatch, c.batchStartNs, now)
+		}
+		stageT = now
+	}
+	c.batchStartNs = 0
 	c.wframe = Frame{Type: FrameBatch, Batch: batch}
+	c.wframe.SetTrace(tc)
 	if err := writeFlush(c.fc, &c.wframe); err != nil {
 		c.pending = batch // retained for failover replay
 		return fmt.Errorf("wire: send batch: %w", err)
 	}
 	c.sent += len(batch)
 	obsBatchSize.Observe(int64(len(batch)))
+	if tc.Sampled() {
+		now := nowNanos()
+		obs.StageSpan(tc, obs.StageSiteWrite, stageT, now)
+		stageT = now
+	}
 	replies, err := c.readReplies()
 	if err != nil {
 		c.pending = batch // the batch may or may not have applied; replay is idempotent
 		return err
+	}
+	if tc.Sampled() {
+		obs.StageSpan(tc, obs.StageSiteAck, stageT, nowNanos())
 	}
 	for _, reply := range replies {
 		c.scratch.Reset()
@@ -1434,6 +1544,7 @@ func (c *SiteClient) sendPending(slot int64) error {
 			if env.Broadcast || env.To != netsim.CoordinatorID {
 				return errors.New("wire: site nodes may only message the coordinator")
 			}
+			c.noteBatchStart()
 			c.pending = append(c.pending, BatchEntry{Slot: slot, Msg: env.Msg})
 		}
 		c.scratch.Reset()
@@ -1478,13 +1589,22 @@ func (c *SiteClient) readReplies() ([]netsim.Message, error) {
 // routePush hands one server-initiated route-push frame to the configured
 // callback. The frame is deep-copied first: the caller's frame buffer is
 // reused by the next read, while the callback may hold the table (typically
-// parking it in a mailbox applied between batches).
+// parking it in a mailbox applied between batches). A sampled push — the
+// coordinator threads its reshard trace through the frame — records the
+// site-side delivery as a route_push span.
 func (c *SiteClient) routePush(f *Frame) {
-	if c.opts.OnRoutePush == nil {
-		return
+	tc := f.Trace()
+	var start int64
+	if tc.Sampled() {
+		start = nowNanos()
 	}
-	g := copyFrame(f)
-	c.opts.OnRoutePush(&g)
+	if c.opts.OnRoutePush != nil {
+		g := copyFrame(f)
+		c.opts.OnRoutePush(&g)
+	}
+	if tc.Sampled() {
+		obs.StageSpan(tc, obs.StageRoutePush, start, nowNanos())
+	}
 }
 
 // Query opens a short-lived JSON connection to the coordinator at addr and
