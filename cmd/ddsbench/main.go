@@ -51,6 +51,7 @@ func main() {
 		requireSpeed  = flag.Float64("require-pipeline-speedup", 0, "fail -cluster-bench unless the best pipelined window beats the synchronous path by this factor (0 disables; CI uses 1.0)")
 		benchFailover = flag.Bool("bench-failover", true, "include the kill/promote failover benchmark in -cluster-bench (fails on reference divergence)")
 		benchReshard  = flag.Bool("bench-reshard", true, "include the online split/merge reshard benchmark in -cluster-bench (fails on reference divergence)")
+		benchAutoPlt  = flag.Bool("bench-autopilot", true, "include the autopilot resharding benchmark in -cluster-bench: a watcher-initiated split under Zipf-skewed ingest, no manual plan (fails on reference divergence)")
 		benchSlidingF = flag.Bool("bench-sliding-failover", true, "include the sliding-window kill/promote benchmark in -cluster-bench (fails on window-minimum divergence)")
 		benchTracing  = flag.Bool("bench-tracing", true, "include the trace-sampling overhead comparison in -cluster-bench (ingest at sample rates 0, 0.01, 1.0)")
 		benchWindowSl = flag.Int64("bench-window-slots", 60, "sliding-window length in slots for -bench-sliding-failover")
@@ -60,7 +61,7 @@ func main() {
 	flag.Parse()
 
 	if *clusterBench {
-		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchSlidingF, *benchTracing, *benchWindowSl, *benchReplicas, *benchSyncInt); err != nil {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchAutoPlt, *benchSlidingF, *benchTracing, *benchWindowSl, *benchReplicas, *benchSyncInt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -158,6 +159,11 @@ type clusterBenchReport struct {
 	// merge reuniting the ranges) — see cluster.RunReshardBench. Every run
 	// in it has passed the merged-sample-vs-reference check.
 	Reshard *reshardReport `json:"reshard,omitempty"`
+	// Autopilot measures hands-off rebalancing: the watcher splitting a hot
+	// shard under Zipf-skewed ingest with no manual plan (see
+	// cluster.RunAutopilotBench). Every run in it has passed the
+	// merged-sample-vs-reference check.
+	Autopilot *autopilotReport `json:"autopilot,omitempty"`
 	// SlidingFailover measures ingest throughput across a kill/promote event
 	// on a sliding-window cluster — replication of the candidate store via
 	// the generic state frames (see cluster.RunSlidingFailoverBench). Every
@@ -202,6 +208,21 @@ type reshardReport struct {
 	// WorstDuringRatio is the min over runs of during-split / before-split
 	// throughput: how much of the ingest rate survives a live reshard.
 	WorstDuringRatio float64 `json:"worst_during_ratio"`
+}
+
+// autopilotReport is the autopilot section of BENCH_cluster.json: one
+// watcher-initiated split run per transport mode, at the sweep's largest
+// shard count.
+type autopilotReport struct {
+	Replicas       int                             `json:"replicas"`
+	SyncIntervalMS float64                         `json:"sync_interval_ms"`
+	Runs           []*cluster.AutopilotBenchResult `json:"runs"`
+	// WorstDuringRatio is the min over runs of during-rebalance / before
+	// throughput: how much of the ingest rate survives the watcher noticing,
+	// deliberating, and cutting over. WorstRebalanceLatencySec is the max
+	// arming-to-split wall clock.
+	WorstDuringRatio         float64 `json:"worst_during_ratio"`
+	WorstRebalanceLatencySec float64 `json:"worst_rebalance_latency_sec"`
 }
 
 // failoverReport is the failover section of BENCH_cluster.json: one
@@ -270,7 +291,7 @@ type pipelinePoint struct {
 // the pipeline window sweep and writes the machine-readable report to path.
 // If requireSpeedup > 0 and the best pipelined window does not beat the
 // synchronous path by that factor, an error is returned (the CI smoke gate).
-func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard, slidingFailover, tracing bool, windowSlots int64, replicas int, syncInterval time.Duration) error {
+func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard, autopilot, slidingFailover, tracing bool, windowSlots int64, replicas int, syncInterval time.Duration) error {
 	report := &clusterBenchReport{
 		GeneratedUnix:        time.Now().Unix(),
 		Elements:             elements,
@@ -330,6 +351,13 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 
 	if reshard {
 		report.Reshard, err = runReshardBench(elements, maxShards, replicas, syncInterval, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	if autopilot {
+		report.Autopilot, err = runAutopilotBench(elements, maxShards, replicas, syncInterval, seed)
 		if err != nil {
 			return err
 		}
@@ -410,6 +438,51 @@ func runFailoverBench(elements, shards, replicas int, syncInterval time.Duration
 		}
 		fmt.Fprintf(os.Stderr, "[failover-bench shards=%d replicas=%d window=%d: %.0f -> %.0f ops/s across kill (%.2fx), %d promotions, %.1f ms stalled]\n",
 			shards, replicas, window, res.PreKillOpsPerSec, res.PostKillOpsPerSec, ratio, res.Failovers, res.FailoverStallSec*1000)
+	}
+	return rep, nil
+}
+
+// runAutopilotBench runs the watcher-initiated split benchmark in both
+// transport modes (synchronous batched and pipelined, flood mode so the
+// per-shard offer counters see the stream's true skew) at the sweep's
+// largest shard count. Each run arms the watcher against a Zipf-skewed
+// stream and fails unless a hands-off split lands with the merged sample
+// still byte-identical to the centralized reference.
+func runAutopilotBench(elements, shards, replicas int, syncInterval time.Duration, seed uint64) (*autopilotReport, error) {
+	rep := &autopilotReport{
+		Replicas:         replicas,
+		SyncIntervalMS:   float64(syncInterval) / float64(time.Millisecond),
+		WorstDuringRatio: math.Inf(1),
+	}
+	for _, window := range []int{1, 8} {
+		cfg := cluster.DefaultBenchConfig()
+		cfg.Shards = shards
+		cfg.Elements = elements
+		cfg.Distinct = elements / 4
+		cfg.Codec = wire.CodecBinary
+		cfg.Batch = 64
+		cfg.Flood = true
+		if window > 1 {
+			cfg.Window = window
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		res, err := cluster.RunAutopilotBench(cfg, replicas, syncInterval)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, res)
+		ratio := res.DuringOpsPerSec / res.BeforeOpsPerSec
+		if ratio < rep.WorstDuringRatio {
+			rep.WorstDuringRatio = ratio
+		}
+		if res.RebalanceLatencySec > rep.WorstRebalanceLatencySec {
+			rep.WorstRebalanceLatencySec = res.RebalanceLatencySec
+		}
+		fmt.Fprintf(os.Stderr, "[autopilot-bench shards=%d replicas=%d window=%d: split in %.0f ms over %d rounds (hot %.2f, watermark %.2f), %.0f -> %.0f -> %.0f ops/s (%.2fx during), table v%d]\n",
+			shards, replicas, window, res.RebalanceLatencySec*1000, res.Rounds, res.HotShare, res.HighWatermark,
+			res.BeforeOpsPerSec, res.DuringOpsPerSec, res.AfterOpsPerSec, ratio, res.TableVersion)
 	}
 	return rep, nil
 }

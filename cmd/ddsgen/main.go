@@ -8,14 +8,25 @@
 //	ddsgen -dataset enron -scale 0.1  -out enron.tsv
 //	ddsgen -dataset uniform -elements 100000 -distinct 20000 -out u.tsv
 //	ddsgen -dataset oc48 -stats-only
+//
+// With -hot-fraction F (0 < F <= 1) the generated keys are deterministically
+// remapped so that fraction F of them route to shard 0 of a -hot-shards-way
+// uniform routing table — a routing-skewed stream for exercising reshard and
+// autopilot-watcher paths without waiting for organic skew:
+//
+//	ddsgen -dataset uniform -elements 50000 -hot-fraction 0.8 -hot-shards 2 -out hot.tsv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
+	"repro/dds"
+	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/hashing"
 	"repro/internal/stream"
 )
 
@@ -28,8 +39,19 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		out       = flag.String("out", "", "output path (default stdout)")
 		statsOnly = flag.Bool("stats-only", false, "print element/distinct counts instead of the stream")
+		hotFrac   = flag.Float64("hot-fraction", 0, "remap this fraction of keys so they route to shard 0 of a -hot-shards uniform table (0 disables; routing-skewed streams for reshard/autopilot testing)")
+		hotShards = flag.Int("hot-shards", 2, "shard count of the uniform routing table -hot-fraction skews against")
+		hashSeed  = flag.Uint64("hash-seed", dds.DefaultSeed, "hash seed the -hot-fraction routing assumes (must match the cluster's -hash-seed)")
 	)
 	flag.Parse()
+	if *hotFrac < 0 || *hotFrac > 1 {
+		fmt.Fprintf(os.Stderr, "-hot-fraction %v must lie in [0, 1]\n", *hotFrac)
+		os.Exit(2)
+	}
+	if *hotShards < 1 {
+		fmt.Fprintf(os.Stderr, "-hot-shards %d must be at least 1\n", *hotShards)
+		os.Exit(2)
+	}
 
 	var spec dataset.Spec
 	switch *name {
@@ -47,6 +69,9 @@ func main() {
 	}
 
 	data := spec.Generate()
+	if *hotFrac > 0 {
+		skewToShardZero(data, *hotFrac, *hotShards, *hashSeed)
+	}
 	if *statsOnly {
 		st := stream.Summarize(data)
 		fmt.Printf("dataset=%s elements=%d distinct=%d\n", spec.Name, st.Elements, st.Distinct)
@@ -66,5 +91,37 @@ func main() {
 	if err := stream.Write(w, data); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// skewToShardZero deterministically remaps a fraction of the stream's keys
+// onto shard 0 of an N-shard uniform routing table: each selected key is
+// replaced by its first "#i"-suffixed variant that routes there. Selection
+// uses an independent hash of the key (not its routing hash), so the chosen
+// set is unbiased with respect to routing, and the remapping is stable
+// across runs — the same key always maps to the same variant.
+func skewToShardZero(data []stream.Element, frac float64, shards int, seed uint64) {
+	hasher := hashing.NewMurmur2(seed)
+	router := cluster.NewShardRouter(shards, hasher)
+	selected := func(key string) bool {
+		if frac >= 1 {
+			return true
+		}
+		// Decorrelate from the route hash with a different mix offset.
+		return hashing.Mix64(hasher.Hash(key)+0x9e3779b97f4a7c15) <= uint64(frac*float64(math.MaxUint64))
+	}
+	remap := make(map[string]string)
+	for i, e := range data {
+		to, ok := remap[e.Key]
+		if !ok {
+			to = e.Key
+			if selected(e.Key) {
+				for probe := 0; router.Shard(to) != 0; probe++ {
+					to = fmt.Sprintf("%s#%d", e.Key, probe)
+				}
+			}
+			remap[e.Key] = to
+		}
+		data[i].Key = to
 	}
 }

@@ -95,6 +95,12 @@ type nodeFlags struct {
 	Scrape       string
 	Require      string
 	TraceSample  float64
+
+	AutoReshard   bool
+	WatchHigh     float64
+	WatchLow      float64
+	WatchCooldown time.Duration
+	WatchInterval time.Duration
 }
 
 // validateFlags rejects contradictory or nonsensical flag combinations with
@@ -166,6 +172,26 @@ func validateFlags(f nodeFlags) error {
 		if f.Admin != "" && f.Metrics == f.Admin {
 			return fmt.Errorf("-metrics %s collides with -admin: the metrics endpoint needs its own address", f.Metrics)
 		}
+	}
+	if f.AutoReshard {
+		if f.Role != "coordinator" && f.Role != "cluster-coordinator" {
+			return fmt.Errorf("-autoreshard only applies to coordinator roles: the watcher runs inside the serving cluster")
+		}
+		if f.Admin == "" {
+			return fmt.Errorf("-autoreshard requires -admin: without the admin listener nothing external can observe or audit the watcher's plans")
+		}
+		if f.Metrics == "" {
+			return fmt.Errorf("-autoreshard requires -metrics: an autopilot that reshards silently is undebuggable — its dds_watcher_* counters must be scrapable")
+		}
+	}
+	if f.WatchHigh <= 0 || f.WatchHigh >= 1 || f.WatchLow <= 0 || f.WatchLow >= f.WatchHigh {
+		return fmt.Errorf("-watch-high %v / -watch-low %v: watermarks must satisfy 0 < low < high < 1", f.WatchHigh, f.WatchLow)
+	}
+	if f.WatchCooldown <= 0 {
+		return fmt.Errorf("-watch-cooldown %v: the post-plan cooldown must be positive (it is the anti-flapping guard)", f.WatchCooldown)
+	}
+	if f.WatchInterval <= 0 {
+		return fmt.Errorf("-watch-interval %v: the scoring interval must be positive", f.WatchInterval)
 	}
 	if f.TraceSample < 0 || f.TraceSample > 1 {
 		return fmt.Errorf("-trace-sample %v: the trace sample rate is a probability in [0, 1]", f.TraceSample)
@@ -252,6 +278,11 @@ func main() {
 	flag.StringVar(&f.Scrape, "scrape", "", "scrape role: metrics endpoint to fetch and check (host:port or full URL)")
 	flag.StringVar(&f.Require, "require", "", "scrape role: comma-separated metric families that must be present with a nonzero total")
 	flag.Float64Var(&f.TraceSample, "trace-sample", 0, "fraction of ingest batches to trace with full cross-plane span timelines (/debug/traces); 0 disables, 1 traces everything")
+	flag.BoolVar(&f.AutoReshard, "autoreshard", false, "run the autopilot watcher: score per-shard load and split/merge automatically; requires -admin and -metrics (coordinator roles)")
+	flag.Float64Var(&f.WatchHigh, "watch-high", 0.65, "autoreshard: smoothed load share above which the hottest shard splits")
+	flag.Float64Var(&f.WatchLow, "watch-low", 0.15, "autoreshard: smoothed combined share below which the coldest adjacent ranges merge")
+	flag.DurationVar(&f.WatchCooldown, "watch-cooldown", 2*time.Second, "autoreshard: stand-down after any plan before the watcher acts again")
+	flag.DurationVar(&f.WatchInterval, "watch-interval", 250*time.Millisecond, "autoreshard: how often the watcher scores shard load deltas")
 	flag.Parse()
 
 	if err := validateFlags(f); err != nil {
@@ -349,6 +380,11 @@ func runCoordinator(f nodeFlags) {
 	if f.Admin != "" {
 		opts = append(opts, dds.WithAdmin(f.Admin))
 	}
+	if f.AutoReshard {
+		opts = append(opts,
+			dds.WithAutoReshard(f.WatchHigh, f.WatchLow, f.WatchCooldown),
+			dds.WithWatchInterval(f.WatchInterval))
+	}
 	cl, err := dds.Serve(context.Background(), f.config(), opts...)
 	if err != nil {
 		fatal(err)
@@ -366,11 +402,19 @@ func runCoordinator(f nodeFlags) {
 	if addr := cl.AdminAddr(); addr != "" {
 		fmt.Printf("reshard admin listening on %s (ddsnode -role reshard -admin %s ...)\n", addr, addr)
 	}
+	if f.AutoReshard {
+		fmt.Printf("autopilot resharding armed: split above %.2f, merge below %.2f, cooldown %v, scoring every %v\n",
+			f.WatchHigh, f.WatchLow, f.WatchCooldown, f.WatchInterval)
+	}
 	fmt.Println("press Ctrl-C to stop")
 
 	waitForSignal()
 	offers, replies, queries := cl.Stats()
 	fmt.Printf("\nshutting down: %d offers, %d replies, %d queries served\n", offers, replies, queries)
+	if ws := cl.WatcherStats(); ws != nil {
+		fmt.Printf("autopilot: %d scoring ticks, %d splits, %d merges, %d declined\n",
+			ws.Ticks, ws.Splits, ws.Merges, ws.Skipped)
+	}
 	if sample, err := cl.Sample(0); err == nil {
 		fmt.Println("final merged sample:")
 		for _, e := range sample {

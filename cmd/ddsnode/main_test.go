@@ -21,6 +21,11 @@ func validFlags() nodeFlags {
 		Batch:        1,
 		Pipeline:     0,
 		MergeRange:   -1,
+
+		WatchHigh:     0.65,
+		WatchLow:      0.15,
+		WatchCooldown: 2 * time.Second,
+		WatchInterval: 250 * time.Millisecond,
 	}
 }
 
@@ -148,6 +153,38 @@ func TestValidateFlags(t *testing.T) {
 			f.Scrape = "127.0.0.1:9100"
 			f.TraceSample = 0.5
 		}, "meaningless for -role scrape"},
+		// -autoreshard arms a control loop that mutates the partition on its
+		// own; it must be observable (-metrics), auditable (-admin), and its
+		// hysteresis knobs must make sense before any socket opens.
+		{"autoreshard armed properly is fine", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Shards = 2
+			f.Admin = "127.0.0.1:7069"
+			f.Metrics = "127.0.0.1:9100"
+			f.AutoReshard = true
+		}, ""},
+		{"autoreshard without admin", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Metrics = "127.0.0.1:9100"
+			f.AutoReshard = true
+		}, "-autoreshard requires -admin"},
+		{"autoreshard without metrics", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.Admin = "127.0.0.1:7069"
+			f.AutoReshard = true
+		}, "-autoreshard requires -metrics"},
+		{"autoreshard on site role", func(f *nodeFlags) {
+			f.Role = "site"
+			f.Stream = "-"
+			f.Admin = "127.0.0.1:7069"
+			f.Metrics = "127.0.0.1:9100"
+			f.AutoReshard = true
+		}, "only applies to coordinator roles"},
+		{"watch high above one", func(f *nodeFlags) { f.WatchHigh = 1.2 }, "watermarks"},
+		{"watch low above high", func(f *nodeFlags) { f.WatchLow = 0.8 }, "watermarks"},
+		{"zero watch low", func(f *nodeFlags) { f.WatchLow = 0 }, "watermarks"},
+		{"zero watch cooldown", func(f *nodeFlags) { f.WatchCooldown = 0 }, "-watch-cooldown"},
+		{"negative watch interval", func(f *nodeFlags) { f.WatchInterval = -time.Second }, "-watch-interval"},
 		{"one percent trace sample is fine", func(f *nodeFlags) { f.TraceSample = 0.01 }, ""},
 		{"full trace sample is fine", func(f *nodeFlags) {
 			f.Role = "cluster-coordinator"

@@ -77,7 +77,8 @@ var ErrLeaseLapsed = wire.ErrLeaseLapsed
 
 // ErrNotSnapshottable reports that a coordinator node refused a
 // state-snapshot operation because it predates the Snapshot/Restore API
-// (today: the per-copy sliding-window coordinator). Replica attach, backup
+// (legacy simulation nodes; every built-in dds coordinator — the per-copy
+// sliding-window one included — supports snapshots). Replica attach, backup
 // (Client.Snapshot), and reshard handoffs all surface it; detect it with
 // errors.Is.
 var ErrNotSnapshottable = wire.ErrNotSnapshottable
@@ -116,6 +117,12 @@ type Config struct {
 	retryMax     int
 	retryBase    time.Duration
 	admin        string
+
+	autoReshard   bool
+	watchHigh     float64
+	watchLow      float64
+	watchCooldown time.Duration
+	watchInterval time.Duration
 
 	traceSample    float64
 	traceSampleSet bool
@@ -181,6 +188,35 @@ func WithRetry(max int, base time.Duration) Option {
 // process; the last Open or Serve that used this option wins.
 func WithTraceSampling(rate float64) Option {
 	return func(cfg *Config) { cfg.traceSample = rate; cfg.traceSampleSet = true }
+}
+
+// WithAutoReshard arms autopilot resharding (Serve only; default off): a
+// background watcher scores per-shard load shares from the live metrics
+// registry's counter deltas and executes split/merge plans through the
+// reshard driver — with hysteresis, so noisy load cannot thrash the table.
+// A shard whose smoothed load share sustains above high is split; the
+// coldest adjacent range pair whose combined share sustains below low is
+// merged; after any plan the watcher stands down for cooldown and relearns
+// the distribution from scratch. Zeros take the defaults (high 0.65, low
+// 0.15, cooldown 8 ticks); explicit values must satisfy 0 < low < high < 1.
+// The watcher observes decisions in dds_watcher_plans_total{op=...} and
+// dds_watcher_skipped_total{reason=...}, and reports through the admin stats
+// verb (Client.Stats / AdminStats).
+func WithAutoReshard(high, low float64, cooldown time.Duration) Option {
+	return func(cfg *Config) {
+		cfg.autoReshard = true
+		cfg.watchHigh = high
+		cfg.watchLow = low
+		cfg.watchCooldown = cooldown
+	}
+}
+
+// WithWatchInterval sets the autopilot watcher's scoring tick (Serve only;
+// default 250ms). Requires WithAutoReshard. Shorter ticks react faster but
+// score noisier intervals; the EWMA and sustain hysteresis absorb most of
+// the noise either way.
+func WithWatchInterval(d time.Duration) Option {
+	return func(cfg *Config) { cfg.watchInterval = d }
 }
 
 // WithAdmin names a cluster admin listener. For Serve it is the address to
@@ -259,6 +295,14 @@ func (cfg Config) normalize(opts []Option) (Config, error) {
 	if cfg.syncInterval == 0 {
 		cfg.syncInterval = 100 * time.Millisecond
 	}
+	if cfg.autoReshard {
+		if cfg.watchHigh == 0 {
+			cfg.watchHigh = 0.65
+		}
+		if cfg.watchLow == 0 {
+			cfg.watchLow = 0.15
+		}
+	}
 	switch {
 	case cfg.SampleSize < 1:
 		return cfg, fmt.Errorf("dds: sample size %d must be at least 1", cfg.SampleSize)
@@ -282,6 +326,14 @@ func (cfg Config) normalize(opts []Option) (Config, error) {
 		return cfg, fmt.Errorf("dds: retry base %v must not be negative", cfg.retryBase)
 	case cfg.traceSample < 0 || cfg.traceSample > 1:
 		return cfg, fmt.Errorf("dds: trace sample rate %v must be in [0, 1]", cfg.traceSample)
+	case !cfg.autoReshard && (cfg.watchHigh != 0 || cfg.watchLow != 0 || cfg.watchCooldown != 0 || cfg.watchInterval != 0):
+		return cfg, errors.New("dds: watcher tuning set without WithAutoReshard")
+	case cfg.autoReshard && (cfg.watchHigh >= 1 || cfg.watchHigh < 0 || cfg.watchLow < 0):
+		return cfg, fmt.Errorf("dds: autoreshard watermarks high=%v low=%v must lie in (0, 1)", cfg.watchHigh, cfg.watchLow)
+	case cfg.autoReshard && cfg.watchLow >= cfg.watchHigh:
+		return cfg, fmt.Errorf("dds: autoreshard low watermark %v must be below the high watermark %v", cfg.watchLow, cfg.watchHigh)
+	case cfg.autoReshard && (cfg.watchCooldown < 0 || cfg.watchInterval < 0):
+		return cfg, fmt.Errorf("dds: autoreshard cooldown %v and interval %v must not be negative", cfg.watchCooldown, cfg.watchInterval)
 	}
 	if _, err := wire.ParseCodec(string(cfg.codec)); err != nil {
 		return cfg, fmt.Errorf("dds: unknown codec %q (want %q or %q)", cfg.codec, CodecJSON, CodecBinary)

@@ -128,6 +128,9 @@ type ClusterStats struct {
 	Queries int `json:"queries"`
 	// Metrics is the serving process's registry snapshot.
 	Metrics MetricsSnapshot `json:"metrics"`
+	// Watcher is the autopilot watcher's decision counters; nil when the
+	// cluster runs without WithAutoReshard.
+	Watcher *WatcherStats `json:"watcher,omitempty"`
 }
 
 // Stats fetches the cluster-wide stats — ingest totals and the serving
@@ -146,6 +149,7 @@ func (c *Client) Stats(ctx context.Context) (*ClusterStats, error) {
 	if status.Metrics != nil {
 		stats.Metrics = *status.Metrics
 	}
+	stats.Watcher = status.Watcher
 	return stats, nil
 }
 

@@ -21,11 +21,12 @@ import (
 // splits and merges, and an optional admin listener. Serve starts one; tests,
 // examples, and cmd/ddsnode all run on it.
 type Cluster struct {
-	cfg    Config
-	router *cluster.ShardRouter
-	srv    *replica.Server
-	rs     *cluster.Resharder
-	admin  net.Listener
+	cfg     Config
+	router  *cluster.ShardRouter
+	srv     *replica.Server
+	rs      *cluster.Resharder
+	admin   net.Listener
+	watcher *cluster.Watcher
 }
 
 // Serve starts a cluster per cfg (Listen, Shards, SampleSize, Seed, plus the
@@ -75,6 +76,15 @@ func Serve(ctx context.Context, cfg Config, opts ...Option) (*Cluster, error) {
 			_ = srv.Close()
 			return nil, err
 		}
+	}
+	if cfg.autoReshard {
+		cl.watcher = cluster.NewWatcher(cl.rs, cluster.WatcherConfig{
+			Interval:      cfg.watchInterval,
+			HighWatermark: cfg.watchHigh,
+			LowWatermark:  cfg.watchLow,
+			Cooldown:      cfg.watchCooldown,
+		})
+		cl.watcher.Start()
 	}
 	return cl, nil
 }
@@ -242,9 +252,40 @@ func (cl *Cluster) Sample(asOf int64) (Sample, error) {
 // sent, and queries answered.
 func (cl *Cluster) Stats() (offers, replies, queries int) { return cl.srv.Stats() }
 
-// Close stops the admin listener, every shard member, and the replication
-// loops.
+// WatcherStats is a running count of the autopilot watcher's decisions:
+// scoring ticks taken, split and merge plans executed, ticks on which it
+// declined to act, and the last plan's op and target slot. Zero-valued when
+// WithAutoReshard is off.
+type WatcherStats struct {
+	Ticks   uint64 `json:"ticks"`
+	Splits  uint64 `json:"splits"`
+	Merges  uint64 `json:"merges"`
+	Skipped uint64 `json:"skipped"`
+	LastOp  string `json:"last_op,omitempty"`
+	// LastSlot is the shard slot the last split targeted, or the surviving
+	// slot of the last merge.
+	LastSlot int `json:"last_slot,omitempty"`
+}
+
+// WatcherStats returns the autopilot watcher's decision counters, or nil
+// when the cluster runs without WithAutoReshard.
+func (cl *Cluster) WatcherStats() *WatcherStats {
+	if cl.watcher == nil {
+		return nil
+	}
+	ws := cl.watcher.Stats()
+	return &WatcherStats{
+		Ticks: ws.Ticks, Splits: ws.Splits, Merges: ws.Merges,
+		Skipped: ws.Skipped, LastOp: ws.LastOp, LastSlot: ws.LastSlot,
+	}
+}
+
+// Close stops the autopilot watcher, the admin listener, every shard member,
+// and the replication loops.
 func (cl *Cluster) Close() error {
+	if cl.watcher != nil {
+		cl.watcher.Stop()
+	}
 	if cl.admin != nil {
 		_ = cl.admin.Close()
 	}
@@ -286,6 +327,9 @@ type AdminStatus struct {
 	Replies int              `json:"replies,omitempty"`
 	Queries int              `json:"queries,omitempty"`
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+	// Watcher carries the autopilot watcher's decision counters (stats
+	// command, only when the cluster runs WithAutoReshard).
+	Watcher *WatcherStats `json:"watcher,omitempty"`
 	// Error carries a command failure; the transport-level exchange still
 	// succeeds so the caller sees the live table alongside it.
 	Error string `json:"error,omitempty"`
@@ -338,6 +382,7 @@ func (cl *Cluster) handleAdmin(conn net.Conn) {
 		resp.Offers, resp.Replies, resp.Queries = cl.Stats()
 		ms := Metrics()
 		resp.Metrics = &ms
+		resp.Watcher = cl.WatcherStats()
 	case "table", "":
 		// Read-only.
 	default:

@@ -455,6 +455,262 @@ func RunReshardBench(cfg BenchConfig, replicas int, syncInterval time.Duration) 
 	}, nil
 }
 
+// AutopilotBenchResult is the machine-readable outcome of one autopilot
+// resharding run: how long the watcher took to notice and split a hot shard
+// under skewed ingest, what the control loop cost in throughput while it
+// deliberated and cut over, and the proof that the automated cutover lost
+// and duplicated nothing.
+type AutopilotBenchResult struct {
+	Shards     int    `json:"shards"`
+	Sites      int    `json:"sites"`
+	Replicas   int    `json:"replicas"`
+	SampleSize int    `json:"sample_size"`
+	Codec      string `json:"codec"`
+	Batch      int    `json:"batch"`
+	// Elements is one ingest round's arrival count (rounds replay the same
+	// stream — redundant offers never change a bottom-s sample).
+	Elements int `json:"elements"`
+	// HotShare is the fraction of arrivals the hottest initial shard owns;
+	// HighWatermark is the split threshold the watcher was armed with,
+	// derived from HotShare so the run always has a breach to detect.
+	HotShare      float64 `json:"hot_share"`
+	HighWatermark float64 `json:"high_watermark"`
+	// BeforeOpsPerSec is one full-stream round with the watcher off;
+	// DuringOpsPerSec covers the rounds between arming the watcher and its
+	// split landing (scoring, hysteresis, and the live cutover included);
+	// AfterOpsPerSec is one round against the grown table.
+	BeforeOpsPerSec float64 `json:"before_ops_per_sec"`
+	DuringOpsPerSec float64 `json:"during_ops_per_sec"`
+	AfterOpsPerSec  float64 `json:"after_ops_per_sec"`
+	// RebalanceLatencySec is the arming-to-split wall clock: how long the
+	// imbalance persisted before the autopilot had corrected it.
+	RebalanceLatencySec float64 `json:"rebalance_latency_sec"`
+	Rounds              int     `json:"rounds"`
+	Ticks               uint64  `json:"ticks"`
+	Splits              uint64  `json:"splits"`
+	SkippedTicks        uint64  `json:"skipped_ticks"`
+	TableVersion        uint64  `json:"table_version"`
+	MergedSampleLen     int     `json:"merged_sample_len"`
+}
+
+// RunAutopilotBench measures hands-off rebalancing: cfg.Sites flood clients
+// drive a Zipf-skewed stream into a cfg.Shards-shard cluster, the watcher is
+// armed with a split watermark the hottest shard's smoothed share must
+// breach, and ingest rounds repeat until the watcher has split it — no
+// manual plan anywhere. The merged sample must match the centralized
+// reference at the end, so every run doubles as a correctness proof of the
+// watcher-initiated cutover.
+func RunAutopilotBench(cfg BenchConfig, replicas int, syncInterval time.Duration) (*AutopilotBenchResult, error) {
+	if replicas < 0 {
+		replicas = 0
+	}
+	hasher := hashing.NewMurmur2(cfg.Seed)
+	// Zipf 1.2 (the OC48 trace's exponent): a few keys dominate the stream,
+	// so whichever shard owns them carries a sustained hot share.
+	elements := dataset.Spec{
+		Name: "zipf", Elements: cfg.Elements, TargetDistinct: cfg.Distinct,
+		ZipfExponent: 1.2, Seed: cfg.Seed,
+	}.Generate()
+	arrivals := distribute.Apply(elements, distribute.NewRandom(cfg.Sites, cfg.Seed))
+	perSite := make([][]stream.Arrival, cfg.Sites)
+	for _, a := range arrivals {
+		perSite[a.Site] = append(perSite[a.Site], a)
+	}
+
+	router := NewShardRouter(cfg.Shards, hasher)
+	counts := make(map[int]int)
+	for _, a := range arrivals {
+		counts[router.Shard(a.Key)]++
+	}
+	hot := 0
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+	}
+	hotShare := float64(hot) / float64(len(arrivals))
+	// Arm the watermark below the measured hot share so the breach is a
+	// property of the fixture, not luck; the floor keeps it a real threshold.
+	const low = 0.02
+	high := 0.85 * hotShare
+	if high <= 2*low {
+		high = 2 * low
+	}
+
+	srv, err := replica.Listen("127.0.0.1:0", cfg.Shards, replica.Options{
+		Replicas:     replicas,
+		SyncInterval: syncInterval,
+		Codec:        cfg.Codec,
+		RouteHash:    router.RouteHash,
+	}, func(int, int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(cfg.SampleSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	opts := wire.Options{
+		Codec: cfg.Codec, BatchSize: cfg.Batch, Window: cfg.Window,
+		RetryMax: 12, RetryBase: 2 * time.Millisecond,
+	}
+	clients := make([]*SiteClient, cfg.Sites)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	groups := srv.GroupAddrs()
+	for site := 0; site < cfg.Sites; site++ {
+		id := site
+		// Flood mode always: the per-slot offer counters must see the
+		// stream's true skew for the watcher to have a signal worth scoring.
+		clients[site], err = DialGroups(groups, router, func(int) netsim.SiteNode {
+			return &floodSite{id: id, hasher: hasher}
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rs := NewResharder(srv, router.Table(), cfg.Codec)
+	rs.Register(clients...)
+
+	// ingestRound replays every site's whole stream concurrently, then keeps
+	// every client pumping route updates until all sites have drained — so a
+	// watcher-initiated cutover always finds cooperative clients, ingesting
+	// or idle.
+	ingestRound := func() (time.Duration, error) {
+		start := time.Now()
+		opDone := make(chan struct{})
+		errs := make(chan error, cfg.Sites)
+		var wg sync.WaitGroup
+		for site := 0; site < cfg.Sites; site++ {
+			wg.Add(1)
+			go func(site int) {
+				defer wg.Done()
+				for _, a := range perSite[site] {
+					if err := clients[site].Observe(a.Key, a.Slot); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := clients[site].Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for {
+					select {
+					case <-opDone:
+						errs <- clients[site].ApplyRouteUpdates()
+						return
+					default:
+						if err := clients[site].ApplyRouteUpdates(); err != nil {
+							errs <- err
+							return
+						}
+						time.Sleep(500 * time.Microsecond)
+					}
+				}
+			}(site)
+		}
+		close(opDone)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	beforeDur, err := ingestRound()
+	if err != nil {
+		return nil, err
+	}
+
+	w := NewWatcher(rs, WatcherConfig{
+		Interval:      5 * time.Millisecond,
+		HighWatermark: high,
+		LowWatermark:  low,
+		// One plan per run: the long cooldown guarantees the watcher is idle
+		// again by the time the run quiesces and stops it.
+		Cooldown:  time.Hour,
+		MaxShards: 2 * cfg.Shards,
+	})
+	armedAt := time.Now()
+	w.Start()
+	defer w.Stop()
+
+	deadline := armedAt.Add(30 * time.Second)
+	var duringDur time.Duration
+	rounds := 0
+	for w.Stats().Splits == 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: autopilot bench: watcher never split the hot shard (stats %+v after %d rounds, hot share %.2f, watermark %.2f)",
+				w.Stats(), rounds, hotShare, high)
+		}
+		d, err := ingestRound()
+		if err != nil {
+			return nil, err
+		}
+		duringDur += d
+		rounds++
+	}
+	rebalanceLatency := time.Since(armedAt)
+
+	afterDur, err := ingestRound()
+	if err != nil {
+		return nil, err
+	}
+	w.Stop() // idle by construction (hour-long cooldown); Stop is idempotent
+
+	for site := 0; site < cfg.Sites; site++ {
+		if err := clients[site].Flush(); err != nil {
+			return nil, err
+		}
+	}
+	if err := srv.SyncNow(); err != nil {
+		return nil, err
+	}
+	shardSamples, err := srv.PrimarySamples()
+	if err != nil {
+		return nil, err
+	}
+	merged := Merge(cfg.SampleSize, shardSamples...)
+	oracle := core.NewReference(cfg.SampleSize, hasher)
+	oracle.ObserveAll(stream.Keys(elements))
+	if !oracle.SameSample(merged) {
+		return nil, fmt.Errorf("cluster: merged sample diverged from the centralized reference after an autopilot split (shards=%d replicas=%d codec=%s)",
+			cfg.Shards, replicas, cfg.Codec)
+	}
+
+	st := w.Stats()
+	return &AutopilotBenchResult{
+		Shards:              cfg.Shards,
+		Sites:               cfg.Sites,
+		Replicas:            replicas,
+		SampleSize:          cfg.SampleSize,
+		Codec:               cfg.Codec.String(),
+		Batch:               cfg.Batch,
+		Elements:            len(arrivals),
+		HotShare:            hotShare,
+		HighWatermark:       high,
+		BeforeOpsPerSec:     float64(len(arrivals)) / beforeDur.Seconds(),
+		DuringOpsPerSec:     float64(rounds*len(arrivals)) / duringDur.Seconds(),
+		AfterOpsPerSec:      float64(len(arrivals)) / afterDur.Seconds(),
+		RebalanceLatencySec: rebalanceLatency.Seconds(),
+		Rounds:              rounds,
+		Ticks:               st.Ticks,
+		Splits:              st.Splits,
+		SkippedTicks:        st.Skipped,
+		TableVersion:        rs.Table().Version,
+		MergedSampleLen:     len(merged),
+	}, nil
+}
+
 // SlidingFailoverResult is the machine-readable outcome of one
 // sliding-window kill-and-promote benchmark run: ingest throughput before
 // and after a shard primary is killed mid-ingest, with the whole cluster

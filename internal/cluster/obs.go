@@ -57,6 +57,22 @@ func reshardPhase(tc obs.TraceContext, op, phase string, version uint64, start t
 	}
 }
 
+// watcherPlans counts plans the autopilot watcher executed, by op
+// ("split" / "merge") — distinct from dds_reshard_plans_total, which counts
+// manual plans too; the difference is the human-initiated remainder.
+func watcherPlans(op string) *obs.Counter {
+	return obs.Default().Counter(fmt.Sprintf("dds_watcher_plans_total{op=%q}", op))
+}
+
+// watcherSkipped counts scoring ticks on which the watcher declined to act,
+// by reason: "idle" (too little load to score), "cooldown" (standing down
+// after a plan), "sustain" (watermark breached but not yet long enough),
+// "max-shards" / "min-shards" (table bounds), "plan-failed" (the driver
+// refused the plan).
+func watcherSkipped(reason string) *obs.Counter {
+	return obs.Default().Counter(fmt.Sprintf("dds_watcher_skipped_total{reason=%q}", reason))
+}
+
 // shardObs builds the per-slot offer/churn counters injected into bare
 // (non-replicated) shard coordinators; replica.Server injects the same names
 // for its groups, and the registry dedupes, so the per-slot series are

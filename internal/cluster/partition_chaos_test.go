@@ -3,7 +3,6 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -193,23 +192,15 @@ func TestPartitionChaosSelfHeals(t *testing.T) {
 		}
 	}
 
-	// syncNow forces rounds until one completes cleanly. The sync plane is
-	// faulty by construction, so a forced round can lose its state-frame to
-	// the injector even after push's one redial; the background loop would
-	// simply heal on the next tick, and quiescing needs exactly one clean
-	// round — so retry injected losses and fail on anything else.
+	// The sync plane is faulty by construction, so a forced round can lose
+	// its state-frame to the injector even after push's one redial — but
+	// SyncNow retries transient losses internally now (bounded, typed
+	// exhaustion), so quiescing is a single call with no caller-side loop.
 	syncNow := func(label string) {
 		t.Helper()
-		var err error
-		for attempt := 0; attempt < 20; attempt++ {
-			if err = srv.SyncNow(); err == nil {
-				return
-			}
-			if !errors.Is(err, faultnet.ErrInjected) {
-				break
-			}
+		if err := srv.SyncNow(); err != nil {
+			t.Fatalf("%s: %v", label, err)
 		}
-		t.Fatalf("%s: %v", label, err)
 	}
 
 	// Chunk 0: clean ingest, then one forced sync round so every group's

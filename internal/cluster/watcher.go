@@ -1,0 +1,400 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the autopilot half of the resharding control plane: a
+// background loop that closes the observe → plan → execute cycle the manual
+// Resharder left open. PR 6 landed the watcher's inputs (the per-slot
+// dds_shard_offers_total / dds_shard_sample_churn_total counters) and PR 7
+// its actuation path (route-push cutovers under version fences); the Watcher
+// connects them with the guardrails any production rebalancer needs:
+//
+//   - EWMA smoothing: per-tick counter deltas are noisy; decisions are made
+//     on an exponentially-weighted share per slot, not raw intervals.
+//   - Watermarks with a sustain requirement: a slot must hold ≥ the high
+//     watermark share for SustainTicks consecutive ticks before a split, and
+//     an adjacent pair must hold ≤ the low watermark equally long before a
+//     merge — a single hot interval proposes nothing.
+//   - Cooldown: after any executed (or failed) plan, the watcher stands
+//     down for Cooldown and resets its smoothing state, so load redistributed
+//     by the cutover is re-learned from scratch and plans cannot oscillate.
+//   - One plan in flight: plans execute synchronously on the watcher's own
+//     goroutine through the Resharder (whose mutex serializes whole plans),
+//     so a second plan cannot start while one is cutting over.
+//
+// Every decision is observable: executed plans count in
+// dds_watcher_plans_total{op=...}, declined ticks in
+// dds_watcher_skipped_total{reason=...}, and each executed plan records a
+// watcher_<op> span on its own sampled trace, joining the reshard phase
+// spans the Resharder emits under the same trace context.
+
+// WatcherConfig tunes the autopilot loop. The zero value of every field
+// means "use the default"; Watcher normalizes on construction.
+type WatcherConfig struct {
+	// Interval is the tick period: how often counter deltas are read and
+	// scored. Default 250ms.
+	Interval time.Duration
+	// HighWatermark is the EWMA load share above which a slot is hot and —
+	// sustained — split. Default 0.65.
+	HighWatermark float64
+	// LowWatermark is the combined EWMA load share below which the coldest
+	// adjacent range pair is merge-eligible. Default 0.15.
+	LowWatermark float64
+	// Cooldown is how long the watcher stands down after any plan attempt.
+	// Default 8× Interval.
+	Cooldown time.Duration
+	// Alpha is the EWMA weight of the newest interval (0 < Alpha ≤ 1).
+	// Default 0.5.
+	Alpha float64
+	// SustainTicks is how many consecutive scoring ticks a watermark breach
+	// must persist before a plan executes. Default 2.
+	SustainTicks int
+	// MinShards / MaxShards bound the table size the watcher will plan
+	// toward. Defaults 1 and 16.
+	MinShards int
+	MaxShards int
+	// MinLoad is the minimum summed per-tick delta worth scoring; quieter
+	// ticks are skipped as idle (shares of a handful of offers are noise).
+	// Default 1.
+	MinLoad uint64
+}
+
+func (c WatcherConfig) withDefaults() WatcherConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.HighWatermark <= 0 {
+		c.HighWatermark = 0.65
+	}
+	if c.LowWatermark <= 0 {
+		c.LowWatermark = 0.15
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8 * c.Interval
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.SustainTicks <= 0 {
+		c.SustainTicks = 2
+	}
+	if c.MinShards < 1 {
+		c.MinShards = 1
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 16
+	}
+	if c.MinLoad == 0 {
+		c.MinLoad = 1
+	}
+	return c
+}
+
+// reshardDriver is the slice of Resharder the watcher drives — an interface
+// so hysteresis tests can feed deterministic fakes.
+type reshardDriver interface {
+	Table() RangeTable
+	Split(slot int, mid uint64) (*ReshardReport, error)
+	MergeAt(rangeIdx int) (*ReshardReport, error)
+}
+
+// WatcherStats is a point-in-time summary of the autopilot loop, surfaced
+// through the dds admin stats verb.
+type WatcherStats struct {
+	// Ticks counts scoring passes (idle and cooldown ticks included).
+	Ticks uint64 `json:"ticks"`
+	// Splits and Merges count executed plans.
+	Splits uint64 `json:"splits"`
+	Merges uint64 `json:"merges"`
+	// Skipped counts ticks on which a watermark breach was declined
+	// (cooldown, sustain, table bounds) or a plan failed.
+	Skipped uint64 `json:"skipped"`
+	// LastOp names the most recent executed plan ("split"/"merge"), with
+	// the slot it targeted; empty until the first plan.
+	LastOp   string `json:"last_op,omitempty"`
+	LastSlot int    `json:"last_slot,omitempty"`
+}
+
+// Watcher is the autopilot resharding loop. Construct with NewWatcher,
+// Start it after the Resharder's clients are registered, Stop it before the
+// server closes.
+type Watcher struct {
+	cfg    WatcherConfig
+	drv    reshardDriver
+	deltas *obs.DeltaReader
+	now    func() time.Time
+
+	mu            sync.Mutex
+	ewma          map[int]float64 // slot → smoothed load share
+	hotSlot       int             // slot whose high-watermark streak is live
+	hotStreak     int             // consecutive ticks hotSlot held ≥ high
+	coldIdx       int             // range index whose low-watermark streak is live
+	coldStreak    int             // consecutive ticks that pair held ≤ low
+	cooldownUntil time.Time
+	stats         WatcherStats
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewWatcher builds a watcher over the live Resharder, reading load deltas
+// from the process-global registry (the same counters the metrics endpoint
+// exports). The baseline is taken now: load before the watcher existed is
+// not imbalance.
+func NewWatcher(rs *Resharder, cfg WatcherConfig) *Watcher {
+	return newWatcher(rs, cfg, obs.NewDeltaReader(obs.Default()), time.Now)
+}
+
+func newWatcher(drv reshardDriver, cfg WatcherConfig, deltas *obs.DeltaReader, now func() time.Time) *Watcher {
+	return &Watcher{
+		cfg:     cfg.withDefaults(),
+		drv:     drv,
+		deltas:  deltas,
+		now:     now,
+		ewma:    make(map[int]float64),
+		hotSlot: -1,
+		coldIdx: -1,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the background loop. Calling Start twice is a no-op.
+func (w *Watcher) Start() {
+	w.startOnce.Do(func() {
+		go w.loop()
+	})
+}
+
+// Stop halts the loop and waits for it to exit, including any plan it is
+// mid-way through executing (plans are not cancelled half-applied).
+func (w *Watcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	select {
+	case <-w.done:
+	case <-time.After(time.Minute):
+	}
+}
+
+// Stats returns a snapshot of the loop's counters.
+func (w *Watcher) Stats() WatcherStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+			w.step(w.shardDeltas())
+		}
+	}
+}
+
+// shardDeltas reads one tick's movement of the per-slot ingest counters and
+// folds offers and sample churn into a single load figure per slot.
+func (w *Watcher) shardDeltas() map[int]uint64 {
+	out := make(map[int]uint64)
+	for name, d := range w.deltas.Deltas() {
+		for _, prefix := range []string{`dds_shard_offers_total{slot="`, `dds_shard_sample_churn_total{slot="`} {
+			if rest, ok := strings.CutPrefix(name, prefix); ok {
+				if num, ok := strings.CutSuffix(rest, `"}`); ok {
+					if slot, err := strconv.Atoi(num); err == nil {
+						out[slot] += d
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// watcherPlan is one decided action, carried from decide to execute.
+type watcherPlan struct {
+	op       string // "split" or "merge"
+	slot     int    // split: the hot slot; merge: the surviving left slot
+	rangeIdx int    // merge: the left range index of the absorbed pair
+	share    float64
+}
+
+// step runs one scoring tick: smooth the deltas, decide, and execute any
+// plan synchronously. Split out from the ticker loop so hysteresis tests
+// can drive deterministic feeds with a fake clock.
+func (w *Watcher) step(deltas map[int]uint64) {
+	plan := w.decide(deltas)
+	if plan != nil {
+		w.execute(plan)
+	}
+}
+
+// skip records one declined tick under its reason. Callers hold w.mu.
+func (w *Watcher) skip(reason string) {
+	w.stats.Skipped++
+	watcherSkipped(reason).Inc()
+}
+
+// decide updates the smoothed shares from one tick's deltas and returns the
+// plan to execute, if any. Pure in (state, deltas, clock): the same feed
+// against the same config yields the same plan sequence.
+func (w *Watcher) decide(deltas map[int]uint64) *watcherPlan {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stats.Ticks++
+
+	table := w.drv.Table()
+	live := make(map[int]bool, len(table.Slots))
+	var total uint64
+	for _, slot := range table.Slots {
+		live[slot] = true
+		total += deltas[slot]
+	}
+	// Drop smoothing state for slots retired by earlier plans.
+	for slot := range w.ewma {
+		if !live[slot] {
+			delete(w.ewma, slot)
+		}
+	}
+	if total < w.cfg.MinLoad {
+		w.skip("idle")
+		return nil
+	}
+	for _, slot := range table.Slots {
+		share := float64(deltas[slot]) / float64(total)
+		if prev, ok := w.ewma[slot]; ok {
+			w.ewma[slot] = w.cfg.Alpha*share + (1-w.cfg.Alpha)*prev
+		} else {
+			w.ewma[slot] = share
+		}
+	}
+
+	// Hottest slot first: a sustained breach of the high watermark splits.
+	hotSlot, hotShare := -1, 0.0
+	for _, slot := range table.Slots {
+		if s := w.ewma[slot]; hotSlot < 0 || s > hotShare {
+			hotSlot, hotShare = slot, s
+		}
+	}
+	inCooldown := w.now().Before(w.cooldownUntil)
+	if hotShare >= w.cfg.HighWatermark {
+		w.coldIdx, w.coldStreak = -1, 0
+		if len(table.Slots) >= w.cfg.MaxShards {
+			w.skip("max-shards")
+			return nil
+		}
+		if inCooldown {
+			w.skip("cooldown")
+			return nil
+		}
+		if w.hotSlot != hotSlot {
+			w.hotSlot, w.hotStreak = hotSlot, 0
+		}
+		w.hotStreak++
+		if w.hotStreak < w.cfg.SustainTicks {
+			w.skip("sustain")
+			return nil
+		}
+		return &watcherPlan{op: "split", slot: hotSlot, share: hotShare}
+	}
+	w.hotSlot, w.hotStreak = -1, 0
+
+	// Coldest adjacent pair next: a sustained combined share below the low
+	// watermark merges the pair into its left member.
+	coldIdx, coldShare := -1, 0.0
+	for i := 0; i+1 < len(table.Slots); i++ {
+		pair := w.ewma[table.Slots[i]] + w.ewma[table.Slots[i+1]]
+		if coldIdx < 0 || pair < coldShare {
+			coldIdx, coldShare = i, pair
+		}
+	}
+	if coldIdx >= 0 && coldShare <= w.cfg.LowWatermark {
+		if len(table.Slots) <= w.cfg.MinShards {
+			w.skip("min-shards")
+			return nil
+		}
+		if inCooldown {
+			w.skip("cooldown")
+			return nil
+		}
+		if w.coldIdx != coldIdx {
+			w.coldIdx, w.coldStreak = coldIdx, 0
+		}
+		w.coldStreak++
+		if w.coldStreak < w.cfg.SustainTicks {
+			w.skip("sustain")
+			return nil
+		}
+		return &watcherPlan{op: "merge", slot: table.Slots[coldIdx], rangeIdx: coldIdx, share: coldShare}
+	}
+	w.coldIdx, w.coldStreak = -1, 0
+	return nil
+}
+
+// execute runs one plan through the driver, traced and counted, then enters
+// cooldown and resets the smoothing state — post-plan load distribution is
+// re-learned from scratch, which is half of the oscillation guard (the
+// cooldown window is the other half).
+func (w *Watcher) execute(p *watcherPlan) {
+	tc := obs.StartTrace()
+	start := time.Now()
+	var (
+		report *ReshardReport
+		err    error
+	)
+	switch p.op {
+	case "split":
+		var mid uint64
+		if mid, err = w.drv.Table().SplitPoint(p.slot, 0.5); err == nil {
+			report, err = w.drv.Split(p.slot, mid)
+		}
+	case "merge":
+		report, err = w.drv.MergeAt(p.rangeIdx)
+	}
+	if tc.Sampled() {
+		obs.StageSpan(tc, "watcher_"+p.op, start.UnixNano(), time.Now().UnixNano())
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Cooldown applies to failed plans too: a plan that cannot execute right
+	// now (e.g. a concurrent manual plan won the race) must not be retried
+	// at tick frequency.
+	w.cooldownUntil = w.now().Add(w.cfg.Cooldown)
+	w.ewma = make(map[int]float64)
+	w.hotSlot, w.hotStreak = -1, 0
+	w.coldIdx, w.coldStreak = -1, 0
+	if err != nil {
+		w.skip("plan-failed")
+		obs.Logger().Warn("watcher plan failed", "op", p.op, "slot", p.slot, "err", err.Error())
+		return
+	}
+	watcherPlans(p.op).Inc()
+	switch p.op {
+	case "split":
+		w.stats.Splits++
+	case "merge":
+		w.stats.Merges++
+	}
+	w.stats.LastOp, w.stats.LastSlot = p.op, p.slot
+	obs.Logger().Info("watcher plan executed",
+		"op", p.op, "slot", p.slot, "share", fmt.Sprintf("%.3f", p.share),
+		"version", report.Version, "total_ns", time.Since(start).Nanoseconds())
+}

@@ -71,6 +71,13 @@ type SectionState struct {
 	// (infinite) or the non-dominated tuple store (sliding), in ascending
 	// hash order.
 	Entries []netsim.SampleEntry `json:"entries,omitempty"`
+	// Slot is the section's own slot clock, for samplers whose copies
+	// advance independently (the multi-copy sliding sampler: each copy's
+	// expiry horizon is its own last-processed slot, which can trail the
+	// envelope's). Single-clock samplers leave it 0 and use State.Slot.
+	// Encoded as a trailing section field, so version-1 decoders that
+	// predate it skip it under the section length prefix.
+	Slot int64 `json:"slot,omitempty"`
 }
 
 // State is a versioned, self-describing snapshot of a Sampler. It is the
@@ -167,7 +174,7 @@ func FilterState(st State, keep func(key string) bool) State {
 	out := st
 	out.Sections = make([]SectionState, len(st.Sections))
 	for i, sec := range st.Sections {
-		kept := SectionState{}
+		kept := SectionState{Slot: sec.Slot}
 		if sec.Candidate != nil && keep(sec.Candidate.Key) {
 			c := *sec.Candidate
 			kept.Candidate = &c
@@ -205,7 +212,10 @@ func MergeStates(dst, src State) (State, error) {
 		out.Slot = src.Slot
 	}
 	for i := range dst.Sections {
-		merged := SectionState{Candidate: dst.Sections[i].Candidate}
+		merged := SectionState{Candidate: dst.Sections[i].Candidate, Slot: dst.Sections[i].Slot}
+		if s := src.Sections[i].Slot; s > merged.Slot {
+			merged.Slot = s
+		}
 		merged.Entries = append(append([]netsim.SampleEntry(nil), dst.Sections[i].Entries...), src.Sections[i].Entries...)
 		if c := src.Sections[i].Candidate; c != nil {
 			merged.Entries = append(merged.Entries, *c)
@@ -243,6 +253,8 @@ func StateEntryCount(st State) int {
 //	  [candidate entry]
 //	  uvarint entry count
 //	  entries: key (uvarint len + bytes), hash (8 bytes IEEE 754), expiry (varint)
+//	  varint  section slot clock   (appended field; absent in pre-slot
+//	                                encodings, which decode to Slot 0)
 //
 // The layout mirrors the wire codec's conventions (internal/wire/codec.go)
 // so the encoded state embeds directly into a wire frame as one opaque blob.
@@ -275,6 +287,7 @@ func AppendEncodedState(buf []byte, st State) []byte {
 		for _, e := range sec.Entries {
 			scratch = appendStateEntry(scratch, e)
 		}
+		scratch = binary.AppendVarint(scratch, sec.Slot)
 		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
 		buf = append(buf, scratch...)
 	}
@@ -399,8 +412,16 @@ func DecodeState(data []byte) (State, error) {
 		if sd.err != nil {
 			return State{}, sd.err
 		}
-		// Trailing bytes in the section are a same-version extension this
-		// decoder predates; skipping them is the forward-compat contract.
+		// The section slot clock was itself appended this way; encodings
+		// that predate it simply end here and decode to Slot 0.
+		if len(sd.buf) > 0 {
+			sec.Slot = sd.varint()
+			if sd.err != nil {
+				return State{}, sd.err
+			}
+		}
+		// Any remaining bytes are a same-version extension this decoder
+		// predates; skipping them is the forward-compat contract.
 		st.Sections = append(st.Sections, sec)
 	}
 	if d.err != nil {

@@ -1,0 +1,43 @@
+package obs
+
+// DeltaReader turns a Registry's monotone counters into per-interval
+// movement: each Deltas call reports how much every counter advanced since
+// the previous call (or since the reader's creation, for the first call) and
+// moves the baseline forward. It is the read seam control loops poll — the
+// cluster load watcher scores shard imbalance from per-tick deltas of the
+// shard ingest counters, not from lifetime totals, because a shard that was
+// hot an hour ago must not look hot forever.
+//
+// The reader holds no lock across calls and is cheap enough to poll at
+// sub-second intervals (one registry snapshot plus a map diff). It is not
+// itself goroutine-safe: each control loop owns one reader.
+type DeltaReader struct {
+	reg  *Registry
+	last map[string]uint64
+}
+
+// NewDeltaReader creates a reader whose baseline is the registry's counter
+// values at creation time, so pre-existing totals never appear as movement.
+func NewDeltaReader(reg *Registry) *DeltaReader {
+	r := &DeltaReader{reg: reg, last: make(map[string]uint64)}
+	for _, c := range reg.Snapshot().Counters {
+		r.last[c.Name] = c.Value
+	}
+	return r
+}
+
+// Deltas returns every counter's advance since the previous call, keyed by
+// full instrument name (labels included), omitting counters that did not
+// move. The baseline advances to the current snapshot, so successive calls
+// tile the timeline with no gaps or double counting. Counters born since the
+// last call report their full value (they started at zero).
+func (r *DeltaReader) Deltas() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, c := range r.reg.Snapshot().Counters {
+		if d := c.Value - r.last[c.Name]; d > 0 {
+			out[c.Name] = d
+		}
+		r.last[c.Name] = c.Value
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package obs
+
+import "testing"
+
+// TestDeltaReaderTilesTheTimeline pins the delta-read contract the load
+// watcher depends on: pre-existing totals are not movement, successive reads
+// report disjoint intervals (no gap, no double counting), idle counters are
+// omitted, and counters born between reads report their full value.
+func TestDeltaReaderTilesTheTimeline(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter(`load{slot="0"}`)
+	b := reg.Counter(`load{slot="1"}`)
+	a.Add(100) // history before the reader exists
+
+	r := NewDeltaReader(reg)
+	if d := r.Deltas(); len(d) != 0 {
+		t.Fatalf("first read saw pre-existing totals as movement: %v", d)
+	}
+
+	a.Add(7)
+	b.Add(3)
+	d := r.Deltas()
+	if d[`load{slot="0"}`] != 7 || d[`load{slot="1"}`] != 3 || len(d) != 2 {
+		t.Fatalf("interval deltas = %v, want slot0:7 slot1:3", d)
+	}
+
+	// Nothing moved: the next read is empty, not a repeat.
+	if d := r.Deltas(); len(d) != 0 {
+		t.Fatalf("idle interval reported movement: %v", d)
+	}
+
+	// A counter born after the baseline reports its full value once.
+	reg.Counter(`load{slot="2"}`).Add(11)
+	a.Add(1)
+	d = r.Deltas()
+	if d[`load{slot="2"}`] != 11 || d[`load{slot="0"}`] != 1 || len(d) != 2 {
+		t.Fatalf("post-birth deltas = %v, want slot2:11 slot0:1", d)
+	}
+}

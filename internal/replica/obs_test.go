@@ -8,6 +8,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/sliding"
 	"repro/internal/wire"
 )
 
@@ -25,6 +26,24 @@ func TestAddGroupNotSnapshottableTyped(t *testing.T) {
 	}
 	if !errors.Is(err, wire.ErrNotSnapshottable) {
 		t.Fatalf("err = %v, want errors.Is(err, wire.ErrNotSnapshottable)", err)
+	}
+}
+
+// TestAddGroupMultiCoordinatorSnapshottable asserts the fix for the
+// carried-forward gap the sentinel above used to cover: the per-copy
+// sliding-window coordinator now implements Snapshot/Restore (section-level
+// slot clocks), so a replicated group of them attaches and syncs cleanly.
+// (The replica AddGroup path previously returned ErrNotSnapshottable here.)
+func TestAddGroupMultiCoordinatorSnapshottable(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", 1, Options{Replicas: 1}, func(int, int) netsim.CoordinatorNode {
+		return sliding.NewMultiCoordinator(3)
+	})
+	if err != nil {
+		t.Fatalf("Listen rejected a multi-copy sliding coordinator group: %v", err)
+	}
+	defer srv.Close()
+	if err := srv.SyncNow(); err != nil {
+		t.Fatalf("sync round over multi-copy sliding state failed: %v", err)
 	}
 }
 

@@ -26,6 +26,7 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -610,15 +611,47 @@ func (g *group) push(m *member, opts Options, tc obs.TraceContext, epoch uint64,
 	}
 }
 
+// ErrSyncUnhealthy reports that a forced sync round could not complete
+// cleanly within SyncNow's internal retry budget: every attempt on some
+// group lost its frame to the link. The wrapped chain carries the last
+// transport error; detect the exhaustion itself with errors.Is.
+var ErrSyncUnhealthy = errors.New("replica: forced sync round did not complete")
+
+// syncNowAttempts bounds SyncNow's per-group retries. The sync plane may be
+// lossy by construction (fault-injected tests, flaky links): a forced round
+// can lose its state frame even after push's one redial, and the background
+// ticker would simply heal on the next tick — so a quiesce-grade round
+// retries transient losses itself instead of making every caller loop.
+const syncNowAttempts = 20
+
 // SyncNow forces one immediate sync round on every live group, returning the
 // first error. Callers use it to quiesce replication: after SiteClient
 // flushes have drained and SyncNow returns, every live replica holds the
 // primary's exact current state.
+//
+// Transient frame losses are retried internally (up to syncNowAttempts per
+// group); exhaustion surfaces as an error wrapping ErrSyncUnhealthy plus the
+// last transport error. A deposed-primary fence (wire.ErrDeposed) is
+// permanent for this epoch and returns immediately — retrying cannot heal
+// it, promotion can.
 func (s *Server) SyncNow() error {
 	var firstErr error
 	for _, g := range s.snapshotGroups() {
-		if err := g.syncRound(s.opts, true); err != nil && firstErr == nil {
-			firstErr = err
+		var lastErr error
+		for attempt := 0; attempt < syncNowAttempts; attempt++ {
+			if lastErr = g.syncRound(s.opts, true); lastErr == nil {
+				break
+			}
+			if errors.Is(lastErr, wire.ErrDeposed) {
+				break
+			}
+		}
+		if lastErr != nil && firstErr == nil {
+			if errors.Is(lastErr, wire.ErrDeposed) {
+				firstErr = lastErr
+			} else {
+				firstErr = fmt.Errorf("replica: shard %d: %w: %w", g.shard, ErrSyncUnhealthy, lastErr)
+			}
 		}
 	}
 	return firstErr

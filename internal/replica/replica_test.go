@@ -3,6 +3,8 @@ package replica
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -162,5 +164,66 @@ func TestListenRejectsNonRestorable(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("Listen should reject non-restorable coordinators when replicas are enabled")
+	}
+}
+
+// flakyConn drops WriteFrames while its shared countdown is positive —
+// shared across redials, so a retry budget is consumed honestly.
+type flakyConn struct {
+	wire.FrameConn
+	drops *atomic.Int64
+}
+
+func (f flakyConn) WriteFrame(fr *wire.Frame) error {
+	if f.drops.Add(-1) >= 0 {
+		return errors.New("flaky: injected write loss")
+	}
+	return f.FrameConn.WriteFrame(fr)
+}
+
+// TestSyncNowRetriesTransientLosses pins SyncNow's internal retry: a burst
+// of frame losses on the sync link no longer surfaces to the caller — the
+// forced round retries until one completes — while a link that never
+// delivers exhausts the bounded budget with an error wrapping
+// ErrSyncUnhealthy. (Callers previously had to hand-roll this loop; the
+// partition chaos test's was removed when the retry moved here.)
+func TestSyncNowRetriesTransientLosses(t *testing.T) {
+	var drops atomic.Int64
+	srv, err := Listen("127.0.0.1:0", 1, Options{
+		Replicas:     1,
+		SyncInterval: time.Hour, // ticker effectively off; the test drives SyncNow
+		Codec:        wire.CodecBinary,
+		SyncWrap: func(c wire.FrameConn) wire.FrameConn {
+			return flakyConn{FrameConn: c, drops: &drops}
+		},
+	}, func(int, int) netsim.CoordinatorNode {
+		return core.NewInfiniteCoordinator(8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A transient burst: fewer losses than the retry budget can absorb.
+	drops.Store(5)
+	if err := srv.SyncNow(); err != nil {
+		t.Fatalf("SyncNow did not absorb a transient loss burst: %v", err)
+	}
+
+	// A dead link: every attempt loses its frame; the budget exhausts with
+	// the typed error, not a hang.
+	drops.Store(1 << 40)
+	err = srv.SyncNow()
+	if err == nil {
+		t.Fatal("SyncNow succeeded over a link that delivers nothing")
+	}
+	if !errors.Is(err, ErrSyncUnhealthy) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrSyncUnhealthy)", err)
+	}
+
+	// Healed link: the server recovers with no caller-side intervention.
+	drops.Store(0)
+	if err := srv.SyncNow(); err != nil {
+		t.Fatalf("SyncNow after heal: %v", err)
 	}
 }

@@ -1,6 +1,9 @@
 package sliding
 
 import (
+	"fmt"
+
+	"repro/internal/core"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
 )
@@ -138,6 +141,58 @@ func (m *MultiCoordinator) Sample() []netsim.SampleEntry {
 	}
 	return entries
 }
+
+// Snapshot implements core.Snapshotter: one section per copy, in copy
+// order, each carrying that copy's offer store, candidate, and — because the
+// copies advance their slot clocks independently (a copy only moves on its
+// own messages and slot ends) — the copy's own clock in the section-level
+// Slot field. The envelope Slot is the maximum, preserving the invariant
+// that State.Slot is the highest slot the sampler has processed.
+func (m *MultiCoordinator) Snapshot() core.State {
+	st := core.State{
+		Version:    core.StateVersion,
+		Kind:       core.StateSliding,
+		SampleSize: len(m.copies),
+		Sections:   make([]core.SectionState, len(m.copies)),
+	}
+	for i, c := range m.copies {
+		cs := c.Snapshot()
+		sec := cs.Sections[0]
+		sec.Slot = cs.Slot
+		st.Sections[i] = sec
+		if cs.Slot > st.Slot {
+			st.Slot = cs.Slot
+		}
+	}
+	return st
+}
+
+// Restore implements core.Snapshotter: each section is poured back into its
+// copy with the section's own slot clock, so Snapshot → Restore → Snapshot
+// round-trips byte-identically even when the copies' clocks disagree.
+func (m *MultiCoordinator) Restore(st core.State) error {
+	if err := core.ValidateState(st, core.StateSliding, len(m.copies)); err != nil {
+		return err
+	}
+	if len(st.Sections) != len(m.copies) {
+		return fmt.Errorf("sliding: multi-coordinator snapshot has %d sections, want %d", len(st.Sections), len(m.copies))
+	}
+	for i, c := range m.copies {
+		single := core.State{
+			Version:    st.Version,
+			Kind:       st.Kind,
+			SampleSize: 1,
+			Slot:       st.Sections[i].Slot,
+			Sections:   []core.SectionState{st.Sections[i]},
+		}
+		if err := c.Restore(single); err != nil {
+			return fmt.Errorf("sliding: restore copy %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+var _ core.Snapshotter = (*MultiCoordinator)(nil)
 
 // CopySample returns the candidate of one copy.
 func (m *MultiCoordinator) CopySample(i int) (netsim.SampleEntry, bool) {

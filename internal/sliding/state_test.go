@@ -2,7 +2,9 @@ package sliding
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -70,6 +72,143 @@ func TestSlidingSnapshotRoundTripProperty(t *testing.T) {
 				t.Fatalf("trial %d: post-restore sample[%d] = %+v, want %+v", trial, i, b[i], a[i])
 			}
 		}
+	}
+}
+
+// TestMultiCoordinatorSnapshotRoundTripProperty pins the multi-copy fix: a
+// MultiCoordinator's full state — every copy's offer store, candidate, and
+// independently-advancing slot clock — round-trips through one sliding-kind
+// State with one section per copy. The per-copy clocks are deliberately
+// skewed (each copy only sees a subset of slots), which is exactly the case
+// the section-level slot clock exists for: a single envelope clock would
+// expire the laggard copies' candidates on restore. 20 seeded trials.
+func TestMultiCoordinatorSnapshotRoundTripProperty(t *testing.T) {
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9100 + trial)))
+		copies := 1 + rng.Intn(5)
+		window := int64(3 + rng.Intn(20))
+		family := hashing.NewFamily(hashing.KindMurmur2, uint64(600+trial), copies)
+		src := NewMultiCoordinator(copies)
+		out := &netsim.Outbox{}
+		slot := int64(0)
+		for i, n := 0, 50+rng.Intn(300); i < n; i++ {
+			if rng.Intn(4) == 0 {
+				slot++
+			}
+			copyIdx := rng.Intn(copies)
+			key := fmt.Sprintf("m-%d-%d", trial, rng.Intn(60))
+			src.OnMessage(netsim.Message{
+				Kind:   netsim.KindWindowOffer,
+				Key:    key,
+				Hash:   family.At(copyIdx).Unit(key),
+				Copy:   copyIdx,
+				Expiry: slot + window - 1,
+			}, slot, out)
+			out.Reset()
+		}
+
+		st := src.Snapshot()
+		if st.Kind != core.StateSliding || st.SampleSize != copies || len(st.Sections) != copies {
+			t.Fatalf("trial %d: snapshot envelope = kind %v s=%d sections=%d, want sliding s=%d sections=%d",
+				trial, st.Kind, st.SampleSize, len(st.Sections), copies, copies)
+		}
+		encoded := core.EncodeState(st)
+		decoded, err := core.DecodeState(encoded)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		dst := NewMultiCoordinator(copies)
+		if err := dst.Restore(decoded); err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		if reencoded := core.EncodeState(dst.Snapshot()); !bytes.Equal(encoded, reencoded) {
+			t.Fatalf("trial %d: Snapshot→Restore→Snapshot not byte-identical\n first: %x\nsecond: %x", trial, encoded, reencoded)
+		}
+		// Behavioral equivalence going forward: the next slot's expiries and
+		// samples agree copy by copy.
+		src.OnSlotEnd(slot+1, out)
+		out.Reset()
+		dst.OnSlotEnd(slot+1, out)
+		out.Reset()
+		a, b := src.Sample(), dst.Sample()
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: post-restore samples diverge: %v vs %v", trial, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: post-restore sample[%d] = %+v, want %+v", trial, i, b[i], a[i])
+			}
+		}
+		// A wrong-shape snapshot is still refused.
+		if err := NewMultiCoordinator(copies + 1).Restore(decoded); err == nil {
+			t.Fatalf("trial %d: restore into a %d-copy coordinator accepted a %d-section snapshot", trial, copies+1, copies)
+		}
+	}
+}
+
+// TestSectionSlotForwardCompat pins the encoding seam the multi-copy fix
+// rides on: a pre-slot encoding (section ends after its entries) decodes
+// with section Slot 0, and extra trailing bytes beyond the slot are still
+// skipped under the section length prefix — both directions of the
+// same-version extension contract.
+func TestSectionSlotForwardCompat(t *testing.T) {
+	entry := func(buf []byte, key string, hash float64, expiry int64) []byte {
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		buf = append(buf, key...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(hash))
+		buf = binary.AppendVarint(buf, expiry)
+		return buf
+	}
+	encode := func(sectionTail []byte) []byte {
+		sec := []byte{0} // no candidate
+		sec = binary.AppendUvarint(sec, 1)
+		sec = entry(sec, "fc", 0.25, 30)
+		sec = append(sec, sectionTail...)
+		buf := []byte{core.StateVersion, byte(core.StateSliding)}
+		buf = binary.AppendUvarint(buf, 1) // sample size
+		buf = binary.AppendVarint(buf, 7)  // envelope slot
+		buf = binary.AppendUvarint(buf, 1) // one section
+		buf = binary.AppendUvarint(buf, uint64(len(sec)))
+		return append(buf, sec...)
+	}
+
+	// A legacy section with no trailing slot field decodes to Slot 0.
+	legacy, err := core.DecodeState(encode(nil))
+	if err != nil {
+		t.Fatalf("legacy encoding: %v", err)
+	}
+	if legacy.Sections[0].Slot != 0 || legacy.Slot != 7 {
+		t.Fatalf("legacy decode: section slot %d envelope slot %d, want 0 and 7", legacy.Sections[0].Slot, legacy.Slot)
+	}
+
+	// The current encoding carries the section slot as the trailing field.
+	withSlot, err := core.DecodeState(encode(binary.AppendVarint(nil, 5)))
+	if err != nil {
+		t.Fatalf("slot encoding: %v", err)
+	}
+	if withSlot.Sections[0].Slot != 5 {
+		t.Fatalf("section slot = %d, want 5", withSlot.Sections[0].Slot)
+	}
+
+	// A future extension appending more bytes after the slot still decodes.
+	future, err := core.DecodeState(encode(append(binary.AppendVarint(nil, 5), 0xde, 0xad)))
+	if err != nil {
+		t.Fatalf("future encoding: %v", err)
+	}
+	if future.Sections[0].Slot != 5 {
+		t.Fatalf("future decode: section slot = %d, want 5", future.Sections[0].Slot)
+	}
+
+	// And the encoder's own output round-trips the section slot.
+	st := core.State{Version: core.StateVersion, Kind: core.StateSliding, SampleSize: 1, Slot: 7,
+		Sections: []core.SectionState{{Slot: 7, Entries: []netsim.SampleEntry{{Key: "fc", Hash: 0.25, Expiry: 30}}}}}
+	rt, err := core.DecodeState(core.EncodeState(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Sections[0].Slot != 7 {
+		t.Fatalf("round-trip section slot = %d, want 7", rt.Sections[0].Slot)
 	}
 }
 

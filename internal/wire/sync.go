@@ -49,8 +49,10 @@ const staleRouteText = "stale route"
 
 // ErrNotSnapshottable is the typed form of a coordinator refusing a
 // state-snapshot operation because its node predates the Snapshot/Restore
-// API (today: sliding.MultiCoordinator, which has no section-level slot
-// clock yet). Every caller path that asks such a node for a snapshot —
+// API (legacy simulation nodes such as core.NewBroadcastCoordinator;
+// sliding.MultiCoordinator gained real Snapshot/Restore via the
+// section-level slot clock and no longer trips this). Every caller path
+// that asks such a node for a snapshot —
 // replica attach, the generic sync push, cluster handoff, dds backup — gets
 // an error wrapping this sentinel instead of a silent degrade; callers
 // detect it with errors.Is, and the public dds package re-exports it.
