@@ -54,6 +54,7 @@ func main() {
 		benchAutoPlt  = flag.Bool("bench-autopilot", true, "include the autopilot resharding benchmark in -cluster-bench: a watcher-initiated split under Zipf-skewed ingest, no manual plan (fails on reference divergence)")
 		benchSlidingF = flag.Bool("bench-sliding-failover", true, "include the sliding-window kill/promote benchmark in -cluster-bench (fails on window-minimum divergence)")
 		benchTracing  = flag.Bool("bench-tracing", true, "include the trace-sampling overhead comparison in -cluster-bench (ingest at sample rates 0, 0.01, 1.0)")
+		benchDurable  = flag.Bool("bench-durability", true, "include the durability benchmark in -cluster-bench: spool-on vs spool-off ingest, barrier latency, power-loss halt, timed cold restore (fails on reference divergence)")
 		benchWindowSl = flag.Int64("bench-window-slots", 60, "sliding-window length in slots for -bench-sliding-failover")
 		benchReplicas = flag.Int("bench-replicas", 1, "warm replicas per shard for the failover and reshard benchmarks")
 		benchSyncInt  = flag.Duration("bench-sync-interval", 50*time.Millisecond, "replica sync interval for the failover and reshard benchmarks")
@@ -61,7 +62,7 @@ func main() {
 	flag.Parse()
 
 	if *clusterBench {
-		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchAutoPlt, *benchSlidingF, *benchTracing, *benchWindowSl, *benchReplicas, *benchSyncInt); err != nil {
+		if err := runClusterBench(*out, *benchElems, *benchShards, *benchWindows, *seed, *requireSpeed, *benchFailover, *benchReshard, *benchAutoPlt, *benchSlidingF, *benchTracing, *benchDurable, *benchWindowSl, *benchReplicas, *benchSyncInt); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -176,6 +177,12 @@ type clusterBenchReport struct {
 	// that carrying trace fields in every wire frame costs nothing when
 	// tracing is disabled.
 	Tracing *tracingReport `json:"tracing,omitempty"`
+	// Durability measures the snapshot spool: ingest throughput with
+	// background spooling on vs off, the cost of a forced all-shards spool
+	// barrier, and the timed cold restore after a power-loss halt (see
+	// cluster.RunDurabilityBench). The run fails unless the restored merged
+	// sample matches the centralized reference exactly.
+	Durability *durabilityReport `json:"durability,omitempty"`
 	// Metrics is the process's full observability snapshot taken after every
 	// benchmark section ran: wire frame/byte counters, per-shard offer and
 	// churn counters, replica sync totals, failover and reshard phase
@@ -223,6 +230,22 @@ type autopilotReport struct {
 	// arming-to-split wall clock.
 	WorstDuringRatio         float64 `json:"worst_during_ratio"`
 	WorstRebalanceLatencySec float64 `json:"worst_rebalance_latency_sec"`
+}
+
+// durabilityReport is the durability section of BENCH_cluster.json: the
+// spool-on/spool-off ingest comparison, barrier latency, and power-loss
+// restore measurement at the sweep's largest shard count.
+type durabilityReport struct {
+	Replicas       int                              `json:"replicas"`
+	SyncIntervalMS float64                          `json:"sync_interval_ms"`
+	Runs           []*cluster.DurabilityBenchResult `json:"runs"`
+	// WorstOverheadPct is the max over runs of the spool-on ingest slowdown
+	// relative to spool-off — the headline "durability is nearly free" number
+	// (a snapshot is one bounded sample encode plus one file write, off the
+	// ingest path; the design target keeps this within 10%).
+	WorstOverheadPct float64 `json:"worst_overhead_pct"`
+	// WorstRestoreSec is the max over runs of the cold-restore wall clock.
+	WorstRestoreSec float64 `json:"worst_restore_sec"`
 }
 
 // failoverReport is the failover section of BENCH_cluster.json: one
@@ -291,7 +314,7 @@ type pipelinePoint struct {
 // the pipeline window sweep and writes the machine-readable report to path.
 // If requireSpeedup > 0 and the best pipelined window does not beat the
 // synchronous path by that factor, an error is returned (the CI smoke gate).
-func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard, autopilot, slidingFailover, tracing bool, windowSlots int64, replicas int, syncInterval time.Duration) error {
+func runClusterBench(path string, elements int, shardList, windowList string, seed uint64, requireSpeedup float64, failover, reshard, autopilot, slidingFailover, tracing, durability bool, windowSlots int64, replicas int, syncInterval time.Duration) error {
 	report := &clusterBenchReport{
 		GeneratedUnix:        time.Now().Unix(),
 		Elements:             elements,
@@ -372,6 +395,13 @@ func runClusterBench(path string, elements int, shardList, windowList string, se
 
 	if tracing {
 		report.Tracing, err = runTracingBench(elements, maxShards, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	if durability {
+		report.Durability, err = runDurabilityBench(elements, maxShards, replicas, syncInterval, seed)
 		if err != nil {
 			return err
 		}
@@ -483,6 +513,55 @@ func runAutopilotBench(elements, shards, replicas int, syncInterval time.Duratio
 		fmt.Fprintf(os.Stderr, "[autopilot-bench shards=%d replicas=%d window=%d: split in %.0f ms over %d rounds (hot %.2f, watermark %.2f), %.0f -> %.0f -> %.0f ops/s (%.2fx during), table v%d]\n",
 			shards, replicas, window, res.RebalanceLatencySec*1000, res.Rounds, res.HotShare, res.HighWatermark,
 			res.BeforeOpsPerSec, res.DuringOpsPerSec, res.AfterOpsPerSec, ratio, res.TableVersion)
+	}
+	return rep, nil
+}
+
+// runDurabilityBench runs the snapshot-spool benchmark in both transport
+// modes (synchronous batched and pipelined, flood mode so background spooling
+// competes with real wire pressure) at the sweep's largest shard count. Each
+// run ingests the same stream with the spool off and on, measures the forced
+// spool-barrier latency, halts the cluster as a power loss would, and times
+// the cold restore — failing unless the restored merged sample matches the
+// centralized reference exactly.
+func runDurabilityBench(elements, shards, replicas int, syncInterval time.Duration, seed uint64) (*durabilityReport, error) {
+	rep := &durabilityReport{
+		Replicas:       replicas,
+		SyncIntervalMS: float64(syncInterval) / float64(time.Millisecond),
+	}
+	for _, window := range []int{1, 8} {
+		cfg := cluster.DefaultBenchConfig()
+		cfg.Shards = shards
+		cfg.Elements = elements
+		cfg.Distinct = elements / 4
+		cfg.Codec = wire.CodecBinary
+		cfg.Batch = 64
+		cfg.Flood = true
+		if window > 1 {
+			cfg.Window = window
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		dir, err := os.MkdirTemp("", "ddsbench-durability-*")
+		if err != nil {
+			return nil, err
+		}
+		res, err := cluster.RunDurabilityBench(cfg, replicas, syncInterval, 25*time.Millisecond, dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, res)
+		if res.OverheadPct > rep.WorstOverheadPct {
+			rep.WorstOverheadPct = res.OverheadPct
+		}
+		if res.RestoreSec > rep.WorstRestoreSec {
+			rep.WorstRestoreSec = res.RestoreSec
+		}
+		fmt.Fprintf(os.Stderr, "[durability-bench shards=%d replicas=%d window=%d: %.0f ops/s off, %.0f ops/s spooled (%.1f%% overhead), %d snapshots / %d bytes, barrier %.2f ms, restore %.1f ms for %d slots]\n",
+			shards, replicas, window, res.OffOpsPerSec, res.OnOpsPerSec, res.OverheadPct,
+			res.Snapshots, res.SnapshotBytes, res.SpoolBarrierSec*1000, res.RestoreSec*1000, res.RestoredSlots)
 	}
 	return rep, nil
 }

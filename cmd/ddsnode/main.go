@@ -41,6 +41,15 @@
 //	ddsnode -role reshard -admin 127.0.0.1:7069 -merge-range 0  # merge range 0 with its right neighbour
 //	ddsnode -role site -id 0 -admin 127.0.0.1:7069 -stream enron.tsv
 //
+// With -data-dir DIR the coordinator spools atomic per-shard snapshots under
+// DIR and restores from them at the next boot — a SIGKILL'd cluster restarted
+// with the same -data-dir comes back warm with its last spooled sample and
+// route table, and replaying sites repair whatever the final snapshot missed
+// (offers are idempotent):
+//
+//	ddsnode -role cluster-coordinator -shards 2 -data-dir /var/lib/dds \
+//	        -snap-interval 500ms -snap-retain 5 -listen 127.0.0.1:7070
+//
 // All nodes of one deployment must share -hash-seed, -sample, and -window.
 // (-window is the sliding-window length in slots, a protocol parameter;
 // -pipeline is the transport's batch-frames-in-flight credit window.)
@@ -101,6 +110,10 @@ type nodeFlags struct {
 	WatchLow      float64
 	WatchCooldown time.Duration
 	WatchInterval time.Duration
+
+	DataDir      string
+	SnapInterval time.Duration
+	SnapRetain   int
 }
 
 // validateFlags rejects contradictory or nonsensical flag combinations with
@@ -193,6 +206,18 @@ func validateFlags(f nodeFlags) error {
 	if f.WatchInterval <= 0 {
 		return fmt.Errorf("-watch-interval %v: the scoring interval must be positive", f.WatchInterval)
 	}
+	if f.DataDir != "" && f.Role != "coordinator" && f.Role != "cluster-coordinator" {
+		return fmt.Errorf("-data-dir only applies to coordinator roles: the snapshot spool lives beside the shards it persists")
+	}
+	if f.DataDir == "" && (f.SnapInterval != 0 || f.SnapRetain != 0) {
+		return fmt.Errorf("-snap-interval/-snap-retain tune the snapshot spool and need -data-dir to arm it")
+	}
+	if f.SnapInterval < 0 {
+		return fmt.Errorf("-snap-interval %v: the snapshot interval cannot be negative (0 = default)", f.SnapInterval)
+	}
+	if f.SnapRetain < 0 {
+		return fmt.Errorf("-snap-retain %d: the per-shard snapshot retention cannot be negative (0 = default)", f.SnapRetain)
+	}
 	if f.TraceSample < 0 || f.TraceSample > 1 {
 		return fmt.Errorf("-trace-sample %v: the trace sample rate is a probability in [0, 1]", f.TraceSample)
 	}
@@ -283,6 +308,9 @@ func main() {
 	flag.Float64Var(&f.WatchLow, "watch-low", 0.15, "autoreshard: smoothed combined share below which the coldest adjacent ranges merge")
 	flag.DurationVar(&f.WatchCooldown, "watch-cooldown", 2*time.Second, "autoreshard: stand-down after any plan before the watcher acts again")
 	flag.DurationVar(&f.WatchInterval, "watch-interval", 250*time.Millisecond, "autoreshard: how often the watcher scores shard load deltas")
+	flag.StringVar(&f.DataDir, "data-dir", "", "durability: spool atomic per-shard snapshots under this directory and restore from it at boot (coordinator roles)")
+	flag.DurationVar(&f.SnapInterval, "snap-interval", 0, "durability: background snapshot cadence per shard primary; 0 = default (1s); requires -data-dir")
+	flag.IntVar(&f.SnapRetain, "snap-retain", 0, "durability: snapshots kept per shard before pruning; 0 = default (3); requires -data-dir")
 	flag.Parse()
 
 	if err := validateFlags(f); err != nil {
@@ -385,6 +413,15 @@ func runCoordinator(f nodeFlags) {
 			dds.WithAutoReshard(f.WatchHigh, f.WatchLow, f.WatchCooldown),
 			dds.WithWatchInterval(f.WatchInterval))
 	}
+	if f.DataDir != "" {
+		opts = append(opts, dds.WithDataDir(f.DataDir))
+		if f.SnapInterval > 0 {
+			opts = append(opts, dds.WithSnapInterval(f.SnapInterval))
+		}
+		if f.SnapRetain > 0 {
+			opts = append(opts, dds.WithSnapRetain(f.SnapRetain))
+		}
+	}
 	cl, err := dds.Serve(context.Background(), f.config(), opts...)
 	if err != nil {
 		fatal(err)
@@ -405,6 +442,9 @@ func runCoordinator(f nodeFlags) {
 	if f.AutoReshard {
 		fmt.Printf("autopilot resharding armed: split above %.2f, merge below %.2f, cooldown %v, scoring every %v\n",
 			f.WatchHigh, f.WatchLow, f.WatchCooldown, f.WatchInterval)
+	}
+	if f.DataDir != "" {
+		fmt.Printf("durability armed: snapshot spool at %s (restored shards come back warm after a crash or restart)\n", f.DataDir)
 	}
 	fmt.Println("press Ctrl-C to stop")
 

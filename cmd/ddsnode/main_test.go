@@ -185,6 +185,31 @@ func TestValidateFlags(t *testing.T) {
 		{"zero watch low", func(f *nodeFlags) { f.WatchLow = 0 }, "watermarks"},
 		{"zero watch cooldown", func(f *nodeFlags) { f.WatchCooldown = 0 }, "-watch-cooldown"},
 		{"negative watch interval", func(f *nodeFlags) { f.WatchInterval = -time.Second }, "-watch-interval"},
+		// The durability flags: snapshot tuning without a spool directory is a
+		// no-op the operator almost certainly did not intend, -data-dir only
+		// makes sense where shards live, and negative tunings are nonsense.
+		{"data dir on coordinator is fine", func(f *nodeFlags) { f.DataDir = "/tmp/dds" }, ""},
+		{"data dir with tuning is fine", func(f *nodeFlags) {
+			f.Role = "cluster-coordinator"
+			f.DataDir = "/tmp/dds"
+			f.SnapInterval = 500 * time.Millisecond
+			f.SnapRetain = 5
+		}, ""},
+		{"data dir on site role", func(f *nodeFlags) {
+			f.Role = "site"
+			f.Stream = "-"
+			f.DataDir = "/tmp/dds"
+		}, "-data-dir only applies to coordinator roles"},
+		{"snap interval without data dir", func(f *nodeFlags) { f.SnapInterval = time.Second }, "need -data-dir"},
+		{"snap retain without data dir", func(f *nodeFlags) { f.SnapRetain = 5 }, "need -data-dir"},
+		{"negative snap interval", func(f *nodeFlags) {
+			f.DataDir = "/tmp/dds"
+			f.SnapInterval = -time.Second
+		}, "-snap-interval"},
+		{"negative snap retain", func(f *nodeFlags) {
+			f.DataDir = "/tmp/dds"
+			f.SnapRetain = -1
+		}, "-snap-retain"},
 		{"one percent trace sample is fine", func(f *nodeFlags) { f.TraceSample = 0.01 }, ""},
 		{"full trace sample is fine", func(f *nodeFlags) {
 			f.Role = "cluster-coordinator"

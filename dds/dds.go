@@ -31,10 +31,12 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/estimate"
 	"repro/internal/hashing"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/sliding"
 	"repro/internal/wire"
 )
@@ -123,6 +125,11 @@ type Config struct {
 	watchLow      float64
 	watchCooldown time.Duration
 	watchInterval time.Duration
+	churnWeight   float64
+
+	dataDir      string
+	snapInterval time.Duration
+	snapRetain   int
 
 	traceSample    float64
 	traceSampleSet bool
@@ -219,6 +226,36 @@ func WithWatchInterval(d time.Duration) Option {
 	return func(cfg *Config) { cfg.watchInterval = d }
 }
 
+// WithChurnWeight scales sample-churn counter deltas relative to offer
+// deltas in the autopilot's load scoring (Serve only; requires
+// WithAutoReshard). Offers measure arrival pressure; churn measures how much
+// of it actually reshapes the sketch. Weights above 1 bias splits toward
+// shards whose samples are actively churning; negative ignores churn
+// entirely; 0 (the default) keeps the historical equal fold.
+func WithChurnWeight(w float64) Option { return func(cfg *Config) { cfg.churnWeight = w } }
+
+// WithDataDir arms the durability subsystem (Serve only): every shard
+// primary spools atomic, self-describing snapshots of its full state into
+// dir on an interval and at natural barriers (promotion, reshard cutover,
+// graceful Close), and a Serve against a non-empty dir cold-starts by
+// restoring the newest valid snapshot per shard and rejoining under the
+// persisted route table. Corrupt or torn files are skipped, never fatal.
+// The directory must not be shared by two live clusters.
+func WithDataDir(dir string) Option { return func(cfg *Config) { cfg.dataDir = dir } }
+
+// WithSnapInterval sets the background snapshot cadence (Serve only; default
+// 1s; requires WithDataDir). A shard that saw no offers and no promotion
+// since its last snapshot spools nothing, so an idle cluster writes nothing.
+// The interval bounds the power-loss window: offers acknowledged after the
+// last spool are lost on an ungraceful full-cluster kill and must be
+// replayed by clients, exactly like a failover's unacked window.
+func WithSnapInterval(d time.Duration) Option { return func(cfg *Config) { cfg.snapInterval = d } }
+
+// WithSnapRetain keeps the newest k snapshots per shard, pruning older ones
+// after each spool (Serve only; default 3; requires WithDataDir). Retention
+// beyond 1 is what lets restore fall back past a torn newest file.
+func WithSnapRetain(k int) Option { return func(cfg *Config) { cfg.snapRetain = k } }
+
 // WithAdmin names a cluster admin listener. For Serve it is the address to
 // serve resharding commands on; for Open and Query it is where to fetch the
 // live routing table and shard groups, replacing Config.Coordinators — a
@@ -303,6 +340,14 @@ func (cfg Config) normalize(opts []Option) (Config, error) {
 			cfg.watchLow = 0.15
 		}
 	}
+	if cfg.dataDir != "" {
+		if cfg.snapInterval == 0 {
+			cfg.snapInterval = replica.DefaultSpoolInterval
+		}
+		if cfg.snapRetain == 0 {
+			cfg.snapRetain = durable.DefaultRetain
+		}
+	}
 	switch {
 	case cfg.SampleSize < 1:
 		return cfg, fmt.Errorf("dds: sample size %d must be at least 1", cfg.SampleSize)
@@ -326,8 +371,14 @@ func (cfg Config) normalize(opts []Option) (Config, error) {
 		return cfg, fmt.Errorf("dds: retry base %v must not be negative", cfg.retryBase)
 	case cfg.traceSample < 0 || cfg.traceSample > 1:
 		return cfg, fmt.Errorf("dds: trace sample rate %v must be in [0, 1]", cfg.traceSample)
-	case !cfg.autoReshard && (cfg.watchHigh != 0 || cfg.watchLow != 0 || cfg.watchCooldown != 0 || cfg.watchInterval != 0):
+	case !cfg.autoReshard && (cfg.watchHigh != 0 || cfg.watchLow != 0 || cfg.watchCooldown != 0 || cfg.watchInterval != 0 || cfg.churnWeight != 0):
 		return cfg, errors.New("dds: watcher tuning set without WithAutoReshard")
+	case cfg.dataDir == "" && (cfg.snapInterval != 0 || cfg.snapRetain != 0):
+		return cfg, errors.New("dds: snapshot tuning set without WithDataDir")
+	case cfg.snapInterval < 0:
+		return cfg, fmt.Errorf("dds: snapshot interval %v must not be negative", cfg.snapInterval)
+	case cfg.snapRetain < 0:
+		return cfg, fmt.Errorf("dds: snapshot retention %d must not be negative", cfg.snapRetain)
 	case cfg.autoReshard && (cfg.watchHigh >= 1 || cfg.watchHigh < 0 || cfg.watchLow < 0):
 		return cfg, fmt.Errorf("dds: autoreshard watermarks high=%v low=%v must lie in (0, 1)", cfg.watchHigh, cfg.watchLow)
 	case cfg.autoReshard && cfg.watchLow >= cfg.watchHigh:
@@ -543,6 +594,45 @@ func (c *Client) Snapshot(ctx context.Context) ([]ShardState, error) {
 		out = append(out, ShardState{Slot: slot, Data: core.EncodeState(st)})
 	}
 	return out, nil
+}
+
+// Backup captures a point-in-time backup of the whole cluster into dir: one
+// snapshot file per live shard (the same atomic, checksummed format the
+// durability spool writes) plus a manifest recording the routing table the
+// shards were captured under. The directory restores with RestoreCluster —
+// or by pointing any Serve at it via WithDataDir.
+//
+// Shards are snapshotted one at a time, not at one instant: keys offered
+// while the backup walks the shards may or may not be captured, exactly like
+// the spool window. Everything acknowledged before Backup started is in.
+func (c *Client) Backup(ctx context.Context, dir string) error {
+	sp, err := durable.Open(dir, durable.DefaultRetain)
+	if err != nil {
+		return fmt.Errorf("dds: backup: %w", err)
+	}
+	table := c.sc.Table()
+	codec := c.cfg.wireCodec()
+	for slot, members := range c.sc.Groups() {
+		if len(members) == 0 {
+			continue // retired by resharding
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st, err := snapshotGroup(ctx, members, codec)
+		if err != nil {
+			return fmt.Errorf("dds: backup shard %d: %w", slot, err)
+		}
+		if _, err := sp.WriteSnapshot(slot, 0, table.Version, st); err != nil {
+			return fmt.Errorf("dds: backup shard %d: %w", slot, err)
+		}
+	}
+	// The manifest is the backup's commit point: a restore ignores snapshot
+	// files its manifest's table does not route to.
+	if err := sp.WriteManifest(cluster.TableManifest(table, c.cfg.SampleSize, c.cfg.window, c.cfg.Seed)); err != nil {
+		return fmt.Errorf("dds: backup: %w", err)
+	}
+	return nil
 }
 
 // Close flushes buffered offers, drains the pipeline, and closes every

@@ -1,0 +1,165 @@
+package dds_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dds"
+	"repro/internal/core"
+	"repro/internal/hashing"
+)
+
+// TestDurableServeRestoreRoundTrip drives durability through the public
+// surface: a cluster with WithDataDir ingests, closes gracefully (the final
+// spool barrier), and a second Serve against the same directory comes back
+// with the identical sample — no client replay needed, because a graceful
+// Close spools everything acknowledged.
+func TestDurableServeRestoreRoundTrip(t *testing.T) {
+	const (
+		sampleSize = 16
+		seed       = 20130501
+	)
+	ctx := context.Background()
+	dir := t.TempDir()
+	cl, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: sampleSize, Seed: seed},
+		dds.WithReplicas(1), dds.WithSyncInterval(20*time.Millisecond),
+		dds.WithDataDir(dir), dds.WithSnapInterval(time.Hour), dds.WithSnapRetain(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dds.Open(ctx, dds.Config{Coordinators: cl.Groups(), SampleSize: sampleSize, Seed: seed},
+		dds.WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := core.NewReference(sampleSize, hashing.NewMurmur2(seed))
+	for i := 0; i < 800; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oracle.Observe(key)
+		if err := client.Offer(key, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(oracle.SampleKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil { // graceful: final spool barrier
+		t.Fatal(err)
+	}
+
+	cl2, err := dds.RestoreCluster(ctx, dir, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: sampleSize, Seed: seed},
+		dds.WithReplicas(1), dds.WithSyncInterval(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	sample, err := cl2.Sample(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(sample.Keys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("restored sample differs from pre-restart sample\n got: %s\nwant: %s", got, want)
+	}
+
+	// Identity fences: a process with a different seed, sample size, or
+	// window must refuse the directory rather than launder its snapshots.
+	if _, err := dds.RestoreCluster(ctx, dir, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: sampleSize, Seed: seed + 1}); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("restore under a different seed returned %v, want a seed mismatch error", err)
+	}
+	if _, err := dds.RestoreCluster(ctx, dir, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: sampleSize + 1, Seed: seed}); err == nil || !strings.Contains(err.Error(), "sample size") {
+		t.Fatalf("restore under a different sample size returned %v, want a mismatch error", err)
+	}
+}
+
+// TestBackupRestoreCluster pins the point-in-time backup path: a plain
+// (non-durable) cluster is backed up through a client, and RestoreCluster
+// brings up an independent cluster with the identical sample.
+func TestBackupRestoreCluster(t *testing.T) {
+	const (
+		sampleSize = 16
+		seed       = 20130501
+	)
+	ctx := context.Background()
+	cl, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: sampleSize, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	client, err := dds.Open(ctx, dds.Config{Coordinators: cl.Groups(), SampleSize: sampleSize, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	oracle := core.NewReference(sampleSize, hashing.NewMurmur2(seed))
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("item-%d", i)
+		oracle.Observe(key)
+		if err := client.Offer(key, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := client.Backup(ctx, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := dds.RestoreCluster(ctx, dir, dds.Config{Listen: "127.0.0.1:0", Shards: 2, SampleSize: sampleSize, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	sample, err := restored.Sample(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := oracle.SampleKeys()
+	gotKeys := sample.Keys()
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("restored sample has %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("restored sample key %d = %q, want %q", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+// TestDurableOptionValidation pins the new options' contradictory
+// configurations to errors at the public surface.
+func TestDurableOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"}, dds.WithSnapInterval(time.Second)); err == nil {
+		t.Fatal("Serve with snapshot interval but no data dir succeeded")
+	}
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"}, dds.WithSnapRetain(2)); err == nil {
+		t.Fatal("Serve with snapshot retention but no data dir succeeded")
+	}
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"}, dds.WithDataDir(t.TempDir()), dds.WithSnapInterval(-time.Second)); err == nil {
+		t.Fatal("Serve with negative snapshot interval succeeded")
+	}
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"}, dds.WithDataDir(t.TempDir()), dds.WithSnapRetain(-1)); err == nil {
+		t.Fatal("Serve with negative snapshot retention succeeded")
+	}
+	if _, err := dds.Serve(ctx, dds.Config{Listen: "127.0.0.1:0"}, dds.WithChurnWeight(2)); err == nil {
+		t.Fatal("Serve with churn weight but no autoreshard succeeded")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/replica"
@@ -27,6 +28,7 @@ type Cluster struct {
 	rs      *cluster.Resharder
 	admin   net.Listener
 	watcher *cluster.Watcher
+	spool   *durable.Spool // nil without WithDataDir
 }
 
 // Serve starts a cluster per cfg (Listen, Shards, SampleSize, Seed, plus the
@@ -48,28 +50,50 @@ func Serve(ctx context.Context, cfg Config, opts ...Option) (*Cluster, error) {
 	if cfg.traceSampleSet {
 		obs.SetTraceSampleRate(cfg.traceSample)
 	}
-	router := cluster.NewShardRouter(cfg.Shards, cfg.hasher())
 	newCoord := func(shard, member int) netsim.CoordinatorNode {
 		if cfg.window > 0 {
 			return sliding.NewCoordinator()
 		}
 		return core.NewInfiniteCoordinator(cfg.SampleSize)
 	}
-	srv, err := replica.Listen(cfg.Listen, cfg.Shards, replica.Options{
-		Replicas:     cfg.replicas,
-		SyncInterval: cfg.syncInterval,
-		Lease:        cfg.lease,
-		Codec:        cfg.wireCodec(),
-		RouteHash:    router.RouteHash,
-	}, newCoord)
-	if err != nil {
-		return nil, fmt.Errorf("dds: serve: %w", err)
+	var (
+		router *cluster.ShardRouter
+		srv    *replica.Server
+		spool  *durable.Spool
+	)
+	if cfg.dataDir != "" {
+		var err error
+		router, srv, spool, err = serveDurable(cfg, newCoord)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		router = cluster.NewShardRouter(cfg.Shards, cfg.hasher())
+		var err error
+		srv, err = replica.Listen(cfg.Listen, cfg.Shards, replica.Options{
+			Replicas:     cfg.replicas,
+			SyncInterval: cfg.syncInterval,
+			Lease:        cfg.lease,
+			Codec:        cfg.wireCodec(),
+			RouteHash:    router.RouteHash,
+		}, newCoord)
+		if err != nil {
+			return nil, fmt.Errorf("dds: serve: %w", err)
+		}
 	}
 	cl := &Cluster{
 		cfg:    cfg,
 		router: router,
 		srv:    srv,
 		rs:     cluster.NewResharder(srv, router.Table(), cfg.wireCodec()),
+		spool:  spool,
+	}
+	if spool != nil {
+		// Reshard durability barrier: every completed plan rewrites the
+		// manifest to the new table and force-spools the live shards.
+		cl.rs.SetSpool(spool, durable.Manifest{
+			SampleSize: cfg.SampleSize, Window: cfg.window, Seed: cfg.Seed,
+		})
 	}
 	if cfg.admin != "" {
 		if _, err := cl.ServeAdmin(cfg.admin); err != nil {
@@ -83,10 +107,76 @@ func Serve(ctx context.Context, cfg Config, opts ...Option) (*Cluster, error) {
 			HighWatermark: cfg.watchHigh,
 			LowWatermark:  cfg.watchLow,
 			Cooldown:      cfg.watchCooldown,
+			ChurnWeight:   cfg.churnWeight,
 		})
 		cl.watcher.Start()
 	}
 	return cl, nil
+}
+
+// serveDurable is Serve's WithDataDir path: open the spool, adopt the
+// persisted route table (uniform over cfg.Shards for a fresh dir), restore
+// every routed shard's newest valid snapshot into the starting groups, and
+// arm background spooling.
+func serveDurable(cfg Config, newCoord func(shard, member int) netsim.CoordinatorNode) (*cluster.ShardRouter, *replica.Server, *durable.Spool, error) {
+	sp, err := durable.Open(cfg.dataDir, cfg.snapRetain)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dds: serve: %w", err)
+	}
+	m, err := sp.ReadManifest()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dds: serve: %w", err)
+	}
+	table := cluster.UniformTable(cfg.Shards)
+	if m != nil {
+		// The spool's identity fields must match this process's: snapshots
+		// taken under a different hash seed, sample size, or window describe
+		// a different sampler and must not be laundered into this one.
+		switch {
+		case m.Seed != cfg.Seed:
+			return nil, nil, nil, fmt.Errorf("dds: data dir %s was written under seed %d, this cluster runs seed %d", cfg.dataDir, m.Seed, cfg.Seed)
+		case m.SampleSize != cfg.SampleSize:
+			return nil, nil, nil, fmt.Errorf("dds: data dir %s was written under sample size %d, this cluster runs %d", cfg.dataDir, m.SampleSize, cfg.SampleSize)
+		case m.Window != cfg.window:
+			return nil, nil, nil, fmt.Errorf("dds: data dir %s was written under window %d, this cluster runs %d", cfg.dataDir, m.Window, cfg.window)
+		}
+		if table, err = cluster.ManifestTable(m); err != nil {
+			return nil, nil, nil, fmt.Errorf("dds: serve: %w", err)
+		}
+	}
+	router, err := cluster.NewRangeRouter(table, cfg.hasher())
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dds: serve: %w", err)
+	}
+	srv, _, _, err := cluster.RestoreServer(cfg.Listen, sp, cfg.Shards, replica.Options{
+		Replicas:      cfg.replicas,
+		SyncInterval:  cfg.syncInterval,
+		Lease:         cfg.lease,
+		Codec:         cfg.wireCodec(),
+		RouteHash:     router.RouteHash,
+		SpoolInterval: cfg.snapInterval,
+	}, newCoord)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dds: serve: %w", err)
+	}
+	if m == nil {
+		// Fresh dir: record the starting table so a crash before the first
+		// reshard still restores into the right topology.
+		if err := sp.WriteManifest(cluster.TableManifest(table, cfg.SampleSize, cfg.window, cfg.Seed)); err != nil {
+			_ = srv.Close()
+			return nil, nil, nil, fmt.Errorf("dds: serve: %w", err)
+		}
+	}
+	return router, srv, sp, nil
+}
+
+// RestoreCluster starts a cluster from a point-in-time backup directory
+// (Client.Backup) or a previous cluster's WithDataDir spool: every shard the
+// recorded routing table routes to is warmed from its newest valid snapshot
+// before serving. It is Serve with the directory armed — the restored
+// cluster keeps spooling new snapshots into dir.
+func RestoreCluster(ctx context.Context, dir string, cfg Config, opts ...Option) (*Cluster, error) {
+	return Serve(ctx, cfg, append(append([]Option(nil), opts...), WithDataDir(dir))...)
 }
 
 // Groups returns the cluster's slot-indexed shard group addresses (member

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/wire"
@@ -63,6 +64,13 @@ type Resharder struct {
 	mu    sync.Mutex // serializes plans and guards table/sites
 	table RangeTable
 	sites []*SiteClient
+
+	// Durability barrier (optional). When set, every completed plan rewrites
+	// the spool manifest with the new table and force-spools all live shards,
+	// so a crash right after a cutover restores into the new topology rather
+	// than replaying it.
+	spool     *durable.Spool
+	spoolMeta durable.Manifest // SampleSize/Window/Seed template for manifests
 }
 
 // NewResharder builds a driver over a running cluster. table must be the
@@ -81,6 +89,36 @@ func (r *Resharder) Register(clients ...*SiteClient) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sites = append(r.sites, clients...)
+}
+
+// SetSpool arms the durability barrier: after every completed plan the
+// driver rewrites sp's manifest with the new route table (meta supplies the
+// sampler-config fields), force-spools every live shard, and tags future
+// snapshots with the new route version. Pass the spool the server was
+// started with.
+func (r *Resharder) SetSpool(sp *durable.Spool, meta durable.Manifest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spool = sp
+	r.spoolMeta = meta
+}
+
+// persistPlan runs the post-plan durability barrier. The plan itself has
+// already committed cluster-wide, so failures here are warned, not fatal: a
+// stale manifest only costs a replayed restore, never correctness.
+func (r *Resharder) persistPlan(next RangeTable) {
+	if r.spool == nil {
+		return
+	}
+	r.srv.NoteRouteVersion(next.Version)
+	m := TableManifest(next, r.spoolMeta.SampleSize, r.spoolMeta.Window, r.spoolMeta.Seed)
+	if err := r.spool.WriteManifest(m); err != nil {
+		obs.Logger().Warn("reshard durability barrier: manifest write failed", "version", next.Version, "err", err.Error())
+		return
+	}
+	if err := r.srv.SpoolNow(); err != nil {
+		obs.Logger().Warn("reshard durability barrier: spool failed", "version", next.Version, "err", err.Error())
+	}
 }
 
 // Table returns the cluster's current routing table.
@@ -184,6 +222,7 @@ func (r *Resharder) Split(slot int, mid uint64) (*ReshardReport, error) {
 		return nil, fmt.Errorf("cluster: split: sync replicas: %w", err)
 	}
 	reshardPhase(tc, "split", "restrict", next.Version, phaseStart)
+	r.persistPlan(next)
 	rep.Total = time.Since(start)
 	reshardPlans("split").Inc()
 	obsPlanNs.Observe(rep.Total.Nanoseconds())
@@ -238,6 +277,7 @@ func (r *Resharder) MergeAt(rangeIdx int) (*ReshardReport, error) {
 		return nil, fmt.Errorf("cluster: merge: sync replicas: %w", err)
 	}
 	reshardPhase(tc, "merge", "retire", next.Version, phaseStart)
+	r.persistPlan(next)
 	rep.Total = time.Since(start)
 	reshardPlans("merge").Inc()
 	obsPlanNs.Observe(rep.Total.Nanoseconds())

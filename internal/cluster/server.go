@@ -654,6 +654,11 @@ func (c *SiteClient) OfferRouteUpdate(u *RouteUpdate) {
 // currently ingesting under. It may be read from any goroutine.
 func (c *SiteClient) RouteVersion() uint64 { return c.routeVer.Load() }
 
+// Table returns the routing table the client currently ingests under. Like
+// every other non-atomic method it must be called from the client's owning
+// goroutine.
+func (c *SiteClient) Table() RangeTable { return c.table.clone() }
+
 // Groups returns the slot-indexed member addresses the client currently
 // routes to (nil entries for slots its table does not route to, retired
 // ones included) — the address set query clients should use so reads follow

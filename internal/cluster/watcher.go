@@ -65,6 +65,14 @@ type WatcherConfig struct {
 	// ticks are skipped as idle (shares of a handful of offers are noise).
 	// Default 1.
 	MinLoad uint64
+	// ChurnWeight scales sample-churn deltas relative to offer deltas when
+	// folding the two counters into a slot's load figure. Offers measure
+	// arrival pressure; churn measures how much of that pressure actually
+	// moves the sketch (evictions, expiries). Weighting churn above 1 makes
+	// the watcher favor splitting shards whose samples are actively
+	// reshaping over shards absorbing duplicate-heavy traffic. Default 1
+	// (the historical equal fold); negative means ignore churn entirely.
+	ChurnWeight float64
 }
 
 func (c WatcherConfig) withDefaults() WatcherConfig {
@@ -94,6 +102,11 @@ func (c WatcherConfig) withDefaults() WatcherConfig {
 	}
 	if c.MinLoad == 0 {
 		c.MinLoad = 1
+	}
+	if c.ChurnWeight == 0 {
+		c.ChurnWeight = 1
+	} else if c.ChurnWeight < 0 {
+		c.ChurnWeight = 0
 	}
 	return c
 }
@@ -211,14 +224,18 @@ func (w *Watcher) loop() {
 }
 
 // shardDeltas reads one tick's movement of the per-slot ingest counters and
-// folds offers and sample churn into a single load figure per slot.
+// folds offers and churn-weighted sample churn into a single load figure per
+// slot.
 func (w *Watcher) shardDeltas() map[int]uint64 {
 	out := make(map[int]uint64)
 	for name, d := range w.deltas.Deltas() {
-		for _, prefix := range []string{`dds_shard_offers_total{slot="`, `dds_shard_sample_churn_total{slot="`} {
+		for i, prefix := range []string{`dds_shard_offers_total{slot="`, `dds_shard_sample_churn_total{slot="`} {
 			if rest, ok := strings.CutPrefix(name, prefix); ok {
 				if num, ok := strings.CutSuffix(rest, `"}`); ok {
 					if slot, err := strconv.Atoi(num); err == nil {
+						if i == 1 {
+							d = uint64(w.cfg.ChurnWeight*float64(d) + 0.5)
+						}
 						out[slot] += d
 					}
 				}

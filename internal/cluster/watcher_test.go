@@ -501,3 +501,105 @@ func TestWatcherAutopilotSplitsHotShardNoHands(t *testing.T) {
 		t.Fatal("no route_push span recorded for the autopilot's cutover")
 	}
 }
+
+// TestWatcherChurnWeightFold pins the load fold itself: shardDeltas scales
+// churn counter movement by ChurnWeight (rounded to nearest) while offers
+// always count at weight 1, and a negative weight drops churn entirely.
+func TestWatcherChurnWeightFold(t *testing.T) {
+	cases := []struct {
+		weight    float64
+		wantSlot0 uint64 // 100 offers
+		wantSlot1 uint64 // 40 churn
+	}{
+		{weight: 0, wantSlot0: 100, wantSlot1: 40}, // zero value = historical equal fold
+		{weight: 1, wantSlot0: 100, wantSlot1: 40}, // explicit equal fold
+		{weight: 2.5, wantSlot0: 100, wantSlot1: 100},
+		{weight: 0.25, wantSlot0: 100, wantSlot1: 10},
+		{weight: -1, wantSlot0: 100, wantSlot1: 0}, // negative = ignore churn
+	}
+	for _, tc := range cases {
+		reg := obs.NewRegistry()
+		reader := obs.NewDeltaReader(reg)
+		w := newWatcher(newFakeDriver(2), WatcherConfig{ChurnWeight: tc.weight}, reader, time.Now)
+		reg.Counter(`dds_shard_offers_total{slot="0"}`).Add(100)
+		reg.Counter(`dds_shard_sample_churn_total{slot="1"}`).Add(40)
+		got := w.shardDeltas()
+		if got[0] != tc.wantSlot0 {
+			t.Fatalf("weight %v: slot 0 load = %d, want %d (offers must never be scaled)", tc.weight, got[0], tc.wantSlot0)
+		}
+		if got[1] != tc.wantSlot1 {
+			t.Fatalf("weight %v: slot 1 load = %d, want %d", tc.weight, got[1], tc.wantSlot1)
+		}
+	}
+}
+
+// TestWatcherChurnWeightHysteresis is the satellite's property test: the
+// same churn-dominated feed splits the churn-hot slot when churn is weighted
+// up, produces nothing when churn is ignored, and in both configurations the
+// hysteresis guards hold — a flapping churn pattern never plans, no matter
+// the weight.
+func TestWatcherChurnWeightHysteresis(t *testing.T) {
+	feed := func(w *Watcher, reg *obs.Registry, ticks int, flap bool) {
+		for tick := 0; tick < ticks; tick++ {
+			hot := 1
+			if flap && tick%2 == 1 {
+				hot = 0
+			}
+			if !flap {
+				// Slot 0: pure arrival pressure the churn-blind fold scores
+				// highest. Omitted when flapping so neither slot holds a
+				// sustained offer majority.
+				reg.Counter(`dds_shard_offers_total{slot="0"}`).Add(50)
+			}
+			// Slot `hot`: modest offers but heavy sample churn — the
+			// signature of a sketch being actively reshaped.
+			reg.Counter(fmt.Sprintf(`dds_shard_offers_total{slot="%d"}`, 1-hot)).Add(10)
+			reg.Counter(fmt.Sprintf(`dds_shard_offers_total{slot="%d"}`, hot)).Add(10)
+			reg.Counter(fmt.Sprintf(`dds_shard_sample_churn_total{slot="%d"}`, hot)).Add(60)
+			w.step(w.shardDeltas())
+		}
+	}
+	cfg := WatcherConfig{
+		HighWatermark: 0.65,
+		LowWatermark:  0.05,
+		Cooldown:      time.Hour, // one plan max: isolates the first decision
+		Alpha:         0.5,
+		SustainTicks:  3,
+	}
+
+	// Churn weighted up: slot 1's sustained churn dominates and splits it.
+	cfg.ChurnWeight = 4
+	reg := obs.NewRegistry()
+	drv := newFakeDriver(2)
+	w := newWatcher(drv, cfg, obs.NewDeltaReader(reg), time.Now)
+	feed(w, reg, 20, false)
+	if len(drv.plans) != 1 || drv.plans[0] != "split@1" {
+		t.Fatalf("churn-weighted watcher plans = %v, want exactly [split@1]", drv.plans)
+	}
+
+	// Churn ignored: the identical feed scores slot 0 highest (50 vs 10
+	// offers, ~83%% share) — the churn-hot slot must NOT split.
+	cfg.ChurnWeight = -1
+	reg = obs.NewRegistry()
+	drv = newFakeDriver(2)
+	w = newWatcher(drv, cfg, obs.NewDeltaReader(reg), time.Now)
+	feed(w, reg, 20, false)
+	for _, p := range drv.plans {
+		if p == "split@1" {
+			t.Fatalf("churn-blind watcher split the churn-hot slot: %v", drv.plans)
+		}
+	}
+
+	// Hysteresis survives the weighting: churn flapping between slots every
+	// tick breaches no sustained watermark, so neither weight plans.
+	for _, weight := range []float64{4, -1} {
+		cfg.ChurnWeight = weight
+		reg = obs.NewRegistry()
+		drv = newFakeDriver(2)
+		w = newWatcher(drv, cfg, obs.NewDeltaReader(reg), time.Now)
+		feed(w, reg, 200, true)
+		if len(drv.plans) != 0 {
+			t.Fatalf("weight %v: flapping churn produced plans: %v", weight, drv.plans)
+		}
+	}
+}

@@ -267,29 +267,58 @@ func appendStateEntry(buf []byte, e netsim.SampleEntry) []byte {
 	return buf
 }
 
+// uvarintLen is the encoded size of x under binary.AppendUvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen is the encoded size of x under binary.AppendVarint (zigzag).
+func varintLen(x int64) int {
+	return uvarintLen(uint64(x)<<1 ^ uint64(x>>63))
+}
+
+// stateEntrySize is the encoded size of one entry under appendStateEntry.
+func stateEntrySize(e netsim.SampleEntry) int {
+	return uvarintLen(uint64(len(e.Key))) + len(e.Key) + 8 + varintLen(e.Expiry)
+}
+
 // AppendEncodedState appends st's binary encoding to buf and returns the
-// extended slice.
+// extended slice. Section length prefixes are sized ahead of encoding
+// instead of staged through a scratch buffer, so the whole encode allocates
+// nothing when buf has capacity — the persistence spool and the replication
+// plane both lean on that.
 func AppendEncodedState(buf []byte, st State) []byte {
 	buf = append(buf, byte(st.Version), byte(st.Kind))
 	buf = binary.AppendUvarint(buf, uint64(st.SampleSize))
 	buf = binary.AppendVarint(buf, st.Slot)
 	buf = binary.AppendUvarint(buf, uint64(len(st.Sections)))
-	var scratch []byte
 	for _, sec := range st.Sections {
-		scratch = scratch[:0]
+		size := 1 // candidate flag byte
 		if sec.Candidate != nil {
-			scratch = append(scratch, 1)
-			scratch = appendStateEntry(scratch, *sec.Candidate)
-		} else {
-			scratch = append(scratch, 0)
+			size += stateEntrySize(*sec.Candidate)
 		}
-		scratch = binary.AppendUvarint(scratch, uint64(len(sec.Entries)))
+		size += uvarintLen(uint64(len(sec.Entries)))
 		for _, e := range sec.Entries {
-			scratch = appendStateEntry(scratch, e)
+			size += stateEntrySize(e)
 		}
-		scratch = binary.AppendVarint(scratch, sec.Slot)
-		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
-		buf = append(buf, scratch...)
+		size += varintLen(sec.Slot)
+		buf = binary.AppendUvarint(buf, uint64(size))
+		if sec.Candidate != nil {
+			buf = append(buf, 1)
+			buf = appendStateEntry(buf, *sec.Candidate)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(sec.Entries)))
+		for _, e := range sec.Entries {
+			buf = appendStateEntry(buf, e)
+		}
+		buf = binary.AppendVarint(buf, sec.Slot)
 	}
 	return buf
 }

@@ -1,0 +1,466 @@
+// Package durable is the snapshot spool: it persists every coordinator's
+// versioned core.State to disk and brings the state back after a crash.
+//
+// The paper's core property — the bottom-s sample IS the state — is what
+// makes durability almost free here, exactly as it made replication log-free:
+// there is no WAL to replay and no compaction to schedule. One tiny
+// self-describing blob per shard, rewritten atomically, is a complete
+// backup; restoring it makes a cold coordinator byte-identical to the
+// primary at capture time.
+//
+// On-disk layout under a data directory:
+//
+//	<data-dir>/MANIFEST.json         the live route table (written atomically
+//	                                 at boot and after every reshard cutover)
+//	<data-dir>/slot-<n>/epoch-<e>.snap
+//	                                 shard slot n's snapshots; e is a per-slot
+//	                                 monotone spool sequence, newest wins
+//
+// Every .snap file is a fixed binary header (magic, format version, slot,
+// spool sequence, replication epoch, route-table version, payload length,
+// CRC32 of the payload) wrapping the payload produced by core.EncodeState —
+// the exact encoding replication and reshard-handoff frames carry. Writes go
+// temp file → write → fsync → rename → fsync(dir), so a crash at any byte
+// leaves either the previous snapshot or a dead *.tmp file, never a torn
+// .snap. Restore scans newest-first per slot and skips (with an event, never
+// a crash) anything truncated, bit-flipped, or written by an unknown format
+// version — the header version fences exactly like replication epochs do.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// FileVersion is the current snapshot-file format version. Decoding fences
+// on it: a file stamped with a different version is skipped at restore, the
+// same ratchet discipline replication applies to epochs.
+const FileVersion = 1
+
+// DefaultRetain is how many snapshots each slot keeps when Open is given a
+// retain count below 1. Keeping a few generations means a torn or
+// bit-flipped tail (the newest file is the one a crash can damage) still
+// leaves a valid restore point behind it.
+const DefaultRetain = 3
+
+const (
+	manifestName = "MANIFEST.json"
+	slotPrefix   = "slot-"
+	snapPrefix   = "epoch-"
+	snapSuffix   = ".snap"
+	tmpSuffix    = ".tmp"
+	// headerSize is the fixed prefix of every snapshot file: magic (4),
+	// format version (1), slot (4), spool sequence (8), replication epoch
+	// (8), route-table version (8), payload length (4), payload CRC32 (4).
+	headerSize = 41
+)
+
+// magic identifies a dds snapshot file ("DDSS").
+var magic = [4]byte{'D', 'D', 'S', 'S'}
+
+// Header is the decoded fixed prefix of one snapshot file.
+type Header struct {
+	// Version is the file format version (FileVersion when written by this
+	// package; decoding rejects anything else).
+	Version uint8
+	// Slot is the shard slot the snapshot belongs to.
+	Slot int
+	// Seq is the per-slot spool sequence — monotone across a slot's
+	// lifetime, including across restarts (Open resumes from the highest
+	// sequence on disk). The newest valid sequence wins at restore.
+	Seq uint64
+	// Epoch is the replication epoch of the primary whose state was
+	// captured.
+	Epoch uint64
+	// RouteVersion is the routing-table version live at capture time.
+	RouteVersion uint64
+}
+
+// AppendSnapshotFile appends one complete snapshot file image — header plus
+// core.AppendEncodedState payload — to buf and returns the extended slice.
+// Like core.AppendEncodedState it allocates nothing when buf has capacity,
+// which keeps the spool hot path allocation-free: the Spool reuses one
+// buffer across writes.
+func AppendSnapshotFile(buf []byte, h Header, st core.State) []byte {
+	base := len(buf)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, h.Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Slot))
+	buf = binary.LittleEndian.AppendUint64(buf, h.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, h.RouteVersion)
+	// Payload length and CRC are backfilled once the payload is encoded.
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	payloadStart := len(buf)
+	buf = core.AppendEncodedState(buf, st)
+	payload := buf[payloadStart:]
+	binary.LittleEndian.PutUint32(buf[base+33:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[base+37:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// DecodeSnapshotFile validates one snapshot file image end to end — magic,
+// format-version fence, exact payload length, CRC32, and the payload's own
+// core.DecodeState validation — and returns the header and decoded state.
+// Any damage a crash or disk can inflict (truncation, a torn tail, a flipped
+// bit, a file from a future format) comes back as an error, never a panic.
+func DecodeSnapshotFile(data []byte) (Header, core.State, error) {
+	var h Header
+	if len(data) < headerSize {
+		return h, core.State{}, fmt.Errorf("durable: truncated snapshot: %d bytes, header needs %d", len(data), headerSize)
+	}
+	if [4]byte(data[:4]) != magic {
+		return h, core.State{}, fmt.Errorf("durable: bad magic %q", data[:4])
+	}
+	h.Version = data[4]
+	if h.Version != FileVersion {
+		return h, core.State{}, fmt.Errorf("durable: snapshot file version %d not supported (want %d)", h.Version, FileVersion)
+	}
+	h.Slot = int(binary.LittleEndian.Uint32(data[5:]))
+	h.Seq = binary.LittleEndian.Uint64(data[9:])
+	h.Epoch = binary.LittleEndian.Uint64(data[17:])
+	h.RouteVersion = binary.LittleEndian.Uint64(data[25:])
+	payloadLen := binary.LittleEndian.Uint32(data[33:])
+	sum := binary.LittleEndian.Uint32(data[37:])
+	payload := data[headerSize:]
+	if uint64(payloadLen) != uint64(len(payload)) {
+		return h, core.State{}, fmt.Errorf("durable: payload length %d does not match file (%d bytes after header)", payloadLen, len(payload))
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return h, core.State{}, fmt.Errorf("durable: payload CRC mismatch: file says %08x, payload sums to %08x", sum, got)
+	}
+	st, err := core.DecodeState(payload)
+	if err != nil {
+		return h, core.State{}, fmt.Errorf("durable: snapshot payload: %w", err)
+	}
+	return h, st, nil
+}
+
+// Manifest records the cluster topology a spool's snapshots are consistent
+// with: the live routing table (version, bounds, slot owners) plus the
+// deployment identity (sample size, window, hash seed) a restore must match.
+// It is rewritten atomically at boot and after every reshard cutover.
+type Manifest struct {
+	FormatVersion int      `json:"format_version"`
+	RouteVersion  uint64   `json:"route_version"`
+	Bounds        []uint64 `json:"bounds"`
+	Slots         []int    `json:"slots"`
+	SampleSize    int      `json:"sample_size,omitempty"`
+	Window        int64    `json:"window,omitempty"`
+	Seed          uint64   `json:"seed,omitempty"`
+}
+
+// Spool writes and restores a data directory. It is safe for concurrent use;
+// one write happens at a time (the encode buffer is shared across writes so
+// the hot path allocates nothing beyond the file write itself).
+type Spool struct {
+	dir    string
+	retain int
+
+	mu  sync.Mutex
+	buf []byte         // reused encode buffer
+	seq map[int]uint64 // per-slot highest spool sequence written or found
+}
+
+// Open prepares dir as a snapshot spool, creating it if needed. retain is
+// how many snapshots each slot keeps (values below 1 mean DefaultRetain).
+// Leftover *.tmp files — a crash mid-rename — are removed with an event;
+// the per-slot spool sequence resumes past the highest sequence on disk, so
+// a restarted node's snapshots never collide with its predecessor's.
+func Open(dir string, retain int) (*Spool, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("durable: empty data directory")
+	}
+	if retain < 1 {
+		retain = DefaultRetain
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: create data dir: %w", err)
+	}
+	s := &Spool{dir: dir, retain: retain, seq: make(map[int]uint64)}
+	slots, err := s.slotDirs()
+	if err != nil {
+		return nil, err
+	}
+	for slot, slotDir := range slots {
+		files, err := os.ReadDir(slotDir)
+		if err != nil {
+			return nil, fmt.Errorf("durable: scan %s: %w", slotDir, err)
+		}
+		for _, f := range files {
+			name := f.Name()
+			if strings.HasSuffix(name, tmpSuffix) {
+				// A crash between write and rename leaves the temp file; the
+				// previous snapshot (if any) is still intact next to it.
+				_ = os.Remove(filepath.Join(slotDir, name))
+				obs.Logger().Warn("removed leftover temp snapshot (crash mid-rename)",
+					"slot", slot, "file", name)
+				continue
+			}
+			if seq, ok := snapSeq(name); ok && seq > s.seq[slot] {
+				s.seq[slot] = seq
+			}
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the spool's data directory.
+func (s *Spool) Dir() string { return s.dir }
+
+// slotDirs maps slot index → slot directory path for every slot-<n>
+// directory under the spool.
+func (s *Spool) slotDirs() (map[int]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: scan %s: %w", s.dir, err)
+	}
+	out := make(map[int]string)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rest, ok := strings.CutPrefix(e.Name(), slotPrefix)
+		if !ok {
+			continue
+		}
+		slot, err := strconv.Atoi(rest)
+		if err != nil || slot < 0 {
+			continue
+		}
+		out[slot] = filepath.Join(s.dir, e.Name())
+	}
+	return out, nil
+}
+
+// snapSeq extracts the spool sequence from an epoch-<e>.snap file name.
+func snapSeq(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, snapPrefix)
+	if !ok {
+		return 0, false
+	}
+	num, ok := strings.CutSuffix(rest, snapSuffix)
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func snapName(seq uint64) string {
+	// Zero-padding makes lexical order equal numeric order, so directory
+	// listings read in spool order without parsing.
+	return fmt.Sprintf("%s%020d%s", snapPrefix, seq, snapSuffix)
+}
+
+// WriteSnapshot atomically spools one captured state for slot: encode into
+// the reused buffer, write a temp file, fsync, rename into place, fsync the
+// directory, then prune snapshots beyond the retain count. The returned path
+// names the live snapshot file.
+func (s *Spool) WriteSnapshot(slot int, epoch, routeVersion uint64, st core.State) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := nowNanos()
+	seq := s.seq[slot] + 1
+	s.buf = AppendSnapshotFile(s.buf[:0], Header{
+		Version: FileVersion, Slot: slot, Seq: seq,
+		Epoch: epoch, RouteVersion: routeVersion,
+	}, st)
+	slotDir := filepath.Join(s.dir, slotPrefix+strconv.Itoa(slot))
+	if err := os.MkdirAll(slotDir, 0o755); err != nil {
+		return "", fmt.Errorf("durable: slot %d: %w", slot, err)
+	}
+	final := filepath.Join(slotDir, snapName(seq))
+	if err := atomicWrite(final, s.buf); err != nil {
+		return "", fmt.Errorf("durable: slot %d: %w", slot, err)
+	}
+	s.seq[slot] = seq
+	obsSnapshots.Inc()
+	obsBytes.Add(uint64(len(s.buf)))
+	obsSpoolNs.Observe(nowNanos() - start)
+	obs.Logger().Info("snapshot spooled",
+		"slot", slot, "seq", seq, "epoch", epoch, "route_version", routeVersion, "bytes", len(s.buf))
+	s.pruneLocked(slot, slotDir)
+	return final, nil
+}
+
+// pruneLocked removes slot's oldest snapshots beyond the retain count.
+// Pruning is best-effort: a failed remove leaves an extra file, never a
+// missing one. Callers hold s.mu.
+func (s *Spool) pruneLocked(slot int, slotDir string) {
+	files, err := os.ReadDir(slotDir)
+	if err != nil {
+		return
+	}
+	var seqs []uint64
+	for _, f := range files {
+		if seq, ok := snapSeq(f.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) <= s.retain {
+		return
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs[:len(seqs)-s.retain] {
+		if os.Remove(filepath.Join(slotDir, snapName(seq))) == nil {
+			obsPrunes.Inc()
+			obs.Logger().Info("snapshot pruned", "slot", slot, "seq", seq)
+		}
+	}
+}
+
+// WriteManifest atomically replaces the spool's manifest.
+func (s *Spool) WriteManifest(m Manifest) error {
+	m.FormatVersion = FileVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("durable: encode manifest: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := atomicWrite(filepath.Join(s.dir, manifestName), append(data, '\n')); err != nil {
+		return fmt.Errorf("durable: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest returns the spool's manifest, or (nil, nil) when none has
+// been written — an empty or pre-manifest data directory restores as a
+// fresh cluster.
+func (s *Spool) ReadManifest() (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: decode manifest: %w", err)
+	}
+	if m.FormatVersion != FileVersion {
+		return nil, fmt.Errorf("durable: manifest format version %d not supported (want %d)", m.FormatVersion, FileVersion)
+	}
+	return &m, nil
+}
+
+// Restored is one slot's recovered snapshot: the newest file that decoded
+// and validated end to end.
+type Restored struct {
+	Header Header
+	State  core.State
+	Path   string
+}
+
+// Restore scans the spool and returns the newest valid snapshot per slot
+// plus the manifest (nil when none exists). Corrupt, truncated, or
+// unknown-version files are skipped with an event and the scan falls back to
+// the next-older snapshot — damage never crashes a restore, it only widens
+// the replay window. A slot whose every snapshot is damaged is simply absent
+// from the result (it restarts cold).
+func (s *Spool) Restore() (map[int]Restored, *Manifest, error) {
+	manifest, err := s.ReadManifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	slots, err := s.slotDirs()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[int]Restored)
+	for slot, slotDir := range slots {
+		files, err := os.ReadDir(slotDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: scan %s: %w", slotDir, err)
+		}
+		var seqs []uint64
+		for _, f := range files {
+			if seq, ok := snapSeq(f.Name()); ok {
+				seqs = append(seqs, seq)
+			}
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] }) // newest first
+		for _, seq := range seqs {
+			path := filepath.Join(slotDir, snapName(seq))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				obsCorrupt.Inc()
+				obs.Logger().Warn("snapshot unreadable, trying older", "slot", slot, "seq", seq, "err", err.Error())
+				continue
+			}
+			h, st, err := DecodeSnapshotFile(data)
+			if err != nil || h.Slot != slot {
+				if err == nil {
+					err = fmt.Errorf("durable: file in slot-%d directory says slot %d", slot, h.Slot)
+				}
+				obsCorrupt.Inc()
+				obs.Logger().Warn("snapshot corrupt, trying older", "slot", slot, "seq", seq, "err", err.Error())
+				continue
+			}
+			out[slot] = Restored{Header: h, State: st, Path: path}
+			obsRestores.Inc()
+			obs.Logger().Info("snapshot restored",
+				"slot", slot, "seq", h.Seq, "epoch", h.Epoch, "route_version", h.RouteVersion)
+			break
+		}
+	}
+	return out, manifest, nil
+}
+
+// atomicWrite replaces path with data crash-safely: write <path>.tmp, fsync
+// it, rename over path, fsync the directory so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

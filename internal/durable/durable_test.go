@@ -1,0 +1,263 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// testState builds a plausible infinite-window snapshot with n entries.
+func testState(n int) core.State {
+	entries := make([]netsim.SampleEntry, n)
+	for i := range entries {
+		entries[i] = netsim.SampleEntry{
+			Key:  "key-" + strings.Repeat("x", i%7) + string(rune('a'+i%26)),
+			Hash: float64(i+1) / float64(n+2),
+		}
+	}
+	return core.State{
+		Version:    core.StateVersion,
+		Kind:       core.StateInfinite,
+		SampleSize: n + 1,
+		Sections:   []core.SectionState{{Entries: entries}},
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	st := testState(8)
+	h := Header{Version: FileVersion, Slot: 3, Seq: 42, Epoch: 2, RouteVersion: 7}
+	img := AppendSnapshotFile(nil, h, st)
+	got, gotSt, err := DecodeSnapshotFile(img)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != h {
+		t.Fatalf("header round trip: got %+v want %+v", got, h)
+	}
+	if !reflect.DeepEqual(gotSt, st) {
+		t.Fatalf("state round trip: got %+v want %+v", gotSt, st)
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	img := AppendSnapshotFile(nil, Header{Version: FileVersion, Slot: 0, Seq: 1}, testState(5))
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       img[:headerSize-1],
+		"truncated":   img[:len(img)-3],
+		"bad magic":   append([]byte("NOPE"), img[4:]...),
+		"bad version": func() []byte { b := append([]byte(nil), img...); b[4] = FileVersion + 1; return b }(),
+		"bit flip":    func() []byte { b := append([]byte(nil), img...); b[len(b)-1] ^= 0x40; return b }(),
+		"bad crc":     func() []byte { b := append([]byte(nil), img...); b[37] ^= 0xff; return b }(),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeSnapshotFile(data); err == nil {
+			t.Errorf("%s: decode accepted damaged input", name)
+		}
+	}
+}
+
+func TestSpoolWriteRestoreNewestWins(t *testing.T) {
+	sp, err := Open(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := sp.WriteSnapshot(0, uint64(i), 1, testState(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := sp.WriteSnapshot(1, 0, 1, testState(3)); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := sp.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 2 {
+		t.Fatalf("restored %d slots, want 2", len(restored))
+	}
+	if got := restored[0]; got.Header.Seq != 4 || got.Header.Epoch != 4 {
+		t.Fatalf("slot 0 restored seq %d epoch %d, want newest (4, 4)", got.Header.Seq, got.Header.Epoch)
+	}
+	if !reflect.DeepEqual(restored[0].State, testState(4)) {
+		t.Fatal("slot 0 restored state differs from the newest write")
+	}
+	// retain=2 pruned the two oldest of slot 0's four snapshots.
+	files, err := os.ReadDir(filepath.Join(sp.Dir(), "slot-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("slot-0 holds %d files after prune, want 2", len(files))
+	}
+}
+
+func TestRestoreEmptyDir(t *testing.T) {
+	sp, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, manifest, err := sp.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 || manifest != nil {
+		t.Fatalf("empty dir restored %d slots, manifest %v; want nothing", len(restored), manifest)
+	}
+}
+
+func TestRestoreSkipsCorruptTailToOlderSnapshot(t *testing.T) {
+	sp, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.WriteSnapshot(0, 1, 1, testState(3)); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := sp.WriteSnapshot(0, 2, 1, testState(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn tail on the newest file: chop its last bytes.
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := sp.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := restored[0]
+	if !ok {
+		t.Fatal("slot 0 not restored at all")
+	}
+	if got.Header.Seq != 1 {
+		t.Fatalf("restored seq %d, want fallback to 1", got.Header.Seq)
+	}
+	if !reflect.DeepEqual(got.State, testState(3)) {
+		t.Fatal("fallback state differs from the older snapshot")
+	}
+}
+
+func TestRestoreSkipsUnknownFormatVersion(t *testing.T) {
+	sp, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.WriteSnapshot(0, 1, 1, testState(2)); err != nil {
+		t.Fatal(err)
+	}
+	path, err := sp.WriteSnapshot(0, 2, 1, testState(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stamp the newest file with a future format version: the restore must
+	// fence it (like an epoch) and fall back, not misparse it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = FileVersion + 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := sp.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored[0].Header.Seq != 1 {
+		t.Fatalf("restored seq %d, want the version fence to fall back to 1", restored[0].Header.Seq)
+	}
+}
+
+func TestOpenRemovesLeftoverTmpAndResumesSeq(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.WriteSnapshot(2, 9, 1, testState(4)); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between write and rename leaves a .tmp next to the last good
+	// snapshot.
+	tmp := filepath.Join(dir, "slot-2", snapName(2)+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover .tmp survived reopen")
+	}
+	// The spool sequence resumes past what is on disk, so the restarted
+	// node's first write cannot collide with (or sort below) its
+	// predecessor's newest snapshot.
+	path, err := sp2.WriteSnapshot(2, 10, 1, testState(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := snapName(2); filepath.Base(path) != want {
+		t.Fatalf("post-restart write landed at %s, want %s", filepath.Base(path), want)
+	}
+	restored, _, err := sp2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored[2].Header.Epoch != 10 {
+		t.Fatalf("restored epoch %d, want the post-restart snapshot (10)", restored[2].Header.Epoch)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	sp, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Manifest{
+		RouteVersion: 3,
+		Bounds:       []uint64{0, 1 << 62, 1 << 63},
+		Slots:        []int{0, 2, 1},
+		SampleSize:   20,
+		Window:       0,
+		Seed:         42,
+	}
+	if err := sp.WriteManifest(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.FormatVersion = FileVersion
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("manifest round trip: got %+v want %+v", *got, want)
+	}
+}
+
+// TestSpoolEncodeZeroAlloc asserts the spool hot path's encode step reuses
+// its buffer: once warm, building the complete file image (header + payload
+// CRC + core.AppendEncodedState payload) allocates nothing. The file write
+// itself is the only allocation a spool is allowed.
+func TestSpoolEncodeZeroAlloc(t *testing.T) {
+	st := testState(32)
+	h := Header{Version: FileVersion, Slot: 1, Seq: 7, Epoch: 3, RouteVersion: 2}
+	buf := AppendSnapshotFile(make([]byte, 0, 1<<16), h, st) // warm the buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendSnapshotFile(buf[:0], h, st)
+	})
+	if allocs != 0 {
+		t.Fatalf("snapshot encode allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,23 @@
+package durable
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Durability instruments. Snapshots and bytes count successful spools (the
+// whole file image, header included); the spool histogram times encode +
+// write + fsync + rename per snapshot. Restores count slots brought back
+// from disk; corrupt-skip counts files the restore scan rejected (truncated,
+// bit-flipped, wrong magic/version/CRC) before falling back to an older one.
+var (
+	obsSnapshots = obs.Default().Counter("dds_durable_snapshots_total")
+	obsBytes     = obs.Default().Counter("dds_durable_bytes_total")
+	obsSpoolNs   = obs.Default().Histogram("dds_durable_spool_ns", obs.ExpBuckets(1000, 4, 12))
+	obsPrunes    = obs.Default().Counter("dds_durable_prunes_total")
+	obsRestores  = obs.Default().Counter("dds_durable_restores_total")
+	obsCorrupt   = obs.Default().Counter("dds_durable_corrupt_skipped_total")
+)
+
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -31,9 +31,11 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -71,11 +73,28 @@ type Options struct {
 	// (state pushes, epoch probes, lease renewals) to seeded drops, delays,
 	// and partitions in chaos tests. nil means plain connections.
 	SyncWrap func(wire.FrameConn) wire.FrameConn
+	// Spool, when set, arms durability: every group's primary state is
+	// written to this snapshot spool on SpoolInterval ticks (change-detected
+	// exactly like sync rounds, so an idle primary costs no disk traffic)
+	// and at the natural barriers — promotion, a forced SpoolNow (reshard
+	// cutovers, quiesce points), and graceful Close. Halt skips the final
+	// spool, simulating power loss.
+	Spool *durable.Spool
+	// SpoolInterval is how often each group's spool loop checks for changed
+	// primary state. It bounds the post-crash replay window exactly as
+	// SyncInterval bounds replica staleness. Defaults to
+	// DefaultSpoolInterval; only meaningful with Spool set.
+	SpoolInterval time.Duration
 }
 
 // DefaultSyncInterval bounds replica staleness to well under a second while
 // keeping sync traffic negligible (one tiny frame per shard per interval).
 const DefaultSyncInterval = 100 * time.Millisecond
+
+// DefaultSpoolInterval bounds the durability replay window to one second:
+// offers acknowledged after the last spooled snapshot are the only thing a
+// full-cluster power loss can cost, and sites replay them on restart.
+const DefaultSpoolInterval = time.Second
 
 // member is one coordinator process of a replica group.
 type member struct {
@@ -106,6 +125,15 @@ type group struct {
 	pushed     bool       // at least one push happened
 	lastPushNs int64      // wall time of the last successful push (sync-lag gauge)
 	obsLag     *obs.Gauge // per-slot staleness: nanoseconds between consecutive pushes
+
+	// Spool bookkeeping, under its own lock so disk writes never contend
+	// with sync rounds: change detection mirrors syncRound's (offers +
+	// mutations activity count, epoch), and the promote hook's forced spool
+	// serializes against the ticker's through spoolMu.
+	spoolMu       sync.Mutex
+	spooledOffers int
+	spooledEpoch  uint64
+	spooledOnce   bool
 }
 
 func (g *group) isRetired() bool {
@@ -150,6 +178,11 @@ type Server struct {
 	mu     sync.RWMutex // guards the groups slice (AddGroup appends while readers iterate)
 	groups []*group
 
+	// routeVersion is the routing-table version stamped into spooled
+	// snapshot headers (NoteRouteVersion; the reshard driver advances it at
+	// every cutover). Purely informational when no spool is armed.
+	routeVersion atomic.Uint64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -177,6 +210,9 @@ func Listen(addr string, shards int, opts Options, newCoord func(shard, member i
 	}
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = DefaultSyncInterval
+	}
+	if opts.SpoolInterval <= 0 {
+		opts.SpoolInterval = DefaultSpoolInterval
 	}
 	if opts.Lease > 0 && opts.Lease <= opts.SyncInterval {
 		return nil, fmt.Errorf("replica: lease %v must exceed the sync interval %v (a healthy primary renews once per round)", opts.Lease, opts.SyncInterval)
@@ -233,6 +269,12 @@ func (s *Server) AddGroup() (slot int, addrs []string, err error) {
 		if s.opts.RouteHash != nil {
 			srv.SetRouteHash(s.opts.RouteHash)
 		}
+		if s.opts.Spool != nil {
+			// Promotion is a durability barrier: the instant a member becomes
+			// its group's primary, its state (one sync behind the dead
+			// primary at worst) is spooled, not left to the next tick.
+			srv.SetPromoteHook(func(uint64) { _ = s.spoolGroup(g, true) })
+		}
 		memberPort := 0
 		if s.basePort != 0 {
 			memberPort = s.basePort + slot*groupSize + m
@@ -252,6 +294,10 @@ func (s *Server) AddGroup() (slot int, addrs []string, err error) {
 	if s.opts.Replicas > 0 {
 		s.wg.Add(1)
 		go s.syncLoop(g)
+	}
+	if s.opts.Spool != nil {
+		s.wg.Add(1)
+		go s.spoolLoop(g)
 	}
 	addrs = make([]string, len(members))
 	for m, mem := range members {
@@ -320,6 +366,82 @@ func (s *Server) syncLoop(g *group) {
 		}
 	}
 }
+
+// spoolLoop persists the group's primary state to the snapshot spool every
+// SpoolInterval while it changes — the background half of durability (the
+// barriers are promotion, SpoolNow, and graceful Close).
+func (s *Server) spoolLoop(g *group) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.SpoolInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if g.isRetired() {
+				return
+			}
+			_ = s.spoolGroup(g, false)
+		}
+	}
+}
+
+// spoolGroup captures the group's primary state and writes it to the spool.
+// Unless force is set, the write is skipped while the primary is idle (same
+// change detection as syncRound: activity count and epoch). Nodes predating
+// the Snapshot/Restore API cannot be persisted and are skipped silently.
+func (s *Server) spoolGroup(g *group, force bool) error {
+	if s.opts.Spool == nil || g.isRetired() {
+		return nil
+	}
+	_, p := g.currentPrimary()
+	if p == nil {
+		return fmt.Errorf("replica: shard %d: no live members to spool", g.shard)
+	}
+	st, generic, _, offers := p.srv.SnapshotSync()
+	if !generic {
+		return nil
+	}
+	epoch := p.srv.Epoch()
+	g.spoolMu.Lock()
+	defer g.spoolMu.Unlock()
+	if !force && g.spooledOnce && offers == g.spooledOffers && epoch == g.spooledEpoch {
+		return nil
+	}
+	if _, err := s.opts.Spool.WriteSnapshot(g.shard, epoch, s.routeVersion.Load(), st); err != nil {
+		obs.Logger().Warn("snapshot spool failed", "shard", g.shard, "err", err.Error())
+		return fmt.Errorf("replica: shard %d: %w", g.shard, err)
+	}
+	g.spooledOffers, g.spooledEpoch, g.spooledOnce = offers, epoch, true
+	return nil
+}
+
+// SpoolNow force-spools every live group's primary state — the durability
+// quiesce barrier. After site flushes have drained and SpoolNow returns,
+// every acknowledged offer is on disk: reshard drivers call it at cutover,
+// graceful shutdown calls it last, and tests use it to close the bounded
+// replay window. A no-op (nil) when no spool is armed.
+func (s *Server) SpoolNow() error {
+	if s.opts.Spool == nil {
+		return nil
+	}
+	var firstErr error
+	for _, g := range s.snapshotGroups() {
+		if g.isRetired() {
+			continue
+		}
+		if err := s.spoolGroup(g, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// NoteRouteVersion records the live routing-table version stamped into every
+// subsequently spooled snapshot header. The serving layer sets it at boot
+// and the reshard driver advances it at each cutover.
+func (s *Server) NoteRouteVersion(v uint64) { s.routeVersion.Store(v) }
 
 // primary returns the group's current primary: the live member with the
 // highest epoch, preferring promoted members on ties (state-syncs propagate
@@ -854,8 +976,19 @@ func (s *Server) KillPrimary(shard int) (int, error) {
 	return idx, s.Kill(shard, idx)
 }
 
-// Close stops the sync loops and every member server.
-func (s *Server) Close() error {
+// Close stops the sync loops and every member server. When a spool is
+// armed, every live group's state is spooled first — graceful shutdown is a
+// durability barrier, so a clean Close loses nothing at all.
+func (s *Server) Close() error { return s.shutdown(true) }
+
+// Halt is Close without the final spool: every loop stops and every member
+// dies with whatever the spool already holds — the in-process simulation of
+// a full-cluster power loss. Restoring from the spool afterwards recovers
+// exactly the state as of the last spooled snapshot per slot; everything
+// acknowledged after it is the bounded replay window.
+func (s *Server) Halt() error { return s.shutdown(false) }
+
+func (s *Server) shutdown(spoolFinal bool) error {
 	select {
 	case <-s.stop:
 	default:
@@ -863,6 +996,9 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	var firstErr error
+	if spoolFinal {
+		firstErr = s.SpoolNow()
+	}
 	for _, g := range s.snapshotGroups() {
 		if err := closeMembers(g.memberList()); err != nil && firstErr == nil {
 			firstErr = err

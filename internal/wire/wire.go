@@ -246,6 +246,9 @@ type CoordinatorServer struct {
 	// Nil-checked on the dispatch hot path; nil means unattached.
 	obsOffers *obs.Counter
 	obsChurn  *obs.Counter
+	// promoteHook, when set, fires after this server accepts a promote
+	// frame — the replica layer's promotion durability barrier.
+	promoteHook func(epoch uint64)
 	// lastTrace stashes the trace context of the most recent sampled ingest
 	// batch. The replication driver consumes it (TakeTrace) when it opens
 	// the next sync round, so a sampled ingest trace continues through the
@@ -317,6 +320,17 @@ func (s *CoordinatorServer) Promoted() bool {
 func (s *CoordinatorServer) SetRouteHash(fn func(key string) uint64) {
 	s.mu.Lock()
 	s.routeHash = fn
+	s.mu.Unlock()
+}
+
+// SetPromoteHook installs a callback fired (on its own goroutine, after the
+// ack is on the wire) whenever this server accepts a promote frame — it has
+// just become its group's primary at the given epoch. The replica layer uses
+// it as a durability barrier: a fresh primary's state is spooled to disk
+// immediately, not a spool interval later.
+func (s *CoordinatorServer) SetPromoteHook(fn func(epoch uint64)) {
+	s.mu.Lock()
+	s.promoteHook = fn
 	s.mu.Unlock()
 }
 
@@ -843,6 +857,7 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			// same replica independently and they all converge on one epoch.
 			s.mu.Lock()
 			accepted := f.Epoch > s.epoch
+			promoteHook := s.promoteHook
 			if accepted {
 				s.epoch, s.syncSeq, s.synced = f.Epoch, 0, false
 				s.promoted = true
@@ -860,6 +875,9 @@ func (s *CoordinatorServer) serve(fc frameConn, closeConn io.Closer) {
 			if accepted {
 				obsPromotions.Inc()
 				obs.Logger().Info("promotion accepted", "epoch", f.Epoch)
+				if promoteHook != nil {
+					go promoteHook(f.Epoch)
+				}
 			}
 			if err := flushAck(); err != nil {
 				return
